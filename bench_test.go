@@ -1,0 +1,586 @@
+package sentinel_test
+
+// The benchmark harness: one testing.B benchmark per experiment in
+// EXPERIMENTS.md. The same measurements, with parameter sweeps and
+// formatted tables, are produced by `go run ./cmd/sentinel-bench`.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"sentinel"
+	"sentinel/internal/baseline/adam"
+	"sentinel/internal/baseline/ode"
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/rule"
+)
+
+func quietDB(b *testing.B) *core.Database {
+	b.Helper()
+	return core.MustOpen(core.Options{Output: io.Discard})
+}
+
+func noCond(rule.ExecContext, event.Detection) (bool, error) { return false, nil }
+
+func marketDB(b *testing.B, stocks int) (*core.Database, *bench.Market) {
+	b.Helper()
+	db := quietDB(b)
+	if err := bench.InstallMarketSchema(db); err != nil {
+		b.Fatal(err)
+	}
+	m, err := bench.BuildMarket(db, stocks, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, m
+}
+
+// BenchmarkP1SubscriptionVsCentralized: event dispatch cost with N rules in
+// the system, Sentinel subscriptions vs the ADAM-style centralized matcher.
+// The paper's §3.5 claim is that Sentinel stays flat in N.
+func BenchmarkP1SubscriptionVsCentralized(b *testing.B) {
+	const stocks = 100
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("sentinel/rules=%d", n), func(b *testing.B) {
+			db, m := marketDB(b, stocks)
+			err := db.Atomically(func(t *core.Tx) error {
+				for i := 0; i < n; i++ {
+					r, err := db.CreateRule(t, core.RuleSpec{
+						Name:      fmt.Sprintf("w%d", i),
+						EventSrc:  "end Stock::SetPrice(float p)",
+						Condition: noCond,
+					})
+					if err != nil {
+						return err
+					}
+					if err := db.Subscribe(t, m.Stocks[i%stocks], r.ID()); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin()
+			defer db.Abort(tx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Send(tx, m.Stocks[0], "SetPrice", sentinel.Float(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("adam/rules=%d", n), func(b *testing.B) {
+			db, m := marketDB(b, stocks)
+			sys := adam.New(db)
+			if err := db.Atomically(func(t *core.Tx) error { return sys.EnrollClass(t, "Stock") }); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if err := sys.NewRule(&adam.Rule{
+					Name: fmt.Sprintf("w%d", i), ActiveClass: "Stock",
+					ActiveMethod: "SetPrice", When: event.End, Enabled: true,
+					Cond: func(rule.ExecContext, event.Occurrence) (bool, error) { return false, nil },
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tx := db.Begin()
+			defer db.Abort(tx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Send(tx, m.Stocks[0], "SetPrice", sentinel.Float(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP2PassiveReactive: method-send cost across the reactivity
+// ladder (§3.2's "no overhead for passive objects").
+func BenchmarkP2PassiveReactive(b *testing.B) {
+	type cfg struct {
+		name        string
+		reactive    bool
+		declared    bool
+		subscribers int
+	}
+	for _, c := range []cfg{
+		{"passive", false, false, 0},
+		{"reactive-undeclared", true, false, 0},
+		{"reactive-declared-0subs", true, true, 0},
+		{"reactive-declared-1sub", true, true, 1},
+		{"reactive-declared-10subs", true, true, 10},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			db := quietDB(b)
+			cls := sentinel.NewClass("P")
+			if c.reactive {
+				cls.Classification = sentinel.ReactiveClass
+			}
+			cls.Attr("x", sentinel.TypeFloat)
+			gen := sentinel.GenNone
+			if c.declared {
+				gen = sentinel.GenEnd
+			}
+			cls.AddMethod(&sentinel.Method{
+				Name: "Set", Params: []sentinel.Param{{Name: "v", Type: sentinel.TypeFloat}},
+				Visibility: sentinel.Public, EventGen: gen,
+				Body: func(ctx sentinel.CallContext) (sentinel.Value, error) {
+					return sentinel.NilValue, ctx.Set("x", ctx.Arg(0))
+				},
+			})
+			db.MustRegisterClass(cls)
+			var id sentinel.OID
+			err := db.Atomically(func(t *core.Tx) error {
+				var err error
+				id, err = db.NewObject(t, "P", nil)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < c.subscribers; i++ {
+					r, err := db.CreateRule(t, core.RuleSpec{
+						Name: fmt.Sprintf("s%d", i), EventSrc: "end P::Set(float v)",
+						Condition: noCond,
+					})
+					if err != nil {
+						return err
+					}
+					if err := db.Subscribe(t, id, r.ID()); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin()
+			defer db.Abort(tx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Send(tx, id, "Set", sentinel.Float(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP3OperatorTrees: raw detector feeding cost per operator kind.
+func BenchmarkP3OperatorTrees(b *testing.B) {
+	prim := func(m string) *event.Expr { return event.Primitive(event.End, "C", m) }
+	exprs := map[string]*event.Expr{
+		"primitive": prim("m0"),
+		"or":        event.Or(prim("m0"), prim("m1")),
+		"and":       event.And(prim("m0"), prim("m1")),
+		"seq":       event.Seq(prim("m0"), prim("m1")),
+		"not":       event.Not(prim("m0"), prim("m1"), prim("m2")),
+		"any2of4":   event.Any(2, prim("m0"), prim("m1"), prim("m2"), prim("m3")),
+	}
+	deep := prim("m0")
+	for i := 1; i < 8; i++ {
+		deep = event.And(deep, prim(fmt.Sprintf("m%d", i%4)))
+	}
+	exprs["and-depth8"] = deep
+
+	for _, name := range []string{"primitive", "or", "and", "seq", "not", "any2of4", "and-depth8"} {
+		b.Run(name, func(b *testing.B) {
+			d := event.MustDetector(exprs[name], nil, event.ContextPaper)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Feed(event.Occurrence{Class: "C", Method: fmt.Sprintf("m%d", i%4), When: event.End, Seq: uint64(i + 1)})
+			}
+		})
+	}
+}
+
+// BenchmarkP4RuleAddRemove: runtime rule maintenance cost — Sentinel and
+// ADAM add an object; the Ode shape must rebuild the class over all N
+// instances.
+func BenchmarkP4RuleAddRemove(b *testing.B) {
+	b.Run("sentinel", func(b *testing.B) {
+		db, _ := marketDB(b, 100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			name := fmt.Sprintf("r%d", i)
+			if err := db.Atomically(func(t *core.Tx) error {
+				_, err := db.CreateRule(t, core.RuleSpec{Name: name, EventSrc: "end Stock::SetPrice(float p)", Condition: noCond})
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Atomically(func(t *core.Tx) error { return db.DeleteRule(t, name) }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("adam", func(b *testing.B) {
+		db, _ := marketDB(b, 100)
+		sys := adam.New(db)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			name := fmt.Sprintf("r%d", i)
+			if err := sys.NewRule(&adam.Rule{Name: name, ActiveClass: "Stock", ActiveMethod: "SetPrice", When: event.End, Enabled: true}); err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.DeleteRule(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ode-rebuild-100-instances", func(b *testing.B) {
+		db, _ := marketDB(b, 100)
+		sys := ode.New(db)
+		section := func(i int) ode.ClassRules {
+			return ode.ClassRules{
+				Class: "Stock",
+				Constraints: []ode.Constraint{{
+					Name: fmt.Sprintf("c%d", i), Severity: ode.Soft,
+					Pred: func(rule.ExecContext, sentinel.OID) (bool, error) { return true, nil },
+				}},
+			}
+		}
+		if err := db.Atomically(func(t *core.Tx) error { return sys.EnrollClass(t, section(0)) }); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Atomically(func(t *core.Tx) error { return sys.RebuildClass(t, section(i+1)) }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP5ClassVsInstance: dispatch cost for one rule covering 1000
+// instances, associated class-level vs via 1000 subscriptions.
+func BenchmarkP5ClassVsInstance(b *testing.B) {
+	const n = 1000
+	b.Run("class-level", func(b *testing.B) {
+		db, m := marketDB(b, n)
+		if err := db.Atomically(func(t *core.Tx) error {
+			_, err := db.CreateRule(t, core.RuleSpec{
+				Name: "r", EventSrc: "end Stock::SetPrice(float p)",
+				Condition: noCond, ClassLevel: "Stock",
+			})
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tx := db.Begin()
+		defer db.Abort(tx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Send(tx, m.Stocks[i%n], "SetPrice", sentinel.Float(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instance-level", func(b *testing.B) {
+		db, m := marketDB(b, n)
+		if err := db.Atomically(func(t *core.Tx) error {
+			r, err := db.CreateRule(t, core.RuleSpec{
+				Name: "r", EventSrc: "end Stock::SetPrice(float p)", Condition: noCond,
+			})
+			if err != nil {
+				return err
+			}
+			for _, s := range m.Stocks {
+				if err := db.Subscribe(t, s, r.ID()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tx := db.Begin()
+		defer db.Abort(tx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Send(tx, m.Stocks[i%n], "SetPrice", sentinel.Float(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP6CouplingModes: full transaction cost with one rule in each
+// coupling mode (10 sends per transaction).
+func BenchmarkP6CouplingModes(b *testing.B) {
+	for _, mode := range []string{"immediate", "deferred", "detached"} {
+		b.Run(mode, func(b *testing.B) {
+			db, m := marketDB(b, 1)
+			if err := db.Atomically(func(t *core.Tx) error {
+				r, err := db.CreateRule(t, core.RuleSpec{
+					Name: "r", EventSrc: "end Stock::SetPrice(float p)",
+					Action:   func(rule.ExecContext, event.Detection) error { return nil },
+					Coupling: mode,
+				})
+				if err != nil {
+					return err
+				}
+				return db.Subscribe(t, m.Stocks[0], r.ID())
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := db.Begin()
+				for j := 0; j < 10; j++ {
+					if _, err := db.Send(tx, m.Stocks[0], "SetPrice", sentinel.Float(1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := db.Commit(tx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP7Persistence: committed-write throughput against the WAL+heap
+// (no fsync, measuring the logging path), and full recovery.
+func BenchmarkP7Persistence(b *testing.B) {
+	b.Run("commit-with-wal", func(b *testing.B) {
+		dir := b.TempDir()
+		db, err := core.Open(core.Options{Dir: dir, SyncOnCommit: false, Output: io.Discard,
+			Schema: func(db *core.Database) error { return bench.InstallMarketSchema(db) }})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		m, err := bench.BuildMarket(db, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Atomically(func(t *core.Tx) error {
+				_, err := db.Send(t, m.Stocks[0], "SetPrice", sentinel.Float(float64(i)))
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recovery-1000-objects", func(b *testing.B) {
+		dir := b.TempDir()
+		schemaOpt := func(db *core.Database) error { return bench.InstallMarketSchema(db) }
+		db, err := core.Open(core.Options{Dir: dir, Output: io.Discard, Schema: schemaOpt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.BuildMarket(db, 1000, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.CloseAbrupt(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db, err := core.Open(core.Options{Dir: dir, Output: io.Discard, Schema: schemaOpt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := db.CloseAbrupt(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}
+
+// BenchmarkP8InterfaceSelectivity: cost per send with k of 10 methods
+// declared as event generators.
+func BenchmarkP8InterfaceSelectivity(b *testing.B) {
+	for _, k := range []int{0, 5, 10} {
+		b.Run(fmt.Sprintf("declared=%d", k), func(b *testing.B) {
+			db := quietDB(b)
+			cls := sentinel.NewClass("S")
+			cls.Classification = sentinel.ReactiveClass
+			cls.Attr("x", sentinel.TypeFloat)
+			for mi := 0; mi < 10; mi++ {
+				gen := sentinel.GenNone
+				if mi < k {
+					gen = sentinel.GenEnd
+				}
+				cls.AddMethod(&sentinel.Method{
+					Name: fmt.Sprintf("M%d", mi), Params: []sentinel.Param{{Name: "v", Type: sentinel.TypeFloat}},
+					Visibility: sentinel.Public, EventGen: gen,
+					Body: func(ctx sentinel.CallContext) (sentinel.Value, error) {
+						return sentinel.NilValue, ctx.Set("x", ctx.Arg(0))
+					},
+				})
+			}
+			db.MustRegisterClass(cls)
+			var id sentinel.OID
+			if err := db.Atomically(func(t *core.Tx) error {
+				var err error
+				id, err = db.NewObject(t, "S", nil)
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+			tx := db.Begin()
+			defer db.Abort(tx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Send(tx, id, fmt.Sprintf("M%d", i%10), sentinel.Float(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSalaryCheck (E1): the §5.1 rule enforced per update, in all
+// three systems.
+func BenchmarkSalaryCheck(b *testing.B) {
+	run := func(b *testing.B, install func(db *core.Database, org *bench.Org) error) {
+		db := quietDB(b)
+		if err := bench.InstallOrgSchema(db); err != nil {
+			b.Fatal(err)
+		}
+		org, err := bench.BuildOrg(db, 2, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := install(db, org); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := org.Employees[i%len(org.Employees)]
+			if err := db.Atomically(func(t *core.Tx) error {
+				_, err := db.Send(t, e, "SetSalary", sentinel.Float(1500))
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sentinel", func(b *testing.B) {
+		run(b, func(db *core.Database, org *bench.Org) error { return bench.SalaryCheckSentinel(db) })
+	})
+	b.Run("ode", func(b *testing.B) {
+		run(b, func(db *core.Database, org *bench.Org) error {
+			_, err := bench.SalaryCheckOde(db, ode.New(db))
+			return err
+		})
+	})
+	b.Run("adam", func(b *testing.B) {
+		run(b, func(db *core.Database, org *bench.Org) error {
+			_, err := bench.SalaryCheckAdam(db, adam.New(db))
+			return err
+		})
+	})
+}
+
+// BenchmarkDSLInterpretedMethod: cost of an interpreted (SentinelQL) method
+// body vs the equivalent Go body — the price of runtime-defined classes.
+func BenchmarkDSLInterpretedMethod(b *testing.B) {
+	b.Run("interpreted", func(b *testing.B) {
+		db := quietDB(b)
+		if err := db.Exec(`
+			class Counter reactive persistent {
+				attr n int
+				method Inc() { self.n := self.n + 1 }
+			}
+			bind C new Counter()
+		`); err != nil {
+			b.Fatal(err)
+		}
+		id, _ := db.Lookup("C")
+		tx := db.Begin()
+		defer db.Abort(tx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Send(tx, id, "Inc"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("native", func(b *testing.B) {
+		db := quietDB(b)
+		cls := sentinel.NewClass("Counter")
+		cls.Attr("n", sentinel.TypeInt)
+		cls.AddMethod(&sentinel.Method{
+			Name: "Inc", Visibility: sentinel.Public,
+			Body: func(ctx sentinel.CallContext) (sentinel.Value, error) {
+				v, err := ctx.Get("n")
+				if err != nil {
+					return sentinel.NilValue, err
+				}
+				n, _ := v.AsInt()
+				return sentinel.NilValue, ctx.Set("n", sentinel.Int(n+1))
+			},
+		})
+		db.MustRegisterClass(cls)
+		var id sentinel.OID
+		if err := db.Atomically(func(t *core.Tx) error {
+			var err error
+			id, err = db.NewObject(t, "Counter", nil)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+		tx := db.Begin()
+		defer db.Abort(tx)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Send(tx, id, "Inc"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIndexLookupVsScan: equality lookup over N objects with and
+// without a secondary index.
+func BenchmarkIndexLookupVsScan(b *testing.B) {
+	build := func(b *testing.B, withIndex bool) *core.Database {
+		db := quietDB(b)
+		if err := bench.InstallOrgSchema(db); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := bench.BuildOrg(db, 0, 5000); err != nil {
+			b.Fatal(err)
+		}
+		if withIndex {
+			if err := db.Atomically(func(t *core.Tx) error {
+				_, err := db.CreateIndex(t, "Employee", "name")
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	for _, withIndex := range []bool{false, true} {
+		name := "scan-5000"
+		if withIndex {
+			name = "indexed-5000"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := build(b, withIndex)
+			tx := db.Begin()
+			defer db.Abort(tx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids, _, err := db.LookupByAttr(tx, "Employee", "name", sentinel.Str("emp-2500"))
+				if err != nil || len(ids) != 1 {
+					b.Fatalf("lookup: %v %v", ids, err)
+				}
+			}
+		})
+	}
+}

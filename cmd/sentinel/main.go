@@ -1,0 +1,262 @@
+// Command sentinel is the interactive shell and script runner for the
+// database: it reads SentinelQL (class, event and rule definitions plus
+// data statements), executing each complete input in its own transaction.
+//
+// Usage:
+//
+//	sentinel                      # in-memory, interactive
+//	sentinel -d ./mydb            # persistent database in ./mydb
+//	sentinel -d ./mydb -f app.sql # run a script, then exit
+//	sentinel -f app.sql -i        # run a script, then go interactive
+//
+// Shell commands (interactive mode):
+//
+//	.help              show help
+//	.classes           list classes
+//	.rules             list rules with stats
+//	.events            list named events
+//	.objects <class>   list instances of a class
+//	.names             list name bindings
+//	.stats             runtime counters
+//	.checkpoint        force a checkpoint
+//	.quit              exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sentinel/internal/core"
+)
+
+func main() {
+	dir := flag.String("d", "", "database directory (empty = in-memory)")
+	script := flag.String("f", "", "script file to execute")
+	interactive := flag.Bool("i", false, "enter interactive mode after -f")
+	flag.Parse()
+
+	db, err := core.Open(core.Options{Dir: *dir, SyncOnCommit: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *script != "" {
+		src, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sentinel:", err)
+			os.Exit(1)
+		}
+		if err := db.Exec(string(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "sentinel:", err)
+			os.Exit(1)
+		}
+		if !*interactive {
+			return
+		}
+	}
+
+	repl(db)
+}
+
+func repl(db *core.Database) {
+	fmt.Println("sentinel — active object-oriented database shell (.help for help)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sentinel> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if !command(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !balanced(buf.String()) {
+			prompt = "      ... "
+			continue
+		}
+		prompt = "sentinel> "
+		src := buf.String()
+		buf.Reset()
+		if strings.TrimSpace(src) == "" {
+			continue
+		}
+		if err := db.Exec(src); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+// balanced reports whether braces/parens/brackets are balanced outside of
+// string literals, so multi-line class and rule bodies accumulate.
+func balanced(src string) bool {
+	depth := 0
+	var inStr byte
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr != 0 {
+			if c == '\\' {
+				i++
+			} else if c == inStr {
+				inStr = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			inStr = c
+		case '{', '(', '[':
+			depth++
+		case '}', ')', ']':
+			depth--
+		}
+	}
+	return depth <= 0
+}
+
+// command executes a dot-command; it returns false to quit.
+func command(db *core.Database, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".help":
+		fmt.Println(`statements: class/event/rule declarations, let, bind, subscribe,
+enable/disable, assignments, message sends (obj.Method(...) or obj!Method(...)),
+print(...). Each complete input runs in one transaction.
+commands: .classes .rules .events .objects <class> .names .indexes .stats
+          .checkpoint .check .dump [file] .restore <file> .quit`)
+	case ".classes":
+		for _, c := range db.Registry().Classes() {
+			if core.IsSystemClass(c.Name) {
+				continue
+			}
+			bases := make([]string, len(c.Bases))
+			for i, b := range c.Bases {
+				bases[i] = b.Name
+			}
+			ext := ""
+			if len(bases) > 0 {
+				ext = " extends " + strings.Join(bases, ", ")
+			}
+			fmt.Printf("%s%s [%s] %d attrs, %d methods, %d event generators\n",
+				c.Name, ext, c.Classification, len(c.Attributes()), len(c.Methods()), len(c.EventInterface()))
+		}
+	case ".rules":
+		rules := db.Rules()
+		sort.Slice(rules, func(i, j int) bool { return rules[i].Name() < rules[j].Name() })
+		for _, r := range rules {
+			recv, sig, fired := r.Stats()
+			state := "enabled"
+			if !r.Enabled() {
+				state = "disabled"
+			}
+			fmt.Printf("%s  (%s, %s) received=%d signalled=%d fired=%d\n",
+				r, state, stateScope(r.ClassLevel), recv, sig, fired)
+		}
+	case ".events":
+		for _, n := range db.NamedEvents() {
+			if e, ok := db.LookupEvent(n); ok {
+				fmt.Printf("event %s = %s\n", n, e)
+			}
+		}
+	case ".objects":
+		if len(fields) < 2 {
+			fmt.Println("usage: .objects <class>")
+			break
+		}
+		for _, id := range db.InstancesOf(fields[1]) {
+			err := db.Atomically(func(t *core.Tx) error {
+				fmt.Println(" ", db.DescribeObject(t, id))
+				return nil
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	case ".indexes":
+		for _, h := range db.Indexes() {
+			fmt.Println(h)
+		}
+	case ".names":
+		for _, n := range db.Names() {
+			id, _ := db.Lookup(n)
+			fmt.Printf("%s -> %s\n", n, id)
+		}
+	case ".stats":
+		s := db.Stats()
+		fmt.Printf("objects=%d rules=%d subscriptions=%d\n", s.ObjectsLive, s.RulesDefined, s.Subscriptions)
+		fmt.Printf("sends=%d events=%d notifications=%d detections=%d conditions=%d actions=%d\n",
+			s.Sends, s.EventsRaised, s.Notifications, s.Detections, s.ConditionsRun, s.ActionsRun)
+		fmt.Printf("txns: started=%d committed=%d aborted=%d deadlocks=%d\n",
+			s.Txn.Started, s.Txn.Committed, s.Txn.Aborted, s.Txn.Deadlocks)
+	case ".checkpoint":
+		if err := db.Checkpoint(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("checkpointed")
+		}
+	case ".check":
+		problems := db.CheckIntegrity()
+		if len(problems) == 0 {
+			fmt.Println("consistent")
+		}
+		for _, p := range problems {
+			fmt.Println("PROBLEM:", p)
+		}
+	case ".dump":
+		out := os.Stdout
+		if len(fields) > 1 {
+			f, err := os.Create(fields[1])
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := db.DumpDSL(out); err != nil {
+			fmt.Println("error:", err)
+		}
+	case ".restore":
+		if len(fields) < 2 {
+			fmt.Println("usage: .restore <file>")
+			break
+		}
+		src, err := os.ReadFile(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if err := db.RestoreDSL(string(src)); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("restored")
+		}
+	default:
+		fmt.Println("unknown command; .help for help")
+	}
+	return true
+}
+
+func stateScope(classLevel string) string {
+	if classLevel == "" {
+		return "instance-level"
+	}
+	return "class-level on " + classLevel
+}

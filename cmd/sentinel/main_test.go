@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestBalanced(t *testing.T) {
+	cases := map[string]bool{
+		``:                          true,
+		`let x := 1`:                true,
+		`class A {`:                 false,
+		`class A { attr x int }`:    true,
+		`class A { method M() { }`:  false,
+		`print("unbalanced { ok")`:  true,
+		`print('}')`:                true,
+		`rule R on (end A::a`:       false,
+		`rule R on (end A::a) then`: true,
+		`a := "\"{"`:                true,
+		`[1, [2, 3]]`:               true,
+		`[1, [2, 3]`:                false,
+	}
+	for src, want := range cases {
+		if got := balanced(src); got != want {
+			t.Errorf("balanced(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestStateScope(t *testing.T) {
+	if stateScope("") != "instance-level" {
+		t.Error("empty classLevel")
+	}
+	if stateScope("Person") != "class-level on Person" {
+		t.Error("classLevel")
+	}
+}

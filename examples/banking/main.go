@@ -1,0 +1,132 @@
+// Banking: composite events and first-class persistence.
+//
+// Reproduces the paper's §4.6 composite event — "a complex event raised
+// after depositing money into a bank account followed by an attempt to
+// withdraw money":
+//
+//	Event* deposit  = new Primitive("end Account::Deposit(float x)")
+//	Event* withdraw = new Primitive("before Account::Withdraw(float x)")
+//	Event* DepWit   = new Sequence(deposit, withdraw)
+//
+// plus an overdraft guard (begin-of-method abort) and a deferred audit
+// rule, and then demonstrates that rules, events and subscriptions are
+// first-class PERSISTENT objects: the database is closed abruptly
+// (simulating a crash) and reopened — objects, rules and subscriptions all
+// come back through WAL recovery and keep working.
+//
+// Run with: go run ./examples/banking
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sentinel"
+)
+
+const schema = `
+	class Account reactive persistent {
+		attr owner string
+		attr balance float
+		attr audited int
+		event end method Deposit(x float) {
+			self.balance := self.balance + x
+		}
+		event begin && end method Withdraw(x float) {
+			self.balance := self.balance - x
+		}
+		method Balance() float { return self.balance }
+	}
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "sentinel-banking-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db := sentinel.MustOpen(sentinel.Options{Dir: dir, SyncOnCommit: true})
+
+	if err := db.Exec(schema); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Exec(`
+		bind Checking new Account(owner: "alice", balance: 100.0)
+
+		# Fig. 9-style guard: abort the transaction before the state changes.
+		rule NoOverdraft for Account on begin Account::Withdraw(float x)
+			if x > self.balance then abort "insufficient funds"
+
+		# §4.6: the sequence event — a deposit followed by a withdrawal
+		# attempt on the SAME monitored account.
+		event DepWit = end Account::Deposit(float x) seq begin Account::Withdraw(float x)
+		rule LaunderingWatch on DepWit
+			if x > 9000.0
+			then print("AUDIT: rapid in-out of", x, "on", self.owner)
+			coupling deferred
+
+		subscribe LaunderingWatch to Checking
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- day 1: normal banking --")
+	for _, s := range []string{
+		`Checking!Deposit(500.0)`,
+		`Checking!Withdraw(50.0)`,
+		`Checking!Deposit(9500.0)`,
+		`Checking!Withdraw(9400.0)`, // deposit→withdraw sequence with x>9000: audited at commit
+	} {
+		if err := db.Exec(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Exec(`Checking!Withdraw(99999.0)`); !sentinel.IsAbort(err) {
+		log.Fatalf("overdraft should abort, got %v", err)
+	}
+	fmt.Println("overdraft correctly aborted")
+	bal, _ := db.Eval(`Checking!Balance()`)
+	fmt.Println("balance at end of day 1:", bal)
+
+	// Crash: no checkpoint, no clean shutdown. Everything since the last
+	// checkpoint lives only in the WAL.
+	if err := db.CloseAbrupt(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- crash! reopening from WAL --")
+
+	db2, err := sentinel.Open(sentinel.Options{Dir: dir, SyncOnCommit: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+
+	bal2, err := db2.Eval(`Checking!Balance()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovered balance:", bal2)
+	for _, name := range []string{"NoOverdraft", "LaunderingWatch"} {
+		r := db2.LookupRule(name)
+		if r == nil {
+			log.Fatalf("rule %s did not survive the crash", name)
+		}
+		fmt.Printf("recovered rule %s (%s)\n", r.Name(), r.Coupling)
+	}
+
+	fmt.Println("\n-- day 2: recovered rules still fire --")
+	if err := db2.Exec(`Checking!Deposit(9100.0)`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db2.Exec(`Checking!Withdraw(9050.0)`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db2.Exec(`Checking!Withdraw(88888.0)`); !sentinel.IsAbort(err) {
+		log.Fatalf("overdraft should abort after recovery, got %v", err)
+	}
+	fmt.Println("overdraft still aborted after recovery")
+	bal3, _ := db2.Eval(`Checking!Balance()`)
+	fmt.Println("final balance:", bal3)
+}

@@ -1,0 +1,150 @@
+// Inventory: the extension features on top of the paper's baseline.
+//
+//   - SentinelQL collection builtins (instances/pluck/sum/min/len) and
+//     for-in loops in rule conditions and shell statements,
+//   - explicit application events (`raise LowStock(...)` from a method
+//     body, §3.1 footnote 3),
+//   - the extended operator hierarchy: an APERIODIC window event
+//     (stocktake opens a window, every shipment inside it is audited,
+//     stocktake-done closes it),
+//   - transaction-scoped sequence detection (`scope transaction`),
+//   - asynchronous detached rules (Options.AsyncDetached + WaitIdle).
+//
+// Run with: go run ./examples/inventory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentinel"
+)
+
+func main() {
+	db := sentinel.MustOpen(sentinel.Options{AsyncDetached: true})
+	defer db.Close()
+
+	err := db.Exec(`
+		class Item reactive persistent {
+			attr sku string
+			attr qty int
+			attr reserved int
+
+			event end method Receive(n int) {
+				self.qty := self.qty + n
+			}
+			event begin && end method Ship(n int) {
+				if n > self.qty {
+					abort "cannot ship more than on hand"
+				}
+				self.qty := self.qty - n
+				if self.qty < 10 {
+					raise LowStock(self.qty)
+				}
+			}
+			event end method Stocktake() { }
+			event end method StocktakeDone() { }
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reorder on the explicit LowStock event — detached+async, so the
+	// purchasing side never holds up warehouse transactions.
+	err = db.Exec(`
+		rule Reorder for Item on event Item::LowStock
+			then print("REORDER:", self.sku, "down to", self.qty)
+			coupling detached
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Audit every shipment that happens inside a stocktake window — the
+	// aperiodic operator: A(open; ship; close).
+	err = db.Exec(`
+		rule AuditDuringStocktake for Item
+			on aperiodic(end Item::Stocktake(); begin Item::Ship(int n); end Item::StocktakeDone())
+			then print("AUDIT: shipment of", n, "units of", self.sku, "during stocktake")
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Same-transaction receive→ship round-trips look like cross-docking
+	// fraud; the sequence only matches within one transaction.
+	err = db.Exec(`
+		rule CrossDock for Item
+			on end Item::Receive(int n) seq begin Item::Ship(int n)
+			then print("CROSS-DOCK:", self.sku, "received and shipped in one transaction")
+			coupling deferred
+			scope transaction
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stock the warehouse.
+	err = db.Exec(`
+		bind Bolts  new Item(sku: "bolts",  qty: 50)
+		bind Nuts   new Item(sku: "nuts",   qty: 40)
+		bind Screws new Item(sku: "screws", qty: 12)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- normal operations --")
+	for _, s := range []string{
+		`Bolts!Ship(20)`,
+		`Screws!Ship(5)`,               // drops to 7: LowStock → async reorder
+		`Nuts!Receive(5) Nuts!Ship(5)`, // one transaction: cross-dock flag
+	} {
+		if err := db.Exec(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Separate transactions: no cross-dock flag.
+	if err := db.Exec(`Bolts!Receive(5)`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Exec(`Bolts!Ship(5)`); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- stocktake window --")
+	for _, s := range []string{
+		`Bolts!Stocktake()`,
+		`Bolts!Ship(3)`, // audited
+		`Bolts!Ship(2)`, // audited
+		`Bolts!StocktakeDone()`,
+		`Bolts!Ship(1)`, // not audited: window closed
+	} {
+		if err := db.Exec(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Over-shipping aborts inside the method body.
+	if err := db.Exec(`Nuts!Ship(9999)`); !sentinel.IsAbort(err) {
+		log.Fatalf("over-ship should abort, got %v", err)
+	}
+	fmt.Println("over-ship correctly aborted")
+
+	// Wait for the asynchronous reorders before reporting.
+	db.WaitIdle()
+
+	fmt.Println("-- warehouse report (builtins + for/in) --")
+	err = db.Exec(`
+		print("distinct SKUs:", len(instances("Item")))
+		print("units on hand:", sum(pluck(instances("Item"), "qty")))
+		print("scarcest level:", min(pluck(instances("Item"), "qty")))
+		for it in instances("Item") {
+			print("  ", it.sku, "=", it.qty)
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+}

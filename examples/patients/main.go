@@ -1,0 +1,123 @@
+// Patients: the paper's §2.1 monitoring motivation — "when a patient class
+// is defined (and instances are created), it is not known who may be
+// interested in monitoring that patient; depending upon the diagnosis,
+// additional groups or physicians may have to track the patient's
+// progress."
+//
+// This example creates patients FIRST, then attaches and detaches monitors
+// at runtime, never touching the Patient class again:
+//
+//   - a triage rule that subscribes a fever watch to any patient whose
+//     diagnosis comes back positive (a rule whose action manages other
+//     rules' subscriptions),
+//   - a detached-coupling pager rule, so notifying the physician happens in
+//     its own transaction after the vitals transaction commits,
+//   - a plain Go callback consumer (the bare Notifiable role) feeding a
+//     monitoring dashboard.
+//
+// Run with: go run ./examples/patients
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentinel"
+)
+
+func main() {
+	db := sentinel.MustOpen(sentinel.Options{})
+	defer db.Close()
+
+	// The Patient class knows nothing about monitoring policies.
+	err := db.Exec(`
+		class Patient reactive persistent {
+			attr name string
+			attr temperature float
+			attr heartRate int
+			attr diagnosis string
+			event end method RecordVitals(temp float, hr int) {
+				self.temperature := temp
+				self.heartRate := hr
+			}
+			event end method Diagnose(dx string) {
+				self.diagnosis := dx
+			}
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Patients exist before any monitor does.
+	err = db.Exec(`
+		bind Alice new Patient(name: "Alice")
+		bind Bob   new Patient(name: "Bob")
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// FeverWatch pages the physician — detached coupling: the page goes out
+	// in its own transaction after the vitals commit, so a failing pager
+	// can never roll back a medical record.
+	err = db.Exec(`
+		rule FeverWatch on end Patient::RecordVitals(float temp, int hr)
+			if temp >= 39.0 or hr > 130
+			then print("PAGE: patient", self.name, "temp", temp, "hr", hr)
+			coupling detached
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Triage: a class-level rule whose ACTION subscribes/unsubscribes the
+	// fever watch depending on the diagnosis — rules managing the
+	// monitoring of other rules at runtime.
+	err = db.Exec(`
+		rule Triage for Patient on end Patient::Diagnose(string dx)
+			then {
+				if dx == "healthy" {
+					print("triage:", self.name, "discharged from monitoring")
+					unsubscribe FeverWatch from self
+				} else {
+					print("triage:", self.name, "now monitored (", dx, ")")
+					subscribe FeverWatch to self
+				}
+			}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A transient Go consumer: the ward dashboard taps Alice's raw event
+	// stream without any rule machinery (the bare Notifiable role).
+	alice, _ := db.Lookup("Alice")
+	unsub, err := db.SubscribeFunc(alice, "dashboard", func(occ sentinel.Occurrence) {
+		fmt.Printf("dashboard: %s(%v) from patient %s\n", occ.Method, occ.Args, occ.Source)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	script := []string{
+		`Alice!RecordVitals(38.2, 90)`,  // nobody watches Alice's fever yet
+		`Alice!Diagnose("influenza")`,   // triage subscribes the fever watch
+		`Alice!RecordVitals(39.4, 120)`, // now the physician gets paged
+		`Bob!RecordVitals(40.0, 140)`,   // Bob was never diagnosed: no page
+		`Bob!Diagnose("pneumonia")`,
+		`Bob!RecordVitals(39.9, 135)`,   // paged
+		`Alice!Diagnose("healthy")`,     // discharged: watch unsubscribed
+		`Alice!RecordVitals(39.5, 125)`, // no page any more
+	}
+	for _, s := range script {
+		if err := db.Exec(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	unsub()
+
+	fw := db.LookupRule("FeverWatch")
+	_, _, fired := fw.Stats()
+	fmt.Printf("\nFeverWatch paged %d time(s) — only while a diagnosis warranted monitoring\n", fired)
+}

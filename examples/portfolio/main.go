@@ -1,0 +1,121 @@
+// Portfolio: the paper's §2.1 motivating example, verbatim.
+//
+//	RULE Purchase :
+//	  WHEN IBM!SetPrice And DowJones!SetValue            /* Event */
+//	  IF   IBM!GetPrice < $80 and DowJones!Change < 3.4% /* Condition */
+//	  THEN Parker!PurchaseIBMStock                       /* Action */
+//
+// Three classes — Stock, FinancialInfo, Portfolio — are defined
+// independently; the Purchase rule monitors TWO objects of DIFFERENT
+// classes (the IBM stock and the DowJones index) through one conjunction
+// event and two runtime subscriptions. Neither class was edited to make
+// this possible: that is the external monitoring viewpoint.
+//
+// Run with: go run ./examples/portfolio
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentinel"
+)
+
+func main() {
+	db := sentinel.MustOpen(sentinel.Options{})
+	defer db.Close()
+
+	err := db.Exec(`
+		class Stock reactive persistent {
+			attr symbol string
+			attr price float
+			event end method SetPrice(price float) {
+				self.price := price
+			}
+			method GetPrice() float { return self.price }
+		}
+
+		class FinancialInfo reactive persistent {
+			attr name string
+			attr val float
+			attr change float
+			event end method SetValue(v float) {
+				if self.val != 0.0 {
+					self.change := (v - self.val) / self.val * 100.0
+				}
+				self.val := v
+			}
+			method Change() float { return self.change }
+		}
+
+		class Portfolio persistent {
+			attr owner string
+			attr shares int
+			attr cash float
+			method PurchaseIBMStock() {
+				let price := IBM!GetPrice()
+				if price * 100.0 > self.cash {
+					abort "cannot afford 100 shares"
+				}
+				self.shares := self.shares + 100
+				self.cash := self.cash - price * 100.0
+				print("Parker bought 100 IBM at", price, "| shares:", self.shares, "cash:", self.cash)
+			}
+		}
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Instances — created before anyone decided to monitor them.
+	err = db.Exec(`
+		bind IBM      new Stock(symbol: "IBM", price: 95.0)
+		bind DowJones new FinancialInfo(name: "DowJones", val: 10000.0)
+		bind Parker   new Portfolio(owner: "Parker", cash: 50000.0)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Purchase rule: a conjunction spanning two classes. Subscribing it
+	// to exactly the IBM and DowJones objects means price changes of OTHER
+	// stocks never even reach the rule.
+	err = db.Exec(`
+		rule Purchase
+			on end Stock::SetPrice(float price) and end FinancialInfo::SetValue(float v)
+			if IBM!GetPrice() < 80.0 and DowJones!Change() < 3.4
+			then Parker!PurchaseIBMStock()
+
+		subscribe Purchase to IBM
+		subscribe Purchase to DowJones
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	feed := []string{
+		`IBM!SetPrice(90.0)`,         // price still high: conjunction completes below only if cond holds
+		`DowJones!SetValue(10100.0)`, // +1% — but IBM at 90: condition false
+		`IBM!SetPrice(75.0)`,         // IBM below 80...
+		`DowJones!SetValue(10150.0)`, // +0.5% — both sides occurred, condition true: BUY
+		`IBM!SetPrice(70.0)`,         // below 80 again...
+		`DowJones!SetValue(11200.0)`, // +10.3% — too hot: condition false
+	}
+	for _, tick := range feed {
+		fmt.Println("tick:", tick)
+		if err := db.Exec(tick); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	r := db.LookupRule("Purchase")
+	received, signalled, fired := r.Stats()
+	fmt.Printf("\nPurchase rule: %d occurrences received, %d conjunctions detected, %d purchases\n",
+		received, signalled, fired)
+
+	shares, err := db.Eval(`Parker.shares`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Parker now holds", shares, "shares of IBM")
+}

@@ -1,0 +1,106 @@
+// Quickstart: the paper's running Employee/Manager example end to end.
+//
+// It shows the two halves of the Sentinel design:
+//
+//  1. a reactive class = a conventional class + an event interface
+//     (SetSalary is declared an end-of-method event generator), and
+//  2. rules as first-class objects that SUBSCRIBE to the objects they
+//     monitor at runtime — no class had to be edited to add them.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentinel"
+)
+
+func main() {
+	db := sentinel.MustOpen(sentinel.Options{})
+	defer db.Close()
+
+	// Define the schema in SentinelQL. The `event end` prefix on SetSalary
+	// is the event interface: invoking it raises an end-of-method event.
+	// GetName generates nothing — calling it never evaluates a rule.
+	err := db.Exec(`
+		class Employee reactive persistent {
+			attr name string
+			protected attr salary float
+			attr mgr Manager
+
+			event end method SetSalary(amount float) {
+				self.salary := amount
+			}
+			method Salary() float {
+				return self.salary
+			}
+			method GetName() string {
+				return self.name
+			}
+		}
+		class Manager extends Employee persistent { }
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A class-level rule (Fig. 9 style): applies to every Employee —
+	// including Managers, by inheritance — without any subscription
+	// bookkeeping. It aborts raises above 1,000,000.
+	err = db.Exec(`
+		rule SanityCap for Employee on end Employee::SetSalary(float amount)
+			if amount > 1000000.0
+			then abort "nobody earns that much here"
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Create objects and an instance-level rule (Fig. 10 style): Fred and
+	// his manager Mike must keep salaries in order. The rule is defined
+	// independently of both classes and subscribes to exactly these two
+	// objects.
+	err = db.Exec(`
+		let mike := new Manager(name: "Mike", salary: 2000.0)
+		let fred := new Employee(name: "Fred", salary: 1000.0, mgr: mike)
+		bind Mike mike
+		bind Fred fred
+
+		rule IncomeOrder on end Employee::SetSalary(float amount)
+			if Fred.salary >= Mike.salary
+			then {
+				print("adjusting Mike to stay ahead of Fred")
+				Mike!SetSalary(Fred.salary + 500.0)
+			}
+		subscribe IncomeOrder to fred
+
+		fred!SetSalary(1500.0)
+		print("fred:", Fred!Salary(), " mike:", Mike!Salary())
+		fred!SetSalary(2500.0)
+		print("fred:", Fred!Salary(), " mike:", Mike!Salary())
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The class-level cap blocks absurd raises and rolls the whole
+	// transaction back.
+	err = db.Exec(`Fred!SetSalary(2000000.0)`)
+	if !sentinel.IsAbort(err) {
+		log.Fatalf("expected the SanityCap rule to abort, got %v", err)
+	}
+	fmt.Println("SanityCap aborted the raise:", err)
+
+	// Fred's salary is untouched by the aborted transaction.
+	v, err := db.Eval(`Fred!Salary()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fred's salary after the aborted raise:", v)
+
+	s := db.Stats()
+	fmt.Printf("stats: %d sends, %d events raised, %d rule actions\n",
+		s.Sends, s.EventsRaised, s.ActionsRun)
+}

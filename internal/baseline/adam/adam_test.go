@@ -1,0 +1,217 @@
+package adam_test
+
+import (
+	"io"
+	"testing"
+
+	"sentinel/internal/baseline/adam"
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/rule"
+	"sentinel/internal/value"
+)
+
+func setup(t *testing.T) (*core.Database, *adam.System, *bench.Org) {
+	t.Helper()
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	if err := bench.InstallOrgSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	org, err := bench.BuildOrg(db, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := adam.New(db)
+	if err := db.Atomically(func(tx *core.Tx) error { return sys.EnrollClass(tx, "Employee") }); err != nil {
+		t.Fatal(err)
+	}
+	return db, sys, org
+}
+
+func TestRuntimeRuleCreation(t *testing.T) {
+	db, sys, org := setup(t)
+	fired := 0
+	if err := sys.NewRule(&adam.Rule{
+		Name: "watch", ActiveClass: "Employee", ActiveMethod: "SetSalary",
+		When: event.End, Enabled: true,
+		Act: func(ctx rule.ExecContext, occ event.Occurrence) error {
+			fired++
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, org.Employees[0], "SetSalary", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// Duplicate names rejected; delete works.
+	if err := sys.NewRule(&adam.Rule{Name: "watch", ActiveClass: "Employee"}); err == nil {
+		t.Fatal("duplicate rule accepted")
+	}
+	if err := sys.DeleteRule("watch"); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Rule("watch") != nil || sys.RuleCount() != 0 {
+		t.Fatal("delete failed")
+	}
+	if err := sys.DeleteRule("watch"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestCentralizedCheckingCostsScaleWithRuleBase(t *testing.T) {
+	db, sys, org := setup(t)
+	// 10 rules for an unrelated method still get examined on every event —
+	// the §3.5 cost Sentinel's subscriptions avoid.
+	for i := 0; i < 10; i++ {
+		if err := sys.NewRule(&adam.Rule{
+			Name: "idle-" + string(rune('a'+i)), ActiveClass: "Employee",
+			ActiveMethod: "ChangeIncome", When: event.End, Enabled: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := sys.Checked()
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, org.Employees[0], "SetSalary", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Checked() - before; got != 10 {
+		t.Fatalf("checked %d rules, want all 10 (centralized)", got)
+	}
+}
+
+func TestRuleInheritanceAppliesToSubclasses(t *testing.T) {
+	db, sys, org := setup(t)
+	if err := db.Atomically(func(tx *core.Tx) error { return sys.EnrollClass(tx, "Manager") }); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	if err := sys.NewRule(&adam.Rule{
+		Name: "empRule", ActiveClass: "Employee", ActiveMethod: "SetSalary",
+		When: event.End, Enabled: true,
+		Act: func(ctx rule.ExecContext, occ event.Occurrence) error {
+			fired++
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A Manager event triggers the Employee rule (rule inheritance).
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, org.Managers[0], "SetSalary", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("inherited rule fired %d times", fired)
+	}
+}
+
+func TestDisabledForFiltersInstancesAfterDispatch(t *testing.T) {
+	db, sys, org := setup(t)
+	fired := 0
+	if err := sys.NewRule(&adam.Rule{
+		Name: "r", ActiveClass: "Employee", ActiveMethod: "SetSalary",
+		When: event.End, Enabled: true,
+		Act: func(ctx rule.ExecContext, occ event.Occurrence) error {
+			fired++
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DisableFor("r", org.Employees[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Checked()
+	send := func(i int) {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			_, err := db.Send(tx, org.Employees[i], "SetSalary", value.Float(1))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(0) // disabled-for: filtered AFTER dispatch
+	send(1) // fires
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// Crucially the rule was still CHECKED for the disabled instance — the
+	// event reached the matcher both times.
+	if got := sys.Checked() - before; got != 2 {
+		t.Fatalf("checked = %d, want 2", got)
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	db, sys, org := setup(t)
+	fired := 0
+	if err := sys.NewRule(&adam.Rule{
+		Name: "r", ActiveClass: "Employee", ActiveMethod: "SetSalary",
+		When: event.End, Enabled: false,
+		Act: func(ctx rule.ExecContext, occ event.Occurrence) error {
+			fired++
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	send := func() {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			_, err := db.Send(tx, org.Employees[0], "SetSalary", value.Float(1))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send()
+	if fired != 0 {
+		t.Fatal("disabled rule fired")
+	}
+	if err := sys.SetEnabled("r", true); err != nil {
+		t.Fatal(err)
+	}
+	send()
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if err := sys.SetEnabled("zzz", true); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+func TestAbortingRule(t *testing.T) {
+	db, sys, org := setup(t)
+	if err := sys.NewRule(&adam.Rule{
+		Name: "guard", ActiveClass: "Employee", ActiveMethod: "SetSalary",
+		When: event.End, Enabled: true,
+		Cond: func(ctx rule.ExecContext, occ event.Occurrence) (bool, error) {
+			f, _ := occ.Args[0].Numeric()
+			return f < 0, nil
+		},
+		Act: func(ctx rule.ExecContext, occ event.Occurrence) error {
+			return ctx.Abort("negative salary")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, org.Employees[0], "SetSalary", value.Float(-1))
+		return err
+	})
+	if !core.IsAbort(err) {
+		t.Fatalf("guard: %v", err)
+	}
+}

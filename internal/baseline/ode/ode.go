@@ -1,0 +1,252 @@
+// Package ode reimplements the rule mechanism of Ode (Gehani & Jagadish,
+// AT&T Bell Labs) as the paper characterizes it, to serve as the
+// compile-time-endpoint baseline in the comparison of §5–§7:
+//
+//   - Constraints and triggers are declared ONLY inside class definitions
+//     ("specification of (parameterized) rules only at the class definition
+//     time").
+//   - A rule is checked after every mutator method of ITS OWN class; events
+//     spanning distinct classes cannot be expressed, so a cross-class rule
+//     like Salary-check translates into two complementary constraints, one
+//     per class (Fig. 11).
+//   - Adding, removing or changing a rule requires rebuilding the class
+//     definition ("changing the rules defined for objects requires the
+//     modification of class definitions and thus recompiling the system") —
+//     modeled by RebuildClass, which reconstructs the class and touches
+//     every live instance.
+//   - Hard constraints abort the violating transaction; soft constraints
+//     run a handler.
+//
+// The baseline shares the core Database substrate so measured differences
+// come from the rule mechanism, not the storage engine.
+package ode
+
+import (
+	"fmt"
+	"sync"
+
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+)
+
+// Severity distinguishes Ode's hard and soft constraints.
+type Severity uint8
+
+const (
+	// Hard constraints abort the transaction on violation.
+	Hard Severity = iota
+	// Soft constraints invoke their handler on violation.
+	Soft
+)
+
+// Constraint is a predicate over an instance, declared with the class. The
+// predicate must hold after every mutator; Handler runs for violated soft
+// constraints (nil Handler = no-op).
+type Constraint struct {
+	Name     string
+	Severity Severity
+	// Pred returns true when the instance satisfies the constraint.
+	Pred func(ctx rule.ExecContext, self oid.OID) (bool, error)
+	// Handler runs for violated soft constraints.
+	Handler func(ctx rule.ExecContext, self oid.OID) error
+}
+
+// Trigger is an Ode trigger: a condition checked after mutators, firing an
+// action (once or perpetually; this model re-arms automatically, i.e.
+// perpetual).
+type Trigger struct {
+	Name string
+	Cond func(ctx rule.ExecContext, self oid.OID) (bool, error)
+	Act  func(ctx rule.ExecContext, self oid.OID) error
+}
+
+// ClassRules is the rule section of one class definition.
+type ClassRules struct {
+	Class       string
+	Constraints []Constraint
+	Triggers    []Trigger
+}
+
+// System is the Ode-style rule engine bolted onto a core database. Classes
+// enroll with EnrollClass, which subscribes a checker to every mutator
+// event of that class; the checker evaluates ALL of the class's constraints
+// and triggers after EVERY mutator — the per-class, declaration-bound shape
+// the paper contrasts with Sentinel's subscriptions.
+type System struct {
+	db *core.Database
+
+	mu       sync.Mutex
+	byClass  map[string]*ClassRules
+	rulesFor map[string]*rule.Rule // class -> the checker rule object
+	rebuilds int
+	checks   int
+}
+
+// New wraps a database with the Ode-style engine.
+func New(db *core.Database) *System {
+	return &System{
+		db:       db,
+		byClass:  make(map[string]*ClassRules),
+		rulesFor: make(map[string]*rule.Rule),
+	}
+}
+
+// Checks returns the number of constraint/trigger evaluations performed.
+func (s *System) Checks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checks
+}
+
+// Rebuilds returns how many times a class definition had to be rebuilt.
+func (s *System) Rebuilds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuilds
+}
+
+// EnrollClass installs the rule section of a class. The class must already
+// be registered with the database and be reactive (every mutator must be an
+// event generator, since Ode instruments all member functions that can
+// violate constraints).
+func (s *System) EnrollClass(t *core.Tx, cr ClassRules) error {
+	cls := s.db.Registry().Lookup(cr.Class)
+	if cls == nil {
+		return fmt.Errorf("ode: unknown class %q", cr.Class)
+	}
+	if !cls.Reactive() {
+		return fmt.Errorf("ode: class %q must be reactive so mutators can be instrumented", cr.Class)
+	}
+	s.mu.Lock()
+	if _, dup := s.byClass[cr.Class]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("ode: class %q already has a rule section (rebuild the class to change it)", cr.Class)
+	}
+	crCopy := cr
+	s.byClass[cr.Class] = &crCopy
+	s.mu.Unlock()
+
+	// One class-level checker rule triggered by every eom event of the
+	// class's event interface, evaluating the whole rule section.
+	var ev *event.Expr
+	for _, m := range cls.EventInterface() {
+		var prim *event.Expr
+		if m.EventGen.End() {
+			prim = event.Primitive(event.End, cr.Class, m.Name)
+		} else {
+			prim = event.Primitive(event.Begin, cr.Class, m.Name)
+		}
+		if ev == nil {
+			ev = prim
+		} else {
+			ev = event.Or(ev, prim)
+		}
+	}
+	if ev == nil {
+		return fmt.Errorf("ode: class %q declares no event-generating methods", cr.Class)
+	}
+	r, err := s.db.CreateRule(t, core.RuleSpec{
+		Name:       "__ode_" + cr.Class,
+		Event:      ev,
+		Action:     s.checkAction(cr.Class),
+		Coupling:   "immediate",
+		ClassLevel: cr.Class,
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.rulesFor[cr.Class] = r
+	s.mu.Unlock()
+	return nil
+}
+
+// checkAction evaluates every constraint and trigger of the class against
+// the instance that generated the event.
+func (s *System) checkAction(class string) rule.Action {
+	return func(ctx rule.ExecContext, det event.Detection) error {
+		self := det.Last().Source
+		s.mu.Lock()
+		cr := s.byClass[class]
+		s.mu.Unlock()
+		if cr == nil {
+			return nil
+		}
+		for i := range cr.Constraints {
+			c := &cr.Constraints[i]
+			s.mu.Lock()
+			s.checks++
+			s.mu.Unlock()
+			ok, err := c.Pred(ctx, self)
+			if err != nil {
+				return err
+			}
+			if ok {
+				continue
+			}
+			if c.Severity == Hard {
+				return ctx.Abort(fmt.Sprintf("ode: hard constraint %s violated on %s", c.Name, self))
+			}
+			if c.Handler != nil {
+				if err := c.Handler(ctx, self); err != nil {
+					return err
+				}
+			}
+		}
+		for i := range cr.Triggers {
+			tr := &cr.Triggers[i]
+			s.mu.Lock()
+			s.checks++
+			s.mu.Unlock()
+			fire, err := tr.Cond(ctx, self)
+			if err != nil {
+				return err
+			}
+			if fire {
+				if err := tr.Act(ctx, self); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// RebuildClass models Ode's cost of changing rules at runtime: rules live
+// in the class definition, so changing them means recompiling the class and
+// revalidating/patching every stored instance. The rule section is replaced
+// and every live instance of the class is visited (read and version-bumped)
+// inside the transaction.
+func (s *System) RebuildClass(t *core.Tx, cr ClassRules) error {
+	s.mu.Lock()
+	old := s.rulesFor[cr.Class]
+	delete(s.byClass, cr.Class)
+	delete(s.rulesFor, cr.Class)
+	s.rebuilds++
+	s.mu.Unlock()
+	if old != nil {
+		if err := s.db.DeleteRule(t, old.Name()); err != nil {
+			return err
+		}
+	}
+	// Touch every instance: the "previously stored instances of changed
+	// classes" cost the paper calls out (§2).
+	cls := s.db.Registry().Lookup(cr.Class)
+	if cls == nil {
+		return fmt.Errorf("ode: unknown class %q", cr.Class)
+	}
+	for _, id := range s.db.InstancesOf(cr.Class) {
+		for _, a := range cls.Attributes() {
+			v, err := s.db.GetSys(t, id, a.Name)
+			if err != nil {
+				return err
+			}
+			if err := s.db.SetSys(t, id, a.Name, v); err != nil {
+				return err
+			}
+		}
+	}
+	return s.EnrollClass(t, cr)
+}

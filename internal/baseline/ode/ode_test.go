@@ -1,0 +1,213 @@
+package ode_test
+
+import (
+	"io"
+	"testing"
+
+	"sentinel/internal/baseline/ode"
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/value"
+)
+
+func setup(t *testing.T) (*core.Database, *ode.System, *bench.Org) {
+	t.Helper()
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	if err := bench.InstallOrgSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	org, err := bench.BuildOrg(db, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, ode.New(db), org
+}
+
+func TestHardConstraintAborts(t *testing.T) {
+	db, sys, org := setup(t)
+	err := db.Atomically(func(tx *core.Tx) error {
+		return sys.EnrollClass(tx, ode.ClassRules{
+			Class: "Employee",
+			Constraints: []ode.Constraint{{
+				Name:     "nonNegative",
+				Severity: ode.Hard,
+				Pred: func(ctx rule.ExecContext, self oid.OID) (bool, error) {
+					v, err := ctx.GetAttr(self, "salary")
+					if err != nil {
+						return false, err
+					}
+					f, _ := v.Numeric()
+					return f >= 0, nil
+				},
+			}},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A violating mutator aborts its transaction.
+	err = db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, org.Employees[0], "SetSalary", value.Float(-5))
+		return err
+	})
+	if !core.IsAbort(err) {
+		t.Fatalf("hard constraint: %v", err)
+	}
+	// The state rolled back.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		v, err := db.GetSys(tx, org.Employees[0], "salary")
+		if err != nil {
+			return err
+		}
+		if f, _ := v.Numeric(); f != 1000 {
+			t.Errorf("salary = %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A valid mutator passes.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, org.Employees[0], "SetSalary", value.Float(5))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Checks() == 0 {
+		t.Fatal("no checks recorded")
+	}
+}
+
+func TestSoftConstraintHandler(t *testing.T) {
+	db, sys, org := setup(t)
+	handled := 0
+	err := db.Atomically(func(tx *core.Tx) error {
+		return sys.EnrollClass(tx, ode.ClassRules{
+			Class: "Employee",
+			Constraints: []ode.Constraint{{
+				Name:     "soft",
+				Severity: ode.Soft,
+				Pred: func(ctx rule.ExecContext, self oid.OID) (bool, error) {
+					return false, nil // always violated
+				},
+				Handler: func(ctx rule.ExecContext, self oid.OID) error {
+					handled++
+					return nil
+				},
+			}},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, org.Employees[0], "SetSalary", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatalf("soft constraint aborted: %v", err)
+	}
+	if handled != 1 {
+		t.Fatalf("handler ran %d times", handled)
+	}
+}
+
+func TestTriggers(t *testing.T) {
+	db, sys, org := setup(t)
+	fired := 0
+	err := db.Atomically(func(tx *core.Tx) error {
+		return sys.EnrollClass(tx, ode.ClassRules{
+			Class: "Employee",
+			Triggers: []ode.Trigger{{
+				Name: "bigRaise",
+				Cond: func(ctx rule.ExecContext, self oid.OID) (bool, error) {
+					v, err := ctx.GetAttr(self, "salary")
+					if err != nil {
+						return false, err
+					}
+					f, _ := v.Numeric()
+					return f > 5000, nil
+				},
+				Act: func(ctx rule.ExecContext, self oid.OID) error {
+					fired++
+					return nil
+				},
+			}},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(amt float64) {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			_, err := db.Send(tx, org.Employees[0], "SetSalary", value.Float(amt))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(100)
+	if fired != 0 {
+		t.Fatal("trigger fired below threshold")
+	}
+	send(9000)
+	if fired != 1 {
+		t.Fatalf("trigger fired %d times", fired)
+	}
+	// Perpetual: re-arms automatically.
+	send(9500)
+	if fired != 2 {
+		t.Fatalf("trigger fired %d times", fired)
+	}
+}
+
+func TestRuleChangeRequiresRebuild(t *testing.T) {
+	db, sys, org := setup(t)
+	section := func(name string) ode.ClassRules {
+		return ode.ClassRules{
+			Class: "Employee",
+			Constraints: []ode.Constraint{{
+				Name: name, Severity: ode.Soft,
+				Pred: func(rule.ExecContext, oid.OID) (bool, error) { return true, nil },
+			}},
+		}
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return sys.EnrollClass(tx, section("v1")) }); err != nil {
+		t.Fatal(err)
+	}
+	// A second enrollment of the same class is rejected: rules live in the
+	// class definition.
+	err := db.Atomically(func(tx *core.Tx) error { return sys.EnrollClass(tx, section("v2")) })
+	if err == nil {
+		t.Fatal("double enrollment accepted")
+	}
+	// RebuildClass replaces the section and touches every instance.
+	if err := db.Atomically(func(tx *core.Tx) error { return sys.RebuildClass(tx, section("v2")) }); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Rebuilds() != 1 {
+		t.Fatalf("rebuilds = %d", sys.Rebuilds())
+	}
+	_ = org
+}
+
+func TestEnrollErrors(t *testing.T) {
+	db, sys, _ := setup(t)
+	err := db.Atomically(func(tx *core.Tx) error {
+		return sys.EnrollClass(tx, ode.ClassRules{Class: "Nope"})
+	})
+	if err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	// Portfolio is passive — cannot be instrumented.
+	if err := bench.InstallMarketSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	err = db.Atomically(func(tx *core.Tx) error {
+		return sys.EnrollClass(tx, ode.ClassRules{Class: "Portfolio"})
+	})
+	if err == nil {
+		t.Fatal("passive class accepted")
+	}
+}

@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"fmt"
+
+	"sentinel/internal/core"
+	"sentinel/internal/oid"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+// InstallOrgSchema registers the Person/Employee/Manager hierarchy used by
+// the paper's running examples (Figs. 8–13): Person is reactive with Marry
+// as a bom event generator; Employee adds salary methods (eom generators);
+// Manager extends Employee.
+func InstallOrgSchema(db *core.Database) error {
+	person := schema.NewClass("Person")
+	person.Classification = schema.ReactiveClass
+	person.Persistent = true
+	person.Attr("name", value.TypeString)
+	person.Attr("sex", value.TypeString)
+	person.AddAttribute(&schema.Attribute{Name: "spouse", Type: value.TypeRef("Person"), Visibility: schema.Public})
+	person.AddMethod(&schema.Method{
+		Name:       "Marry",
+		Params:     []schema.Param{{Name: "spouse", Type: value.TypeRef("Person")}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenBegin, // Fig. 9: event begin Marry(Person* spouse)
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			if err := ctx.Set("spouse", ctx.Arg(0)); err != nil {
+				return value.Nil, err
+			}
+			other, _ := ctx.Arg(0).AsRef()
+			// Symmetric link (does not re-raise Marry on the other side to
+			// keep Fig. 9 semantics simple).
+			return value.Nil, ctx.SetOf(other, "spouse", value.Ref(ctx.Self()))
+		},
+	})
+	if err := db.RegisterClass(person); err != nil {
+		return err
+	}
+
+	employee := schema.NewClass("Employee", person)
+	employee.Persistent = true
+	employee.AddAttribute(&schema.Attribute{Name: "salary", Type: value.TypeFloat, Visibility: schema.Protected})
+	employee.AddAttribute(&schema.Attribute{Name: "mgr", Type: value.TypeRef("Manager"), Visibility: schema.Public})
+	employee.AddMethod(&schema.Method{
+		Name:       "SetSalary",
+		Params:     []schema.Param{{Name: "amount", Type: value.TypeFloat}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("salary", ctx.Arg(0))
+		},
+	})
+	employee.AddMethod(&schema.Method{
+		Name:       "ChangeIncome",
+		Params:     []schema.Param{{Name: "amount", Type: value.TypeFloat}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd, // Fig. 10
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("salary", ctx.Arg(0))
+		},
+	})
+	employee.AddMethod(&schema.Method{
+		Name:       "Salary",
+		Returns:    value.TypeFloat,
+		Visibility: schema.Public,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return ctx.Get("salary")
+		},
+	})
+	if err := db.RegisterClass(employee); err != nil {
+		return err
+	}
+
+	manager := schema.NewClass("Manager", employee)
+	manager.Persistent = true
+	if err := db.RegisterClass(manager); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Org is a generated employee/manager population.
+type Org struct {
+	Managers  []oid.OID
+	Employees []oid.OID
+}
+
+// BuildOrg creates nManagers managers and nEmployees employees, assigning
+// each employee a manager round-robin. Managers start at salary 2000,
+// employees at 1000.
+func BuildOrg(db *core.Database, nManagers, nEmployees int) (*Org, error) {
+	org := &Org{}
+	err := db.Atomically(func(t *core.Tx) error {
+		for i := 0; i < nManagers; i++ {
+			id, err := db.NewObject(t, "Manager", map[string]value.Value{
+				"name":   value.Str(fmt.Sprintf("mgr-%d", i)),
+				"salary": value.Float(2000),
+			})
+			if err != nil {
+				return err
+			}
+			org.Managers = append(org.Managers, id)
+		}
+		for i := 0; i < nEmployees; i++ {
+			inits := map[string]value.Value{
+				"name":   value.Str(fmt.Sprintf("emp-%d", i)),
+				"salary": value.Float(1000),
+			}
+			if nManagers > 0 {
+				inits["mgr"] = value.Ref(org.Managers[i%nManagers])
+			}
+			id, err := db.NewObject(t, "Employee", inits)
+			if err != nil {
+				return err
+			}
+			org.Employees = append(org.Employees, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return org, nil
+}
+
+// InstallMarketSchema registers the Stock/FinancialInfo/Portfolio classes
+// of §2.1.
+func InstallMarketSchema(db *core.Database) error {
+	stock := schema.NewClass("Stock")
+	stock.Classification = schema.ReactiveClass
+	stock.Persistent = true
+	stock.Attr("symbol", value.TypeString)
+	stock.Attr("price", value.TypeFloat)
+	stock.AddMethod(&schema.Method{
+		Name:       "SetPrice",
+		Params:     []schema.Param{{Name: "price", Type: value.TypeFloat}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("price", ctx.Arg(0))
+		},
+	})
+	stock.AddMethod(&schema.Method{
+		Name:       "GetPrice",
+		Returns:    value.TypeFloat,
+		Visibility: schema.Public,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return ctx.Get("price")
+		},
+	})
+	if err := db.RegisterClass(stock); err != nil {
+		return err
+	}
+
+	fin := schema.NewClass("FinancialInfo")
+	fin.Classification = schema.ReactiveClass
+	fin.Persistent = true
+	fin.Attr("name", value.TypeString)
+	fin.Attr("val", value.TypeFloat)
+	fin.Attr("change", value.TypeFloat)
+	fin.AddMethod(&schema.Method{
+		Name:       "SetValue",
+		Params:     []schema.Param{{Name: "v", Type: value.TypeFloat}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			old, err := ctx.Get("val")
+			if err != nil {
+				return value.Nil, err
+			}
+			ov, _ := old.Numeric()
+			nv, _ := ctx.Arg(0).Numeric()
+			change := 0.0
+			if ov != 0 {
+				change = (nv - ov) / ov * 100
+			}
+			if err := ctx.Set("change", value.Float(change)); err != nil {
+				return value.Nil, err
+			}
+			return value.Nil, ctx.Set("val", ctx.Arg(0))
+		},
+	})
+	if err := db.RegisterClass(fin); err != nil {
+		return err
+	}
+
+	pf := schema.NewClass("Portfolio")
+	pf.Persistent = true
+	pf.Attr("owner", value.TypeString)
+	pf.Attr("holdings", value.TypeInt)
+	pf.Attr("cash", value.TypeFloat)
+	pf.AddMethod(&schema.Method{
+		Name:       "Purchase",
+		Params:     []schema.Param{{Name: "stock", Type: value.TypeRef("Stock")}, {Name: "qty", Type: value.TypeInt}},
+		Visibility: schema.Public,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			st, _ := ctx.Arg(0).AsRef()
+			priceV, err := ctx.Send(st, "GetPrice")
+			if err != nil {
+				return value.Nil, err
+			}
+			price, _ := priceV.Numeric()
+			qty, _ := ctx.Arg(1).AsInt()
+			cashV, err := ctx.Get("cash")
+			if err != nil {
+				return value.Nil, err
+			}
+			cash, _ := cashV.Numeric()
+			cost := price * float64(qty)
+			if cost > cash {
+				return value.Nil, ctx.Abort(fmt.Sprintf("portfolio cannot afford %d shares at %.2f", qty, price))
+			}
+			hv, _ := ctx.Get("holdings")
+			h, _ := hv.AsInt()
+			if err := ctx.Set("holdings", value.Int(h+qty)); err != nil {
+				return value.Nil, err
+			}
+			return value.Nil, ctx.Set("cash", value.Float(cash-cost))
+		},
+	})
+	return db.RegisterClass(pf)
+}
+
+// Market is a generated stock/portfolio population.
+type Market struct {
+	Stocks     []oid.OID
+	DowJones   oid.OID
+	Portfolios []oid.OID
+}
+
+// BuildMarket creates nStocks stocks (at price 100), one DowJones
+// FinancialInfo object, and nPortfolios portfolios with 1e6 cash.
+func BuildMarket(db *core.Database, nStocks, nPortfolios int) (*Market, error) {
+	m := &Market{}
+	err := db.Atomically(func(t *core.Tx) error {
+		for i := 0; i < nStocks; i++ {
+			id, err := db.NewObject(t, "Stock", map[string]value.Value{
+				"symbol": value.Str(fmt.Sprintf("STK%04d", i)),
+				"price":  value.Float(100),
+			})
+			if err != nil {
+				return err
+			}
+			m.Stocks = append(m.Stocks, id)
+		}
+		dj, err := db.NewObject(t, "FinancialInfo", map[string]value.Value{
+			"name": value.Str("DowJones"),
+			"val":  value.Float(10000),
+		})
+		if err != nil {
+			return err
+		}
+		m.DowJones = dj
+		for i := 0; i < nPortfolios; i++ {
+			id, err := db.NewObject(t, "Portfolio", map[string]value.Value{
+				"owner": value.Str(fmt.Sprintf("owner-%d", i)),
+				"cash":  value.Float(1e6),
+			})
+			if err != nil {
+				return err
+			}
+			m.Portfolios = append(m.Portfolios, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// InstallPatientSchema registers the patient-monitoring classes of the §2.1
+// motivation: patients are defined (and instantiated) before anyone knows
+// who will monitor them.
+func InstallPatientSchema(db *core.Database) error {
+	patient := schema.NewClass("Patient")
+	patient.Classification = schema.ReactiveClass
+	patient.Persistent = true
+	patient.Attr("name", value.TypeString)
+	patient.Attr("temperature", value.TypeFloat)
+	patient.Attr("heartRate", value.TypeInt)
+	patient.Attr("diagnosis", value.TypeString)
+	patient.AddMethod(&schema.Method{
+		Name:       "RecordVitals",
+		Params:     []schema.Param{{Name: "temp", Type: value.TypeFloat}, {Name: "hr", Type: value.TypeInt}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			if err := ctx.Set("temperature", ctx.Arg(0)); err != nil {
+				return value.Nil, err
+			}
+			return value.Nil, ctx.Set("heartRate", ctx.Arg(1))
+		},
+	})
+	patient.AddMethod(&schema.Method{
+		Name:       "Diagnose",
+		Params:     []schema.Param{{Name: "dx", Type: value.TypeString}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("diagnosis", ctx.Arg(0))
+		},
+	})
+	return db.RegisterClass(patient)
+}

@@ -1,0 +1,239 @@
+// Package buffer implements a fixed-capacity buffer pool over a page file,
+// with pin counting, dirty tracking, and clock (second-chance) eviction.
+package buffer
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"sentinel/internal/page"
+)
+
+// PageFile is the backing store the pool reads and writes pages through.
+type PageFile interface {
+	ReadPage(id page.ID, buf []byte) error
+	WritePage(id page.ID, buf []byte) error
+	NumPages() page.ID
+	AllocPage() (page.ID, error)
+	Sync() error
+}
+
+// File is the default PageFile over an *os.File.
+type File struct {
+	f     *os.File
+	pages page.ID
+}
+
+// OpenFile opens (creating if needed) a page file at path.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("buffer: open page file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("buffer: stat page file: %w", err)
+	}
+	if st.Size()%page.Size != 0 {
+		f.Close()
+		return nil, fmt.Errorf("buffer: page file %s has size %d, not a multiple of %d",
+			path, st.Size(), page.Size)
+	}
+	return &File{f: f, pages: page.ID(st.Size() / page.Size)}, nil
+}
+
+// ReadPage reads page id into buf.
+func (pf *File) ReadPage(id page.ID, buf []byte) error {
+	_, err := pf.f.ReadAt(buf, int64(id)*page.Size)
+	if err != nil {
+		return fmt.Errorf("buffer: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage writes buf to page id.
+func (pf *File) WritePage(id page.ID, buf []byte) error {
+	_, err := pf.f.WriteAt(buf, int64(id)*page.Size)
+	if err != nil {
+		return fmt.Errorf("buffer: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// NumPages returns the number of allocated pages.
+func (pf *File) NumPages() page.ID { return pf.pages }
+
+// AllocPage extends the file by one zeroed page and returns its id.
+func (pf *File) AllocPage() (page.ID, error) {
+	id := pf.pages
+	zero := make([]byte, page.Size)
+	page.Wrap(zero).Init()
+	if err := pf.WritePage(id, zero); err != nil {
+		return 0, err
+	}
+	pf.pages++
+	return id, nil
+}
+
+// Sync flushes the file to stable storage.
+func (pf *File) Sync() error { return pf.f.Sync() }
+
+// Close closes the file.
+func (pf *File) Close() error { return pf.f.Close() }
+
+type frame struct {
+	id     page.ID
+	buf    []byte
+	pins   int
+	dirty  bool
+	ref    bool // clock reference bit
+	loaded bool
+}
+
+// Pool is the buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	pf     PageFile
+	frames []*frame
+	index  map[page.ID]int // page id -> frame index
+
+	// Stats
+	hits, misses, evictions uint64
+}
+
+// NewPool creates a pool with the given number of frames (minimum 4).
+func NewPool(pf PageFile, capacity int) *Pool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	p := &Pool{pf: pf, index: make(map[page.ID]int, capacity)}
+	p.frames = make([]*frame, capacity)
+	for i := range p.frames {
+		p.frames[i] = &frame{buf: make([]byte, page.Size)}
+	}
+	return p
+}
+
+// Stats returns (hits, misses, evictions).
+func (p *Pool) Stats() (hits, misses, evictions uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.evictions
+}
+
+// Pin fetches the page into the pool and pins it, returning the wrapped
+// page. The caller must Unpin it (marking dirty if modified).
+func (p *Pool) Pin(id page.ID) (*page.Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if fi, ok := p.index[id]; ok {
+		f := p.frames[fi]
+		f.pins++
+		f.ref = true
+		p.hits++
+		return page.Wrap(f.buf), nil
+	}
+	p.misses++
+	fi, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := p.frames[fi]
+	if f.loaded {
+		if f.dirty {
+			if err := p.pf.WritePage(f.id, f.buf); err != nil {
+				return nil, err
+			}
+		}
+		delete(p.index, f.id)
+		p.evictions++
+	}
+	if err := p.pf.ReadPage(id, f.buf); err != nil {
+		f.loaded = false
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.ref = true
+	f.loaded = true
+	p.index[id] = fi
+	return page.Wrap(f.buf), nil
+}
+
+// Unpin releases one pin; dirty marks the page modified.
+func (p *Pool) Unpin(id page.ID, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fi, ok := p.index[id]
+	if !ok {
+		return
+	}
+	f := p.frames[fi]
+	if f.pins > 0 {
+		f.pins--
+	}
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// victimLocked finds an unpinned frame by the clock algorithm.
+func (p *Pool) victimLocked() (int, error) {
+	// First pass: any unloaded frame.
+	for i, f := range p.frames {
+		if !f.loaded {
+			return i, nil
+		}
+	}
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		i := sweep % len(p.frames)
+		f := p.frames[i]
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		return i, nil
+	}
+	// Final pass ignoring reference bits.
+	for i, f := range p.frames {
+		if f.pins == 0 {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("buffer: all %d frames pinned", len(p.frames))
+}
+
+// FlushAll writes every dirty page back and syncs the page file.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.loaded && f.dirty {
+			if err := p.pf.WritePage(f.id, f.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return p.pf.Sync()
+}
+
+// Alloc extends the backing file by one page.
+func (p *Pool) Alloc() (page.ID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pf.AllocPage()
+}
+
+// NumPages returns the number of pages in the backing file.
+func (p *Pool) NumPages() page.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pf.NumPages()
+}

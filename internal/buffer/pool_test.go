@@ -1,0 +1,165 @@
+package buffer
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sentinel/internal/page"
+)
+
+func openTempFile(t *testing.T) *File {
+	t.Helper()
+	pf, err := OpenFile(filepath.Join(t.TempDir(), "pages.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return pf
+}
+
+func TestFileAllocReadWrite(t *testing.T) {
+	pf := openTempFile(t)
+	if pf.NumPages() != 0 {
+		t.Fatal("fresh file has pages")
+	}
+	id, err := pf.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 || pf.NumPages() != 1 {
+		t.Fatalf("alloc: id=%d pages=%d", id, pf.NumPages())
+	}
+	buf := make([]byte, page.Size)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := pf.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, page.Size)
+	if err := pf.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Fatal("read != write")
+	}
+}
+
+func TestPoolHitMiss(t *testing.T) {
+	pf := openTempFile(t)
+	pool := NewPool(pf, 8)
+	id, _ := pool.Alloc()
+	if _, err := pool.Pin(id); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(id, false)
+	if _, err := pool.Pin(id); err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(id, false)
+	hits, misses, _ := pool.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestEvictionWritesBackDirtyPages(t *testing.T) {
+	pf := openTempFile(t)
+	pool := NewPool(pf, 4)
+	// Create 12 pages, write a distinct marker into each through the pool.
+	var ids []page.ID
+	for i := 0; i < 12; i++ {
+		id, err := pool.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		pg, err := pool.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Init()
+		if _, ok := pg.Insert([]byte(fmt.Sprintf("marker-%d", i))); !ok {
+			t.Fatal("insert failed")
+		}
+		pool.Unpin(id, true)
+	}
+	// Everything must read back correctly even though only 4 frames exist.
+	for i, id := range ids {
+		pg, err := pool.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, ok := pg.Read(0)
+		if !ok || string(rec) != fmt.Sprintf("marker-%d", i) {
+			t.Fatalf("page %d: %q, %v", id, rec, ok)
+		}
+		pool.Unpin(id, false)
+	}
+	_, _, evictions := pool.Stats()
+	if evictions == 0 {
+		t.Fatal("expected evictions with 4 frames and 12 pages")
+	}
+}
+
+func TestAllFramesPinnedErrors(t *testing.T) {
+	pf := openTempFile(t)
+	pool := NewPool(pf, 4)
+	for i := 0; i < 4; i++ {
+		id, _ := pool.Alloc()
+		if _, err := pool.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra, _ := pool.Alloc()
+	if _, err := pool.Pin(extra); err == nil {
+		t.Fatal("pinning a 5th page with 4 pinned frames should fail")
+	}
+}
+
+func TestFlushAllPersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.dat")
+	pf, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(pf, 4)
+	id, _ := pool.Alloc()
+	pg, _ := pool.Pin(id)
+	pg.Init()
+	pg.Insert([]byte("durable"))
+	pool.Unpin(id, true)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	pf2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf2.Close()
+	buf := make([]byte, page.Size)
+	if err := pf2.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := page.Wrap(buf).Read(0)
+	if !ok || string(rec) != "durable" {
+		t.Fatalf("after reopen: %q, %v", rec, ok)
+	}
+}
+
+func TestOpenRejectsMisalignedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.dat")
+	if err := os.WriteFile(path, make([]byte, page.Size+10), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path); err == nil {
+		t.Fatal("misaligned file accepted")
+	}
+}

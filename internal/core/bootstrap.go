@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+// System class names. Instances of these classes back the first-class
+// citizens of the rule system — rules, events, subscriptions, name bindings
+// and DSL class definitions — so they are created, updated, deleted,
+// locked, logged and recovered exactly like application objects ("rules and
+// events ... are subject to the same transaction semantics", §3.4). The
+// double-underscore prefix keeps them out of the application namespace.
+const (
+	SysRuleClass     = "__Rule"
+	SysEventClass    = "__Event"
+	SysSubClass      = "__Subscription"
+	SysNameClass     = "__Name"
+	SysClassDefClass = "__ClassDef"
+	SysIndexClass    = "__Index"
+)
+
+// IsSystemClass reports whether the class name is one of the reserved
+// system classes.
+func IsSystemClass(name string) bool {
+	switch name {
+	case SysRuleClass, SysEventClass, SysSubClass, SysNameClass, SysClassDefClass, SysIndexClass:
+		return true
+	}
+	return false
+}
+
+// bootstrapSystemClasses registers the reserved classes present in every
+// database, mirroring the paper's Fig. 3 hierarchy (zg-pos → Notifiable →
+// {Event, Rule}; Reactive). __Rule is itself reactive with Enable/Disable
+// declared in its event interface — which is what lets rules monitor other
+// rules ("the general event interface permit[s] specification of rules on
+// any set of objects, including rules themselves", §1).
+func (db *Database) bootstrapSystemClasses() error {
+	ruleCls := schema.NewClass(SysRuleClass)
+	ruleCls.Classification = schema.ReactiveNotifiableClass
+	ruleCls.Persistent = true
+	ruleCls.Attr("name", value.TypeString)
+	ruleCls.Attr("event", value.TypeString)
+	ruleCls.Attr("cond", value.TypeString)
+	ruleCls.Attr("action", value.TypeString)
+	ruleCls.Attr("coupling", value.TypeInt)
+	ruleCls.Attr("priority", value.TypeInt)
+	ruleCls.Attr("enabled", value.TypeBool)
+	ruleCls.Attr("classLevel", value.TypeString)
+	ruleCls.Attr("context", value.TypeInt)
+	ruleCls.Attr("txScoped", value.TypeBool)
+	ruleCls.AddMethod(&schema.Method{
+		Name:       "Enable",
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, db.applyRuleEnabled(ctx, true)
+		},
+	})
+	ruleCls.AddMethod(&schema.Method{
+		Name:       "Disable",
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, db.applyRuleEnabled(ctx, false)
+		},
+	})
+	if err := db.reg.Register(ruleCls); err != nil {
+		return err
+	}
+
+	eventCls := schema.NewClass(SysEventClass)
+	eventCls.Persistent = true
+	eventCls.Attr("name", value.TypeString)
+	eventCls.Attr("source", value.TypeString)
+	if err := db.reg.Register(eventCls); err != nil {
+		return err
+	}
+
+	subCls := schema.NewClass(SysSubClass)
+	subCls.Persistent = true
+	subCls.Attr("reactive", value.TypeAnyRef)
+	subCls.Attr("consumer", value.TypeAnyRef)
+	if err := db.reg.Register(subCls); err != nil {
+		return err
+	}
+
+	nameCls := schema.NewClass(SysNameClass)
+	nameCls.Persistent = true
+	nameCls.Attr("name", value.TypeString)
+	nameCls.Attr("target", value.TypeAnyRef)
+	if err := db.reg.Register(nameCls); err != nil {
+		return err
+	}
+
+	idxCls := schema.NewClass(SysIndexClass)
+	idxCls.Persistent = true
+	idxCls.Attr("class", value.TypeString)
+	idxCls.Attr("attr", value.TypeString)
+	if err := db.reg.Register(idxCls); err != nil {
+		return err
+	}
+
+	defCls := schema.NewClass(SysClassDefClass)
+	defCls.Persistent = true
+	defCls.Attr("name", value.TypeString)
+	defCls.Attr("source", value.TypeString)
+	defCls.Attr("seq", value.TypeInt)
+	if err := db.reg.Register(defCls); err != nil {
+		return err
+	}
+	return nil
+}
+
+// applyRuleEnabled is the body of __Rule.Enable/Disable: it flips the
+// runtime rule and the persistent attribute, with an undo hook restoring
+// the runtime state if the transaction aborts.
+func (db *Database) applyRuleEnabled(ctx schema.CallContext, enabled bool) error {
+	fr, ok := ctx.(*frame)
+	if !ok {
+		return fmt.Errorf("core: rule method invoked outside the runtime")
+	}
+	r := db.RuleByID(ctx.Self())
+	if r == nil {
+		return fmt.Errorf("core: no runtime rule for object %s", ctx.Self())
+	}
+	was := r.Enabled()
+	if was == enabled {
+		return nil
+	}
+	if enabled {
+		r.Enable()
+	} else {
+		r.Disable()
+	}
+	fr.tx.inner.OnUndo(func() {
+		if was {
+			r.Enable()
+		} else {
+			r.Disable()
+		}
+	})
+	return ctx.Set("enabled", value.Bool(enabled))
+}

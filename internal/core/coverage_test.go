@@ -1,0 +1,254 @@
+package core_test
+
+// Tests for paths the main suites reach only indirectly: bare-identifier
+// self-attribute resolution in DSL rules, DSL raise/unsubscribe, public
+// attribute writes, accessors, and dump of reference lists.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/value"
+)
+
+func TestDSLBareSelfAttributeResolution(t *testing.T) {
+	var out strings.Builder
+	db := core.MustOpen(core.Options{Output: &out})
+	if err := db.Exec(`
+		class Tank reactive persistent {
+			attr level int
+			attr capacity int
+			event end method Fill(n int) {
+				level := level + n      # bare names: self attributes
+				if level > capacity {
+					level := capacity
+				}
+			}
+		}
+		rule Full for Tank on end Tank::Fill(int n)
+			if level == capacity      # bare names in a rule condition
+			then print("tank full at", capacity)
+		bind T new Tank(capacity: 10)
+		T!Fill(4)
+		T!Fill(9)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "tank full at 10") {
+		t.Fatalf("output = %q", out.String())
+	}
+	v, _ := db.Eval(`T.level`)
+	if !v.Equal(value.Int(10)) {
+		t.Fatalf("level = %v", v)
+	}
+}
+
+func TestDSLRaiseAndUnsubscribeInActions(t *testing.T) {
+	var out strings.Builder
+	db := core.MustOpen(core.Options{Output: &out})
+	if err := db.Exec(`
+		class Door reactive persistent {
+			attr opens int
+			event end method Open() {
+				self.opens := self.opens + 1
+				if self.opens >= 3 {
+					raise WornOut(self.opens)
+				}
+			}
+		}
+		rule Creak on end Door::Open()
+			then print("creak", self.opens)
+		rule Maintenance for Door on event Door::WornOut
+			then {
+				print("replacing hinges after", self.opens, "opens")
+				unsubscribe Creak from self
+			}
+		bind D new Door()
+		subscribe Creak to D
+		D!Open() D!Open() D!Open()
+		D!Open()
+	`); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	// Creak fires on the first two opens only: the third open raises the
+	// explicit WornOut INSIDE the method body — before the eom event — so
+	// Maintenance unsubscribes Creak before Creak's own trigger would fire
+	// (§3.1 fn. 3: explicit events are raised within the body).
+	if got := strings.Count(text, "creak"); got != 2 {
+		t.Fatalf("creaks = %d, want 2\n%s", got, text)
+	}
+	if !strings.Contains(text, "replacing hinges after 3") {
+		t.Fatalf("maintenance missing:\n%s", text)
+	}
+}
+
+func TestSubscribeRuleByName(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 1)
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateRule(tx, core.RuleSpec{
+			Name: "byname", EventSrc: "end Employee::SetSalary(float amount)", ActionSrc: `print("")`,
+		})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.SubscribeRule(tx, "byname", fred) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Subscribers(fred)) != 1 {
+		t.Fatal("SubscribeRule failed")
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.UnsubscribeRule(tx, "byname", fred) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Subscribers(fred)) != 0 {
+		t.Fatal("UnsubscribeRule failed")
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.SubscribeRule(tx, "ghost", fred) }); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.UnsubscribeRule(tx, "ghost", fred) }); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+func TestPublicSetAndAccessors(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 1)
+	if err := db.Atomically(func(tx *core.Tx) error {
+		// Public write path (Database.Set).
+		if err := db.Set(tx, fred, "name", value.Str("freddy")); err != nil {
+			return err
+		}
+		// Protected attribute refused on the public path.
+		if err := db.Set(tx, fred, "salary", value.Float(2)); err == nil {
+			t.Error("public Set wrote a protected attribute")
+		}
+		desc := db.DescribeObject(tx, fred)
+		if !strings.Contains(desc, "freddy") {
+			t.Errorf("DescribeObject = %q", desc)
+		}
+		if tx.ID() == 0 {
+			t.Error("tx has zero id")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Persistent() {
+		t.Error("in-memory database claims persistence")
+	}
+	if db.Dir() != "" {
+		t.Error("in-memory database has a directory")
+	}
+	// The logical clock advances exactly with event generation.
+	before := db.Now()
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(5))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Now() != before+1 {
+		t.Errorf("clock moved %d ticks for one event", db.Now()-before)
+	}
+	ae := &core.AbortError{Reason: "r"}
+	if ae.Error() != "transaction aborted: r" {
+		t.Errorf("AbortError.Error = %q", ae.Error())
+	}
+}
+
+func TestDumpListOfRefs(t *testing.T) {
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	if err := db.RestoreDSL(`
+		class Team persistent {
+			attr name string
+			attr members list<ref>
+		}
+		class Player persistent { attr name string }
+		let p1 := new Player(name: "ann")
+		let p2 := new Player(name: "bob")
+		let team := new Team(name: "reds")
+		team.members := [p1, p2]
+		bind Reds team
+	`); err != nil {
+		t.Fatal(err)
+	}
+	var dump strings.Builder
+	if err := db.DumpDSL(&dump); err != nil {
+		t.Fatal(err)
+	}
+	db2 := core.MustOpen(core.Options{Output: io.Discard})
+	if err := db2.RestoreDSL(dump.String()); err != nil {
+		t.Fatalf("restore: %v\n%s", err, dump.String())
+	}
+	reds, ok := db2.Lookup("Reds")
+	if !ok {
+		t.Fatal("binding lost")
+	}
+	if err := db2.Atomically(func(tx *core.Tx) error {
+		v, err := db2.Get(tx, reds, "members")
+		if err != nil {
+			return err
+		}
+		lst, _ := v.AsList()
+		if len(lst) != 2 {
+			t.Fatalf("members = %v", v)
+		}
+		for _, m := range lst {
+			ref, _ := m.AsRef()
+			if !db2.Exists(ref) {
+				t.Fatalf("member ref %v dangling after restore", m)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db2.MustBeConsistent()
+}
+
+func TestEvolveParseErrors(t *testing.T) {
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	// `evolve` must be followed by a class definition.
+	if err := db.Exec(`evolve rule X on end A::a then abort`); err == nil {
+		t.Fatal("evolve without class accepted")
+	}
+	// Evolving an unknown class fails at execution time.
+	if err := db.Exec(`evolve class Nothing { attr x int }`); err == nil {
+		t.Fatal("evolve of unknown class accepted")
+	}
+}
+
+func TestInMemoryCheckpointIsNoop(t *testing.T) {
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("in-memory checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("in-memory close: %v", err)
+	}
+	if db.WALSize() != 0 {
+		t.Fatal("in-memory database has a WAL")
+	}
+}
+
+func TestExecParseErrorsAbortCleanly(t *testing.T) {
+	db := orgDB(t)
+	before := db.Stats().ObjectsLive
+	// A script that fails mid-way rolls its earlier statements back.
+	err := db.Exec(`
+		let e := new Employee(name: "temp")
+		this is not valid sentinelql ~~~
+	`)
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if got := db.Stats().ObjectsLive; got != before {
+		t.Fatalf("objects leaked by failed script: %d -> %d", before, got)
+	}
+}

@@ -1,0 +1,422 @@
+// Package core implements the Sentinel active-database runtime: the paper's
+// primary contribution glued onto the substrates.
+//
+// A Database combines
+//
+//   - the meta-object schema registry (internal/schema),
+//   - an in-memory object cache over a persistent heap + WAL
+//     (internal/heap, internal/wal) — the Zeitgeist/zg-pos role,
+//   - strict-2PL transactions (internal/txn),
+//   - the event system (internal/event) and rules (internal/rule),
+//   - and SentinelQL (internal/lang) for runtime rule/class definition.
+//
+// The paper's architecture maps onto this package as follows. Reactive
+// classes declare an event interface; Database.Send is the message
+// dispatcher that raises bom/eom occurrences for declared methods (§3.1,
+// Fig. 1). The subscription mechanism associates notifiable consumers
+// (rules, or arbitrary Go callbacks) with reactive instances at runtime
+// (§3.5, Fig. 4). Rules and events are first-class objects: they are backed
+// by system-class instances (__Rule, __Event, ...) that live in the same
+// store, participate in the same transactions, and persist the same way as
+// application objects (§3.3, §3.4, Fig. 3).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sentinel/internal/event"
+	"sentinel/internal/heap"
+	"sentinel/internal/index"
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/txn"
+	"sentinel/internal/wal"
+)
+
+// Options configures a Database.
+type Options struct {
+	// Dir is the storage directory. Empty means a purely in-memory
+	// database (no WAL, no heap).
+	Dir string
+	// SyncOnCommit forces the WAL to disk at every commit (default true
+	// when persistent). Turning it off trades durability of the last few
+	// commits for throughput, like group-commit systems.
+	SyncOnCommit bool
+	// PoolPages is the buffer-pool capacity (default 256).
+	PoolPages int
+	// Strategy names the conflict-resolution strategy: "priority" (default),
+	// "fifo", "lifo".
+	Strategy string
+	// MaxCascadeDepth bounds rule-triggers-rule chains (default 16).
+	MaxCascadeDepth int
+	// Schema, when set, is invoked after the system classes are registered
+	// and before persistent objects are materialized; applications register
+	// their Go-defined classes here so stored instances can decode.
+	Schema func(*Database) error
+	// Output receives print() text from SentinelQL (default os.Stdout).
+	Output io.Writer
+	// AsyncDetached executes detached-coupling rules on a background
+	// worker instead of synchronously after Commit returns — the fully
+	// asynchronous propagation of §3.1. Use WaitIdle to quiesce (tests,
+	// shutdown). Default off: deterministic post-commit execution.
+	AsyncDetached bool
+}
+
+// Stats are cumulative runtime counters.
+type Stats struct {
+	EventsRaised  uint64 // primitive occurrences generated
+	Notifications uint64 // occurrence deliveries to consumers
+	Detections    uint64 // composite/primitive event detections signalled
+	ConditionsRun uint64
+	ActionsRun    uint64
+	Sends         uint64 // method dispatches
+	Txn           txn.Stats
+	ObjectsLive   int
+	RulesDefined  int
+	Subscriptions int
+}
+
+// Database is a Sentinel active object-oriented database instance.
+type Database struct {
+	opts  Options
+	reg   *schema.Registry
+	tm    *txn.Manager
+	alloc *oid.Allocator
+	clock atomic.Uint64
+
+	store *heap.Store // nil when in-memory
+	log   *wal.Log    // nil when in-memory
+
+	mu            sync.Mutex
+	objects       map[oid.OID]*object.Object
+	names         map[string]oid.OID
+	nameObjs      map[string]oid.OID
+	rules         map[oid.OID]*rule.Rule
+	rulesByName   map[string]*rule.Rule
+	subs          map[oid.OID][]oid.OID // ordered consumer lists (the paper's `consumers` attribute)
+	subObjs       map[subKey]oid.OID
+	classRules    map[string][]*rule.Rule
+	funcConsumers map[oid.OID][]*FuncConsumer
+	namedEvents   map[string]*event.Expr
+	eventObjs     map[string]oid.OID
+	condFns       map[string]rule.Condition
+	actFns        map[string]rule.Action
+	dslClassSeq   int
+	indexes       map[idxKey]*index.Hash
+	indexObjs     map[idxKey]oid.OID
+	indexByClass  map[string][]*index.Hash
+
+	// pendingClassRules queues class-level rule declarations registered
+	// before recovery completes; ready flips once Open finishes.
+	pendingClassRules []RuleSpec
+	ready             bool
+
+	strategy rule.Strategy
+
+	// Async detached executor (nil until first use).
+	detachedOnce sync.Once
+	detachedCh   chan rule.Firing
+	detachedWG   sync.WaitGroup
+
+	statEvents, statNotify, statDetect, statCond, statAct, statSends atomic.Uint64
+}
+
+type subKey struct{ reactive, consumer oid.OID }
+
+// FuncConsumer is a transient Go notifiable: an arbitrary callback
+// subscribed to a reactive object's events (the Notifiable role of §3.2
+// without a rule attached). It is not persisted.
+type FuncConsumer struct {
+	Name string
+	Fn   func(event.Occurrence)
+}
+
+// Open creates or reopens a database. With opts.Dir empty the database is
+// in-memory; otherwise the directory holds the heap, its index, and the
+// WAL, and Open performs crash recovery (replaying committed transactions
+// logged after the last checkpoint).
+func Open(opts Options) (*Database, error) {
+	if opts.MaxCascadeDepth == 0 {
+		opts.MaxCascadeDepth = 16
+	}
+	if opts.Output == nil {
+		opts.Output = os.Stdout
+	}
+	strat, err := rule.ParseStrategy(opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	db := &Database{
+		opts:          opts,
+		reg:           schema.NewRegistry(),
+		tm:            txn.NewManager(),
+		alloc:         oid.NewAllocator(1),
+		objects:       make(map[oid.OID]*object.Object),
+		names:         make(map[string]oid.OID),
+		nameObjs:      make(map[string]oid.OID),
+		rules:         make(map[oid.OID]*rule.Rule),
+		rulesByName:   make(map[string]*rule.Rule),
+		subs:          make(map[oid.OID][]oid.OID),
+		subObjs:       make(map[subKey]oid.OID),
+		classRules:    make(map[string][]*rule.Rule),
+		funcConsumers: make(map[oid.OID][]*FuncConsumer),
+		namedEvents:   make(map[string]*event.Expr),
+		eventObjs:     make(map[string]oid.OID),
+		condFns:       make(map[string]rule.Condition),
+		actFns:        make(map[string]rule.Action),
+		indexes:       make(map[idxKey]*index.Hash),
+		indexObjs:     make(map[idxKey]oid.OID),
+		indexByClass:  make(map[string][]*index.Hash),
+		strategy:      strat,
+	}
+	if err := db.bootstrapSystemClasses(); err != nil {
+		return nil, err
+	}
+	if opts.Schema != nil {
+		if err := opts.Schema(db); err != nil {
+			return nil, fmt.Errorf("core: schema setup: %w", err)
+		}
+	}
+	if opts.Dir != "" {
+		if err := db.openStorage(); err != nil {
+			return nil, err
+		}
+	}
+	db.ready = true
+	if err := db.flushPendingClassRules(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// MustOpen is Open that panics on error; for tests and examples.
+func MustOpen(opts Options) *Database {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Registry exposes the schema registry (for introspection; use
+// RegisterClass to add classes so class-level rules are wired up).
+func (db *Database) Registry() *schema.Registry { return db.reg }
+
+// Persistent reports whether the database has a disk footprint.
+func (db *Database) Persistent() bool { return db.store != nil }
+
+// Dir returns the storage directory ("" for in-memory databases).
+func (db *Database) Dir() string { return db.opts.Dir }
+
+// CloseAbrupt closes the underlying files WITHOUT checkpointing —
+// simulating a crash: the heap keeps only checkpointed state and the WAL
+// keeps everything since, so the next Open exercises recovery. For tests
+// and the recovery experiments.
+func (db *Database) CloseAbrupt() error {
+	if db.store == nil {
+		return nil
+	}
+	if err := db.store.CloseAbrupt(); err != nil {
+		return err
+	}
+	return db.log.Close()
+}
+
+// WALSize returns the current write-ahead-log size in bytes (0 for
+// in-memory databases).
+func (db *Database) WALSize() int64 {
+	if db.log == nil {
+		return 0
+	}
+	return db.log.Size()
+}
+
+// Close waits for asynchronous detached rules, checkpoints (when
+// persistent) and shuts the database down.
+func (db *Database) Close() error {
+	db.WaitIdle()
+	if db.store == nil {
+		return nil
+	}
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	if err := db.store.Close(); err != nil {
+		return err
+	}
+	return db.log.Close()
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (db *Database) Stats() Stats {
+	db.mu.Lock()
+	objs := len(db.objects)
+	rules := len(db.rules)
+	subsN := 0
+	for _, m := range db.subs {
+		subsN += len(m)
+	}
+	db.mu.Unlock()
+	return Stats{
+		EventsRaised:  db.statEvents.Load(),
+		Notifications: db.statNotify.Load(),
+		Detections:    db.statDetect.Load(),
+		ConditionsRun: db.statCond.Load(),
+		ActionsRun:    db.statAct.Load(),
+		Sends:         db.statSends.Load(),
+		Txn:           db.tm.Stats(),
+		ObjectsLive:   objs,
+		RulesDefined:  rules,
+		Subscriptions: subsN,
+	}
+}
+
+// Now returns the current logical timestamp (the last one issued).
+func (db *Database) Now() uint64 { return db.clock.Load() }
+
+// SetStrategy swaps the conflict-resolution strategy at runtime without
+// touching application code (§3 design goal 4).
+func (db *Database) SetStrategy(name string) error {
+	s, err := rule.ParseStrategy(name)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.strategy = s
+	db.mu.Unlock()
+	return nil
+}
+
+// hier adapts the schema registry to event.Hierarchy.
+type hier struct{ reg *schema.Registry }
+
+// IsSubclass reports whether sub is super or a transitive subclass.
+func (h hier) IsSubclass(sub, super string) bool {
+	sc := h.reg.Lookup(sub)
+	pc := h.reg.Lookup(super)
+	if sc == nil || pc == nil {
+		return false
+	}
+	return sc.IsSubclassOf(pc)
+}
+
+func (db *Database) hierarchy() event.Hierarchy { return hier{reg: db.reg} }
+
+// nextSeq issues the next logical timestamp.
+func (db *Database) nextSeq() uint64 { return db.clock.Add(1) }
+
+// object returns the cached object (nil if absent). Callers must hold the
+// appropriate transaction lock before touching fields.
+func (db *Database) objectByID(id oid.OID) *object.Object {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.objects[id]
+}
+
+// LookupRule returns the runtime rule with the given name (nil if absent).
+func (db *Database) LookupRule(name string) *rule.Rule {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rulesByName[name]
+}
+
+// RuleByID returns the runtime rule with the given object identity.
+func (db *Database) RuleByID(id oid.OID) *rule.Rule {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rules[id]
+}
+
+// Rules returns all rules, by registration in unspecified order.
+func (db *Database) Rules() []*rule.Rule {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*rule.Rule, 0, len(db.rules))
+	for _, r := range db.rules {
+		out = append(out, r)
+	}
+	return out
+}
+
+// LookupEvent returns a named event definition.
+func (db *Database) LookupEvent(name string) (*event.Expr, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.namedEvents[name]
+	return e, ok
+}
+
+// metaBlob encodes the checkpoint metadata: OID high-water mark and logical
+// clock.
+func (db *Database) metaBlob() []byte {
+	buf := binary.AppendUvarint(nil, uint64(db.alloc.HighWater()))
+	buf = binary.AppendUvarint(buf, db.clock.Load())
+	buf = binary.AppendUvarint(buf, uint64(db.dslClassSeq))
+	return buf
+}
+
+func (db *Database) loadMeta(buf []byte) {
+	hw, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return
+	}
+	db.alloc.Advance(oid.OID(hw))
+	buf = buf[n:]
+	clk, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return
+	}
+	for db.clock.Load() < clk {
+		db.clock.Store(clk)
+	}
+	buf = buf[n:]
+	seq, n := binary.Uvarint(buf)
+	if n > 0 && int(seq) > db.dslClassSeq {
+		db.dslClassSeq = int(seq)
+	}
+}
+
+func (db *Database) walPath() string { return filepath.Join(db.opts.Dir, "sentinel.wal") }
+
+// Names returns all bound names, sorted.
+func (db *Database) Names() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.names))
+	for n := range db.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DescribeObject renders an object with its class and public attributes,
+// under a shared lock.
+func (db *Database) DescribeObject(t *Tx, id oid.OID) string {
+	o, err := db.lockObject(t, id, txn.Shared)
+	if err != nil {
+		return fmt.Sprintf("%s <%v>", id, err)
+	}
+	return o.String()
+}
+
+// NamedEvents returns the names of all cataloged event definitions, sorted.
+func (db *Database) NamedEvents() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.namedEvents))
+	for n := range db.namedEvents {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package core_test
+
+// Schema evolution: EvolveClass / `evolve class` replace a class definition
+// and migrate live instances in place, transactionally.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+const gadgetV1 = `
+	class Gadget reactive persistent {
+		attr name string
+		attr uses int
+		event end method Use() { self.uses := self.uses + 1 }
+	}
+`
+
+const gadgetV2 = `
+	evolve class Gadget reactive persistent {
+		attr name string
+		attr uses int
+		attr rating float = 5.0
+		event end method Use() { self.uses := self.uses + 2 }
+		method Describe() string { return self.name + "/" + str(self.uses) }
+	}
+`
+
+func TestEvolveDSLAddsAttributesAndChangesBehaviour(t *testing.T) {
+	var out strings.Builder
+	db := core.MustOpen(core.Options{Output: &out})
+	if err := db.Exec(gadgetV1 + `
+		bind G new Gadget(name: "g", uses: 3)
+		G!Use()
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.Exec(gadgetV2); err != nil {
+		t.Fatalf("evolve: %v", err)
+	}
+
+	// Existing values survived; the new attribute took its default.
+	v, err := db.Eval(`G.uses`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(value.Int(4)) {
+		t.Fatalf("uses = %v, want 4 (pre-evolution value)", v)
+	}
+	r, err := db.Eval(`G.rating`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(value.Float(5)) {
+		t.Fatalf("rating = %v, want default 5.0", r)
+	}
+	// New behaviour: Use now increments by 2; Describe exists.
+	if err := db.Exec(`G!Use() print(G!Describe())`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "g/6") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestEvolvePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(persistentOpts(dir))
+	if err := db.Exec(gadgetV1 + `bind G new Gadget(name: "g", uses: 1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(gadgetV2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`G.rating := 9.5`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := core.Open(persistentOpts(dir))
+	if err != nil {
+		t.Fatalf("reopen after evolve: %v", err)
+	}
+	defer db2.Close()
+	// The evolved definition replayed: the new attribute is live with its
+	// persisted value, and the evolved method body runs.
+	v, err := db2.Eval(`G.rating`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(value.Float(9.5)) {
+		t.Fatalf("rating after reopen = %v", v)
+	}
+	if err := db2.Exec(`G!Use()`); err != nil {
+		t.Fatal(err)
+	}
+	uses, _ := db2.Eval(`G.uses`)
+	if !uses.Equal(value.Int(3)) { // 1 + 2 (evolved increment)
+		t.Fatalf("uses after reopen+Use = %v", uses)
+	}
+}
+
+func TestEvolveRollsBackOnAbort(t *testing.T) {
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	if err := db.Exec(gadgetV1 + `bind G new Gadget(name: "g", uses: 7)`); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := db.Lookup("G")
+
+	tx := db.Begin()
+	newCls := schema.NewClass("Gadget")
+	newCls.Classification = schema.ReactiveClass
+	newCls.Persistent = true
+	newCls.Attr("name", value.TypeString)
+	// note: `uses` removed in this version
+	if err := db.EvolveClass(tx, newCls, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Inside the transaction the new layout is live (uses is gone).
+	if _, err := db.GetSys(tx, g, "uses"); err == nil {
+		t.Fatal("removed attribute still visible inside evolving tx")
+	}
+	db.Abort(tx)
+
+	// After abort the old definition and values are back.
+	v, err := db.Eval(`G.uses`)
+	if err != nil {
+		t.Fatalf("uses gone after aborted evolve: %v", err)
+	}
+	if !v.Equal(value.Int(7)) {
+		t.Fatalf("uses = %v", v)
+	}
+	if err := db.Exec(`G!Use()`); err != nil {
+		t.Fatalf("old method gone after aborted evolve: %v", err)
+	}
+}
+
+func TestEvolveGuards(t *testing.T) {
+	db := orgDB(t) // Person <- Employee <- Manager
+	// A class with subclasses cannot evolve.
+	err := db.Atomically(func(tx *core.Tx) error {
+		c := schema.NewClass("Employee")
+		c.Attr("name", value.TypeString)
+		return db.EvolveClass(tx, c, "")
+	})
+	if err == nil || !strings.Contains(err.Error(), "inherits") {
+		t.Fatalf("evolving a class with subclasses: %v", err)
+	}
+	// Unknown class.
+	err = db.Atomically(func(tx *core.Tx) error {
+		return db.EvolveClass(tx, schema.NewClass("Ghost"), "")
+	})
+	if err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	// Index on a removed attribute blocks evolution.
+	db2 := core.MustOpen(core.Options{Output: io.Discard})
+	if err := db2.Exec(gadgetV1 + `index Gadget.uses`); err != nil {
+		t.Fatal(err)
+	}
+	err = db2.Atomically(func(tx *core.Tx) error {
+		c := schema.NewClass("Gadget")
+		c.Classification = schema.ReactiveClass
+		c.Attr("name", value.TypeString) // uses removed
+		return db2.EvolveClass(tx, c, "")
+	})
+	if err == nil || !strings.Contains(err.Error(), "index") {
+		t.Fatalf("evolve over live index: %v", err)
+	}
+}
+
+func TestEvolveTypeChangeResetsIncompatibleValues(t *testing.T) {
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	if err := db.Exec(`
+		class Box persistent { attr tag int }
+		bind B new Box(tag: 42)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Atomically(func(tx *core.Tx) error {
+		c := schema.NewClass("Box")
+		c.Persistent = true
+		c.AddAttribute(&schema.Attribute{Name: "tag", Type: value.TypeString, Visibility: schema.Public, Default: value.Str("none")})
+		return db.EvolveClass(tx, c, "")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Eval(`B.tag`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// int 42 is not accepted by a string slot: reset to the default.
+	if !v.Equal(value.Str("none")) {
+		t.Fatalf("tag = %v, want default", v)
+	}
+}

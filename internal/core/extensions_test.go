@@ -1,0 +1,353 @@
+package core_test
+
+// Tests for features beyond the paper's baseline: asynchronous detached
+// execution, transaction-scoped event detection, parameter contexts through
+// the rule API, and the SentinelQL builtins/collection statements.
+
+import (
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/rule"
+	"sentinel/internal/value"
+)
+
+func TestAsyncDetachedExecution(t *testing.T) {
+	db := core.MustOpen(core.Options{Output: io.Discard, AsyncDetached: true})
+	if err := bench.InstallOrgSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	fred := mkEmployee(t, db, "fred", 100)
+
+	var fired atomic.Int64
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "async",
+			EventSrc: "end Employee::SetSalary(float amount)",
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				fired.Add(1)
+				return nil
+			},
+			Coupling: "detached",
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, fred, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			_, err := db.Send(tx, fred, "SetSalary", value.Float(float64(i)))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.WaitIdle()
+	if got := fired.Load(); got != 20 {
+		t.Fatalf("async detached fired %d times, want 20", got)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncDetachedChaining(t *testing.T) {
+	// A detached rule whose own transaction triggers another detached rule:
+	// WaitIdle must cover the chain.
+	db := core.MustOpen(core.Options{Output: io.Discard, AsyncDetached: true})
+	if err := bench.InstallOrgSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	fred := mkEmployee(t, db, "fred", 100)
+	mary := mkEmployee(t, db, "mary", 100)
+
+	var secondFired atomic.Int64
+	err := db.Atomically(func(tx *core.Tx) error {
+		first, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "first",
+			EventSrc: "end Employee::SetSalary(float amount)",
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				// Triggers mary's watcher in this (detached) transaction.
+				_, err := ctx.Send(mary, "SetSalary", value.Float(1))
+				return err
+			},
+			Coupling: "detached",
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.Subscribe(tx, fred, first.ID()); err != nil {
+			return err
+		}
+		second, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "second",
+			EventSrc: "end Employee::SetSalary(float amount)",
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				secondFired.Add(1)
+				return nil
+			},
+			Coupling: "detached",
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, mary, second.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(5))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.WaitIdle()
+	if got := secondFired.Load(); got != 1 {
+		t.Fatalf("chained detached rule fired %d times, want 1", got)
+	}
+	db.Close()
+}
+
+func TestTxScopedDetection(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+
+	mkSeqRule := func(name string, txScoped bool, fired *int) {
+		err := db.Atomically(func(tx *core.Tx) error {
+			r, err := db.CreateRule(tx, core.RuleSpec{
+				Name:     name,
+				EventSrc: "end Employee::SetSalary(float amount) seq end Employee::ChangeIncome(float amount)",
+				Action: func(ctx rule.ExecContext, det event.Detection) error {
+					*fired++
+					return nil
+				},
+				TxScoped: txScoped,
+			})
+			if err != nil {
+				return err
+			}
+			return db.Subscribe(tx, fred, r.ID())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var global, scoped int
+	mkSeqRule("globalSeq", false, &global)
+	mkSeqRule("scopedSeq", true, &scoped)
+
+	// First half of the sequence in one transaction...
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// ...second half in another.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "ChangeIncome", value.Float(2))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if global != 1 {
+		t.Fatalf("global rule fired %d times across transactions, want 1", global)
+	}
+	if scoped != 0 {
+		t.Fatalf("tx-scoped rule fired %d times across transactions, want 0", scoped)
+	}
+
+	// Both halves within one transaction: both rules fire.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.Send(tx, fred, "SetSalary", value.Float(3)); err != nil {
+			return err
+		}
+		_, err := db.Send(tx, fred, "ChangeIncome", value.Float(4))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if scoped != 1 {
+		t.Fatalf("tx-scoped rule fired %d times within one transaction, want 1", scoped)
+	}
+}
+
+func TestTxScopedViaDSLAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(persistentOpts(dir))
+	if err := db.Exec(`
+		class Acct reactive persistent {
+			attr balance float
+			event end method Dep(x float) { self.balance := self.balance + x }
+			event begin method Wdr(x float) { self.balance := self.balance - x }
+		}
+		rule InOut on end Acct::Dep(float x) seq begin Acct::Wdr(float x)
+			then print("in-out", x)
+			coupling deferred
+			scope transaction
+		bind A new Acct()
+		subscribe InOut to A
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r := db.LookupRule("InOut")
+	if r == nil || !r.TxScoped {
+		t.Fatal("scope transaction not applied")
+	}
+	// Dep and Wdr in different transactions: no detection.
+	if err := db.Exec(`A!Dep(100.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`A!Wdr(50.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, sig, _ := r.Stats(); sig != 0 {
+		t.Fatalf("tx-scoped sequence detected across transactions (%d)", sig)
+	}
+	// Same transaction: detected.
+	if err := db.Exec(`A!Dep(10.0) A!Wdr(5.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, sig, _ := r.Stats(); sig != 1 {
+		t.Fatalf("signalled = %d, want 1", sig)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// TxScoped survives reopen.
+	db2, err := core.Open(persistentOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if r2 := db2.LookupRule("InOut"); r2 == nil || !r2.TxScoped {
+		t.Fatal("TxScoped flag lost across reopen")
+	}
+}
+
+func TestParameterContextThroughRuleAPI(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	var recentFired, chronFired int
+	mk := func(name, ctx string, fired *int) {
+		err := db.Atomically(func(tx *core.Tx) error {
+			r, err := db.CreateRule(tx, core.RuleSpec{
+				Name:     name,
+				EventSrc: "end Employee::SetSalary(float amount) seq end Employee::ChangeIncome(float amount)",
+				Action: func(rule.ExecContext, event.Detection) error {
+					*fired++
+					return nil
+				},
+				Context: ctx,
+			})
+			if err != nil {
+				return err
+			}
+			return db.Subscribe(tx, fred, r.ID())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("recent", "recent", &recentFired)
+	mk("chron", "chronicle", &chronFired)
+
+	if err := db.Atomically(func(tx *core.Tx) error {
+		// Two initiators, then two terminators.
+		for _, m := range []string{"SetSalary", "SetSalary", "ChangeIncome", "ChangeIncome"} {
+			if _, err := db.Send(tx, fred, m, value.Float(1)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Recent: each terminator pairs with the latest initiator → 2 firings.
+	if recentFired != 2 {
+		t.Fatalf("recent fired %d, want 2", recentFired)
+	}
+	// Chronicle: FIFO pairs (1st,1st), (2nd,2nd) → also 2, but consuming.
+	if chronFired != 2 {
+		t.Fatalf("chronicle fired %d, want 2", chronFired)
+	}
+}
+
+func TestDSLBuiltinsEndToEnd(t *testing.T) {
+	var out strings.Builder
+	db := core.MustOpen(core.Options{Output: &out})
+	if err := bench.InstallOrgSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.BuildOrg(db, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The Ode manager constraint, in pure SentinelQL: a manager must earn
+	// at least as much as every employee. (instances("Employee") includes
+	// Manager instances — subclasses — so the manager compares against
+	// itself too; strict `<` makes self-comparison a no-op.)
+	if err := db.Exec(`
+		rule MgrTops for Manager on end Manager::SetSalary(float amount)
+			if amount < max(pluck(instances("Employee"), "salary"))
+			then abort "manager must out-earn employees"
+	`); err != nil {
+		t.Fatal(err)
+	}
+	mgr := db.InstancesOf("Manager")[0]
+	// Employees are at 1000; a manager salary of 900 violates.
+	err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, mgr, "SetSalary", value.Float(900))
+		return err
+	})
+	if !core.IsAbort(err) {
+		t.Fatalf("builtin condition did not block: %v", err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, mgr, "SetSalary", value.Float(5000))
+		return err
+	}); err != nil {
+		t.Fatalf("legal raise blocked: %v", err)
+	}
+
+	// for/in + list literals through Exec.
+	if err := db.Exec(`
+		let total := 0.0
+		for e in instances("Employee") {
+			total := total + e!Salary()
+		}
+		print("total payroll:", total)
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "total payroll: 9000") { // 4×1000 + mgr 5000
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestInstancesBuiltinGuards(t *testing.T) {
+	db := orgDB(t)
+	if err := db.Exec(`print(len(instances("__Rule")))`); err == nil {
+		t.Fatal("system class enumeration allowed")
+	}
+	if err := db.Exec(`print(len(instances("Bogus")))`); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestScopeClauseParsingErrors(t *testing.T) {
+	db := orgDB(t)
+	err := db.Exec(`rule R on end Employee::SetSalary(float a) then print("x") scope sometimes`)
+	if err == nil {
+		t.Fatal("bad scope accepted")
+	}
+}

@@ -1,0 +1,230 @@
+package core_test
+
+// Fault-injection tests: recovery must behave sanely for ANY crash point —
+// the WAL may be cut anywhere, and the result must be a prefix-consistent
+// database (committed transactions are atomic: all-or-nothing).
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/value"
+)
+
+// copyDir copies a database directory for destructive experimentation.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestRecoveryAtEveryTruncationPoint builds a database where each
+// transaction atomically updates TWO objects to the same value, crashes,
+// then re-opens with the WAL truncated at a sweep of byte positions. At
+// every position the database must open and the two objects must hold the
+// SAME value — a torn transaction must never be half-applied.
+func TestRecoveryAtEveryTruncationPoint(t *testing.T) {
+	dir := t.TempDir()
+	opts := orgOpts(dir)
+	db := core.MustOpen(opts)
+	a := mkEmployee(t, db, "a", 0)
+	b := mkEmployee(t, db, "b", 0)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// 25 committed transactions, each moving both salaries in lockstep.
+	for i := 1; i <= 25; i++ {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			if err := db.SetSys(tx, a, "salary", value.Float(float64(i))); err != nil {
+				return err
+			}
+			return db.SetSys(tx, b, "salary", value.Float(float64(i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, "sentinel.wal")
+	walData, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sweep truncation points (every 97 bytes plus the exact end).
+	points := []int{0, 1, 7}
+	for p := 64; p < len(walData); p += 97 {
+		points = append(points, p)
+	}
+	points = append(points, len(walData))
+
+	lastSeen := -1.0
+	for _, p := range points {
+		work := copyDir(t, dir)
+		if err := os.WriteFile(filepath.Join(work, "sentinel.wal"), walData[:p], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		o := orgOpts(work)
+		db2, err := core.Open(o)
+		if err != nil {
+			t.Fatalf("truncation at %d: open failed: %v", p, err)
+		}
+		var va, vb float64
+		err = db2.Atomically(func(tx *core.Tx) error {
+			x, err := db2.GetSys(tx, a, "salary")
+			if err != nil {
+				return err
+			}
+			y, err := db2.GetSys(tx, b, "salary")
+			if err != nil {
+				return err
+			}
+			va, _ = x.Numeric()
+			vb, _ = y.Numeric()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("truncation at %d: read failed: %v", p, err)
+		}
+		if va != vb {
+			t.Fatalf("truncation at %d: torn transaction visible: a=%v b=%v", p, va, vb)
+		}
+		// Prefix property: longer prefixes never regress.
+		if va < lastSeen {
+			t.Fatalf("truncation at %d: recovered state regressed: %v < %v", p, va, lastSeen)
+		}
+		lastSeen = va
+		db2.Close()
+	}
+	// The full WAL recovers the final state.
+	if lastSeen != 25 {
+		t.Fatalf("full WAL recovered %v, want 25", lastSeen)
+	}
+}
+
+// TestRecoveryWithCorruptedWALByte: a flipped byte mid-log ends replay at
+// the corruption but never fails the open or tears a transaction.
+func TestRecoveryWithCorruptedWALByte(t *testing.T) {
+	dir := t.TempDir()
+	opts := orgOpts(dir)
+	db := core.MustOpen(opts)
+	a := mkEmployee(t, db, "a", 0)
+	b := mkEmployee(t, db, "b", 0)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			if err := db.SetSys(tx, a, "salary", value.Float(float64(i))); err != nil {
+				return err
+			}
+			return db.SetSys(tx, b, "salary", value.Float(float64(i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "sentinel.wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		work := copyDir(t, dir)
+		corrupted := append([]byte(nil), data...)
+		corrupted[int(float64(len(corrupted))*frac)] ^= 0xA5
+		if err := os.WriteFile(filepath.Join(work, "sentinel.wal"), corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db2, err := core.Open(orgOpts(work))
+		if err != nil {
+			t.Fatalf("corruption at %.0f%%: open failed: %v", frac*100, err)
+		}
+		err = db2.Atomically(func(tx *core.Tx) error {
+			x, err := db2.GetSys(tx, a, "salary")
+			if err != nil {
+				return err
+			}
+			y, err := db2.GetSys(tx, b, "salary")
+			if err != nil {
+				return err
+			}
+			if !x.Equal(y) {
+				t.Errorf("corruption at %.0f%%: torn state %v vs %v", frac*100, x, y)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db2.Close()
+	}
+}
+
+// TestRepeatedCrashReopenCycles: crash → recover → write → crash, many
+// times; nothing may be lost or duplicated.
+func TestRepeatedCrashReopenCycles(t *testing.T) {
+	dir := t.TempDir()
+	opts := func() core.Options {
+		o := persistentOpts(dir)
+		o.Schema = func(db *core.Database) error { return bench.InstallOrgSchema(db) }
+		return o
+	}
+	db := core.MustOpen(opts())
+	id := mkEmployee(t, db, "survivor", 0)
+	for cycle := 1; cycle <= 8; cycle++ {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			return db.SetSys(tx, id, "salary", value.Float(float64(cycle)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CloseAbrupt(); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		db, err = core.Open(opts())
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if err := db.Atomically(func(tx *core.Tx) error {
+			v, err := db.GetSys(tx, id, "salary")
+			if err != nil {
+				return err
+			}
+			if f, _ := v.Numeric(); f != float64(cycle) {
+				t.Fatalf("cycle %d: salary = %v", cycle, v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Object population must stay constant (no resurrection/duplication).
+		if got := len(db.InstancesOf("Employee")); got != 1 {
+			t.Fatalf("cycle %d: %d employees", cycle, got)
+		}
+	}
+	db.Close()
+}

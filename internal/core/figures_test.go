@@ -1,0 +1,755 @@
+package core_test
+
+// Tests named after the paper's figures: each pins the behaviour the figure
+// describes. See DESIGN.md §3 for the figure → artifact index.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+func quiet() core.Options { return core.Options{Output: io.Discard} }
+
+// orgDB opens an in-memory database with the Person/Employee/Manager
+// schema.
+func orgDB(t *testing.T) *core.Database {
+	t.Helper()
+	db := core.MustOpen(quiet())
+	if err := bench.InstallOrgSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func mkEmployee(t *testing.T, db *core.Database, name string, salary float64) oid.OID {
+	t.Helper()
+	var id oid.OID
+	err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		id, err = db.NewObject(tx, "Employee", map[string]value.Value{
+			"name": value.Str(name), "salary": value.Float(salary),
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// TestFigure1ReactiveClass: a reactive class has both the conventional
+// (synchronous) interface and the event interface; passive classes have
+// only the former and never propagate anything.
+func TestFigure1ReactiveClass(t *testing.T) {
+	db := core.MustOpen(quiet())
+	passive := schema.NewClass("PassiveBox")
+	passive.Attr("v", value.TypeInt)
+	passive.AddMethod(&schema.Method{
+		Name: "Set", Params: []schema.Param{{Name: "x", Type: value.TypeInt}},
+		Visibility: schema.Public,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("v", ctx.Arg(0))
+		},
+	})
+	db.MustRegisterClass(passive)
+
+	reactive := schema.NewClass("ReactiveBox")
+	reactive.Classification = schema.ReactiveClass
+	reactive.Attr("v", value.TypeInt)
+	reactive.AddMethod(&schema.Method{
+		Name: "Set", Params: []schema.Param{{Name: "x", Type: value.TypeInt}},
+		Visibility: schema.Public, EventGen: schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("v", ctx.Arg(0))
+		},
+	})
+	db.MustRegisterClass(reactive)
+
+	var pid, rid oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		if pid, err = db.NewObject(tx, "PassiveBox", nil); err != nil {
+			return err
+		}
+		rid, err = db.NewObject(tx, "ReactiveBox", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Passive objects cannot be monitored at all (§3.2).
+	if _, err := db.SubscribeFunc(pid, "x", func(event.Occurrence) {}); err == nil {
+		t.Fatal("subscribing to a passive object should fail")
+	}
+
+	var got []event.Occurrence
+	unsub, err := db.SubscribeFunc(rid, "probe", func(o event.Occurrence) { got = append(got, o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+
+	before := db.Stats().EventsRaised
+	if err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.Send(tx, pid, "Set", value.Int(1)); err != nil {
+			return err
+		}
+		_, err := db.Send(tx, rid, "Set", value.Int(2))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().EventsRaised != before+1 {
+		t.Fatalf("events raised = %d, want exactly 1 (the reactive send)", db.Stats().EventsRaised-before)
+	}
+	if len(got) != 1 || got[0].Method != "Set" || got[0].When != event.End {
+		t.Fatalf("occurrences = %v", got)
+	}
+	// The synchronous interface still returned results through both.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		v, err := db.Get(tx, rid, "v")
+		if err != nil {
+			return err
+		}
+		if !v.Equal(value.Int(2)) {
+			t.Errorf("reactive state = %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure2ProducerConsumer: two reactive producers of different classes,
+// one rule consuming the conjunction through its local detector.
+func TestFigure2ProducerConsumer(t *testing.T) {
+	db := core.MustOpen(quiet())
+	if err := bench.InstallMarketSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	m, err := bench.BuildMarket(db, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var detected []event.Detection
+	err = db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name: "R1",
+			Event: event.And(
+				event.Primitive(event.End, "Stock", "SetPrice"),
+				event.Primitive(event.End, "FinancialInfo", "SetValue"),
+			),
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				detected = append(detected, det)
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.Subscribe(tx, m.Stocks[0], r.ID()); err != nil {
+			return err
+		}
+		return db.Subscribe(tx, m.DowJones, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.Send(tx, m.Stocks[0], "SetPrice", value.Float(75)); err != nil {
+			return err
+		}
+		_, err := db.Send(tx, m.DowJones, "SetValue", value.Float(100))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(detected) != 1 {
+		t.Fatalf("detections = %d", len(detected))
+	}
+	det := detected[0]
+	if len(det.Constituents) != 2 {
+		t.Fatalf("constituents = %d", len(det.Constituents))
+	}
+	if _, ok := det.ParamsOf(m.Stocks[0]); !ok {
+		t.Error("e1 constituent missing")
+	}
+	if _, ok := det.ParamsOf(m.DowJones); !ok {
+		t.Error("e2 constituent missing")
+	}
+}
+
+// TestFigure3Hierarchy: the system classes exist, rules and events are
+// instances with OIDs and persistence, __Rule is reactive AND notifiable
+// (it consumes events and generates Enable/Disable events).
+func TestFigure3Hierarchy(t *testing.T) {
+	db := orgDB(t)
+	for _, name := range []string{core.SysRuleClass, core.SysEventClass, core.SysSubClass, core.SysNameClass, core.SysClassDefClass} {
+		c := db.Registry().Lookup(name)
+		if c == nil {
+			t.Fatalf("system class %s missing", name)
+		}
+		if !c.Persistent {
+			t.Errorf("system class %s not persistent (zg-pos role)", name)
+		}
+	}
+	rc := db.Registry().Lookup(core.SysRuleClass)
+	if !rc.Reactive() || !rc.Notifiable() {
+		t.Error("__Rule must be reactive+notifiable")
+	}
+	// A created rule is an object: it has an OID, a class, readable
+	// attributes.
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{Name: "R", EventSrc: "end Employee::SetSalary(float a)"})
+		if err != nil {
+			return err
+		}
+		if r.ID().IsNil() {
+			t.Error("rule has no OID")
+		}
+		if db.ClassOf(r.ID()).Name != core.SysRuleClass {
+			t.Error("rule object has wrong class")
+		}
+		v, err := db.Get(tx, r.ID(), "name")
+		if err != nil {
+			return err
+		}
+		if !v.Equal(value.Str("R")) {
+			t.Errorf("rule name attribute = %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure4ReactiveAPI: Subscribe/Unsubscribe manage the consumers set;
+// the m:n relationship holds (one reactive → many consumers, one consumer →
+// many reactive objects).
+func TestFigure4ReactiveAPI(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	mary := mkEmployee(t, db, "mary", 100)
+
+	mkRule := func(name string) *rule.Rule {
+		var r *rule.Rule
+		err := db.Atomically(func(tx *core.Tx) error {
+			var err error
+			r, err = db.CreateRule(tx, core.RuleSpec{
+				Name:      name,
+				EventSrc:  "end Employee::SetSalary(float amount)",
+				Condition: func(rule.ExecContext, event.Detection) (bool, error) { return false, nil },
+			})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := mkRule("r1"), mkRule("r2")
+
+	subscribe := func(obj oid.OID, r *rule.Rule) {
+		if err := db.Atomically(func(tx *core.Tx) error { return db.Subscribe(tx, obj, r.ID()) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	subscribe(fred, r1)
+	subscribe(fred, r2) // 1 reactive → 2 consumers
+	subscribe(mary, r1) // 1 consumer → 2 reactive
+
+	if got := db.Subscribers(fred); len(got) != 2 {
+		t.Fatalf("fred subscribers = %v", got)
+	}
+	if got := db.Subscribers(mary); len(got) != 1 {
+		t.Fatalf("mary subscribers = %v", got)
+	}
+
+	// Notify reaches all subscribed consumers with the paper's message
+	// tuple.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(500))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if recv, _, _ := r1.Stats(); recv != 1 {
+		t.Errorf("r1 received %d", recv)
+	}
+	if recv, _, _ := r2.Stats(); recv != 1 {
+		t.Errorf("r2 received %d", recv)
+	}
+
+	// Unsubscribe reverses Subscribe.
+	if err := db.Atomically(func(tx *core.Tx) error { return db.Unsubscribe(tx, fred, r2.ID()) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(600))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if recv, _, _ := r2.Stats(); recv != 1 {
+		t.Errorf("r2 received %d after unsubscribe, want still 1", recv)
+	}
+	if recv, _, _ := r1.Stats(); recv != 2 {
+		t.Errorf("r1 received %d, want 2", recv)
+	}
+
+	// Subscribing to a nonexistent consumer fails.
+	err := db.Atomically(func(tx *core.Tx) error { return db.Subscribe(tx, fred, oid.OID(99999)) })
+	if err == nil {
+		t.Fatal("subscribe to missing consumer accepted")
+	}
+}
+
+// TestFigure5EventHierarchy: one event definition shared by two rules keeps
+// independent detection state (the "local event detector"), and the
+// definition is itself a first-class named object.
+func TestFigure5EventHierarchy(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	mary := mkEmployee(t, db, "mary", 100)
+
+	err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.DefineEvent(tx, "Raise", "end Employee::SetSalary(float amount)"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.LookupEvent("Raise"); !ok {
+		t.Fatal("named event not in catalog")
+	}
+
+	var r1Fired, r2Fired int
+	err = db.Atomically(func(tx *core.Tx) error {
+		r1, err := db.CreateRule(tx, core.RuleSpec{
+			Name: "fredWatch", EventSrc: "Raise",
+			Action: func(rule.ExecContext, event.Detection) error { r1Fired++; return nil },
+		})
+		if err != nil {
+			return err
+		}
+		r2, err := db.CreateRule(tx, core.RuleSpec{
+			Name: "maryWatch", EventSrc: "Raise",
+			Action: func(rule.ExecContext, event.Detection) error { r2Fired++; return nil },
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.Subscribe(tx, fred, r1.ID()); err != nil {
+			return err
+		}
+		return db.Subscribe(tx, mary, r2.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r1Fired != 1 || r2Fired != 0 {
+		t.Fatalf("fired = %d/%d: shared event definition leaked state across rules", r1Fired, r2Fired)
+	}
+}
+
+// TestFigure6Conjunction: the Conjunction object's flag semantics.
+func TestFigure6Conjunction(t *testing.T) {
+	db := orgDB(t)
+	if err := bench.InstallMarketSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	fred := mkEmployee(t, db, "fred", 100)
+	var stock oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		stock, err = db.NewObject(tx, "Stock", map[string]value.Value{"symbol": value.Str("S")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fired := 0
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "conj",
+			EventSrc: "end Employee::SetSalary(float amount) and end Stock::SetPrice(float price)",
+			Action:   func(rule.ExecContext, event.Detection) error { fired++; return nil },
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.Subscribe(tx, fred, r.ID()); err != nil {
+			return err
+		}
+		return db.Subscribe(tx, stock, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(obj oid.OID, method string, v float64) {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			_, err := db.Send(tx, obj, method, value.Float(v))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(fred, "SetSalary", 1) // one side only
+	if fired != 0 {
+		t.Fatal("conjunction fired on one operand")
+	}
+	send(stock, "SetPrice", 2) // both: fire, regardless of order
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	send(stock, "SetPrice", 3) // flags were consumed
+	if fired != 1 {
+		t.Fatalf("fired = %d after consume", fired)
+	}
+	send(fred, "SetSalary", 4) // completes again
+	if fired != 2 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+// TestFigure7RuleClass: rule operations Enable/Disable work through the
+// rule object's methods and are themselves event generators (rules about
+// rules).
+func TestFigure7RuleClass(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+
+	fired := 0
+	var watchID oid.OID
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "watch",
+			EventSrc: "end Employee::SetSalary(float amount)",
+			Action:   func(rule.ExecContext, event.Detection) error { fired++; return nil },
+		})
+		if err != nil {
+			return err
+		}
+		watchID = r.ID()
+		return db.Subscribe(tx, fred, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A meta-rule monitoring the watch rule's Disable events (§1: "rules on
+	// any set of objects, including rules themselves").
+	metaFired := 0
+	err = db.Atomically(func(tx *core.Tx) error {
+		meta, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "meta",
+			EventSrc: "end __Rule::Disable()",
+			Action:   func(rule.ExecContext, event.Detection) error { metaFired++; return nil },
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, watchID, meta.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	send := func(v float64) {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			_, err := db.Send(tx, fred, "SetSalary", value.Float(v))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(1)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DisableRule(tx, "watch") }); err != nil {
+		t.Fatal(err)
+	}
+	if metaFired != 1 {
+		t.Fatalf("meta rule fired %d times on Disable", metaFired)
+	}
+	send(2)
+	if fired != 1 {
+		t.Fatal("disabled rule fired")
+	}
+	// The persistent attribute tracks the runtime state.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		v, err := db.Get(tx, watchID, "enabled")
+		if err != nil {
+			return err
+		}
+		if v.Truthy() {
+			t.Error("enabled attribute still true")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.EnableRule(tx, "watch") }); err != nil {
+		t.Fatal(err)
+	}
+	send(3)
+	if fired != 2 {
+		t.Fatalf("re-enabled rule: fired = %d", fired)
+	}
+}
+
+// TestFigure8EventInterface: only methods declared in the event interface
+// generate events, at the declared moments; GetName-style methods cause no
+// rule evaluation.
+func TestFigure8EventInterface(t *testing.T) {
+	db := core.MustOpen(quiet())
+	cls := schema.NewClass("Emp8")
+	cls.Classification = schema.ReactiveClass
+	cls.Attr("age", value.TypeInt)
+	cls.Attr("name", value.TypeString)
+	body := func(ctx schema.CallContext) (value.Value, error) { return value.Int(1), nil }
+	cls.AddMethod(&schema.Method{Name: "ChangeSalary", Visibility: schema.Private, EventGen: schema.GenBegin, Body: body,
+		Params: []schema.Param{{Name: "x", Type: value.TypeFloat}}})
+	cls.AddMethod(&schema.Method{Name: "GetSalary", Visibility: schema.Public, EventGen: schema.GenEnd, Body: body})
+	cls.AddMethod(&schema.Method{Name: "GetAge", Visibility: schema.Public, EventGen: schema.GenBoth, Body: body})
+	cls.AddMethod(&schema.Method{Name: "GetName", Visibility: schema.Public, Body: body})
+	db.MustRegisterClass(cls)
+
+	var id oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		id, err = db.NewObject(tx, "Emp8", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var moments []string
+	unsub, _ := db.SubscribeFunc(id, "probe", func(o event.Occurrence) {
+		moments = append(moments, o.When.String()+" "+o.Method)
+	})
+	defer unsub()
+
+	if err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.Send(tx, id, "GetSalary"); err != nil {
+			return err
+		}
+		if _, err := db.Send(tx, id, "GetAge"); err != nil {
+			return err
+		}
+		_, err := db.Send(tx, id, "GetName")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"end GetSalary", "begin GetAge", "end GetAge"}
+	if strings.Join(moments, ",") != strings.Join(want, ",") {
+		t.Fatalf("moments = %v, want %v", moments, want)
+	}
+	// The event interface introspection matches Fig. 8.
+	ifc := db.Registry().Lookup("Emp8").EventInterface()
+	if len(ifc) != 3 {
+		t.Fatalf("event interface size = %d", len(ifc))
+	}
+}
+
+// TestFigure9ClassLevelRule: the Marriage rule — declared with the class,
+// applicable to all instances (current and future), abort action.
+func TestFigure9ClassLevelRule(t *testing.T) {
+	db := core.MustOpen(quiet())
+	person := schema.NewClass("Person9")
+	person.Classification = schema.ReactiveClass
+	person.Attr("sex", value.TypeString)
+	person.AddAttribute(&schema.Attribute{Name: "spouse", Type: value.TypeRef("Person9"), Visibility: schema.Public})
+	person.AddMethod(&schema.Method{
+		Name: "Marry", Params: []schema.Param{{Name: "spouse", Type: value.TypeRef("Person9")}},
+		Visibility: schema.Public, EventGen: schema.GenBegin,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("spouse", ctx.Arg(0))
+		},
+	})
+	person.AddRule(schema.RuleDecl{
+		Name:      "Marriage",
+		Event:     "begin Person9::Marry(Person9 spouse)",
+		Condition: "self.sex == spouse.sex",
+		Action:    `abort "same sex"`,
+		Coupling:  "immediate",
+	})
+	db.MustRegisterClass(person)
+
+	mk := func(sex string) oid.OID {
+		var id oid.OID
+		if err := db.Atomically(func(tx *core.Tx) error {
+			var err error
+			id, err = db.NewObject(tx, "Person9", map[string]value.Value{"sex": value.Str(sex)})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	alice, bob, carol := mk("f"), mk("m"), mk("f")
+
+	// Valid marriage proceeds.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, alice, "Marry", value.Ref(bob))
+		return err
+	}); err != nil {
+		t.Fatalf("valid marriage aborted: %v", err)
+	}
+	// Violating marriage aborts — with NO subscription ever made: the rule
+	// is class-level and applies to every instance automatically.
+	err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, alice, "Marry", value.Ref(carol))
+		return err
+	})
+	if !core.IsAbort(err) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+	// The bom coupling means the state never changed.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		v, err := db.Get(tx, alice, "spouse")
+		if err != nil {
+			return err
+		}
+		if r, _ := v.AsRef(); r != bob {
+			t.Errorf("spouse = %v, want bob", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Future instances are covered too.
+	dave := mk("m")
+	err = db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, dave, "Marry", value.Ref(bob))
+		return err
+	})
+	if !core.IsAbort(err) {
+		t.Fatalf("class-level rule missed a future instance: %v", err)
+	}
+}
+
+// TestFigure10InstanceLevelRule: IncomeLevel — one rule monitoring two
+// specific instances of DIFFERENT classes via a disjunction event and
+// runtime subscriptions; other instances are unaffected.
+func TestFigure10InstanceLevelRule(t *testing.T) {
+	db := orgDB(t)
+	var fred, mike, bystander oid.OID
+	err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		if mike, err = db.NewObject(tx, "Manager", map[string]value.Value{"name": value.Str("Mike"), "salary": value.Float(2000)}); err != nil {
+			return err
+		}
+		if fred, err = db.NewObject(tx, "Employee", map[string]value.Value{"name": value.Str("Fred"), "salary": value.Float(1000), "mgr": value.Ref(mike)}); err != nil {
+			return err
+		}
+		bystander, err = db.NewObject(tx, "Employee", map[string]value.Value{"name": value.Str("Bob"), "salary": value.Float(500)})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rule: when either changes income, make them equal (paper's
+	// MakeEqual).
+	err = db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "IncomeLevel",
+			EventSrc: "end Employee::ChangeIncome(float amount) or end Manager::ChangeIncome(float amount)",
+			Condition: func(ctx rule.ExecContext, det event.Detection) (bool, error) {
+				f, err := ctx.GetAttr(fred, "salary")
+				if err != nil {
+					return false, err
+				}
+				m, err := ctx.GetAttr(mike, "salary")
+				if err != nil {
+					return false, err
+				}
+				return !f.Equal(m), nil
+			},
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				src := det.Last().Source
+				newSal, _ := det.Last().Args[0].Numeric()
+				other := fred
+				if src == fred {
+					other = mike
+				}
+				return ctx.SetAttr(other, "salary", value.Float(newSal))
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.Subscribe(tx, fred, r.ID()); err != nil {
+			return err
+		}
+		return db.Subscribe(tx, mike, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fred's raise propagates to Mike.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "ChangeIncome", value.Float(3000))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(id oid.OID, want float64) {
+		t.Helper()
+		if err := db.Atomically(func(tx *core.Tx) error {
+			v, err := db.GetSys(tx, id, "salary")
+			if err != nil {
+				return err
+			}
+			if f, _ := v.Numeric(); f != want {
+				t.Errorf("salary = %v, want %v", v, want)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(fred, 3000)
+	check(mike, 3000)
+
+	// Mike's change propagates back to Fred (m:n, both directions).
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, mike, "ChangeIncome", value.Float(4000))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check(fred, 4000)
+
+	// The bystander is NOT monitored: its change triggers nothing.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, bystander, "ChangeIncome", value.Float(9999))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check(fred, 4000)
+	check(mike, 4000)
+}

@@ -1,0 +1,286 @@
+package core_test
+
+// Secondary-index integration: correctness under writes, creations,
+// deletions and aborts; subclass coverage; the lookup(...) builtin; and
+// persistence across clean reopen and crash recovery.
+
+import (
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+)
+
+func lookupIDs(t *testing.T, db *core.Database, class, attr string, v value.Value) ([]oid.OID, bool) {
+	t.Helper()
+	var ids []oid.OID
+	var indexed bool
+	err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		ids, indexed, err = db.LookupByAttr(tx, class, attr, v)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids, indexed
+}
+
+func TestIndexBackfillAndMaintenance(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	mary := mkEmployee(t, db, "mary", 200)
+
+	// Before any index: scan path.
+	ids, indexed := lookupIDs(t, db, "Employee", "name", value.Str("fred"))
+	if indexed || len(ids) != 1 || ids[0] != fred {
+		t.Fatalf("scan lookup = %v (indexed=%v)", ids, indexed)
+	}
+
+	// Create the index: backfilled from the live population.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateIndex(tx, "Employee", "name")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids, indexed = lookupIDs(t, db, "Employee", "name", value.Str("mary"))
+	if !indexed || len(ids) != 1 || ids[0] != mary {
+		t.Fatalf("indexed lookup = %v (indexed=%v)", ids, indexed)
+	}
+
+	// Attribute writes move index entries.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		return db.SetSys(tx, fred, "name", value.Str("frederick"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := lookupIDs(t, db, "Employee", "name", value.Str("fred")); len(ids) != 0 {
+		t.Fatalf("stale entry after rename: %v", ids)
+	}
+	if ids, _ := lookupIDs(t, db, "Employee", "name", value.Str("frederick")); len(ids) != 1 {
+		t.Fatalf("missing entry after rename: %v", ids)
+	}
+
+	// New objects are indexed; deleted ones are dropped.
+	bob := mkEmployee(t, db, "bob", 1)
+	if ids, _ := lookupIDs(t, db, "Employee", "name", value.Str("bob")); len(ids) != 1 || ids[0] != bob {
+		t.Fatalf("created object not indexed: %v", ids)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DeleteObject(tx, bob) }); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := lookupIDs(t, db, "Employee", "name", value.Str("bob")); len(ids) != 0 {
+		t.Fatalf("deleted object still indexed: %v", ids)
+	}
+}
+
+func TestIndexAbortRollsBackEntries(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateIndex(tx, "Employee", "name")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aborted rename: the index must revert.
+	tx := db.Begin()
+	if err := db.SetSys(tx, fred, "name", value.Str("ghost")); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if ids, _ := lookupIDs(t, db, "Employee", "name", value.Str("ghost")); len(ids) != 0 {
+		t.Fatalf("aborted rename visible in index: %v", ids)
+	}
+	if ids, _ := lookupIDs(t, db, "Employee", "name", value.Str("fred")); len(ids) != 1 {
+		t.Fatalf("original entry lost: %v", ids)
+	}
+
+	// Aborted creation: no entry.
+	tx = db.Begin()
+	if _, err := db.NewObject(tx, "Employee", map[string]value.Value{"name": value.Str("phantom")}); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if ids, _ := lookupIDs(t, db, "Employee", "name", value.Str("phantom")); len(ids) != 0 {
+		t.Fatalf("aborted creation indexed: %v", ids)
+	}
+
+	// Aborted deletion: entry restored.
+	tx = db.Begin()
+	if err := db.DeleteObject(tx, fred); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if ids, _ := lookupIDs(t, db, "Employee", "name", value.Str("fred")); len(ids) != 1 {
+		t.Fatalf("aborted deletion dropped the entry: %v", ids)
+	}
+
+	// Aborted index creation: gone entirely.
+	tx = db.Begin()
+	if _, err := db.CreateIndex(tx, "Employee", "salary"); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if db.Index("Employee", "salary") != nil {
+		t.Fatal("aborted index creation survived")
+	}
+}
+
+func TestIndexCoversSubclasses(t *testing.T) {
+	db := orgDB(t)
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateIndex(tx, "Employee", "name")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var mgr oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		mgr, err = db.NewObject(tx, "Manager", map[string]value.Value{"name": value.Str("boss")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids, indexed := lookupIDs(t, db, "Employee", "name", value.Str("boss"))
+	if !indexed || len(ids) != 1 || ids[0] != mgr {
+		t.Fatalf("subclass instance not covered: %v", ids)
+	}
+}
+
+func TestIndexErrorsAndDrop(t *testing.T) {
+	db := orgDB(t)
+	err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.CreateIndex(tx, "Nope", "x"); err == nil {
+			t.Error("unknown class accepted")
+		}
+		if _, err := db.CreateIndex(tx, "Employee", "nope"); err == nil {
+			t.Error("unknown attribute accepted")
+		}
+		if _, err := db.CreateIndex(tx, core.SysRuleClass, "name"); err == nil {
+			t.Error("system class accepted")
+		}
+		if _, err := db.CreateIndex(tx, "Employee", "name"); err != nil {
+			return err
+		}
+		if _, err := db.CreateIndex(tx, "Employee", "name"); err == nil {
+			t.Error("duplicate index accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DropIndex(tx, "Employee", "name") }); err != nil {
+		t.Fatal(err)
+	}
+	if db.Index("Employee", "name") != nil {
+		t.Fatal("index survived drop")
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DropIndex(tx, "Employee", "name") }); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestIndexViaDSLAndLookupBuiltin(t *testing.T) {
+	db := orgDB(t)
+	mkEmployee(t, db, "fred", 100)
+	mkEmployee(t, db, "fred", 150) // same name, different person
+	mkEmployee(t, db, "mary", 200)
+
+	if err := db.Exec(`
+		index Employee.name
+		let freds := lookup("Employee", "name", "fred")
+		print("freds:", len(freds))
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Index("Employee", "name") == nil {
+		t.Fatal("DSL index statement did not create an index")
+	}
+	if err := db.Exec(`unindex Employee.name`); err != nil {
+		t.Fatal(err)
+	}
+	if db.Index("Employee", "name") != nil {
+		t.Fatal("DSL unindex did not drop")
+	}
+	// lookup still works via scan.
+	if err := db.Exec(`print(len(lookup("Employee", "name", "mary")))`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexSurvivesReopenAndCrash(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	fred := mkEmployee(t, db, "fred", 100)
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateIndex(tx, "Employee", "name")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean reopen: index definition + contents rebuilt.
+	db2, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := db2.Index("Employee", "name")
+	if h == nil {
+		t.Fatal("index lost on reopen")
+	}
+	if got := h.Lookup(value.Str("fred")); len(got) != 1 || got[0] != fred {
+		t.Fatalf("rebuilt index contents = %v", got)
+	}
+	// Write after reopen, then crash: recovery must rebuild with the
+	// post-checkpoint state.
+	mary := mkEmployee(t, db2, "mary", 5)
+	if err := db2.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	h3 := db3.Index("Employee", "name")
+	if h3 == nil {
+		t.Fatal("index lost in crash recovery")
+	}
+	if got := h3.Lookup(value.Str("mary")); len(got) != 1 || got[0] != mary {
+		t.Fatalf("crash-recovered index missing mary: %v", got)
+	}
+}
+
+func TestIndexMethodWritesMaintained(t *testing.T) {
+	// Writes through methods (the normal path) maintain the index too.
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateIndex(tx, "Employee", "salary")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(777))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids, indexed := lookupIDs(t, db, "Employee", "salary", value.Float(777))
+	if !indexed || len(ids) != 1 || ids[0] != fred {
+		t.Fatalf("method write not reflected: %v", ids)
+	}
+	if ids, _ := lookupIDs(t, db, "Employee", "salary", value.Float(100)); len(ids) != 0 {
+		t.Fatalf("old salary entry lingering: %v", ids)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/index"
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+)
+
+// Secondary indexes: equality lookups on (class, attribute), maintained
+// inline on every write with undo hooks, persisted as __Index catalog
+// objects, rebuilt on open. Queries go through LookupByAttr (and the
+// SentinelQL lookup(...) builtin), which uses the index when one exists and
+// degrades to a scan otherwise.
+
+type idxKey struct{ class, attr string }
+
+// CreateIndex builds an equality index on class.attr (covering subclass
+// instances), backfills it from the live population, and records it in the
+// catalog. Creation is transactional.
+func (db *Database) CreateIndex(t *Tx, class, attr string) (*index.Hash, error) {
+	cls := db.reg.Lookup(class)
+	if cls == nil {
+		return nil, fmt.Errorf("core: unknown class %q", class)
+	}
+	if IsSystemClass(class) {
+		return nil, fmt.Errorf("core: cannot index system class %s", class)
+	}
+	a := cls.AttributeNamed(attr)
+	if a == nil {
+		return nil, fmt.Errorf("core: class %s has no attribute %q", class, attr)
+	}
+	k := idxKey{class, attr}
+	db.mu.Lock()
+	if _, dup := db.indexes[k]; dup {
+		db.mu.Unlock()
+		return nil, fmt.Errorf("core: index on %s.%s already exists", class, attr)
+	}
+	db.mu.Unlock()
+
+	h := index.NewHash(class, attr)
+	// Backfill under shared locks so concurrent writers serialize with us.
+	for _, id := range db.InstancesOf(class) {
+		v, err := db.getAttr(t, id, attr, nil, true)
+		if err != nil {
+			return nil, err
+		}
+		h.Add(id, v)
+	}
+	objID, err := db.NewObject(t, SysIndexClass, map[string]value.Value{
+		"class": value.Str(class),
+		"attr":  value.Str(attr),
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	db.indexes[k] = h
+	db.indexObjs[k] = objID
+	db.indexByClass[class] = append(db.indexByClass[class], h)
+	db.mu.Unlock()
+	t.inner.OnUndo(func() {
+		db.mu.Lock()
+		delete(db.indexes, k)
+		delete(db.indexObjs, k)
+		db.indexByClass[class] = removeIndex(db.indexByClass[class], h)
+		db.mu.Unlock()
+	})
+	return h, nil
+}
+
+// DropIndex removes the index and its catalog object.
+func (db *Database) DropIndex(t *Tx, class, attr string) error {
+	k := idxKey{class, attr}
+	db.mu.Lock()
+	h := db.indexes[k]
+	objID := db.indexObjs[k]
+	db.mu.Unlock()
+	if h == nil {
+		return fmt.Errorf("core: no index on %s.%s", class, attr)
+	}
+	if err := db.DeleteObject(t, objID); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	delete(db.indexes, k)
+	delete(db.indexObjs, k)
+	db.indexByClass[class] = removeIndex(db.indexByClass[class], h)
+	db.mu.Unlock()
+	t.inner.OnUndo(func() {
+		db.mu.Lock()
+		db.indexes[k] = h
+		db.indexObjs[k] = objID
+		db.indexByClass[class] = append(db.indexByClass[class], h)
+		db.mu.Unlock()
+	})
+	return nil
+}
+
+// Index returns the live index on class.attr (nil if absent).
+func (db *Database) Index(class, attr string) *index.Hash {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.indexes[idxKey{class, attr}]
+}
+
+func removeIndex(s []*index.Hash, h *index.Hash) []*index.Hash {
+	for i, x := range s {
+		if x == h {
+			return append(s[:i:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// indexesCovering returns the indexes that cover the given object's
+// attribute: any index declared on a class in the object's MRO with a
+// matching attribute name.
+func (db *Database) indexesCovering(o *object.Object, attr string) []*index.Hash {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []*index.Hash
+	for _, k := range o.Class().MRO() {
+		for _, h := range db.indexByClass[k.Name] {
+			if h.Attr() == attr {
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// indexWrite updates covering indexes for an attribute change and arms the
+// undo hook.
+func (db *Database) indexWrite(t *Tx, o *object.Object, attr string, oldV, newV value.Value) {
+	covering := db.indexesCovering(o, attr)
+	if len(covering) == 0 {
+		return
+	}
+	id := o.ID()
+	for _, h := range covering {
+		h.Move(id, oldV, newV)
+	}
+	t.inner.OnUndo(func() {
+		for _, h := range covering {
+			h.Move(id, newV, oldV)
+		}
+	})
+}
+
+// indexObjectAdd indexes a freshly created object in every covering index.
+func (db *Database) indexObjectAdd(t *Tx, o *object.Object) {
+	cls := o.Class()
+	id := o.ID()
+	db.mu.Lock()
+	var pairs []*index.Hash
+	for _, k := range cls.MRO() {
+		pairs = append(pairs, db.indexByClass[k.Name]...)
+	}
+	db.mu.Unlock()
+	if len(pairs) == 0 {
+		return
+	}
+	for _, h := range pairs {
+		if a := cls.AttributeNamed(h.Attr()); a != nil {
+			h.Add(id, o.GetSlot(a.Slot()))
+		}
+	}
+	t.inner.OnUndo(func() {
+		for _, h := range pairs {
+			if a := cls.AttributeNamed(h.Attr()); a != nil {
+				h.Remove(id, o.GetSlot(a.Slot()))
+			}
+		}
+	})
+}
+
+// indexObjectRemove drops a deleted object from every covering index.
+func (db *Database) indexObjectRemove(t *Tx, o *object.Object) {
+	cls := o.Class()
+	id := o.ID()
+	db.mu.Lock()
+	var pairs []*index.Hash
+	for _, k := range cls.MRO() {
+		pairs = append(pairs, db.indexByClass[k.Name]...)
+	}
+	db.mu.Unlock()
+	if len(pairs) == 0 {
+		return
+	}
+	type saved struct {
+		h *index.Hash
+		v value.Value
+	}
+	var snaps []saved
+	for _, h := range pairs {
+		if a := cls.AttributeNamed(h.Attr()); a != nil {
+			v := o.GetSlot(a.Slot())
+			h.Remove(id, v)
+			snaps = append(snaps, saved{h, v})
+		}
+	}
+	t.inner.OnUndo(func() {
+		for _, s := range snaps {
+			s.h.Add(id, s.v)
+		}
+	})
+}
+
+// LookupByAttr returns the OIDs of instances of class (or subclasses) whose
+// attribute equals v. It uses the index on (class, attr) when present and
+// otherwise scans, so it is always correct and opportunistically fast. The
+// second result reports whether an index served the query.
+func (db *Database) LookupByAttr(t *Tx, class, attr string, v value.Value) ([]oid.OID, bool, error) {
+	if h := db.Index(class, attr); h != nil {
+		return h.Lookup(v), true, nil
+	}
+	cls := db.reg.Lookup(class)
+	if cls == nil {
+		return nil, false, fmt.Errorf("core: unknown class %q", class)
+	}
+	if cls.AttributeNamed(attr) == nil {
+		return nil, false, fmt.Errorf("core: class %s has no attribute %q", class, attr)
+	}
+	var out []oid.OID
+	for _, id := range db.InstancesOf(class) {
+		got, err := db.getAttr(t, id, attr, nil, true)
+		if err != nil {
+			return nil, false, err
+		}
+		if got.Equal(v) {
+			out = append(out, id)
+		}
+	}
+	return out, false, nil
+}
+
+// Indexes returns all live indexes, sorted by class then attribute.
+func (db *Database) Indexes() []*index.Hash {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*index.Hash, 0, len(db.indexes))
+	for _, h := range db.indexes {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class() != out[j].Class() {
+			return out[i].Class() < out[j].Class()
+		}
+		return out[i].Attr() < out[j].Attr()
+	})
+	return out
+}

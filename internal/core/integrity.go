@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sentinel/internal/index"
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+)
+
+// CheckIntegrity cross-checks the runtime structures against each other and
+// against the object population, returning a sorted list of problems (empty
+// means consistent). It verifies:
+//
+//   - reference attributes point at live objects (no dangling refs),
+//   - every runtime rule has its __Rule object and vice versa,
+//   - every named event has its __Event object and vice versa,
+//   - every subscription edge has its __Subscription object, joins a live
+//     reactive object to a live rule, and vice versa,
+//   - name bindings target live objects and have __Name objects,
+//   - every secondary index exactly matches a fresh scan of the population,
+//   - class-level rule lists only contain live rules.
+//
+// It takes no locks beyond the catalog mutex per step, so run it at a
+// quiescent point (the shell's .check does).
+func (db *Database) CheckIntegrity() []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	// Snapshot the structures.
+	db.mu.Lock()
+	objects := make(map[oid.OID]string, len(db.objects))
+	for id, o := range db.objects {
+		objects[id] = o.Class().Name
+	}
+	rules := make(map[oid.OID]string, len(db.rules))
+	for id, r := range db.rules {
+		rules[id] = r.Name()
+	}
+	subsCopy := make(map[oid.OID][]oid.OID, len(db.subs))
+	for k, v := range db.subs {
+		subsCopy[k] = append([]oid.OID(nil), v...)
+	}
+	subObjs := make(map[subKey]oid.OID, len(db.subObjs))
+	for k, v := range db.subObjs {
+		subObjs[k] = v
+	}
+	names := make(map[string]oid.OID, len(db.names))
+	for k, v := range db.names {
+		names[k] = v
+	}
+	nameObjs := make(map[string]oid.OID, len(db.nameObjs))
+	for k, v := range db.nameObjs {
+		nameObjs[k] = v
+	}
+	eventObjs := make(map[string]oid.OID, len(db.eventObjs))
+	for k, v := range db.eventObjs {
+		eventObjs[k] = v
+	}
+	indexes := make(map[idxKey]*index.Hash, len(db.indexes))
+	for k, v := range db.indexes {
+		indexes[k] = v
+	}
+	classRules := make(map[string][]*ruleEntry)
+	for cls, rs := range db.classRules {
+		for _, r := range rs {
+			classRules[cls] = append(classRules[cls], &ruleEntry{id: r.ID(), name: r.Name()})
+		}
+	}
+	db.mu.Unlock()
+
+	// 1. Dangling references in object attributes.
+	for id := range objects {
+		o := db.objectByID(id)
+		if o == nil {
+			continue
+		}
+		for _, a := range o.Class().Layout() {
+			checkRefs(o.GetSlot(a.Slot()), func(ref oid.OID) {
+				if _, live := objects[ref]; !live {
+					addf("object %s (%s): attribute %s references missing object %s",
+						id, o.Class().Name, a.Name, ref)
+				}
+			})
+		}
+	}
+
+	// 2. Rules ↔ __Rule objects.
+	for id, name := range rules {
+		cls, ok := objects[id]
+		if !ok {
+			addf("rule %q (%s): no backing __Rule object", name, id)
+		} else if cls != SysRuleClass {
+			addf("rule %q (%s): backing object has class %s", name, id, cls)
+		}
+	}
+	for id, cls := range objects {
+		if cls == SysRuleClass {
+			if _, ok := rules[id]; !ok {
+				addf("__Rule object %s has no runtime rule", id)
+			}
+		}
+	}
+
+	// 3. Named events ↔ __Event objects.
+	for name, id := range eventObjs {
+		if cls, ok := objects[id]; !ok || cls != SysEventClass {
+			addf("named event %q: backing object %s missing or wrong class", name, id)
+		}
+	}
+	for id, cls := range objects {
+		if cls == SysEventClass {
+			found := false
+			for _, eid := range eventObjs {
+				if eid == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				addf("__Event object %s not in the named-event catalog", id)
+			}
+		}
+	}
+
+	// 4. Subscriptions: edges ↔ __Subscription objects, endpoints live.
+	for reactive, consumers := range subsCopy {
+		if _, live := objects[reactive]; !live {
+			addf("subscription list for missing reactive object %s", reactive)
+		}
+		for _, c := range consumers {
+			if _, isRule := rules[c]; !isRule {
+				addf("subscription %s -> %s: consumer is not a live rule", reactive, c)
+			}
+			if _, ok := subObjs[subKey{reactive, c}]; !ok {
+				addf("subscription %s -> %s: no backing __Subscription object", reactive, c)
+			}
+		}
+	}
+	for k, subID := range subObjs {
+		if cls, ok := objects[subID]; !ok || cls != SysSubClass {
+			addf("__Subscription record %s missing or wrong class", subID)
+		}
+		found := false
+		for _, c := range subsCopy[k.reactive] {
+			if c == k.consumer {
+				found = true
+				break
+			}
+		}
+		if !found {
+			addf("__Subscription object %s has no runtime edge %s -> %s", subID, k.reactive, k.consumer)
+		}
+	}
+
+	// 5. Name bindings.
+	for name, target := range names {
+		if _, live := objects[target]; !live {
+			addf("name %q targets missing object %s", name, target)
+		}
+		if _, ok := nameObjs[name]; !ok {
+			addf("name %q has no backing __Name object", name)
+		}
+	}
+
+	// 6. Indexes match a fresh scan.
+	for k, h := range indexes {
+		cls := db.reg.Lookup(k.class)
+		if cls == nil {
+			addf("index %s.%s: class no longer registered", k.class, k.attr)
+			continue
+		}
+		expected := index.NewHash(k.class, k.attr)
+		db.mu.Lock()
+		for id, o := range db.objects {
+			if !o.Class().IsSubclassOf(cls) {
+				continue
+			}
+			if a := o.Class().AttributeNamed(k.attr); a != nil {
+				expected.Add(id, o.GetSlot(a.Slot()))
+			}
+		}
+		db.mu.Unlock()
+		if expected.Len() != h.Len() {
+			addf("index %s.%s: has %d entries, scan finds %d", k.class, k.attr, h.Len(), expected.Len())
+			continue
+		}
+		// Spot-verify: every scanned entry must be found by the index.
+		db.mu.Lock()
+		for id, o := range db.objects {
+			if !o.Class().IsSubclassOf(cls) {
+				continue
+			}
+			a := o.Class().AttributeNamed(k.attr)
+			if a == nil {
+				continue
+			}
+			v := o.GetSlot(a.Slot())
+			hit := false
+			for _, got := range h.Lookup(v) {
+				if got == id {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				addf("index %s.%s: object %s with value %s not indexed", k.class, k.attr, id, v)
+			}
+		}
+		db.mu.Unlock()
+	}
+
+	// 7. Class-level rule lists reference live rules of that class scope.
+	for cls, entries := range classRules {
+		for _, e := range entries {
+			if _, ok := rules[e.id]; !ok {
+				addf("class-level rule list for %s contains dead rule %q (%s)", cls, e.name, e.id)
+			}
+		}
+	}
+
+	sort.Strings(problems)
+	return problems
+}
+
+type ruleEntry struct {
+	id   oid.OID
+	name string
+}
+
+// checkRefs walks a value (including nested lists) invoking fn for every
+// object reference.
+func checkRefs(v value.Value, fn func(oid.OID)) {
+	if ref, ok := v.AsRef(); ok {
+		if !ref.IsNil() {
+			fn(ref)
+		}
+		return
+	}
+	if lst, ok := v.AsList(); ok {
+		for _, e := range lst {
+			checkRefs(e, fn)
+		}
+	}
+}
+
+// MustBeConsistent panics when CheckIntegrity finds problems; a test and
+// shutdown helper.
+func (db *Database) MustBeConsistent() {
+	if problems := db.CheckIntegrity(); len(problems) > 0 {
+		panic("core: integrity check failed:\n  " + strings.Join(problems, "\n  "))
+	}
+}

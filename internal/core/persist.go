@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/event"
+	"sentinel/internal/heap"
+	"sentinel/internal/index"
+	"sentinel/internal/lang"
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/value"
+	"sentinel/internal/wal"
+)
+
+// openStorage opens the heap and WAL, performs crash recovery (replaying
+// committed transactions logged after the last checkpoint into the heap),
+// materializes all objects into the cache, and rebuilds the runtime
+// catalogs — DSL classes, named events, rules, subscriptions and name
+// bindings — from their system objects.
+func (db *Database) openStorage() error {
+	store, err := heap.Open(db.opts.Dir, heap.Options{PoolPages: db.opts.PoolPages})
+	if err != nil {
+		return err
+	}
+	db.store = store
+	db.loadMeta(store.Meta())
+
+	log, err := wal.Open(db.walPath())
+	if err != nil {
+		store.Close()
+		return err
+	}
+	db.log = log
+
+	// Redo recovery. First scan the log; any logged work means the side
+	// index cannot be trusted (a crash may have left it at the previous
+	// checkpoint while evictions advanced some pages), so the object table
+	// is rebuilt by a page scan — every record embeds its OID — before the
+	// committed transactions are re-applied.
+	var recs []wal.Record
+	hasWork := false
+	err = log.Replay(func(r wal.Record) error {
+		recs = append(recs, r)
+		if r.Type != wal.RecCheckpoint {
+			hasWork = true
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: WAL scan: %w", err)
+	}
+	if hasWork {
+		if err := store.Rescan(); err != nil {
+			return fmt.Errorf("core: heap rescan: %w", err)
+		}
+		pending := make(map[uint64][]wal.Record)
+		for _, r := range recs {
+			switch r.Type {
+			case wal.RecUpdate, wal.RecDelete:
+				pending[r.Tx] = append(pending[r.Tx], r)
+			case wal.RecCommit:
+				for _, u := range pending[r.Tx] {
+					if u.Type == wal.RecUpdate {
+						if err := store.Put(u.OID, u.Data); err != nil {
+							return err
+						}
+					} else {
+						if err := store.Delete(u.OID); err != nil {
+							return err
+						}
+					}
+				}
+				delete(pending, r.Tx)
+			case wal.RecAbort:
+				delete(pending, r.Tx)
+			}
+		}
+		// Uncommitted tails in `pending` are discarded (no-steal policy:
+		// they were never applied to the heap).
+	}
+
+	if err := db.loadObjects(); err != nil {
+		return err
+	}
+
+	// Start the next epoch from a clean checkpoint.
+	return db.Checkpoint()
+}
+
+// loadObjects materializes the heap into the object cache and rebuilds the
+// runtime catalogs in dependency order: __ClassDef sources first (so
+// application objects can decode), then everything, then events → rules →
+// subscriptions → names.
+func (db *Database) loadObjects() error {
+	// Pass 1: collect images grouped by class name.
+	type img struct {
+		id   oid.OID
+		data []byte
+	}
+	byClass := make(map[string][]img)
+	var maxOID oid.OID
+	err := db.store.ForEach(func(id oid.OID, data []byte) error {
+		cls, err := object.PeekClass(data)
+		if err != nil {
+			return fmt.Errorf("core: object %s: %w", id, err)
+		}
+		byClass[cls] = append(byClass[cls], img{id: id, data: data})
+		if id > maxOID {
+			maxOID = id
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	db.alloc.Advance(maxOID)
+
+	// Pass 2: replay DSL class definitions (ordered by seq) so their
+	// instances can decode. The replay transaction only registers classes;
+	// nothing is re-persisted.
+	defs := byClass[SysClassDefClass]
+	type defEntry struct {
+		seq    int64
+		name   string
+		source string
+	}
+	var entries []defEntry
+	for _, im := range defs {
+		o, err := object.Decode(im.id, im.data, db.reg)
+		if err != nil {
+			return err
+		}
+		name, _ := mustGet(o, "name").AsString()
+		src, _ := mustGet(o, "source").AsString()
+		seq, _ := mustGet(o, "seq").AsInt()
+		entries = append(entries, defEntry{seq: seq, name: name, source: src})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	if len(entries) > 0 {
+		t := db.Begin()
+		for _, e := range entries {
+			script, err := lang.ParseScript(e.source, db.eventResolver())
+			if err != nil {
+				return fmt.Errorf("core: replaying class %s: %w", e.name, err)
+			}
+			for _, item := range script.Items {
+				cd, ok := item.(*lang.ClassDecl)
+				if !ok {
+					return fmt.Errorf("core: catalog entry for class %s contains a non-class item", e.name)
+				}
+				if err := db.registerDSLClass(t, cd, false); err != nil {
+					return fmt.Errorf("core: replaying class %s: %w", e.name, err)
+				}
+			}
+		}
+		if err := db.Commit(t); err != nil {
+			return err
+		}
+	}
+
+	// Pass 3: materialize every object.
+	for cls, imgs := range byClass {
+		for _, im := range imgs {
+			o, err := object.Decode(im.id, im.data, db.reg)
+			if err != nil {
+				return fmt.Errorf("core: materializing %s instance %s: %w", cls, im.id, err)
+			}
+			db.objects[im.id] = o
+		}
+	}
+
+	// Pass 4: named events (before rules, which may reference them).
+	for _, im := range byClass[SysEventClass] {
+		o := db.objects[im.id]
+		name, _ := mustGet(o, "name").AsString()
+		src, _ := mustGet(o, "source").AsString()
+		e, err := db.ParseEvent(src)
+		if err != nil {
+			return fmt.Errorf("core: rebuilding event %q: %w", name, err)
+		}
+		e.SetID(im.id)
+		db.namedEvents[name] = e
+		db.eventObjs[name] = im.id
+	}
+
+	// Pass 5: rules.
+	for _, im := range byClass[SysRuleClass] {
+		if err := db.rebuildRule(db.objects[im.id]); err != nil {
+			return err
+		}
+	}
+
+	// Pass 6: subscriptions.
+	for _, im := range byClass[SysSubClass] {
+		o := db.objects[im.id]
+		reactive, _ := mustGet(o, "reactive").AsRef()
+		consumer, _ := mustGet(o, "consumer").AsRef()
+		db.subs[reactive] = append(db.subs[reactive], consumer)
+		db.subObjs[subKey{reactive, consumer}] = im.id
+	}
+
+	// Pass 7: name bindings.
+	for _, im := range byClass[SysNameClass] {
+		o := db.objects[im.id]
+		name, _ := mustGet(o, "name").AsString()
+		target, _ := mustGet(o, "target").AsRef()
+		db.names[name] = target
+		db.nameObjs[name] = im.id
+	}
+
+	// Pass 8: secondary indexes, rebuilt from the materialized population.
+	for _, im := range byClass[SysIndexClass] {
+		o := db.objects[im.id]
+		clsName, _ := mustGet(o, "class").AsString()
+		attr, _ := mustGet(o, "attr").AsString()
+		cls := db.reg.Lookup(clsName)
+		if cls == nil {
+			return fmt.Errorf("core: index catalog references unknown class %q", clsName)
+		}
+		h := index.NewHash(clsName, attr)
+		for id, obj := range db.objects {
+			if !obj.Class().IsSubclassOf(cls) {
+				continue
+			}
+			if a := obj.Class().AttributeNamed(attr); a != nil {
+				h.Add(id, obj.GetSlot(a.Slot()))
+			}
+		}
+		k := idxKey{clsName, attr}
+		db.indexes[k] = h
+		db.indexObjs[k] = im.id
+		db.indexByClass[clsName] = append(db.indexByClass[clsName], h)
+	}
+	return nil
+}
+
+// rebuildRule reconstructs the runtime rule from its persistent __Rule
+// object: event source re-parses, "go:" references re-bind against the
+// function registries (which the application fills in Options.Schema),
+// SentinelQL sources re-compile.
+func (db *Database) rebuildRule(o *object.Object) error {
+	name, _ := mustGet(o, "name").AsString()
+	evSrc, _ := mustGet(o, "event").AsString()
+	condSrc, _ := mustGet(o, "cond").AsString()
+	actSrc, _ := mustGet(o, "action").AsString()
+	couplingI, _ := mustGet(o, "coupling").AsInt()
+	priority, _ := mustGet(o, "priority").AsInt()
+	enabled, _ := mustGet(o, "enabled").AsBool()
+	classLevel, _ := mustGet(o, "classLevel").AsString()
+	contextI, _ := mustGet(o, "context").AsInt()
+	txScoped, _ := mustGet(o, "txScoped").AsBool()
+
+	ev, err := db.ParseEvent(evSrc)
+	if err != nil {
+		return fmt.Errorf("core: rebuilding rule %q event: %w", name, err)
+	}
+	spec := RuleSpec{CondSrc: condSrc, ActionSrc: actSrc}
+	cond, _, err := db.resolveCondition(spec)
+	if err != nil {
+		return fmt.Errorf("core: rebuilding rule %q condition (register go: functions in Options.Schema): %w", name, err)
+	}
+	act, _, err := db.resolveAction(spec)
+	if err != nil {
+		return fmt.Errorf("core: rebuilding rule %q action (register go: functions in Options.Schema): %w", name, err)
+	}
+
+	r := rule.New(name, ev, cond, act, rule.Coupling(couplingI))
+	r.Priority = int(priority)
+	r.Context = event.Context(contextI)
+	r.CondSrc = condSrc
+	r.ActSrc = actSrc
+	r.ClassLevel = classLevel
+	r.TxScoped = txScoped
+	r.SetID(o.ID())
+	ev.SetID(o.ID())
+	if err := r.Compile(db.hierarchy()); err != nil {
+		return fmt.Errorf("core: rebuilding rule %q: %w", name, err)
+	}
+	if !enabled {
+		r.Disable()
+	}
+	db.rules[o.ID()] = r
+	db.rulesByName[name] = r
+	if classLevel != "" {
+		db.classRules[classLevel] = append(db.classRules[classLevel], r)
+	}
+	return nil
+}
+
+// Checkpoint flushes committed state to the heap, writes the object-table
+// index and metadata atomically, and truncates the WAL. After a checkpoint,
+// recovery restarts from this state.
+func (db *Database) Checkpoint() error {
+	if db.store == nil {
+		return nil
+	}
+	db.mu.Lock()
+	meta := db.metaBlob()
+	db.mu.Unlock()
+	if err := db.store.Checkpoint(meta); err != nil {
+		return err
+	}
+	return db.log.Truncate()
+}
+
+func mustGet(o *object.Object, attr string) value.Value {
+	v, err := o.Get(attr)
+	if err != nil {
+		return value.Nil
+	}
+	return v
+}

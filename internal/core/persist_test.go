@@ -1,0 +1,436 @@
+package core_test
+
+// Persistence and crash-recovery tests: rules, events, subscriptions and
+// name bindings are first-class persistent objects and come back through
+// clean reopen AND WAL crash recovery.
+
+import (
+	"io"
+	"testing"
+
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+func persistentOpts(dir string) core.Options {
+	return core.Options{Dir: dir, SyncOnCommit: true, Output: io.Discard}
+}
+
+func orgOpts(dir string) core.Options {
+	o := persistentOpts(dir)
+	o.Schema = func(db *core.Database) error { return bench.InstallOrgSchema(db) }
+	return o
+}
+
+func TestCrashRecoveryObjects(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	fred := mkEmployee(t, db, "fred", 100)
+	// Checkpoint, then more committed work that lives only in the WAL.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mary := mkEmployee(t, db, "mary", 200)
+	if err := db.Atomically(func(tx *core.Tx) error {
+		return db.SetSys(tx, fred, "salary", value.Float(555))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatalf("crash recovery: %v", err)
+	}
+	defer db2.Close()
+	if !db2.Exists(fred) || !db2.Exists(mary) {
+		t.Fatal("objects lost in crash recovery")
+	}
+	if err := db2.Atomically(func(tx *core.Tx) error {
+		v, err := db2.GetSys(tx, fred, "salary")
+		if err != nil {
+			return err
+		}
+		if f, _ := v.Numeric(); f != 555 {
+			t.Errorf("salary = %v, want 555", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// New OIDs do not collide with recovered ones.
+	bob := mkEmployee(t, db2, "bob", 1)
+	if bob == fred || bob == mary {
+		t.Fatal("OID allocator not advanced past recovered objects")
+	}
+}
+
+func TestCrashRecoveryUncommittedInvisible(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	fred := mkEmployee(t, db, "fred", 100)
+	// An open transaction's writes must not survive the crash.
+	tx := db.Begin()
+	if err := db.SetSys(tx, fred, "salary", value.Float(999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.Atomically(func(tx *core.Tx) error {
+		v, err := db2.GetSys(tx, fred, "salary")
+		if err != nil {
+			return err
+		}
+		if f, _ := v.Numeric(); f != 100 {
+			t.Errorf("uncommitted write survived: salary = %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashRecoveryDeletes(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	fred := mkEmployee(t, db, "fred", 100)
+	mary := mkEmployee(t, db, "mary", 100)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete fred after the checkpoint: only the WAL knows.
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DeleteObject(tx, fred) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Exists(fred) {
+		t.Fatal("deleted object resurrected by crash recovery")
+	}
+	if !db2.Exists(mary) {
+		t.Fatal("innocent object lost")
+	}
+}
+
+func TestRuleAndSubscriptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	fred := mkEmployee(t, db, "fred", 100)
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:      "cap",
+			EventSrc:  "end Employee::SetSalary(float amount)",
+			CondSrc:   "amount > 500.0",
+			ActionSrc: `abort "cap"`,
+			Coupling:  "deferred",
+			Priority:  7,
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, fred, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseAbrupt(); err != nil { // crash, not clean close
+		t.Fatal(err)
+	}
+
+	db2, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	r := db2.LookupRule("cap")
+	if r == nil {
+		t.Fatal("rule lost")
+	}
+	if r.Coupling != rule.Deferred || r.Priority != 7 {
+		t.Fatalf("rule metadata lost: %v", r)
+	}
+	// It still enforces.
+	err = db2.Atomically(func(tx *core.Tx) error {
+		_, err := db2.Send(tx, fred, "SetSalary", value.Float(501))
+		return err
+	})
+	if !core.IsAbort(err) {
+		t.Fatalf("recovered rule did not fire: %v", err)
+	}
+	if err := db2.Atomically(func(tx *core.Tx) error {
+		_, err := db2.Send(tx, fred, "SetSalary", value.Float(400))
+		return err
+	}); err != nil {
+		t.Fatalf("benign update blocked: %v", err)
+	}
+}
+
+func TestDisabledRuleStaysDisabledAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	fred := mkEmployee(t, db, "fred", 100)
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name: "w", EventSrc: "end Employee::SetSalary(float amount)",
+			ActionSrc: `print("x")`,
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, fred, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DisableRule(tx, "w") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.LookupRule("w").Enabled() {
+		t.Fatal("disabled state lost across reopen")
+	}
+}
+
+func TestDeletedRuleStaysDeletedAcrossCrash(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateRule(tx, core.RuleSpec{Name: "victim", EventSrc: "end Employee::SetSalary(float a)"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DeleteRule(tx, "victim") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.LookupRule("victim") != nil {
+		t.Fatal("deleted rule resurrected")
+	}
+}
+
+func TestGoConditionRebindsOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	fired := 0
+	mkOpts := func() core.Options {
+		o := persistentOpts(dir)
+		o.Schema = func(db *core.Database) error {
+			if err := bench.InstallOrgSchema(db); err != nil {
+				return err
+			}
+			db.RegisterCondition("overBudget", func(ctx rule.ExecContext, det event.Detection) (bool, error) {
+				a, _ := det.Last().Args[0].Numeric()
+				return a > 100, nil
+			})
+			db.RegisterAction("count", func(ctx rule.ExecContext, det event.Detection) error {
+				fired++
+				return nil
+			})
+			return nil
+		}
+		return o
+	}
+	db := core.MustOpen(mkOpts())
+	fred := mkEmployee(t, db, "fred", 100)
+	if err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name: "g", EventSrc: "end Employee::SetSalary(float amount)",
+			CondSrc: "go:overBudget", ActionSrc: "go:count",
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, fred, r.ID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := core.Open(mkOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if err := db2.Atomically(func(tx *core.Tx) error {
+		if _, err := db2.Send(tx, fred, "SetSalary", value.Float(50)); err != nil {
+			return err
+		}
+		_, err := db2.Send(tx, fred, "SetSalary", value.Float(500))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("rebound go: rule fired %d times, want 1", fired)
+	}
+
+	// Reopening WITHOUT registering the functions fails loudly.
+	db2.Close()
+	if _, err := core.Open(orgOpts(dir)); err == nil {
+		t.Fatal("open without registered go: functions should fail")
+	}
+}
+
+func TestDSLClassSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(persistentOpts(dir))
+	if err := db.Exec(`
+		class Gadget reactive persistent {
+			attr name string
+			attr uses int
+			event end method Use() { self.uses := self.uses + 1 }
+		}
+		class SuperGadget extends Gadget persistent {
+			method Boost() { self.uses := self.uses + 10 }
+		}
+		bind G new SuperGadget(name: "g1")
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec(`G!Use() G!Boost()`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := core.Open(persistentOpts(dir))
+	if err != nil {
+		t.Fatalf("DSL classes did not replay: %v", err)
+	}
+	defer db2.Close()
+	v, err := db2.Eval(`G.uses`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(value.Int(11)) {
+		t.Fatalf("uses = %v, want 11", v)
+	}
+	// The interpreted methods still run.
+	if err := db2.Exec(`G!Use()`); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = db2.Eval(`G.uses`)
+	if !v.Equal(value.Int(12)) {
+		t.Fatalf("post-recovery uses = %v", v)
+	}
+}
+
+func TestNamedEventSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.DefineEvent(tx, "Raise", "end Employee::SetSalary(float amount)")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := core.Open(orgOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	e, ok := db2.LookupEvent("Raise")
+	if !ok {
+		t.Fatal("named event lost")
+	}
+	if e.String() != "end Employee::SetSalary" {
+		t.Fatalf("event = %s", e)
+	}
+	// Usable in new rules.
+	if err := db2.Atomically(func(tx *core.Tx) error {
+		_, err := db2.CreateRule(tx, core.RuleSpec{Name: "r", EventSrc: "Raise"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointShrinksWAL(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(orgOpts(dir))
+	for i := 0; i < 50; i++ {
+		mkEmployee(t, db, "e", 1)
+	}
+	before := db.WALSize()
+	if before == 0 {
+		t.Fatal("WAL empty after 50 creates")
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if db.WALSize() >= before {
+		t.Fatalf("checkpoint did not shrink WAL: %d -> %d", before, db.WALSize())
+	}
+	db.Close()
+}
+
+func TestTransientClassesNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	opts := persistentOpts(dir)
+	opts.Schema = func(db *core.Database) error {
+		c := schema.NewClass("Scratch") // not persistent
+		c.Attr("x", value.TypeInt)
+		return db.RegisterClass(c)
+	}
+	db := core.MustOpen(opts)
+	var id oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		id, err = db.NewObject(tx, "Scratch", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Exists(id) {
+		t.Fatal("transient object persisted")
+	}
+}

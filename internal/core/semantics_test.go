@@ -1,0 +1,781 @@
+package core_test
+
+// Semantics tests: coupling modes, cascades, conflict resolution,
+// visibility, inheritance dispatch, transactional rollback of rule/event/
+// subscription management, and explicit events.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/txn"
+	"sentinel/internal/value"
+)
+
+// watchRule creates a rule with the given coupling that appends to log.
+func watchRule(t *testing.T, db *core.Database, name, coupling string, target oid.OID, log *[]string) *rule.Rule {
+	t.Helper()
+	var r *rule.Rule
+	err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		r, err = db.CreateRule(tx, core.RuleSpec{
+			Name:     name,
+			EventSrc: "end Employee::SetSalary(float amount)",
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				*log = append(*log, name)
+				return nil
+			},
+			Coupling: coupling,
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, target, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCouplingModes(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	var log []string
+	watchRule(t, db, "imm", "immediate", fred, &log)
+	watchRule(t, db, "def", "deferred", fred, &log)
+	watchRule(t, db, "det", "detached", fred, &log)
+
+	tx := db.Begin()
+	if _, err := db.Send(tx, fred, "SetSalary", value.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Immediate ran inline; deferred and detached have not.
+	if strings.Join(log, ",") != "imm" {
+		t.Fatalf("during tx: %v", log)
+	}
+	if _, err := db.Send(tx, fred, "SetSalary", value.Float(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Deferred ran at commit (once per detection), detached after.
+	want := "imm,imm,def,def,det,det"
+	if strings.Join(log, ",") != want {
+		t.Fatalf("after commit: %v, want %s", log, want)
+	}
+}
+
+func TestAbortDropsDeferredAndDetached(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	var log []string
+	watchRule(t, db, "def", "deferred", fred, &log)
+	watchRule(t, db, "det", "detached", fred, &log)
+
+	tx := db.Begin()
+	if _, err := db.Send(tx, fred, "SetSalary", value.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if len(log) != 0 {
+		t.Fatalf("aborted tx still ran rules: %v", log)
+	}
+}
+
+func TestDeferredRuleCanAbortTransaction(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:      "defAbort",
+			EventSrc:  "end Employee::SetSalary(float amount)",
+			CondSrc:   "amount > 100.0",
+			ActionSrc: `abort "too much (checked at commit)"`,
+			Coupling:  "deferred",
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, fred, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(500))
+		return err
+	})
+	if !core.IsAbort(err) {
+		t.Fatalf("deferred abort: %v", err)
+	}
+	// The write rolled back.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		v, err := db.GetSys(tx, fred, "salary")
+		if err != nil {
+			return err
+		}
+		if f, _ := v.Numeric(); f != 100 {
+			t.Errorf("salary = %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetachedAbortOnlyAffectsItsOwnTransaction(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "detAbort",
+			EventSrc: "end Employee::SetSalary(float amount)",
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				// Write something, then abort: neither survives, but the
+				// triggering transaction already committed.
+				if err := ctx.SetAttr(fred, "name", value.Str("clobbered")); err != nil {
+					return err
+				}
+				return ctx.Abort("detached tantrum")
+			},
+			Coupling: "detached",
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, fred, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The triggering transaction commits fine.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(777))
+		return err
+	}); err != nil {
+		t.Fatalf("triggering tx failed: %v", err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		sal, err := db.GetSys(tx, fred, "salary")
+		if err != nil {
+			return err
+		}
+		if f, _ := sal.Numeric(); f != 777 {
+			t.Errorf("salary = %v (triggering tx must commit)", sal)
+		}
+		name, err := db.GetSys(tx, fred, "name")
+		if err != nil {
+			return err
+		}
+		if !name.Equal(value.Str("fred")) {
+			t.Errorf("name = %v (detached write must roll back)", name)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictResolutionStrategies(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	var log []string
+	mk := func(name string, prio int) {
+		err := db.Atomically(func(tx *core.Tx) error {
+			r, err := db.CreateRule(tx, core.RuleSpec{
+				Name:     name,
+				EventSrc: "end Employee::SetSalary(float amount)",
+				Priority: prio,
+				Action: func(ctx rule.ExecContext, det event.Detection) error {
+					log = append(log, name)
+					return nil
+				},
+			})
+			if err != nil {
+				return err
+			}
+			return db.Subscribe(tx, fred, r.ID())
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("low", 1)
+	mk("high", 9)
+	mk("mid", 5)
+
+	fire := func() {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			_, err := db.Send(tx, fred, "SetSalary", value.Float(1))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fire()
+	if strings.Join(log, ",") != "high,mid,low" {
+		t.Fatalf("priority strategy: %v", log)
+	}
+	log = nil
+	if err := db.SetStrategy("fifo"); err != nil {
+		t.Fatal(err)
+	}
+	fire()
+	if strings.Join(log, ",") != "low,high,mid" {
+		t.Fatalf("fifo strategy: %v", log)
+	}
+	log = nil
+	if err := db.SetStrategy("lifo"); err != nil {
+		t.Fatal(err)
+	}
+	fire()
+	if strings.Join(log, ",") != "mid,high,low" {
+		t.Fatalf("lifo strategy: %v", log)
+	}
+	if err := db.SetStrategy("nope"); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}
+
+func TestCascadeDepthLimit(t *testing.T) {
+	db := core.MustOpen(core.Options{MaxCascadeDepth: 5, Output: nil})
+	if err := bench.InstallOrgSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	fred := mkEmployee(t, db, "fred", 100)
+	// A rule that re-triggers itself: SetSalary → action → SetSalary ...
+	err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "loop",
+			EventSrc: "end Employee::SetSalary(float amount)",
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				amt, _ := det.Last().Args[0].Numeric()
+				_, err := ctx.Send(fred, "SetSalary", value.Float(amt+1))
+				return err
+			},
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, fred, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(1))
+		return err
+	})
+	if err == nil || !strings.Contains(err.Error(), "cascade") {
+		t.Fatalf("runaway cascade not stopped: %v", err)
+	}
+}
+
+func TestRuleCreationRollsBackOnAbort(t *testing.T) {
+	db := orgDB(t)
+	tx := db.Begin()
+	if _, err := db.CreateRule(tx, core.RuleSpec{Name: "ghost", EventSrc: "end Employee::SetSalary(float a)"}); err != nil {
+		t.Fatal(err)
+	}
+	if db.LookupRule("ghost") == nil {
+		t.Fatal("rule not visible inside its transaction")
+	}
+	db.Abort(tx)
+	if db.LookupRule("ghost") != nil {
+		t.Fatal("aborted rule creation survived")
+	}
+	// The name is reusable.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateRule(tx, core.RuleSpec{Name: "ghost", EventSrc: "end Employee::SetSalary(float a)"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubscriptionRollsBackOnAbort(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	var r *rule.Rule
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		r, err = db.CreateRule(tx, core.RuleSpec{Name: "w", EventSrc: "end Employee::SetSalary(float a)"})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := db.Subscribe(tx, fred, r.ID()); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if len(db.Subscribers(fred)) != 0 {
+		t.Fatal("aborted subscription survived")
+	}
+	// And the reverse: unsubscribe rolls back too.
+	if err := db.Atomically(func(tx *core.Tx) error { return db.Subscribe(tx, fred, r.ID()) }); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin()
+	if err := db.Unsubscribe(tx, fred, r.ID()); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if len(db.Subscribers(fred)) != 1 {
+		t.Fatal("aborted unsubscribe went through")
+	}
+}
+
+func TestDeleteRuleRemovesSubscriptions(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	var r *rule.Rule
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		r, err = db.CreateRule(tx, core.RuleSpec{Name: "w", EventSrc: "end Employee::SetSalary(float a)"})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, fred, r.ID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DeleteRule(tx, "w") }); err != nil {
+		t.Fatal(err)
+	}
+	if db.LookupRule("w") != nil || len(db.Subscribers(fred)) != 0 {
+		t.Fatal("delete left residue")
+	}
+	if db.Exists(r.ID()) {
+		t.Fatal("rule object still live")
+	}
+	// Sending events is harmless afterwards.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, fred, "SetSalary", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNamedEventLifecycle(t *testing.T) {
+	db := orgDB(t)
+	err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.DefineEvent(tx, "Raise", "end Employee::SetSalary(float amount)")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate definition fails.
+	err = db.Atomically(func(tx *core.Tx) error {
+		_, err := db.DefineEvent(tx, "Raise", "end Employee::SetSalary(float amount)")
+		return err
+	})
+	if err == nil {
+		t.Fatal("duplicate event accepted")
+	}
+	// Deletion removes it from the catalog.
+	if err := db.Atomically(func(tx *core.Tx) error { return db.DeleteEvent(tx, "Raise") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.LookupEvent("Raise"); ok {
+		t.Fatal("deleted event still visible")
+	}
+	// Event creation rolls back with the transaction.
+	tx := db.Begin()
+	if _, err := db.DefineEvent(tx, "Temp", "end Employee::SetSalary(float a)"); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if _, ok := db.LookupEvent("Temp"); ok {
+		t.Fatal("aborted event definition survived")
+	}
+}
+
+func TestVirtualDispatchThroughInheritance(t *testing.T) {
+	db := core.MustOpen(quiet())
+	base := schema.NewClass("Shape")
+	base.Classification = schema.ReactiveClass
+	base.Attr("name", value.TypeString)
+	base.AddMethod(&schema.Method{
+		Name: "Describe", Visibility: schema.Public, Returns: value.TypeString,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			// Calls the VIRTUAL Area: the subclass override must win.
+			a, err := ctx.Send(ctx.Self(), "Area")
+			if err != nil {
+				return value.Nil, err
+			}
+			return value.Str(fmt.Sprintf("area=%s", a)), nil
+		},
+	})
+	base.AddMethod(&schema.Method{
+		Name: "Area", Visibility: schema.Public, Returns: value.TypeFloat,
+		Body: func(ctx schema.CallContext) (value.Value, error) { return value.Float(0), nil },
+	})
+	db.MustRegisterClass(base)
+
+	square := schema.NewClass("Square", base)
+	square.Attr("side", value.TypeFloat)
+	square.AddMethod(&schema.Method{
+		Name: "Area", Visibility: schema.Public, Returns: value.TypeFloat,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			s, err := ctx.Get("side")
+			if err != nil {
+				return value.Nil, err
+			}
+			f, _ := s.Numeric()
+			return value.Float(f * f), nil
+		},
+	})
+	db.MustRegisterClass(square)
+
+	var sq oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		sq, err = db.NewObject(tx, "Square", map[string]value.Value{"side": value.Float(3)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got value.Value
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		got, err = db.Send(tx, sq, "Describe")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(value.Str("area=9")) {
+		t.Fatalf("Describe = %v", got)
+	}
+}
+
+func TestVisibilityEnforcement(t *testing.T) {
+	db := core.MustOpen(quiet())
+	c := schema.NewClass("Sealed")
+	c.AddAttribute(&schema.Attribute{Name: "pub", Type: value.TypeInt, Visibility: schema.Public})
+	c.AddAttribute(&schema.Attribute{Name: "prot", Type: value.TypeInt, Visibility: schema.Protected})
+	c.AddAttribute(&schema.Attribute{Name: "priv", Type: value.TypeInt, Visibility: schema.Private})
+	c.AddMethod(&schema.Method{
+		Name: "Secret", Visibility: schema.Private,
+		Body: func(ctx schema.CallContext) (value.Value, error) { return value.Int(42), nil },
+	})
+	c.AddMethod(&schema.Method{
+		Name: "CallSecret", Visibility: schema.Public, Returns: value.TypeInt,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return ctx.Send(ctx.Self(), "Secret") // own class: allowed
+		},
+	})
+	c.AddMethod(&schema.Method{
+		Name: "ReadPriv", Visibility: schema.Public, Returns: value.TypeInt,
+		Body: func(ctx schema.CallContext) (value.Value, error) { return ctx.Get("priv") },
+	})
+	db.MustRegisterClass(c)
+
+	sub := schema.NewClass("SealedSub", c)
+	sub.AddMethod(&schema.Method{
+		Name: "ReadProt", Visibility: schema.Public, Returns: value.TypeInt,
+		Body: func(ctx schema.CallContext) (value.Value, error) { return ctx.Get("prot") }, // protected from subclass: allowed
+	})
+	sub.AddMethod(&schema.Method{
+		Name: "ReadPrivFromSub", Visibility: schema.Public,
+		Body: func(ctx schema.CallContext) (value.Value, error) { return ctx.Get("priv") }, // private from subclass: denied
+	})
+	db.MustRegisterClass(sub)
+
+	var obj oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		obj, err = db.NewObject(tx, "SealedSub", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.Atomically(func(tx *core.Tx) error {
+		// Application code: public ok, protected/private denied.
+		if _, err := db.Get(tx, obj, "pub"); err != nil {
+			t.Errorf("public attr denied: %v", err)
+		}
+		if _, err := db.Get(tx, obj, "prot"); err == nil {
+			t.Error("protected attr readable from application code")
+		}
+		if _, err := db.Get(tx, obj, "priv"); err == nil {
+			t.Error("private attr readable from application code")
+		}
+		if _, err := db.Send(tx, obj, "Secret"); err == nil {
+			t.Error("private method callable from application code")
+		}
+		// Through methods: own-class private ok, subclass-protected ok,
+		// subclass-private denied.
+		if _, err := db.Send(tx, obj, "CallSecret"); err != nil {
+			t.Errorf("own-class private call denied: %v", err)
+		}
+		if _, err := db.Send(tx, obj, "ReadPriv"); err != nil {
+			t.Errorf("own-class private read denied: %v", err)
+		}
+		if _, err := db.Send(tx, obj, "ReadProt"); err != nil {
+			t.Errorf("subclass protected read denied: %v", err)
+		}
+		if _, err := db.Send(tx, obj, "ReadPrivFromSub"); err == nil {
+			t.Error("subclass read private attribute of base")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitRaise(t *testing.T) {
+	db := core.MustOpen(quiet())
+	c := schema.NewClass("Boiler")
+	c.Classification = schema.ReactiveClass
+	c.Attr("temp", value.TypeFloat)
+	c.AddMethod(&schema.Method{
+		Name: "SetTemp", Params: []schema.Param{{Name: "v", Type: value.TypeFloat}},
+		Visibility: schema.Public,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			if err := ctx.Set("temp", ctx.Arg(0)); err != nil {
+				return value.Nil, err
+			}
+			if f, _ := ctx.Arg(0).Numeric(); f > 100 {
+				// §3.1 footnote 3: explicit primitive events from inside a
+				// method body.
+				return value.Nil, ctx.Raise("Overheat", ctx.Arg(0))
+			}
+			return value.Nil, nil
+		},
+	})
+	db.MustRegisterClass(c)
+
+	var b oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		b, err = db.NewObject(tx, "Boiler", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	if err := db.Atomically(func(tx *core.Tx) error {
+		r, err := db.CreateRule(tx, core.RuleSpec{
+			Name:     "hot",
+			EventSrc: "event Boiler::Overheat",
+			Action:   func(rule.ExecContext, event.Detection) error { fired++; return nil },
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, b, r.ID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.Send(tx, b, "SetTemp", value.Float(50)); err != nil {
+			return err
+		}
+		_, err := db.Send(tx, b, "SetTemp", value.Float(150))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("explicit event fired %d times", fired)
+	}
+	// RaiseExplicit from outside a method body works too.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		return db.RaiseExplicit(tx, b, "Overheat", value.Float(200))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("RaiseExplicit fired %d times", fired)
+	}
+}
+
+func TestConcurrentTransactionsSerialize(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 0)
+	var wg sync.WaitGroup
+	const workers, iters = 4, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					err := db.Atomically(func(tx *core.Tx) error {
+						v, err := db.GetSys(tx, fred, "salary")
+						if err != nil {
+							return err
+						}
+						f, _ := v.Numeric()
+						return db.SetSys(tx, fred, "salary", value.Float(f+1))
+					})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, txn.ErrDeadlock) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := db.Atomically(func(tx *core.Tx) error {
+		v, err := db.GetSys(tx, fred, "salary")
+		if err != nil {
+			return err
+		}
+		if f, _ := v.Numeric(); f != workers*iters {
+			t.Errorf("salary = %v, want %d (lost updates)", v, workers*iters)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassLevelRuleCoversSubclasses(t *testing.T) {
+	db := orgDB(t)
+	fired := 0
+	err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.CreateRule(tx, core.RuleSpec{
+			Name:       "empWatch",
+			EventSrc:   "end Employee::SetSalary(float amount)",
+			Action:     func(rule.ExecContext, event.Detection) error { fired++; return nil },
+			ClassLevel: "Employee",
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mgr oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		mgr, err = db.NewObject(tx, "Manager", map[string]value.Value{"name": value.Str("m")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, mgr, "SetSalary", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("class-level rule on Employee fired %d times for a Manager event", fired)
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.Send(tx, fred, "NoSuchMethod"); err == nil {
+			t.Error("unknown method accepted")
+		}
+		if _, err := db.Send(tx, fred, "SetSalary"); err == nil {
+			t.Error("wrong arity accepted")
+		}
+		if _, err := db.Send(tx, fred, "SetSalary", value.Str("x")); err == nil {
+			t.Error("wrong argument kind accepted")
+		}
+		if _, err := db.Send(tx, oid.OID(424242), "SetSalary", value.Float(1)); err == nil {
+			t.Error("send to missing object accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewObjectErrors(t *testing.T) {
+	db := orgDB(t)
+	err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.NewObject(tx, "NoClass", nil); err == nil {
+			t.Error("unknown class accepted")
+		}
+		if _, err := db.NewObject(tx, "Employee", map[string]value.Value{"bogus": value.Int(1)}); err == nil {
+			t.Error("unknown init attribute accepted")
+		}
+		if _, err := db.NewObject(tx, "Employee", map[string]value.Value{"salary": value.Str("x")}); err == nil {
+			t.Error("mistyped init accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectCreationRollsBack(t *testing.T) {
+	db := orgDB(t)
+	tx := db.Begin()
+	id, err := db.NewObject(tx, "Employee", map[string]value.Value{"name": value.Str("ghost")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if db.Exists(id) {
+		t.Fatal("aborted object creation survived")
+	}
+}
+
+func TestDeleteObjectRollsBack(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	tx := db.Begin()
+	if err := db.DeleteObject(tx, fred); err != nil {
+		t.Fatal(err)
+	}
+	if db.Exists(fred) {
+		t.Fatal("object visible after delete in tx")
+	}
+	db.Abort(tx)
+	if !db.Exists(fred) {
+		t.Fatal("aborted delete went through")
+	}
+}
+
+func TestBindRebindAndRollback(t *testing.T) {
+	db := orgDB(t)
+	fred := mkEmployee(t, db, "fred", 100)
+	mary := mkEmployee(t, db, "mary", 100)
+	if err := db.Atomically(func(tx *core.Tx) error { return db.Bind(tx, "star", fred) }); err != nil {
+		t.Fatal(err)
+	}
+	// Rebind in an aborted transaction reverts.
+	tx := db.Begin()
+	if err := db.Bind(tx, "star", mary); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if id, _ := db.Lookup("star"); id != fred {
+		t.Fatalf("star = %v after aborted rebind, want fred", id)
+	}
+	// Committed rebind sticks.
+	if err := db.Atomically(func(tx *core.Tx) error { return db.Bind(tx, "star", mary) }); err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := db.Lookup("star"); id != mary {
+		t.Fatalf("star = %v, want mary", id)
+	}
+}

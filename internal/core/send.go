@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"sentinel/internal/event"
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/txn"
+	"sentinel/internal/value"
+)
+
+// Send delivers a message to an object from application code: the method is
+// resolved through the receiver's class (virtual dispatch), visibility is
+// enforced, and — when the receiver's class is reactive and the method is
+// declared in its event interface — bom/eom events are generated and
+// propagated to subscribed consumers (§3.1, Fig. 1).
+func (db *Database) Send(t *Tx, target oid.OID, method string, args ...value.Value) (value.Value, error) {
+	return db.send(t, target, method, args, nil, false, 0)
+}
+
+// send is the internal dispatcher. caller is the class whose code performs
+// the send (nil for application code), sysAccess bypasses visibility (rule
+// bodies), depth is the rule-cascade depth of the surrounding execution.
+func (db *Database) send(t *Tx, target oid.OID, method string, args []value.Value, caller *schema.Class, sysAccess bool, depth int) (value.Value, error) {
+	db.statSends.Add(1)
+	o, err := db.lockObject(t, target, txn.Exclusive)
+	if err != nil {
+		return value.Nil, err
+	}
+	m := o.Class().MethodNamed(method)
+	if m == nil {
+		return value.Nil, fmt.Errorf("core: class %s has no method %q", o.Class().Name, method)
+	}
+	if err := checkMethodVisible(m, caller, sysAccess); err != nil {
+		return value.Nil, err
+	}
+	args, err = m.CheckArgs(args)
+	if err != nil {
+		return value.Nil, err
+	}
+
+	generates := o.Class().Reactive() && m.EventGen != schema.GenNone
+
+	if generates && m.EventGen.Begin() {
+		if err := db.raise(t, o, m.Name, event.Begin, args, paramNames(m), depth); err != nil {
+			return value.Nil, err
+		}
+	}
+
+	fr := &frame{db: db, tx: t, self: o, method: m, args: args, depth: depth}
+	ret, err := m.Body(fr)
+	if err != nil {
+		return value.Nil, err
+	}
+
+	if generates && m.EventGen.End() {
+		if err := db.raise(t, o, m.Name, event.End, args, paramNames(m), depth); err != nil {
+			return value.Nil, err
+		}
+	}
+	return ret, nil
+}
+
+func paramNames(m *schema.Method) []string {
+	if len(m.Params) == 0 {
+		return nil
+	}
+	out := make([]string, len(m.Params))
+	for i, p := range m.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// raise generates one primitive-event occurrence and propagates it to the
+// consumers of the source object: instance-level subscribers (rules and Go
+// callbacks, via the subscription mechanism of §3.5) and class-level rules
+// of every class in the source's MRO (§4.7). Immediate firings execute
+// in-line in conflict-resolution order; deferred firings queue on the
+// transaction; detached firings queue for post-commit.
+func (db *Database) raise(t *Tx, src *object.Object, method string, when event.Moment, args []value.Value, names []string, depth int) error {
+	occ := event.Occurrence{
+		Source:     src.ID(),
+		Class:      src.Class().Name,
+		Method:     method,
+		When:       when,
+		Args:       args,
+		ParamNames: names,
+		Seq:        db.nextSeq(),
+		Tx:         uint64(t.inner.ID()),
+	}
+	db.statEvents.Add(1)
+
+	rules, fns := db.consumersOf(src)
+	if len(rules) == 0 && len(fns) == 0 {
+		return nil
+	}
+
+	for _, fc := range fns {
+		db.statNotify.Add(1)
+		fc.Fn(occ)
+	}
+
+	var immediate []rule.Firing
+	seq := uint64(0)
+	for _, r := range rules {
+		db.statNotify.Add(1)
+		if r.TxScoped {
+			if t.touched == nil {
+				t.touched = make(map[*rule.Rule]bool)
+			}
+			t.touched[r] = true
+		}
+		dets := r.Notify(occ)
+		if len(dets) == 0 {
+			continue
+		}
+		db.statDetect.Add(uint64(len(dets)))
+		for _, det := range dets {
+			switch r.Coupling {
+			case rule.Immediate:
+				seq++
+				immediate = append(immediate, rule.Firing{Rule: r, Detection: det, Seq: seq})
+			case rule.Deferred:
+				t.deferred.Add(r, det)
+			case rule.Detached:
+				t.detached = append(t.detached, rule.Firing{Rule: r, Detection: det})
+			}
+		}
+	}
+
+	if len(immediate) > 0 {
+		db.mu.Lock()
+		strat := db.strategy
+		db.mu.Unlock()
+		strat.Order(immediate)
+		for _, f := range immediate {
+			if err := db.runFiring(t, f, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// consumersOf collects the notifiable consumers of a reactive object:
+// instance-level subscriptions plus class-level rules over the MRO.
+func (db *Database) consumersOf(src *object.Object) ([]*rule.Rule, []*FuncConsumer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var rules []*rule.Rule
+	seen := map[oid.OID]bool{}
+	for _, rid := range db.subs[src.ID()] {
+		if r := db.rules[rid]; r != nil && !seen[rid] {
+			seen[rid] = true
+			rules = append(rules, r)
+		}
+	}
+	for _, cls := range src.Class().MRO() {
+		for _, r := range db.classRules[cls.Name] {
+			if !seen[r.ID()] {
+				seen[r.ID()] = true
+				rules = append(rules, r)
+			}
+		}
+	}
+	fns := db.funcConsumers[src.ID()]
+	return rules, fns
+}
+
+// runFiring evaluates one triggered rule: condition, then action, at the
+// given cascade depth, inside transaction t.
+func (db *Database) runFiring(t *Tx, f rule.Firing, depth int) error {
+	if depth > db.opts.MaxCascadeDepth {
+		return fmt.Errorf("core: rule cascade exceeded depth %d at rule %s (cycle?)", db.opts.MaxCascadeDepth, f.Rule.Name())
+	}
+	// The rule's execution frame: self is the source of the terminating
+	// occurrence, so DSL conditions can name its attributes bare (Fig. 9's
+	// `sex == spouse.sex`). Rules run with system visibility — they are
+	// part of the behaviour of the objects they monitor (§3.5).
+	selfObj := db.objectByID(f.Detection.Last().Source)
+	fr := &frame{db: db, tx: t, self: selfObj, depth: depth, sysAccess: true, detection: &f.Detection}
+
+	ok := true
+	if f.Rule.Condition != nil {
+		db.statCond.Add(1)
+		var err error
+		ok, err = f.Rule.Condition(fr, f.Detection)
+		if err != nil {
+			return err
+		}
+	}
+	if !ok {
+		return nil
+	}
+	db.statAct.Add(1)
+	f.Rule.CountFired()
+	if f.Rule.Action == nil {
+		return nil
+	}
+	return f.Rule.Action(fr, f.Detection)
+}
+
+// RaiseExplicit raises an application-defined event from outside a method
+// body (equivalent to ctx.Raise inside one): the paper's explicit primitive
+// events. The source object must be reactive.
+func (db *Database) RaiseExplicit(t *Tx, source oid.OID, name string, params ...value.Value) error {
+	o, err := db.lockObject(t, source, txn.Exclusive)
+	if err != nil {
+		return err
+	}
+	if !o.Class().Reactive() {
+		return fmt.Errorf("core: object %s of passive class %s cannot raise events", source, o.Class().Name)
+	}
+	return db.raise(t, o, name, event.Explicit, params, nil, 0)
+}

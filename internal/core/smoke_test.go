@@ -1,0 +1,221 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+// employeeSchema registers a minimal Employee class with a reactive
+// SetSalary method (eom generator), mirroring Fig. 8.
+func employeeSchema(t *testing.T, db *Database) *schema.Class {
+	t.Helper()
+	emp := schema.NewClass("Employee")
+	emp.Classification = schema.ReactiveClass
+	emp.Persistent = true
+	emp.Attr("name", value.TypeString)
+	emp.Attr("salary", value.TypeFloat)
+	emp.AddMethod(&schema.Method{
+		Name:       "SetSalary",
+		Params:     []schema.Param{{Name: "amount", Type: value.TypeFloat}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("salary", ctx.Arg(0))
+		},
+	})
+	emp.AddMethod(&schema.Method{
+		Name:       "Salary",
+		Returns:    value.TypeFloat,
+		Visibility: schema.Public,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return ctx.Get("salary")
+		},
+	})
+	if err := db.RegisterClass(emp); err != nil {
+		t.Fatalf("register Employee: %v", err)
+	}
+	return emp
+}
+
+func TestSmokeImmediateRule(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	employeeSchema(t, db)
+
+	var fired []float64
+	err := db.Atomically(func(tx *Tx) error {
+		fred, err := db.NewObject(tx, "Employee", map[string]value.Value{"name": value.Str("Fred")})
+		if err != nil {
+			return err
+		}
+		r, err := db.CreateRule(tx, RuleSpec{
+			Name:     "WatchSalary",
+			EventSrc: "end Employee::SetSalary(float amount)",
+			Condition: func(ctx rule.ExecContext, det event.Detection) (bool, error) {
+				return det.Last().Args[0].MustFloat() > 1000, nil
+			},
+			Action: func(ctx rule.ExecContext, det event.Detection) error {
+				fired = append(fired, det.Last().Args[0].MustFloat())
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if err := db.Subscribe(tx, fred, r.ID()); err != nil {
+			return err
+		}
+		if _, err := db.Send(tx, fred, "SetSalary", value.Float(500)); err != nil {
+			return err
+		}
+		if _, err := db.Send(tx, fred, "SetSalary", value.Float(2000)); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("atomically: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != 2000 {
+		t.Fatalf("expected one firing at 2000, got %v", fired)
+	}
+}
+
+func TestSmokeDSLRoundtrip(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	if err := db.Exec(`
+		class Account reactive persistent {
+			attr owner string
+			attr balance float
+			event end method Deposit(amount float) {
+				self.balance := self.balance + amount
+			}
+			event begin method Withdraw(amount float) {
+				self.balance := self.balance - amount
+			}
+		}
+		rule NoOverdraft on begin Account::Withdraw(float amount)
+			if amount > self.balance
+			then abort "insufficient funds"
+	`); err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+
+	var acct oid.OID
+	err := db.Atomically(func(tx *Tx) error {
+		id, err := db.NewObject(tx, "Account", map[string]value.Value{"owner": value.Str("alice")})
+		if err != nil {
+			return err
+		}
+		acct = id
+		r := db.LookupRule("NoOverdraft")
+		if r == nil {
+			t.Fatal("rule NoOverdraft not found")
+		}
+		if err := db.Subscribe(tx, acct, r.ID()); err != nil {
+			return err
+		}
+		_, err = db.Send(tx, acct, "Deposit", value.Float(100))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+
+	// A withdrawal within balance succeeds.
+	err = db.Atomically(func(tx *Tx) error {
+		_, err := db.Send(tx, acct, "Withdraw", value.Float(40))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("withdraw 40: %v", err)
+	}
+
+	// An overdraft aborts the whole transaction.
+	err = db.Atomically(func(tx *Tx) error {
+		_, err := db.Send(tx, acct, "Withdraw", value.Float(1000))
+		return err
+	})
+	if !IsAbort(err) {
+		t.Fatalf("expected abort, got %v", err)
+	}
+
+	var bal value.Value
+	if err := db.Atomically(func(tx *Tx) error {
+		v, err := db.Get(tx, acct, "balance")
+		bal = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := bal.MustFloat(); got != 60 {
+		t.Fatalf("balance = %v, want 60", got)
+	}
+}
+
+func TestSmokePersistenceReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := MustOpen(Options{Dir: dir, SyncOnCommit: true, Output: io.Discard})
+	if err := db.Exec(`
+		class Stock reactive persistent {
+			attr symbol string
+			attr price float
+			event end method SetPrice(p float) { self.price := p }
+		}
+		rule PriceWatch on end Stock::SetPrice(float p)
+			if p < 80
+			then print("cheap")
+		let ibm := new Stock(symbol: "IBM", price: 100.0)
+		bind IBM ibm
+		subscribe PriceWatch to ibm
+	`); err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+	if err := db.Exec(`IBM!SetPrice(95.5)`); err != nil {
+		t.Fatalf("set price: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	db2, err := Open(Options{Dir: dir, Output: io.Discard})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close()
+
+	ibm, ok := db2.Lookup("IBM")
+	if !ok {
+		t.Fatal("IBM binding not recovered")
+	}
+	var price value.Value
+	if err := db2.Atomically(func(tx *Tx) error {
+		v, err := db2.Get(tx, ibm, "price")
+		price = v
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := price.MustFloat(); got != 95.5 {
+		t.Fatalf("price = %v, want 95.5", got)
+	}
+	if db2.LookupRule("PriceWatch") == nil {
+		t.Fatal("rule PriceWatch not recovered")
+	}
+	if subs := db2.Subscribers(ibm); len(subs) != 1 {
+		t.Fatalf("subscription not recovered: %v", subs)
+	}
+	// The recovered rule still fires.
+	if err := db2.Exec(`IBM!SetPrice(70.0)`); err != nil {
+		t.Fatalf("post-recovery send: %v", err)
+	}
+	r := db2.LookupRule("PriceWatch")
+	if _, _, fired := r.Stats(); fired != 1 {
+		t.Fatalf("recovered rule fired %d times, want 1", fired)
+	}
+}

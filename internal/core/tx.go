@@ -1,0 +1,507 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/txn"
+	"sentinel/internal/value"
+	"sentinel/internal/wal"
+)
+
+// AbortError is the error a rule action (or method body) raises to abort
+// the triggering transaction — the paper's `A: abort` action (Fig. 9).
+// Database.Commit and Database.Atomically treat it as a rollback request.
+type AbortError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string { return "transaction aborted: " + e.Reason }
+
+// IsAbort reports whether err is (or wraps) an AbortError.
+func IsAbort(err error) bool {
+	var ae *AbortError
+	return errors.As(err, &ae)
+}
+
+// Tx is a database transaction. All object access, rule definition and
+// subscription maintenance happens inside one; Database.Atomically is the
+// convenience wrapper. Tx is not safe for concurrent use by multiple
+// goroutines.
+type Tx struct {
+	db    *Database
+	inner *txn.Tx
+
+	dirty   map[oid.OID]bool
+	created map[oid.OID]bool
+	deleted map[oid.OID]bool
+
+	deferred *rule.Agenda
+	detached []rule.Firing
+
+	// touched holds the tx-scoped rules this transaction delivered events
+	// to; their detectors reset when the transaction ends.
+	touched map[*rule.Rule]bool
+
+	finished bool
+}
+
+// Begin starts a transaction.
+func (db *Database) Begin() *Tx {
+	return &Tx{
+		db:       db,
+		inner:    db.tm.Begin(),
+		dirty:    make(map[oid.OID]bool),
+		created:  make(map[oid.OID]bool),
+		deleted:  make(map[oid.OID]bool),
+		deferred: rule.NewAgenda(db.strategy),
+	}
+}
+
+// ID returns the transaction identifier.
+func (t *Tx) ID() txn.ID { return t.inner.ID() }
+
+// Active reports whether the transaction can still do work.
+func (t *Tx) Active() bool { return !t.finished && t.inner.Active() }
+
+// Commit finishes the transaction: deferred rules run first (inside the
+// transaction — they can still abort it), then the write set is logged and
+// applied, then detached rules launch in fresh transactions. An AbortError
+// from a deferred rule rolls everything back and is returned.
+func (db *Database) Commit(t *Tx) error {
+	if t.db != db {
+		return fmt.Errorf("core: transaction belongs to a different database")
+	}
+	if !t.Active() {
+		return txn.ErrNotActive
+	}
+
+	// Phase 1: deferred coupling — drain until quiescent (§4.4). Rules
+	// fired here may write, raise events, and schedule more deferred work.
+	for t.deferred.Len() > 0 {
+		batch := t.deferred.Drain()
+		for _, f := range batch {
+			if err := db.runFiring(t, f, 1); err != nil {
+				db.Abort(t)
+				return err
+			}
+		}
+	}
+
+	// Phase 2: durability, with locks still held.
+	durable := func() error { return db.writeCommit(t) }
+
+	detached := t.detached
+	t.detached = nil
+	t.finished = true
+	t.resetTouched()
+	if err := t.inner.Commit(durable); err != nil {
+		return err
+	}
+
+	// Phase 3: detached coupling — each firing runs in its own
+	// transaction after the triggering transaction committed (§4.4). An
+	// aborting detached rule affects only its own transaction. With
+	// Options.AsyncDetached the firings run on a background worker (the
+	// fully asynchronous propagation of §3.1); WaitIdle quiesces.
+	if len(detached) > 0 {
+		agenda := rule.NewAgenda(db.strategy)
+		for _, f := range detached {
+			agenda.Add(f.Rule, f.Detection)
+		}
+		ordered := agenda.Drain()
+		if db.opts.AsyncDetached {
+			db.startDetachedWorker()
+			db.detachedWG.Add(len(ordered))
+			for _, f := range ordered {
+				db.detachedCh <- f
+			}
+		} else {
+			for _, f := range ordered {
+				db.execDetached(f)
+			}
+		}
+	}
+	return nil
+}
+
+// execDetached runs one detached firing in its own transaction.
+func (db *Database) execDetached(f rule.Firing) {
+	dtx := db.Begin()
+	if err := db.runFiring(dtx, f, 1); err != nil {
+		db.Abort(dtx)
+		return
+	}
+	// Commit rolls back on its own failures.
+	_ = db.Commit(dtx)
+}
+
+// startDetachedWorker lazily launches the background executor.
+func (db *Database) startDetachedWorker() {
+	db.detachedOnce.Do(func() {
+		db.detachedCh = make(chan rule.Firing, 1024)
+		go func() {
+			for f := range db.detachedCh {
+				db.execDetached(f)
+				db.detachedWG.Done()
+			}
+		}()
+	})
+}
+
+// WaitIdle blocks until every asynchronously dispatched detached rule has
+// finished, including detached work those rules' own commits enqueued (the
+// worker adds chained firings to the wait group before completing the
+// parent, so the counter only reaches zero at true quiescence). A no-op
+// when AsyncDetached is off.
+func (db *Database) WaitIdle() { db.detachedWG.Wait() }
+
+// Abort rolls the transaction back.
+func (db *Database) Abort(t *Tx) {
+	if t.finished {
+		return
+	}
+	t.finished = true
+	t.deferred.Clear()
+	t.detached = nil
+	t.resetTouched()
+	t.inner.Abort()
+}
+
+// resetTouched clears detection state of tx-scoped rules fed by this
+// transaction.
+func (t *Tx) resetTouched() {
+	for r := range t.touched {
+		r.ResetDetection()
+	}
+	t.touched = nil
+}
+
+// Atomically runs fn inside a transaction, committing on nil and aborting
+// on error (returning the error). An AbortError raised by a rule or method
+// is returned as-is after rollback.
+func (db *Database) Atomically(fn func(*Tx) error) error {
+	t := db.Begin()
+	if err := fn(t); err != nil {
+		db.Abort(t)
+		return err
+	}
+	return db.Commit(t)
+}
+
+// writeCommit assembles and syncs the WAL records for the transaction and
+// applies the write set to the heap. No-op for in-memory databases.
+func (db *Database) writeCommit(t *Tx) error {
+	// Bump versions on touched objects regardless of persistence.
+	for id := range t.dirty {
+		if o := db.objectByID(id); o != nil {
+			o.BumpVersion()
+		}
+	}
+	if db.store == nil {
+		return nil
+	}
+	var recs []wal.Record
+	txid := uint64(t.inner.ID())
+	for id := range t.created {
+		if t.deleted[id] {
+			continue
+		}
+		o := db.objectByID(id)
+		if o == nil || !db.persistentObject(o) {
+			continue
+		}
+		recs = append(recs, wal.Record{Type: wal.RecUpdate, Tx: txid, OID: id, Data: o.Encode(nil)})
+	}
+	for id := range t.dirty {
+		if t.created[id] || t.deleted[id] {
+			continue
+		}
+		o := db.objectByID(id)
+		if o == nil || !db.persistentObject(o) {
+			continue
+		}
+		recs = append(recs, wal.Record{Type: wal.RecUpdate, Tx: txid, OID: id, Data: o.Encode(nil)})
+	}
+	for id := range t.deleted {
+		if t.created[id] {
+			continue
+		}
+		recs = append(recs, wal.Record{Type: wal.RecDelete, Tx: txid, OID: id})
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	recs = append(recs, wal.Record{Type: wal.RecCommit, Tx: txid})
+	if err := db.log.AppendBatch(recs); err != nil {
+		return err
+	}
+	if db.opts.SyncOnCommit {
+		// Group commit: concurrent committers share one fsync.
+		if err := db.log.SyncBarrier(); err != nil {
+			return err
+		}
+	}
+	// Apply to the heap (redo applied eagerly; the log protects it).
+	for _, r := range recs {
+		switch r.Type {
+		case wal.RecUpdate:
+			if err := db.store.Put(r.OID, r.Data); err != nil {
+				return err
+			}
+		case wal.RecDelete:
+			if err := db.store.Delete(r.OID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// persistentObject reports whether the object's class is marked persistent.
+func (db *Database) persistentObject(o *object.Object) bool {
+	return o.Class().Persistent
+}
+
+// ---- object primitives ----
+
+// NewObject creates an instance of the named class with the given attribute
+// initializers (constructor semantics: initializers bypass visibility, like
+// a C++ constructor's member-init list) and returns its OID. Creation does
+// not raise events; the paper's events come from message sends.
+func (db *Database) NewObject(t *Tx, class string, inits map[string]value.Value) (oid.OID, error) {
+	if !t.Active() {
+		return oid.Nil, txn.ErrNotActive
+	}
+	c := db.reg.Lookup(class)
+	if c == nil {
+		return oid.Nil, fmt.Errorf("core: unknown class %q", class)
+	}
+	id := db.alloc.Next()
+	o, err := object.New(id, c)
+	if err != nil {
+		return oid.Nil, err
+	}
+	for k, v := range inits {
+		if c.AttributeNamed(k) == nil {
+			return oid.Nil, fmt.Errorf("core: class %s has no attribute %q", class, k)
+		}
+		if err := o.Set(k, v); err != nil {
+			return oid.Nil, err
+		}
+	}
+	if err := t.inner.Lock(txn.Lockable(id), txn.Exclusive); err != nil {
+		return oid.Nil, err
+	}
+	db.mu.Lock()
+	db.objects[id] = o
+	db.mu.Unlock()
+	t.created[id] = true
+	t.inner.OnUndo(func() {
+		db.mu.Lock()
+		delete(db.objects, id)
+		db.mu.Unlock()
+	})
+	db.indexObjectAdd(t, o)
+	return id, nil
+}
+
+// lockObject locks and returns the object, erroring if it does not exist.
+func (db *Database) lockObject(t *Tx, id oid.OID, mode txn.Mode) (*object.Object, error) {
+	if !t.Active() {
+		return nil, txn.ErrNotActive
+	}
+	if err := t.inner.Lock(txn.Lockable(id), mode); err != nil {
+		return nil, err
+	}
+	o := db.objectByID(id)
+	if o == nil {
+		return nil, fmt.Errorf("core: no object %s", id)
+	}
+	return o, nil
+}
+
+// recordWrite snapshots the object once per transaction for rollback and
+// marks it dirty.
+func (t *Tx) recordWrite(o *object.Object) {
+	id := o.ID()
+	if t.dirty[id] || t.created[id] {
+		t.dirty[id] = true
+		return
+	}
+	t.dirty[id] = true
+	snap := o.CopyFields()
+	t.inner.OnUndo(func() { o.RestoreFields(snap) })
+}
+
+// checkAttrVisible enforces member visibility for an attribute access by
+// code of class `caller` (nil = application code; system access passes
+// sysAccess=true).
+func checkAttrVisible(a *schema.Attribute, caller *schema.Class, sysAccess bool) error {
+	if sysAccess || a.Visibility == schema.Public {
+		return nil
+	}
+	if caller == nil {
+		return fmt.Errorf("core: attribute %s.%s is %s", a.Owner().Name, a.Name, a.Visibility)
+	}
+	switch a.Visibility {
+	case schema.Protected:
+		if caller.IsSubclassOf(a.Owner()) {
+			return nil
+		}
+	case schema.Private:
+		if caller == a.Owner() {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: attribute %s.%s is %s (caller %s)", a.Owner().Name, a.Name, a.Visibility, caller.Name)
+}
+
+// checkMethodVisible is the method counterpart.
+func checkMethodVisible(m *schema.Method, caller *schema.Class, sysAccess bool) error {
+	if sysAccess || m.Visibility == schema.Public {
+		return nil
+	}
+	if caller == nil {
+		return fmt.Errorf("core: method %s is %s", m.Signature(), m.Visibility)
+	}
+	switch m.Visibility {
+	case schema.Protected:
+		if caller.IsSubclassOf(m.Owner()) {
+			return nil
+		}
+	case schema.Private:
+		if caller == m.Owner() {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: method %s is %s (caller %s)", m.Signature(), m.Visibility, caller.Name)
+}
+
+// getAttr reads an attribute with visibility checking.
+func (db *Database) getAttr(t *Tx, id oid.OID, attr string, caller *schema.Class, sysAccess bool) (value.Value, error) {
+	o, err := db.lockObject(t, id, txn.Shared)
+	if err != nil {
+		return value.Nil, err
+	}
+	a := o.Class().AttributeNamed(attr)
+	if a == nil {
+		return value.Nil, fmt.Errorf("core: class %s has no attribute %q", o.Class().Name, attr)
+	}
+	if err := checkAttrVisible(a, caller, sysAccess); err != nil {
+		return value.Nil, err
+	}
+	return o.GetSlot(a.Slot()), nil
+}
+
+// setAttr writes an attribute with visibility checking, undo logging and
+// dirty tracking. Direct attribute writes do not raise events (state
+// changes of interest go through methods declared in the event interface).
+func (db *Database) setAttr(t *Tx, id oid.OID, attr string, v value.Value, caller *schema.Class, sysAccess bool) error {
+	o, err := db.lockObject(t, id, txn.Exclusive)
+	if err != nil {
+		return err
+	}
+	a := o.Class().AttributeNamed(attr)
+	if a == nil {
+		return fmt.Errorf("core: class %s has no attribute %q", o.Class().Name, attr)
+	}
+	if err := checkAttrVisible(a, caller, sysAccess); err != nil {
+		return err
+	}
+	if !a.Type.Accepts(v.Kind()) {
+		return fmt.Errorf("core: %s.%s: want %s, got %s", o.Class().Name, attr, a.Type, v.Kind())
+	}
+	t.recordWrite(o)
+	oldV := o.GetSlot(a.Slot())
+	newV := a.Type.Widen(v)
+	o.SetSlot(a.Slot(), newV)
+	db.indexWrite(t, o, attr, oldV, newV)
+	return nil
+}
+
+// Get reads a public attribute (application-level access).
+func (db *Database) Get(t *Tx, id oid.OID, attr string) (value.Value, error) {
+	return db.getAttr(t, id, attr, nil, false)
+}
+
+// Set writes a public attribute (application-level access; no events).
+func (db *Database) Set(t *Tx, id oid.OID, attr string, v value.Value) error {
+	return db.setAttr(t, id, attr, v, nil, false)
+}
+
+// DeleteObject removes an object. Subscriptions from or to it are dropped.
+func (db *Database) DeleteObject(t *Tx, id oid.OID) error {
+	o, err := db.lockObject(t, id, txn.Exclusive)
+	if err != nil {
+		return err
+	}
+	db.indexObjectRemove(t, o)
+	db.mu.Lock()
+	delete(db.objects, id)
+	savedSubs := db.subs[id]
+	delete(db.subs, id)
+	savedFns := db.funcConsumers[id]
+	delete(db.funcConsumers, id)
+	db.mu.Unlock()
+	t.deleted[id] = true
+	t.inner.OnUndo(func() {
+		db.mu.Lock()
+		db.objects[id] = o
+		if savedSubs != nil {
+			db.subs[id] = savedSubs
+		}
+		if savedFns != nil {
+			db.funcConsumers[id] = savedFns
+		}
+		db.mu.Unlock()
+		delete(t.deleted, id)
+	})
+	return nil
+}
+
+// Exists reports whether an object with the given OID is live.
+func (db *Database) Exists(id oid.OID) bool { return db.objectByID(id) != nil }
+
+// ClassOf returns the class of a live object (nil if absent).
+func (db *Database) ClassOf(id oid.OID) *schema.Class {
+	o := db.objectByID(id)
+	if o == nil {
+		return nil
+	}
+	return o.Class()
+}
+
+// GetSys reads an attribute with system visibility (tooling/baselines).
+func (db *Database) GetSys(t *Tx, id oid.OID, attr string) (value.Value, error) {
+	return db.getAttr(t, id, attr, nil, true)
+}
+
+// SetSys writes an attribute with system visibility (tooling/baselines).
+func (db *Database) SetSys(t *Tx, id oid.OID, attr string, v value.Value) error {
+	return db.setAttr(t, id, attr, v, nil, true)
+}
+
+// InstancesOf returns the OIDs of all live instances of the named class and
+// its subclasses, sorted.
+func (db *Database) InstancesOf(class string) []oid.OID {
+	c := db.reg.Lookup(class)
+	if c == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []oid.OID
+	for id, o := range db.objects {
+		if o.Class().IsSubclassOf(c) {
+			out = append(out, id)
+		}
+	}
+	value.SortRefs(out)
+	return out
+}

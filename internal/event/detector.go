@@ -1,0 +1,430 @@
+package event
+
+import "fmt"
+
+// Context selects the parameter-context policy for binary operators
+// (And/Seq): which stored constituent detections a new arrival pairs with,
+// and which are consumed. The paper's Fig. 6 implementation keeps a Raised
+// flag per operand and resets on signal; that is ContextPaper, the default.
+// The remaining contexts follow Snoop (Sentinel's published event
+// language), an extension §3.3 explicitly argues first-class events make
+// cheap.
+type Context uint8
+
+const (
+	// ContextPaper keeps the most recent detection per operand and consumes
+	// both on signal (Fig. 6 flag semantics).
+	ContextPaper Context = iota
+	// ContextRecent keeps the most recent detection per operand; a new
+	// arrival pairs with the other side's most recent, which is retained
+	// for future pairings.
+	ContextRecent
+	// ContextChronicle pairs oldest-with-oldest, FIFO, consuming both.
+	ContextChronicle
+	// ContextContinuous pairs a new arrival with every stored detection of
+	// the other side, consuming them.
+	ContextContinuous
+	// ContextCumulative accumulates all detections of both sides and emits
+	// one merged detection when the operator completes, then clears.
+	ContextCumulative
+)
+
+// String returns the context name.
+func (c Context) String() string {
+	switch c {
+	case ContextPaper:
+		return "paper"
+	case ContextRecent:
+		return "recent"
+	case ContextChronicle:
+		return "chronicle"
+	case ContextContinuous:
+		return "continuous"
+	case ContextCumulative:
+		return "cumulative"
+	default:
+		return fmt.Sprintf("context(%d)", uint8(c))
+	}
+}
+
+// ParseContext parses a context name.
+func ParseContext(s string) (Context, error) {
+	switch s {
+	case "", "paper":
+		return ContextPaper, nil
+	case "recent":
+		return ContextRecent, nil
+	case "chronicle":
+		return ContextChronicle, nil
+	case "continuous":
+		return ContextContinuous, nil
+	case "cumulative":
+		return ContextCumulative, nil
+	default:
+		return ContextPaper, fmt.Errorf("event: unknown parameter context %q", s)
+	}
+}
+
+// Detector holds the runtime recognition state for one event definition —
+// the "local event detector" a rule forwards its received events to
+// (Fig. 2). Feed is not safe for concurrent use; each consumer owns its
+// detector.
+type Detector struct {
+	root *node
+	h    Hierarchy
+	ctx  Context
+	fed  uint64 // occurrences fed, for stats
+}
+
+// NewDetector compiles the event definition into a detector. The expression
+// must Validate.
+func NewDetector(e *Expr, h Hierarchy, ctx Context) (*Detector, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if h == nil {
+		h = FlatHierarchy{}
+	}
+	d := &Detector{h: h, ctx: ctx}
+	d.root = d.compile(e)
+	return d, nil
+}
+
+// MustDetector is NewDetector that panics on error; for tests.
+func MustDetector(e *Expr, h Hierarchy, ctx Context) *Detector {
+	d, err := NewDetector(e, h, ctx)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Fed returns the number of occurrences fed so far.
+func (d *Detector) Fed() uint64 { return d.fed }
+
+// Feed runs one occurrence through the event graph and returns the
+// top-level detections it completes (usually zero or one; contexts and
+// operators like Aperiodic can yield several).
+func (d *Detector) Feed(o Occurrence) []Detection {
+	d.fed++
+	return d.root.feed(o)
+}
+
+// Reset clears all recognition state.
+func (d *Detector) Reset() { d.root.reset() }
+
+type node struct {
+	expr     *Expr
+	h        Hierarchy
+	ctx      Context
+	children []*node
+
+	// Binary operator buffers (And/Seq).
+	left, right []Detection
+
+	// Not / Aperiodic / Periodic / AperiodicStar window state.
+	window   *Detection
+	violated bool
+	nextTick uint64
+	accum    []Detection // AperiodicStar: the Bs collected in the window
+
+	// Any state: latest detection per child index.
+	fired map[int]Detection
+}
+
+func (d *Detector) compile(e *Expr) *node {
+	n := &node{expr: e, h: d.h, ctx: d.ctx}
+	for _, c := range e.Children {
+		n.children = append(n.children, d.compile(c))
+	}
+	if e.Op == OpAny {
+		n.fired = make(map[int]Detection)
+	}
+	return n
+}
+
+func (n *node) reset() {
+	n.left, n.right = nil, nil
+	n.window = nil
+	n.violated = false
+	n.nextTick = 0
+	n.accum = nil
+	if n.fired != nil {
+		n.fired = make(map[int]Detection)
+	}
+	for _, c := range n.children {
+		c.reset()
+	}
+}
+
+func (n *node) feed(o Occurrence) []Detection {
+	switch n.expr.Op {
+	case OpPrimitive:
+		sig := Signature{When: n.expr.When, Class: n.expr.Class, Method: n.expr.Method}
+		if sig.Matches(o, n.h) {
+			return []Detection{{Constituents: []Occurrence{o}}}
+		}
+		return nil
+
+	case OpOr:
+		// Disjunction is context-independent: every operand detection
+		// signals immediately (§4.3).
+		out := n.children[0].feed(o)
+		out = append(out, n.children[1].feed(o)...)
+		return out
+
+	case OpAnd:
+		l := n.children[0].feed(o)
+		r := n.children[1].feed(o)
+		var out []Detection
+		for _, dl := range l {
+			out = append(out, n.pair(dl, true)...)
+		}
+		for _, dr := range r {
+			out = append(out, n.pair(dr, false)...)
+		}
+		return out
+
+	case OpSeq:
+		l := n.children[0].feed(o)
+		r := n.children[1].feed(o)
+		var out []Detection
+		// Lefts arriving now become available to FUTURE rights only (a
+		// right completed by the same occurrence is not "strictly after").
+		for _, dr := range r {
+			out = append(out, n.pairSeq(dr)...)
+		}
+		n.left = append(n.left, l...)
+		n.trimLeftForContext()
+		return out
+
+	case OpNot:
+		a := n.children[0].feed(o)
+		b := n.children[1].feed(o)
+		c := n.children[2].feed(o)
+		var out []Detection
+		// Order: close windows with C first so that one occurrence acting
+		// as both B and C cancels rather than signals (conservative).
+		if len(b) > 0 && n.window != nil {
+			n.violated = true
+		}
+		for _, dc := range c {
+			if n.window != nil && !n.violated {
+				out = append(out, merged(*n.window, dc))
+			}
+			n.window = nil
+			n.violated = false
+		}
+		if len(a) > 0 {
+			w := a[len(a)-1]
+			n.window = &w
+			n.violated = false
+		}
+		return out
+
+	case OpAny:
+		var out []Detection
+		for i, c := range n.children {
+			dets := c.feed(o)
+			if len(dets) > 0 {
+				n.fired[i] = dets[len(dets)-1]
+			}
+		}
+		if len(n.fired) >= n.expr.Count {
+			acc := Detection{}
+			first := true
+			for _, d := range n.fired {
+				if first {
+					acc = d
+					first = false
+				} else {
+					acc = merged(acc, d)
+				}
+			}
+			n.fired = make(map[int]Detection)
+			out = append(out, acc)
+		}
+		return out
+
+	case OpAperiodic:
+		a := n.children[0].feed(o)
+		b := n.children[1].feed(o)
+		c := n.children[2].feed(o)
+		var out []Detection
+		if n.window != nil {
+			for _, db := range b {
+				out = append(out, merged(*n.window, db))
+			}
+		}
+		if len(c) > 0 {
+			n.window = nil
+		}
+		if len(a) > 0 {
+			w := a[len(a)-1]
+			n.window = &w
+		}
+		return out
+
+	case OpAperiodicStar:
+		a := n.children[0].feed(o)
+		b := n.children[1].feed(o)
+		c := n.children[2].feed(o)
+		var out []Detection
+		if n.window != nil {
+			n.accum = append(n.accum, b...)
+			if len(c) > 0 {
+				acc := *n.window
+				for _, db := range n.accum {
+					acc = merged(acc, db)
+				}
+				out = append(out, merged(acc, c[0]))
+				n.window = nil
+				n.accum = nil
+			}
+		}
+		if len(a) > 0 {
+			w := a[len(a)-1]
+			n.window = &w
+			n.accum = nil
+		}
+		return out
+
+	case OpPeriodic:
+		a := n.children[0].feed(o)
+		c := n.children[1].feed(o)
+		var out []Detection
+		if n.window != nil {
+			for o.Seq >= n.nextTick {
+				out = append(out, merged(*n.window, Detection{Constituents: []Occurrence{o}}))
+				n.nextTick += n.expr.Period
+			}
+		}
+		if len(c) > 0 {
+			n.window = nil
+		}
+		if len(a) > 0 {
+			w := a[len(a)-1]
+			n.window = &w
+			n.nextTick = w.End() + n.expr.Period
+		}
+		return out
+
+	default:
+		return nil
+	}
+}
+
+// pair handles an And-operand arrival under the configured context.
+// fromLeft says which side the new detection belongs to.
+func (n *node) pair(d Detection, fromLeft bool) []Detection {
+	mine, other := &n.left, &n.right
+	if !fromLeft {
+		mine, other = &n.right, &n.left
+	}
+	var out []Detection
+	switch n.ctx {
+	case ContextPaper:
+		*mine = []Detection{d}
+		if len(*other) > 0 {
+			out = append(out, merged(d, (*other)[0]))
+			n.left, n.right = nil, nil
+		}
+	case ContextRecent:
+		*mine = []Detection{d}
+		if len(*other) > 0 {
+			out = append(out, merged(d, (*other)[len(*other)-1]))
+		}
+	case ContextChronicle:
+		*mine = append(*mine, d)
+		for len(n.left) > 0 && len(n.right) > 0 {
+			out = append(out, merged(n.left[0], n.right[0]))
+			n.left = n.left[1:]
+			n.right = n.right[1:]
+		}
+	case ContextContinuous:
+		if len(*other) > 0 {
+			for _, od := range *other {
+				out = append(out, merged(d, od))
+			}
+			*other = nil
+		} else {
+			*mine = append(*mine, d)
+		}
+	case ContextCumulative:
+		*mine = append(*mine, d)
+		if len(n.left) > 0 && len(n.right) > 0 {
+			acc := n.left[0]
+			for _, x := range n.left[1:] {
+				acc = merged(acc, x)
+			}
+			for _, x := range n.right {
+				acc = merged(acc, x)
+			}
+			n.left, n.right = nil, nil
+			out = append(out, acc)
+		}
+	}
+	return out
+}
+
+// pairSeq handles a right-operand arrival for Seq: only stored lefts whose
+// last constituent precedes the right's first constituent are eligible.
+func (n *node) pairSeq(dr Detection) []Detection {
+	eligible := func(dl Detection) bool { return dl.End() < dr.Start() }
+	var out []Detection
+	switch n.ctx {
+	case ContextPaper:
+		if len(n.left) > 0 && eligible(n.left[len(n.left)-1]) {
+			out = append(out, merged(n.left[len(n.left)-1], dr))
+			n.left = nil
+		}
+	case ContextRecent:
+		if len(n.left) > 0 && eligible(n.left[len(n.left)-1]) {
+			out = append(out, merged(n.left[len(n.left)-1], dr))
+		}
+	case ContextChronicle:
+		if len(n.left) > 0 && eligible(n.left[0]) {
+			out = append(out, merged(n.left[0], dr))
+			n.left = n.left[1:]
+		}
+	case ContextContinuous:
+		var keep []Detection
+		for _, dl := range n.left {
+			if eligible(dl) {
+				out = append(out, merged(dl, dr))
+			} else {
+				keep = append(keep, dl)
+			}
+		}
+		n.left = keep
+	case ContextCumulative:
+		var keep, use []Detection
+		for _, dl := range n.left {
+			if eligible(dl) {
+				use = append(use, dl)
+			} else {
+				keep = append(keep, dl)
+			}
+		}
+		if len(use) > 0 {
+			acc := use[0]
+			for _, x := range use[1:] {
+				acc = merged(acc, x)
+			}
+			out = append(out, merged(acc, dr))
+			n.left = keep
+		}
+	}
+	return out
+}
+
+// trimLeftForContext bounds the left buffer for contexts that only ever use
+// the most recent left.
+func (n *node) trimLeftForContext() {
+	switch n.ctx {
+	case ContextPaper, ContextRecent:
+		if len(n.left) > 1 {
+			n.left = n.left[len(n.left)-1:]
+		}
+	}
+}

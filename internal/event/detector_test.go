@@ -1,0 +1,528 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+)
+
+// occ builds an occurrence of end C::<m> at timestamp seq from source 1.
+func occ(m string, seq uint64) Occurrence {
+	return Occurrence{Source: 1, Class: "C", Method: m, When: End, Seq: seq}
+}
+
+func prim(m string) *Expr { return Primitive(End, "C", m) }
+
+// feedAll runs occurrences through a fresh detector and returns the number
+// of detections per feed.
+func feedAll(t *testing.T, e *Expr, ctx Context, occs ...Occurrence) []int {
+	t.Helper()
+	d, err := NewDetector(e, nil, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, len(occs))
+	for i, o := range occs {
+		out[i] = len(d.Feed(o))
+	}
+	return out
+}
+
+func total(counts []int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+func TestPrimitiveMatching(t *testing.T) {
+	counts := feedAll(t, prim("a"), ContextPaper,
+		occ("a", 1), occ("b", 2), occ("a", 3))
+	if counts[0] != 1 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestPrimitiveMomentMatters(t *testing.T) {
+	e := Primitive(Begin, "C", "a")
+	d := MustDetector(e, nil, ContextPaper)
+	if got := d.Feed(occ("a", 1)); len(got) != 0 { // end != begin
+		t.Fatal("end occurrence matched a begin signature")
+	}
+	if got := d.Feed(Occurrence{Class: "C", Method: "a", When: Begin, Seq: 2}); len(got) != 1 {
+		t.Fatal("begin occurrence missed")
+	}
+}
+
+func TestSubclassMatching(t *testing.T) {
+	h := mapHierarchy{"Manager": "Employee"}
+	e := Primitive(End, "Employee", "SetSalary")
+	d := MustDetector(e, h, ContextPaper)
+	if got := d.Feed(Occurrence{Class: "Manager", Method: "SetSalary", When: End, Seq: 1}); len(got) != 1 {
+		t.Fatal("subclass occurrence missed")
+	}
+	if got := d.Feed(Occurrence{Class: "Stock", Method: "SetSalary", When: End, Seq: 2}); len(got) != 0 {
+		t.Fatal("unrelated class matched")
+	}
+}
+
+type mapHierarchy map[string]string // sub -> super
+
+func (m mapHierarchy) IsSubclass(sub, super string) bool {
+	for sub != "" {
+		if sub == super {
+			return true
+		}
+		sub = m[sub]
+	}
+	return false
+}
+
+func TestDisjunctionEitherSignals(t *testing.T) {
+	counts := feedAll(t, Or(prim("a"), prim("b")), ContextPaper,
+		occ("a", 1), occ("b", 2), occ("c", 3))
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestConjunctionAnyOrder(t *testing.T) {
+	// a then b signals on b.
+	counts := feedAll(t, And(prim("a"), prim("b")), ContextPaper,
+		occ("a", 1), occ("b", 2))
+	if counts[0] != 0 || counts[1] != 1 {
+		t.Fatalf("a,b: %v", counts)
+	}
+	// b then a also signals — "regardless of the order" (§4.3).
+	counts = feedAll(t, And(prim("a"), prim("b")), ContextPaper,
+		occ("b", 1), occ("a", 2))
+	if counts[0] != 0 || counts[1] != 1 {
+		t.Fatalf("b,a: %v", counts)
+	}
+}
+
+func TestConjunctionPaperConsumes(t *testing.T) {
+	// Fig. 6 flag semantics: after signalling, both flags reset; a second b
+	// alone does not signal again.
+	counts := feedAll(t, And(prim("a"), prim("b")), ContextPaper,
+		occ("a", 1), occ("b", 2), occ("b", 3), occ("a", 4))
+	if total(counts) != 2 || counts[1] != 1 || counts[3] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSequenceRequiresOrder(t *testing.T) {
+	// b before a: no detection; a then b: detection.
+	counts := feedAll(t, Seq(prim("a"), prim("b")), ContextPaper,
+		occ("b", 1), occ("a", 2), occ("b", 3))
+	if counts[0] != 0 || counts[1] != 0 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSequenceStrictlyAfter(t *testing.T) {
+	// The same occurrence cannot be both sides: Seq(a, a) needs two a's.
+	counts := feedAll(t, Seq(prim("a"), prim("a")), ContextPaper,
+		occ("a", 1), occ("a", 2))
+	if counts[0] != 0 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestSequenceOfComposites(t *testing.T) {
+	// (a and b) seq c: "E is signaled when the last component of E2 occurs
+	// provided all the components of E1 have occurred" (§4.3).
+	e := Seq(And(prim("a"), prim("b")), prim("c"))
+	counts := feedAll(t, e, ContextPaper,
+		occ("c", 1), // too early
+		occ("a", 2),
+		occ("c", 3), // conjunction not complete yet
+		occ("b", 4),
+		occ("c", 5), // now: (a,b) complete before c
+	)
+	if total(counts) != 1 || counts[4] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestNotOperator(t *testing.T) {
+	e := Not(prim("a"), prim("b"), prim("c")) // c after a with no b between
+	counts := feedAll(t, e, ContextPaper,
+		occ("a", 1), occ("c", 2), // signals
+		occ("a", 3), occ("b", 4), occ("c", 5), // violated: no signal
+		occ("c", 6), // window closed: no signal
+	)
+	if counts[1] != 1 || total(counts) != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestAnyOperator(t *testing.T) {
+	e := Any(2, prim("a"), prim("b"), prim("c"))
+	counts := feedAll(t, e, ContextPaper,
+		occ("a", 1), occ("a", 2), // same operand twice: not 2 distinct
+		occ("c", 3), // 2 distinct now: signal
+		occ("b", 4), // state reset: only 1 distinct
+		occ("a", 5), // 2 distinct again: signal
+	)
+	if counts[2] != 1 || counts[4] != 1 || total(counts) != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestAperiodicOperator(t *testing.T) {
+	e := Aperiodic(prim("a"), prim("b"), prim("c")) // every b in (a, c)
+	counts := feedAll(t, e, ContextPaper,
+		occ("b", 1), // outside any window
+		occ("a", 2),
+		occ("b", 3), occ("b", 4), // two signals
+		occ("c", 5),
+		occ("b", 6), // window closed
+	)
+	if counts[2] != 1 || counts[3] != 1 || total(counts) != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestPeriodicOperator(t *testing.T) {
+	e := Periodic(prim("a"), 10, prim("c"))
+	d := MustDetector(e, nil, ContextPaper)
+	if got := d.Feed(occ("a", 5)); len(got) != 0 {
+		t.Fatal("initiator signalled")
+	}
+	// Next boundary is 15; an occurrence at 12 does not cross it.
+	if got := d.Feed(occ("x", 12)); len(got) != 0 {
+		t.Fatalf("early tick signalled")
+	}
+	// 17 crosses 15 → one detection; next boundary 25.
+	if got := d.Feed(occ("x", 17)); len(got) != 1 {
+		t.Fatal("boundary crossing missed")
+	}
+	// 40 crosses 25 and 35 → two detections.
+	if got := d.Feed(occ("x", 40)); len(got) != 2 {
+		t.Fatalf("multi-boundary crossing: %d detections", len(got))
+	}
+	// Terminator closes the window.
+	d.Feed(occ("c", 41))
+	if got := d.Feed(occ("x", 99)); len(got) != 0 {
+		t.Fatal("detection after terminator")
+	}
+}
+
+func TestRecentContext(t *testing.T) {
+	// Recent retains the most recent operand: every b pairs with the
+	// latest a.
+	counts := feedAll(t, And(prim("a"), prim("b")), ContextRecent,
+		occ("a", 1), occ("b", 2), occ("b", 3), occ("b", 4))
+	if total(counts) != 3 {
+		t.Fatalf("recent counts = %v", counts)
+	}
+}
+
+func TestChronicleContext(t *testing.T) {
+	// Chronicle pairs FIFO: 2 a's and 3 b's yield exactly 2 pairs, oldest
+	// first.
+	e := Seq(prim("a"), prim("b"))
+	d := MustDetector(e, nil, ContextChronicle)
+	d.Feed(occ("a", 1))
+	d.Feed(occ("a", 2))
+	det1 := d.Feed(occ("b", 3))
+	det2 := d.Feed(occ("b", 4))
+	det3 := d.Feed(occ("b", 5))
+	if len(det1) != 1 || len(det2) != 1 || len(det3) != 0 {
+		t.Fatalf("chronicle: %d/%d/%d", len(det1), len(det2), len(det3))
+	}
+	if det1[0].First().Seq != 1 || det2[0].First().Seq != 2 {
+		t.Fatal("chronicle did not pair oldest-first")
+	}
+}
+
+func TestContinuousContext(t *testing.T) {
+	// Continuous: each initiator opens a window; one terminator detects
+	// all open windows.
+	e := Seq(prim("a"), prim("b"))
+	d := MustDetector(e, nil, ContextContinuous)
+	d.Feed(occ("a", 1))
+	d.Feed(occ("a", 2))
+	dets := d.Feed(occ("b", 3))
+	if len(dets) != 2 {
+		t.Fatalf("continuous: %d detections, want 2", len(dets))
+	}
+	// Consumed: another b detects nothing.
+	if dets := d.Feed(occ("b", 4)); len(dets) != 0 {
+		t.Fatal("continuous did not consume")
+	}
+}
+
+func TestCumulativeContext(t *testing.T) {
+	e := Seq(prim("a"), prim("b"))
+	d := MustDetector(e, nil, ContextCumulative)
+	d.Feed(occ("a", 1))
+	d.Feed(occ("a", 2))
+	dets := d.Feed(occ("b", 3))
+	if len(dets) != 1 {
+		t.Fatalf("cumulative: %d detections, want 1", len(dets))
+	}
+	// One detection accumulating BOTH initiators + the terminator.
+	if len(dets[0].Constituents) != 3 {
+		t.Fatalf("cumulative constituents = %d, want 3", len(dets[0].Constituents))
+	}
+}
+
+func TestDetectionConstituentsOrdered(t *testing.T) {
+	e := And(prim("a"), And(prim("b"), prim("c")))
+	d := MustDetector(e, nil, ContextPaper)
+	d.Feed(occ("c", 1))
+	d.Feed(occ("a", 2))
+	dets := d.Feed(occ("b", 3))
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	cs := dets[0].Constituents
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Seq > cs[i].Seq {
+			t.Fatalf("constituents out of order: %v", cs)
+		}
+	}
+	if dets[0].Start() != 1 || dets[0].End() != 3 {
+		t.Fatalf("Start/End = %d/%d", dets[0].Start(), dets[0].End())
+	}
+}
+
+func TestDetectionParamAccess(t *testing.T) {
+	e := And(prim("a"), prim("b"))
+	d := MustDetector(e, nil, ContextPaper)
+	oa := Occurrence{Source: 10, Class: "C", Method: "a", When: End, Seq: 1,
+		Args: []value.Value{value.Float(1.5)}, ParamNames: []string{"x"}}
+	ob := Occurrence{Source: 20, Class: "C", Method: "b", When: End, Seq: 2,
+		Args: []value.Value{value.Int(7)}, ParamNames: []string{"n"}}
+	d.Feed(oa)
+	dets := d.Feed(ob)
+	if len(dets) != 1 {
+		t.Fatal("no detection")
+	}
+	det := dets[0]
+	if got, ok := det.ParamsOf(oid.OID(10)); !ok || !got.Param("x").Equal(value.Float(1.5)) {
+		t.Fatal("ParamsOf(10) wrong")
+	}
+	if _, ok := det.ParamsOf(oid.OID(99)); ok {
+		t.Fatal("ParamsOf(99) should fail")
+	}
+	if got, ok := det.OfEvent("C", "b"); !ok || !got.Param("n").Equal(value.Int(7)) {
+		t.Fatal("OfEvent wrong")
+	}
+	if got := oa.Param("missing"); !got.IsNil() {
+		t.Fatal("missing param should be nil")
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := Seq(prim("a"), prim("b"))
+	d := MustDetector(e, nil, ContextPaper)
+	d.Feed(occ("a", 1))
+	d.Reset()
+	if dets := d.Feed(occ("b", 2)); len(dets) != 0 {
+		t.Fatal("state survived Reset")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Expr{
+		{Op: OpPrimitive},                         // no class/method
+		{Op: OpAnd, Children: []*Expr{prim("a")}}, // arity
+		{Op: OpNot, Children: []*Expr{prim("a"), prim("b")}},
+		{Op: OpAny, Children: []*Expr{prim("a")}, Count: 2},
+		{Op: OpAny, Count: 1},
+		{Op: OpPeriodic, Children: []*Expr{prim("a"), prim("b")}, Period: 0},
+		{Op: Op(99)},
+		And(prim("a"), &Expr{Op: OpPrimitive}), // nested invalid
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("case %d: invalid expression accepted: %s", i, e)
+		}
+	}
+	if _, err := NewDetector(&Expr{Op: OpAnd}, nil, ContextPaper); err == nil {
+		t.Error("NewDetector accepted an invalid expression")
+	}
+}
+
+func TestSignaturesDeduplicated(t *testing.T) {
+	e := And(Or(prim("a"), prim("b")), prim("a"))
+	sigs := e.Signatures()
+	if len(sigs) != 2 {
+		t.Fatalf("signatures = %v", sigs)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Seq(And(prim("a"), prim("b")), Or(prim("c"), prim("d")))
+	want := "((end C::a and end C::b) seq (end C::c or end C::d))"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	n := Not(prim("a"), prim("b"), prim("c"))
+	if got := n.String(); got != "not(end C::b)[end C::a, end C::c]" {
+		t.Errorf("not String = %q", got)
+	}
+	if got := Any(2, prim("a"), prim("b")).String(); got != "any(2; end C::a; end C::b)" {
+		t.Errorf("any String = %q", got)
+	}
+}
+
+// Property: under the chronicle context, And over a random a/b stream
+// detects exactly min(#a, #b) pairs — FIFO pairing consumes one of each.
+// Under the paper (flag) context, stale unpaired occurrences are overwritten,
+// so the count is bounded by min(#a, #b) and every detection still holds
+// exactly one a and one b.
+func TestConjunctionCountProperty(t *testing.T) {
+	f := func(pattern []bool) bool {
+		chron := MustDetector(And(prim("a"), prim("b")), nil, ContextChronicle)
+		paper := MustDetector(And(prim("a"), prim("b")), nil, ContextPaper)
+		var na, nb, chronDets, paperDets int
+		for i, isA := range pattern {
+			m := "b"
+			if isA {
+				m = "a"
+				na++
+			} else {
+				nb++
+			}
+			o := occ(m, uint64(i+1))
+			chronDets += len(chron.Feed(o))
+			for _, det := range paper.Feed(o) {
+				paperDets++
+				if len(det.Constituents) != 2 ||
+					det.Constituents[0].Method == det.Constituents[1].Method {
+					return false
+				}
+			}
+		}
+		minAB := na
+		if nb < na {
+			minAB = nb
+		}
+		return chronDets == minAB && paperDets <= minAB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: And is order-insensitive in total count — feeding a stream or
+// its reverse yields the same number of detections under the paper context.
+func TestConjunctionOrderInsensitiveProperty(t *testing.T) {
+	f := func(pattern []bool) bool {
+		count := func(ps []bool) int {
+			d := MustDetector(And(prim("a"), prim("b")), nil, ContextPaper)
+			n := 0
+			for i, isA := range ps {
+				m := "b"
+				if isA {
+					m = "a"
+				}
+				n += len(d.Feed(occ(m, uint64(i+1))))
+			}
+			return n
+		}
+		rev := make([]bool, len(pattern))
+		for i, p := range pattern {
+			rev[len(pattern)-1-i] = p
+		}
+		return count(pattern) == count(rev)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Seq detections never pair a right occurrence with a later left.
+func TestSequenceOrderingProperty(t *testing.T) {
+	f := func(pattern []bool) bool {
+		d := MustDetector(Seq(prim("a"), prim("b")), nil, ContextChronicle)
+		for i, isA := range pattern {
+			m := "b"
+			if isA {
+				m = "a"
+			}
+			for _, det := range d.Feed(occ(m, uint64(i+1))) {
+				cs := det.Constituents
+				if cs[0].Method != "a" || cs[len(cs)-1].Method != "b" {
+					return false
+				}
+				if cs[0].Seq >= cs[len(cs)-1].Seq {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMomentAndContextStrings(t *testing.T) {
+	if Begin.String() != "begin" || End.String() != "end" || Explicit.String() != "explicit" {
+		t.Error("Moment.String wrong")
+	}
+	for _, c := range []Context{ContextPaper, ContextRecent, ContextChronicle, ContextContinuous, ContextCumulative} {
+		parsed, err := ParseContext(c.String())
+		if err != nil || parsed != c {
+			t.Errorf("ParseContext(%q) = %v, %v", c.String(), parsed, err)
+		}
+	}
+	if _, err := ParseContext("bogus"); err == nil {
+		t.Error("bogus context accepted")
+	}
+	if got := (Occurrence{Class: "C", Method: "m", When: End, Seq: 3}).EventName(); got != "end C::m" {
+		t.Errorf("EventName = %q", got)
+	}
+	if got := (Occurrence{Class: "C", Method: "m", When: Explicit}).EventName(); got != "event C::m" {
+		t.Errorf("explicit EventName = %q", got)
+	}
+}
+
+func TestAperiodicStarOperator(t *testing.T) {
+	e := AperiodicStar(prim("a"), prim("b"), prim("c"))
+	d := MustDetector(e, nil, ContextPaper)
+	d.Feed(occ("b", 1)) // outside any window: ignored
+	d.Feed(occ("a", 2)) // open
+	d.Feed(occ("b", 3))
+	d.Feed(occ("b", 4))
+	dets := d.Feed(occ("c", 5)) // close: ONE detection with a, both b's, c
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d, want 1", len(dets))
+	}
+	if got := len(dets[0].Constituents); got != 4 {
+		t.Fatalf("constituents = %d, want 4 (a, b, b, c)", got)
+	}
+	// Window consumed: a second c detects nothing.
+	if dets := d.Feed(occ("c", 6)); len(dets) != 0 {
+		t.Fatal("closed window signalled again")
+	}
+	// An empty window still signals at close (with just a and c).
+	d.Feed(occ("a", 7))
+	dets = d.Feed(occ("c", 8))
+	if len(dets) != 1 || len(dets[0].Constituents) != 2 {
+		t.Fatalf("empty window close: %v", dets)
+	}
+}
+
+func TestAperiodicStarStringAndValidate(t *testing.T) {
+	e := AperiodicStar(prim("a"), prim("b"), prim("c"))
+	want := "aperiodic_star(end C::a; end C::b; end C::c)"
+	if got := e.String(); got != want {
+		t.Fatalf("String = %q", got)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Expr{Op: OpAperiodicStar, Children: []*Expr{prim("a")}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}

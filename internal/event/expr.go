@@ -1,0 +1,264 @@
+package event
+
+import (
+	"fmt"
+
+	"sentinel/internal/oid"
+)
+
+// Op enumerates the event operators of the hierarchy (Fig. 5 defines
+// primitive, conjunction, disjunction and sequence; Not/Any/Aperiodic/
+// Periodic extend the hierarchy exactly the way §3.3 argues first-class
+// events make easy — they follow Snoop, the event language published for
+// Sentinel).
+type Op uint8
+
+// Operator kinds.
+const (
+	OpPrimitive     Op = iota
+	OpAnd              // conjunction: both occur, any order
+	OpOr               // disjunction: either occurs
+	OpSeq              // sequence: right occurs strictly after left completed
+	OpNot              // Not(B)[A,C]: C after A with no B in between
+	OpAny              // Any(m; E1..En): m of the listed events occur
+	OpAperiodic        // A(A,B,C): every B between an A and the next C
+	OpPeriodic         // P(A,t,C): every t ticks between an A and the next C
+	OpAperiodicStar    // A*(A,B,C): ONE detection at C carrying every B in the window
+)
+
+// String returns the operator keyword used by SentinelQL.
+func (o Op) String() string {
+	switch o {
+	case OpPrimitive:
+		return "primitive"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpSeq:
+		return "seq"
+	case OpNot:
+		return "not"
+	case OpAny:
+		return "any"
+	case OpAperiodic:
+		return "aperiodic"
+	case OpPeriodic:
+		return "periodic"
+	case OpAperiodicStar:
+		return "aperiodic_star"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Expr is a first-class event definition: a node in the operator tree. The
+// zero OID means "not yet registered in the catalog"; the core layer
+// assigns identities and persists definitions.
+type Expr struct {
+	id oid.OID
+
+	Op Op
+
+	// For OpPrimitive:
+	When   Moment
+	Class  string
+	Method string
+
+	// For operators: the children (2 for And/Or/Seq; 3 for Not [A,B,C] and
+	// Aperiodic [A,B,C]; 2 for Periodic [A,C]; n for Any).
+	Children []*Expr
+
+	// Count is m for OpAny.
+	Count int
+	// Period is the tick interval for OpPeriodic.
+	Period uint64
+}
+
+// Primitive returns the event definition for "when Class::Method" (bom,
+// eom, or an explicit event name).
+func Primitive(when Moment, class, method string) *Expr {
+	return &Expr{Op: OpPrimitive, When: when, Class: class, Method: method}
+}
+
+// And returns the conjunction of two events: "signaled when both E1 and E2
+// occur, regardless of the order of their occurrence" (§4.3).
+func And(a, b *Expr) *Expr { return &Expr{Op: OpAnd, Children: []*Expr{a, b}} }
+
+// Or returns the disjunction of two events: "signaled when either E1 or E2
+// occurs" (§4.3).
+func Or(a, b *Expr) *Expr { return &Expr{Op: OpOr, Children: []*Expr{a, b}} }
+
+// Seq returns the sequence event: "signaled when the event E2 occurs,
+// provided E1 has occurred earlier" (§4.3). With composite operands, E is
+// signaled when the last component of E2 occurs after all of E1.
+func Seq(a, b *Expr) *Expr { return &Expr{Op: OpSeq, Children: []*Expr{a, b}} }
+
+// Not returns NOT(b)[a, c]: signaled when c occurs after a with no
+// occurrence of b in between (extension operator).
+func Not(a, b, c *Expr) *Expr { return &Expr{Op: OpNot, Children: []*Expr{a, b, c}} }
+
+// Any returns ANY(m; events...): signaled when m distinct events from the
+// list have occurred (extension operator).
+func Any(m int, events ...*Expr) *Expr {
+	return &Expr{Op: OpAny, Children: events, Count: m}
+}
+
+// Aperiodic returns A(a, b, c): signals every occurrence of b inside a
+// window opened by a and closed by c (extension operator).
+func Aperiodic(a, b, c *Expr) *Expr { return &Expr{Op: OpAperiodic, Children: []*Expr{a, b, c}} }
+
+// AperiodicStar returns A*(a, b, c): the cumulative variant — one detection
+// at c carrying the window opener and EVERY b that occurred inside the
+// window (extension operator).
+func AperiodicStar(a, b, c *Expr) *Expr {
+	return &Expr{Op: OpAperiodicStar, Children: []*Expr{a, b, c}}
+}
+
+// Periodic returns P(a, period, c): after a, signals whenever the logical
+// clock crosses successive period boundaries, until c (extension
+// operator). Detection piggy-backs on fed occurrences — the detector has
+// no timer of its own; see Detector.
+func Periodic(a *Expr, period uint64, c *Expr) *Expr {
+	return &Expr{Op: OpPeriodic, Children: []*Expr{a, c}, Period: period}
+}
+
+// ID returns the catalog identity (oid.Nil when unregistered).
+func (e *Expr) ID() oid.OID { return e.id }
+
+// SetID assigns the catalog identity; called by the core layer when the
+// definition becomes a first-class persistent object.
+func (e *Expr) SetID(id oid.OID) { e.id = id }
+
+// Primitive reports whether the node is a primitive event.
+func (e *Expr) IsPrimitive() bool { return e.Op == OpPrimitive }
+
+// Primitives appends all primitive descendants (including e itself) to dst
+// and returns it; used to compute which signatures an event listens for.
+func (e *Expr) Primitives(dst []*Expr) []*Expr {
+	if e.Op == OpPrimitive {
+		return append(dst, e)
+	}
+	for _, c := range e.Children {
+		dst = c.Primitives(dst)
+	}
+	return dst
+}
+
+// Signatures returns the distinct (when, class, method) triples the event
+// listens for.
+func (e *Expr) Signatures() []Signature {
+	seen := make(map[Signature]bool)
+	var out []Signature
+	for _, p := range e.Primitives(nil) {
+		s := Signature{When: p.When, Class: p.Class, Method: p.Method}
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness (child counts, positive Any
+// count, non-zero period).
+func (e *Expr) Validate() error {
+	switch e.Op {
+	case OpPrimitive:
+		if e.Class == "" || e.Method == "" {
+			return fmt.Errorf("event: primitive event needs class and method")
+		}
+		return nil
+	case OpAnd, OpOr, OpSeq:
+		if len(e.Children) != 2 {
+			return fmt.Errorf("event: %s needs 2 operands, got %d", e.Op, len(e.Children))
+		}
+	case OpNot, OpAperiodic, OpAperiodicStar:
+		if len(e.Children) != 3 {
+			return fmt.Errorf("event: %s needs 3 operands, got %d", e.Op, len(e.Children))
+		}
+	case OpPeriodic:
+		if len(e.Children) != 2 {
+			return fmt.Errorf("event: periodic needs 2 operands, got %d", len(e.Children))
+		}
+		if e.Period == 0 {
+			return fmt.Errorf("event: periodic needs a positive period")
+		}
+	case OpAny:
+		if len(e.Children) == 0 {
+			return fmt.Errorf("event: any needs at least one operand")
+		}
+		if e.Count <= 0 || e.Count > len(e.Children) {
+			return fmt.Errorf("event: any(%d) over %d operands is out of range", e.Count, len(e.Children))
+		}
+	default:
+		return fmt.Errorf("event: unknown operator %d", e.Op)
+	}
+	for _, c := range e.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the definition in SentinelQL surface syntax, which is also
+// its persistent form (the catalog stores the source and re-parses on
+// load).
+func (e *Expr) String() string {
+	switch e.Op {
+	case OpPrimitive:
+		// Explicit events print with the `event` keyword so the rendering
+		// round-trips through the SentinelQL parser.
+		if e.When == Explicit {
+			return "event " + e.Class + "::" + e.Method
+		}
+		return e.When.String() + " " + e.Class + "::" + e.Method
+	case OpAnd:
+		return "(" + e.Children[0].String() + " and " + e.Children[1].String() + ")"
+	case OpOr:
+		return "(" + e.Children[0].String() + " or " + e.Children[1].String() + ")"
+	case OpSeq:
+		return "(" + e.Children[0].String() + " seq " + e.Children[1].String() + ")"
+	case OpNot:
+		return "not(" + e.Children[1].String() + ")[" + e.Children[0].String() + ", " + e.Children[2].String() + "]"
+	case OpAny:
+		s := fmt.Sprintf("any(%d", e.Count)
+		for _, c := range e.Children {
+			s += "; " + c.String()
+		}
+		return s + ")"
+	case OpAperiodic:
+		return "aperiodic(" + e.Children[0].String() + "; " + e.Children[1].String() + "; " + e.Children[2].String() + ")"
+	case OpAperiodicStar:
+		return "aperiodic_star(" + e.Children[0].String() + "; " + e.Children[1].String() + "; " + e.Children[2].String() + ")"
+	case OpPeriodic:
+		return fmt.Sprintf("periodic(%s; %d; %s)", e.Children[0], e.Period, e.Children[1])
+	default:
+		return "?" + e.Op.String()
+	}
+}
+
+// Signature is a primitive-event pattern.
+type Signature struct {
+	When   Moment
+	Class  string
+	Method string
+}
+
+// Matches reports whether an occurrence satisfies the signature, treating
+// the signature's class as covering subclasses per h.
+func (s Signature) Matches(o Occurrence, h Hierarchy) bool {
+	if s.When != o.When || s.Method != o.Method {
+		return false
+	}
+	if s.Class == o.Class {
+		return true
+	}
+	return h.IsSubclass(o.Class, s.Class)
+}
+
+// String renders "begin Class::Method".
+func (s Signature) String() string {
+	return s.When.String() + " " + s.Class + "::" + s.Method
+}

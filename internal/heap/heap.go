@@ -1,0 +1,403 @@
+// Package heap implements the heap file: persistent storage of object
+// images in slotted pages, addressed by OID through a persistent object
+// table.
+//
+// Every record is stored as uvarint(oid) + image, so the object table can
+// always be rebuilt by scanning the pages; the table is also checkpointed
+// into a side file (atomically, via rename) to make reopening fast. An
+// opaque metadata blob (the OID high-water mark, the logical clock, catalog
+// roots) rides along in the checkpoint for the layers above.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"sentinel/internal/buffer"
+	"sentinel/internal/oid"
+	"sentinel/internal/page"
+)
+
+// RID is a record identifier: page + slot.
+type RID struct {
+	Page page.ID
+	Slot int
+}
+
+// Store is the heap file plus its object table.
+type Store struct {
+	mu    sync.Mutex
+	pf    *buffer.File
+	pool  *buffer.Pool
+	table map[oid.OID]RID
+	free  map[page.ID]int // free-byte hint per page
+	meta  []byte
+	dir   string
+}
+
+const (
+	dataFile   = "objects.dat"
+	indexFile  = "objects.idx"
+	indexTmp   = "objects.idx.tmp"
+	indexMagic = 0x53454E54 // "SENT"
+)
+
+// Options configures Open.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages (default 256).
+	PoolPages int
+}
+
+// Open opens (or creates) a heap store in dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("heap: mkdir: %w", err)
+	}
+	pf, err := buffer.OpenFile(filepath.Join(dir, dataFile))
+	if err != nil {
+		return nil, err
+	}
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 256
+	}
+	s := &Store{
+		pf:    pf,
+		pool:  buffer.NewPool(pf, opts.PoolPages),
+		table: make(map[oid.OID]RID),
+		free:  make(map[page.ID]int),
+		dir:   dir,
+	}
+	if err := s.loadIndex(); err != nil {
+		pf.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Close flushes and closes the store (without checkpointing the index; call
+// Checkpoint first for a fast reopen).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	return s.pf.Close()
+}
+
+// Meta returns the opaque metadata blob from the last checkpoint.
+func (s *Store) Meta() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.meta...)
+}
+
+// Len returns the number of live objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}
+
+// Has reports whether the OID is present.
+func (s *Store) Has(id oid.OID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.table[id]
+	return ok
+}
+
+// Get returns the stored image for id (a copy), or ok=false.
+func (s *Store) Get(id oid.OID) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.table[id]
+	if !ok {
+		return nil, false, nil
+	}
+	pg, err := s.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, false, err
+	}
+	defer s.pool.Unpin(rid.Page, false)
+	rec, ok := pg.Read(rid.Slot)
+	if !ok {
+		return nil, false, fmt.Errorf("heap: object table points at dead slot %v for %s", rid, id)
+	}
+	_, img, err := splitRecord(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return append([]byte(nil), img...), true, nil
+}
+
+// Put inserts or replaces the image for id.
+func (s *Store) Put(id oid.OID, img []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := encodeRecord(id, img)
+	if len(rec) > page.MaxRecord {
+		return fmt.Errorf("heap: object %s image of %d bytes exceeds page capacity", id, len(img))
+	}
+	if rid, ok := s.table[id]; ok {
+		pg, err := s.pool.Pin(rid.Page)
+		if err != nil {
+			return err
+		}
+		if pg.Update(rid.Slot, rec) {
+			s.free[rid.Page] = pg.Free()
+			s.pool.Unpin(rid.Page, true)
+			return nil
+		}
+		// Doesn't fit here any more: delete and relocate.
+		pg.Delete(rid.Slot)
+		s.free[rid.Page] = pg.Free()
+		s.pool.Unpin(rid.Page, true)
+		delete(s.table, id)
+	}
+	return s.insertLocked(id, rec)
+}
+
+func (s *Store) insertLocked(id oid.OID, rec []byte) error {
+	// First fit among pages with enough hinted free space.
+	var cands []page.ID
+	for pid, free := range s.free {
+		if free >= len(rec) {
+			cands = append(cands, pid)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, pid := range cands {
+		pg, err := s.pool.Pin(pid)
+		if err != nil {
+			return err
+		}
+		slot, ok := pg.Insert(rec)
+		s.free[pid] = pg.Free()
+		s.pool.Unpin(pid, ok)
+		if ok {
+			s.table[id] = RID{Page: pid, Slot: slot}
+			return nil
+		}
+	}
+	// Allocate a fresh page.
+	pid, err := s.pool.Alloc()
+	if err != nil {
+		return err
+	}
+	pg, err := s.pool.Pin(pid)
+	if err != nil {
+		return err
+	}
+	slot, ok := pg.Insert(rec)
+	s.free[pid] = pg.Free()
+	s.pool.Unpin(pid, ok)
+	if !ok {
+		return fmt.Errorf("heap: record of %d bytes does not fit a fresh page", len(rec))
+	}
+	s.table[id] = RID{Page: pid, Slot: slot}
+	return nil
+}
+
+// Delete removes the object; deleting an absent OID is a no-op.
+func (s *Store) Delete(id oid.OID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.table[id]
+	if !ok {
+		return nil
+	}
+	pg, err := s.pool.Pin(rid.Page)
+	if err != nil {
+		return err
+	}
+	pg.Delete(rid.Slot)
+	s.free[rid.Page] = pg.Free()
+	s.pool.Unpin(rid.Page, true)
+	delete(s.table, id)
+	return nil
+}
+
+// ForEach calls fn for every live object, in ascending OID order. The image
+// passed to fn is a copy.
+func (s *Store) ForEach(fn func(id oid.OID, img []byte) error) error {
+	s.mu.Lock()
+	ids := make([]oid.OID, 0, len(s.table))
+	for id := range s.table {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		img, ok, err := s.Get(id)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if err := fn(id, img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint flushes all dirty pages, syncs the data file, and atomically
+// writes the object table and the metadata blob to the index file.
+func (s *Store) Checkpoint(meta []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.pool.FlushAll(); err != nil {
+		return err
+	}
+	s.meta = append([]byte(nil), meta...)
+	return s.writeIndexLocked()
+}
+
+func encodeRecord(id oid.OID, img []byte) []byte {
+	buf := binary.AppendUvarint(nil, uint64(id))
+	return append(buf, img...)
+}
+
+func splitRecord(rec []byte) (oid.OID, []byte, error) {
+	id, n := binary.Uvarint(rec)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("heap: malformed record header")
+	}
+	return oid.OID(id), rec[n:], nil
+}
+
+// ---- index persistence ----
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func (s *Store) writeIndexLocked() error {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, indexMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(s.meta)))
+	buf = append(buf, s.meta...)
+	buf = binary.AppendUvarint(buf, uint64(len(s.table)))
+	ids := make([]oid.OID, 0, len(s.table))
+	for id := range s.table {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rid := s.table[id]
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = binary.AppendUvarint(buf, uint64(rid.Page))
+		buf = binary.AppendUvarint(buf, uint64(rid.Slot))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	tmp := filepath.Join(s.dir, indexTmp)
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("heap: write index: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, indexFile)); err != nil {
+		return fmt.Errorf("heap: rename index: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) loadIndex() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, indexFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s.rebuildIndex()
+		}
+		return fmt.Errorf("heap: read index: %w", err)
+	}
+	if len(data) < 8 ||
+		binary.LittleEndian.Uint32(data[:4]) != indexMagic ||
+		binary.LittleEndian.Uint32(data[len(data)-4:]) != crc32.Checksum(data[:len(data)-4], castagnoli) {
+		// Corrupt index: fall back to a page scan.
+		return s.rebuildIndex()
+	}
+	buf := data[4 : len(data)-4]
+	ml, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < ml {
+		return s.rebuildIndex()
+	}
+	s.meta = append([]byte(nil), buf[n:n+int(ml)]...)
+	buf = buf[n+int(ml):]
+	cnt, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return s.rebuildIndex()
+	}
+	buf = buf[n:]
+	for i := uint64(0); i < cnt; i++ {
+		id, n1 := binary.Uvarint(buf)
+		if n1 <= 0 {
+			return s.rebuildIndex()
+		}
+		pid, n2 := binary.Uvarint(buf[n1:])
+		if n2 <= 0 {
+			return s.rebuildIndex()
+		}
+		slot, n3 := binary.Uvarint(buf[n1+n2:])
+		if n3 <= 0 {
+			return s.rebuildIndex()
+		}
+		s.table[oid.OID(id)] = RID{Page: page.ID(pid), Slot: int(slot)}
+		buf = buf[n1+n2+n3:]
+	}
+	return s.scanFreeSpace()
+}
+
+// rebuildIndex reconstructs the object table by scanning every page.
+func (s *Store) rebuildIndex() error {
+	s.table = make(map[oid.OID]RID)
+	s.free = make(map[page.ID]int)
+	for pid := page.ID(0); pid < s.pf.NumPages(); pid++ {
+		pg, err := s.pool.Pin(pid)
+		if err != nil {
+			return err
+		}
+		pg.LiveRecords(func(slot int, rec []byte) {
+			if id, _, err := splitRecord(rec); err == nil {
+				s.table[id] = RID{Page: pid, Slot: slot}
+			}
+		})
+		s.free[pid] = pg.Free()
+		s.pool.Unpin(pid, false)
+	}
+	return nil
+}
+
+func (s *Store) scanFreeSpace() error {
+	s.free = make(map[page.ID]int)
+	for pid := page.ID(0); pid < s.pf.NumPages(); pid++ {
+		pg, err := s.pool.Pin(pid)
+		if err != nil {
+			return err
+		}
+		s.free[pid] = pg.Free()
+		s.pool.Unpin(pid, false)
+	}
+	return nil
+}
+
+// CloseAbrupt closes the backing file WITHOUT flushing dirty pages or
+// writing the index — simulating a crash for recovery tests. The on-disk
+// state is whatever the last checkpoint plus incidental evictions left.
+func (s *Store) CloseAbrupt() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pf.Close()
+}
+
+// Rescan discards the loaded object table and rebuilds it by scanning every
+// page. Used when the side index cannot be trusted (crash recovery: the WAL
+// holds records newer than the last checkpointed index).
+func (s *Store) Rescan() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuildIndex()
+}

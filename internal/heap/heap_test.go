@@ -1,0 +1,301 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sentinel/internal/oid"
+)
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	if err := s.Put(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(1)
+	if err != nil || !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v, %v", got, ok, err)
+	}
+	if !s.Has(1) || s.Has(2) {
+		t.Error("Has wrong")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	// Overwrite.
+	if err := s.Put(1, []byte("world, a longer record")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = s.Get(1)
+	if string(got) != "world, a longer record" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(1); ok {
+		t.Fatal("deleted object still present")
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal("double delete should be a no-op")
+	}
+}
+
+func TestManyObjectsAcrossPages(t *testing.T) {
+	s, _ := openTemp(t)
+	const n = 2000
+	img := func(i int) []byte {
+		return bytes.Repeat([]byte{byte(i)}, 50+i%200)
+	}
+	for i := 1; i <= n; i++ {
+		if err := s.Put(oid.OID(i), img(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 1; i <= n; i++ {
+		got, ok, err := s.Get(oid.OID(i))
+		if err != nil || !ok || !bytes.Equal(got, img(i)) {
+			t.Fatalf("object %d corrupt", i)
+		}
+	}
+}
+
+func TestGrowingUpdateRelocates(t *testing.T) {
+	s, _ := openTemp(t)
+	// Fill a page region, then grow one object past in-page capacity.
+	for i := 1; i <= 50; i++ {
+		s.Put(oid.OID(i), bytes.Repeat([]byte("x"), 150))
+	}
+	big := bytes.Repeat([]byte("B"), 7000)
+	if err := s.Put(1, big); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.Get(1)
+	if !ok || !bytes.Equal(got, big) {
+		t.Fatal("relocated object corrupt")
+	}
+	// Everything else intact.
+	for i := 2; i <= 50; i++ {
+		if got, ok, _ := s.Get(oid.OID(i)); !ok || len(got) != 150 {
+			t.Fatalf("object %d damaged by relocation", i)
+		}
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	s, _ := openTemp(t)
+	if err := s.Put(1, make([]byte, 9000)); err == nil {
+		t.Fatal("oversized image accepted")
+	}
+}
+
+func TestCheckpointAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		s.Put(oid.OID(i), []byte(fmt.Sprintf("obj-%d", i)))
+	}
+	meta := []byte("checkpoint-meta")
+	if err := s.Checkpoint(meta); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !bytes.Equal(s2.Meta(), meta) {
+		t.Fatalf("meta = %q", s2.Meta())
+	}
+	if s2.Len() != 100 {
+		t.Fatalf("Len after reopen = %d", s2.Len())
+	}
+	got, ok, _ := s2.Get(42)
+	if !ok || string(got) != "obj-42" {
+		t.Fatalf("object 42 = %q, %v", got, ok)
+	}
+}
+
+func TestReopenWithoutIndexScans(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	for i := 1; i <= 50; i++ {
+		s.Put(oid.OID(i), []byte(fmt.Sprintf("v-%d", i)))
+	}
+	s.Checkpoint(nil)
+	s.Close()
+
+	// Remove the side index: the store must rebuild from the pages.
+	if err := os.Remove(filepath.Join(dir, "objects.idx")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 50 {
+		t.Fatalf("rebuilt Len = %d", s2.Len())
+	}
+	got, ok, _ := s2.Get(7)
+	if !ok || string(got) != "v-7" {
+		t.Fatalf("rebuilt object 7 = %q", got)
+	}
+}
+
+func TestCorruptIndexFallsBackToScan(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, Options{})
+	for i := 1; i <= 20; i++ {
+		s.Put(oid.OID(i), []byte("data"))
+	}
+	s.Checkpoint(nil)
+	s.Close()
+
+	idx := filepath.Join(dir, "objects.idx")
+	data, _ := os.ReadFile(idx)
+	data[len(data)-1] ^= 0xFF // break the CRC
+	os.WriteFile(idx, data, 0o644)
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 20 {
+		t.Fatalf("Len after corrupt index = %d", s2.Len())
+	}
+}
+
+func TestForEachOrdered(t *testing.T) {
+	s, _ := openTemp(t)
+	for _, id := range []oid.OID{5, 3, 9, 1} {
+		s.Put(id, []byte{byte(id)})
+	}
+	var order []oid.OID
+	s.ForEach(func(id oid.OID, img []byte) error {
+		order = append(order, id)
+		return nil
+	})
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("ForEach not ordered: %v", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("ForEach visited %d", len(order))
+	}
+}
+
+func TestRescanMatchesTable(t *testing.T) {
+	s, _ := openTemp(t)
+	for i := 1; i <= 200; i++ {
+		s.Put(oid.OID(i), bytes.Repeat([]byte{1}, i%300+1))
+	}
+	for i := 1; i <= 200; i += 3 {
+		s.Delete(oid.OID(i))
+	}
+	before := s.Len()
+	if err := s.Rescan(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != before {
+		t.Fatalf("rescan changed Len: %d -> %d", before, s.Len())
+	}
+	for i := 1; i <= 200; i++ {
+		_, ok, _ := s.Get(oid.OID(i))
+		wantOK := i%3 != 1
+		if ok != wantOK {
+			t.Fatalf("object %d: present=%v want %v", i, ok, wantOK)
+		}
+	}
+}
+
+// TestRandomOpsAgainstModel runs a random workload against a map model with
+// periodic checkpoints and reopens.
+func TestRandomOpsAgainstModel(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	model := map[oid.OID][]byte{}
+
+	reopen := func() {
+		if err := s.Checkpoint(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s, err = Open(dir, Options{PoolPages: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for op := 0; op < 3000; op++ {
+		id := oid.OID(rng.Intn(150) + 1)
+		switch r := rng.Intn(10); {
+		case r < 6:
+			img := make([]byte, rng.Intn(500)+1)
+			rng.Read(img)
+			if err := s.Put(id, img); err != nil {
+				t.Fatal(err)
+			}
+			model[id] = img
+		case r < 8:
+			if err := s.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, id)
+		default:
+			got, ok, err := s.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := model[id]
+			if ok != wantOK || (ok && !bytes.Equal(got, want)) {
+				t.Fatalf("op %d: object %d diverged", op, id)
+			}
+		}
+		if op%997 == 0 && op > 0 {
+			reopen()
+		}
+	}
+	// Final verification.
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model = %d", s.Len(), len(model))
+	}
+	for id, want := range model {
+		got, ok, _ := s.Get(id)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("final: object %d diverged", id)
+		}
+	}
+	s.Close()
+}

@@ -1,0 +1,102 @@
+package index
+
+import (
+	"testing"
+
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+)
+
+func TestAddLookupRemove(t *testing.T) {
+	h := NewHash("Emp", "name")
+	h.Add(1, value.Str("fred"))
+	h.Add(2, value.Str("fred"))
+	h.Add(3, value.Str("mary"))
+
+	if got := h.Lookup(value.Str("fred")); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("lookup fred = %v", got)
+	}
+	if got := h.Lookup(value.Str("mary")); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("lookup mary = %v", got)
+	}
+	if got := h.Lookup(value.Str("nobody")); got != nil {
+		t.Fatalf("lookup nobody = %v", got)
+	}
+	if h.Len() != 3 || h.Distinct() != 2 {
+		t.Fatalf("len=%d distinct=%d", h.Len(), h.Distinct())
+	}
+
+	h.Remove(1, value.Str("fred"))
+	if got := h.Lookup(value.Str("fred")); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("after remove: %v", got)
+	}
+	// Removing an absent pair is a no-op.
+	h.Remove(99, value.Str("fred"))
+	if h.Len() != 2 {
+		t.Fatalf("len after noop remove = %d", h.Len())
+	}
+	// Empty buckets disappear.
+	h.Remove(3, value.Str("mary"))
+	if h.Distinct() != 1 {
+		t.Fatalf("distinct = %d", h.Distinct())
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	h := NewHash("C", "a")
+	h.Add(1, value.Int(5))
+	h.Add(1, value.Int(5))
+	if h.Len() != 1 {
+		t.Fatalf("duplicate add counted: %d", h.Len())
+	}
+}
+
+func TestMove(t *testing.T) {
+	h := NewHash("C", "a")
+	h.Add(1, value.Int(10))
+	h.Move(1, value.Int(10), value.Int(20))
+	if got := h.Lookup(value.Int(10)); got != nil {
+		t.Fatalf("old value still indexed: %v", got)
+	}
+	if got := h.Lookup(value.Int(20)); len(got) != 1 {
+		t.Fatalf("new value not indexed: %v", got)
+	}
+	// Move to the same key is a no-op.
+	h.Move(1, value.Int(20), value.Float(20))
+	if h.Len() != 1 {
+		t.Fatalf("same-key move changed len: %d", h.Len())
+	}
+}
+
+func TestNumericKeyUnification(t *testing.T) {
+	// Int(3) and Float(3) must land in the same bucket, matching the
+	// expression language's 3 == 3.0.
+	h := NewHash("C", "a")
+	h.Add(1, value.Int(3))
+	h.Add(2, value.Float(3))
+	if got := h.Lookup(value.Float(3.0)); len(got) != 2 {
+		t.Fatalf("numeric unification: %v", got)
+	}
+	if got := h.Lookup(value.Int(3)); len(got) != 2 {
+		t.Fatalf("numeric unification (int probe): %v", got)
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	h := NewHash("C", "a")
+	h.Add(1, value.Int(1))
+	h.Add(2, value.Int(1))
+	got := h.Lookup(value.Int(1))
+	got[0] = oid.OID(999)
+	if again := h.Lookup(value.Int(1)); again[0] != 1 {
+		t.Fatal("Lookup result aliases internal state")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := NewHash("Emp", "name")
+	h.Add(1, value.Str("x"))
+	if got := h.String(); got != "index Emp.name (1 entries, 1 distinct)" {
+		t.Fatalf("String = %q", got)
+	}
+}

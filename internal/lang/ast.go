@@ -1,0 +1,300 @@
+package lang
+
+import (
+	"sentinel/internal/event"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+// ---- Expressions ----
+
+// Expr is an expression AST node.
+type Expr interface{ exprNode() }
+
+// Lit is a literal value.
+type Lit struct {
+	Pos Pos
+	Val value.Value
+}
+
+// Ident references a name, resolved at evaluation time against (in order)
+// locals, event parameters, attributes of self, and database name bindings.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// SelfExpr is the `self` keyword.
+type SelfExpr struct{ Pos Pos }
+
+// AttrAccess is `recv.Name` (without a call).
+type AttrAccess struct {
+	Pos  Pos
+	Recv Expr
+	Name string
+}
+
+// Call is `recv.Name(args)` or `recv!Name(args)` — a message send. A nil
+// Recv means a send to self.
+type Call struct {
+	Pos  Pos
+	Recv Expr
+	Name string
+	Args []Expr
+}
+
+// NewExpr is `new Class(attr: expr, ...)`.
+type NewExpr struct {
+	Pos   Pos
+	Class string
+	Inits []FieldInit
+}
+
+// ListLit is `[e1, e2, ...]`.
+type ListLit struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// Index is `list[i]`.
+type Index struct {
+	Pos  Pos
+	Recv Expr
+	I    Expr
+}
+
+// FieldInit is one `name: expr` initializer.
+type FieldInit struct {
+	Name string
+	Expr Expr
+}
+
+// Unary is `-x` or `!x` / `not x`.
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is a binary operation: arithmetic (+ - * / %), comparison
+// (< <= > >= == !=), or logical (&& ||, which short-circuit).
+type Binary struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+func (*Lit) exprNode()        {}
+func (*Ident) exprNode()      {}
+func (*SelfExpr) exprNode()   {}
+func (*AttrAccess) exprNode() {}
+func (*Call) exprNode()       {}
+func (*NewExpr) exprNode()    {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*ListLit) exprNode()    {}
+func (*Index) exprNode()      {}
+
+// ---- Statements ----
+
+// Stmt is a statement AST node.
+type Stmt interface{ stmtNode() }
+
+// Assign is `target := expr`; Target is an *Ident (local or self attribute)
+// or an *AttrAccess.
+type Assign struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+// Let declares a local: `let x := expr`.
+type Let struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// ExprStmt evaluates an expression for its effect (usually a Call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// AbortStmt aborts the enclosing transaction: `abort "reason"`.
+type AbortStmt struct {
+	Pos    Pos
+	Reason string
+}
+
+// RaiseStmt raises an explicit application event from a method body:
+// `raise LowStock(self.qty)`.
+type RaiseStmt struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// ReturnStmt returns from a method: `return expr` / `return`.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // may be nil
+}
+
+// PrintStmt writes values to the environment's output: `print(a, b)`.
+type PrintStmt struct {
+	Pos  Pos
+	Args []Expr
+}
+
+// IfStmt is `if cond { ... } else { ... }`.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is `while cond { ... }`.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is `for x in expr { ... }`; expr must evaluate to a list.
+type ForStmt struct {
+	Pos  Pos
+	Var  string
+	Seq  Expr
+	Body []Stmt
+}
+
+// BindStmt binds a database name: `bind IBM stockExpr`.
+type BindStmt struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// SubscribeStmt is `subscribe RuleName to expr` (or unsubscribe).
+type SubscribeStmt struct {
+	Pos         Pos
+	Rule        string
+	Target      Expr
+	Unsubscribe bool
+}
+
+// RuleCtlStmt is `enable RuleName` / `disable RuleName`.
+type RuleCtlStmt struct {
+	Pos     Pos
+	Rule    string
+	Disable bool
+}
+
+// IndexStmt is `index Class.attr` / `unindex Class.attr`: create or drop a
+// secondary equality index.
+type IndexStmt struct {
+	Pos   Pos
+	Class string
+	Attr  string
+	Drop  bool
+}
+
+func (*Assign) stmtNode()        {}
+func (*Let) stmtNode()           {}
+func (*ExprStmt) stmtNode()      {}
+func (*AbortStmt) stmtNode()     {}
+func (*RaiseStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode()    {}
+func (*PrintStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()        {}
+func (*WhileStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()       {}
+func (*BindStmt) stmtNode()      {}
+func (*SubscribeStmt) stmtNode() {}
+func (*RuleCtlStmt) stmtNode()   {}
+func (*IndexStmt) stmtNode()     {}
+
+// ---- Declarations ----
+
+// ClassDecl is a SentinelQL class definition.
+type ClassDecl struct {
+	Pos        Pos
+	Name       string
+	Bases      []string
+	Reactive   bool
+	Notifiable bool
+	Persistent bool
+	Abstract   bool
+	Attrs      []AttrDecl
+	Methods    []MethodDecl
+	Rules      []RuleDecl
+	// Source is the original text of the declaration (for the catalog).
+	Source string
+}
+
+// AttrDecl is one attribute declaration.
+type AttrDecl struct {
+	Pos        Pos
+	Name       string
+	Type       *value.Type
+	Visibility schema.Visibility
+	Default    value.Value
+}
+
+// MethodDecl is one method declaration with an interpreted body.
+type MethodDecl struct {
+	Pos        Pos
+	Name       string
+	Params     []schema.Param
+	Returns    *value.Type
+	Visibility schema.Visibility
+	EventGen   schema.EventGen
+	Body       []Stmt
+}
+
+// RuleDecl is a rule declaration. A rule is class-level when nested in a
+// class definition or declared with an explicit `for ClassName` clause;
+// otherwise it is instance-level and must be subscribed to the objects it
+// monitors.
+type RuleDecl struct {
+	Pos       Pos
+	Name      string
+	ForClass  string // `rule X for Employee on ...` — class-level scope
+	Event     *event.Expr
+	EventName string // when the ON clause references a named event instead
+	Cond      Expr   // nil means always true
+	Action    []Stmt
+	Coupling  string
+	Priority  int
+	Context   string
+	// TxScoped comes from `scope transaction`; detection state resets at
+	// transaction end.
+	TxScoped bool
+	// CondSrc and ActionSrc are the original source fragments (catalog
+	// persistence).
+	CondSrc, ActionSrc string
+}
+
+// EvolveDecl is `evolve class X { ... }`: replace a class definition and
+// migrate its instances.
+type EvolveDecl struct {
+	Pos   Pos
+	Class *ClassDecl
+}
+
+// EventDecl names an event definition: `event Fired = end Emp::Fire() or ...`.
+type EventDecl struct {
+	Pos  Pos
+	Name string
+	Expr *event.Expr
+	// Source of the expression (catalog persistence).
+	Source string
+}
+
+// Script is a parsed SentinelQL compilation unit: an ordered mix of
+// declarations and statements.
+type Script struct {
+	Items []any // *ClassDecl | *RuleDecl | *EventDecl | Stmt
+}

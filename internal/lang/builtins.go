@@ -1,0 +1,198 @@
+package lang
+
+import (
+	"math"
+
+	"sentinel/internal/value"
+)
+
+// Builtin functions, callable in bare-call position (`len(x)`,
+// `instances("Employee")`). Builtin names are reserved there; methods of
+// self with the same name remain reachable as `self.Name(...)`.
+//
+// The set is aimed at the conditions the paper's examples need — e.g.
+// Ode's `sal_greater_than_all_employees()` becomes
+//
+//	salary > max(pluck(instances("Employee"), "salary"))
+//
+// entirely in SentinelQL.
+var builtinNames = map[string]bool{
+	"instances": true, "len": true, "count": true, "sum": true,
+	"min": true, "max": true, "contains": true, "pluck": true,
+	"abs": true, "str": true, "lookup": true,
+}
+
+// IsBuiltin reports whether name is reserved as a builtin function.
+func IsBuiltin(name string) bool { return builtinNames[name] }
+
+func (in *Interp) callBuiltin(pos Pos, name string, args []value.Value) (value.Value, error) {
+	argn := func(n int) error {
+		if len(args) != n {
+			return errf(pos, "%s expects %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "instances":
+		if err := argn(1); err != nil {
+			return value.Nil, err
+		}
+		cls, ok := args[0].AsString()
+		if !ok {
+			return value.Nil, errf(pos, `instances expects a class name string, e.g. instances("Employee")`)
+		}
+		ids, err := in.Env.Instances(cls)
+		if err != nil {
+			return value.Nil, err
+		}
+		elems := make([]value.Value, len(ids))
+		for i, id := range ids {
+			elems[i] = value.Ref(id)
+		}
+		return value.List(elems...), nil
+
+	case "len", "count":
+		if err := argn(1); err != nil {
+			return value.Nil, err
+		}
+		if l, ok := args[0].AsList(); ok {
+			return value.Int(int64(len(l))), nil
+		}
+		if s, ok := args[0].AsString(); ok {
+			return value.Int(int64(len(s))), nil
+		}
+		return value.Nil, errf(pos, "%s expects a list or string, got %s", name, args[0].Kind())
+
+	case "sum":
+		if err := argn(1); err != nil {
+			return value.Nil, err
+		}
+		l, ok := args[0].AsList()
+		if !ok {
+			return value.Nil, errf(pos, "sum expects a list, got %s", args[0].Kind())
+		}
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, e := range l {
+			f, numOK := e.Numeric()
+			if !numOK {
+				return value.Nil, errf(pos, "sum over non-numeric element %s", e)
+			}
+			fsum += f
+			if i, ok := e.AsInt(); ok {
+				isum += i
+			} else {
+				allInt = false
+			}
+		}
+		if allInt {
+			return value.Int(isum), nil
+		}
+		return value.Float(fsum), nil
+
+	case "min", "max":
+		if err := argn(1); err != nil {
+			return value.Nil, err
+		}
+		l, ok := args[0].AsList()
+		if !ok {
+			return value.Nil, errf(pos, "%s expects a list, got %s", name, args[0].Kind())
+		}
+		if len(l) == 0 {
+			return value.Nil, errf(pos, "%s of an empty list", name)
+		}
+		best := l[0]
+		for _, e := range l[1:] {
+			c := e.Compare(best)
+			if (name == "min" && c < 0) || (name == "max" && c > 0) {
+				best = e
+			}
+		}
+		return best, nil
+
+	case "contains":
+		if err := argn(2); err != nil {
+			return value.Nil, err
+		}
+		l, ok := args[0].AsList()
+		if !ok {
+			return value.Nil, errf(pos, "contains expects a list, got %s", args[0].Kind())
+		}
+		for _, e := range l {
+			if e.Equal(args[1]) {
+				return value.Bool(true), nil
+			}
+		}
+		return value.Bool(false), nil
+
+	case "pluck":
+		if err := argn(2); err != nil {
+			return value.Nil, err
+		}
+		l, ok := args[0].AsList()
+		if !ok {
+			return value.Nil, errf(pos, "pluck expects a list, got %s", args[0].Kind())
+		}
+		attr, ok := args[1].AsString()
+		if !ok {
+			return value.Nil, errf(pos, "pluck expects an attribute name string")
+		}
+		out := make([]value.Value, 0, len(l))
+		for _, e := range l {
+			ref, ok := e.AsRef()
+			if !ok {
+				return value.Nil, errf(pos, "pluck over non-object element %s", e)
+			}
+			v, err := in.Env.GetAttr(ref, attr)
+			if err != nil {
+				return value.Nil, err
+			}
+			out = append(out, v)
+		}
+		return value.List(out...), nil
+
+	case "lookup":
+		if err := argn(3); err != nil {
+			return value.Nil, err
+		}
+		cls, ok1 := args[0].AsString()
+		attr, ok2 := args[1].AsString()
+		if !ok1 || !ok2 {
+			return value.Nil, errf(pos, `lookup expects (class, attribute, value), e.g. lookup("Employee", "name", "Fred")`)
+		}
+		ids, err := in.Env.LookupByAttr(cls, attr, args[2])
+		if err != nil {
+			return value.Nil, err
+		}
+		elems := make([]value.Value, len(ids))
+		for i, id := range ids {
+			elems[i] = value.Ref(id)
+		}
+		return value.List(elems...), nil
+
+	case "abs":
+		if err := argn(1); err != nil {
+			return value.Nil, err
+		}
+		if i, ok := args[0].AsInt(); ok {
+			if i < 0 {
+				return value.Int(-i), nil
+			}
+			return value.Int(i), nil
+		}
+		if f, ok := args[0].AsFloat(); ok {
+			return value.Float(math.Abs(f)), nil
+		}
+		return value.Nil, errf(pos, "abs expects a number, got %s", args[0].Kind())
+
+	case "str":
+		if err := argn(1); err != nil {
+			return value.Nil, err
+		}
+		return value.Str(Render(args[0])), nil
+
+	default:
+		return value.Nil, errf(pos, "unknown builtin %q", name)
+	}
+}

@@ -1,0 +1,246 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []Token
+}
+
+// lex tokenizes the source. Comments run from "//" or "#" to end of line.
+func lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	for {
+		lx.skipSpace()
+		if lx.pos >= len(lx.src) {
+			lx.emit(Token{Kind: TokEOF, Pos: lx.here()})
+			return lx.toks, nil
+		}
+		start := lx.here()
+		c := lx.src[lx.pos]
+		switch {
+		case c == '"' || c == '\'':
+			s, err := lx.lexString(c)
+			if err != nil {
+				return nil, err
+			}
+			lx.emit(Token{Kind: TokString, Text: s, Pos: start})
+		case unicode.IsDigit(rune(c)):
+			text, isFloat := lx.lexNumber()
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			lx.emit(Token{Kind: kind, Text: text, Pos: start})
+		case isIdentStart(c):
+			lx.emit(Token{Kind: TokIdent, Text: lx.lexIdent(), Pos: start})
+		default:
+			p := lx.matchPunct()
+			if p == "" {
+				return nil, errf(start, "unexpected character %q", string(c))
+			}
+			lx.emit(Token{Kind: TokPunct, Text: p, Pos: start})
+		}
+	}
+}
+
+func (lx *lexer) emit(t Token) {
+	t.EndOff = lx.pos
+	lx.toks = append(lx.toks, t)
+}
+
+func (lx *lexer) here() Pos { return Pos{Line: lx.line, Col: lx.col, Off: lx.pos} }
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case c == '#':
+			lx.skipLine()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			lx.skipLine()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.advance(2)
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				lx.advance(1)
+			}
+			lx.advance(2)
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) skipLine() {
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+		lx.advance(1)
+	}
+}
+
+func (lx *lexer) lexString(quote byte) (string, error) {
+	start := lx.here()
+	lx.advance(1)
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case quote:
+			lx.advance(1)
+			return b.String(), nil
+		case '\\':
+			if lx.pos+1 >= len(lx.src) {
+				return "", errf(start, "unterminated string")
+			}
+			esc := lx.src[lx.pos+1]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+				lx.advance(2)
+			case 't':
+				b.WriteByte('\t')
+				lx.advance(2)
+			case 'r':
+				b.WriteByte('\r')
+				lx.advance(2)
+			case 'a':
+				b.WriteByte(7)
+				lx.advance(2)
+			case 'b':
+				b.WriteByte(8)
+				lx.advance(2)
+			case 'f':
+				b.WriteByte(12)
+				lx.advance(2)
+			case 'v':
+				b.WriteByte(11)
+				lx.advance(2)
+			case '\\', '"', '\'':
+				b.WriteByte(esc)
+				lx.advance(2)
+			case 'x':
+				if lx.pos+3 >= len(lx.src) {
+					return "", errf(lx.here(), "truncated \\x escape")
+				}
+				hi, ok1 := hexVal(lx.src[lx.pos+2])
+				lo, ok2 := hexVal(lx.src[lx.pos+3])
+				if !ok1 || !ok2 {
+					return "", errf(lx.here(), "malformed \\x escape")
+				}
+				b.WriteByte(hi<<4 | lo)
+				lx.advance(4)
+			case 'u':
+				if lx.pos+5 >= len(lx.src) {
+					return "", errf(lx.here(), "truncated \\u escape")
+				}
+				var r rune
+				for i := 0; i < 4; i++ {
+					d, ok := hexVal(lx.src[lx.pos+2+i])
+					if !ok {
+						return "", errf(lx.here(), "malformed \\u escape")
+					}
+					r = r<<4 | rune(d)
+				}
+				b.WriteRune(r)
+				lx.advance(6)
+			default:
+				return "", errf(lx.here(), "unknown escape \\%c", esc)
+			}
+		case '\n':
+			return "", errf(start, "unterminated string")
+		default:
+			b.WriteByte(c)
+			lx.advance(1)
+		}
+	}
+	return "", errf(start, "unterminated string")
+}
+
+func (lx *lexer) lexNumber() (text string, isFloat bool) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos])) {
+		lx.advance(1)
+	}
+	if lx.pos+1 < len(lx.src) && lx.src[lx.pos] == '.' && unicode.IsDigit(rune(lx.src[lx.pos+1])) {
+		isFloat = true
+		lx.advance(1)
+		for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos])) {
+			lx.advance(1)
+		}
+	}
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		save := lx.pos
+		lx.advance(1)
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.advance(1)
+		}
+		if lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos])) {
+			isFloat = true
+			for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos])) {
+				lx.advance(1)
+			}
+		} else {
+			// Not an exponent after all ("10e" would be ident-ish); back out.
+			lx.pos = save
+		}
+	}
+	return lx.src[start:lx.pos], isFloat
+}
+
+func (lx *lexer) lexIdent() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+		lx.advance(1)
+	}
+	return lx.src[start:lx.pos]
+}
+
+func (lx *lexer) matchPunct() string {
+	for _, p := range puncts {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.advance(len(p))
+			return p
+		}
+	}
+	return ""
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,133 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := kinds(t, `rule R on end Emp::Set(x float) if x >= 1.5 then abort "no"`)
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"rule", "R", "on", "end", "Emp", "::", "Set", "(", "x", "float", ")",
+		"if", "x", ">=", "1.5", "then", "abort", "no"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v", texts)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := kinds(t, "1 2.5 1e3 10E-2 7")
+	wantKinds := []TokKind{TokInt, TokFloat, TokFloat, TokFloat, TokInt, TokEOF}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d (%q): kind = %v, want %v", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks := kinds(t, `"a\nb" 'c"d' "tab\t\\"`)
+	if toks[0].Text != "a\nb" || toks[1].Text != `c"d` || toks[2].Text != "tab\t\\" {
+		t.Fatalf("strings = %q %q %q", toks[0].Text, toks[1].Text, toks[2].Text)
+	}
+	for _, bad := range []string{`"unterminated`, `"bad\qescape"`, "\"newline\n\""} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q): expected error", bad)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `a // line comment
+	b # hash comment
+	/* block
+	comment */ c`
+	toks := kinds(t, src)
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tok.Text)
+	}
+	if strings.Join(texts, "") != "abc" {
+		t.Fatalf("tokens = %v", texts)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := kinds(t, "a\n  bb")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+	if toks[1].EndOff != 6 {
+		t.Errorf("bb EndOff = %d", toks[1].EndOff)
+	}
+}
+
+func TestLexUnknownChar(t *testing.T) {
+	if _, err := lex("a @ b"); err == nil {
+		t.Fatal("unknown character accepted")
+	}
+}
+
+func TestLexMultiBytePunct(t *testing.T) {
+	toks := kinds(t, ":= :: <= == !=")
+	for i, want := range []string{":=", "::", "<=", "==", "!="} {
+		if toks[i].Text != want {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, want)
+		}
+	}
+}
+
+func TestLexExtendedEscapes(t *testing.T) {
+	toks := kinds(t, `"\x41é\r\a\b\f\v"`)
+	want := "Aé\r\a\b\f\v"
+	if toks[0].Text != want {
+		t.Fatalf("escapes = %q, want %q", toks[0].Text, want)
+	}
+	for _, bad := range []string{`"\x4"`, `"\xZZ"`, `"\u12"`, `"\u12GZ"`} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q): expected error", bad)
+		}
+	}
+}
+
+// TestStringLiteralRoundtripProperty: any Go string survives
+// strconv.Quote → lex (the dump/restore contract for string attributes).
+func TestStringLiteralRoundtripProperty(t *testing.T) {
+	cases := []string{
+		"", "plain", "with \"quotes\"", "tabs\tand\nnewlines",
+		"control \x01\x02\x7f", "unicode héllo 世界", "backslash \\ mix \x00",
+	}
+	for _, s := range cases {
+		src := strconv.Quote(s)
+		toks, err := lex(src)
+		if err != nil {
+			t.Errorf("lex(%s): %v", src, err)
+			continue
+		}
+		if toks[0].Kind != TokString || toks[0].Text != s {
+			t.Errorf("roundtrip %q -> %q", s, toks[0].Text)
+		}
+	}
+}

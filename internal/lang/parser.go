@@ -1,0 +1,666 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+
+	"sentinel/internal/event"
+)
+
+// EventResolver resolves a named event reference in an ON clause to its
+// definition (the core catalog implements it). It reports ok=false for
+// unknown names.
+type EventResolver func(name string) (*event.Expr, bool)
+
+type parser struct {
+	src     string
+	toks    []Token
+	i       int
+	resolve EventResolver
+	// localEvents holds named events declared earlier in the same
+	// compilation unit, so a script can define an event and use it in a
+	// later rule before anything is executed.
+	localEvents map[string]*event.Expr
+}
+
+func newParser(src string, resolve EventResolver) (*parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{src: src, toks: toks, resolve: resolve, localEvents: make(map[string]*event.Expr)}, nil
+}
+
+// ParseScript parses a full SentinelQL compilation unit.
+func ParseScript(src string, resolve EventResolver) (*Script, error) {
+	p, err := newParser(src, resolve)
+	if err != nil {
+		return nil, err
+	}
+	s := &Script{}
+	for !p.atEOF() {
+		p.acceptPunct(";")
+		if p.atEOF() {
+			break
+		}
+		switch {
+		case p.atKw("class"):
+			d, err := p.parseClass()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, d)
+		case p.atKw("rule"):
+			d, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, d)
+		case p.atKw("evolve"):
+			pos := p.next().Pos
+			if !p.atKw("class") {
+				return nil, errf(p.cur().Pos, "expected `class` after evolve")
+			}
+			cd, err := p.parseClass()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, &EvolveDecl{Pos: pos, Class: cd})
+		case p.atKw("event") && p.peekIsNamedEventDecl():
+			d, err := p.parseEventDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, d)
+		default:
+			st, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, st)
+		}
+	}
+	return s, nil
+}
+
+// ParseEventExpr parses a standalone event expression ("end A::B(...) and
+// begin C::D").
+func ParseEventExpr(src string, resolve EventResolver) (*event.Expr, error) {
+	p, err := newParser(src, resolve)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseEventOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errf(p.cur().Pos, "unexpected %q after event expression", p.cur().Text)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ParseCondition parses a standalone condition expression.
+func ParseCondition(src string) (Expr, error) {
+	p, err := newParser(src, nil)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errf(p.cur().Pos, "unexpected %q after condition", p.cur().Text)
+	}
+	return e, nil
+}
+
+// ParseActions parses a standalone statement sequence (a rule action body).
+func ParseActions(src string) ([]Stmt, error) {
+	p, err := newParser(src, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.atEOF() {
+		p.acceptPunct(";")
+		if p.atEOF() {
+			break
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// ParseRule parses a single rule declaration.
+func ParseRule(src string, resolve EventResolver) (*RuleDecl, error) {
+	p, err := newParser(src, resolve)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errf(p.cur().Pos, "unexpected %q after rule", p.cur().Text)
+	}
+	return d, nil
+}
+
+// ---- token plumbing ----
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) atEOF() bool { return p.toks[p.i].Kind == TokEOF }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != TokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) peek(k int) Token {
+	if p.i+k >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+k]
+}
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.Kind == TokPunct && t.Text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.atPunct(s) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) (Token, error) {
+	if !p.atPunct(s) {
+		return p.cur(), errf(p.cur().Pos, "expected %q, got %q", s, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+// atKw reports a case-insensitive keyword match on the current identifier.
+func (p *parser) atKw(word string) bool {
+	t := p.cur()
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, word)
+}
+
+func (p *parser) acceptKw(word string) bool {
+	if p.atKw(word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) (Token, error) {
+	if !p.atKw(word) {
+		return p.cur(), errf(p.cur().Pos, "expected %q, got %q", word, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Pos, "expected identifier, got %q", t.Text)
+	}
+	return p.next(), nil
+}
+
+// sliceFrom returns source text between a start position and the end of the
+// previously consumed token.
+func (p *parser) sliceFrom(start Pos) string {
+	end := p.toks[p.i-1].EndOff
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	if start.Off > end {
+		return ""
+	}
+	return strings.TrimSpace(p.src[start.Off:end])
+}
+
+// acceptGoRef consumes a `go:name` registry reference (used for rule
+// conditions and actions bound to registered Go functions) and returns it
+// in its "go:name" persistent form.
+func (p *parser) acceptGoRef() (string, bool) {
+	if p.atKw("go") && p.peek(1).Kind == TokPunct && p.peek(1).Text == ":" && p.peek(2).Kind == TokIdent {
+		p.next()
+		p.next()
+		n := p.next()
+		return "go:" + n.Text, true
+	}
+	return "", false
+}
+
+// peekIsNamedEventDecl distinguishes `event Name = ...` (a named event
+// declaration) from an expression beginning with the `event` primitive
+// keyword (`event C::M`).
+func (p *parser) peekIsNamedEventDecl() bool {
+	return p.peek(1).Kind == TokIdent && p.peek(2).Kind == TokPunct && p.peek(2).Text == "="
+}
+
+// ---- event expressions ----
+
+// precedence: or < and < seq < primary
+func (p *parser) parseEventOr() (*event.Expr, error) {
+	l, err := p.parseEventAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("or") || p.acceptPunct("||") {
+		r, err := p.parseEventAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = event.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseEventAnd() (*event.Expr, error) {
+	l, err := p.parseEventSeq()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("and") || p.acceptPunct("&&") {
+		r, err := p.parseEventSeq()
+		if err != nil {
+			return nil, err
+		}
+		l = event.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseEventSeq() (*event.Expr, error) {
+	l, err := p.parseEventPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("seq") || p.acceptKw("then_on") {
+		r, err := p.parseEventPrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = event.Seq(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseEventPrimary() (*event.Expr, error) {
+	t := p.cur()
+	switch {
+	case p.acceptPunct("("):
+		e, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case p.atKw("not"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		b, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		a, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		c, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return event.Not(a, b, c), nil
+
+	case p.atKw("any"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		mTok := p.next()
+		if mTok.Kind != TokInt {
+			return nil, errf(mTok.Pos, "any(...) needs an integer count, got %q", mTok.Text)
+		}
+		m, _ := strconv.Atoi(mTok.Text)
+		var kids []*event.Expr
+		for p.acceptPunct(";") {
+			e, err := p.parseEventOr()
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, e)
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return event.Any(m, kids...), nil
+
+	case p.atKw("aperiodic_star"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		a, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		c, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return event.AperiodicStar(a, b, c), nil
+
+	case p.atKw("aperiodic"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		a, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		b, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		c, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return event.Aperiodic(a, b, c), nil
+
+	case p.atKw("periodic"):
+		p.next()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		a, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		perTok := p.next()
+		if perTok.Kind != TokInt {
+			return nil, errf(perTok.Pos, "periodic(...) needs an integer period, got %q", perTok.Text)
+		}
+		per, _ := strconv.ParseUint(perTok.Text, 10, 64)
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		c, err := p.parseEventOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return event.Periodic(a, per, c), nil
+
+	case p.atKw("begin") || p.atKw("end") || p.atKw("event"):
+		return p.parsePrimitiveEvent()
+
+	case t.Kind == TokIdent:
+		// A named event reference: same compilation unit first, then the
+		// catalog.
+		p.next()
+		if e, ok := p.localEvents[t.Text]; ok {
+			return e, nil
+		}
+		if p.resolve == nil {
+			return nil, errf(t.Pos, "named event %q used but no event catalog available", t.Text)
+		}
+		e, ok := p.resolve(t.Text)
+		if !ok {
+			return nil, errf(t.Pos, "unknown event %q", t.Text)
+		}
+		return e, nil
+
+	default:
+		return nil, errf(t.Pos, "expected event expression, got %q", t.Text)
+	}
+}
+
+// parsePrimitiveEvent parses `begin Class::Method(...)`, `end C::M`, or
+// `event C::Name` (explicit application events). A parenthesized formal
+// parameter list is accepted and ignored — matching is by class, method and
+// moment; parameter names travel with the occurrence.
+func (p *parser) parsePrimitiveEvent() (*event.Expr, error) {
+	var when event.Moment
+	switch {
+	case p.acceptKw("begin"):
+		when = event.Begin
+	case p.acceptKw("end"):
+		when = event.End
+	case p.acceptKw("event"):
+		when = event.Explicit
+	default:
+		return nil, errf(p.cur().Pos, "expected begin/end/event")
+	}
+	cls, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("::"); err != nil {
+		return nil, err
+	}
+	meth, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("(") {
+		depth := 1
+		for depth > 0 {
+			if p.atEOF() {
+				return nil, errf(p.cur().Pos, "unterminated parameter list in event signature")
+			}
+			switch {
+			case p.atPunct("("):
+				depth++
+			case p.atPunct(")"):
+				depth--
+			}
+			p.next()
+		}
+	}
+	return event.Primitive(when, cls.Text, meth.Text), nil
+}
+
+// ---- rule declarations ----
+
+func (p *parser) parseRule() (*RuleDecl, error) {
+	start, err := p.expectKw("rule")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &RuleDecl{Pos: start.Pos, Name: name.Text, Coupling: "immediate"}
+
+	if p.acceptKw("for") {
+		cls, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d.ForClass = cls.Text
+	}
+
+	if !p.acceptKw("on") && !p.acceptKw("when") {
+		return nil, errf(p.cur().Pos, "expected ON (or WHEN) in rule %s", d.Name)
+	}
+	evStart := p.cur().Pos
+	ev, err := p.parseEventOr()
+	if err != nil {
+		return nil, err
+	}
+	d.Event = ev
+	d.EventName = p.sliceFrom(evStart)
+
+	if p.acceptKw("if") {
+		if name, ok := p.acceptGoRef(); ok {
+			d.CondSrc = name
+		} else {
+			condStart := p.cur().Pos
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Cond = cond
+			d.CondSrc = p.sliceFrom(condStart)
+		}
+	}
+
+	if _, err := p.expectKw("then"); err != nil {
+		return nil, err
+	}
+	if name, ok := p.acceptGoRef(); ok {
+		d.ActionSrc = name
+	} else if p.atPunct("{") {
+		openTok := p.cur()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		closeTok := p.toks[p.i-1] // the consumed "}"
+		d.Action = body
+		d.ActionSrc = strings.TrimSpace(p.src[openTok.EndOff:closeTok.Pos.Off])
+	} else {
+		actStart := p.cur().Pos
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		d.Action = []Stmt{st}
+		d.ActionSrc = p.sliceFrom(actStart)
+	}
+
+	for {
+		switch {
+		case p.acceptKw("coupling"):
+			t, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			d.Coupling = strings.ToLower(t.Text)
+		case p.acceptKw("priority"):
+			neg := p.acceptPunct("-")
+			t := p.next()
+			if t.Kind != TokInt {
+				return nil, errf(t.Pos, "priority needs an integer, got %q", t.Text)
+			}
+			n, _ := strconv.Atoi(t.Text)
+			if neg {
+				n = -n
+			}
+			d.Priority = n
+		case p.acceptKw("context"):
+			t, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			d.Context = strings.ToLower(t.Text)
+		case p.acceptKw("scope"):
+			t, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			switch strings.ToLower(t.Text) {
+			case "transaction", "tx":
+				d.TxScoped = true
+			case "global":
+				d.TxScoped = false
+			default:
+				return nil, errf(t.Pos, "scope must be transaction or global, got %q", t.Text)
+			}
+		default:
+			return d, nil
+		}
+	}
+}
+
+func (p *parser) parseEventDecl() (*EventDecl, error) {
+	start, err := p.expectKw("event")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	exprStart := p.cur().Pos
+	e, err := p.parseEventOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Validate(); err != nil {
+		return nil, errf(start.Pos, "event %s: %v", name.Text, err)
+	}
+	p.localEvents[name.Text] = e
+	return &EventDecl{Pos: start.Pos, Name: name.Text, Expr: e, Source: p.sliceFrom(exprStart)}, nil
+}

@@ -1,0 +1,797 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+// ---- statements ----
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for !p.atPunct("}") {
+		if p.atEOF() {
+			return nil, errf(p.cur().Pos, "unterminated block")
+		}
+		if p.acceptPunct(";") {
+			continue
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	p.next() // consume "}"
+	return out, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.atPunct("{"):
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &IfStmt{Pos: t.Pos, Cond: &Lit{Pos: t.Pos, Val: value.Bool(true)}, Then: body}, nil
+
+	case p.atKw("let"):
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptPunct(":=") && !p.acceptPunct("=") {
+			return nil, errf(p.cur().Pos, "expected := in let")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Let{Pos: t.Pos, Name: name.Text, Expr: e}, nil
+
+	case p.atKw("abort"):
+		p.next()
+		reason := "aborted by rule"
+		if p.cur().Kind == TokString {
+			reason = p.next().Text
+		}
+		return &AbortStmt{Pos: t.Pos, Reason: reason}, nil
+
+	case p.atKw("raise"):
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		return &RaiseStmt{Pos: t.Pos, Name: name.Text, Args: args}, nil
+
+	case p.atKw("return"):
+		p.next()
+		st := &ReturnStmt{Pos: t.Pos}
+		if !p.atPunct(";") && !p.atPunct("}") && !p.atEOF() {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = e
+		}
+		return st, nil
+
+	case p.atKw("print"):
+		p.next()
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		return &PrintStmt{Pos: t.Pos, Args: args}, nil
+
+	case p.atKw("if"):
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		var thenB []Stmt
+		if p.atPunct("{") {
+			thenB, err = p.parseBlock()
+		} else if p.acceptKw("then") {
+			var st Stmt
+			st, err = p.parseStmt()
+			thenB = []Stmt{st}
+		} else {
+			var st Stmt
+			st, err = p.parseStmt()
+			thenB = []Stmt{st}
+		}
+		if err != nil {
+			return nil, err
+		}
+		var elseB []Stmt
+		if p.acceptKw("else") {
+			if p.atPunct("{") {
+				elseB, err = p.parseBlock()
+			} else {
+				var st Stmt
+				st, err = p.parseStmt()
+				elseB = []Stmt{st}
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Pos: t.Pos, Cond: cond, Then: thenB, Else: elseB}, nil
+
+	case p.atKw("while"):
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+
+	case p.atKw("for"):
+		p.next()
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("in") {
+			return nil, errf(p.cur().Pos, "expected `in` in for statement")
+		}
+		seq, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Pos: t.Pos, Var: v.Text, Seq: seq, Body: body}, nil
+
+	case p.atKw("bind"):
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		p.acceptPunct("=")
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BindStmt{Pos: t.Pos, Name: name.Text, Expr: e}, nil
+
+	case p.atKw("subscribe") || p.atKw("unsubscribe"):
+		unsub := p.atKw("unsubscribe")
+		p.next()
+		rn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("to") && !p.acceptKw("from") {
+			return nil, errf(p.cur().Pos, "expected to/from in subscribe")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &SubscribeStmt{Pos: t.Pos, Rule: rn.Text, Target: e, Unsubscribe: unsub}, nil
+
+	case p.atKw("index") || p.atKw("unindex"):
+		drop := p.atKw("unindex")
+		p.next()
+		cls, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		attr, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &IndexStmt{Pos: t.Pos, Class: cls.Text, Attr: attr.Text, Drop: drop}, nil
+
+	case p.atKw("enable") || p.atKw("disable"):
+		dis := p.atKw("disable")
+		p.next()
+		rn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &RuleCtlStmt{Pos: t.Pos, Rule: rn.Text, Disable: dis}, nil
+	}
+
+	// Expression-leading statements: assignment or expression statement.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptPunct(":=") {
+		switch e.(type) {
+		case *Ident, *AttrAccess:
+		default:
+			return nil, errf(t.Pos, "invalid assignment target")
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: t.Pos, Target: e, Value: v}, nil
+	}
+	return &ExprStmt{Pos: t.Pos, X: e}, nil
+}
+
+func (p *parser) parseArgList() ([]Expr, error) {
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	if p.acceptPunct(")") {
+		return out, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if p.acceptPunct(")") {
+			return out, nil
+		}
+		if _, err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ---- expressions ----
+
+// precedence: || / or  <  && / and  <  comparison  <  + -  <  * / %  <  unary  <  postfix
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if p.acceptPunct("||") || p.acceptKw("or") {
+			r, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Pos: t.Pos, Op: "||", L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if p.acceptPunct("&&") || p.acceptKw("and") {
+			r, err := p.parseCmp()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Pos: t.Pos, Op: "&&", L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		var op string
+		switch {
+		case p.acceptPunct("<="):
+			op = "<="
+		case p.acceptPunct(">="):
+			op = ">="
+		case p.acceptPunct("=="):
+			op = "=="
+		case p.acceptPunct("!="):
+			op = "!="
+		case p.acceptPunct("<"):
+			op = "<"
+		case p.acceptPunct(">"):
+			op = ">"
+		default:
+			return l, nil
+		}
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: t.Pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		var op string
+		switch {
+		case p.acceptPunct("+"):
+			op = "+"
+		case p.acceptPunct("-"):
+			op = "-"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: t.Pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		var op string
+		switch {
+		case p.acceptPunct("*"):
+			op = "*"
+		case p.acceptPunct("/"):
+			op = "/"
+		case p.acceptPunct("%"):
+			op = "%"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: t.Pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.acceptPunct("-"):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: "-", X: x}, nil
+	case p.atPunct("!") && !p.isBangSend():
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: "!", X: x}, nil
+	case p.atKw("not"):
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: t.Pos, Op: "!", X: x}, nil
+	default:
+		return p.parsePostfix()
+	}
+}
+
+// isBangSend reports whether the current "!" is the message-send operator
+// (`obj!Method(...)`) rather than logical negation — it is a send only when
+// it follows a postfix-expression, which parseUnary never sees (the postfix
+// loop consumes it). Leading "!" is always negation.
+func (p *parser) isBangSend() bool { return false }
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.acceptPunct("."):
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.atPunct("(") {
+				args, err := p.parseArgList()
+				if err != nil {
+					return nil, err
+				}
+				e = &Call{Pos: t.Pos, Recv: e, Name: name.Text, Args: args}
+			} else {
+				e = &AttrAccess{Pos: t.Pos, Recv: e, Name: name.Text}
+			}
+		case p.atPunct("!") && p.peek(1).Kind == TokIdent:
+			// The paper's send syntax: IBM!SetPrice(91).
+			p.next()
+			name, _ := p.expectIdent()
+			var args []Expr
+			if p.atPunct("(") {
+				args, err = p.parseArgList()
+				if err != nil {
+					return nil, err
+				}
+			}
+			e = &Call{Pos: t.Pos, Recv: e, Name: name.Text, Args: args}
+		case p.acceptPunct("["):
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			e = &Index{Pos: t.Pos, Recv: e, I: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad integer %q", t.Text)
+		}
+		return &Lit{Pos: t.Pos, Val: value.Int(n)}, nil
+	case t.Kind == TokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad float %q", t.Text)
+		}
+		return &Lit{Pos: t.Pos, Val: value.Float(f)}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &Lit{Pos: t.Pos, Val: value.Str(t.Text)}, nil
+	case p.atKw("true"):
+		p.next()
+		return &Lit{Pos: t.Pos, Val: value.Bool(true)}, nil
+	case p.atKw("false"):
+		p.next()
+		return &Lit{Pos: t.Pos, Val: value.Bool(false)}, nil
+	case p.atKw("nil"):
+		p.next()
+		return &Lit{Pos: t.Pos, Val: value.Nil}, nil
+	case p.atKw("self"):
+		p.next()
+		return &SelfExpr{Pos: t.Pos}, nil
+	case p.atKw("new"):
+		p.next()
+		cls, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ne := &NewExpr{Pos: t.Pos, Class: cls.Text}
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if !p.acceptPunct(")") {
+			for {
+				fn, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expectPunct(":"); err != nil {
+					return nil, err
+				}
+				fe, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ne.Inits = append(ne.Inits, FieldInit{Name: fn.Text, Expr: fe})
+				if p.acceptPunct(")") {
+					break
+				}
+				if _, err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return ne, nil
+	case p.acceptPunct("("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.acceptPunct("["):
+		ll := &ListLit{Pos: t.Pos}
+		if !p.acceptPunct("]") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ll.Elems = append(ll.Elems, e)
+				if p.acceptPunct("]") {
+					break
+				}
+				if _, err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return ll, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.atPunct("(") {
+			// Bare call: a send to self.
+			args, err := p.parseArgList()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Pos: t.Pos, Recv: nil, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, got %q", t.Text)
+	}
+}
+
+// ---- class declarations ----
+
+func (p *parser) parseClass() (*ClassDecl, error) {
+	start, err := p.expectKw("class")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &ClassDecl{Pos: start.Pos, Name: name.Text}
+	if p.acceptKw("extends") {
+		for {
+			b, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			d.Bases = append(d.Bases, b.Text)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	for {
+		switch {
+		case p.acceptKw("reactive"):
+			d.Reactive = true
+		case p.acceptKw("notifiable"):
+			d.Notifiable = true
+		case p.acceptKw("persistent"):
+			d.Persistent = true
+		case p.acceptKw("abstract"):
+			d.Abstract = true
+		default:
+			goto body
+		}
+	}
+body:
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.atPunct("}") {
+		if p.atEOF() {
+			return nil, errf(p.cur().Pos, "unterminated class %s", d.Name)
+		}
+		if p.acceptPunct(";") {
+			continue
+		}
+		vis := schema.Public
+		switch {
+		case p.acceptKw("public"):
+			vis = schema.Public
+		case p.acceptKw("protected"):
+			vis = schema.Protected
+		case p.acceptKw("private"):
+			vis = schema.Private
+		}
+		switch {
+		case p.atKw("attr") || p.atKw("attribute"):
+			a, err := p.parseAttrDecl(vis)
+			if err != nil {
+				return nil, err
+			}
+			d.Attrs = append(d.Attrs, a)
+		case p.atKw("event") || p.atKw("method"):
+			m, err := p.parseMethodDecl(vis)
+			if err != nil {
+				return nil, err
+			}
+			d.Methods = append(d.Methods, m)
+		case p.atKw("rule"):
+			r, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			d.Rules = append(d.Rules, *r)
+		default:
+			return nil, errf(p.cur().Pos, "unexpected %q in class body", p.cur().Text)
+		}
+	}
+	p.next() // consume "}"
+	d.Source = p.sliceFrom(start.Pos)
+	return d, nil
+}
+
+func (p *parser) parseAttrDecl(vis schema.Visibility) (AttrDecl, error) {
+	t := p.next() // attr / attribute
+	name, err := p.expectIdent()
+	if err != nil {
+		return AttrDecl{}, err
+	}
+	ty, err := p.parseTypeName()
+	if err != nil {
+		return AttrDecl{}, err
+	}
+	a := AttrDecl{Pos: t.Pos, Name: name.Text, Type: ty, Visibility: vis}
+	if p.acceptPunct("=") || p.acceptPunct(":=") {
+		lit, err := p.parsePrimary()
+		if err != nil {
+			return AttrDecl{}, err
+		}
+		l, ok := lit.(*Lit)
+		if !ok {
+			// Allow unary minus on literals.
+			if u, isU := lit.(*Unary); isU && u.Op == "-" {
+				if il, isL := u.X.(*Lit); isL {
+					a.Default = negate(il.Val)
+					return a, nil
+				}
+			}
+			return AttrDecl{}, errf(t.Pos, "attribute default must be a literal")
+		}
+		a.Default = l.Val
+	}
+	return a, nil
+}
+
+func negate(v value.Value) value.Value {
+	if i, ok := v.AsInt(); ok {
+		return value.Int(-i)
+	}
+	if f, ok := v.AsFloat(); ok {
+		return value.Float(-f)
+	}
+	return v
+}
+
+func (p *parser) parseMethodDecl(vis schema.Visibility) (MethodDecl, error) {
+	t := p.cur()
+	gen := schema.GenNone
+	if p.acceptKw("event") {
+		switch {
+		case p.acceptKw("begin"):
+			if p.acceptPunct("&&") {
+				if _, err := p.expectKw("end"); err != nil {
+					return MethodDecl{}, err
+				}
+				gen = schema.GenBoth
+			} else {
+				gen = schema.GenBegin
+			}
+		case p.acceptKw("end"):
+			gen = schema.GenEnd
+		case p.acceptKw("both"):
+			gen = schema.GenBoth
+		default:
+			return MethodDecl{}, errf(p.cur().Pos, "expected begin/end/both after event")
+		}
+	}
+	if _, err := p.expectKw("method"); err != nil {
+		return MethodDecl{}, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return MethodDecl{}, err
+	}
+	m := MethodDecl{Pos: t.Pos, Name: name.Text, Visibility: vis, EventGen: gen}
+	if _, err := p.expectPunct("("); err != nil {
+		return MethodDecl{}, err
+	}
+	if !p.acceptPunct(")") {
+		for {
+			pn, err := p.expectIdent()
+			if err != nil {
+				return MethodDecl{}, err
+			}
+			pt, err := p.parseTypeName()
+			if err != nil {
+				return MethodDecl{}, err
+			}
+			m.Params = append(m.Params, schema.Param{Name: pn.Text, Type: pt})
+			if p.acceptPunct(")") {
+				break
+			}
+			if _, err := p.expectPunct(","); err != nil {
+				return MethodDecl{}, err
+			}
+		}
+	}
+	if !p.atPunct("{") {
+		rt, err := p.parseTypeName()
+		if err != nil {
+			return MethodDecl{}, err
+		}
+		m.Returns = rt
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return MethodDecl{}, err
+	}
+	m.Body = body
+	return m, nil
+}
+
+func (p *parser) parseTypeName() (*value.Type, error) {
+	t, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	name := t.Text
+	if strings.EqualFold(name, "list") && p.acceptPunct("<") {
+		inner, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(">"); err != nil {
+			return nil, err
+		}
+		return value.TypeList(inner), nil
+	}
+	ty, err := value.ParseType(name)
+	if err != nil {
+		return nil, errf(t.Pos, "%v", err)
+	}
+	return ty, nil
+}

@@ -1,0 +1,490 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"sentinel/internal/event"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+func TestParseEventPrimitive(t *testing.T) {
+	cases := map[string]string{
+		`end Employee::SetSalary(float amount)`: "end Employee::SetSalary",
+		`begin Person::Marry(Person spouse)`:    "begin Person::Marry",
+		`end Account::Deposit`:                  "end Account::Deposit",
+		`event Sensor::Overheat`:                "event Sensor::Overheat",
+	}
+	for src, want := range cases {
+		e, err := ParseEventExpr(src, nil)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		if got := e.String(); got != want {
+			t.Errorf("parse %q = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParseEventOperatorsAndPrecedence(t *testing.T) {
+	// or binds loosest, then and, then seq.
+	e, err := ParseEventExpr(`end A::a or end B::b and end C::c seq end D::d`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(end A::a or (end B::b and (end C::c seq end D::d)))"
+	if got := e.String(); got != want {
+		t.Fatalf("precedence: %q, want %q", got, want)
+	}
+	// Parentheses override.
+	e2, err := ParseEventExpr(`(end A::a or end B::b) and end C::c`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.String(); got != "((end A::a or end B::b) and end C::c)" {
+		t.Fatalf("parens: %q", got)
+	}
+}
+
+func TestParseEventExtendedOperators(t *testing.T) {
+	cases := []string{
+		`not(end B::b)[end A::a, end C::c]`,
+		`any(2; end A::a; end B::b; end C::c)`,
+		`aperiodic(end A::a; end B::b; end C::c)`,
+		`periodic(end A::a; 50; end C::c)`,
+	}
+	for _, src := range cases {
+		e, err := ParseEventExpr(src, nil)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		if err := e.Validate(); err != nil {
+			t.Errorf("%q invalid after parse: %v", src, err)
+		}
+	}
+}
+
+func TestParseEventNamedResolution(t *testing.T) {
+	catalog := map[string]*event.Expr{
+		"DepWit": event.Seq(event.Primitive(event.End, "A", "d"), event.Primitive(event.Begin, "A", "w")),
+	}
+	resolve := func(n string) (*event.Expr, bool) { e, ok := catalog[n]; return e, ok }
+	e, err := ParseEventExpr(`DepWit or end B::x`, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "seq") {
+		t.Fatalf("named event not inlined: %s", e)
+	}
+	if _, err := ParseEventExpr(`Unknown`, resolve); err == nil {
+		t.Fatal("unknown named event accepted")
+	}
+	if _, err := ParseEventExpr(`Unknown`, nil); err == nil {
+		t.Fatal("named event without catalog accepted")
+	}
+}
+
+func TestParseEventErrors(t *testing.T) {
+	bad := []string{
+		``, `end`, `end Employee`, `end Employee::`, `end ::Set`,
+		`end A::a and`, `(end A::a`, `any(x; end A::a)`, `periodic(end A::a; x; end B::b)`,
+		`end A::a extra`,
+	}
+	for _, src := range bad {
+		if _, err := ParseEventExpr(src, nil); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func TestParseRuleFull(t *testing.T) {
+	src := `rule IncomeLevel
+		on end Employee::ChangeIncome(float amount) or end Manager::ChangeIncome(float amount)
+		if amount > 1000.0
+		then { print("checking") }
+		coupling deferred
+		priority 7
+		context chronicle`
+	d, err := ParseRule(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "IncomeLevel" || d.Coupling != "deferred" || d.Priority != 7 || d.Context != "chronicle" {
+		t.Fatalf("decl = %+v", d)
+	}
+	if d.Cond == nil || len(d.Action) != 1 {
+		t.Fatal("condition or action missing")
+	}
+	if d.CondSrc != "amount > 1000.0" {
+		t.Errorf("CondSrc = %q", d.CondSrc)
+	}
+	if d.ActionSrc != `print("checking")` {
+		t.Errorf("ActionSrc = %q", d.ActionSrc)
+	}
+	if d.EventName == "" || !strings.Contains(d.EventName, "or") {
+		t.Errorf("EventName = %q", d.EventName)
+	}
+}
+
+func TestParseRuleWhenSynonymAndForClass(t *testing.T) {
+	d, err := ParseRule(`rule R for Person when begin Person::Marry(Person s) then abort "no"`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ForClass != "Person" {
+		t.Fatalf("ForClass = %q", d.ForClass)
+	}
+	if d.Cond != nil {
+		t.Fatal("rule without IF should have nil condition")
+	}
+	if _, ok := d.Action[0].(*AbortStmt); !ok {
+		t.Fatalf("action = %T", d.Action[0])
+	}
+}
+
+func TestParseRuleNestedBracesInAction(t *testing.T) {
+	src := `rule R on end A::a then {
+		if x == 1 { print("one") } else { print("other") }
+	}`
+	d, err := ParseRule(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sliced ActionSrc must re-parse cleanly (it is the persistent form).
+	if _, err := ParseActions(d.ActionSrc); err != nil {
+		t.Fatalf("ActionSrc %q does not re-parse: %v", d.ActionSrc, err)
+	}
+}
+
+func TestParseRuleNegativePriority(t *testing.T) {
+	d, err := ParseRule(`rule R on end A::a then print("x") priority -5`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Priority != -5 {
+		t.Fatalf("priority = %d", d.Priority)
+	}
+}
+
+func TestParseClassDecl(t *testing.T) {
+	src := `class Employee extends Person, Insurable reactive persistent {
+		attr name string
+		private attr salary float = 100.0
+		protected attr level int
+		event end method SetSalary(amount float) {
+			self.salary := amount
+		}
+		event begin && end method Audit() { print("audit") }
+		method Salary() float { return self.salary }
+		rule Cap on end Employee::SetSalary(float amount) if amount > 1000000.0 then abort
+	}`
+	p, err := newParser(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.parseClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "Employee" || len(d.Bases) != 2 || !d.Reactive || !d.Persistent {
+		t.Fatalf("header = %+v", d)
+	}
+	if len(d.Attrs) != 3 {
+		t.Fatalf("attrs = %d", len(d.Attrs))
+	}
+	if d.Attrs[1].Visibility != schema.Private || !d.Attrs[1].Default.Equal(value.Float(100)) {
+		t.Fatalf("salary attr = %+v", d.Attrs[1])
+	}
+	if len(d.Methods) != 3 {
+		t.Fatalf("methods = %d", len(d.Methods))
+	}
+	if d.Methods[0].EventGen != schema.GenEnd {
+		t.Error("SetSalary should be GenEnd")
+	}
+	if d.Methods[1].EventGen != schema.GenBoth {
+		t.Error("Audit should be GenBoth")
+	}
+	if d.Methods[2].Returns == nil || d.Methods[2].Returns.Kind() != value.KindFloat {
+		t.Error("Salary return type wrong")
+	}
+	if len(d.Rules) != 1 || d.Rules[0].Name != "Cap" {
+		t.Fatalf("rules = %+v", d.Rules)
+	}
+	if !strings.HasPrefix(d.Source, "class Employee") || !strings.HasSuffix(d.Source, "}") {
+		t.Errorf("Source capture wrong: %q...", d.Source[:30])
+	}
+}
+
+func TestParseScriptMixed(t *testing.T) {
+	src := `
+		class A reactive { event end method M(x int) { self.v := x } attr v int }
+		event Ding = end A::M(int x)
+		rule R on Ding then print("ding")
+		let a := new A()
+		bind TheA a
+		subscribe R to a
+		a!M(42)
+		enable R
+		disable R
+		unsubscribe R from a
+	`
+	s, err := ParseScript(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classes, events, rules, stmts int
+	for _, it := range s.Items {
+		switch it.(type) {
+		case *ClassDecl:
+			classes++
+		case *EventDecl:
+			events++
+		case *RuleDecl:
+			rules++
+		case Stmt:
+			stmts++
+		}
+	}
+	if classes != 1 || events != 1 || rules != 1 || stmts != 7 {
+		t.Fatalf("items = %d/%d/%d/%d", classes, events, rules, stmts)
+	}
+}
+
+func TestParseScriptNamedEventForwardUse(t *testing.T) {
+	// An event declared in the same unit is usable by later rules even
+	// though nothing has executed yet.
+	src := `
+		event E1 = end A::a
+		event E2 = E1 seq end B::b
+		rule R on E2 then print("x")
+	`
+	s, err := ParseScript(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := s.Items[2].(*RuleDecl)
+	if !strings.Contains(rd.Event.String(), "seq") {
+		t.Fatalf("forward event not resolved: %s", rd.Event)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+		let x := 1 + 2 * 3
+		x := x - 1
+		obj.attr := 5
+		obj!Send(1, "two")
+		obj.Call()
+		print(x, "done")
+		if x > 3 { print("big") } else print("small")
+		while x > 0 { x := x - 1 }
+		raise Overheat(99.5)
+		return x
+	`
+	stmts, err := ParseActions(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTypes := []string{"*lang.Let", "*lang.Assign", "*lang.Assign", "*lang.ExprStmt",
+		"*lang.ExprStmt", "*lang.PrintStmt", "*lang.IfStmt", "*lang.WhileStmt",
+		"*lang.RaiseStmt", "*lang.ReturnStmt"}
+	if len(stmts) != len(wantTypes) {
+		t.Fatalf("%d statements", len(stmts))
+	}
+	for i, st := range stmts {
+		if got := typeName(st); got != wantTypes[i] {
+			t.Errorf("stmt %d: %s, want %s", i, got, wantTypes[i])
+		}
+	}
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case *Let:
+		return "*lang.Let"
+	case *Assign:
+		return "*lang.Assign"
+	case *ExprStmt:
+		return "*lang.ExprStmt"
+	case *PrintStmt:
+		return "*lang.PrintStmt"
+	case *IfStmt:
+		return "*lang.IfStmt"
+	case *WhileStmt:
+		return "*lang.WhileStmt"
+	case *RaiseStmt:
+		return "*lang.RaiseStmt"
+	case *ReturnStmt:
+		return "*lang.ReturnStmt"
+	case *AbortStmt:
+		return "*lang.AbortStmt"
+	default:
+		return "?"
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseCondition(`1 + 2 * 3 == 7 && !(4 < 3) || false`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top node must be ||.
+	b, ok := e.(*Binary)
+	if !ok || b.Op != "||" {
+		t.Fatalf("top = %T %v", e, e)
+	}
+	l, ok := b.L.(*Binary)
+	if !ok || l.Op != "&&" {
+		t.Fatalf("left = %T", b.L)
+	}
+}
+
+func TestParseNewExpr(t *testing.T) {
+	e, err := ParseCondition(`new Employee(name: "Fred", salary: 100.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := e.(*NewExpr)
+	if !ok || n.Class != "Employee" || len(n.Inits) != 2 {
+		t.Fatalf("new = %+v", e)
+	}
+}
+
+func TestParseBangSend(t *testing.T) {
+	e, err := ParseCondition(`IBM!GetPrice() < 80.0 and DowJones!Change < 3.4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(*Binary)
+	lc := b.L.(*Binary).L
+	if _, ok := lc.(*Call); !ok {
+		t.Fatalf("IBM!GetPrice() parsed as %T", lc)
+	}
+	// Bang send without parens is also a call (paper's IBM!SetPrice form).
+	rc := b.R.(*Binary).L
+	if _, ok := rc.(*Call); !ok {
+		t.Fatalf("DowJones!Change parsed as %T", rc)
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	bad := []string{
+		`let := 3`,
+		`1 + := 2`,
+		`if { }`,
+		`obj.`,
+		`new Class(name "x")`,
+		`subscribe R x`,
+		`{ unterminated`,
+		`(1 + 2`,
+	}
+	for _, src := range bad {
+		if _, err := ParseActions(src); err == nil {
+			t.Errorf("ParseActions(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseTypeNames(t *testing.T) {
+	src := `class T { attr a int attr b float attr c string attr d bool attr e Person attr f list<int> attr g list<Person> }`
+	p, _ := newParser(src, nil)
+	d, err := p.parseClass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{"int", "float", "string", "bool", "ref<Person>", "list<int>", "list<ref<Person>>"}
+	for i, w := range wants {
+		if got := d.Attrs[i].Type.String(); got != w {
+			t.Errorf("attr %d type = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestParseAperiodicStarAndGoRefs(t *testing.T) {
+	e, err := ParseEventExpr(`aperiodic_star(end A::open; end A::tick; end A::close)`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Op != event.OpAperiodicStar {
+		t.Fatalf("op = %v", e.Op)
+	}
+	// The rendering round-trips.
+	if _, err := ParseEventExpr(e.String(), nil); err != nil {
+		t.Fatalf("rendering %q does not re-parse: %v", e.String(), err)
+	}
+
+	d, err := ParseRule(`rule R on end A::a if go:myCond then go:myAct`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CondSrc != "go:myCond" || d.ActionSrc != "go:myAct" {
+		t.Fatalf("go refs: cond=%q act=%q", d.CondSrc, d.ActionSrc)
+	}
+	if d.Cond != nil || d.Action != nil {
+		t.Fatal("go refs should leave ASTs nil")
+	}
+}
+
+// TestEventExprRoundtripProperty: every renderable event expression
+// re-parses to an identical rendering (String is the persistence format).
+func TestEventExprRoundtripProperty(t *testing.T) {
+	rng := newDeterministicRand()
+	var gen func(depth int) *event.Expr
+	classes := []string{"A", "Bee", "Cc"}
+	methods := []string{"m1", "Do", "Xyz"}
+	moments := []event.Moment{event.Begin, event.End, event.Explicit}
+	gen = func(depth int) *event.Expr {
+		if depth <= 0 || rng()%3 == 0 {
+			return event.Primitive(moments[rng()%3], classes[rng()%3], methods[rng()%3])
+		}
+		switch rng() % 8 {
+		case 0:
+			return event.And(gen(depth-1), gen(depth-1))
+		case 1:
+			return event.Or(gen(depth-1), gen(depth-1))
+		case 2:
+			return event.Seq(gen(depth-1), gen(depth-1))
+		case 3:
+			return event.Not(gen(depth-1), gen(depth-1), gen(depth-1))
+		case 4:
+			n := int(rng()%3) + 1
+			kids := make([]*event.Expr, n)
+			for i := range kids {
+				kids[i] = gen(depth - 1)
+			}
+			return event.Any(int(rng()%uint32(n))+1, kids...)
+		case 5:
+			return event.Aperiodic(gen(depth-1), gen(depth-1), gen(depth-1))
+		case 6:
+			return event.AperiodicStar(gen(depth-1), gen(depth-1), gen(depth-1))
+		default:
+			return event.Periodic(gen(depth-1), uint64(rng()%100)+1, gen(depth-1))
+		}
+	}
+	for i := 0; i < 500; i++ {
+		e := gen(3)
+		src := e.String()
+		parsed, err := ParseEventExpr(src, nil)
+		if err != nil {
+			t.Fatalf("case %d: %q does not parse: %v", i, src, err)
+		}
+		if parsed.String() != src {
+			t.Fatalf("case %d: roundtrip drift:\n  in:  %s\n  out: %s", i, src, parsed.String())
+		}
+	}
+}
+
+// newDeterministicRand returns a tiny xorshift generator so the property
+// test is reproducible without math/rand seeding ceremony.
+func newDeterministicRand() func() uint32 {
+	state := uint32(0x9E3779B9)
+	return func() uint32 {
+		state ^= state << 13
+		state ^= state >> 17
+		state ^= state << 5
+		return state
+	}
+}

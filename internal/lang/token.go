@@ -1,0 +1,68 @@
+// Package lang implements SentinelQL, the rule-definition and data-
+// manipulation language of the database: event signatures and event
+// expressions ("end Employee::SetSalary(float x)", "e1 and e2"), ECA rule
+// declarations (RULE … ON … IF … THEN …, the paper's §2.1 surface syntax),
+// class definitions with event interfaces, and a small statement/expression
+// language used for rule conditions, rule actions and interpreted method
+// bodies.
+//
+// The language is also the persistence format for first-class event and
+// rule objects: the catalog stores source text and re-parses it on load,
+// the moral equivalent of the paper's pointers-to-member-functions being
+// re-bound on object activation.
+package lang
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokPunct // one of the operator/punctuation strings below
+)
+
+// Token is one lexical token. EndOff is the byte offset just past the
+// token in the source.
+type Token struct {
+	Kind   TokKind
+	Text   string
+	Pos    Pos
+	EndOff int
+}
+
+// Pos is a source position (1-based line and column, plus the byte offset
+// into the source, which the parser uses to slice original source text for
+// catalog persistence).
+type Pos struct {
+	Line, Col int
+	Off       int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a parse or evaluation error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("sentinelql:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// punctuation and operators recognized by the lexer, longest first.
+var puncts = []string{
+	"::", ":=", "<=", ">=", "==", "!=", "&&", "||",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":", ".", "!",
+	"+", "-", "*", "/", "%", "<", ">", "=",
+}

@@ -1,0 +1,203 @@
+package object
+
+import (
+	"strings"
+	"testing"
+
+	"sentinel/internal/oid"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+func testRegistry(t *testing.T) (*schema.Registry, *schema.Class) {
+	t.Helper()
+	reg := schema.NewRegistry()
+	c := schema.NewClass("Emp")
+	c.Persistent = true
+	c.Attr("name", value.TypeString)
+	c.AddAttribute(&schema.Attribute{Name: "salary", Type: value.TypeFloat, Visibility: schema.Private, Default: value.Float(100)})
+	c.AddAttribute(&schema.Attribute{Name: "boss", Type: value.TypeRef("Emp"), Visibility: schema.Public})
+	reg.MustRegister(c)
+	return reg, c
+}
+
+func TestNewDefaults(t *testing.T) {
+	_, c := testRegistry(t)
+	o, err := New(1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Get("name"); !v.Equal(value.Str("")) {
+		t.Errorf("name default = %v", v)
+	}
+	if v, _ := o.Get("salary"); !v.Equal(value.Float(100)) {
+		t.Errorf("salary default = %v", v)
+	}
+	if v, _ := o.Get("boss"); !v.IsNil() {
+		t.Errorf("boss default = %v", v)
+	}
+	if o.ID() != 1 || o.Class() != c {
+		t.Error("identity/class wrong")
+	}
+}
+
+func TestNewAbstractFails(t *testing.T) {
+	reg := schema.NewRegistry()
+	a := schema.NewClass("Abs")
+	a.Abstract = true
+	reg.MustRegister(a)
+	if _, err := New(1, a); err == nil {
+		t.Fatal("instantiating an abstract class should fail")
+	}
+	unfinal := schema.NewClass("Raw")
+	if _, err := New(2, unfinal); err == nil {
+		t.Fatal("instantiating an unfinalized class should fail")
+	}
+}
+
+func TestGetSetTypeChecked(t *testing.T) {
+	_, c := testRegistry(t)
+	o, _ := New(1, c)
+	if err := o.Set("salary", value.Int(200)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := o.Get("salary"); !v.Equal(value.Float(200)) || v.Kind() != value.KindFloat {
+		t.Errorf("widened set = %v", v)
+	}
+	if err := o.Set("salary", value.Str("lots")); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if err := o.Set("nope", value.Int(1)); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := o.Get("nope"); err == nil {
+		t.Error("unknown attribute read accepted")
+	}
+}
+
+func TestCopyRestoreFields(t *testing.T) {
+	_, c := testRegistry(t)
+	o, _ := New(1, c)
+	o.Set("name", value.Str("before"))
+	snap := o.CopyFields()
+	o.Set("name", value.Str("after"))
+	o.Set("salary", value.Float(999))
+	o.RestoreFields(snap)
+	if v, _ := o.Get("name"); !v.Equal(value.Str("before")) {
+		t.Errorf("restore failed: %v", v)
+	}
+	if v, _ := o.Get("salary"); !v.Equal(value.Float(100)) {
+		t.Errorf("restore failed: %v", v)
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	reg, c := testRegistry(t)
+	o, _ := New(7, c)
+	o.Set("name", value.Str("Fred"))
+	o.Set("salary", value.Float(1234.5))
+	o.Set("boss", value.Ref(oid.OID(3)))
+
+	buf := o.Encode(nil)
+	got, err := Decode(7, buf, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attr := range []string{"name", "salary", "boss"} {
+		want, _ := o.Get(attr)
+		have, _ := got.Get(attr)
+		if !have.Equal(want) {
+			t.Errorf("%s: %v != %v", attr, have, want)
+		}
+	}
+}
+
+func TestDecodeUnknownClass(t *testing.T) {
+	reg, c := testRegistry(t)
+	o, _ := New(1, c)
+	buf := o.Encode(nil)
+	empty := schema.NewRegistry()
+	if _, err := Decode(1, buf, empty); err == nil || !strings.Contains(err.Error(), "unknown class") {
+		t.Fatalf("expected unknown-class error, got %v", err)
+	}
+	_ = reg
+}
+
+func TestDecodeSchemaEvolution(t *testing.T) {
+	// Encode with a 2-attribute class, decode with a 3-attribute version:
+	// the extra slot takes its default (zero-fill evolution).
+	regOld := schema.NewRegistry()
+	old := schema.NewClass("Evo")
+	old.Attr("a", value.TypeInt)
+	regOld.MustRegister(old)
+	o, _ := New(1, old)
+	o.Set("a", value.Int(42))
+	buf := o.Encode(nil)
+
+	regNew := schema.NewRegistry()
+	neu := schema.NewClass("Evo")
+	neu.Attr("a", value.TypeInt)
+	neu.Attr("b", value.TypeString)
+	regNew.MustRegister(neu)
+	got, err := Decode(1, buf, regNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Get("a"); !v.Equal(value.Int(42)) {
+		t.Errorf("a = %v", v)
+	}
+	if v, _ := got.Get("b"); !v.Equal(value.Str("")) {
+		t.Errorf("b = %v (should zero-fill)", v)
+	}
+
+	// The reverse: decode a 2-field image into a 1-field class (truncate).
+	o2, _ := New(2, neu)
+	o2.Set("a", value.Int(7))
+	o2.Set("b", value.Str("x"))
+	buf2 := o2.Encode(nil)
+	got2, err := Decode(2, buf2, regOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got2.Get("a"); !v.Equal(value.Int(7)) {
+		t.Errorf("truncated decode a = %v", v)
+	}
+}
+
+func TestPeekClass(t *testing.T) {
+	_, c := testRegistry(t)
+	o, _ := New(1, c)
+	cls, err := PeekClass(o.Encode(nil))
+	if err != nil || cls != "Emp" {
+		t.Fatalf("PeekClass = %q, %v", cls, err)
+	}
+	if _, err := PeekClass([]byte{9, 9}); err == nil {
+		t.Error("malformed image accepted")
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	_, c := testRegistry(t)
+	o, _ := New(1, c)
+	if o.Version() != 0 {
+		t.Fatal("fresh object version != 0")
+	}
+	o.BumpVersion()
+	o.BumpVersion()
+	if o.Version() != 2 {
+		t.Fatalf("version = %d", o.Version())
+	}
+}
+
+func TestStringShowsPublicOnly(t *testing.T) {
+	_, c := testRegistry(t)
+	o, _ := New(1, c)
+	o.Set("name", value.Str("Fred"))
+	s := o.String()
+	if !strings.Contains(s, "Fred") || !strings.Contains(s, "Emp") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Contains(s, "salary") {
+		t.Errorf("String leaks private attribute: %q", s)
+	}
+}

@@ -1,0 +1,74 @@
+// Package oid defines object identifiers for the Sentinel object store.
+//
+// Every first-class entity in the database — application objects, classes,
+// event objects, rule objects, and subscriptions — carries an OID. OIDs are
+// surrogate identifiers: dense, never reused, and stable across restarts
+// (the allocator's high-water mark is checkpointed by the storage layer).
+//
+// The paper ("A New Perspective on Rule Support for Object-Oriented
+// Databases", §3.4) leans on object identity to make rules and events
+// first-class: "each rule will have an object identity, thereby allowing
+// rules to be associated with other objects". This package is that identity.
+package oid
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// OID is a database-wide object identifier. The zero value is Nil and never
+// identifies an object.
+type OID uint64
+
+// Nil is the null object identifier.
+const Nil OID = 0
+
+// IsNil reports whether the OID is the null identifier.
+func (o OID) IsNil() bool { return o == Nil }
+
+// String renders the OID in the form "oid:42" ("oid:nil" for Nil).
+func (o OID) String() string {
+	if o == Nil {
+		return "oid:nil"
+	}
+	return fmt.Sprintf("oid:%d", uint64(o))
+}
+
+// Allocator hands out monotonically increasing OIDs. It is safe for
+// concurrent use. The zero value allocates from 1.
+type Allocator struct {
+	last atomic.Uint64
+}
+
+// NewAllocator returns an allocator whose next OID is start (or 1 if start
+// is 0).
+func NewAllocator(start OID) *Allocator {
+	a := &Allocator{}
+	if start > 0 {
+		a.last.Store(uint64(start) - 1)
+	}
+	return a
+}
+
+// Next returns a fresh, never-before-returned OID.
+func (a *Allocator) Next() OID {
+	return OID(a.last.Add(1))
+}
+
+// Advance raises the allocator's high-water mark so that every future Next
+// returns an OID strictly greater than o. It is used during recovery to
+// resume allocation above all persisted objects.
+func (a *Allocator) Advance(o OID) {
+	for {
+		cur := a.last.Load()
+		if cur >= uint64(o) {
+			return
+		}
+		if a.last.CompareAndSwap(cur, uint64(o)) {
+			return
+		}
+	}
+}
+
+// HighWater returns the largest OID handed out so far (Nil if none).
+func (a *Allocator) HighWater() OID { return OID(a.last.Load()) }

@@ -1,0 +1,88 @@
+package oid
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAllocatorMonotonic(t *testing.T) {
+	a := NewAllocator(0)
+	var prev OID
+	for i := 0; i < 1000; i++ {
+		next := a.Next()
+		if next <= prev {
+			t.Fatalf("Next() = %v not greater than previous %v", next, prev)
+		}
+		prev = next
+	}
+	if a.HighWater() != prev {
+		t.Fatalf("HighWater() = %v, want %v", a.HighWater(), prev)
+	}
+}
+
+func TestAllocatorStart(t *testing.T) {
+	a := NewAllocator(100)
+	if got := a.Next(); got != 100 {
+		t.Fatalf("first Next() = %v, want 100", got)
+	}
+	if got := a.Next(); got != 101 {
+		t.Fatalf("second Next() = %v, want 101", got)
+	}
+}
+
+func TestAllocatorAdvance(t *testing.T) {
+	a := NewAllocator(1)
+	a.Advance(500)
+	if got := a.Next(); got != 501 {
+		t.Fatalf("Next() after Advance(500) = %v, want 501", got)
+	}
+	// Advancing backwards is a no-op.
+	a.Advance(10)
+	if got := a.Next(); got != 502 {
+		t.Fatalf("Next() after backwards Advance = %v, want 502", got)
+	}
+}
+
+func TestAllocatorConcurrent(t *testing.T) {
+	a := NewAllocator(1)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	results := make([][]OID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				results[g] = append(results[g], a.Next())
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[OID]bool, goroutines*per)
+	for _, rs := range results {
+		for _, id := range rs {
+			if seen[id] {
+				t.Fatalf("duplicate OID %v", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != goroutines*per {
+		t.Fatalf("got %d unique OIDs, want %d", len(seen), goroutines*per)
+	}
+}
+
+func TestNilAndString(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+	if OID(7).IsNil() {
+		t.Error("OID(7).IsNil() = true")
+	}
+	if got := Nil.String(); got != "oid:nil" {
+		t.Errorf("Nil.String() = %q", got)
+	}
+	if got := OID(42).String(); got != "oid:42" {
+		t.Errorf("OID(42).String() = %q", got)
+	}
+}

@@ -1,0 +1,126 @@
+package rule
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/event"
+)
+
+// Firing is a triggered rule awaiting (or undergoing) condition evaluation
+// and action execution.
+type Firing struct {
+	Rule      *Rule
+	Detection event.Detection
+	// Seq is the arrival order of the firing on its agenda, used by FIFO
+	// and LIFO strategies and as the stable tie-breaker.
+	Seq uint64
+}
+
+// Strategy is a pluggable conflict-resolution policy: it orders a set of
+// simultaneously pending firings. Choosing a different strategy requires no
+// application changes (§3 design goal: "incorporation of new features (for
+// example, providing a new conflict resolution strategy) without
+// modifications to application code").
+type Strategy interface {
+	Name() string
+	// Order sorts fs in execution order, in place.
+	Order(fs []Firing)
+}
+
+// ByPriority executes higher Priority first; ties break FIFO.
+type ByPriority struct{}
+
+// Name returns "priority".
+func (ByPriority) Name() string { return "priority" }
+
+// Order sorts by descending priority, then ascending arrival.
+func (ByPriority) Order(fs []Firing) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Rule.Priority != fs[j].Rule.Priority {
+			return fs[i].Rule.Priority > fs[j].Rule.Priority
+		}
+		return fs[i].Seq < fs[j].Seq
+	})
+}
+
+// FIFO executes in arrival order regardless of priority.
+type FIFO struct{}
+
+// Name returns "fifo".
+func (FIFO) Name() string { return "fifo" }
+
+// Order sorts by ascending arrival.
+func (FIFO) Order(fs []Firing) {
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Seq < fs[j].Seq })
+}
+
+// LIFO executes most recently triggered first.
+type LIFO struct{}
+
+// Name returns "lifo".
+func (LIFO) Name() string { return "lifo" }
+
+// Order sorts by descending arrival.
+func (LIFO) Order(fs []Firing) {
+	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Seq > fs[j].Seq })
+}
+
+// ParseStrategy resolves a strategy by name ("" means priority).
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "priority":
+		return ByPriority{}, nil
+	case "fifo":
+		return FIFO{}, nil
+	case "lifo":
+		return LIFO{}, nil
+	default:
+		return nil, fmt.Errorf("rule: unknown conflict-resolution strategy %q", name)
+	}
+}
+
+// Agenda accumulates pending firings (one per coupling-mode queue in the
+// runtime) and drains them in strategy order. It is not safe for concurrent
+// use; the runtime serializes access.
+type Agenda struct {
+	strategy Strategy
+	pending  []Firing
+	nextSeq  uint64
+}
+
+// NewAgenda returns an agenda using the given strategy (ByPriority if nil).
+func NewAgenda(s Strategy) *Agenda {
+	if s == nil {
+		s = ByPriority{}
+	}
+	return &Agenda{strategy: s}
+}
+
+// SetStrategy swaps the conflict-resolution policy.
+func (a *Agenda) SetStrategy(s Strategy) { a.strategy = s }
+
+// Add schedules a firing.
+func (a *Agenda) Add(r *Rule, det event.Detection) {
+	a.nextSeq++
+	a.pending = append(a.pending, Firing{Rule: r, Detection: det, Seq: a.nextSeq})
+}
+
+// Len returns the number of pending firings.
+func (a *Agenda) Len() int { return len(a.pending) }
+
+// Drain removes and returns all pending firings in execution order.
+// Firings added while the caller processes the batch land in the next
+// Drain, so cascades are breadth-ordered.
+func (a *Agenda) Drain() []Firing {
+	if len(a.pending) == 0 {
+		return nil
+	}
+	out := a.pending
+	a.pending = nil
+	a.strategy.Order(out)
+	return out
+}
+
+// Clear drops all pending firings (transaction abort).
+func (a *Agenda) Clear() { a.pending = nil }

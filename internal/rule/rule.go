@@ -1,0 +1,233 @@
+// Package rule implements ECA rules as first-class notifiable objects
+// (paper §3.4, §4.4): a rule has identity, an event definition, a condition
+// and an action, a coupling mode, a priority, and enable/disable state.
+// Rules receive primitive-event occurrences from the reactive objects they
+// subscribe to, run them through their local event detector, and — when the
+// event is signaled — are scheduled for condition evaluation and action
+// execution by the core runtime.
+package rule
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+)
+
+// Coupling is the rule's coupling mode (§4.4): the transactional
+// relationship between the triggering transaction and the rule's
+// condition/action evaluation.
+type Coupling uint8
+
+const (
+	// Immediate: condition and action run synchronously at the event
+	// signal point, inside the triggering transaction.
+	Immediate Coupling = iota
+	// Deferred: condition and action run at the end of the triggering
+	// transaction, just before commit, inside it.
+	Deferred
+	// Detached: condition and action run in a separate transaction after
+	// the triggering transaction commits.
+	Detached
+)
+
+// String returns "immediate", "deferred" or "detached".
+func (c Coupling) String() string {
+	switch c {
+	case Immediate:
+		return "immediate"
+	case Deferred:
+		return "deferred"
+	case Detached:
+		return "detached"
+	default:
+		return fmt.Sprintf("coupling(%d)", uint8(c))
+	}
+}
+
+// ParseCoupling parses a coupling-mode name ("" means immediate).
+func ParseCoupling(s string) (Coupling, error) {
+	switch s {
+	case "", "immediate":
+		return Immediate, nil
+	case "deferred":
+		return Deferred, nil
+	case "detached":
+		return Detached, nil
+	default:
+		return Immediate, fmt.Errorf("rule: unknown coupling mode %q", s)
+	}
+}
+
+// ExecContext is the environment conditions and actions run in. The core
+// runtime implements it; the methods operate within the transaction implied
+// by the rule's coupling mode.
+type ExecContext interface {
+	// GetAttr reads an attribute of an object (rules run with system
+	// visibility: they are part of the behaviour of the objects they
+	// monitor).
+	GetAttr(obj oid.OID, attr string) (value.Value, error)
+	// SetAttr writes an attribute of an object.
+	SetAttr(obj oid.OID, attr string, v value.Value) error
+	// Send invokes a public method (events fire as usual; cascaded rule
+	// triggering is depth-limited by the runtime).
+	Send(obj oid.OID, method string, args ...value.Value) (value.Value, error)
+	// New creates an object of the named class.
+	New(class string, inits map[string]value.Value) (oid.OID, error)
+	// LookupName resolves a database name binding ("IBM", "Parker") to an
+	// OID.
+	LookupName(name string) (oid.OID, bool)
+	// Abort returns an error that aborts the enclosing transaction when
+	// propagated from the condition or action (Fig. 9's `A: abort`).
+	Abort(reason string) error
+	// Depth returns the current rule-cascade depth (1 for a rule triggered
+	// directly by application activity).
+	Depth() int
+}
+
+// Condition decides whether the action should run. The detection carries
+// the constituent occurrences and their parameters.
+type Condition func(ctx ExecContext, det event.Detection) (bool, error)
+
+// Action is the rule's effect.
+type Action func(ctx ExecContext, det event.Detection) error
+
+// CondTrue is the always-true condition.
+func CondTrue(ExecContext, event.Detection) (bool, error) { return true, nil }
+
+// Rule is a first-class ECA rule object.
+type Rule struct {
+	id   oid.OID
+	name string
+
+	// Event is the rule's (first-class) event definition.
+	Event *event.Expr
+	// Context is the parameter context its detector uses.
+	Context event.Context
+
+	Condition Condition
+	Action    Action
+
+	Coupling Coupling
+	Priority int
+
+	// CondSrc/ActSrc record the persistent form of the condition and
+	// action: SentinelQL source, or "go:name" referencing the registered
+	// function registry. Empty for unpersistable closures (such rules are
+	// transient, like C++ rules holding raw PMFs).
+	CondSrc, ActSrc string
+	// CondClosure/ActClosure mark behaviour supplied as raw Go closures
+	// with no persistent source — not dumpable or recoverable.
+	CondClosure, ActClosure bool
+
+	// ClassLevel, when non-empty, marks this as a class-level rule of the
+	// named class: it applies to every instance, current and future
+	// (§4.7). Instance-level rules leave it empty and subscribe
+	// explicitly.
+	ClassLevel string
+
+	// TxScoped limits composite-event detection to a single transaction:
+	// the rule's detector resets when any transaction that fed it ends, so
+	// an event like "deposit seq withdraw" only matches within one
+	// transaction. Default (false) lets detection span transactions, as in
+	// the paper.
+	TxScoped bool
+
+	enabled  atomic.Bool
+	detector *event.Detector
+
+	// Stats.
+	received  atomic.Uint64 // occurrences notified
+	signalled atomic.Uint64 // event detections
+	fired     atomic.Uint64 // actions executed
+}
+
+// New constructs a rule. The detector is compiled on first Notify or via
+// Compile.
+func New(name string, ev *event.Expr, cond Condition, act Action, coupling Coupling) *Rule {
+	r := &Rule{name: name, Event: ev, Condition: cond, Action: act, Coupling: coupling}
+	r.enabled.Store(true)
+	return r
+}
+
+// ID returns the rule's object identity (oid.Nil until cataloged).
+func (r *Rule) ID() oid.OID { return r.id }
+
+// SetID assigns the catalog identity.
+func (r *Rule) SetID(id oid.OID) { r.id = id }
+
+// Name returns the rule name.
+func (r *Rule) Name() string { return r.name }
+
+// Enabled reports whether the rule reacts to events. "When a rule is
+// enabled it receives and records propagated primitive events" (§4.4).
+func (r *Rule) Enabled() bool { return r.enabled.Load() }
+
+// Enable turns the rule on.
+func (r *Rule) Enable() { r.enabled.Store(true) }
+
+// Disable turns the rule off and clears its detection state.
+func (r *Rule) Disable() {
+	r.enabled.Store(false)
+	if r.detector != nil {
+		r.detector.Reset()
+	}
+}
+
+// Compile builds the rule's local event detector against the given class
+// hierarchy. It must be called (by the runtime) before Notify.
+func (r *Rule) Compile(h event.Hierarchy) error {
+	if r.Event == nil {
+		return fmt.Errorf("rule %s: no event definition", r.name)
+	}
+	d, err := event.NewDetector(r.Event, h, r.Context)
+	if err != nil {
+		return fmt.Errorf("rule %s: %w", r.name, err)
+	}
+	r.detector = d
+	return nil
+}
+
+// Compiled reports whether the detector exists.
+func (r *Rule) Compiled() bool { return r.detector != nil }
+
+// Notify delivers one primitive-event occurrence to the rule (the
+// Notifiable role, §4.2): the rule records it into its local detector and
+// returns any completed detections of its event. Disabled rules ignore
+// notifications.
+func (r *Rule) Notify(o event.Occurrence) []event.Detection {
+	if !r.enabled.Load() || r.detector == nil {
+		return nil
+	}
+	r.received.Add(1)
+	dets := r.detector.Feed(o)
+	if len(dets) > 0 {
+		r.signalled.Add(uint64(len(dets)))
+	}
+	return dets
+}
+
+// ResetDetection clears the rule's event-recognition state (e.g. at
+// transaction boundaries for transaction-scoped events; the runtime
+// decides).
+func (r *Rule) ResetDetection() {
+	if r.detector != nil {
+		r.detector.Reset()
+	}
+}
+
+// CountFired increments and returns the fired counter; the runtime calls it
+// when the action runs.
+func (r *Rule) CountFired() uint64 { return r.fired.Add(1) }
+
+// Stats returns (occurrences received, events signalled, actions fired).
+func (r *Rule) Stats() (received, signalled, fired uint64) {
+	return r.received.Load(), r.signalled.Load(), r.fired.Load()
+}
+
+// String renders the rule header.
+func (r *Rule) String() string {
+	return fmt.Sprintf("rule %s [%s, prio %d] on %s", r.name, r.Coupling, r.Priority, r.Event)
+}

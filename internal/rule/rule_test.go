@@ -1,0 +1,179 @@
+package rule
+
+import (
+	"testing"
+
+	"sentinel/internal/event"
+	"sentinel/internal/value"
+)
+
+func prim(m string) *event.Expr { return event.Primitive(event.End, "C", m) }
+
+func occ(m string, seq uint64) event.Occurrence {
+	return event.Occurrence{Source: 1, Class: "C", Method: m, When: event.End, Seq: seq}
+}
+
+func TestCouplingParse(t *testing.T) {
+	cases := map[string]Coupling{
+		"": Immediate, "immediate": Immediate, "deferred": Deferred, "detached": Detached,
+	}
+	for in, want := range cases {
+		got, err := ParseCoupling(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCoupling(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseCoupling("sometime"); err == nil {
+		t.Error("bad coupling accepted")
+	}
+	if Immediate.String() != "immediate" || Deferred.String() != "deferred" || Detached.String() != "detached" {
+		t.Error("Coupling.String wrong")
+	}
+}
+
+func TestRuleLifecycle(t *testing.T) {
+	r := New("R", prim("a"), CondTrue, nil, Immediate)
+	if !r.Enabled() {
+		t.Fatal("fresh rule disabled")
+	}
+	if r.Compiled() {
+		t.Fatal("compiled before Compile")
+	}
+	if got := r.Notify(occ("a", 1)); got != nil {
+		t.Fatal("uncompiled rule detected something")
+	}
+	if err := r.Compile(nil); err != nil {
+		t.Fatal(err)
+	}
+	if dets := r.Notify(occ("a", 2)); len(dets) != 1 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	r.Disable()
+	if dets := r.Notify(occ("a", 3)); len(dets) != 0 {
+		t.Fatal("disabled rule still detects")
+	}
+	r.Enable()
+	if dets := r.Notify(occ("a", 4)); len(dets) != 1 {
+		t.Fatal("re-enabled rule does not detect")
+	}
+	recv, sig, fired := r.Stats()
+	if recv != 2 || sig != 2 || fired != 0 {
+		t.Fatalf("stats = %d/%d/%d", recv, sig, fired)
+	}
+	r.CountFired()
+	if _, _, fired := r.Stats(); fired != 1 {
+		t.Fatal("CountFired not recorded")
+	}
+}
+
+func TestDisableClearsDetectionState(t *testing.T) {
+	r := New("R", event.Seq(prim("a"), prim("b")), CondTrue, nil, Immediate)
+	r.Compile(nil)
+	r.Notify(occ("a", 1)) // half the sequence
+	r.Disable()
+	r.Enable()
+	if dets := r.Notify(occ("b", 2)); len(dets) != 0 {
+		t.Fatal("detection state survived disable")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	r := New("R", nil, CondTrue, nil, Immediate)
+	if err := r.Compile(nil); err == nil {
+		t.Fatal("compile without event succeeded")
+	}
+	r2 := New("R2", &event.Expr{Op: event.OpAnd}, CondTrue, nil, Immediate)
+	if err := r2.Compile(nil); err == nil {
+		t.Fatal("compile of invalid event succeeded")
+	}
+}
+
+func det(seq uint64) event.Detection {
+	return event.Detection{Constituents: []event.Occurrence{{Seq: seq, Args: []value.Value{value.Int(int64(seq))}}}}
+}
+
+func TestAgendaPriorityOrdering(t *testing.T) {
+	a := NewAgenda(ByPriority{})
+	lo := New("lo", prim("a"), CondTrue, nil, Immediate)
+	lo.Priority = 1
+	hi := New("hi", prim("a"), CondTrue, nil, Immediate)
+	hi.Priority = 10
+	mid := New("mid", prim("a"), CondTrue, nil, Immediate)
+	mid.Priority = 5
+
+	a.Add(lo, det(1))
+	a.Add(hi, det(2))
+	a.Add(mid, det(3))
+	got := a.Drain()
+	if len(got) != 3 || got[0].Rule != hi || got[1].Rule != mid || got[2].Rule != lo {
+		t.Fatalf("priority order wrong: %v,%v,%v", got[0].Rule.Name(), got[1].Rule.Name(), got[2].Rule.Name())
+	}
+	if a.Len() != 0 {
+		t.Fatal("agenda not drained")
+	}
+}
+
+func TestAgendaPriorityTiesFIFO(t *testing.T) {
+	a := NewAgenda(ByPriority{})
+	r1 := New("r1", prim("a"), CondTrue, nil, Immediate)
+	r2 := New("r2", prim("a"), CondTrue, nil, Immediate)
+	a.Add(r1, det(1))
+	a.Add(r2, det(2))
+	got := a.Drain()
+	if got[0].Rule != r1 || got[1].Rule != r2 {
+		t.Fatal("equal priorities should preserve arrival order")
+	}
+}
+
+func TestAgendaFIFOAndLIFO(t *testing.T) {
+	r1 := New("r1", prim("a"), CondTrue, nil, Immediate)
+	r1.Priority = 1
+	r2 := New("r2", prim("a"), CondTrue, nil, Immediate)
+	r2.Priority = 99
+
+	fifo := NewAgenda(FIFO{})
+	fifo.Add(r2, det(1))
+	fifo.Add(r1, det(2))
+	got := fifo.Drain()
+	if got[0].Rule != r2 || got[1].Rule != r1 {
+		t.Fatal("FIFO ignores arrival order")
+	}
+
+	lifo := NewAgenda(LIFO{})
+	lifo.Add(r2, det(1))
+	lifo.Add(r1, det(2))
+	got = lifo.Drain()
+	if got[0].Rule != r1 || got[1].Rule != r2 {
+		t.Fatal("LIFO ignores arrival order")
+	}
+}
+
+func TestAgendaClear(t *testing.T) {
+	a := NewAgenda(nil)
+	a.Add(New("r", prim("a"), CondTrue, nil, Immediate), det(1))
+	a.Clear()
+	if a.Len() != 0 || a.Drain() != nil {
+		t.Fatal("Clear left firings behind")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]string{"": "priority", "priority": "priority", "fifo": "fifo", "lifo": "lifo"} {
+		s, err := ParseStrategy(name)
+		if err != nil || s.Name() != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := ParseStrategy("random"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := New("Watch", prim("a"), CondTrue, nil, Deferred)
+	r.Priority = 3
+	s := r.String()
+	if s != "rule Watch [deferred, prio 3] on end C::a" {
+		t.Errorf("String = %q", s)
+	}
+}

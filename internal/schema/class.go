@@ -1,0 +1,311 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/value"
+)
+
+// RuleDecl is a class-level rule declared inside a class definition (paper
+// §4.7, Fig. 9: "since class level rules model the behavior of a particular
+// class, they are declared within the class definition itself"). The
+// declaration is translated by the core layer into a first-class rule object
+// that auto-subscribes to every instance of the class.
+type RuleDecl struct {
+	Name string
+	// Event is a SentinelQL event expression, e.g.
+	// `begin Person::Marry(Person spouse)`.
+	Event string
+	// Condition and Action are either SentinelQL statements/expressions or
+	// `go:name` references into the registered-function registry.
+	Condition string
+	Action    string
+	// Coupling is "immediate", "deferred" or "detached" (default immediate).
+	Coupling string
+	Priority int
+}
+
+// Class is a runtime class definition. Build one with the exported fields
+// and method/attribute adders, then register it with a Registry, which
+// finalizes it (resolves inheritance, computes the field layout, validates
+// the event interface).
+type Class struct {
+	Name string
+	// Bases are the direct superclasses, in declaration order (multiple
+	// inheritance is supported; linearization is C3).
+	Bases []*Class
+	// Classification marks the class passive/reactive/notifiable (§3.2).
+	// A class inherits reactivity/notifiability from its bases.
+	Classification Classification
+	// Abstract classes cannot be instantiated.
+	Abstract bool
+	// Persistent marks instances for storage by default (the zg-pos role).
+	Persistent bool
+	// RuleDecls are the class-level rules declared with the class.
+	RuleDecls []RuleDecl
+
+	ownAttrs   []*Attribute
+	ownMethods map[string]*Method
+
+	// Computed at finalization:
+	finalized bool
+	mro       []*Class
+	layout    []*Attribute          // slot -> attribute, full instance layout
+	attrIndex map[string]*Attribute // name -> attribute (after inheritance)
+	methods   map[string]*Method    // name -> method (after inheritance/override)
+	subOf     map[string]bool       // transitive superclass set incl. self
+}
+
+// NewClass returns an unfinalized class with the given name and direct bases.
+func NewClass(name string, bases ...*Class) *Class {
+	return &Class{
+		Name:       name,
+		Bases:      bases,
+		ownMethods: make(map[string]*Method),
+	}
+}
+
+// AddAttribute appends an attribute definition. It panics after
+// finalization.
+func (c *Class) AddAttribute(a *Attribute) *Class {
+	c.mustBeOpen()
+	c.ownAttrs = append(c.ownAttrs, a)
+	return c
+}
+
+// Attr is shorthand for AddAttribute with a public attribute.
+func (c *Class) Attr(name string, t *value.Type) *Class {
+	return c.AddAttribute(&Attribute{Name: name, Type: t, Visibility: Public})
+}
+
+// AddMethod appends a method definition. It panics after finalization or on
+// duplicate names within the class.
+func (c *Class) AddMethod(m *Method) *Class {
+	c.mustBeOpen()
+	if c.ownMethods == nil {
+		c.ownMethods = make(map[string]*Method)
+	}
+	if _, dup := c.ownMethods[m.Name]; dup {
+		panic(fmt.Sprintf("schema: duplicate method %s::%s", c.Name, m.Name))
+	}
+	c.ownMethods[m.Name] = m
+	return c
+}
+
+// AddRule appends a class-level rule declaration.
+func (c *Class) AddRule(r RuleDecl) *Class {
+	c.mustBeOpen()
+	c.RuleDecls = append(c.RuleDecls, r)
+	return c
+}
+
+func (c *Class) mustBeOpen() {
+	if c.finalized {
+		panic(fmt.Sprintf("schema: class %s is finalized", c.Name))
+	}
+}
+
+// Finalized reports whether the class has been registered and finalized.
+func (c *Class) Finalized() bool { return c.finalized }
+
+// MRO returns the C3 method-resolution order (self first). Only valid after
+// finalization.
+func (c *Class) MRO() []*Class { return c.mro }
+
+// Layout returns the instance field layout: slot index -> attribute.
+func (c *Class) Layout() []*Attribute { return c.layout }
+
+// NumSlots returns the number of instance fields.
+func (c *Class) NumSlots() int { return len(c.layout) }
+
+// AttributeNamed resolves an attribute by name through the inheritance
+// chain; nil if absent.
+func (c *Class) AttributeNamed(name string) *Attribute { return c.attrIndex[name] }
+
+// MethodNamed resolves a method by name through the MRO (the most-derived
+// override wins); nil if absent.
+func (c *Class) MethodNamed(name string) *Method { return c.methods[name] }
+
+// Methods returns all resolved methods sorted by name.
+func (c *Class) Methods() []*Method {
+	out := make([]*Method, 0, len(c.methods))
+	for _, m := range c.methods {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Attributes returns the full instance layout (inherited first).
+func (c *Class) Attributes() []*Attribute { return c.layout }
+
+// OwnRuleDecls returns the rule declarations of this class only.
+func (c *Class) OwnRuleDecls() []RuleDecl { return c.RuleDecls }
+
+// AllRuleDecls returns rule declarations of this class and all ancestors
+// (ancestors first), implementing rule inheritance for class-level rules.
+func (c *Class) AllRuleDecls() []RuleDecl {
+	var out []RuleDecl
+	for i := len(c.mro) - 1; i >= 0; i-- {
+		out = append(out, c.mro[i].RuleDecls...)
+	}
+	return out
+}
+
+// IsSubclassOf reports whether c is other or a (transitive) subclass of it.
+func (c *Class) IsSubclassOf(other *Class) bool {
+	if other == nil {
+		return false
+	}
+	if !c.finalized {
+		// Fall back to a graph walk for unfinalized classes.
+		if c == other {
+			return true
+		}
+		for _, b := range c.Bases {
+			if b.IsSubclassOf(other) {
+				return true
+			}
+		}
+		return false
+	}
+	return c.subOf[other.Name]
+}
+
+// Reactive reports whether instances generate events (own classification or
+// inherited).
+func (c *Class) Reactive() bool { return c.Classification.Reactive() }
+
+// Notifiable reports whether instances consume events.
+func (c *Class) Notifiable() bool { return c.Classification.Notifiable() }
+
+// EventInterface returns the methods (resolved through inheritance) that are
+// declared as event generators, sorted by name — the visible event interface
+// of the reactive class (§3.1).
+func (c *Class) EventInterface() []*Method {
+	var out []*Method
+	for _, m := range c.Methods() {
+		if m.EventGen != GenNone {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String returns the class name.
+func (c *Class) String() string { return c.Name }
+
+// finalize resolves the class: computes the MRO, inherits classification,
+// merges attributes into the instance layout, resolves method overrides, and
+// validates the event interface. Bases must already be finalized.
+func (c *Class) finalize() error {
+	if c.finalized {
+		return nil
+	}
+	for _, b := range c.Bases {
+		if !b.finalized {
+			return fmt.Errorf("schema: base %s of %s is not registered", b.Name, c.Name)
+		}
+	}
+	mro, err := linearize(c)
+	if err != nil {
+		return err
+	}
+	c.mro = mro
+
+	// Inherit classification: reactive/notifiable are sticky down the
+	// hierarchy (deriving from Reactive makes the subclass reactive,
+	// Fig. 8).
+	reactive := c.Classification.Reactive()
+	notifiable := c.Classification.Notifiable()
+	for _, b := range c.Bases {
+		reactive = reactive || b.Reactive()
+		notifiable = notifiable || b.Notifiable()
+		c.Persistent = c.Persistent || b.Persistent
+	}
+	switch {
+	case reactive && notifiable:
+		c.Classification = ReactiveNotifiableClass
+	case reactive:
+		c.Classification = ReactiveClass
+	case notifiable:
+		c.Classification = NotifiableClass
+	}
+
+	// Field layout: walk the MRO from the root down so base attributes come
+	// first and keep stable slots for subclasses; reject name collisions
+	// between distinct defining classes.
+	c.attrIndex = make(map[string]*Attribute)
+	c.layout = nil
+	for i := len(c.mro) - 1; i >= 0; i-- {
+		for _, a := range c.mro[i].ownAttrs {
+			if prev, ok := c.attrIndex[a.Name]; ok && prev != a {
+				return fmt.Errorf("schema: class %s inherits conflicting attribute %q from %s and %s",
+					c.Name, a.Name, prev.owner.Name, c.mro[i].Name)
+			}
+			if _, ok := c.attrIndex[a.Name]; ok {
+				continue // diamond: same attribute reached twice
+			}
+			if a.owner == nil {
+				a.owner = c.mro[i]
+				a.slot = -1
+			}
+			cp := *a
+			cp.slot = len(c.layout)
+			c.attrIndex[a.Name] = &cp
+			c.layout = append(c.layout, &cp)
+		}
+	}
+
+	// Method resolution: first definition along the MRO wins.
+	c.methods = make(map[string]*Method)
+	for _, k := range c.mro {
+		for name, m := range k.ownMethods {
+			if m.owner == nil {
+				m.owner = k
+			}
+			if _, ok := c.methods[name]; !ok {
+				c.methods[name] = m
+			}
+		}
+	}
+	// Validate overrides: an override must keep the arity of what it
+	// overrides (covariant returns and parameter types are not modelled).
+	for name, m := range c.methods {
+		for _, k := range c.mro {
+			if k == m.owner {
+				continue
+			}
+			if base, ok := k.ownMethods[name]; ok && len(base.Params) != len(m.Params) {
+				return fmt.Errorf("schema: %s::%s overrides %s::%s with different arity",
+					m.owner.Name, name, k.Name, name)
+			}
+		}
+	}
+	if !c.Abstract {
+		for name, m := range c.methods {
+			if m.Body == nil {
+				return fmt.Errorf("schema: concrete class %s has abstract method %s (from %s)",
+					c.Name, name, m.owner.Name)
+			}
+		}
+	}
+
+	// The event interface is only meaningful on reactive classes.
+	if !c.Reactive() {
+		for _, m := range c.methods {
+			if m.EventGen != GenNone {
+				return fmt.Errorf("schema: method %s::%s declares events but class %s is not reactive",
+					m.owner.Name, m.Name, c.Name)
+			}
+		}
+	}
+
+	c.subOf = make(map[string]bool, len(c.mro))
+	for _, k := range c.mro {
+		c.subOf[k.Name] = true
+	}
+	c.finalized = true
+	return nil
+}

@@ -1,0 +1,151 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+)
+
+// Param is a named, typed method parameter.
+type Param struct {
+	Name string
+	Type *value.Type
+}
+
+// CallContext is the execution environment handed to a method body. It is
+// implemented by the core runtime; defining it here (as an interface) keeps
+// the meta-object layer free of dependencies on transactions, storage and
+// the event system while letting method bodies reach all of them.
+type CallContext interface {
+	// Self returns the OID of the receiver object.
+	Self() oid.OID
+	// SelfClass returns the dynamic class of the receiver.
+	SelfClass() *Class
+	// Arg returns the i'th actual parameter (value.Nil if out of range).
+	Arg(i int) value.Value
+	// NArgs returns the number of actual parameters.
+	NArgs() int
+
+	// Get reads an attribute of the receiver (visibility: as the defining
+	// class, i.e. unchecked — the body belongs to the class).
+	Get(attr string) (value.Value, error)
+	// Set writes an attribute of the receiver.
+	Set(attr string, v value.Value) error
+	// GetOf reads an attribute of another object, subject to visibility
+	// checks against the calling class.
+	GetOf(obj oid.OID, attr string) (value.Value, error)
+	// SetOf writes an attribute of another object, subject to visibility.
+	SetOf(obj oid.OID, attr string, v value.Value) error
+	// Send invokes a method on another object (or the receiver) within the
+	// same transaction, with this method's class as the caller for
+	// visibility purposes. Event generation applies as usual.
+	Send(obj oid.OID, method string, args ...value.Value) (value.Value, error)
+	// New creates a new object of the named class in the current
+	// transaction and returns its OID.
+	New(class string, inits map[string]value.Value) (oid.OID, error)
+	// Raise explicitly signals a named application event from within the
+	// method body (paper §3.1 footnote: "the class designer can also
+	// explicitly generate other primitive events, within the body of the
+	// method").
+	Raise(eventName string, params ...value.Value) error
+	// Abort returns an error that, when propagated out of the method,
+	// aborts the enclosing transaction (the action of Fig. 9's Marriage
+	// rule). The method should `return value.Nil, ctx.Abort(reason)`.
+	Abort(reason string) error
+}
+
+// Body is the executable implementation of a method.
+type Body func(ctx CallContext) (value.Value, error)
+
+// Method is a runtime method definition.
+type Method struct {
+	Name       string
+	Params     []Param
+	Returns    *value.Type // nil for void
+	Visibility Visibility
+	// EventGen is this method's entry in the class's event interface.
+	EventGen EventGen
+	// Body executes the method. A nil Body makes the method abstract:
+	// subclasses must override it before instances can call it.
+	Body Body
+
+	owner *Class // set at finalize time
+}
+
+// Owner returns the class that defines this method (after finalization).
+func (m *Method) Owner() *Class { return m.owner }
+
+// Signature renders the method as "Class::Name(type name, ...)"; used in
+// event signatures and error messages.
+func (m *Method) Signature() string {
+	var b strings.Builder
+	if m.owner != nil {
+		b.WriteString(m.owner.Name)
+		b.WriteString("::")
+	}
+	b.WriteString(m.Name)
+	b.WriteByte('(')
+	for i, p := range m.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Type.String())
+		b.WriteByte(' ')
+		b.WriteString(p.Name)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// CheckArgs verifies arity and argument kinds against the parameter list and
+// returns the arguments with numeric widening applied.
+func (m *Method) CheckArgs(args []value.Value) ([]value.Value, error) {
+	if len(args) != len(m.Params) {
+		return nil, fmt.Errorf("schema: %s expects %d argument(s), got %d",
+			m.Signature(), len(m.Params), len(args))
+	}
+	out := args
+	for i, p := range m.Params {
+		if !p.Type.Accepts(args[i].Kind()) {
+			return nil, fmt.Errorf("schema: %s argument %d (%s): want %s, got %s",
+				m.Signature(), i, p.Name, p.Type, args[i].Kind())
+		}
+		w := p.Type.Widen(args[i])
+		if !w.Equal(args[i]) || w.Kind() != args[i].Kind() {
+			if out == nil || &out[0] == &args[0] {
+				out = append([]value.Value(nil), args...)
+			}
+			out[i] = w
+		}
+	}
+	return out, nil
+}
+
+// Attribute is a runtime attribute (data member) definition.
+type Attribute struct {
+	Name       string
+	Type       *value.Type
+	Visibility Visibility
+	// Default initializes the attribute on object creation; value.Nil means
+	// the type's zero value.
+	Default value.Value
+
+	owner *Class
+	slot  int // index into the instance field array, set at finalize time
+}
+
+// Owner returns the class that defines this attribute (after finalization).
+func (a *Attribute) Owner() *Class { return a.owner }
+
+// Slot returns the attribute's field index within instances.
+func (a *Attribute) Slot() int { return a.slot }
+
+// InitialValue returns the value a fresh instance stores in this slot.
+func (a *Attribute) InitialValue() value.Value {
+	if a.Default.IsNil() && a.Type != nil && a.Type.Kind() != value.KindRef {
+		return a.Type.Zero()
+	}
+	return a.Type.Widen(a.Default)
+}

@@ -1,0 +1,86 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// linearize computes the C3 method-resolution order for a class:
+//
+//	L(C) = C + merge(L(B1), ..., L(Bn), [B1 ... Bn])
+//
+// C3 is the linearization used by modern multiple-inheritance systems
+// (Dylan, Python); it preserves local precedence order and monotonicity,
+// which gives rule and method inheritance deterministic, intuitive
+// semantics. The paper (§1, difference 3) calls out "the principle of
+// inheritance (both single and multiple) and its effect on rule
+// incorporation" as one of the design forces; C3 makes AllRuleDecls and
+// MethodNamed well-defined under diamonds.
+func linearize(c *Class) ([]*Class, error) {
+	if len(c.Bases) == 0 {
+		return []*Class{c}, nil
+	}
+	seqs := make([][]*Class, 0, len(c.Bases)+1)
+	for _, b := range c.Bases {
+		if b == c {
+			return nil, fmt.Errorf("schema: class %s inherits from itself", c.Name)
+		}
+		if b.mro == nil {
+			return nil, fmt.Errorf("schema: base %s of %s has no linearization", b.Name, c.Name)
+		}
+		seqs = append(seqs, append([]*Class(nil), b.mro...))
+	}
+	seqs = append(seqs, append([]*Class(nil), c.Bases...))
+
+	out := []*Class{c}
+	for {
+		// Drop exhausted sequences.
+		live := seqs[:0]
+		for _, s := range seqs {
+			if len(s) > 0 {
+				live = append(live, s)
+			}
+		}
+		seqs = live
+		if len(seqs) == 0 {
+			return out, nil
+		}
+		// Find a good head: one that appears in no sequence's tail.
+		next := (*Class)(nil)
+	candidates:
+		for _, s := range seqs {
+			head := s[0]
+			for _, t := range seqs {
+				for _, k := range t[1:] {
+					if k == head {
+						continue candidates
+					}
+				}
+			}
+			next = head
+			break
+		}
+		if next == nil {
+			return nil, fmt.Errorf("schema: inconsistent hierarchy for %s: cannot linearize bases [%s]",
+				c.Name, baseNames(c))
+		}
+		out = append(out, next)
+		for i, s := range seqs {
+			if s[0] == next {
+				seqs[i] = s[1:]
+			} else {
+				// next cannot appear in a tail (checked above), so only
+				// heads need removal.
+				seqs[i] = s
+			}
+		}
+	}
+}
+
+func baseNames(c *Class) string {
+	names := make([]string, len(c.Bases))
+	for i, b := range c.Bases {
+		names[i] = b.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,154 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the schema catalog: the set of registered, finalized classes.
+// It is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	classes map[string]*Class
+	order   []string // registration order, for deterministic iteration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{classes: make(map[string]*Class)}
+}
+
+// Register finalizes the class (resolving inheritance and layout) and adds
+// it to the registry. All bases must already be registered here.
+func (r *Registry) Register(c *Class) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c.Name == "" {
+		return fmt.Errorf("schema: class with empty name")
+	}
+	if _, dup := r.classes[c.Name]; dup {
+		return fmt.Errorf("schema: class %s already registered", c.Name)
+	}
+	for _, b := range c.Bases {
+		if got, ok := r.classes[b.Name]; !ok || got != b {
+			return fmt.Errorf("schema: base %s of %s is not registered in this registry", b.Name, c.Name)
+		}
+	}
+	if err := c.finalize(); err != nil {
+		return err
+	}
+	r.classes[c.Name] = c
+	r.order = append(r.order, c.Name)
+	return nil
+}
+
+// MustRegister is Register that panics on error; for static schema setup.
+func (r *Registry) MustRegister(c *Class) *Class {
+	if err := r.Register(c); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lookup returns the class with the given name, or nil.
+func (r *Registry) Lookup(name string) *Class {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.classes[name]
+}
+
+// MustClass is Lookup that panics when the class is missing.
+func (r *Registry) MustClass(name string) *Class {
+	c := r.Lookup(name)
+	if c == nil {
+		panic(fmt.Sprintf("schema: unknown class %q", name))
+	}
+	return c
+}
+
+// Classes returns all registered classes in registration order.
+func (r *Registry) Classes() []*Class {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Class, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.classes[name])
+	}
+	return out
+}
+
+// Names returns all class names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered classes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.classes)
+}
+
+// Subclasses returns every registered class that is the given class or a
+// transitive subclass of it (used to expand class-level event
+// subscriptions down the hierarchy).
+func (r *Registry) Subclasses(of *Class) []*Class {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Class
+	for _, name := range r.order {
+		c := r.classes[name]
+		if c.IsSubclassOf(of) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Replace swaps in a new definition for an already-registered class name,
+// finalizing the replacement. It refuses when other registered classes
+// inherit from the old definition (they would hold stale metaobjects); the
+// caller migrates instances. It returns the old class so the caller can
+// undo.
+func (r *Registry) Replace(c *Class) (*Class, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.classes[c.Name]
+	if !ok {
+		return nil, fmt.Errorf("schema: class %s is not registered", c.Name)
+	}
+	for _, other := range r.classes {
+		if other == old {
+			continue
+		}
+		if other.IsSubclassOf(old) {
+			return nil, fmt.Errorf("schema: cannot evolve %s: class %s inherits from it (evolve leaves first)",
+				c.Name, other.Name)
+		}
+	}
+	for _, b := range c.Bases {
+		if got, okB := r.classes[b.Name]; !okB || got != b {
+			return nil, fmt.Errorf("schema: base %s of %s is not registered in this registry", b.Name, c.Name)
+		}
+		if b == old {
+			return nil, fmt.Errorf("schema: class %s cannot extend the definition it replaces", c.Name)
+		}
+	}
+	if err := c.finalize(); err != nil {
+		return nil, err
+	}
+	r.classes[c.Name] = c
+	return old, nil
+}
+
+// restore swaps a class back (undo support for Replace).
+func (r *Registry) Restore(old *Class) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.classes[old.Name] = old
+}

@@ -1,0 +1,399 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"sentinel/internal/value"
+)
+
+func body(ret value.Value) Body {
+	return func(ctx CallContext) (value.Value, error) { return ret, nil }
+}
+
+func newReg(t *testing.T) *Registry {
+	t.Helper()
+	return NewRegistry()
+}
+
+func TestSingleInheritanceMRO(t *testing.T) {
+	reg := newReg(t)
+	a := NewClass("A")
+	a.AddMethod(&Method{Name: "M", Visibility: Public, Body: body(value.Int(1))})
+	reg.MustRegister(a)
+	b := NewClass("B", a)
+	reg.MustRegister(b)
+	c := NewClass("C", b)
+	reg.MustRegister(c)
+
+	mro := c.MRO()
+	if len(mro) != 3 || mro[0] != c || mro[1] != b || mro[2] != a {
+		t.Fatalf("MRO(C) = %v", mro)
+	}
+	if !c.IsSubclassOf(a) || !c.IsSubclassOf(c) || a.IsSubclassOf(c) {
+		t.Error("IsSubclassOf wrong")
+	}
+	if c.MethodNamed("M") == nil || c.MethodNamed("M").Owner() != a {
+		t.Error("method inheritance broken")
+	}
+}
+
+func TestDiamondC3(t *testing.T) {
+	reg := newReg(t)
+	root := NewClass("Root")
+	root.Attr("x", value.TypeInt)
+	reg.MustRegister(root)
+	left := NewClass("Left", root)
+	left.AddMethod(&Method{Name: "M", Visibility: Public, Body: body(value.Str("left"))})
+	reg.MustRegister(left)
+	right := NewClass("Right", root)
+	right.AddMethod(&Method{Name: "M", Visibility: Public, Body: body(value.Str("right"))})
+	reg.MustRegister(right)
+	bottom := NewClass("Bottom", left, right)
+	reg.MustRegister(bottom)
+
+	// C3: Bottom, Left, Right, Root — local precedence order preserved,
+	// Root appears once.
+	names := make([]string, 0, 4)
+	for _, k := range bottom.MRO() {
+		names = append(names, k.Name)
+	}
+	if got := strings.Join(names, ","); got != "Bottom,Left,Right,Root" {
+		t.Fatalf("MRO = %s", got)
+	}
+	// Left's M wins (earlier in MRO).
+	if bottom.MethodNamed("M").Owner() != left {
+		t.Error("diamond method resolution should pick Left")
+	}
+	// The diamond attribute x exists exactly once.
+	count := 0
+	for _, a := range bottom.Attributes() {
+		if a.Name == "x" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("attribute x appears %d times in the layout", count)
+	}
+}
+
+func TestInconsistentHierarchyRejected(t *testing.T) {
+	// The classic C3 failure: order conflicts between bases.
+	reg := newReg(t)
+	o := NewClass("O")
+	reg.MustRegister(o)
+	a := NewClass("A", o)
+	reg.MustRegister(a)
+	b := NewClass("B", o)
+	reg.MustRegister(b)
+	ab := NewClass("AB", a, b)
+	reg.MustRegister(ab)
+	ba := NewClass("BA", b, a)
+	reg.MustRegister(ba)
+	bad := NewClass("Bad", ab, ba)
+	if err := reg.Register(bad); err == nil {
+		t.Fatal("inconsistent hierarchy should fail to linearize")
+	}
+}
+
+func TestConflictingAttributesRejected(t *testing.T) {
+	reg := newReg(t)
+	a := NewClass("A1")
+	a.Attr("x", value.TypeInt)
+	reg.MustRegister(a)
+	b := NewClass("B1")
+	b.Attr("x", value.TypeString)
+	reg.MustRegister(b)
+	c := NewClass("C1", a, b)
+	if err := reg.Register(c); err == nil || !strings.Contains(err.Error(), "conflicting attribute") {
+		t.Fatalf("expected conflicting-attribute error, got %v", err)
+	}
+}
+
+func TestLayoutSlotsStableAcrossSubclassing(t *testing.T) {
+	reg := newReg(t)
+	base := NewClass("Base2")
+	base.Attr("a", value.TypeInt)
+	base.Attr("b", value.TypeString)
+	reg.MustRegister(base)
+	sub := NewClass("Sub2", base)
+	sub.Attr("c", value.TypeFloat)
+	reg.MustRegister(sub)
+
+	// Base attributes keep their leading slots in the subclass layout.
+	if base.AttributeNamed("a").Slot() != sub.AttributeNamed("a").Slot() {
+		t.Error("slot of inherited attribute moved")
+	}
+	if sub.AttributeNamed("c").Slot() != 2 {
+		t.Errorf("subclass attribute slot = %d, want 2", sub.AttributeNamed("c").Slot())
+	}
+	if sub.NumSlots() != 3 {
+		t.Errorf("NumSlots = %d, want 3", sub.NumSlots())
+	}
+}
+
+func TestOverrideArityChecked(t *testing.T) {
+	reg := newReg(t)
+	a := NewClass("A3")
+	a.AddMethod(&Method{Name: "M", Params: []Param{{Name: "x", Type: value.TypeInt}}, Visibility: Public, Body: body(value.Nil)})
+	reg.MustRegister(a)
+	b := NewClass("B3", a)
+	b.AddMethod(&Method{Name: "M", Visibility: Public, Body: body(value.Nil)}) // arity 0 vs 1
+	if err := reg.Register(b); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("expected arity error, got %v", err)
+	}
+}
+
+func TestAbstractClasses(t *testing.T) {
+	reg := newReg(t)
+	a := NewClass("Abs")
+	a.Abstract = true
+	a.AddMethod(&Method{Name: "M", Visibility: Public}) // no body: abstract
+	reg.MustRegister(a)
+
+	// A concrete subclass must implement M.
+	bad := NewClass("Con1", a)
+	if err := reg.Register(bad); err == nil || !strings.Contains(err.Error(), "abstract method") {
+		t.Fatalf("expected abstract-method error, got %v", err)
+	}
+	good := NewClass("Con2", a)
+	good.AddMethod(&Method{Name: "M", Visibility: Public, Body: body(value.Nil)})
+	if err := reg.Register(good); err != nil {
+		t.Fatalf("concrete subclass with override: %v", err)
+	}
+}
+
+func TestEventInterfaceRequiresReactive(t *testing.T) {
+	reg := newReg(t)
+	c := NewClass("Quiet")
+	c.AddMethod(&Method{Name: "M", Visibility: Public, EventGen: GenEnd, Body: body(value.Nil)})
+	if err := reg.Register(c); err == nil || !strings.Contains(err.Error(), "not reactive") {
+		t.Fatalf("expected not-reactive error, got %v", err)
+	}
+}
+
+func TestEventInterfaceListing(t *testing.T) {
+	reg := newReg(t)
+	c := NewClass("Loud")
+	c.Classification = ReactiveClass
+	c.AddMethod(&Method{Name: "A", Visibility: Public, EventGen: GenEnd, Body: body(value.Nil)})
+	c.AddMethod(&Method{Name: "B", Visibility: Public, EventGen: GenBoth, Body: body(value.Nil)})
+	c.AddMethod(&Method{Name: "C", Visibility: Public, Body: body(value.Nil)})
+	reg.MustRegister(c)
+	ifc := c.EventInterface()
+	if len(ifc) != 2 || ifc[0].Name != "A" || ifc[1].Name != "B" {
+		t.Fatalf("EventInterface = %v", ifc)
+	}
+}
+
+func TestClassificationInheritance(t *testing.T) {
+	reg := newReg(t)
+	r := NewClass("R5")
+	r.Classification = ReactiveClass
+	reg.MustRegister(r)
+	n := NewClass("N5")
+	n.Classification = NotifiableClass
+	reg.MustRegister(n)
+	both := NewClass("RN5", r, n)
+	reg.MustRegister(both)
+	if both.Classification != ReactiveNotifiableClass {
+		t.Fatalf("classification = %v, want reactive+notifiable", both.Classification)
+	}
+	if !both.Reactive() || !both.Notifiable() {
+		t.Error("Reactive()/Notifiable() wrong")
+	}
+}
+
+func TestRuleDeclInheritance(t *testing.T) {
+	reg := newReg(t)
+	a := NewClass("A6")
+	a.Classification = ReactiveClass
+	a.AddRule(RuleDecl{Name: "base-rule", Event: "end A6::M"})
+	a.AddMethod(&Method{Name: "M", Visibility: Public, EventGen: GenEnd, Body: body(value.Nil)})
+	reg.MustRegister(a)
+	b := NewClass("B6", a)
+	b.AddRule(RuleDecl{Name: "sub-rule", Event: "end A6::M"})
+	reg.MustRegister(b)
+	all := b.AllRuleDecls()
+	if len(all) != 2 || all[0].Name != "base-rule" || all[1].Name != "sub-rule" {
+		t.Fatalf("AllRuleDecls = %v", all)
+	}
+	if len(b.OwnRuleDecls()) != 1 {
+		t.Fatal("OwnRuleDecls should only contain sub-rule")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := newReg(t)
+	a := NewClass("A7")
+	reg.MustRegister(a)
+	if err := reg.Register(NewClass("A7")); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if err := reg.Register(NewClass("")); err == nil {
+		t.Error("empty name should fail")
+	}
+	unregBase := NewClass("Floating")
+	if err := reg.Register(NewClass("B7", unregBase)); err == nil {
+		t.Error("unregistered base should fail")
+	}
+	if reg.Lookup("A7") != a || reg.Lookup("nope") != nil {
+		t.Error("Lookup wrong")
+	}
+	if reg.Len() != 1 {
+		t.Errorf("Len = %d", reg.Len())
+	}
+	b := NewClass("B7b", a)
+	reg.MustRegister(b)
+	subs := reg.Subclasses(a)
+	if len(subs) != 2 {
+		t.Fatalf("Subclasses = %v", subs)
+	}
+}
+
+func TestCheckArgs(t *testing.T) {
+	reg := newReg(t)
+	c := NewClass("A8")
+	m := &Method{
+		Name:       "M",
+		Params:     []Param{{Name: "x", Type: value.TypeFloat}, {Name: "s", Type: value.TypeString}},
+		Visibility: Public,
+		Body:       body(value.Nil),
+	}
+	c.AddMethod(m)
+	reg.MustRegister(c)
+
+	// Int widens into the float parameter.
+	args, err := m.CheckArgs([]value.Value{value.Int(3), value.Str("ok")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args[0].Kind() != value.KindFloat {
+		t.Errorf("arg 0 not widened: %v", args[0])
+	}
+	if _, err := m.CheckArgs([]value.Value{value.Int(3)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := m.CheckArgs([]value.Value{value.Str("x"), value.Str("y")}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+func TestSignatureRendering(t *testing.T) {
+	reg := newReg(t)
+	c := NewClass("A9")
+	m := &Method{Name: "Pay", Params: []Param{{Name: "amt", Type: value.TypeFloat}}, Visibility: Public, Body: body(value.Nil)}
+	c.AddMethod(m)
+	reg.MustRegister(c)
+	if got := m.Signature(); got != "A9::Pay(float amt)" {
+		t.Errorf("Signature = %q", got)
+	}
+}
+
+func TestDuplicateMethodPanics(t *testing.T) {
+	c := NewClass("A10")
+	c.AddMethod(&Method{Name: "M", Body: body(value.Nil)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddMethod did not panic")
+		}
+	}()
+	c.AddMethod(&Method{Name: "M", Body: body(value.Nil)})
+}
+
+func TestFinalizedClassClosed(t *testing.T) {
+	reg := newReg(t)
+	c := NewClass("A11")
+	reg.MustRegister(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mutating a finalized class did not panic")
+		}
+	}()
+	c.Attr("x", value.TypeInt)
+}
+
+func TestSelfInheritanceRejected(t *testing.T) {
+	c := NewClass("Selfish")
+	c.Bases = []*Class{c}
+	c.mro = nil
+	if _, err := linearize(c); err == nil {
+		t.Fatal("self-inheritance should fail")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Public.String() != "public" || Protected.String() != "protected" || Private.String() != "private" {
+		t.Error("Visibility.String wrong")
+	}
+	if GenBoth.String() != "begin && end" || GenNone.String() != "none" {
+		t.Error("EventGen.String wrong")
+	}
+	if !GenBoth.Begin() || !GenBoth.End() || GenBegin.End() || GenEnd.Begin() {
+		t.Error("EventGen Begin/End wrong")
+	}
+	if PassiveClass.String() != "passive" || ReactiveNotifiableClass.String() != "reactive+notifiable" {
+		t.Error("Classification.String wrong")
+	}
+}
+
+func TestAttributeDefaults(t *testing.T) {
+	a := &Attribute{Name: "x", Type: value.TypeFloat, Default: value.Int(5)}
+	if got := a.InitialValue(); !got.Equal(value.Float(5)) || got.Kind() != value.KindFloat {
+		t.Errorf("InitialValue = %v", got)
+	}
+	b := &Attribute{Name: "y", Type: value.TypeString}
+	if got := b.InitialValue(); !got.Equal(value.Str("")) {
+		t.Errorf("zero InitialValue = %v", got)
+	}
+	r := &Attribute{Name: "z", Type: value.TypeRef("X")}
+	if got := r.InitialValue(); !got.IsNil() {
+		t.Errorf("ref InitialValue = %v", got)
+	}
+}
+
+func TestReplaceAndRestore(t *testing.T) {
+	reg := newReg(t)
+	v1 := NewClass("Thing")
+	v1.Attr("a", value.TypeInt)
+	reg.MustRegister(v1)
+
+	v2 := NewClass("Thing")
+	v2.Attr("a", value.TypeInt)
+	v2.Attr("b", value.TypeString)
+	old, err := reg.Replace(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != v1 || reg.Lookup("Thing") != v2 {
+		t.Fatal("replace did not swap")
+	}
+	if !v2.Finalized() || v2.NumSlots() != 2 {
+		t.Fatal("replacement not finalized")
+	}
+	reg.Restore(v1)
+	if reg.Lookup("Thing") != v1 {
+		t.Fatal("restore did not swap back")
+	}
+
+	// Replacing an unknown class fails.
+	if _, err := reg.Replace(NewClass("Ghost")); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	// A class with subclasses cannot be replaced.
+	sub := NewClass("SubThing", v1)
+	reg.MustRegister(sub)
+	v3 := NewClass("Thing")
+	if _, err := reg.Replace(v3); err == nil {
+		t.Fatal("class with subclasses replaced")
+	}
+	// A replacement cannot extend the class it replaces.
+	selfBase := NewClass("SubThing", v1) // replacing SubThing, extending Thing is fine...
+	if _, err := reg.Replace(selfBase); err != nil {
+		t.Fatalf("legal replace rejected: %v", err)
+	}
+	circular := NewClass("Thing", reg.Lookup("Thing"))
+	if _, err := reg.Replace(circular); err == nil {
+		t.Fatal("self-extending replacement accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Package schema implements the runtime meta-object protocol of the
+// database: classes with attributes, methods, visibility, single and
+// multiple inheritance (C3 linearization), and — the paper's central
+// addition — the per-method *event interface* that turns a conventional
+// class into a reactive class:
+//
+//	Reactive class definition =
+//	    Traditional class definition + Event interface specification  (§3.1)
+//
+// Go has no implementation inheritance, so instead of mapping the paper's
+// C++ classes onto Go structs (which would lose virtual dispatch,
+// protected/private visibility, and per-method event annotations — exactly
+// the features the paper's design hinges on) classes are first-class runtime
+// values. Every message send is dispatched through the class graph, which is
+// also where the Sentinel preprocessor hooked event generation in the
+// original C++ implementation.
+package schema
+
+import "fmt"
+
+// Visibility is the access level of an attribute or method, mirroring the
+// C++ feature distinctions the paper calls out in §1 ("the distinctions
+// between features supported (e.g., private, protected, and public in
+// C++) need to be accounted for").
+type Visibility uint8
+
+const (
+	// Public members are accessible from any code.
+	Public Visibility = iota
+	// Protected members are accessible from methods of the defining class
+	// and its subclasses.
+	Protected
+	// Private members are accessible only from methods of the defining
+	// class itself.
+	Private
+)
+
+// String returns "public", "protected", or "private".
+func (v Visibility) String() string {
+	switch v {
+	case Public:
+		return "public"
+	case Protected:
+		return "protected"
+	case Private:
+		return "private"
+	default:
+		return fmt.Sprintf("visibility(%d)", uint8(v))
+	}
+}
+
+// EventGen specifies which primitive events a method generates when invoked
+// — the event-interface annotation (§3.1). A method not mentioned in the
+// event interface has GenNone and its invocation "does not cause any rule
+// evaluation" (Fig. 8).
+type EventGen uint8
+
+const (
+	// GenNone: the method generates no events.
+	GenNone EventGen = iota
+	// GenBegin: a begin-of-method (bom) event is raised before the body runs.
+	GenBegin
+	// GenEnd: an end-of-method (eom) event is raised after the body returns.
+	GenEnd
+	// GenBoth: both bom and eom events are raised (the paper's
+	// "event begin && end" declaration, Fig. 8).
+	GenBoth
+)
+
+// Begin reports whether a bom event is generated.
+func (g EventGen) Begin() bool { return g == GenBegin || g == GenBoth }
+
+// End reports whether an eom event is generated.
+func (g EventGen) End() bool { return g == GenEnd || g == GenBoth }
+
+// String renders the declaration keyword used in SentinelQL.
+func (g EventGen) String() string {
+	switch g {
+	case GenNone:
+		return "none"
+	case GenBegin:
+		return "begin"
+	case GenEnd:
+		return "end"
+	case GenBoth:
+		return "begin && end"
+	default:
+		return fmt.Sprintf("eventgen(%d)", uint8(g))
+	}
+}
+
+// Classification is the paper's three-way object taxonomy (§3.2).
+type Classification uint8
+
+const (
+	// PassiveClass instances perform operations but generate no events and
+	// cannot be monitored; "no overhead is incurred in the definition and
+	// use of such objects".
+	PassiveClass Classification = iota
+	// ReactiveClass instances generate events for methods declared in the
+	// event interface and propagate them to subscribed consumers.
+	ReactiveClass
+	// NotifiableClass instances consume events propagated by reactive
+	// objects (rules and composite events are notifiable).
+	NotifiableClass
+	// ReactiveNotifiableClass instances are both producers and consumers
+	// (e.g. the Rule class itself, enabling rules over rules).
+	ReactiveNotifiableClass
+)
+
+// Reactive reports whether instances generate events.
+func (c Classification) Reactive() bool {
+	return c == ReactiveClass || c == ReactiveNotifiableClass
+}
+
+// Notifiable reports whether instances consume events.
+func (c Classification) Notifiable() bool {
+	return c == NotifiableClass || c == ReactiveNotifiableClass
+}
+
+// String returns the taxonomy name.
+func (c Classification) String() string {
+	switch c {
+	case PassiveClass:
+		return "passive"
+	case ReactiveClass:
+		return "reactive"
+	case NotifiableClass:
+		return "notifiable"
+	case ReactiveNotifiableClass:
+		return "reactive+notifiable"
+	default:
+		return fmt.Sprintf("classification(%d)", uint8(c))
+	}
+}

@@ -1,0 +1,363 @@
+// Package txn implements transactions for the object store: strict
+// two-phase locking at object (OID) granularity, deadlock detection over a
+// waits-for graph, and an undo log of closures for in-memory rollback.
+//
+// The paper requires that rules and events be "subject to the same
+// transaction semantics" as other objects (§3.4), that rule actions can
+// abort the triggering transaction (Fig. 9), and that detached-mode rules
+// run in their own transactions. This package is that substrate; the core
+// layer decides what to log and when (deferred rules run just before
+// Commit, detached rules after it).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ID identifies a transaction. IDs are monotonically increasing, so a
+// smaller ID means an older transaction.
+type ID uint64
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// State is a transaction lifecycle state.
+type State uint8
+
+// Transaction states.
+const (
+	Active State = iota
+	Committed
+	Aborted
+)
+
+// ErrDeadlock is returned from a lock request that would complete a cycle
+// in the waits-for graph. The requesting transaction should abort.
+var ErrDeadlock = errors.New("txn: deadlock detected")
+
+// ErrNotActive is returned when operating on a finished transaction.
+var ErrNotActive = errors.New("txn: transaction is not active")
+
+// Lockable abstracts the resource identifier locks are taken on (OIDs in
+// practice; any comparable uint64-convertible id works).
+type Lockable uint64
+
+type lockState struct {
+	holders map[ID]Mode
+	waiters int
+	cond    *sync.Cond
+}
+
+// Manager coordinates transactions and the lock table.
+type Manager struct {
+	mu     sync.Mutex
+	nextID ID
+	locks  map[Lockable]*lockState
+	active map[ID]*Tx
+	// waitsFor[a][b] == true: transaction a is waiting for a lock held by b.
+	waitsFor map[ID]map[ID]bool
+
+	// Stats.
+	started, committed, aborted, deadlocks, waits uint64
+}
+
+// NewManager returns an empty transaction manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks:    make(map[Lockable]*lockState),
+		active:   make(map[ID]*Tx),
+		waitsFor: make(map[ID]map[ID]bool),
+	}
+}
+
+// Stats holds manager counters.
+type Stats struct {
+	Started, Committed, Aborted, Deadlocks, Waits uint64
+}
+
+// Stats returns a snapshot of the manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{m.started, m.committed, m.aborted, m.deadlocks, m.waits}
+}
+
+// Begin starts a new transaction.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	m.started++
+	t := &Tx{id: m.nextID, mgr: m, state: Active, held: make(map[Lockable]Mode)}
+	m.active[t.id] = t
+	return t
+}
+
+// ActiveCount returns the number of live transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// Tx is a single transaction.
+type Tx struct {
+	id    ID
+	mgr   *Manager
+	state State
+	held  map[Lockable]Mode
+	undo  []func()
+
+	// onCommit hooks run after the commit decision (state already
+	// Committed) but before locks release; onCommitted hooks run after
+	// release — the window where detached rules are launched.
+	onCommit    []func() error
+	onCommitted []func()
+	onAbort     []func()
+}
+
+// ID returns the transaction's identifier.
+func (t *Tx) ID() ID { return t.id }
+
+// State returns the lifecycle state.
+func (t *Tx) State() State { return t.state }
+
+// Active reports whether the transaction can still do work.
+func (t *Tx) Active() bool { return t.state == Active }
+
+// OnUndo registers a closure run (in reverse order) if the transaction
+// aborts; used by the core layer to restore object before-images.
+func (t *Tx) OnUndo(fn func()) { t.undo = append(t.undo, fn) }
+
+// OnCommit registers a hook run during Commit, after the commit record is
+// durable, before locks are released. An error here is reported but does
+// not un-commit.
+func (t *Tx) OnCommit(fn func() error) { t.onCommit = append(t.onCommit, fn) }
+
+// OnCommitted registers a hook run after locks are released (detached-rule
+// launch window).
+func (t *Tx) OnCommitted(fn func()) { t.onCommitted = append(t.onCommitted, fn) }
+
+// OnAbort registers a hook run after rollback completes.
+func (t *Tx) OnAbort(fn func()) { t.onAbort = append(t.onAbort, fn) }
+
+// Lock acquires the lock on res in the given mode, blocking until granted.
+// Lock upgrades (S held, X requested) are supported. It returns ErrDeadlock
+// when waiting would create a cycle.
+func (t *Tx) Lock(res Lockable, mode Mode) error {
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.state != Active {
+		return ErrNotActive
+	}
+	if cur, ok := t.held[res]; ok && (cur == Exclusive || mode == Shared) {
+		return nil // already sufficient
+	}
+	ls := m.locks[res]
+	if ls == nil {
+		ls = &lockState{holders: make(map[ID]Mode)}
+		ls.cond = sync.NewCond(&m.mu)
+		m.locks[res] = ls
+	}
+	for !grantable(ls, t.id, mode) {
+		// Record waits-for edges against current conflicting holders.
+		blockers := conflicting(ls, t.id, mode)
+		if len(blockers) == 0 {
+			// Conflict comes from other waiters only; re-check after wakeup.
+			blockers = nil
+		}
+		edges := m.waitsFor[t.id]
+		if edges == nil {
+			edges = make(map[ID]bool)
+			m.waitsFor[t.id] = edges
+		}
+		for _, b := range blockers {
+			edges[b] = true
+		}
+		if m.cycleFrom(t.id) {
+			delete(m.waitsFor, t.id)
+			m.deadlocks++
+			return ErrDeadlock
+		}
+		m.waits++
+		ls.waiters++
+		ls.cond.Wait()
+		ls.waiters--
+		delete(m.waitsFor, t.id)
+		if t.state != Active {
+			return ErrNotActive
+		}
+	}
+	ls.holders[t.id] = maxMode(ls.holders[t.id], mode)
+	t.held[res] = ls.holders[t.id]
+	return nil
+}
+
+func maxMode(a, b Mode) Mode {
+	if a == Exclusive || b == Exclusive {
+		return Exclusive
+	}
+	return Shared
+}
+
+// grantable reports whether tx may take res in mode given current holders.
+func grantable(ls *lockState, tx ID, mode Mode) bool {
+	for h, hm := range ls.holders {
+		if h == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// conflicting lists the holders blocking tx's request.
+func conflicting(ls *lockState, tx ID, mode Mode) []ID {
+	var out []ID
+	for h, hm := range ls.holders {
+		if h == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// cycleFrom reports whether the waits-for graph has a cycle reachable from
+// start. Caller holds m.mu.
+func (m *Manager) cycleFrom(start ID) bool {
+	seen := make(map[ID]bool)
+	var stack []ID
+	for b := range m.waitsFor[start] {
+		stack = append(stack, b)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == start {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for b := range m.waitsFor[n] {
+			stack = append(stack, b)
+		}
+	}
+	return false
+}
+
+// releaseAllLocked drops every lock held by t and wakes waiters. Caller
+// holds m.mu.
+func (m *Manager) releaseAllLocked(t *Tx) {
+	for res := range t.held {
+		ls := m.locks[res]
+		if ls == nil {
+			continue
+		}
+		delete(ls.holders, t.id)
+		if len(ls.holders) == 0 && ls.waiters == 0 {
+			delete(m.locks, res)
+		} else {
+			ls.cond.Broadcast()
+		}
+	}
+	t.held = make(map[Lockable]Mode)
+	delete(m.active, t.id)
+	delete(m.waitsFor, t.id)
+}
+
+// Commit finishes the transaction successfully. The durable parameter is a
+// callback invoked with the commit decision made but locks still held —
+// the core layer writes and syncs the WAL there; if it errors, the
+// transaction aborts instead.
+func (t *Tx) Commit(durable func() error) error {
+	m := t.mgr
+	m.mu.Lock()
+	if t.state != Active {
+		m.mu.Unlock()
+		return ErrNotActive
+	}
+	m.mu.Unlock()
+
+	if durable != nil {
+		if err := durable(); err != nil {
+			t.Abort()
+			return fmt.Errorf("txn: commit durability failed (transaction aborted): %w", err)
+		}
+	}
+
+	m.mu.Lock()
+	t.state = Committed
+	m.committed++
+	hooks := t.onCommit
+	t.onCommit = nil
+	m.mu.Unlock()
+
+	var hookErr error
+	for _, fn := range hooks {
+		if err := fn(); err != nil && hookErr == nil {
+			hookErr = err
+		}
+	}
+
+	m.mu.Lock()
+	m.releaseAllLocked(t)
+	after := t.onCommitted
+	t.onCommitted = nil
+	m.mu.Unlock()
+	for _, fn := range after {
+		fn()
+	}
+	return hookErr
+}
+
+// Abort rolls the transaction back: undo closures run in reverse, locks
+// release, abort hooks fire. Aborting a finished transaction is a no-op.
+func (t *Tx) Abort() {
+	m := t.mgr
+	m.mu.Lock()
+	if t.state != Active {
+		m.mu.Unlock()
+		return
+	}
+	t.state = Aborted
+	m.aborted++
+	undo := t.undo
+	t.undo = nil
+	m.mu.Unlock()
+
+	for i := len(undo) - 1; i >= 0; i-- {
+		undo[i]()
+	}
+
+	m.mu.Lock()
+	m.releaseAllLocked(t)
+	hooks := t.onAbort
+	t.onAbort = nil
+	m.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+}

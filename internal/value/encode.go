@@ -1,0 +1,185 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sentinel/internal/oid"
+)
+
+// Binary encoding of values, used by the storage layer. The format is
+// self-describing and versionless by construction:
+//
+//	value  := kind:uint8 payload
+//	bool   := 0|1 (uint8)
+//	int    := zigzag varint
+//	float  := 8 bytes little-endian IEEE bits
+//	string := uvarint length, bytes
+//	ref    := uvarint oid
+//	time   := uvarint
+//	list   := uvarint count, values...
+//	nil    := (empty payload)
+
+// AppendValue appends the binary encoding of v to buf and returns the
+// extended slice.
+func AppendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.kind))
+	switch v.kind {
+	case KindNil:
+	case KindBool:
+		if v.num != 0 {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindInt:
+		buf = binary.AppendVarint(buf, int64(v.num))
+	case KindFloat:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v.num)
+		buf = append(buf, b[:]...)
+	case KindString:
+		buf = binary.AppendUvarint(buf, uint64(len(v.str)))
+		buf = append(buf, v.str...)
+	case KindRef, KindTime:
+		buf = binary.AppendUvarint(buf, v.num)
+	case KindList:
+		buf = binary.AppendUvarint(buf, uint64(len(v.list)))
+		for _, e := range v.list {
+			buf = AppendValue(buf, e)
+		}
+	default:
+		panic(fmt.Sprintf("value: encode unknown kind %d", v.kind))
+	}
+	return buf
+}
+
+// DecodeValue decodes one value from the front of buf, returning the value
+// and the remaining bytes.
+func DecodeValue(buf []byte) (Value, []byte, error) {
+	if len(buf) == 0 {
+		return Nil, nil, fmt.Errorf("value: decode: empty buffer")
+	}
+	kind := Kind(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case KindNil:
+		return Nil, buf, nil
+	case KindBool:
+		if len(buf) < 1 {
+			return Nil, nil, fmt.Errorf("value: decode bool: short buffer")
+		}
+		return Bool(buf[0] != 0), buf[1:], nil
+	case KindInt:
+		i, n := binary.Varint(buf)
+		if n <= 0 {
+			return Nil, nil, fmt.Errorf("value: decode int: bad varint")
+		}
+		return Int(i), buf[n:], nil
+	case KindFloat:
+		if len(buf) < 8 {
+			return Nil, nil, fmt.Errorf("value: decode float: short buffer")
+		}
+		return Value{kind: KindFloat, num: binary.LittleEndian.Uint64(buf)}, buf[8:], nil
+	case KindString:
+		ln, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < ln {
+			return Nil, nil, fmt.Errorf("value: decode string: short buffer")
+		}
+		return Str(string(buf[n : n+int(ln)])), buf[n+int(ln):], nil
+	case KindRef:
+		u, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return Nil, nil, fmt.Errorf("value: decode ref: bad varint")
+		}
+		return Ref(oid.OID(u)), buf[n:], nil
+	case KindTime:
+		u, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return Nil, nil, fmt.Errorf("value: decode time: bad varint")
+		}
+		return Time(u), buf[n:], nil
+	case KindList:
+		cnt, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return Nil, nil, fmt.Errorf("value: decode list: bad varint")
+		}
+		buf = buf[n:]
+		elems := make([]Value, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			var (
+				e   Value
+				err error
+			)
+			e, buf, err = DecodeValue(buf)
+			if err != nil {
+				return Nil, nil, fmt.Errorf("value: decode list elem %d: %w", i, err)
+			}
+			elems = append(elems, e)
+		}
+		return List(elems...), buf, nil
+	default:
+		return Nil, nil, fmt.Errorf("value: decode: unknown kind %d", kind)
+	}
+}
+
+// AppendType appends the binary encoding of a type descriptor.
+func AppendType(buf []byte, t *Type) []byte {
+	if t == nil {
+		return append(buf, 0xFF)
+	}
+	buf = append(buf, byte(t.kind))
+	switch t.kind {
+	case KindRef:
+		buf = binary.AppendUvarint(buf, uint64(len(t.class)))
+		buf = append(buf, t.class...)
+	case KindList:
+		buf = AppendType(buf, t.elem)
+	}
+	return buf
+}
+
+// DecodeType decodes one type descriptor from the front of buf.
+func DecodeType(buf []byte) (*Type, []byte, error) {
+	if len(buf) == 0 {
+		return nil, nil, fmt.Errorf("value: decode type: empty buffer")
+	}
+	if buf[0] == 0xFF {
+		return nil, buf[1:], nil
+	}
+	kind := Kind(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case KindNil:
+		return TypeNil, buf, nil
+	case KindBool:
+		return TypeBool, buf, nil
+	case KindInt:
+		return TypeInt, buf, nil
+	case KindFloat:
+		return TypeFloat, buf, nil
+	case KindString:
+		return TypeString, buf, nil
+	case KindTime:
+		return TypeTime, buf, nil
+	case KindRef:
+		ln, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf)-n) < ln {
+			return nil, nil, fmt.Errorf("value: decode type ref: short buffer")
+		}
+		cls := string(buf[n : n+int(ln)])
+		buf = buf[n+int(ln):]
+		if cls == "" {
+			return TypeAnyRef, buf, nil
+		}
+		return TypeRef(cls), buf, nil
+	case KindList:
+		elem, rest, err := DecodeType(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		return TypeList(elem), rest, nil
+	default:
+		return nil, nil, fmt.Errorf("value: decode type: unknown kind %d", kind)
+	}
+}

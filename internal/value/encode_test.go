@@ -1,0 +1,205 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sentinel/internal/oid"
+)
+
+func roundtrip(t *testing.T, v Value) Value {
+	t.Helper()
+	buf := AppendValue(nil, v)
+	got, rest, err := DecodeValue(buf)
+	if err != nil {
+		t.Fatalf("decode(%v): %v", v, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode(%v): %d leftover bytes", v, len(rest))
+	}
+	return got
+}
+
+func TestEncodeRoundtrip(t *testing.T) {
+	values := []Value{
+		Nil,
+		Bool(true), Bool(false),
+		Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-2.5), Float(math.Inf(1)), Float(math.SmallestNonzeroFloat64),
+		Str(""), Str("hello"), Str(string([]byte{0, 1, 255})),
+		Ref(oid.Nil), Ref(oid.OID(1 << 40)),
+		Time(0), Time(1 << 50),
+		List(),
+		List(Int(1), Str("two"), List(Bool(true), Nil), Float(3.5)),
+	}
+	for _, v := range values {
+		if got := roundtrip(t, v); !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Errorf("roundtrip(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestEncodeRoundtripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool, ref uint64) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		v := List(Int(i), Float(fl), Str(s), Bool(b), Ref(oid.OID(ref)), List(Str(s)))
+		buf := AppendValue(nil, v)
+		got, rest, err := DecodeValue(buf)
+		return err == nil && len(rest) == 0 && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeStream(t *testing.T) {
+	// Multiple values in one buffer decode in order.
+	var buf []byte
+	vs := []Value{Int(1), Str("x"), Bool(true)}
+	for _, v := range vs {
+		buf = AppendValue(buf, v)
+	}
+	for _, want := range vs {
+		var got Value
+		var err error
+		got, buf, err = DecodeValue(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d leftover bytes", len(buf))
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{byte(KindBool)},                      // missing payload
+		{byte(KindFloat), 1, 2},               // short float
+		{byte(KindString), 10},                // length beyond buffer
+		{byte(KindList), 3, byte(KindInt), 2}, // truncated list
+		{200},                                 // unknown kind
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeValue(c); err == nil {
+			t.Errorf("case %d: expected error for % x", i, c)
+		}
+	}
+}
+
+func TestTypeEncodeRoundtrip(t *testing.T) {
+	types := []*Type{
+		nil, TypeNil, TypeBool, TypeInt, TypeFloat, TypeString, TypeTime,
+		TypeAnyRef, TypeRef("Employee"), TypeList(TypeInt),
+		TypeList(TypeRef("Stock")), TypeList(nil),
+	}
+	for _, ty := range types {
+		buf := AppendType(nil, ty)
+		got, rest, err := DecodeType(buf)
+		if err != nil {
+			t.Fatalf("decode type %v: %v", ty, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("decode type %v: leftover bytes", ty)
+		}
+		if ty == nil {
+			if got != nil {
+				t.Errorf("nil type decoded as %v", got)
+			}
+			continue
+		}
+		if got.String() != ty.String() {
+			t.Errorf("type roundtrip %v -> %v", ty, got)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	good := map[string]string{
+		"int":               "int",
+		"float":             "float",
+		"string":            "string",
+		"bool":              "bool",
+		"time":              "time",
+		"ref":               "ref",
+		"object":            "ref",
+		"Employee":          "ref<Employee>",
+		"list<int>":         "list<int>",
+		"list<list<float>>": "list<list<float>>",
+		"list<Stock>":       "list<ref<Stock>>",
+	}
+	for in, want := range good {
+		ty, err := ParseType(in)
+		if err != nil {
+			t.Errorf("ParseType(%q): %v", in, err)
+			continue
+		}
+		if ty.String() != want {
+			t.Errorf("ParseType(%q) = %v, want %v", in, ty, want)
+		}
+	}
+	for _, bad := range []string{"", "list<", "a b", "x<y>"} {
+		if _, err := ParseType(bad); err == nil {
+			t.Errorf("ParseType(%q): expected error", bad)
+		}
+	}
+}
+
+func TestTypeAcceptsAndWiden(t *testing.T) {
+	if !TypeFloat.Accepts(KindInt) {
+		t.Error("float slot should accept int")
+	}
+	if TypeInt.Accepts(KindFloat) {
+		t.Error("int slot should not accept float")
+	}
+	if !TypeRef("X").Accepts(KindNil) {
+		t.Error("ref slot should accept nil")
+	}
+	if !TypeString.Accepts(KindNil) {
+		t.Error("string slot should accept nil")
+	}
+	if TypeBool.Accepts(KindNil) {
+		t.Error("bool slot should not accept nil")
+	}
+	w := TypeFloat.Widen(Int(3))
+	if w.Kind() != KindFloat || !w.Equal(Float(3)) {
+		t.Errorf("Widen(3) = %v", w)
+	}
+	// Widen passes non-matching kinds through untouched.
+	if got := TypeFloat.Widen(Str("x")); got.Kind() != KindString {
+		t.Errorf("Widen(str) = %v", got)
+	}
+	var nilType *Type
+	if !nilType.Accepts(KindInt) {
+		t.Error("nil type should accept anything")
+	}
+}
+
+func TestTypeZero(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		want Value
+	}{
+		{TypeInt, Int(0)},
+		{TypeFloat, Float(0)},
+		{TypeString, Str("")},
+		{TypeBool, Bool(false)},
+		{TypeRef("X"), Nil},
+		{TypeTime, Time(0)},
+		{TypeList(TypeInt), List()},
+		{nil, Nil},
+	}
+	for _, c := range cases {
+		got := c.ty.Zero()
+		if !got.Equal(c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("Zero(%v) = %v, want %v", c.ty, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package value
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Type describes the static type of an attribute or parameter in a class
+// definition. Types are structural: two Types are compatible when their
+// kinds match (and, for refs, when the referenced class is the same or a
+// subclass — checked at the schema layer, which knows the hierarchy).
+type Type struct {
+	kind  Kind
+	class string // for KindRef: the class name; "" means "any object"
+	elem  *Type  // for KindList: the element type; nil means "any"
+}
+
+// Prebuilt scalar types.
+var (
+	TypeNil    = &Type{kind: KindNil}
+	TypeBool   = &Type{kind: KindBool}
+	TypeInt    = &Type{kind: KindInt}
+	TypeFloat  = &Type{kind: KindFloat}
+	TypeString = &Type{kind: KindString}
+	TypeTime   = &Type{kind: KindTime}
+	TypeAnyRef = &Type{kind: KindRef}
+)
+
+// TypeRef returns the type of references to instances of the named class
+// (or its subclasses).
+func TypeRef(class string) *Type { return &Type{kind: KindRef, class: class} }
+
+// TypeList returns the type of lists whose elements have type elem (nil for
+// heterogeneous lists).
+func TypeList(elem *Type) *Type { return &Type{kind: KindList, elem: elem} }
+
+// Kind returns the type's kind.
+func (t *Type) Kind() Kind { return t.kind }
+
+// Class returns the referenced class name for ref types ("" otherwise or for
+// untyped refs).
+func (t *Type) Class() string { return t.class }
+
+// Elem returns the element type for list types (nil otherwise).
+func (t *Type) Elem() *Type { return t.elem }
+
+// String renders the type ("int", "ref<Employee>", "list<float>").
+func (t *Type) String() string {
+	if t == nil {
+		return "any"
+	}
+	switch t.kind {
+	case KindRef:
+		if t.class == "" {
+			return "ref"
+		}
+		return "ref<" + t.class + ">"
+	case KindList:
+		if t.elem == nil {
+			return "list"
+		}
+		return "list<" + t.elem.String() + ">"
+	default:
+		return t.kind.String()
+	}
+}
+
+// ParseType parses a type name as written in SentinelQL class definitions:
+// int, float, string, bool, time, ref, ClassName (a ref), list<T>.
+func ParseType(s string) (*Type, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "int":
+		return TypeInt, nil
+	case "float":
+		return TypeFloat, nil
+	case "string":
+		return TypeString, nil
+	case "bool":
+		return TypeBool, nil
+	case "time":
+		return TypeTime, nil
+	case "ref", "object":
+		return TypeAnyRef, nil
+	case "":
+		return nil, fmt.Errorf("value: empty type name")
+	}
+	if strings.HasPrefix(s, "list<") && strings.HasSuffix(s, ">") {
+		elem, err := ParseType(s[len("list<") : len(s)-1])
+		if err != nil {
+			return nil, err
+		}
+		return TypeList(elem), nil
+	}
+	if strings.ContainsAny(s, "<>() \t") {
+		return nil, fmt.Errorf("value: malformed type %q", s)
+	}
+	// Any other identifier names a class.
+	return TypeRef(s), nil
+}
+
+// Accepts reports whether a value of dynamic kind k is directly assignable
+// to the type without knowledge of the class hierarchy. Nil is assignable to
+// refs, strings, and lists (reference-like types). Ints are assignable to
+// float-typed slots (widening); the schema layer performs the widening.
+func (t *Type) Accepts(k Kind) bool {
+	if t == nil {
+		return true
+	}
+	if k == KindNil && (t.kind == KindRef || t.kind == KindString || t.kind == KindList) {
+		return true
+	}
+	if t.kind == KindFloat && k == KindInt {
+		return true
+	}
+	return t.kind == k
+}
+
+// Widen converts v for storage into a slot of this type: ints widen to
+// floats when the slot is float-typed; everything else passes through.
+func (t *Type) Widen(v Value) Value {
+	if t != nil && t.kind == KindFloat && v.kind == KindInt {
+		return Float(float64(int64(v.num)))
+	}
+	return v
+}
+
+// Zero returns the default value for the type: 0, 0.0, "", false, nil ref,
+// empty list, t0.
+func (t *Type) Zero() Value {
+	if t == nil {
+		return Nil
+	}
+	switch t.kind {
+	case KindBool:
+		return Bool(false)
+	case KindInt:
+		return Int(0)
+	case KindFloat:
+		return Float(0)
+	case KindString:
+		return Str("")
+	case KindRef:
+		return Nil
+	case KindTime:
+		return Time(0)
+	case KindList:
+		return List()
+	default:
+		return Nil
+	}
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,355 @@
+// Package value implements the dynamic value system used for object
+// attributes, method parameters, and event parameters throughout the
+// database.
+//
+// Sentinel objects are instances of runtime-defined classes, so attribute
+// values cannot be static Go types; Value is a small tagged union covering
+// the types the paper's examples use (ints, floats, strings, booleans,
+// object references, timestamps) plus lists. Values are immutable: mutating
+// an attribute replaces the Value stored in the slot.
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sentinel/internal/oid"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The value kinds.
+const (
+	KindNil Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindRef  // reference to another object, by OID
+	KindTime // logical timestamp
+	KindList
+)
+
+// String returns the lower-case name of the kind ("int", "ref", ...).
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindRef:
+		return "ref"
+	case KindTime:
+		return "time"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed database value. The zero Value is Nil.
+type Value struct {
+	kind Kind
+	num  uint64 // bool, int, float (bits), ref, time
+	str  string
+	list []Value
+}
+
+// Nil is the null value.
+var Nil = Value{}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, num: floatBits(f)} }
+
+// String_ returns a string value. (Named with a trailing underscore because
+// String is the Stringer method.)
+func String_(s string) Value { return Value{kind: KindString, str: s} }
+
+// Str is an alias for String_ and the preferred constructor name.
+func Str(s string) Value { return String_(s) }
+
+// Ref returns an object-reference value.
+func Ref(o oid.OID) Value { return Value{kind: KindRef, num: uint64(o)} }
+
+// Time returns a logical-timestamp value.
+func Time(t uint64) Value { return Value{kind: KindTime, num: t} }
+
+// List returns a list value holding the given elements. The slice is not
+// copied; callers must not mutate it afterwards.
+func List(elems ...Value) Value { return Value{kind: KindList, list: elems} }
+
+// Kind returns the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is the null value.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// AsBool returns the boolean payload; ok is false if the kind differs.
+func (v Value) AsBool() (b bool, ok bool) {
+	if v.kind != KindBool {
+		return false, false
+	}
+	return v.num != 0, true
+}
+
+// AsInt returns the integer payload; ok is false if the kind differs.
+func (v Value) AsInt() (int64, bool) {
+	if v.kind != KindInt {
+		return 0, false
+	}
+	return int64(v.num), true
+}
+
+// AsFloat returns the float payload; ok is false if the kind differs.
+func (v Value) AsFloat() (float64, bool) {
+	if v.kind != KindFloat {
+		return 0, false
+	}
+	return floatFromBits(v.num), true
+}
+
+// AsString returns the string payload; ok is false if the kind differs.
+func (v Value) AsString() (string, bool) {
+	if v.kind != KindString {
+		return "", false
+	}
+	return v.str, true
+}
+
+// AsRef returns the OID payload; ok is false if the kind differs.
+func (v Value) AsRef() (oid.OID, bool) {
+	if v.kind != KindRef {
+		return oid.Nil, false
+	}
+	return oid.OID(v.num), true
+}
+
+// AsTime returns the timestamp payload; ok is false if the kind differs.
+func (v Value) AsTime() (uint64, bool) {
+	if v.kind != KindTime {
+		return 0, false
+	}
+	return v.num, true
+}
+
+// AsList returns the list payload; ok is false if the kind differs. The
+// returned slice must not be mutated.
+func (v Value) AsList() ([]Value, bool) {
+	if v.kind != KindList {
+		return nil, false
+	}
+	return v.list, true
+}
+
+// MustBool is AsBool that panics on kind mismatch; for tests and internal
+// call sites that have already type-checked.
+func (v Value) MustBool() bool { b, ok := v.AsBool(); mustOK(ok, v, KindBool); return b }
+
+// MustInt is AsInt that panics on kind mismatch.
+func (v Value) MustInt() int64 { i, ok := v.AsInt(); mustOK(ok, v, KindInt); return i }
+
+// MustFloat is AsFloat that panics on kind mismatch.
+func (v Value) MustFloat() float64 { f, ok := v.AsFloat(); mustOK(ok, v, KindFloat); return f }
+
+// MustString is AsString that panics on kind mismatch.
+func (v Value) MustString() string { s, ok := v.AsString(); mustOK(ok, v, KindString); return s }
+
+// MustRef is AsRef that panics on kind mismatch.
+func (v Value) MustRef() oid.OID { r, ok := v.AsRef(); mustOK(ok, v, KindRef); return r }
+
+func mustOK(ok bool, v Value, want Kind) {
+	if !ok {
+		panic(fmt.Sprintf("value: %s is not %s", v.kind, want))
+	}
+}
+
+// Numeric reports whether the value is an int or a float, and returns it
+// widened to float64.
+func (v Value) Numeric() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(int64(v.num)), true
+	case KindFloat:
+		return floatFromBits(v.num), true
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether the value counts as true in a condition: non-false
+// bool, non-zero number, non-empty string or list, non-nil ref. Nil is false.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindNil:
+		return false
+	case KindBool:
+		return v.num != 0
+	case KindInt:
+		return int64(v.num) != 0
+	case KindFloat:
+		return floatFromBits(v.num) != 0
+	case KindString:
+		return v.str != ""
+	case KindRef:
+		return oid.OID(v.num) != oid.Nil
+	case KindTime:
+		return true
+	case KindList:
+		return len(v.list) > 0
+	default:
+		return false
+	}
+}
+
+// Equal reports deep equality. Int and Float compare equal across kinds when
+// numerically equal (3 == 3.0), matching the expression language.
+func (v Value) Equal(w Value) bool {
+	if (v.kind == KindInt || v.kind == KindFloat) && (w.kind == KindInt || w.kind == KindFloat) {
+		a, _ := v.Numeric()
+		b, _ := w.Numeric()
+		return a == b
+	}
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNil:
+		return true
+	case KindString:
+		return v.str == w.str
+	case KindList:
+		if len(v.list) != len(w.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(w.list[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return v.num == w.num
+	}
+}
+
+// Compare orders two values. It returns a negative, zero, or positive int
+// like strings.Compare. Values of different kinds order by kind; numbers
+// compare numerically across int/float. Comparing lists compares
+// element-wise. The error is non-nil for incomparable kinds paired together
+// only when strict ordering is impossible (never, currently — kind order is
+// the fallback), so callers may ignore it; it exists for future richer types.
+func (v Value) Compare(w Value) int {
+	vn, vNum := v.Numeric()
+	wn, wNum := w.Numeric()
+	if vNum && wNum {
+		switch {
+		case vn < wn:
+			return -1
+		case vn > wn:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != w.kind {
+		return int(v.kind) - int(w.kind)
+	}
+	switch v.kind {
+	case KindNil:
+		return 0
+	case KindString:
+		return strings.Compare(v.str, w.str)
+	case KindList:
+		n := min(len(v.list), len(w.list))
+		for i := 0; i < n; i++ {
+			if c := v.list[i].Compare(w.list[i]); c != 0 {
+				return c
+			}
+		}
+		return len(v.list) - len(w.list)
+	default:
+		switch {
+		case v.num < w.num:
+			return -1
+		case v.num > w.num:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// String renders the value for debugging and the shell.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		return strconv.FormatFloat(floatFromBits(v.num), 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindRef:
+		return oid.OID(v.num).String()
+	case KindTime:
+		return "t" + strconv.FormatUint(v.num, 10)
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.kind))
+	}
+}
+
+// Append returns a new list value with elem appended. It panics if v is not
+// a list or nil (nil is treated as the empty list).
+func (v Value) Append(elem Value) Value {
+	switch v.kind {
+	case KindNil:
+		return List(elem)
+	case KindList:
+		out := make([]Value, len(v.list)+1)
+		copy(out, v.list)
+		out[len(v.list)] = elem
+		return Value{kind: KindList, list: out}
+	default:
+		panic(fmt.Sprintf("value: Append on %s", v.kind))
+	}
+}
+
+// SortRefs sorts a slice of OIDs in place; a helper for deterministic
+// iteration over reference sets.
+func SortRefs(refs []oid.OID) {
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+}

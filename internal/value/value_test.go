@@ -1,0 +1,252 @@
+package value
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sentinel/internal/oid"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Nil, KindNil},
+		{Bool(true), KindBool},
+		{Int(-7), KindInt},
+		{Float(3.25), KindFloat},
+		{Str("hi"), KindString},
+		{Ref(oid.OID(9)), KindRef},
+		{Time(100), KindTime},
+		{List(Int(1), Str("a")), KindList},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Error("AsBool(true) failed")
+	}
+	if i, ok := Int(-7).AsInt(); !ok || i != -7 {
+		t.Error("AsInt(-7) failed")
+	}
+	if f, ok := Float(3.25).AsFloat(); !ok || f != 3.25 {
+		t.Error("AsFloat(3.25) failed")
+	}
+	if s, ok := Str("hi").AsString(); !ok || s != "hi" {
+		t.Error("AsString failed")
+	}
+	if r, ok := Ref(9).AsRef(); !ok || r != 9 {
+		t.Error("AsRef failed")
+	}
+	if ts, ok := Time(100).AsTime(); !ok || ts != 100 {
+		t.Error("AsTime failed")
+	}
+	if l, ok := List(Int(1)).AsList(); !ok || len(l) != 1 {
+		t.Error("AsList failed")
+	}
+	// Cross-kind accessors fail.
+	if _, ok := Int(1).AsBool(); ok {
+		t.Error("Int.AsBool should fail")
+	}
+	if _, ok := Str("x").AsInt(); ok {
+		t.Error("Str.AsInt should fail")
+	}
+}
+
+func TestMustAccessorsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInt on a string did not panic")
+		}
+	}()
+	Str("x").MustInt()
+}
+
+func TestNumericWidening(t *testing.T) {
+	if f, ok := Int(4).Numeric(); !ok || f != 4.0 {
+		t.Errorf("Int(4).Numeric() = %v, %v", f, ok)
+	}
+	if f, ok := Float(2.5).Numeric(); !ok || f != 2.5 {
+		t.Errorf("Float(2.5).Numeric() = %v, %v", f, ok)
+	}
+	if _, ok := Str("4").Numeric(); ok {
+		t.Error("Str.Numeric() should fail")
+	}
+}
+
+func TestEqualCrossNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("3 != 3.0")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("3 == 3.5")
+	}
+	if Int(3).Equal(Str("3")) {
+		t.Error("3 == \"3\"")
+	}
+	if !List(Int(1), Int(2)).Equal(List(Float(1), Int(2))) {
+		t.Error("[1,2] != [1.0,2]")
+	}
+	if List(Int(1)).Equal(List(Int(1), Int(2))) {
+		t.Error("[1] == [1,2]")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int // sign
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Float(2.5), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{List(Int(1)), List(Int(1), Int(0)), -1},
+		{List(Int(2)), List(Int(1), Int(9)), 1},
+		{Time(5), Time(9), -1},
+		{Ref(3), Ref(3), 0},
+	}
+	for _, c := range cases {
+		got := c.a.Compare(c.b)
+		if sign(got) != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want sign %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return sign(va.Compare(vb)) == -sign(vb.Compare(va))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		va, vb := Float(a), Float(b)
+		return sign(va.Compare(vb)) == -sign(vb.Compare(va))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualReflexiveProperty(t *testing.T) {
+	f := func(s string, i int64, fl float64) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		vs := []Value{Str(s), Int(i), Float(fl), List(Str(s), Int(i))}
+		for _, v := range vs {
+			if !v.Equal(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []Value{Bool(true), Int(1), Int(-1), Float(0.1), Str("x"), Ref(1), Time(0), List(Int(0))}
+	falsy := []Value{Nil, Bool(false), Int(0), Float(0), Str(""), List()}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestAppend(t *testing.T) {
+	l := List(Int(1))
+	l2 := l.Append(Int(2))
+	if got, _ := l.AsList(); len(got) != 1 {
+		t.Error("Append mutated the original list")
+	}
+	if got, _ := l2.AsList(); len(got) != 2 || !got[1].Equal(Int(2)) {
+		t.Errorf("Append result wrong: %v", l2)
+	}
+	// Appending to nil yields a singleton list.
+	n := Nil.Append(Str("a"))
+	if got, _ := n.AsList(); len(got) != 1 {
+		t.Errorf("Nil.Append = %v", n)
+	}
+}
+
+func TestAppendPanicsOnScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append on an int did not panic")
+		}
+	}()
+	Int(1).Append(Int(2))
+}
+
+func TestString(t *testing.T) {
+	cases := map[string]Value{
+		"nil":        Nil,
+		"true":       Bool(true),
+		"-3":         Int(-3),
+		"2.5":        Float(2.5),
+		`"hi"`:       Str("hi"),
+		"oid:4":      Ref(4),
+		"t9":         Time(9),
+		"[1, \"a\"]": List(Int(1), Str("a")),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%#v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNil: "nil", KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindRef: "ref", KindTime: "time", KindList: "list",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should render its number")
+	}
+}
+
+func TestSortRefs(t *testing.T) {
+	refs := []oid.OID{5, 1, 9, 3}
+	SortRefs(refs)
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1] > refs[i] {
+			t.Fatalf("not sorted: %v", refs)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package wal implements the write-ahead log that gives the object store
+// durability and atomic commit.
+//
+// The design is redo-only logical logging keyed by OID:
+//
+//   - While a transaction runs, its writes stay in memory (no-steal): the
+//     heap file never contains uncommitted data.
+//   - At commit, one Update/Delete record per touched object is appended,
+//     followed by a Commit record, then the log is synced. The heap is
+//     updated after logging (no-force for pages; force for the log).
+//   - A Checkpoint record means "every committed effect up to this point is
+//     in the heap file"; recovery replays only committed transactions that
+//     appear after the last checkpoint.
+//
+// Records are CRC-framed; a torn tail (partial final record, bad CRC) is
+// treated as the end of the log, which is the standard contract for
+// crash-interrupted appends.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"sentinel/internal/oid"
+)
+
+// RecordType tags a log record.
+type RecordType uint8
+
+// The record types.
+const (
+	RecUpdate     RecordType = iota + 1 // object write: OID + image
+	RecDelete                           // object delete: OID
+	RecCommit                           // transaction commit marker
+	RecAbort                            // transaction abort marker (informational)
+	RecCheckpoint                       // all prior committed effects are in the heap
+)
+
+// Record is one log entry.
+type Record struct {
+	Type RecordType
+	Tx   uint64
+	OID  oid.OID
+	Data []byte // object image for RecUpdate; nil otherwise
+}
+
+// frame: len:uint32 | crc:uint32 | payload
+// payload: type:uint8 | tx:uvarint | oid:uvarint | dataLen:uvarint | data
+
+const frameHeader = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only write-ahead log backed by a file. All methods are
+// safe for concurrent use: commits from different transactions serialize on
+// the log so record frames never interleave.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	size int64
+	sync syncState // group-commit state (see SyncBarrier)
+}
+
+// Open opens (or creates) the log at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat: %w", err)
+	}
+	return &Log{f: f, path: path, size: st.Size()}, nil
+}
+
+// Close closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// Append writes one record at the end of the log (buffered by the OS; call
+// Sync to force durability).
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(r)
+}
+
+func (l *Log) appendLocked(r Record) error {
+	payload := appendPayload(nil, r)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(frameHeader + len(payload))
+	return nil
+}
+
+// AppendBatch writes several records with a single buffered write.
+func (l *Log) AppendBatch(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf []byte
+	for _, r := range recs {
+		payload := appendPayload(nil, r)
+		var hdr [frameHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append batch: %w", err)
+	}
+	l.size += int64(len(buf))
+	return nil
+}
+
+// Sync forces the log to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Truncate atomically replaces the log with one containing only a
+// checkpoint record. Called after the heap has been flushed and synced.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp := l.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	nl := &Log{f: nf, path: tmp}
+	if err := nl.appendLocked(Record{Type: RecCheckpoint}); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: truncate close: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		nf.Close()
+		return fmt.Errorf("wal: truncate rename: %w", err)
+	}
+	l.f = nf
+	l.size = nl.size
+	// The file was replaced: reset the group-commit high-water mark so
+	// stale offsets from the old file cannot satisfy new barriers.
+	l.sync.mu.Lock()
+	l.sync.syncedTo = 0
+	l.sync.mu.Unlock()
+	return nil
+}
+
+// Replay scans the whole log and invokes fn for every record, in order. A
+// torn or corrupt tail ends the scan without error. Replay leaves the write
+// offset at the end of the valid prefix so subsequent Appends overwrite any
+// torn tail.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: replay seek: %w", err)
+	}
+	var off int64
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(l.f, hdr); err != nil {
+			break // clean EOF or torn header: end of valid prefix
+		}
+		ln := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if ln > 1<<30 {
+			break
+		}
+		payload := make([]byte, ln)
+		if _, err := io.ReadFull(l.f, payload); err != nil {
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += int64(frameHeader) + int64(ln)
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: replay reset: %w", err)
+	}
+	if err := l.f.Truncate(off); err != nil {
+		return fmt.Errorf("wal: drop torn tail: %w", err)
+	}
+	l.size = off
+	l.sync.mu.Lock()
+	if l.sync.syncedTo > off {
+		l.sync.syncedTo = off
+	}
+	l.sync.mu.Unlock()
+	return nil
+}
+
+func appendPayload(buf []byte, r Record) []byte {
+	buf = append(buf, byte(r.Type))
+	buf = binary.AppendUvarint(buf, r.Tx)
+	buf = binary.AppendUvarint(buf, uint64(r.OID))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+	buf = append(buf, r.Data...)
+	return buf
+}
+
+func decodePayload(buf []byte) (Record, error) {
+	if len(buf) < 1 {
+		return Record{}, fmt.Errorf("wal: empty payload")
+	}
+	r := Record{Type: RecordType(buf[0])}
+	buf = buf[1:]
+	tx, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return Record{}, fmt.Errorf("wal: bad tx field")
+	}
+	buf = buf[n:]
+	o, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return Record{}, fmt.Errorf("wal: bad oid field")
+	}
+	buf = buf[n:]
+	dl, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < dl {
+		return Record{}, fmt.Errorf("wal: bad data field")
+	}
+	r.Tx = tx
+	r.OID = oid.OID(o)
+	if dl > 0 {
+		r.Data = append([]byte(nil), buf[n:n+int(dl)]...)
+	}
+	return r, nil
+}
+
+// Group commit: concurrent committers that all need durability share one
+// fsync. SyncBarrier returns once every byte appended before the call is on
+// stable storage; under concurrency one caller becomes the leader and
+// fsyncs for the whole group while the others wait.
+
+type syncState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	syncing  bool
+	syncedTo int64
+}
+
+func (l *Log) syncStateInit() {
+	if l.sync.cond == nil {
+		l.sync.cond = sync.NewCond(&l.sync.mu)
+	}
+}
+
+// SyncBarrier blocks until everything appended before the call is durable,
+// performing at most one fsync per waiting group.
+func (l *Log) SyncBarrier() error {
+	l.mu.Lock()
+	target := l.size
+	l.mu.Unlock()
+
+	s := &l.sync
+	s.mu.Lock()
+	l.syncStateInit()
+	for {
+		if s.syncedTo >= target {
+			s.mu.Unlock()
+			return nil
+		}
+		if !s.syncing {
+			break // become the leader
+		}
+		s.cond.Wait()
+	}
+	s.syncing = true
+	s.mu.Unlock()
+
+	// Leader: capture the current end of log, fsync, publish.
+	l.mu.Lock()
+	flushedTo := l.size
+	l.mu.Unlock()
+	err := l.fsync()
+
+	s.mu.Lock()
+	if err == nil && flushedTo > s.syncedTo {
+		s.syncedTo = flushedTo
+	}
+	s.syncing = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return err
+}
+
+func (l *Log) fsync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package sentinel_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"sentinel"
+)
+
+// TestFacadeEndToEnd exercises the public API surface: open, define a
+// schema in SentinelQL, build an event programmatically, attach a Go rule,
+// drive it, inspect stats.
+func TestFacadeEndToEnd(t *testing.T) {
+	db := sentinel.MustOpen(sentinel.Options{Output: io.Discard})
+	defer db.Close()
+
+	if err := db.Exec(`
+		class Sensor reactive persistent {
+			attr name string
+			attr reading float
+			event end method Report(v float) { self.reading := v }
+		}
+		bind S1 new Sensor(name: "s1")
+	`); err != nil {
+		t.Fatal(err)
+	}
+	s1, ok := db.Lookup("S1")
+	if !ok {
+		t.Fatal("binding missing")
+	}
+
+	// Programmatic event construction mirrors the paper's
+	// `new Primitive(...)` / `new Sequence(...)` API (§4.6).
+	ev := sentinel.SeqEvent(
+		sentinel.Primitive(sentinel.End, "Sensor", "Report"),
+		sentinel.Primitive(sentinel.End, "Sensor", "Report"),
+	)
+	var pairs int
+	err := db.Atomically(func(tx *sentinel.Tx) error {
+		r, err := db.CreateRule(tx, sentinel.RuleSpec{
+			Name:  "pairwise",
+			Event: ev,
+			Condition: func(ctx sentinel.ExecContext, det sentinel.Detection) (bool, error) {
+				return det.First().Args[0].MustFloat() < det.Last().Args[0].MustFloat(), nil
+			},
+			Action: func(ctx sentinel.ExecContext, det sentinel.Detection) error {
+				pairs++
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, s1, r.ID())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, v := range []float64{1, 2, 5, 3} {
+		if err := db.Exec(fmt.Sprintf(`S1!Report(%v)`, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every Report is both a potential initiator and terminator; under the
+	// paper context the Seq pairs consecutive readings: (1,2) rising →
+	// fire, (2,5) rising → fire, (5,3) falling → condition false.
+	if pairs != 2 {
+		t.Fatalf("pairs = %d, want 2", pairs)
+	}
+
+	st := db.Stats()
+	if st.Sends == 0 || st.EventsRaised == 0 || st.RulesDefined != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if sentinel.IsAbort(fmt.Errorf("nope")) {
+		t.Fatal("IsAbort misfires")
+	}
+}
+
+// ExampleDatabase_Exec demonstrates the SentinelQL surface: a reactive
+// class, a guard rule, and the abort path.
+func ExampleDatabase_Exec() {
+	db := sentinel.MustOpen(sentinel.Options{})
+	defer db.Close()
+
+	_ = db.Exec(`
+		class Account reactive persistent {
+			attr balance float
+			event begin method Withdraw(amount float) {
+				self.balance := self.balance - amount
+			}
+		}
+		rule NoOverdraft for Account on begin Account::Withdraw(float amount)
+			if amount > self.balance then abort "insufficient funds"
+		bind Acct new Account(balance: 100.0)
+	`)
+	if err := db.Exec(`Acct!Withdraw(250.0)`); sentinel.IsAbort(err) {
+		fmt.Println("withdrawal blocked")
+	}
+	v, _ := db.Eval(`Acct.balance`)
+	fmt.Println("balance:", v)
+	// Output:
+	// withdrawal blocked
+	// balance: 100
+}
+
+// ExampleDatabase_CreateRule shows a rule built from Go with an event
+// spanning two objects of different classes.
+func ExampleDatabase_CreateRule() {
+	db := sentinel.MustOpen(sentinel.Options{})
+	defer db.Close()
+
+	_ = db.Exec(`
+		class Stock reactive { attr price float
+			event end method SetPrice(p float) { self.price := p } }
+		class Index reactive { attr v float
+			event end method SetValue(x float) { self.v := x } }
+		bind IBM new Stock()
+		bind Dow new Index()
+	`)
+	ibm, _ := db.Lookup("IBM")
+	dow, _ := db.Lookup("Dow")
+
+	_ = db.Atomically(func(tx *sentinel.Tx) error {
+		r, _ := db.CreateRule(tx, sentinel.RuleSpec{
+			Name: "both",
+			Event: sentinel.AndEvent(
+				sentinel.Primitive(sentinel.End, "Stock", "SetPrice"),
+				sentinel.Primitive(sentinel.End, "Index", "SetValue"),
+			),
+			Action: func(ctx sentinel.ExecContext, det sentinel.Detection) error {
+				fmt.Println("conjunction detected across", len(det.Constituents), "objects")
+				return nil
+			},
+		})
+		_ = db.Subscribe(tx, ibm, r.ID())
+		return db.Subscribe(tx, dow, r.ID())
+	})
+
+	_ = db.Exec(`IBM!SetPrice(75.0)`)
+	_ = db.Exec(`Dow!SetValue(10100.0)`)
+	// Output:
+	// conjunction detected across 2 objects
+}
