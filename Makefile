@@ -1,0 +1,35 @@
+# Development entry points. `make check` is the tier-1 verification flow
+# (build, vet, tests); `make race` adds the race detector over the
+# concurrency-sensitive packages; `make bench` produces the fast-path
+# benchmark artifact BENCH_1.json (with BENCH_0.json, the pre-fast-path
+# seed measurements, embedded as the baseline).
+
+GO ?= go
+
+.PHONY: all build vet test check race bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/...
+
+# Raise-path benchmarks: P1 (N rules), P8 (event-interface selectivity),
+# P11 (parallel sends), plus the machine-readable JSON suite.
+bench:
+	$(GO) test -bench 'BenchmarkP1SubscriptionVsCentralized|BenchmarkP8InterfaceSelectivity|BenchmarkP11ParallelSend' -benchmem -run '^$$' .
+	$(GO) run ./cmd/sentinel-bench -json BENCH_1.json -baseline BENCH_0.json
+
+clean:
+	$(GO) clean
+	rm -f sentinel.test

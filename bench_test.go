@@ -7,6 +7,7 @@ package sentinel_test
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 	"testing"
 
 	"sentinel"
@@ -440,6 +441,68 @@ func BenchmarkP8InterfaceSelectivity(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkP11ParallelSend: concurrent transactions raising events, scaling
+// with GOMAXPROCS. The consumer-resolution cache and the reader/writer
+// catalog lock mean propagation takes no exclusive database-wide lock, so
+// disjoint-object throughput should rise near-linearly with parallelism;
+// the shared variant adds strict-2PL object-lock contention on top and
+// bounds the benefit.
+func BenchmarkP11ParallelSend(b *testing.B) {
+	setup := func(b *testing.B, stocks int) (*core.Database, *bench.Market) {
+		db, m := marketDB(b, stocks)
+		if err := db.Atomically(func(t *core.Tx) error {
+			_, err := db.CreateRule(t, core.RuleSpec{
+				Name: "watch", EventSrc: "end Stock::SetPrice(float p)",
+				Condition: noCond, ClassLevel: "Stock",
+			})
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+		return db, m
+	}
+	b.Run("disjoint", func(b *testing.B) {
+		// Each goroutine owns one stock: no object-lock contention, pure
+		// propagation-path parallelism.
+		const stocks = 512
+		db, m := setup(b, stocks)
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			id := m.Stocks[int(next.Add(1)-1)%stocks]
+			for pb.Next() {
+				if err := db.Atomically(func(t *core.Tx) error {
+					_, err := db.Send(t, id, "SetPrice", sentinel.Float(1))
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("shared", func(b *testing.B) {
+		// All goroutines draw from the same 8 stocks: transactions collide
+		// on object locks and the cache entries are shared across CPUs.
+		const stocks = 8
+		db, m := setup(b, stocks)
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				id := m.Stocks[int(next.Add(1)-1)%stocks]
+				if err := db.Atomically(func(t *core.Tx) error {
+					_, err := db.Send(t, id, "SetPrice", sentinel.Float(1))
+					return err
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkSalaryCheck (E1): the §5.1 rule enforced per update, in all

@@ -1,0 +1,186 @@
+package main
+
+// JSON benchmark mode (-json): machine-readable measurements of the
+// event-propagation fast path, for tracking regressions across commits.
+// The suite mirrors the raise-path rows of P1/P2/P8 in bench_test.go plus
+// the parallel-send benchmarks, runs them through testing.Benchmark with
+// allocation reporting, and writes one JSON document. An optional
+// -baseline file (a previous run, or a hand-recorded snapshot) is embedded
+// verbatim so before/after lives in a single artifact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/rule"
+	"sentinel/internal/value"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	Commit      string          `json:"commit,omitempty"`
+	GoMaxProcs  int             `json:"gomaxprocs"`
+	GoVersion   string          `json:"go_version"`
+	Note        string          `json:"note,omitempty"`
+	Results     []benchResult   `json:"results"`
+	Baseline    json.RawMessage `json:"baseline,omitempty"`
+}
+
+func jsonNoCond(rule.ExecContext, event.Detection) (bool, error) { return false, nil }
+
+// marketWithRules builds a quiet market database with n watcher rules
+// subscribed round-robin over the stocks (the P1 "sentinel" shape).
+func marketWithRules(stocks, n int) (*core.Database, *bench.Market) {
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	if err := bench.InstallMarketSchema(db); err != nil {
+		panic(err)
+	}
+	m, err := bench.BuildMarket(db, stocks, 0)
+	if err != nil {
+		panic(err)
+	}
+	if err := db.Atomically(func(t *core.Tx) error {
+		for i := 0; i < n; i++ {
+			r, err := db.CreateRule(t, core.RuleSpec{
+				Name:      fmt.Sprintf("w%d", i),
+				EventSrc:  "end Stock::SetPrice(float p)",
+				Condition: jsonNoCond,
+			})
+			if err != nil {
+				return err
+			}
+			if err := db.Subscribe(t, m.Stocks[i%stocks], r.ID()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	return db, m
+}
+
+// jsonBenchSuite enumerates the fast-path benchmarks measured in -json mode.
+func jsonBenchSuite() []struct {
+	name string
+	fn   func(*testing.B)
+} {
+	sendLoop := func(rules int) func(*testing.B) {
+		return func(b *testing.B) {
+			db, m := marketWithRules(100, rules)
+			tx := db.Begin()
+			defer db.Abort(tx)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Send(tx, m.Stocks[0], "SetPrice", value.Float(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	parallelLoop := func(stocks int, perGoroutine bool) func(*testing.B) {
+		return func(b *testing.B) {
+			db, m := marketWithRules(stocks, 0)
+			if err := db.Atomically(func(t *core.Tx) error {
+				_, err := db.CreateRule(t, core.RuleSpec{
+					Name: "watch", EventSrc: "end Stock::SetPrice(float p)",
+					Condition: jsonNoCond, ClassLevel: "Stock",
+				})
+				return err
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := m.Stocks[int(next.Add(1)-1)%stocks]
+				for pb.Next() {
+					if !perGoroutine {
+						id = m.Stocks[int(next.Add(1)-1)%stocks]
+					}
+					if err := db.Atomically(func(t *core.Tx) error {
+						_, err := db.Send(t, id, "SetPrice", value.Float(1))
+						return err
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	return []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"raise/rules=10", sendLoop(10)},
+		{"raise/rules=100", sendLoop(100)},
+		{"raise/rules=1000", sendLoop(1000)},
+		{"raise/no-consumers", func(b *testing.B) {
+			db, m := marketWithRules(1, 0)
+			tx := db.Begin()
+			defer db.Abort(tx)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Send(tx, m.Stocks[0], "SetPrice", value.Float(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"parallel/disjoint", parallelLoop(512, true)},
+		{"parallel/shared", parallelLoop(8, false)},
+	}
+}
+
+// runJSONBench executes the suite and writes the report to path.
+func runJSONBench(path, baselinePath string) error {
+	rep := benchReport{
+		GeneratedBy: "sentinel-bench -json",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+	}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("baseline %s: not valid JSON", baselinePath)
+		}
+		rep.Baseline = json.RawMessage(raw)
+	}
+	for _, bm := range jsonBenchSuite() {
+		r := testing.Benchmark(bm.fn)
+		rep.Results = append(rep.Results, benchResult{
+			Name:        bm.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			bm.name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

@@ -8,6 +8,8 @@
 //	sentinel-bench                 # run everything
 //	sentinel-bench -exp P1,E1      # run a subset
 //	sentinel-bench -quick          # reduced sizes (CI-friendly)
+//	sentinel-bench -json BENCH_1.json [-baseline BENCH_0.json]
+//	                               # machine-readable fast-path benchmarks
 package main
 
 import (
@@ -22,7 +24,17 @@ import (
 func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids (E1,E2,P1..P8,C1) or 'all'")
 	quick := flag.Bool("quick", false, "run at reduced sizes")
+	jsonOut := flag.String("json", "", "write fast-path benchmark results to this JSON file and exit")
+	baseline := flag.String("baseline", "", "embed this JSON file as the baseline in -json output")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runJSONBench(*jsonOut, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := struct {
 		p1Sizes    []int

@@ -136,12 +136,18 @@ func (db *Database) applyRuleEnabled(ctx schema.CallContext, enabled bool) error
 	} else {
 		r.Disable()
 	}
+	// Enabled-ness is checked inside Notify, so cached consumer sets stay
+	// correct either way; the bump keeps the epoch a complete record of
+	// every rule-state transition (and lets future consumers-side
+	// filtering rely on it).
+	db.bumpConsumerEpoch()
 	fr.tx.inner.OnUndo(func() {
 		if was {
 			r.Enable()
 		} else {
 			r.Disable()
 		}
+		db.bumpConsumerEpoch()
 	})
 	return ctx.Set("enabled", value.Bool(enabled))
 }

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+)
+
+// Consumer-resolution cache. The paper's performance argument (§3.5) is
+// that per-object subscription makes propagation cheap: a raise should cost
+// what the *consumers of this object* cost, not what the whole rule base
+// costs. The naive implementation still re-derived the consumer set — walk
+// the instance subscriptions, walk the MRO for class-level rules, dedup
+// through a map — under the global catalog lock on every single raise.
+//
+// This cache memoizes that derivation. Validity is tracked by a single
+// monotonically increasing subscription epoch (db.subEpoch): every mutation
+// that can change any object's consumer set — Subscribe/Unsubscribe (rule
+// and func consumers), rule create/delete/enable/disable, object deletion,
+// schema evolution, recovery — bumps the epoch. A cache entry records the
+// epoch it was computed at; a raise whose entry matches the current epoch
+// returns the memoized slices with zero allocations and only shared locks
+// on the two small cache maps. On mismatch the entry is recomputed lazily.
+//
+// Entries are immutable once published (refreshes install a new entry), so
+// readers can use the slices without holding any lock; callers must not
+// mutate them.
+
+// consumerEntry memoizes one reactive object's full consumer set.
+type consumerEntry struct {
+	epoch uint64
+	rules []*rule.Rule
+	fns   []*FuncConsumer
+}
+
+// classConsumerEntry memoizes the class-level rules visible from one class
+// (its own and every MRO ancestor's), so computing a per-object entry does
+// not re-walk the MRO for each instance of a hot class.
+type classConsumerEntry struct {
+	epoch uint64
+	rules []*rule.Rule
+}
+
+// bumpConsumerEpoch invalidates every cached consumer set. Cheap (one
+// atomic add); staleness is resolved lazily at the next raise.
+func (db *Database) bumpConsumerEpoch() {
+	db.subEpoch.Add(1)
+}
+
+// dropConsumerEntry removes a deleted object's cache entry so the map does
+// not accumulate tombstones.
+func (db *Database) dropConsumerEntry(id oid.OID) {
+	db.ccMu.Lock()
+	delete(db.objConsumers, id)
+	db.ccMu.Unlock()
+}
+
+// consumersOf returns the notifiable consumers of a reactive object:
+// instance-level subscriptions (rules and Go callbacks, §3.5) plus
+// class-level rules over the MRO (§4.7). The common path is a cache hit:
+// epoch load + one shared-lock map read, no allocations. The returned
+// slices are shared and must not be mutated.
+func (db *Database) consumersOf(src *object.Object) ([]*rule.Rule, []*FuncConsumer) {
+	epoch := db.subEpoch.Load()
+	id := src.ID()
+	db.ccMu.RLock()
+	e := db.objConsumers[id]
+	db.ccMu.RUnlock()
+	if e != nil && e.epoch == epoch {
+		return e.rules, e.fns
+	}
+	return db.refreshConsumers(src, epoch)
+}
+
+// refreshConsumers recomputes and publishes an object's consumer entry at
+// the given epoch. If a mutation lands during the recomputation the stored
+// epoch is already stale and the next raise recomputes again — the entry
+// can under- or over-approximate only for raises concurrent with the
+// mutation, which have no ordering guarantee anyway.
+func (db *Database) refreshConsumers(src *object.Object, epoch uint64) ([]*rule.Rule, []*FuncConsumer) {
+	classRules := db.classConsumersOf(src, epoch)
+
+	id := src.ID()
+	db.mu.RLock()
+	instSubs := db.subs[id]
+	fns := db.funcConsumers[id]
+
+	var rules []*rule.Rule
+	if len(instSubs) == 0 {
+		// No instance subscriptions: the class-level slice is the whole
+		// rule set, shared as-is (entries are immutable).
+		rules = classRules
+	} else {
+		rules = make([]*rule.Rule, 0, len(instSubs)+len(classRules))
+		var seen map[oid.OID]bool
+		if len(instSubs) > 1 || len(classRules) > 0 {
+			seen = make(map[oid.OID]bool, len(instSubs)+len(classRules))
+		}
+		for _, rid := range instSubs {
+			if r := db.rules[rid]; r != nil && (seen == nil || !seen[rid]) {
+				if seen != nil {
+					seen[rid] = true
+				}
+				rules = append(rules, r)
+			}
+		}
+		for _, r := range classRules {
+			if !seen[r.ID()] {
+				seen[r.ID()] = true
+				rules = append(rules, r)
+			}
+		}
+	}
+	db.mu.RUnlock()
+
+	db.ccMu.Lock()
+	db.objConsumers[id] = &consumerEntry{epoch: epoch, rules: rules, fns: fns}
+	db.ccMu.Unlock()
+	return rules, fns
+}
+
+// classConsumersOf returns the deduplicated class-level rules for the
+// object's class, memoized per class name at the given epoch.
+func (db *Database) classConsumersOf(src *object.Object, epoch uint64) []*rule.Rule {
+	cls := src.Class()
+	db.ccMu.RLock()
+	ce := db.classConsumers[cls.Name]
+	db.ccMu.RUnlock()
+	if ce != nil && ce.epoch == epoch {
+		return ce.rules
+	}
+
+	db.mu.RLock()
+	var rules []*rule.Rule
+	var seen map[oid.OID]bool
+	for _, k := range cls.MRO() {
+		for _, r := range db.classRules[k.Name] {
+			if seen == nil {
+				seen = make(map[oid.OID]bool, 4)
+			}
+			if !seen[r.ID()] {
+				seen[r.ID()] = true
+				rules = append(rules, r)
+			}
+		}
+	}
+	db.mu.RUnlock()
+
+	db.ccMu.Lock()
+	db.classConsumers[cls.Name] = &classConsumerEntry{epoch: epoch, rules: rules}
+	db.ccMu.Unlock()
+	return rules
+}

@@ -96,7 +96,13 @@ type Database struct {
 	store *heap.Store // nil when in-memory
 	log   *wal.Log    // nil when in-memory
 
-	mu            sync.Mutex
+	// mu protects the runtime catalogs below. It is a reader/writer lock:
+	// the event hot path (consumer resolution, object lookup, strategy
+	// reads, stats snapshots) takes it shared, so concurrent transactions
+	// raising events do not serialize on catalog mutation locks. Lock
+	// hierarchy: fnMu (registry) → mu → ccMu → per-object txn locks; never
+	// acquire in the other direction.
+	mu            sync.RWMutex
 	objects       map[oid.OID]*object.Object
 	names         map[string]oid.OID
 	nameObjs      map[string]oid.OID
@@ -108,12 +114,27 @@ type Database struct {
 	funcConsumers map[oid.OID][]*FuncConsumer
 	namedEvents   map[string]*event.Expr
 	eventObjs     map[string]oid.OID
-	condFns       map[string]rule.Condition
-	actFns        map[string]rule.Action
 	dslClassSeq   int
 	indexes       map[idxKey]*index.Hash
 	indexObjs     map[idxKey]oid.OID
 	indexByClass  map[string][]*index.Hash
+
+	// fnMu guards the named condition/action function registries. They are
+	// written during schema setup and read when rules compile — never on
+	// the event hot path — so they get their own lock instead of riding on
+	// mu.
+	fnMu    sync.RWMutex
+	condFns map[string]rule.Condition
+	actFns  map[string]rule.Action
+
+	// Consumer-resolution cache (see consumers.go). subEpoch is bumped by
+	// every mutation that can change any object's consumer set; cache
+	// entries carry the epoch they were computed at and are lazily
+	// recomputed on mismatch.
+	subEpoch       atomic.Uint64
+	ccMu           sync.RWMutex
+	objConsumers   map[oid.OID]*consumerEntry
+	classConsumers map[string]*classConsumerEntry
 
 	// pendingClassRules queues class-level rule declarations registered
 	// before recovery completes; ready flips once Open finishes.
@@ -156,27 +177,29 @@ func Open(opts Options) (*Database, error) {
 		return nil, err
 	}
 	db := &Database{
-		opts:          opts,
-		reg:           schema.NewRegistry(),
-		tm:            txn.NewManager(),
-		alloc:         oid.NewAllocator(1),
-		objects:       make(map[oid.OID]*object.Object),
-		names:         make(map[string]oid.OID),
-		nameObjs:      make(map[string]oid.OID),
-		rules:         make(map[oid.OID]*rule.Rule),
-		rulesByName:   make(map[string]*rule.Rule),
-		subs:          make(map[oid.OID][]oid.OID),
-		subObjs:       make(map[subKey]oid.OID),
-		classRules:    make(map[string][]*rule.Rule),
-		funcConsumers: make(map[oid.OID][]*FuncConsumer),
-		namedEvents:   make(map[string]*event.Expr),
-		eventObjs:     make(map[string]oid.OID),
-		condFns:       make(map[string]rule.Condition),
-		actFns:        make(map[string]rule.Action),
-		indexes:       make(map[idxKey]*index.Hash),
-		indexObjs:     make(map[idxKey]oid.OID),
-		indexByClass:  make(map[string][]*index.Hash),
-		strategy:      strat,
+		opts:           opts,
+		reg:            schema.NewRegistry(),
+		tm:             txn.NewManager(),
+		alloc:          oid.NewAllocator(1),
+		objects:        make(map[oid.OID]*object.Object),
+		names:          make(map[string]oid.OID),
+		nameObjs:       make(map[string]oid.OID),
+		rules:          make(map[oid.OID]*rule.Rule),
+		rulesByName:    make(map[string]*rule.Rule),
+		subs:           make(map[oid.OID][]oid.OID),
+		subObjs:        make(map[subKey]oid.OID),
+		classRules:     make(map[string][]*rule.Rule),
+		funcConsumers:  make(map[oid.OID][]*FuncConsumer),
+		namedEvents:    make(map[string]*event.Expr),
+		eventObjs:      make(map[string]oid.OID),
+		condFns:        make(map[string]rule.Condition),
+		actFns:         make(map[string]rule.Action),
+		indexes:        make(map[idxKey]*index.Hash),
+		indexObjs:      make(map[idxKey]oid.OID),
+		indexByClass:   make(map[string][]*index.Hash),
+		objConsumers:   make(map[oid.OID]*consumerEntry),
+		classConsumers: make(map[string]*classConsumerEntry),
+		strategy:       strat,
 	}
 	if err := db.bootstrapSystemClasses(); err != nil {
 		return nil, err
@@ -258,14 +281,14 @@ func (db *Database) Close() error {
 
 // Stats returns a snapshot of the runtime counters.
 func (db *Database) Stats() Stats {
-	db.mu.Lock()
+	db.mu.RLock()
 	objs := len(db.objects)
 	rules := len(db.rules)
 	subsN := 0
 	for _, m := range db.subs {
 		subsN += len(m)
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	return Stats{
 		EventsRaised:  db.statEvents.Load(),
 		Notifications: db.statNotify.Load(),
@@ -296,6 +319,15 @@ func (db *Database) SetStrategy(name string) error {
 	return nil
 }
 
+// currentStrategy reads the conflict-resolution strategy under the shared
+// lock; raise resolves it once per immediate batch through this path.
+func (db *Database) currentStrategy() rule.Strategy {
+	db.mu.RLock()
+	s := db.strategy
+	db.mu.RUnlock()
+	return s
+}
+
 // hier adapts the schema registry to event.Hierarchy.
 type hier struct{ reg *schema.Registry }
 
@@ -317,29 +349,29 @@ func (db *Database) nextSeq() uint64 { return db.clock.Add(1) }
 // object returns the cached object (nil if absent). Callers must hold the
 // appropriate transaction lock before touching fields.
 func (db *Database) objectByID(id oid.OID) *object.Object {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.objects[id]
 }
 
 // LookupRule returns the runtime rule with the given name (nil if absent).
 func (db *Database) LookupRule(name string) *rule.Rule {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.rulesByName[name]
 }
 
 // RuleByID returns the runtime rule with the given object identity.
 func (db *Database) RuleByID(id oid.OID) *rule.Rule {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.rules[id]
 }
 
 // Rules returns all rules, by registration in unspecified order.
 func (db *Database) Rules() []*rule.Rule {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]*rule.Rule, 0, len(db.rules))
 	for _, r := range db.rules {
 		out = append(out, r)
@@ -349,8 +381,8 @@ func (db *Database) Rules() []*rule.Rule {
 
 // LookupEvent returns a named event definition.
 func (db *Database) LookupEvent(name string) (*event.Expr, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	e, ok := db.namedEvents[name]
 	return e, ok
 }
@@ -389,8 +421,8 @@ func (db *Database) walPath() string { return filepath.Join(db.opts.Dir, "sentin
 
 // Names returns all bound names, sorted.
 func (db *Database) Names() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.names))
 	for n := range db.names {
 		out = append(out, n)
@@ -411,8 +443,8 @@ func (db *Database) DescribeObject(t *Tx, id oid.OID) string {
 
 // NamedEvents returns the names of all cataloged event definitions, sorted.
 func (db *Database) NamedEvents() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.namedEvents))
 	for n := range db.namedEvents {
 		out = append(out, n)

@@ -40,7 +40,7 @@ func (db *Database) DumpDSL(w io.Writer) error {
 	}
 	var defs []defEntry
 	dslDefined := map[string]bool{}
-	db.mu.Lock()
+	db.mu.RLock()
 	for _, o := range db.objects {
 		if o.Class().Name != SysClassDefClass {
 			continue
@@ -51,7 +51,7 @@ func (db *Database) DumpDSL(w io.Writer) error {
 		defs = append(defs, defEntry{seq: seq, source: src})
 		dslDefined[name] = true
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	sort.Slice(defs, func(i, j int) bool { return defs[i].seq < defs[j].seq })
 	fmt.Fprintln(w, "\n# -- classes --")
 	for _, c := range db.reg.Classes() {
@@ -65,24 +65,24 @@ func (db *Database) DumpDSL(w io.Writer) error {
 	}
 
 	// 2. Named events.
-	db.mu.Lock()
+	db.mu.RLock()
 	eventNames := make([]string, 0, len(db.namedEvents))
 	for n := range db.namedEvents {
 		eventNames = append(eventNames, n)
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	sort.Strings(eventNames)
 	if len(eventNames) > 0 {
 		fmt.Fprintln(w, "\n# -- named events --")
 		for _, n := range eventNames {
-			db.mu.Lock()
+			db.mu.RLock()
 			var src string
 			if id, ok := db.eventObjs[n]; ok {
 				if o := db.objects[id]; o != nil {
 					src, _ = mustGet(o, "source").AsString()
 				}
 			}
-			db.mu.Unlock()
+			db.mu.RUnlock()
 			if src != "" {
 				fmt.Fprintf(w, "event %s = %s\n", n, src)
 			}
@@ -117,14 +117,14 @@ func (db *Database) DumpDSL(w io.Writer) error {
 
 	// 5. Objects: two phases — create with scalar initializers, then patch
 	// reference attributes once every object exists.
-	db.mu.Lock()
+	db.mu.RLock()
 	ids := make([]oid.OID, 0, len(db.objects))
 	for id, o := range db.objects {
 		if !IsSystemClass(o.Class().Name) {
 			ids = append(ids, id)
 		}
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	value.SortRefs(ids)
 	fmt.Fprintln(w, "\n# -- objects --")
 	for _, id := range ids {
@@ -193,7 +193,7 @@ func (db *Database) DumpDSL(w io.Writer) error {
 
 	// 7. Subscriptions (rule consumers only; Go func consumers are
 	// transient).
-	db.mu.Lock()
+	db.mu.RLock()
 	type subPair struct {
 		reactive oid.OID
 		ruleName string
@@ -208,7 +208,7 @@ func (db *Database) DumpDSL(w io.Writer) error {
 			}
 		}
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	sort.Slice(subsOut, func(i, j int) bool {
 		if subsOut[i].reactive != subsOut[j].reactive {
 			return subsOut[i].reactive < subsOut[j].reactive

@@ -46,13 +46,13 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 	// after Replace — simplest is to collect indexed attrs first and
 	// verify after finalization below.
 	var indexedAttrs []string
-	db.mu.Lock()
+	db.mu.RLock()
 	for k := range db.indexes {
 		if k.class == name {
 			indexedAttrs = append(indexedAttrs, k.attr)
 		}
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 
 	oldCls, err := db.reg.Replace(newCls)
 	if err != nil {
@@ -70,14 +70,14 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 	// Migrate instances (exact class only: no subclasses can exist).
 	var migrated []oid.OID
 	oldObjs := make(map[oid.OID]*object.Object)
-	db.mu.Lock()
+	db.mu.RLock()
 	for id, o := range db.objects {
 		if o.Class() == oldCls {
 			migrated = append(migrated, id)
 			oldObjs[id] = o
 		}
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	value.SortRefs(migrated)
 
 	for _, id := range migrated {
@@ -108,7 +108,7 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 	// Catalog source update for DSL classes.
 	if dslSource != "" {
 		var defObj oid.OID
-		db.mu.Lock()
+		db.mu.RLock()
 		for id, o := range db.objects {
 			if o.Class().Name == SysClassDefClass {
 				if n, _ := mustGet(o, "name").AsString(); n == name {
@@ -117,7 +117,7 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 				}
 			}
 		}
-		db.mu.Unlock()
+		db.mu.RUnlock()
 		if !defObj.IsNil() {
 			if err := db.setAttr(t, defObj, "source", value.Str(dslSource), nil, true); err != nil {
 				db.reg.Restore(oldCls)
@@ -126,6 +126,10 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 		}
 	}
 
+	// The evolved class may have a different MRO/event interface; cached
+	// consumer sets derived from the old class (and the migrated objects)
+	// are stale.
+	db.bumpConsumerEpoch()
 	t.inner.OnUndo(func() {
 		db.reg.Restore(oldCls)
 		db.mu.Lock()
@@ -133,6 +137,7 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 			db.objects[id] = o
 		}
 		db.mu.Unlock()
+		db.bumpConsumerEpoch()
 	})
 	return nil
 }

@@ -125,8 +125,8 @@ func (f *frame) Abort(reason string) error { return &AbortError{Reason: reason} 
 
 // LookupName resolves a database name binding.
 func (f *frame) LookupName(name string) (oid.OID, bool) {
-	f.db.mu.Lock()
-	defer f.db.mu.Unlock()
+	f.db.mu.RLock()
+	defer f.db.mu.RUnlock()
 	id, ok := f.db.names[name]
 	return id, ok
 }

@@ -34,12 +34,12 @@ func (db *Database) CreateIndex(t *Tx, class, attr string) (*index.Hash, error) 
 		return nil, fmt.Errorf("core: class %s has no attribute %q", class, attr)
 	}
 	k := idxKey{class, attr}
-	db.mu.Lock()
-	if _, dup := db.indexes[k]; dup {
-		db.mu.Unlock()
+	db.mu.RLock()
+	_, dup := db.indexes[k]
+	db.mu.RUnlock()
+	if dup {
 		return nil, fmt.Errorf("core: index on %s.%s already exists", class, attr)
 	}
-	db.mu.Unlock()
 
 	h := index.NewHash(class, attr)
 	// Backfill under shared locks so concurrent writers serialize with us.
@@ -75,10 +75,10 @@ func (db *Database) CreateIndex(t *Tx, class, attr string) (*index.Hash, error) 
 // DropIndex removes the index and its catalog object.
 func (db *Database) DropIndex(t *Tx, class, attr string) error {
 	k := idxKey{class, attr}
-	db.mu.Lock()
+	db.mu.RLock()
 	h := db.indexes[k]
 	objID := db.indexObjs[k]
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if h == nil {
 		return fmt.Errorf("core: no index on %s.%s", class, attr)
 	}
@@ -102,8 +102,8 @@ func (db *Database) DropIndex(t *Tx, class, attr string) error {
 
 // Index returns the live index on class.attr (nil if absent).
 func (db *Database) Index(class, attr string) *index.Hash {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.indexes[idxKey{class, attr}]
 }
 
@@ -120,8 +120,8 @@ func removeIndex(s []*index.Hash, h *index.Hash) []*index.Hash {
 // attribute: any index declared on a class in the object's MRO with a
 // matching attribute name.
 func (db *Database) indexesCovering(o *object.Object, attr string) []*index.Hash {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []*index.Hash
 	for _, k := range o.Class().MRO() {
 		for _, h := range db.indexByClass[k.Name] {
@@ -155,12 +155,12 @@ func (db *Database) indexWrite(t *Tx, o *object.Object, attr string, oldV, newV 
 func (db *Database) indexObjectAdd(t *Tx, o *object.Object) {
 	cls := o.Class()
 	id := o.ID()
-	db.mu.Lock()
+	db.mu.RLock()
 	var pairs []*index.Hash
 	for _, k := range cls.MRO() {
 		pairs = append(pairs, db.indexByClass[k.Name]...)
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if len(pairs) == 0 {
 		return
 	}
@@ -182,12 +182,12 @@ func (db *Database) indexObjectAdd(t *Tx, o *object.Object) {
 func (db *Database) indexObjectRemove(t *Tx, o *object.Object) {
 	cls := o.Class()
 	id := o.ID()
-	db.mu.Lock()
+	db.mu.RLock()
 	var pairs []*index.Hash
 	for _, k := range cls.MRO() {
 		pairs = append(pairs, db.indexByClass[k.Name]...)
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if len(pairs) == 0 {
 		return
 	}
@@ -240,8 +240,8 @@ func (db *Database) LookupByAttr(t *Tx, class, attr string, v value.Value) ([]oi
 
 // Indexes returns all live indexes, sorted by class then attribute.
 func (db *Database) Indexes() []*index.Hash {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]*index.Hash, 0, len(db.indexes))
 	for _, h := range db.indexes {
 		out = append(out, h)

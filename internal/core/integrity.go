@@ -32,7 +32,7 @@ func (db *Database) CheckIntegrity() []string {
 	}
 
 	// Snapshot the structures.
-	db.mu.Lock()
+	db.mu.RLock()
 	objects := make(map[oid.OID]string, len(db.objects))
 	for id, o := range db.objects {
 		objects[id] = o.Class().Name
@@ -71,7 +71,7 @@ func (db *Database) CheckIntegrity() []string {
 			classRules[cls] = append(classRules[cls], &ruleEntry{id: r.ID(), name: r.Name()})
 		}
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 
 	// 1. Dangling references in object attributes.
 	for id := range objects {
@@ -175,7 +175,7 @@ func (db *Database) CheckIntegrity() []string {
 			continue
 		}
 		expected := index.NewHash(k.class, k.attr)
-		db.mu.Lock()
+		db.mu.RLock()
 		for id, o := range db.objects {
 			if !o.Class().IsSubclassOf(cls) {
 				continue
@@ -184,13 +184,13 @@ func (db *Database) CheckIntegrity() []string {
 				expected.Add(id, o.GetSlot(a.Slot()))
 			}
 		}
-		db.mu.Unlock()
+		db.mu.RUnlock()
 		if expected.Len() != h.Len() {
 			addf("index %s.%s: has %d entries, scan finds %d", k.class, k.attr, h.Len(), expected.Len())
 			continue
 		}
 		// Spot-verify: every scanned entry must be found by the index.
-		db.mu.Lock()
+		db.mu.RLock()
 		for id, o := range db.objects {
 			if !o.Class().IsSubclassOf(cls) {
 				continue
@@ -211,7 +211,7 @@ func (db *Database) CheckIntegrity() []string {
 				addf("index %s.%s: object %s with value %s not indexed", k.class, k.attr, id, v)
 			}
 		}
-		db.mu.Unlock()
+		db.mu.RUnlock()
 	}
 
 	// 7. Class-level rule lists reference live rules of that class scope.

@@ -297,9 +297,9 @@ func (db *Database) Checkpoint() error {
 	if db.store == nil {
 		return nil
 	}
-	db.mu.Lock()
+	db.mu.RLock()
 	meta := db.metaBlob()
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if err := db.store.Checkpoint(meta); err != nil {
 		return err
 	}

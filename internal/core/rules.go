@@ -79,15 +79,15 @@ func (db *Database) MustRegisterClass(c *schema.Class) *schema.Class {
 // from rule specs as "go:name" — the persistable analogue of the paper's
 // pointer-to-member-function conditions.
 func (db *Database) RegisterCondition(name string, fn rule.Condition) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.fnMu.Lock()
+	defer db.fnMu.Unlock()
 	db.condFns[name] = fn
 }
 
 // RegisterAction registers a named Go action function ("go:name").
 func (db *Database) RegisterAction(name string, fn rule.Action) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.fnMu.Lock()
+	defer db.fnMu.Unlock()
 	db.actFns[name] = fn
 }
 
@@ -140,10 +140,10 @@ func (db *Database) DefineEvent(t *Tx, name string, src string) (*event.Expr, er
 // DeleteEvent removes a named event definition. Rules already compiled
 // against it keep their structure (they embedded the definition).
 func (db *Database) DeleteEvent(t *Tx, name string) error {
-	db.mu.Lock()
+	db.mu.RLock()
 	id, ok := db.eventObjs[name]
 	e := db.namedEvents[name]
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("core: unknown event %q", name)
 	}
@@ -280,6 +280,7 @@ func (db *Database) CreateRule(t *Tx, spec RuleSpec) (*rule.Rule, error) {
 		db.classRules[spec.ClassLevel] = append(db.classRules[spec.ClassLevel], r)
 	}
 	db.mu.Unlock()
+	db.bumpConsumerEpoch()
 
 	t.inner.OnUndo(func() {
 		db.mu.Lock()
@@ -289,6 +290,7 @@ func (db *Database) CreateRule(t *Tx, spec RuleSpec) (*rule.Rule, error) {
 			db.classRules[spec.ClassLevel] = removeRule(db.classRules[spec.ClassLevel], r)
 		}
 		db.mu.Unlock()
+		db.bumpConsumerEpoch()
 	})
 	return r, nil
 }
@@ -312,14 +314,14 @@ func (db *Database) DeleteRule(t *Tx, name string) error {
 	}
 	id := r.ID()
 	// Drop instance subscriptions pointing at it.
-	db.mu.Lock()
+	db.mu.RLock()
 	var subRecords []subKey
 	for k := range db.subObjs {
 		if k.consumer == id {
 			subRecords = append(subRecords, k)
 		}
 	}
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	for _, k := range subRecords {
 		if err := db.Unsubscribe(t, k.reactive, k.consumer); err != nil {
 			return err
@@ -335,6 +337,7 @@ func (db *Database) DeleteRule(t *Tx, name string) error {
 		db.classRules[r.ClassLevel] = removeRule(db.classRules[r.ClassLevel], r)
 	}
 	db.mu.Unlock()
+	db.bumpConsumerEpoch()
 	t.inner.OnUndo(func() {
 		db.mu.Lock()
 		db.rules[id] = r
@@ -343,6 +346,7 @@ func (db *Database) DeleteRule(t *Tx, name string) error {
 			db.classRules[r.ClassLevel] = append(db.classRules[r.ClassLevel], r)
 		}
 		db.mu.Unlock()
+		db.bumpConsumerEpoch()
 	})
 	return nil
 }
@@ -379,9 +383,9 @@ func (db *Database) resolveCondition(spec RuleSpec) (rule.Condition, string, err
 		return rule.CondTrue, "", nil
 	}
 	if name, ok := strings.CutPrefix(src, "go:"); ok {
-		db.mu.Lock()
+		db.fnMu.RLock()
 		fn := db.condFns[name]
-		db.mu.Unlock()
+		db.fnMu.RUnlock()
 		if fn == nil {
 			return nil, "", fmt.Errorf("unregistered condition function %q", name)
 		}
@@ -404,9 +408,9 @@ func (db *Database) resolveAction(spec RuleSpec) (rule.Action, string, error) {
 		return nil, "", nil
 	}
 	if name, ok := strings.CutPrefix(src, "go:"); ok {
-		db.mu.Lock()
+		db.fnMu.RLock()
 		fn := db.actFns[name]
-		db.mu.Unlock()
+		db.fnMu.RUnlock()
 		if fn == nil {
 			return nil, "", fmt.Errorf("unregistered action function %q", name)
 		}
@@ -472,10 +476,10 @@ func (db *Database) Subscribe(t *Tx, reactive oid.OID, consumer oid.OID) error {
 	if !o.Class().Reactive() {
 		return fmt.Errorf("core: class %s is passive; only reactive objects can be monitored", o.Class().Name)
 	}
-	db.mu.Lock()
+	db.mu.RLock()
 	r := db.rules[consumer]
 	_, dup := db.subObjs[subKey{reactive, consumer}]
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if r == nil {
 		return fmt.Errorf("core: consumer %s is not a rule object", consumer)
 	}
@@ -493,11 +497,13 @@ func (db *Database) Subscribe(t *Tx, reactive oid.OID, consumer oid.OID) error {
 	db.subs[reactive] = append(db.subs[reactive], consumer)
 	db.subObjs[subKey{reactive, consumer}] = subID
 	db.mu.Unlock()
+	db.bumpConsumerEpoch()
 	t.inner.OnUndo(func() {
 		db.mu.Lock()
 		db.subs[reactive] = removeOID(db.subs[reactive], consumer)
 		delete(db.subObjs, subKey{reactive, consumer})
 		db.mu.Unlock()
+		db.bumpConsumerEpoch()
 	})
 	return nil
 }
@@ -513,9 +519,9 @@ func (db *Database) SubscribeRule(t *Tx, ruleName string, reactive oid.OID) erro
 
 // Unsubscribe reverses Subscribe.
 func (db *Database) Unsubscribe(t *Tx, reactive oid.OID, consumer oid.OID) error {
-	db.mu.Lock()
+	db.mu.RLock()
 	subID, ok := db.subObjs[subKey{reactive, consumer}]
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if !ok {
 		return nil
 	}
@@ -526,11 +532,13 @@ func (db *Database) Unsubscribe(t *Tx, reactive oid.OID, consumer oid.OID) error
 	db.subs[reactive] = removeOID(db.subs[reactive], consumer)
 	delete(db.subObjs, subKey{reactive, consumer})
 	db.mu.Unlock()
+	db.bumpConsumerEpoch()
 	t.inner.OnUndo(func() {
 		db.mu.Lock()
 		db.subs[reactive] = append(db.subs[reactive], consumer)
 		db.subObjs[subKey{reactive, consumer}] = subID
 		db.mu.Unlock()
+		db.bumpConsumerEpoch()
 	})
 	return nil
 }
@@ -559,25 +567,27 @@ func (db *Database) SubscribeFunc(reactive oid.OID, name string, fn func(event.O
 	db.mu.Lock()
 	db.funcConsumers[reactive] = append(db.funcConsumers[reactive], fc)
 	db.mu.Unlock()
+	db.bumpConsumerEpoch()
 	return func() {
 		db.mu.Lock()
-		defer db.mu.Unlock()
 		lst := db.funcConsumers[reactive]
-		out := lst[:0]
+		out := make([]*FuncConsumer, 0, len(lst))
 		for _, x := range lst {
 			if x != fc {
 				out = append(out, x)
 			}
 		}
 		db.funcConsumers[reactive] = out
+		db.mu.Unlock()
+		db.bumpConsumerEpoch()
 	}, nil
 }
 
 // Subscribers returns the OIDs of rule consumers subscribed to a reactive
 // object (instance-level only), sorted.
 func (db *Database) Subscribers(reactive oid.OID) []oid.OID {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return append([]oid.OID(nil), db.subs[reactive]...)
 }
 
@@ -589,10 +599,10 @@ func (db *Database) Bind(t *Tx, name string, target oid.OID) error {
 	if db.objectByID(target) == nil {
 		return fmt.Errorf("core: no object %s to bind as %q", target, name)
 	}
-	db.mu.Lock()
+	db.mu.RLock()
 	nameObj, exists := db.nameObjs[name]
 	prev := db.names[name]
-	db.mu.Unlock()
+	db.mu.RUnlock()
 	if exists {
 		if err := db.setAttr(t, nameObj, "target", value.Ref(target), nil, true); err != nil {
 			return err
@@ -629,8 +639,8 @@ func (db *Database) Bind(t *Tx, name string, target oid.OID) error {
 
 // Lookup resolves a bound name.
 func (db *Database) Lookup(name string) (oid.OID, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	id, ok := db.names[name]
 	return id, ok
 }

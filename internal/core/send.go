@@ -45,34 +45,25 @@ func (db *Database) send(t *Tx, target oid.OID, method string, args []value.Valu
 	generates := o.Class().Reactive() && m.EventGen != schema.GenNone
 
 	if generates && m.EventGen.Begin() {
-		if err := db.raise(t, o, m.Name, event.Begin, args, paramNames(m), depth); err != nil {
+		if err := db.raise(t, o, m.Name, event.Begin, args, m.ParamNames(), depth); err != nil {
 			return value.Nil, err
 		}
 	}
 
-	fr := &frame{db: db, tx: t, self: o, method: m, args: args, depth: depth}
+	fr := t.getFrame()
+	*fr = frame{db: db, tx: t, self: o, method: m, args: args, depth: depth}
 	ret, err := m.Body(fr)
+	t.putFrame(fr)
 	if err != nil {
 		return value.Nil, err
 	}
 
 	if generates && m.EventGen.End() {
-		if err := db.raise(t, o, m.Name, event.End, args, paramNames(m), depth); err != nil {
+		if err := db.raise(t, o, m.Name, event.End, args, m.ParamNames(), depth); err != nil {
 			return value.Nil, err
 		}
 	}
 	return ret, nil
-}
-
-func paramNames(m *schema.Method) []string {
-	if len(m.Params) == 0 {
-		return nil
-	}
-	out := make([]string, len(m.Params))
-	for i, p := range m.Params {
-		out[i] = p.Name
-	}
-	return out
 }
 
 // raise generates one primitive-event occurrence and propagates it to the
@@ -82,6 +73,19 @@ func paramNames(m *schema.Method) []string {
 // in-line in conflict-resolution order; deferred firings queue on the
 // transaction; detached firings queue for post-commit.
 func (db *Database) raise(t *Tx, src *object.Object, method string, when event.Moment, args []value.Value, names []string, depth int) error {
+	db.statEvents.Add(1)
+	// The logical clock ticks for every occurrence, observed or not: Seq
+	// numbers are a property of event generation, not of delivery.
+	seqNo := db.nextSeq()
+
+	// Resolve consumers first (usually a zero-alloc cache hit); with no
+	// consumers the occurrence would be observed by nobody, so skip
+	// building it entirely.
+	rules, fns := db.consumersOf(src)
+	if len(rules) == 0 && len(fns) == 0 {
+		return nil
+	}
+
 	occ := event.Occurrence{
 		Source:     src.ID(),
 		Class:      src.Class().Name,
@@ -89,14 +93,8 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 		When:       when,
 		Args:       args,
 		ParamNames: names,
-		Seq:        db.nextSeq(),
+		Seq:        seqNo,
 		Tx:         uint64(t.inner.ID()),
-	}
-	db.statEvents.Add(1)
-
-	rules, fns := db.consumersOf(src)
-	if len(rules) == 0 && len(fns) == 0 {
-		return nil
 	}
 
 	for _, fc := range fns {
@@ -104,7 +102,12 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 		fc.Fn(occ)
 	}
 
-	var immediate []rule.Firing
+	// The immediate batch reuses the transaction's scratch buffer. Take
+	// ownership for the duration of this raise: runFiring can recursively
+	// raise (cascades), and the nested raise must not clobber our batch —
+	// it sees nil and allocates its own, which we adopt back if larger.
+	immediate := t.fireScratch[:0]
+	t.fireScratch = nil
 	seq := uint64(0)
 	for _, r := range rules {
 		db.statNotify.Add(1)
@@ -132,48 +135,36 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 		}
 	}
 
+	var err error
 	if len(immediate) > 0 {
-		db.mu.Lock()
-		strat := db.strategy
-		db.mu.Unlock()
-		strat.Order(immediate)
-		for _, f := range immediate {
-			if err := db.runFiring(t, f, depth+1); err != nil {
-				return err
+		db.currentStrategy().Order(immediate)
+		for i := range immediate {
+			if err = db.runFiring(t, &immediate[i], depth+1); err != nil {
+				break
 			}
 		}
 	}
-	return nil
+	// Return the buffer (ours, or a bigger one a nested raise grew).
+	if cap(immediate) > cap(t.fireScratch) {
+		clearFirings(immediate[:cap(immediate)])
+		t.fireScratch = immediate[:0]
+	}
+	return err
 }
 
-// consumersOf collects the notifiable consumers of a reactive object:
-// instance-level subscriptions plus class-level rules over the MRO.
-func (db *Database) consumersOf(src *object.Object) ([]*rule.Rule, []*FuncConsumer) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	var rules []*rule.Rule
-	seen := map[oid.OID]bool{}
-	for _, rid := range db.subs[src.ID()] {
-		if r := db.rules[rid]; r != nil && !seen[rid] {
-			seen[rid] = true
-			rules = append(rules, r)
-		}
+// clearFirings zeroes a firing slice so the scratch buffer does not pin
+// rules and detections beyond the raise that used them.
+func clearFirings(fs []rule.Firing) {
+	for i := range fs {
+		fs[i] = rule.Firing{}
 	}
-	for _, cls := range src.Class().MRO() {
-		for _, r := range db.classRules[cls.Name] {
-			if !seen[r.ID()] {
-				seen[r.ID()] = true
-				rules = append(rules, r)
-			}
-		}
-	}
-	fns := db.funcConsumers[src.ID()]
-	return rules, fns
 }
 
 // runFiring evaluates one triggered rule: condition, then action, at the
-// given cascade depth, inside transaction t.
-func (db *Database) runFiring(t *Tx, f rule.Firing, depth int) error {
+// given cascade depth, inside transaction t. f is a pointer into the
+// caller's batch so the Firing (and its Detection) is not copied to the
+// heap per execution; it is only read.
+func (db *Database) runFiring(t *Tx, f *rule.Firing, depth int) error {
 	if depth > db.opts.MaxCascadeDepth {
 		return fmt.Errorf("core: rule cascade exceeded depth %d at rule %s (cycle?)", db.opts.MaxCascadeDepth, f.Rule.Name())
 	}
@@ -182,7 +173,9 @@ func (db *Database) runFiring(t *Tx, f rule.Firing, depth int) error {
 	// `sex == spouse.sex`). Rules run with system visibility — they are
 	// part of the behaviour of the objects they monitor (§3.5).
 	selfObj := db.objectByID(f.Detection.Last().Source)
-	fr := &frame{db: db, tx: t, self: selfObj, depth: depth, sysAccess: true, detection: &f.Detection}
+	fr := t.getFrame()
+	*fr = frame{db: db, tx: t, self: selfObj, depth: depth, sysAccess: true, detection: &f.Detection}
+	defer t.putFrame(fr)
 
 	ok := true
 	if f.Rule.Condition != nil {

@@ -48,7 +48,37 @@ type Tx struct {
 	// to; their detectors reset when the transaction ends.
 	touched map[*rule.Rule]bool
 
+	// fireScratch is the reusable buffer for the immediate firing batch of
+	// a raise; each raise takes ownership for its duration (see raise), so
+	// steady-state event traffic schedules immediate rules without
+	// allocating.
+	fireScratch []rule.Firing
+
+	// framePool recycles execution frames for method bodies and rule
+	// evaluations. Frames are strictly call-scoped (callees must not retain
+	// their CallContext/ExecContext past the call), so a LIFO free list
+	// makes the send → body → raise hot path frame-allocation-free.
+	framePool []*frame
+
 	finished bool
+}
+
+// getFrame returns a zeroed frame, reusing a recycled one when available.
+// Tx is single-goroutine, so no locking.
+func (t *Tx) getFrame() *frame {
+	if n := len(t.framePool); n > 0 {
+		f := t.framePool[n-1]
+		t.framePool = t.framePool[:n-1]
+		return f
+	}
+	return &frame{}
+}
+
+// putFrame recycles a frame once its call returns. The frame is zeroed so
+// the pool does not pin objects, methods or detections.
+func (t *Tx) putFrame(f *frame) {
+	*f = frame{}
+	t.framePool = append(t.framePool, f)
 }
 
 // Begin starts a transaction.
@@ -59,7 +89,7 @@ func (db *Database) Begin() *Tx {
 		dirty:    make(map[oid.OID]bool),
 		created:  make(map[oid.OID]bool),
 		deleted:  make(map[oid.OID]bool),
-		deferred: rule.NewAgenda(db.strategy),
+		deferred: rule.NewAgenda(db.currentStrategy()),
 	}
 }
 
@@ -85,8 +115,8 @@ func (db *Database) Commit(t *Tx) error {
 	// fired here may write, raise events, and schedule more deferred work.
 	for t.deferred.Len() > 0 {
 		batch := t.deferred.Drain()
-		for _, f := range batch {
-			if err := db.runFiring(t, f, 1); err != nil {
+		for i := range batch {
+			if err := db.runFiring(t, &batch[i], 1); err != nil {
 				db.Abort(t)
 				return err
 			}
@@ -110,7 +140,7 @@ func (db *Database) Commit(t *Tx) error {
 	// Options.AsyncDetached the firings run on a background worker (the
 	// fully asynchronous propagation of §3.1); WaitIdle quiesces.
 	if len(detached) > 0 {
-		agenda := rule.NewAgenda(db.strategy)
+		agenda := rule.NewAgenda(db.currentStrategy())
 		for _, f := range detached {
 			agenda.Add(f.Rule, f.Detection)
 		}
@@ -133,7 +163,7 @@ func (db *Database) Commit(t *Tx) error {
 // execDetached runs one detached firing in its own transaction.
 func (db *Database) execDetached(f rule.Firing) {
 	dtx := db.Begin()
-	if err := db.runFiring(dtx, f, 1); err != nil {
+	if err := db.runFiring(dtx, &f, 1); err != nil {
 		db.Abort(dtx)
 		return
 	}
@@ -449,6 +479,8 @@ func (db *Database) DeleteObject(t *Tx, id oid.OID) error {
 	savedFns := db.funcConsumers[id]
 	delete(db.funcConsumers, id)
 	db.mu.Unlock()
+	db.dropConsumerEntry(id)
+	db.bumpConsumerEpoch()
 	t.deleted[id] = true
 	t.inner.OnUndo(func() {
 		db.mu.Lock()
@@ -460,6 +492,7 @@ func (db *Database) DeleteObject(t *Tx, id oid.OID) error {
 			db.funcConsumers[id] = savedFns
 		}
 		db.mu.Unlock()
+		db.bumpConsumerEpoch()
 		delete(t.deleted, id)
 	})
 	return nil
@@ -494,8 +527,8 @@ func (db *Database) InstancesOf(class string) []oid.OID {
 	if c == nil {
 		return nil
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []oid.OID
 	for id, o := range db.objects {
 		if o.Class().IsSubclassOf(c) {

@@ -1,6 +1,9 @@
 package event
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Context selects the parameter-context policy for binary operators
 // (And/Seq): which stored constituent detections a new arrival pairs with,
@@ -67,13 +70,14 @@ func ParseContext(s string) (Context, error) {
 
 // Detector holds the runtime recognition state for one event definition —
 // the "local event detector" a rule forwards its received events to
-// (Fig. 2). Feed is not safe for concurrent use; each consumer owns its
-// detector.
+// (Fig. 2). The recognition graph is single-writer: each consumer owns its
+// detector and must serialize Feed/Reset (rule.Rule does this under its own
+// lock). The fed counter is atomic so Fed() can be read from any goroutine.
 type Detector struct {
 	root *node
 	h    Hierarchy
 	ctx  Context
-	fed  uint64 // occurrences fed, for stats
+	fed  atomic.Uint64 // occurrences fed, for stats
 }
 
 // NewDetector compiles the event definition into a detector. The expression
@@ -100,13 +104,14 @@ func MustDetector(e *Expr, h Hierarchy, ctx Context) *Detector {
 }
 
 // Fed returns the number of occurrences fed so far.
-func (d *Detector) Fed() uint64 { return d.fed }
+func (d *Detector) Fed() uint64 { return d.fed.Load() }
 
 // Feed runs one occurrence through the event graph and returns the
 // top-level detections it completes (usually zero or one; contexts and
-// operators like Aperiodic can yield several).
+// operators like Aperiodic can yield several). Callers must serialize Feed
+// with Reset (single-writer); the counter alone is safe to read anywhere.
 func (d *Detector) Feed(o Occurrence) []Detection {
-	d.fed++
+	d.fed.Add(1)
 	return d.root.feed(o)
 }
 

@@ -36,6 +36,9 @@ func (ByPriority) Name() string { return "priority" }
 
 // Order sorts by descending priority, then ascending arrival.
 func (ByPriority) Order(fs []Firing) {
+	if len(fs) < 2 {
+		return
+	}
 	sort.SliceStable(fs, func(i, j int) bool {
 		if fs[i].Rule.Priority != fs[j].Rule.Priority {
 			return fs[i].Rule.Priority > fs[j].Rule.Priority
@@ -52,6 +55,9 @@ func (FIFO) Name() string { return "fifo" }
 
 // Order sorts by ascending arrival.
 func (FIFO) Order(fs []Firing) {
+	if len(fs) < 2 {
+		return
+	}
 	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Seq < fs[j].Seq })
 }
 
@@ -63,6 +69,9 @@ func (LIFO) Name() string { return "lifo" }
 
 // Order sorts by descending arrival.
 func (LIFO) Order(fs []Firing) {
+	if len(fs) < 2 {
+		return
+	}
 	sort.SliceStable(fs, func(i, j int) bool { return fs[i].Seq > fs[j].Seq })
 }
 

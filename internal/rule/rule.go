@@ -9,6 +9,7 @@ package rule
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"sentinel/internal/event"
@@ -135,7 +136,14 @@ type Rule struct {
 	// the paper.
 	TxScoped bool
 
-	enabled  atomic.Bool
+	enabled atomic.Bool
+
+	// detMu serializes access to the detector's recognition graph, which
+	// is single-writer by design ("each consumer owns its detector").
+	// Concurrent transactions may notify the same rule — class-level rules
+	// especially — so the rule itself enforces the invariant rather than
+	// trusting every caller to.
+	detMu    sync.Mutex
 	detector *event.Detector
 
 	// Stats.
@@ -172,7 +180,9 @@ func (r *Rule) Enable() { r.enabled.Store(true) }
 func (r *Rule) Disable() {
 	r.enabled.Store(false)
 	if r.detector != nil {
+		r.detMu.Lock()
 		r.detector.Reset()
+		r.detMu.Unlock()
 	}
 }
 
@@ -196,13 +206,16 @@ func (r *Rule) Compiled() bool { return r.detector != nil }
 // Notify delivers one primitive-event occurrence to the rule (the
 // Notifiable role, §4.2): the rule records it into its local detector and
 // returns any completed detections of its event. Disabled rules ignore
-// notifications.
+// notifications. Notify is safe for concurrent use: the detector graph is
+// fed under the rule's own lock.
 func (r *Rule) Notify(o event.Occurrence) []event.Detection {
 	if !r.enabled.Load() || r.detector == nil {
 		return nil
 	}
 	r.received.Add(1)
+	r.detMu.Lock()
 	dets := r.detector.Feed(o)
+	r.detMu.Unlock()
 	if len(dets) > 0 {
 		r.signalled.Add(uint64(len(dets)))
 	}
@@ -214,7 +227,9 @@ func (r *Rule) Notify(o event.Occurrence) []event.Detection {
 // decides).
 func (r *Rule) ResetDetection() {
 	if r.detector != nil {
+		r.detMu.Lock()
 		r.detector.Reset()
+		r.detMu.Unlock()
 	}
 }
 

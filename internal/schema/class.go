@@ -265,6 +265,7 @@ func (c *Class) finalize() error {
 			if m.owner == nil {
 				m.owner = k
 			}
+			m.memoizeParamNames()
 			if _, ok := c.methods[name]; !ok {
 				c.methods[name] = m
 			}

@@ -72,10 +72,41 @@ type Method struct {
 	Body Body
 
 	owner *Class // set at finalize time
+
+	// paramNames memoizes the parameter-name slice occurrences carry, so
+	// the event hot path never rebuilds it per send. Set at finalize time;
+	// nil when the method has no parameters.
+	paramNames []string
 }
 
 // Owner returns the class that defines this method (after finalization).
 func (m *Method) Owner() *Class { return m.owner }
+
+// ParamNames returns the parameter names in declaration order (nil for a
+// niladic method). After class finalization the slice is memoized and must
+// not be mutated by callers; before finalization a fresh slice is built.
+func (m *Method) ParamNames() []string {
+	if m.paramNames != nil || len(m.Params) == 0 {
+		return m.paramNames
+	}
+	return m.buildParamNames()
+}
+
+func (m *Method) buildParamNames() []string {
+	out := make([]string, len(m.Params))
+	for i, p := range m.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// memoizeParamNames fixes the parameter-name slice; called at class
+// finalization (idempotent — methods are shared along the MRO).
+func (m *Method) memoizeParamNames() {
+	if m.paramNames == nil && len(m.Params) > 0 {
+		m.paramNames = m.buildParamNames()
+	}
+}
 
 // Signature renders the method as "Class::Name(type name, ...)"; used in
 // event signatures and error messages.
