@@ -2,11 +2,13 @@
 # (build, vet, tests); `make race` adds the race detector over the
 # concurrency-sensitive packages; `make bench` produces the fast-path
 # benchmark artifact BENCH_1.json (with BENCH_0.json, the pre-fast-path
-# seed measurements, embedded as the baseline).
+# seed measurements, embedded as the baseline) and the cold-open artifact
+# BENCH_2.json; `make bench-smoke` is a one-iteration CI-sized pass over
+# the same code paths.
 
 GO ?= go
 
-.PHONY: all build vet test check race bench clean
+.PHONY: all build vet test check race bench bench-smoke clean
 
 all: check
 
@@ -29,6 +31,13 @@ race:
 bench:
 	$(GO) test -bench 'BenchmarkP1SubscriptionVsCentralized|BenchmarkP8InterfaceSelectivity|BenchmarkP11ParallelSend' -benchmem -run '^$$' .
 	$(GO) run ./cmd/sentinel-bench -json BENCH_1.json -baseline BENCH_0.json
+	$(GO) run ./cmd/sentinel-bench -json2 BENCH_2.json
+
+# One-iteration pass over every benchmark entry point: catches bit-rot in
+# the bench harness without benchmark-grade runtimes (CI runs this).
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/sentinel-bench -json2 /tmp/bench2-smoke.json -pop 2000 -resident 256
 
 clean:
 	$(GO) clean

@@ -10,6 +10,8 @@
 //	sentinel-bench -quick          # reduced sizes (CI-friendly)
 //	sentinel-bench -json BENCH_1.json [-baseline BENCH_0.json]
 //	                               # machine-readable fast-path benchmarks
+//	sentinel-bench -json2 BENCH_2.json [-pop 100000] [-resident 4096]
+//	                               # cold-open / demand-paging benchmarks
 package main
 
 import (
@@ -26,10 +28,20 @@ func main() {
 	quick := flag.Bool("quick", false, "run at reduced sizes")
 	jsonOut := flag.String("json", "", "write fast-path benchmark results to this JSON file and exit")
 	baseline := flag.String("baseline", "", "embed this JSON file as the baseline in -json output")
+	json2Out := flag.String("json2", "", "write cold-open/demand-paging benchmark results to this JSON file and exit")
+	pop := flag.Int("pop", 100000, "population size for -json2")
+	resident := flag.Int("resident", 4096, "MaxResidentObjects ceiling for -json2")
 	flag.Parse()
 
 	if *jsonOut != "" {
 		if err := runJSONBench(*jsonOut, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *json2Out != "" {
+		if err := runColdOpenBench(*json2Out, *pop, *resident); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

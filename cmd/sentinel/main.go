@@ -200,7 +200,10 @@ commands: .classes .rules .events .objects <class> .names .indexes .stats
 		}
 	case ".stats":
 		s := db.Stats()
-		fmt.Printf("objects=%d rules=%d subscriptions=%d\n", s.ObjectsLive, s.RulesDefined, s.Subscriptions)
+		fmt.Printf("objects=%d resident=%d rules=%d subscriptions=%d\n",
+			s.ObjectsTotal, s.ObjectsResident, s.RulesDefined, s.Subscriptions)
+		fmt.Printf("paging: faults=%d evictions=%d checkpoints=%d\n",
+			s.Faults, s.Evictions, s.Checkpoints)
 		fmt.Printf("sends=%d events=%d notifications=%d detections=%d conditions=%d actions=%d\n",
 			s.Sends, s.EventsRaised, s.Notifications, s.Detections, s.ConditionsRun, s.ActionsRun)
 		fmt.Printf("txns: started=%d committed=%d aborted=%d deadlocks=%d\n",

@@ -17,6 +17,7 @@ import (
 	"sentinel/internal/oid"
 	"sentinel/internal/rule"
 	"sentinel/internal/schema"
+	"sentinel/internal/txn"
 	"sentinel/internal/value"
 )
 
@@ -104,6 +105,78 @@ func TestRaiseHotPathZeroAllocs(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Errorf("cached consumersOf: %v allocs/op, want 0", n)
+	}
+}
+
+// TestRaiseHotPathZeroAllocsPaged pins the same allocation contract on a
+// persistent database under eviction pressure: once a transaction has
+// locked (and thereby pinned) an object, re-locking it and raising events
+// on it allocate nothing — demand paging must not tax the resident-hit
+// fast path.
+func TestRaiseHotPathZeroAllocsPaged(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard, Dir: t.TempDir(), MaxResidentObjects: 8})
+	defer db.Close()
+	cls := schema.NewClass("PP")
+	cls.Classification = schema.ReactiveClass
+	cls.Persistent = true
+	cls.Attr("x", value.TypeFloat)
+	cls.AddMethod(&schema.Method{
+		Name:       "Set",
+		Params:     []schema.Param{{Name: "v", Type: value.TypeFloat}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("x", ctx.Arg(0))
+		},
+	})
+	db.MustRegisterClass(cls)
+	const pop = 64
+	ids := make([]oid.OID, pop)
+	if err := db.Atomically(func(tx *Tx) error {
+		for i := range ids {
+			var err error
+			if ids[i], err = db.NewObject(tx, "PP", nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch everything so the clock has churned well past the ceiling.
+	for _, id := range ids {
+		if db.objectByID(id) == nil {
+			t.Fatalf("object %s unreachable", id)
+		}
+	}
+	if db.Stats().Evictions == 0 {
+		t.Fatal("no evictions: test is not exercising paging")
+	}
+
+	tx := db.Begin()
+	defer db.Abort(tx)
+	src, err := db.lockObject(tx, ids[0], txn.Exclusive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []value.Value{value.Float(1)}
+	if err := db.raise(tx, src, "Set", event.End, args, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := db.raise(tx, src, "Set", event.End, args, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("paged raise with no consumers: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		o, err := db.lockObject(tx, ids[0], txn.Exclusive)
+		if err != nil || o == nil {
+			t.Fatal("re-lock failed")
+		}
+	}); n != 0 {
+		t.Errorf("pinned re-lock: %v allocs/op, want 0", n)
 	}
 }
 

@@ -69,7 +69,27 @@ type Options struct {
 	// asynchronous propagation of §3.1. Use WaitIdle to quiesce (tests,
 	// shutdown). Default off: deterministic post-commit execution.
 	AsyncDetached bool
+	// MaxResidentObjects caps the resident-object directory: when the
+	// resident population exceeds it, clean, unpinned, non-system objects
+	// are evicted (second-chance clock) and fault back in from the heap on
+	// next touch. 0 (default) disables eviction — objects still fault in
+	// lazily, but nothing is ever reclaimed. Only meaningful with Dir set.
+	MaxResidentObjects int
+	// CheckpointBytes triggers an automatic checkpoint (heap flush + WAL
+	// truncation) when the WAL grows past this many bytes, bounding both
+	// recovery time and log size. 0 means the default (4 MiB); negative
+	// disables auto-checkpointing (checkpoints happen only at open/close
+	// or explicit Checkpoint calls).
+	CheckpointBytes int64
+	// EagerLoad restores the pre-paging behaviour of materializing every
+	// heap object at open. Useful as a benchmark baseline and for
+	// workloads that touch the entire database immediately anyway.
+	EagerLoad bool
 }
+
+// defaultCheckpointBytes is the auto-checkpoint threshold when
+// Options.CheckpointBytes is zero.
+const defaultCheckpointBytes = 4 << 20
 
 // Stats are cumulative runtime counters.
 type Stats struct {
@@ -80,9 +100,18 @@ type Stats struct {
 	ActionsRun    uint64
 	Sends         uint64 // method dispatches
 	Txn           txn.Stats
-	ObjectsLive   int
-	RulesDefined  int
-	Subscriptions int
+	// ObjectsResident counts objects materialized in the directory;
+	// ObjectsTotal counts the live population (directory ∪ heap). They
+	// diverge once demand paging leaves cold objects on disk.
+	// ObjectsLive == ObjectsTotal, kept for compatibility.
+	ObjectsResident int
+	ObjectsTotal    int
+	ObjectsLive     int
+	RulesDefined    int
+	Subscriptions   int
+	Faults          uint64 // objects decoded from the heap on demand
+	Evictions       uint64 // residents reclaimed by the clock sweep
+	Checkpoints     uint64 // checkpoints taken (explicit + automatic)
 }
 
 // Database is a Sentinel active object-oriented database instance.
@@ -103,7 +132,6 @@ type Database struct {
 	// hierarchy: fnMu (registry) → mu → ccMu → per-object txn locks; never
 	// acquire in the other direction.
 	mu            sync.RWMutex
-	objects       map[oid.OID]*object.Object
 	names         map[string]oid.OID
 	nameObjs      map[string]oid.OID
 	rules         map[oid.OID]*rule.Rule
@@ -118,6 +146,40 @@ type Database struct {
 	indexes       map[idxKey]*index.Hash
 	indexObjs     map[idxKey]oid.OID
 	indexByClass  map[string][]*index.Hash
+
+	// dir is the sharded resident-object directory (see directory.go):
+	// object lookups go through it, missing entries fault in from the
+	// heap, and the clock evictor reclaims clean unpinned residents when
+	// MaxResidentObjects is exceeded. It is its own synchronization
+	// domain — shard locks are leaves in the lock hierarchy.
+	dir *objDirectory
+
+	// flight tracks in-progress fault-ins per OID (singleflight): the
+	// first faulter decodes, concurrent ones wait and share the result.
+	flightMu sync.Mutex
+	flight   map[oid.OID]*dirFlight
+
+	// evicting serializes clock sweeps (one at a time; extra faulters
+	// skip instead of queueing).
+	evicting atomic.Bool
+
+	// catMu guards the heap-class catalog: OID → class name for every
+	// committed persistent object, mirroring the heap's object table so
+	// population-wide operations (InstancesOf, Dump, integrity checks,
+	// index rebuild, Stats) can enumerate cold objects without decoding
+	// them. catNames interns the class-name strings. Persisted in the
+	// checkpoint metadata so a clean open skips the full heap scan.
+	catMu    sync.RWMutex
+	heapCat  map[oid.OID]string
+	catNames map[string]string
+
+	// ckptMu fences checkpoints against commits: writeCommit holds it
+	// shared for the WAL-append + heap-apply window, Checkpoint holds it
+	// exclusively for flush + truncate, so a commit can never land its
+	// WAL records between the heap flush and the log truncation (which
+	// would silently drop it).
+	ckptMu      sync.RWMutex
+	ckptRunning atomic.Bool
 
 	// fnMu guards the named condition/action function registries. They are
 	// written during schema setup and read when rules compile — never on
@@ -149,6 +211,7 @@ type Database struct {
 	detachedWG   sync.WaitGroup
 
 	statEvents, statNotify, statDetect, statCond, statAct, statSends atomic.Uint64
+	statFaults, statEvict, statCkpt                                  atomic.Uint64
 }
 
 type subKey struct{ reactive, consumer oid.OID }
@@ -181,7 +244,7 @@ func Open(opts Options) (*Database, error) {
 		reg:            schema.NewRegistry(),
 		tm:             txn.NewManager(),
 		alloc:          oid.NewAllocator(1),
-		objects:        make(map[oid.OID]*object.Object),
+		dir:            newObjDirectory(),
 		names:          make(map[string]oid.OID),
 		nameObjs:       make(map[string]oid.OID),
 		rules:          make(map[oid.OID]*rule.Rule),
@@ -282,25 +345,55 @@ func (db *Database) Close() error {
 // Stats returns a snapshot of the runtime counters.
 func (db *Database) Stats() Stats {
 	db.mu.RLock()
-	objs := len(db.objects)
 	rules := len(db.rules)
 	subsN := 0
 	for _, m := range db.subs {
 		subsN += len(m)
 	}
 	db.mu.RUnlock()
+	resident, total := db.countObjects()
 	return Stats{
-		EventsRaised:  db.statEvents.Load(),
-		Notifications: db.statNotify.Load(),
-		Detections:    db.statDetect.Load(),
-		ConditionsRun: db.statCond.Load(),
-		ActionsRun:    db.statAct.Load(),
-		Sends:         db.statSends.Load(),
-		Txn:           db.tm.Stats(),
-		ObjectsLive:   objs,
-		RulesDefined:  rules,
-		Subscriptions: subsN,
+		EventsRaised:    db.statEvents.Load(),
+		Notifications:   db.statNotify.Load(),
+		Detections:      db.statDetect.Load(),
+		ConditionsRun:   db.statCond.Load(),
+		ActionsRun:      db.statAct.Load(),
+		Sends:           db.statSends.Load(),
+		Txn:             db.tm.Stats(),
+		ObjectsResident: resident,
+		ObjectsTotal:    total,
+		ObjectsLive:     total,
+		RulesDefined:    rules,
+		Subscriptions:   subsN,
+		Faults:          db.statFaults.Load(),
+		Evictions:       db.statEvict.Load(),
+		Checkpoints:     db.statCkpt.Load(),
 	}
+}
+
+// countObjects computes the resident and total (directory ∪ heap) live
+// populations: residents are directory entries minus tombstones, the total
+// adds catalog entries with no directory presence (a tombstone shadows its
+// heap image — the delete is in flight).
+func (db *Database) countObjects() (resident, total int) {
+	present := make(map[oid.OID]bool)
+	db.dir.forEach(func(id oid.OID, _ *object.Object, tomb bool) {
+		present[id] = true
+		if !tomb {
+			resident++
+		}
+	})
+	total = resident
+	if db.store != nil {
+		db.catMu.RLock()
+		for id := range db.heapCat {
+			if !present[id] {
+				total++
+			}
+		}
+		db.catMu.RUnlock()
+	}
+	return resident, total
 }
 
 // Now returns the current logical timestamp (the last one issued).
@@ -346,12 +439,15 @@ func (db *Database) hierarchy() event.Hierarchy { return hier{reg: db.reg} }
 // nextSeq issues the next logical timestamp.
 func (db *Database) nextSeq() uint64 { return db.clock.Add(1) }
 
-// object returns the cached object (nil if absent). Callers must hold the
-// appropriate transaction lock before touching fields.
+// objectByID returns the live object for id, faulting it in from the heap
+// if it is not resident (nil if absent or tombstoned; decode errors also
+// report nil — lockObject surfaces them). Callers must hold the appropriate
+// transaction lock before touching fields; under eviction pressure only
+// pinned objects (lockObject) have stable pointers, but ID() and Class()
+// are immutable and safe on any returned pointer.
 func (db *Database) objectByID(id oid.OID) *object.Object {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.objects[id]
+	o, _ := db.faultObject(id)
+	return o
 }
 
 // LookupRule returns the runtime rule with the given name (nil if absent).
@@ -387,34 +483,108 @@ func (db *Database) LookupEvent(name string) (*event.Expr, bool) {
 	return e, ok
 }
 
-// metaBlob encodes the checkpoint metadata: OID high-water mark and logical
-// clock.
+// metaBlob encodes the checkpoint metadata: OID high-water mark, logical
+// clock, DSL class sequence, and — since the demand-paging refactor — the
+// heap-class catalog (a class-name string table plus OID → class-index
+// pairs), so a clean open enumerates the heap population without scanning
+// and decoding every page.
 func (db *Database) metaBlob() []byte {
 	buf := binary.AppendUvarint(nil, uint64(db.alloc.HighWater()))
 	buf = binary.AppendUvarint(buf, db.clock.Load())
 	buf = binary.AppendUvarint(buf, uint64(db.dslClassSeq))
+
+	db.catMu.RLock()
+	classIdx := make(map[string]int)
+	var classes []string
+	for _, cls := range db.heapCat {
+		if _, ok := classIdx[cls]; !ok {
+			classIdx[cls] = len(classes)
+			classes = append(classes, cls)
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(classes)))
+	for _, cls := range classes {
+		buf = binary.AppendUvarint(buf, uint64(len(cls)))
+		buf = append(buf, cls...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(db.heapCat)))
+	for id, cls := range db.heapCat {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = binary.AppendUvarint(buf, uint64(classIdx[cls]))
+	}
+	db.catMu.RUnlock()
 	return buf
 }
 
-func (db *Database) loadMeta(buf []byte) {
+// loadMeta decodes the checkpoint metadata, returning whether a heap-class
+// catalog was present and well-formed (pre-paging checkpoints lack it; the
+// caller falls back to a heap scan).
+func (db *Database) loadMeta(buf []byte) (catalogLoaded bool) {
 	hw, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return
+		return false
 	}
 	db.alloc.Advance(oid.OID(hw))
 	buf = buf[n:]
 	clk, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return
+		return false
 	}
 	for db.clock.Load() < clk {
 		db.clock.Store(clk)
 	}
 	buf = buf[n:]
 	seq, n := binary.Uvarint(buf)
-	if n > 0 && int(seq) > db.dslClassSeq {
+	if n <= 0 {
+		return false
+	}
+	if int(seq) > db.dslClassSeq {
 		db.dslClassSeq = int(seq)
 	}
+	buf = buf[n:]
+
+	nClasses, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return false
+	}
+	buf = buf[n:]
+	classes := make([]string, 0, nClasses)
+	for i := uint64(0); i < nClasses; i++ {
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf[n:])) < l {
+			return false
+		}
+		buf = buf[n:]
+		classes = append(classes, string(buf[:l]))
+		buf = buf[l:]
+	}
+	nEntries, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return false
+	}
+	buf = buf[n:]
+	cat := make(map[oid.OID]string, nEntries)
+	for i := uint64(0); i < nEntries; i++ {
+		id, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return false
+		}
+		buf = buf[n:]
+		ci, n := binary.Uvarint(buf)
+		if n <= 0 || ci >= uint64(len(classes)) {
+			return false
+		}
+		buf = buf[n:]
+		cat[oid.OID(id)] = classes[ci]
+	}
+	db.catMu.Lock()
+	db.heapCat = cat
+	db.catNames = make(map[string]string, len(classes))
+	for _, cls := range classes {
+		db.catNames[cls] = cls
+	}
+	db.catMu.Unlock()
+	return true
 }
 
 func (db *Database) walPath() string { return filepath.Join(db.opts.Dir, "sentinel.wal") }

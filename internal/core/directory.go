@@ -1,0 +1,300 @@
+package core
+
+// directory.go implements the sharded resident-object directory: the demand-
+// paged replacement for the old monolithic `objects` map. Entries are keyed
+// by OID across a fixed number of lock shards so concurrent transactions on
+// disjoint objects never contend on one mutex, and each entry carries the
+// paging state the evictor needs:
+//
+//   - pins: transactions that require pointer stability (they hold a txn
+//     lock on the object and may have captured the *object.Object in undo
+//     closures). Pinned entries are never evicted.
+//   - dirty: the in-memory state is ahead of the heap image; eviction would
+//     lose committed-in-progress work, so dirty entries are wired until
+//     their commit writes them back (writeCommit marks them clean).
+//   - noEvict: system objects (rules, events, subscriptions, bindings,
+//     class/index catalogs) and instances of non-persistent classes have no
+//     rebuildable disk image or are needed for catalog consistency; they
+//     stay resident for the lifetime of the database.
+//   - tomb: the object was deleted by a transaction that has not committed
+//     yet. The entry stays (the undo closure restores it on abort) but is
+//     invisible to lookups, and — crucially — blocks fault-in from
+//     resurrecting the stale heap image.
+//   - ref: the second-chance (clock) reference bit, set on every hit and
+//     cleared by the evictor's first pass over an entry.
+//
+// Shard mutexes are leaves in the lock hierarchy (fnMu → mu → ccMu → shard /
+// catMu → txn object locks): directory methods never call back into the
+// Database, and Database code never acquires mu or ccMu while holding a
+// shard lock.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+)
+
+const dirShardCount = 64
+
+type dirEntry struct {
+	obj  *object.Object
+	pins atomic.Int32
+	ref  atomic.Bool
+
+	// Guarded by the owning shard's mutex.
+	dirty   bool
+	noEvict bool
+	tomb    bool
+}
+
+type dirShard struct {
+	mu   sync.RWMutex
+	objs map[oid.OID]*dirEntry
+}
+
+// objDirectory is the sharded resident-object directory.
+type objDirectory struct {
+	shards   [dirShardCount]dirShard
+	resident atomic.Int64 // entries in the directory, tombstones included
+	hand     atomic.Uint32
+}
+
+func newObjDirectory() *objDirectory {
+	d := &objDirectory{}
+	for i := range d.shards {
+		d.shards[i].objs = make(map[oid.OID]*dirEntry)
+	}
+	return d
+}
+
+func (d *objDirectory) shard(id oid.OID) *dirShard {
+	return &d.shards[uint64(id)%dirShardCount]
+}
+
+// get returns the resident object for id. found reports whether the
+// directory has an entry at all; a tombstoned entry returns (nil, true) so
+// callers do not fall through to fault-in and resurrect a deleted object.
+func (d *objDirectory) get(id oid.OID) (o *object.Object, found bool) {
+	s := d.shard(id)
+	s.mu.RLock()
+	e := s.objs[id]
+	if e == nil {
+		s.mu.RUnlock()
+		return nil, false
+	}
+	if e.tomb {
+		s.mu.RUnlock()
+		return nil, true
+	}
+	e.ref.Store(true)
+	o = e.obj
+	s.mu.RUnlock()
+	return o, true
+}
+
+// pin atomically checks residency and takes a pin. Pin increments happen
+// under the shard read lock while the evictor scans under the write lock, so
+// an entry observed unpinned by the evictor cannot gain a pin concurrently.
+// Tombstoned entries are reported but not pinned.
+func (d *objDirectory) pin(id oid.OID) (o *object.Object, found, tomb bool) {
+	s := d.shard(id)
+	s.mu.RLock()
+	e := s.objs[id]
+	if e == nil {
+		s.mu.RUnlock()
+		return nil, false, false
+	}
+	if e.tomb {
+		s.mu.RUnlock()
+		return nil, true, true
+	}
+	e.pins.Add(1)
+	e.ref.Store(true)
+	o = e.obj
+	s.mu.RUnlock()
+	return o, true, false
+}
+
+// unpin drops one pin. Missing entries are tolerated: an aborted create
+// removes its entry (via undo) before the creating transaction unpins.
+func (d *objDirectory) unpin(id oid.OID) {
+	s := d.shard(id)
+	s.mu.RLock()
+	if e := s.objs[id]; e != nil {
+		e.pins.Add(-1)
+	}
+	s.mu.RUnlock()
+}
+
+// insert adds a new entry (replacing any existing one, which callers avoid
+// except for crash-recovery rebuilds). pins is the initial pin count.
+func (d *objDirectory) insert(id oid.OID, o *object.Object, pins int32, dirty, noEvict bool) {
+	e := &dirEntry{obj: o, dirty: dirty, noEvict: noEvict}
+	e.pins.Store(pins)
+	e.ref.Store(true)
+	s := d.shard(id)
+	s.mu.Lock()
+	if s.objs[id] == nil {
+		d.resident.Add(1)
+	}
+	s.objs[id] = e
+	s.mu.Unlock()
+}
+
+// insertIfAbsent publishes a faulted-in object unless a competing insert (or
+// an uncommitted delete's tombstone) got there first, and returns the entry
+// now in the directory (nil when a tombstone shadows the id).
+func (d *objDirectory) insertIfAbsent(id oid.OID, o *object.Object) *object.Object {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil {
+		var cur *object.Object
+		if !e.tomb {
+			e.ref.Store(true)
+			cur = e.obj
+		}
+		s.mu.Unlock()
+		return cur
+	}
+	e := &dirEntry{obj: o}
+	e.ref.Store(true)
+	s.objs[id] = e
+	d.resident.Add(1)
+	s.mu.Unlock()
+	return o
+}
+
+// pinOrInsert pins the resident entry for id, or installs o pinned if the
+// id is absent. tomb reports that a tombstone shadows the id (nothing is
+// pinned then).
+func (d *objDirectory) pinOrInsert(id oid.OID, o *object.Object) (cur *object.Object, tomb bool) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil {
+		if e.tomb {
+			s.mu.Unlock()
+			return nil, true
+		}
+		e.pins.Add(1)
+		e.ref.Store(true)
+		cur = e.obj
+		s.mu.Unlock()
+		return cur, false
+	}
+	e := &dirEntry{obj: o}
+	e.pins.Store(1)
+	e.ref.Store(true)
+	s.objs[id] = e
+	d.resident.Add(1)
+	s.mu.Unlock()
+	return o, false
+}
+
+// remove deletes the entry outright (committed deletes, aborted creates).
+func (d *objDirectory) remove(id oid.OID) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if _, ok := s.objs[id]; ok {
+		delete(s.objs, id)
+		d.resident.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// setDirty sets the dirty bit and returns its previous value (so undo hooks
+// can restore the pre-write state: the heap image still matches the restored
+// fields after rollback).
+func (d *objDirectory) setDirty(id oid.OID, dirty bool) (was bool) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil {
+		was = e.dirty
+		e.dirty = dirty
+	}
+	s.mu.Unlock()
+	return was
+}
+
+// setTomb marks or unmarks an entry as an uncommitted delete.
+func (d *objDirectory) setTomb(id oid.OID, tomb bool) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil {
+		e.tomb = tomb
+	}
+	s.mu.Unlock()
+}
+
+// replaceObj swaps the resident pointer in place (schema evolution), marks
+// the entry dirty, and returns the previous object and dirty bit for undo.
+func (d *objDirectory) replaceObj(id oid.OID, o *object.Object, dirty bool) (prev *object.Object, wasDirty bool) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil {
+		prev, wasDirty = e.obj, e.dirty
+		e.obj = o
+		e.dirty = dirty
+	}
+	s.mu.Unlock()
+	return prev, wasDirty
+}
+
+// residentCount returns the number of visible (non-tombstoned) residents.
+func (d *objDirectory) residentCount() int {
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		for _, e := range s.objs {
+			if !e.tomb {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// forEach calls fn for every entry (tombstones included) under the shard
+// read lock; fn must not re-enter the directory or block.
+func (d *objDirectory) forEach(fn func(id oid.OID, o *object.Object, tomb bool)) {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		for id, e := range s.objs {
+			fn(id, e.obj, e.tomb)
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// evictDownTo runs the second-chance clock over the shards until the
+// resident count drops to target (or two full sweeps prove nothing more is
+// evictable: everything left is pinned, dirty, wired, or tombstoned). It
+// returns the evicted OIDs so the caller can drop their consumer-cache
+// entries outside the shard locks.
+func (d *objDirectory) evictDownTo(target int64) []oid.OID {
+	var evicted []oid.OID
+	for sweep := 0; sweep < 2*dirShardCount && d.resident.Load() > target; sweep++ {
+		s := &d.shards[d.hand.Add(1)%dirShardCount]
+		s.mu.Lock()
+		for id, e := range s.objs {
+			if d.resident.Load() <= target {
+				break
+			}
+			if e.tomb || e.noEvict || e.dirty || e.pins.Load() != 0 {
+				continue
+			}
+			if e.ref.Swap(false) {
+				continue // second chance
+			}
+			delete(s.objs, id)
+			d.resident.Add(-1)
+			evicted = append(evicted, id)
+		}
+		s.mu.Unlock()
+	}
+	return evicted
+}

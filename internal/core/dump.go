@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"sentinel/internal/lang"
+	"sentinel/internal/object"
 	"sentinel/internal/oid"
 	"sentinel/internal/rule"
 	"sentinel/internal/value"
@@ -40,18 +41,18 @@ func (db *Database) DumpDSL(w io.Writer) error {
 	}
 	var defs []defEntry
 	dslDefined := map[string]bool{}
-	db.mu.RLock()
-	for _, o := range db.objects {
-		if o.Class().Name != SysClassDefClass {
-			continue
+	// Class-catalog objects are system objects: always resident, so the
+	// directory sweep sees every one of them.
+	db.dir.forEach(func(_ oid.OID, o *object.Object, tomb bool) {
+		if tomb || o.Class().Name != SysClassDefClass {
+			return
 		}
 		src, _ := mustGet(o, "source").AsString()
 		name, _ := mustGet(o, "name").AsString()
 		seq, _ := mustGet(o, "seq").AsInt()
 		defs = append(defs, defEntry{seq: seq, source: src})
 		dslDefined[name] = true
-	}
-	db.mu.RUnlock()
+	})
 	sort.Slice(defs, func(i, j int) bool { return defs[i].seq < defs[j].seq })
 	fmt.Fprintln(w, "\n# -- classes --")
 	for _, c := range db.reg.Classes() {
@@ -64,25 +65,29 @@ func (db *Database) DumpDSL(w io.Writer) error {
 		fmt.Fprintln(w, d.source)
 	}
 
-	// 2. Named events.
+	// 2. Named events. Snapshot the catalog under mu, resolve the backing
+	// objects afterwards (they are system objects, hence resident; never
+	// fault while holding db.mu).
 	db.mu.RLock()
 	eventNames := make([]string, 0, len(db.namedEvents))
 	for n := range db.namedEvents {
 		eventNames = append(eventNames, n)
+	}
+	eventIDs := make(map[string]oid.OID, len(db.eventObjs))
+	for n, id := range db.eventObjs {
+		eventIDs[n] = id
 	}
 	db.mu.RUnlock()
 	sort.Strings(eventNames)
 	if len(eventNames) > 0 {
 		fmt.Fprintln(w, "\n# -- named events --")
 		for _, n := range eventNames {
-			db.mu.RLock()
 			var src string
-			if id, ok := db.eventObjs[n]; ok {
-				if o := db.objects[id]; o != nil {
+			if id, ok := eventIDs[n]; ok {
+				if o, _ := db.dir.get(id); o != nil {
 					src, _ = mustGet(o, "source").AsString()
 				}
 			}
-			db.mu.RUnlock()
 			if src != "" {
 				fmt.Fprintf(w, "event %s = %s\n", n, src)
 			}
@@ -116,22 +121,26 @@ func (db *Database) DumpDSL(w io.Writer) error {
 	}
 
 	// 5. Objects: two phases — create with scalar initializers, then patch
-	// reference attributes once every object exists.
-	db.mu.RLock()
-	ids := make([]oid.OID, 0, len(db.objects))
-	for id, o := range db.objects {
+	// reference attributes once every object exists. The union iteration
+	// (directory ∪ heap) decodes evicted objects transiently, so the dump
+	// never inflates the resident set.
+	objsByID := make(map[oid.OID]*object.Object)
+	if err := db.forEachLiveObject(func(id oid.OID, o *object.Object) error {
 		if !IsSystemClass(o.Class().Name) {
-			ids = append(ids, id)
+			objsByID[id] = o
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
-	db.mu.RUnlock()
+	ids := make([]oid.OID, 0, len(objsByID))
+	for id := range objsByID {
+		ids = append(ids, id)
+	}
 	value.SortRefs(ids)
 	fmt.Fprintln(w, "\n# -- objects --")
 	for _, id := range ids {
-		o := db.objectByID(id)
-		if o == nil {
-			continue
-		}
+		o := objsByID[id]
 		var inits []string
 		for _, a := range o.Class().Layout() {
 			v := o.GetSlot(a.Slot())
@@ -157,20 +166,17 @@ func (db *Database) DumpDSL(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "\n# -- object references --")
 	for _, id := range ids {
-		o := db.objectByID(id)
-		if o == nil {
-			continue
-		}
+		o := objsByID[id]
 		for _, a := range o.Class().Layout() {
 			v := o.GetSlot(a.Slot())
 			if ref, ok := v.AsRef(); ok && !ref.IsNil() {
-				if db.objectByID(ref) == nil || IsSystemClass(db.objectByID(ref).Class().Name) {
-					continue
+				if objsByID[ref] == nil {
+					continue // missing or system object: not dumped
 				}
 				fmt.Fprintf(w, "%s.%s := %s\n", objVar(id), a.Name, objVar(ref))
 			}
 			if lst, ok := v.AsList(); ok && containsRef(lst) {
-				elems, allOK := listLiteralWithRefs(db, lst)
+				elems, allOK := listLiteralWithRefs(objsByID, lst)
 				if allOK {
 					fmt.Fprintf(w, "%s.%s := %s\n", objVar(id), a.Name, elems)
 				} else {
@@ -185,14 +191,15 @@ func (db *Database) DumpDSL(w io.Writer) error {
 		fmt.Fprintln(w, "\n# -- bindings --")
 		for _, n := range names {
 			target, _ := db.Lookup(n)
-			if o := db.objectByID(target); o != nil && !IsSystemClass(o.Class().Name) {
+			if objsByID[target] != nil {
 				fmt.Fprintf(w, "bind %s %s\n", n, objVar(target))
 			}
 		}
 	}
 
 	// 7. Subscriptions (rule consumers only; Go func consumers are
-	// transient).
+	// transient). Snapshot the edges under mu; the reactive-object check
+	// uses the already-collected population.
 	db.mu.RLock()
 	type subPair struct {
 		reactive oid.OID
@@ -202,13 +209,18 @@ func (db *Database) DumpDSL(w io.Writer) error {
 	for reactive, consumers := range db.subs {
 		for _, c := range consumers {
 			if r := db.rules[c]; r != nil && !strings.HasPrefix(r.Name(), "__") {
-				if o := db.objects[reactive]; o != nil && !IsSystemClass(o.Class().Name) {
-					subsOut = append(subsOut, subPair{reactive, r.Name()})
-				}
+				subsOut = append(subsOut, subPair{reactive, r.Name()})
 			}
 		}
 	}
 	db.mu.RUnlock()
+	kept := subsOut[:0]
+	for _, s := range subsOut {
+		if objsByID[s.reactive] != nil {
+			kept = append(kept, s)
+		}
+	}
+	subsOut = kept
 	sort.Slice(subsOut, func(i, j int) bool {
 		if subsOut[i].reactive != subsOut[j].reactive {
 			return subsOut[i].reactive < subsOut[j].reactive
@@ -326,11 +338,11 @@ func containsRef(lst []value.Value) bool {
 	return false
 }
 
-func listLiteralWithRefs(db *Database, lst []value.Value) (string, bool) {
+func listLiteralWithRefs(objsByID map[oid.OID]*object.Object, lst []value.Value) (string, bool) {
 	parts := make([]string, len(lst))
 	for i, e := range lst {
 		if ref, ok := e.AsRef(); ok {
-			if db.objectByID(ref) == nil {
+			if objsByID[ref] == nil {
 				return "", false
 			}
 			parts[i] = objVar(ref)

@@ -54,6 +54,43 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 	}
 	db.mu.RUnlock()
 
+	// Collect the instances (exact class only: no subclasses can exist):
+	// residents of the old class plus cold heap instances from the
+	// catalog. Lock and fault them in BEFORE the registry swap — decoding
+	// must still see the old layout. Migrated instances are all dirty
+	// (hence wired) until commit writes the new images.
+	var migrated []oid.OID
+	db.dir.forEach(func(id oid.OID, o *object.Object, tomb bool) {
+		if !tomb && o.Class() == old {
+			migrated = append(migrated, id)
+		}
+	})
+	if db.store != nil {
+		present := make(map[oid.OID]bool, len(migrated))
+		for _, id := range migrated {
+			present[id] = true
+		}
+		db.catMu.RLock()
+		for id, cls := range db.heapCat {
+			if cls == name && !present[id] {
+				if _, resident := db.dir.get(id); !resident {
+					migrated = append(migrated, id)
+				}
+			}
+		}
+		db.catMu.RUnlock()
+	}
+	value.SortRefs(migrated)
+
+	oldObjs := make(map[oid.OID]*object.Object, len(migrated))
+	for _, id := range migrated {
+		o, err := db.lockObject(t, id, txn.Exclusive)
+		if err != nil {
+			return err
+		}
+		oldObjs[id] = o
+	}
+
 	oldCls, err := db.reg.Replace(newCls)
 	if err != nil {
 		return err
@@ -67,24 +104,12 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 		}
 	}
 
-	// Migrate instances (exact class only: no subclasses can exist).
-	var migrated []oid.OID
-	oldObjs := make(map[oid.OID]*object.Object)
-	db.mu.RLock()
-	for id, o := range db.objects {
-		if o.Class() == oldCls {
-			migrated = append(migrated, id)
-			oldObjs[id] = o
-		}
+	type migration struct {
+		prev     *object.Object
+		wasDirty bool
 	}
-	db.mu.RUnlock()
-	value.SortRefs(migrated)
-
+	prevState := make(map[oid.OID]migration, len(migrated))
 	for _, id := range migrated {
-		if err := t.inner.Lock(txn.Lockable(id), txn.Exclusive); err != nil {
-			db.reg.Restore(oldCls)
-			return err
-		}
 		oldObj := oldObjs[id]
 		newObj, err := object.New(id, newCls)
 		if err != nil {
@@ -99,25 +124,22 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 				}
 			}
 		}
-		db.mu.Lock()
-		db.objects[id] = newObj
-		db.mu.Unlock()
+		prev, wasDirty := db.dir.replaceObj(id, newObj, true)
+		prevState[id] = migration{prev: prev, wasDirty: wasDirty}
 		t.dirty[id] = true
 	}
 
 	// Catalog source update for DSL classes.
 	if dslSource != "" {
 		var defObj oid.OID
-		db.mu.RLock()
-		for id, o := range db.objects {
-			if o.Class().Name == SysClassDefClass {
-				if n, _ := mustGet(o, "name").AsString(); n == name {
-					defObj = id
-					break
-				}
+		db.dir.forEach(func(id oid.OID, o *object.Object, tomb bool) {
+			if tomb || o.Class().Name != SysClassDefClass || !defObj.IsNil() {
+				return
 			}
-		}
-		db.mu.RUnlock()
+			if n, _ := mustGet(o, "name").AsString(); n == name {
+				defObj = id
+			}
+		})
 		if !defObj.IsNil() {
 			if err := db.setAttr(t, defObj, "source", value.Str(dslSource), nil, true); err != nil {
 				db.reg.Restore(oldCls)
@@ -132,11 +154,9 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 	db.bumpConsumerEpoch()
 	t.inner.OnUndo(func() {
 		db.reg.Restore(oldCls)
-		db.mu.Lock()
-		for id, o := range oldObjs {
-			db.objects[id] = o
+		for id, m := range prevState {
+			db.dir.replaceObj(id, m.prev, m.wasDirty)
 		}
-		db.mu.Unlock()
 		db.bumpConsumerEpoch()
 	})
 	return nil

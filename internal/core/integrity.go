@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"sentinel/internal/index"
+	"sentinel/internal/object"
 	"sentinel/internal/oid"
 	"sentinel/internal/value"
 )
@@ -31,12 +32,11 @@ func (db *Database) CheckIntegrity() []string {
 		problems = append(problems, fmt.Sprintf(format, args...))
 	}
 
-	// Snapshot the structures.
+	// Snapshot the structures. The object population is the union of the
+	// resident directory and the heap catalog (tombstones excluded), so the
+	// check sees evicted objects without faulting them all back in.
+	objects := db.liveClassMap()
 	db.mu.RLock()
-	objects := make(map[oid.OID]string, len(db.objects))
-	for id, o := range db.objects {
-		objects[id] = o.Class().Name
-	}
 	rules := make(map[oid.OID]string, len(db.rules))
 	for id, r := range db.rules {
 		rules[id] = r.Name()
@@ -73,12 +73,9 @@ func (db *Database) CheckIntegrity() []string {
 	}
 	db.mu.RUnlock()
 
-	// 1. Dangling references in object attributes.
-	for id := range objects {
-		o := db.objectByID(id)
-		if o == nil {
-			continue
-		}
+	// 1. Dangling references in object attributes. Streaming pass: evicted
+	// objects are decoded transiently, not faulted in.
+	if err := db.forEachLiveObject(func(id oid.OID, o *object.Object) error {
 		for _, a := range o.Class().Layout() {
 			checkRefs(o.GetSlot(a.Slot()), func(ref oid.OID) {
 				if _, live := objects[ref]; !live {
@@ -87,6 +84,9 @@ func (db *Database) CheckIntegrity() []string {
 				}
 			})
 		}
+		return nil
+	}); err != nil {
+		addf("object scan failed: %v", err)
 	}
 
 	// 2. Rules ↔ __Rule objects.
@@ -175,29 +175,30 @@ func (db *Database) CheckIntegrity() []string {
 			continue
 		}
 		expected := index.NewHash(k.class, k.attr)
-		db.mu.RLock()
-		for id, o := range db.objects {
+		if err := db.forEachLiveObject(func(id oid.OID, o *object.Object) error {
 			if !o.Class().IsSubclassOf(cls) {
-				continue
+				return nil
 			}
 			if a := o.Class().AttributeNamed(k.attr); a != nil {
 				expected.Add(id, o.GetSlot(a.Slot()))
 			}
+			return nil
+		}); err != nil {
+			addf("index %s.%s: scan failed: %v", k.class, k.attr, err)
+			continue
 		}
-		db.mu.RUnlock()
 		if expected.Len() != h.Len() {
 			addf("index %s.%s: has %d entries, scan finds %d", k.class, k.attr, h.Len(), expected.Len())
 			continue
 		}
 		// Spot-verify: every scanned entry must be found by the index.
-		db.mu.RLock()
-		for id, o := range db.objects {
+		if err := db.forEachLiveObject(func(id oid.OID, o *object.Object) error {
 			if !o.Class().IsSubclassOf(cls) {
-				continue
+				return nil
 			}
 			a := o.Class().AttributeNamed(k.attr)
 			if a == nil {
-				continue
+				return nil
 			}
 			v := o.GetSlot(a.Slot())
 			hit := false
@@ -210,8 +211,10 @@ func (db *Database) CheckIntegrity() []string {
 			if !hit {
 				addf("index %s.%s: object %s with value %s not indexed", k.class, k.attr, id, v)
 			}
+			return nil
+		}); err != nil {
+			addf("index %s.%s: verify scan failed: %v", k.class, k.attr, err)
 		}
-		db.mu.RUnlock()
 	}
 
 	// 7. Class-level rule lists reference live rules of that class scope.

@@ -1,0 +1,260 @@
+package core
+
+// pager.go is the demand-paging layer between the resident directory and the
+// heap: fault-in (with per-OID singleflight so concurrent faulters decode an
+// image once), the eviction driver, and the heap-class catalog — a small
+// OID → class-name map mirroring the heap's committed population so
+// "iterate the directory ∪ heap" operations (InstancesOf, Dump, integrity,
+// index rebuild, Stats) know what lives on disk without decoding it.
+
+import (
+	"fmt"
+
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+)
+
+// dirFlight is one in-progress fault: followers wait on done and share the
+// leader's result instead of decoding the image again.
+type dirFlight struct {
+	done chan struct{}
+	obj  *object.Object
+	err  error
+}
+
+// faultObject returns the live object for id: a directory hit, or a decode
+// from the heap published into the directory. A tombstoned entry (deleted by
+// an uncommitted transaction) and a heap miss both return (nil, nil): the
+// object does not exist as far as this caller is concerned. The returned
+// pointer is only guaranteed stable while the entry stays resident; callers
+// needing stability across eviction pressure pin via lockObject.
+func (db *Database) faultObject(id oid.OID) (*object.Object, error) {
+	if o, found := db.dir.get(id); found {
+		return o, nil
+	}
+	if db.store == nil {
+		return nil, nil
+	}
+
+	db.flightMu.Lock()
+	if f := db.flight[id]; f != nil {
+		db.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		if f.obj == nil {
+			return nil, nil
+		}
+		// The leader published the entry; re-read through the directory so a
+		// tombstone or eviction racing us is respected.
+		if o, found := db.dir.get(id); found {
+			return o, nil
+		}
+		return f.obj, nil
+	}
+	f := &dirFlight{done: make(chan struct{})}
+	if db.flight == nil {
+		db.flight = make(map[oid.OID]*dirFlight)
+	}
+	db.flight[id] = f
+	db.flightMu.Unlock()
+
+	f.obj, f.err = db.loadFromHeap(id, true)
+
+	db.flightMu.Lock()
+	delete(db.flight, id)
+	db.flightMu.Unlock()
+	close(f.done)
+
+	if f.err != nil {
+		return nil, f.err
+	}
+	if f.obj != nil {
+		db.maybeEvict()
+	}
+	return f.obj, nil
+}
+
+// loadFromHeap decodes one object image from the heap; publish=true installs
+// it in the directory (losing a publish race returns whoever won).
+func (db *Database) loadFromHeap(id oid.OID, publish bool) (*object.Object, error) {
+	img, ok, err := db.store.Get(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: faulting object %s: %w", id, err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	o, err := object.Decode(id, img, db.reg)
+	if err != nil {
+		return nil, fmt.Errorf("core: faulting object %s: %w", id, err)
+	}
+	if !publish {
+		return o, nil
+	}
+	db.statFaults.Add(1)
+	return db.dir.insertIfAbsent(id, o), nil
+}
+
+// maybeEvict runs the clock evictor when residency exceeds the configured
+// ceiling. One goroutine sweeps at a time; others skip — the next fault-in
+// re-checks. The sweep targets a low-water mark an eighth below the ceiling
+// so eviction runs in batches instead of once per fault.
+func (db *Database) maybeEvict() {
+	max := int64(db.opts.MaxResidentObjects)
+	if max <= 0 || db.dir.resident.Load() <= max {
+		return
+	}
+	if !db.evicting.CompareAndSwap(false, true) {
+		return
+	}
+	target := max - max/8
+	evicted := db.dir.evictDownTo(target)
+	db.evicting.Store(false)
+	if len(evicted) == 0 {
+		return
+	}
+	db.statEvict.Add(uint64(len(evicted)))
+	// Consumer-cache hygiene: evicted objects' memoized consumer sets would
+	// otherwise linger until the next epoch bump. The cache is keyed by OID
+	// and epoch-validated, so this is memory reclamation, not correctness —
+	// a refaulted object recomputes its entry on first raise.
+	db.ccMu.Lock()
+	for _, id := range evicted {
+		delete(db.objConsumers, id)
+	}
+	db.ccMu.Unlock()
+}
+
+// pagingEnabled reports whether eviction can reclaim residents — only then
+// do transactions pin the objects they lock.
+func (db *Database) pagingEnabled() bool {
+	return db.store != nil && db.opts.MaxResidentObjects > 0
+}
+
+// ---- heap-class catalog ----
+
+// setHeapClass records that the heap now holds an instance of cls at id.
+func (db *Database) setHeapClass(id oid.OID, cls string) {
+	db.catMu.Lock()
+	if db.heapCat == nil {
+		db.heapCat = make(map[oid.OID]string)
+	}
+	if interned, ok := db.catNames[cls]; ok {
+		cls = interned
+	} else {
+		if db.catNames == nil {
+			db.catNames = make(map[string]string)
+		}
+		db.catNames[cls] = cls
+	}
+	db.heapCat[id] = cls
+	db.catMu.Unlock()
+}
+
+func (db *Database) delHeapClass(id oid.OID) {
+	db.catMu.Lock()
+	delete(db.heapCat, id)
+	db.catMu.Unlock()
+}
+
+// heapCatSize returns the committed heap population.
+func (db *Database) heapCatSize() int {
+	db.catMu.RLock()
+	defer db.catMu.RUnlock()
+	return len(db.heapCat)
+}
+
+// ---- directory ∪ heap iteration ----
+
+// liveObject returns the object for id without changing residency: resident
+// entries are returned as-is, heap-only objects are decoded transiently (the
+// decode is NOT installed in the directory, so bulk scans do not churn the
+// working set). Returns nil for tombstoned and missing ids.
+func (db *Database) liveObject(id oid.OID) (*object.Object, error) {
+	if o, found := db.dir.get(id); found {
+		return o, nil
+	}
+	if db.store == nil {
+		return nil, nil
+	}
+	return db.loadFromHeap(id, false)
+}
+
+// forEachLiveObject streams every live object — resident entries first, then
+// heap-only objects decoded transiently — exactly once each. Tombstoned
+// entries are skipped on both sides. Callers see a point-in-time-ish union:
+// run it at a quiescent point for exact results (Dump and CheckIntegrity
+// already require that).
+func (db *Database) forEachLiveObject(fn func(id oid.OID, o *object.Object) error) error {
+	seen := make(map[oid.OID]bool)
+	var objs []*object.Object
+	db.dir.forEach(func(id oid.OID, o *object.Object, tomb bool) {
+		seen[id] = true // tombstones shadow the heap image
+		if !tomb {
+			objs = append(objs, o)
+		}
+	})
+	for _, o := range objs {
+		if err := fn(o.ID(), o); err != nil {
+			return err
+		}
+	}
+	if db.store == nil {
+		return nil
+	}
+	for _, id := range db.heapOnlyIDs(seen) {
+		o, err := db.loadFromHeap(id, false)
+		if err != nil {
+			return err
+		}
+		if o == nil {
+			continue // deleted between snapshot and decode
+		}
+		if err := fn(id, o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// heapOnlyIDs snapshots the catalog OIDs that have no directory entry.
+func (db *Database) heapOnlyIDs(seen map[oid.OID]bool) []oid.OID {
+	db.catMu.RLock()
+	out := make([]oid.OID, 0, len(db.heapCat))
+	for id := range db.heapCat {
+		if !seen[id] {
+			out = append(out, id)
+		}
+	}
+	db.catMu.RUnlock()
+	return out
+}
+
+// liveClassMap returns OID → class name over the full live population
+// (directory ∪ heap, tombstones excluded) without decoding heap images —
+// the catalog already knows their classes.
+func (db *Database) liveClassMap() map[oid.OID]string {
+	out := make(map[oid.OID]string)
+	tombs := make(map[oid.OID]bool)
+	db.dir.forEach(func(id oid.OID, o *object.Object, tomb bool) {
+		if tomb {
+			tombs[id] = true
+			return
+		}
+		out[id] = o.Class().Name
+	})
+	if db.store == nil {
+		return out
+	}
+	db.catMu.RLock()
+	for id, cls := range db.heapCat {
+		if _, resident := out[id]; resident || tombs[id] {
+			continue
+		}
+		out[id] = cls
+	}
+	db.catMu.RUnlock()
+	return out
+}

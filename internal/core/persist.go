@@ -17,16 +17,18 @@ import (
 
 // openStorage opens the heap and WAL, performs crash recovery (replaying
 // committed transactions logged after the last checkpoint into the heap),
-// materializes all objects into the cache, and rebuilds the runtime
-// catalogs — DSL classes, named events, rules, subscriptions and name
-// bindings — from their system objects.
+// establishes the heap-class catalog (from checkpoint metadata on a clean
+// open, by heap scan after recovery), materializes the *system* objects,
+// and rebuilds the runtime catalogs — DSL classes, named events, rules,
+// subscriptions and name bindings — from them. Application objects stay on
+// disk and fault in on first touch (unless Options.EagerLoad).
 func (db *Database) openStorage() error {
 	store, err := heap.Open(db.opts.Dir, heap.Options{PoolPages: db.opts.PoolPages})
 	if err != nil {
 		return err
 	}
 	db.store = store
-	db.loadMeta(store.Meta())
+	catalogLoaded := db.loadMeta(store.Meta())
 
 	log, err := wal.Open(db.walPath())
 	if err != nil {
@@ -79,60 +81,138 @@ func (db *Database) openStorage() error {
 			}
 		}
 		// Uncommitted tails in `pending` are discarded (no-steal policy:
-		// they were never applied to the heap).
+		// they were never applied to the heap). Recovery changed the heap
+		// after the checkpoint, so the persisted catalog is stale.
+		catalogLoaded = false
 	}
 
-	if err := db.loadObjects(); err != nil {
+	// The catalog must mirror the heap's object table exactly; rebuild it
+	// by page scan when the checkpoint copy is missing, stale, or does not
+	// match the table (pre-paging checkpoints, recovery).
+	rebuiltCatalog := !catalogLoaded || db.heapCatSize() != store.Len()
+	if rebuiltCatalog {
+		if err := db.buildCatalogFromScan(); err != nil {
+			return err
+		}
+	}
+	db.catMu.RLock()
+	var maxOID oid.OID
+	for id := range db.heapCat {
+		if id > maxOID {
+			maxOID = id
+		}
+	}
+	db.catMu.RUnlock()
+	db.alloc.Advance(maxOID)
+
+	if err := db.loadSystemObjects(); err != nil {
 		return err
 	}
 
-	// Start the next epoch from a clean checkpoint.
-	return db.Checkpoint()
+	if db.opts.EagerLoad {
+		db.catMu.RLock()
+		ids := make([]oid.OID, 0, len(db.heapCat))
+		for id := range db.heapCat {
+			ids = append(ids, id)
+		}
+		db.catMu.RUnlock()
+		for _, id := range ids {
+			if _, err := db.faultObject(id); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Start the next epoch from a clean checkpoint when recovery changed
+	// anything (which also persists the rebuilt catalog for the next
+	// open). A clean open — empty WAL, catalog straight from the last
+	// checkpoint — is already that checkpoint; skipping the rewrite keeps
+	// cold opens at index-read + system-object cost.
+	if hasWork || rebuiltCatalog {
+		return db.Checkpoint()
+	}
+	return nil
 }
 
-// loadObjects materializes the heap into the object cache and rebuilds the
-// runtime catalogs in dependency order: __ClassDef sources first (so
-// application objects can decode), then everything, then events → rules →
-// subscriptions → names.
-func (db *Database) loadObjects() error {
-	// Pass 1: collect images grouped by class name.
-	type img struct {
-		id   oid.OID
-		data []byte
-	}
-	byClass := make(map[string][]img)
-	var maxOID oid.OID
-	err := db.store.ForEach(func(id oid.OID, data []byte) error {
+// buildCatalogFromScan rebuilds the heap-class catalog by scanning every
+// live record and peeking its class name (no full decode).
+func (db *Database) buildCatalogFromScan() error {
+	cat := make(map[oid.OID]string)
+	names := make(map[string]string)
+	err := db.store.Scan(func(id oid.OID, data []byte) error {
 		cls, err := object.PeekClass(data)
 		if err != nil {
 			return fmt.Errorf("core: object %s: %w", id, err)
 		}
-		byClass[cls] = append(byClass[cls], img{id: id, data: data})
-		if id > maxOID {
-			maxOID = id
+		if interned, ok := names[cls]; ok {
+			cls = interned
+		} else {
+			names[cls] = cls
 		}
+		cat[id] = cls
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	db.alloc.Advance(maxOID)
+	db.catMu.Lock()
+	db.heapCat = cat
+	db.catNames = names
+	db.catMu.Unlock()
+	return nil
+}
 
-	// Pass 2: replay DSL class definitions (ordered by seq) so their
+// loadSystemObjects materializes only the system objects (class sources,
+// events, rules, subscriptions, name bindings, index catalogs) into the
+// directory — wired resident, since the runtime catalogs reference them —
+// and rebuilds those catalogs in dependency order: __ClassDef sources first
+// (so application instances can decode when they fault in), then events →
+// rules → subscriptions → names → secondary indexes.
+func (db *Database) loadSystemObjects() error {
+	byClass := make(map[string][]oid.OID)
+	db.catMu.RLock()
+	for id, cls := range db.heapCat {
+		if IsSystemClass(cls) {
+			byClass[cls] = append(byClass[cls], id)
+		}
+	}
+	db.catMu.RUnlock()
+	for _, ids := range byClass {
+		value.SortRefs(ids)
+	}
+
+	// Pass 1: decode and wire every system object. System classes are Go
+	// bootstrap classes, so they decode before any DSL replay.
+	sysObjs := make(map[oid.OID]*object.Object)
+	for cls, ids := range byClass {
+		for _, id := range ids {
+			img, ok, err := db.store.Get(id)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("core: catalog lists %s instance %s missing from heap", cls, id)
+			}
+			o, err := object.Decode(id, img, db.reg)
+			if err != nil {
+				return fmt.Errorf("core: materializing %s instance %s: %w", cls, id, err)
+			}
+			sysObjs[id] = o
+			db.dir.insert(id, o, 0, false, true)
+		}
+	}
+
+	// Pass 2: replay DSL class definitions (ordered by seq) so application
 	// instances can decode. The replay transaction only registers classes;
 	// nothing is re-persisted.
-	defs := byClass[SysClassDefClass]
 	type defEntry struct {
 		seq    int64
 		name   string
 		source string
 	}
 	var entries []defEntry
-	for _, im := range defs {
-		o, err := object.Decode(im.id, im.data, db.reg)
-		if err != nil {
-			return err
-		}
+	for _, id := range byClass[SysClassDefClass] {
+		o := sysObjs[id]
 		name, _ := mustGet(o, "name").AsString()
 		src, _ := mustGet(o, "source").AsString()
 		seq, _ := mustGet(o, "seq").AsInt()
@@ -161,59 +241,66 @@ func (db *Database) loadObjects() error {
 		}
 	}
 
-	// Pass 3: materialize every object.
-	for cls, imgs := range byClass {
-		for _, im := range imgs {
-			o, err := object.Decode(im.id, im.data, db.reg)
-			if err != nil {
-				return fmt.Errorf("core: materializing %s instance %s: %w", cls, im.id, err)
-			}
-			db.objects[im.id] = o
+	// Pass 3: fail fast on unregistered classes. The old eager open failed
+	// while decoding; the lazy open must not defer that surprise to an
+	// arbitrary later fault-in.
+	db.catMu.RLock()
+	missing := ""
+	for _, cls := range db.heapCat {
+		if db.reg.Lookup(cls) == nil {
+			missing = cls
+			break
 		}
+	}
+	db.catMu.RUnlock()
+	if missing != "" {
+		return fmt.Errorf("core: heap contains instances of unregistered class %q (register it in Options.Schema)", missing)
 	}
 
 	// Pass 4: named events (before rules, which may reference them).
-	for _, im := range byClass[SysEventClass] {
-		o := db.objects[im.id]
+	for _, id := range byClass[SysEventClass] {
+		o := sysObjs[id]
 		name, _ := mustGet(o, "name").AsString()
 		src, _ := mustGet(o, "source").AsString()
 		e, err := db.ParseEvent(src)
 		if err != nil {
 			return fmt.Errorf("core: rebuilding event %q: %w", name, err)
 		}
-		e.SetID(im.id)
+		e.SetID(id)
 		db.namedEvents[name] = e
-		db.eventObjs[name] = im.id
+		db.eventObjs[name] = id
 	}
 
 	// Pass 5: rules.
-	for _, im := range byClass[SysRuleClass] {
-		if err := db.rebuildRule(db.objects[im.id]); err != nil {
+	for _, id := range byClass[SysRuleClass] {
+		if err := db.rebuildRule(sysObjs[id]); err != nil {
 			return err
 		}
 	}
 
 	// Pass 6: subscriptions.
-	for _, im := range byClass[SysSubClass] {
-		o := db.objects[im.id]
+	for _, id := range byClass[SysSubClass] {
+		o := sysObjs[id]
 		reactive, _ := mustGet(o, "reactive").AsRef()
 		consumer, _ := mustGet(o, "consumer").AsRef()
 		db.subs[reactive] = append(db.subs[reactive], consumer)
-		db.subObjs[subKey{reactive, consumer}] = im.id
+		db.subObjs[subKey{reactive, consumer}] = id
 	}
 
 	// Pass 7: name bindings.
-	for _, im := range byClass[SysNameClass] {
-		o := db.objects[im.id]
+	for _, id := range byClass[SysNameClass] {
+		o := sysObjs[id]
 		name, _ := mustGet(o, "name").AsString()
 		target, _ := mustGet(o, "target").AsRef()
 		db.names[name] = target
-		db.nameObjs[name] = im.id
+		db.nameObjs[name] = id
 	}
 
-	// Pass 8: secondary indexes, rebuilt from the materialized population.
-	for _, im := range byClass[SysIndexClass] {
-		o := db.objects[im.id]
+	// Pass 8: secondary indexes, rebuilt from the directory ∪ heap
+	// population. Cold instances are decoded transiently — the rebuild
+	// needs their key values, not their residency.
+	for _, id := range byClass[SysIndexClass] {
+		o := sysObjs[id]
 		clsName, _ := mustGet(o, "class").AsString()
 		attr, _ := mustGet(o, "attr").AsString()
 		cls := db.reg.Lookup(clsName)
@@ -221,17 +308,21 @@ func (db *Database) loadObjects() error {
 			return fmt.Errorf("core: index catalog references unknown class %q", clsName)
 		}
 		h := index.NewHash(clsName, attr)
-		for id, obj := range db.objects {
+		err := db.forEachLiveObject(func(id oid.OID, obj *object.Object) error {
 			if !obj.Class().IsSubclassOf(cls) {
-				continue
+				return nil
 			}
 			if a := obj.Class().AttributeNamed(attr); a != nil {
 				h.Add(id, obj.GetSlot(a.Slot()))
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 		k := idxKey{clsName, attr}
 		db.indexes[k] = h
-		db.indexObjs[k] = im.id
+		db.indexObjs[k] = id
 		db.indexByClass[clsName] = append(db.indexByClass[clsName], h)
 	}
 	return nil
@@ -291,19 +382,49 @@ func (db *Database) rebuildRule(o *object.Object) error {
 }
 
 // Checkpoint flushes committed state to the heap, writes the object-table
-// index and metadata atomically, and truncates the WAL. After a checkpoint,
-// recovery restarts from this state.
+// index and metadata (including the heap-class catalog) atomically, and
+// truncates the WAL. After a checkpoint, recovery restarts from this state.
+// It holds ckptMu exclusively so no commit can append WAL records between
+// the heap flush and the log truncation (those records would vanish).
 func (db *Database) Checkpoint() error {
 	if db.store == nil {
 		return nil
 	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
 	db.mu.RLock()
 	meta := db.metaBlob()
 	db.mu.RUnlock()
 	if err := db.store.Checkpoint(meta); err != nil {
 		return err
 	}
-	return db.log.Truncate()
+	if err := db.log.Truncate(); err != nil {
+		return err
+	}
+	db.statCkpt.Add(1)
+	return nil
+}
+
+// maybeAutoCheckpoint checkpoints when the WAL has outgrown the configured
+// threshold. Runs at most once concurrently; failures are left for the next
+// trigger or the explicit Checkpoint at Close (the commit that called us is
+// already durable in the log).
+func (db *Database) maybeAutoCheckpoint() {
+	if db.store == nil || db.opts.CheckpointBytes < 0 {
+		return
+	}
+	threshold := db.opts.CheckpointBytes
+	if threshold == 0 {
+		threshold = defaultCheckpointBytes
+	}
+	if db.log.Size() < threshold {
+		return
+	}
+	if !db.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	defer db.ckptRunning.Store(false)
+	_ = db.Checkpoint()
 }
 
 func mustGet(o *object.Object, attr string) value.Value {

@@ -6,6 +6,8 @@ package core_test
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"sentinel/internal/bench"
@@ -15,6 +17,7 @@ import (
 	"sentinel/internal/rule"
 	"sentinel/internal/schema"
 	"sentinel/internal/value"
+	"sentinel/internal/wal"
 )
 
 func persistentOpts(dir string) core.Options {
@@ -404,6 +407,104 @@ func TestCheckpointShrinksWAL(t *testing.T) {
 		t.Fatalf("checkpoint did not shrink WAL: %d -> %d", before, db.WALSize())
 	}
 	db.Close()
+}
+
+// TestCrashRecoveryAbortedAndTornTail drives the replay path with a log
+// that mixes, after the last checkpoint: an explicitly aborted transaction
+// (RecAbort), a committed transaction, an uncommitted transaction (no
+// terminator), and finally a torn partial frame. Recovery must apply
+// exactly the committed transaction, ignore the rest, and stop cleanly at
+// the torn tail.
+func TestCrashRecoveryAbortedAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	opts := persistentOpts(dir)
+	opts.Schema = func(db *core.Database) error {
+		c := schema.NewClass("Rec")
+		c.Persistent = true
+		c.Attr("v", value.TypeInt)
+		return db.RegisterClass(c)
+	}
+
+	db := core.MustOpen(opts)
+	var fred oid.OID
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		fred, err = db.NewObject(tx, "Rec", map[string]value.Value{"v": value.Int(100)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil { // heap has fred, WAL empty
+		t.Fatal(err)
+	}
+	if err := db.CloseAbrupt(); err != nil { // no clean-close checkpoint
+		t.Fatal(err)
+	}
+
+	// Hand-append the post-checkpoint tail: Encode layout is
+	// class-name, field count, fields (see object.Encode).
+	img := func(v int64) []byte {
+		b := value.AppendValue(nil, value.Str("Rec"))
+		b = value.AppendValue(b, value.Int(1))
+		return value.AppendValue(b, value.Int(v))
+	}
+	mary := fred + 1000 // fresh OID, clear of everything allocated so far
+	log, err := wal.Open(filepath.Join(dir, "sentinel.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []wal.Record{
+		{Type: wal.RecUpdate, Tx: 7, OID: fred, Data: img(700)},
+		{Type: wal.RecAbort, Tx: 7},
+		{Type: wal.RecUpdate, Tx: 8, OID: mary, Data: img(800)},
+		{Type: wal.RecCommit, Tx: 8},
+		{Type: wal.RecUpdate, Tx: 9, OID: fred, Data: img(900)}, // never commits
+	}
+	if err := log.AppendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Torn tail: a few garbage bytes shorter than a frame header.
+	f, err := os.OpenFile(filepath.Join(dir, "sentinel.wal"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x13, 0x37}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := core.Open(opts)
+	if err != nil {
+		t.Fatalf("recovery over aborted+torn log: %v", err)
+	}
+	defer db2.Close()
+	readV := func(id oid.OID) int64 {
+		var got int64
+		if err := db2.Atomically(func(tx *core.Tx) error {
+			v, err := db2.GetSys(tx, id, "v")
+			if err != nil {
+				return err
+			}
+			got, _ = v.AsInt()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if v := readV(fred); v != 100 {
+		t.Errorf("fred.v = %d, want 100 (aborted tx 7 / uncommitted tx 9 leaked)", v)
+	}
+	if !db2.Exists(mary) {
+		t.Fatal("committed tx 8 lost")
+	}
+	if v := readV(mary); v != 800 {
+		t.Errorf("mary.v = %d, want 800", v)
+	}
+	db2.MustBeConsistent()
 }
 
 func TestTransientClassesNotPersisted(t *testing.T) {

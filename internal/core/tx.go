@@ -41,6 +41,14 @@ type Tx struct {
 	created map[oid.OID]bool
 	deleted map[oid.OID]bool
 
+	// pinned tracks the directory entries this transaction holds a pin on
+	// (one pin per object per transaction, taken by lockObject when
+	// eviction is enabled). Pins guarantee pointer stability: undo
+	// closures and execution frames capture *object.Object, so the
+	// evictor must not reclaim entries a live transaction references.
+	// Lazily allocated; nil when paging is off.
+	pinned map[oid.OID]bool
+
 	deferred *rule.Agenda
 	detached []rule.Firing
 
@@ -131,8 +139,19 @@ func (db *Database) Commit(t *Tx) error {
 	t.finished = true
 	t.resetTouched()
 	if err := t.inner.Commit(durable); err != nil {
+		t.releasePins()
 		return err
 	}
+	t.releasePins()
+	// Committed deletes: drop the tombstoned entries for good (the heap
+	// images are already gone via writeCommit).
+	for id := range t.deleted {
+		db.dir.remove(id)
+	}
+	db.maybeAutoCheckpoint()
+	// Create-heavy transactions grow residency without faulting; commit is
+	// the point where their entries turn clean and evictable.
+	db.maybeEvict()
 
 	// Phase 3: detached coupling — each firing runs in its own
 	// transaction after the triggering transaction committed (§4.4). An
@@ -201,6 +220,29 @@ func (db *Database) Abort(t *Tx) {
 	t.detached = nil
 	t.resetTouched()
 	t.inner.Abort()
+	t.releasePins()
+}
+
+// releasePins drops every directory pin the transaction holds. Runs after
+// the inner transaction finished (undo closures may still dereference the
+// pinned objects while rolling back). Entries removed by an aborted
+// create's undo are tolerated by unpin.
+func (t *Tx) releasePins() {
+	if t.pinned == nil {
+		return
+	}
+	for id := range t.pinned {
+		t.db.dir.unpin(id)
+	}
+	t.pinned = nil
+}
+
+// pin records a directory pin taken on behalf of this transaction.
+func (t *Tx) pin(id oid.OID) {
+	if t.pinned == nil {
+		t.pinned = make(map[oid.OID]bool)
+	}
+	t.pinned[id] = true
 }
 
 // resetTouched clears detection state of tx-scoped rules fed by this
@@ -224,8 +266,11 @@ func (db *Database) Atomically(fn func(*Tx) error) error {
 	return db.Commit(t)
 }
 
-// writeCommit assembles and syncs the WAL records for the transaction and
-// applies the write set to the heap. No-op for in-memory databases.
+// writeCommit assembles and syncs the WAL records for the transaction,
+// applies the write set to the heap, updates the heap-class catalog, and
+// marks the written directory entries clean (eligible for eviction again).
+// No-op for in-memory databases. Runs under ckptMu shared so a concurrent
+// checkpoint cannot truncate the log between our append and the heap apply.
 func (db *Database) writeCommit(t *Tx) error {
 	// Bump versions on touched objects regardless of persistence.
 	for id := range t.dirty {
@@ -236,33 +281,37 @@ func (db *Database) writeCommit(t *Tx) error {
 	if db.store == nil {
 		return nil
 	}
+	db.ckptMu.RLock()
+	defer db.ckptMu.RUnlock()
 	var recs []wal.Record
+	var classes []string // class name per record, aligned with recs
 	txid := uint64(t.inner.ID())
+	addUpdate := func(id oid.OID) {
+		o := db.objectByID(id)
+		if o == nil || !db.persistentObject(o) {
+			return
+		}
+		recs = append(recs, wal.Record{Type: wal.RecUpdate, Tx: txid, OID: id, Data: o.Encode(nil)})
+		classes = append(classes, o.Class().Name)
+	}
 	for id := range t.created {
 		if t.deleted[id] {
 			continue
 		}
-		o := db.objectByID(id)
-		if o == nil || !db.persistentObject(o) {
-			continue
-		}
-		recs = append(recs, wal.Record{Type: wal.RecUpdate, Tx: txid, OID: id, Data: o.Encode(nil)})
+		addUpdate(id)
 	}
 	for id := range t.dirty {
 		if t.created[id] || t.deleted[id] {
 			continue
 		}
-		o := db.objectByID(id)
-		if o == nil || !db.persistentObject(o) {
-			continue
-		}
-		recs = append(recs, wal.Record{Type: wal.RecUpdate, Tx: txid, OID: id, Data: o.Encode(nil)})
+		addUpdate(id)
 	}
 	for id := range t.deleted {
 		if t.created[id] {
 			continue
 		}
 		recs = append(recs, wal.Record{Type: wal.RecDelete, Tx: txid, OID: id})
+		classes = append(classes, "")
 	}
 	if len(recs) == 0 {
 		return nil
@@ -277,17 +326,22 @@ func (db *Database) writeCommit(t *Tx) error {
 			return err
 		}
 	}
-	// Apply to the heap (redo applied eagerly; the log protects it).
-	for _, r := range recs {
+	// Apply to the heap (redo applied eagerly; the log protects it). The
+	// commit record is last, so every update/delete index is in classes.
+	for i, r := range recs {
 		switch r.Type {
 		case wal.RecUpdate:
 			if err := db.store.Put(r.OID, r.Data); err != nil {
 				return err
 			}
+			db.setHeapClass(r.OID, classes[i])
+			// The heap image now matches memory: clean, evictable again.
+			db.dir.setDirty(r.OID, false)
 		case wal.RecDelete:
 			if err := db.store.Delete(r.OID); err != nil {
 				return err
 			}
+			db.delHeapClass(r.OID)
 		}
 	}
 	return nil
@@ -328,20 +382,28 @@ func (db *Database) NewObject(t *Tx, class string, inits map[string]value.Value)
 	if err := t.inner.Lock(txn.Lockable(id), txn.Exclusive); err != nil {
 		return oid.Nil, err
 	}
-	db.mu.Lock()
-	db.objects[id] = o
-	db.mu.Unlock()
+	// System objects and instances of non-persistent classes are wired
+	// resident (they have no rebuildable heap image, or the runtime
+	// catalogs reference them); everything else starts dirty — it has no
+	// heap image yet — and becomes evictable once writeCommit stores it.
+	noEvict := IsSystemClass(class) || !c.Persistent
+	var pins int32
+	if db.pagingEnabled() {
+		pins = 1
+		t.pin(id)
+	}
+	db.dir.insert(id, o, pins, !noEvict, noEvict)
 	t.created[id] = true
-	t.inner.OnUndo(func() {
-		db.mu.Lock()
-		delete(db.objects, id)
-		db.mu.Unlock()
-	})
+	t.inner.OnUndo(func() { db.dir.remove(id) })
 	db.indexObjectAdd(t, o)
 	return id, nil
 }
 
-// lockObject locks and returns the object, erroring if it does not exist.
+// lockObject locks and returns the object, faulting it in from the heap if
+// necessary and erroring if it does not exist. When eviction is enabled the
+// object is also pinned for the rest of the transaction, so the returned
+// pointer stays valid for undo closures and frames. The resident-hit path
+// is allocation-free after the first touch per (transaction, object).
 func (db *Database) lockObject(t *Tx, id oid.OID, mode txn.Mode) (*object.Object, error) {
 	if !t.Active() {
 		return nil, txn.ErrNotActive
@@ -349,15 +411,61 @@ func (db *Database) lockObject(t *Tx, id oid.OID, mode txn.Mode) (*object.Object
 	if err := t.inner.Lock(txn.Lockable(id), mode); err != nil {
 		return nil, err
 	}
-	o := db.objectByID(id)
+	if db.pagingEnabled() {
+		return db.lockPinned(t, id)
+	}
+	o, err := db.faultObject(id)
+	if err != nil {
+		return nil, err
+	}
 	if o == nil {
 		return nil, fmt.Errorf("core: no object %s", id)
 	}
 	return o, nil
 }
 
+// lockPinned resolves and pins a locked object under eviction pressure.
+// Pinning is atomic with the residency check (dir.pin under the shard read
+// lock excludes the evictor's write-locked sweep), so a pinned pointer
+// cannot be reclaimed.
+func (db *Database) lockPinned(t *Tx, id oid.OID) (*object.Object, error) {
+	if t.pinned[id] {
+		// Already pinned by this transaction: the entry cannot have been
+		// evicted; a nil here means we tombstoned it ourselves.
+		if o, _ := db.dir.get(id); o != nil {
+			return o, nil
+		}
+		return nil, fmt.Errorf("core: no object %s", id)
+	}
+	if o, found, tomb := db.dir.pin(id); found {
+		if tomb {
+			return nil, fmt.Errorf("core: no object %s", id)
+		}
+		t.pin(id)
+		return o, nil
+	}
+	fo, err := db.faultObject(id)
+	if err != nil {
+		return nil, err
+	}
+	if fo == nil {
+		return nil, fmt.Errorf("core: no object %s", id)
+	}
+	// The freshly faulted entry may already have been swept again; pin
+	// whatever is resident now, or (re)install our decode pinned.
+	o, tomb := db.dir.pinOrInsert(id, fo)
+	if tomb {
+		return nil, fmt.Errorf("core: no object %s", id)
+	}
+	t.pin(id)
+	return o, nil
+}
+
 // recordWrite snapshots the object once per transaction for rollback and
-// marks it dirty.
+// marks it dirty — in the transaction's write set and, under eviction, on
+// the directory entry (a dirty entry is wired until writeCommit stores it;
+// the undo hook restores the prior bit because after rollback the fields
+// match the heap image again).
 func (t *Tx) recordWrite(o *object.Object) {
 	id := o.ID()
 	if t.dirty[id] || t.created[id] {
@@ -366,6 +474,14 @@ func (t *Tx) recordWrite(o *object.Object) {
 	}
 	t.dirty[id] = true
 	snap := o.CopyFields()
+	if t.db.pagingEnabled() {
+		wasDirty := t.db.dir.setDirty(id, true)
+		t.inner.OnUndo(func() {
+			o.RestoreFields(snap)
+			t.db.dir.setDirty(id, wasDirty)
+		})
+		return
+	}
 	t.inner.OnUndo(func() { o.RestoreFields(snap) })
 }
 
@@ -472,8 +588,11 @@ func (db *Database) DeleteObject(t *Tx, id oid.OID) error {
 		return err
 	}
 	db.indexObjectRemove(t, o)
+	// Tombstone, don't remove: the entry keeps the object for the undo
+	// closure and blocks fault-in from resurrecting the stale heap image
+	// while the delete is uncommitted. Commit sweeps tombstones away.
+	db.dir.setTomb(id, true)
 	db.mu.Lock()
-	delete(db.objects, id)
 	savedSubs := db.subs[id]
 	delete(db.subs, id)
 	savedFns := db.funcConsumers[id]
@@ -483,8 +602,8 @@ func (db *Database) DeleteObject(t *Tx, id oid.OID) error {
 	db.bumpConsumerEpoch()
 	t.deleted[id] = true
 	t.inner.OnUndo(func() {
+		db.dir.setTomb(id, false)
 		db.mu.Lock()
-		db.objects[id] = o
 		if savedSubs != nil {
 			db.subs[id] = savedSubs
 		}
@@ -521,19 +640,41 @@ func (db *Database) SetSys(t *Tx, id oid.OID, attr string, v value.Value) error 
 }
 
 // InstancesOf returns the OIDs of all live instances of the named class and
-// its subclasses, sorted.
+// its subclasses, sorted. The result is the union of the resident directory
+// (which sees uncommitted creates and hides uncommitted deletes) and the
+// heap-class catalog (committed cold objects), so it is identical whether
+// an instance is resident or evicted.
 func (db *Database) InstancesOf(class string) []oid.OID {
 	c := db.reg.Lookup(class)
 	if c == nil {
 		return nil
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var out []oid.OID
-	for id, o := range db.objects {
-		if o.Class().IsSubclassOf(c) {
+	present := make(map[oid.OID]bool)
+	db.dir.forEach(func(id oid.OID, o *object.Object, tomb bool) {
+		present[id] = true
+		if !tomb && o.Class().IsSubclassOf(c) {
 			out = append(out, id)
 		}
+	})
+	if db.store != nil {
+		isSub := make(map[string]bool)
+		db.catMu.RLock()
+		for id, cls := range db.heapCat {
+			if present[id] {
+				continue
+			}
+			sub, cached := isSub[cls]
+			if !cached {
+				cc := db.reg.Lookup(cls)
+				sub = cc != nil && cc.IsSubclassOf(c)
+				isSub[cls] = sub
+			}
+			if sub {
+				out = append(out, id)
+			}
+		}
+		db.catMu.RUnlock()
 	}
 	value.SortRefs(out)
 	return out

@@ -248,6 +248,36 @@ func (s *Store) ForEach(fn func(id oid.OID, img []byte) error) error {
 	return nil
 }
 
+// Scan calls fn for every live object without copying images: fn receives a
+// view into the pinned page, valid only for the duration of the call, and
+// must not retain or mutate it. Iteration order is unspecified and the store
+// is locked throughout — Scan is for bulk read passes (catalog rebuild,
+// integrity sweeps), not concurrent access.
+func (s *Store) Scan(fn func(id oid.OID, img []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, rid := range s.table {
+		pg, err := s.pool.Pin(rid.Page)
+		if err != nil {
+			return err
+		}
+		rec, ok := pg.Read(rid.Slot)
+		if !ok {
+			s.pool.Unpin(rid.Page, false)
+			return fmt.Errorf("heap: object table points at dead slot %v for %s", rid, id)
+		}
+		_, img, err := splitRecord(rec)
+		if err == nil {
+			err = fn(id, img)
+		}
+		s.pool.Unpin(rid.Page, false)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Checkpoint flushes all dirty pages, syncs the data file, and atomically
 // writes the object table and the metadata blob to the index file.
 func (s *Store) Checkpoint(meta []byte) error {
