@@ -2,9 +2,10 @@
 # (build, vet, tests); `make race` adds the race detector over the
 # concurrency-sensitive packages; `make bench` produces the fast-path
 # benchmark artifact BENCH_1.json (with BENCH_0.json, the pre-fast-path
-# seed measurements, embedded as the baseline) and the cold-open artifact
-# BENCH_2.json; `make bench-smoke` is a one-iteration CI-sized pass over
-# the same code paths.
+# seed measurements, embedded as the baseline), the cold-open artifact
+# BENCH_2.json, and the instrumentation-overhead artifact BENCH_3.json;
+# `make bench-smoke` is a one-iteration CI-sized pass over the same code
+# paths plus a scrape of the live /metrics endpoint.
 
 GO ?= go
 
@@ -24,7 +25,7 @@ test:
 check: build vet test
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/...
+	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/...
 
 # Raise-path benchmarks: P1 (N rules), P8 (event-interface selectivity),
 # P11 (parallel sends), plus the machine-readable JSON suite.
@@ -32,12 +33,14 @@ bench:
 	$(GO) test -bench 'BenchmarkP1SubscriptionVsCentralized|BenchmarkP8InterfaceSelectivity|BenchmarkP11ParallelSend' -benchmem -run '^$$' .
 	$(GO) run ./cmd/sentinel-bench -json BENCH_1.json -baseline BENCH_0.json
 	$(GO) run ./cmd/sentinel-bench -json2 BENCH_2.json
+	$(GO) run ./cmd/sentinel-bench -json3 BENCH_3.json
 
 # One-iteration pass over every benchmark entry point: catches bit-rot in
 # the bench harness without benchmark-grade runtimes (CI runs this).
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) run ./cmd/sentinel-bench -json2 /tmp/bench2-smoke.json -pop 2000 -resident 256
+	$(GO) run ./cmd/sentinel-bench -json3 /tmp/bench3-smoke.json
 
 clean:
 	$(GO) clean

@@ -33,13 +33,13 @@ type coldOpenResult struct {
 }
 
 type coldOpenReport struct {
-	GeneratedBy   string           `json:"generated_by"`
-	GoMaxProcs    int              `json:"gomaxprocs"`
-	GoVersion     string           `json:"go_version"`
-	Population    int              `json:"population"`
-	MaxResident   int              `json:"max_resident"`
-	OpenSpeedup   float64          `json:"open_speedup_lazy_vs_eager"`
-	Results       []coldOpenResult `json:"results"`
+	GeneratedBy string           `json:"generated_by"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	GoVersion   string           `json:"go_version"`
+	Population  int              `json:"population"`
+	MaxResident int              `json:"max_resident"`
+	OpenSpeedup float64          `json:"open_speedup_lazy_vs_eager"`
+	Results     []coldOpenResult `json:"results"`
 }
 
 // populateColdDir fills dir with n Employee objects and closes cleanly, so
@@ -79,16 +79,21 @@ func populateColdDir(dir string, n int) ([]oid.OID, error) {
 }
 
 func coldOpts(dir string, maxResident int, eager bool) core.Options {
-	opts := core.Options{Dir: dir, Output: io.Discard, MaxResidentObjects: maxResident, EagerLoad: eager}
+	opts := core.Options{Dir: dir, Output: io.Discard, EagerLoad: eager}
+	if !eager {
+		// Options.Validate rejects a residency ceiling combined with eager
+		// materialization; the ceiling only applies to the lazy runs.
+		opts.MaxResidentObjects = maxResident
+	}
 	opts.Schema = func(db *core.Database) error { return bench.InstallOrgSchema(db) }
 	return opts
 }
 
 // timeOpen opens the database `rounds` times and returns the best
 // wall-clock duration plus the last handle's stats (the handle is closed).
-func timeOpen(dir string, maxResident int, eager bool, rounds int) (time.Duration, core.Stats, error) {
+func timeOpen(dir string, maxResident int, eager bool, rounds int) (time.Duration, core.Snapshot, error) {
 	best := time.Duration(1<<62 - 1)
-	var stats core.Stats
+	var stats core.Snapshot
 	for i := 0; i < rounds; i++ {
 		start := time.Now()
 		db, err := core.Open(coldOpts(dir, maxResident, eager))
@@ -137,8 +142,8 @@ func runColdOpenBench(path string, population, maxResident int) error {
 	rep.Results = append(rep.Results, coldOpenResult{
 		Name:            "open/lazy",
 		Millis:          float64(lazyDur.Nanoseconds()) / 1e6,
-		ObjectsResident: lazyStats.ObjectsResident,
-		ObjectsTotal:    lazyStats.ObjectsTotal,
+		ObjectsResident: lazyStats.Objects.Resident,
+		ObjectsTotal:    lazyStats.Objects.Total,
 	})
 
 	eagerDur, eagerStats, err := timeOpen(dir, 0, true, 3)
@@ -148,8 +153,8 @@ func runColdOpenBench(path string, population, maxResident int) error {
 	rep.Results = append(rep.Results, coldOpenResult{
 		Name:            "open/eager",
 		Millis:          float64(eagerDur.Nanoseconds()) / 1e6,
-		ObjectsResident: eagerStats.ObjectsResident,
-		ObjectsTotal:    eagerStats.ObjectsTotal,
+		ObjectsResident: eagerStats.Objects.Resident,
+		ObjectsTotal:    eagerStats.Objects.Total,
 	})
 	if lazyDur > 0 {
 		rep.OpenSpeedup = float64(eagerDur.Nanoseconds()) / float64(lazyDur.Nanoseconds())
@@ -180,9 +185,9 @@ func runColdOpenBench(path string, population, maxResident int) error {
 	rep.Results = append(rep.Results, coldOpenResult{
 		Name:            "read/random-faulting",
 		NsPerOp:         float64(faultBench.T.Nanoseconds()) / float64(faultBench.N),
-		ObjectsResident: s.ObjectsResident,
-		Faults:          s.Faults,
-		Evictions:       s.Evictions,
+		ObjectsResident: s.Objects.Resident,
+		Faults:          s.Storage.Faults,
+		Evictions:       s.Storage.Evictions,
 	})
 
 	hot := ids[:16] // fits the ceiling: steady resident hits after warmup

@@ -46,7 +46,13 @@ func jsonNoCond(rule.ExecContext, event.Detection) (bool, error) { return false,
 // marketWithRules builds a quiet market database with n watcher rules
 // subscribed round-robin over the stocks (the P1 "sentinel" shape).
 func marketWithRules(stocks, n int) (*core.Database, *bench.Market) {
-	db := core.MustOpen(core.Options{Output: io.Discard})
+	return marketWithRulesOpts(stocks, n, core.Options{Output: io.Discard})
+}
+
+// marketWithRulesOpts is marketWithRules with explicit database options
+// (the -json3 overhead suite varies the observability configuration).
+func marketWithRulesOpts(stocks, n int, opts core.Options) (*core.Database, *bench.Market) {
+	db := core.MustOpen(opts)
 	if err := bench.InstallMarketSchema(db); err != nil {
 		panic(err)
 	}

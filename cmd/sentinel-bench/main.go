@@ -12,6 +12,8 @@
 //	                               # machine-readable fast-path benchmarks
 //	sentinel-bench -json2 BENCH_2.json [-pop 100000] [-resident 4096]
 //	                               # cold-open / demand-paging benchmarks
+//	sentinel-bench -json3 BENCH_3.json
+//	                               # instrumentation-overhead benchmarks
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 	json2Out := flag.String("json2", "", "write cold-open/demand-paging benchmark results to this JSON file and exit")
 	pop := flag.Int("pop", 100000, "population size for -json2")
 	resident := flag.Int("resident", 4096, "MaxResidentObjects ceiling for -json2")
+	json3Out := flag.String("json3", "", "write instrumentation-overhead benchmark results to this JSON file and exit")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -42,6 +45,13 @@ func main() {
 	}
 	if *json2Out != "" {
 		if err := runColdOpenBench(*json2Out, *pop, *resident); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *json3Out != "" {
+		if err := runObsBench(*json3Out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,159 @@
+package main
+
+// Instrumentation-overhead benchmarks (-json3): quantifies what the
+// observability layer costs on the event fast path. Four configurations of
+// the P1 raise shape (100 rules over 100 stocks, updates hitting one
+// stock) are measured: timing effectively off, the default sampled timing,
+// forced per-firing timing (SlowRuleThreshold), and a no-op tracer
+// installed. The report also snapshots the latency histograms the default
+// run populated and scrapes the live /metrics endpoint once, so the
+// acceptance numbers (raise stays allocation-free with metrics on; the
+// endpoint serves real quantiles) live in one artifact (BENCH_3.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"sentinel/internal/core"
+	"sentinel/internal/obs"
+	"sentinel/internal/value"
+)
+
+type obsResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	OverheadPct float64 `json:"overhead_pct_vs_untimed,omitempty"`
+}
+
+type obsHist struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50_ns"`
+	P95   float64 `json:"p95_ns"`
+	P99   float64 `json:"p99_ns"`
+}
+
+type obsReport struct {
+	GeneratedBy     string      `json:"generated_by"`
+	GoMaxProcs      int         `json:"gomaxprocs"`
+	GoVersion       string      `json:"go_version"`
+	Note            string      `json:"note"`
+	Results         []obsResult `json:"results"`
+	Histograms      []obsHist   `json:"histograms"`
+	EndpointScraped bool        `json:"endpoint_scraped"`
+}
+
+// obsRaiseBench measures the P1 raise shape on a database opened with opts
+// (plus an optional tracer), returning the benchmark result and the
+// database for post-run inspection. Close is the caller's job.
+func obsRaiseBench(opts core.Options, tr *obs.Tracer) (testing.BenchmarkResult, *core.Database) {
+	opts.Output = io.Discard
+	db, m := marketWithRulesOpts(100, 100, opts)
+	if tr != nil {
+		db.SetTracer(tr)
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		tx := db.Begin()
+		defer db.Abort(tx)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Send(tx, m.Stocks[0], "SetPrice", value.Float(1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return r, db
+}
+
+// runObsBench executes the instrumentation-overhead suite and writes the
+// report to path.
+func runObsBench(path string) error {
+	rep := obsReport{
+		GeneratedBy: "sentinel-bench -json3",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Note: "P1 raise shape (100 rules / 100 stocks, one hot stock); " +
+			"untimed = sampling pushed out of reach, default = 1-in-16 sampled timing, " +
+			"forced = SlowRuleThreshold times every firing, tracer = no-op hooks installed",
+	}
+
+	record := func(name string, r testing.BenchmarkResult, baseNs float64) float64 {
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := obsResult{
+			Name:        name,
+			NsPerOp:     ns,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if baseNs > 0 {
+			res.OverheadPct = (ns - baseNs) / baseNs * 100
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "%-24s %10.1f ns/op %6d allocs/op", name, ns, r.AllocsPerOp())
+		if baseNs > 0 {
+			fmt.Fprintf(os.Stderr, "   %+.1f%%", res.OverheadPct)
+		}
+		fmt.Fprintln(os.Stderr)
+		return ns
+	}
+
+	// Baseline: the sampling counter never reaches its modulus, so no
+	// firing is ever timed — instrumentation is pure atomic counters.
+	r, db := obsRaiseBench(core.Options{MetricsSampling: 1 << 30}, nil)
+	baseNs := record("raise/untimed", r, 0)
+	db.Close()
+
+	// Default configuration, plus a live endpoint to scrape afterwards.
+	r, db = obsRaiseBench(core.Options{MetricsAddr: "127.0.0.1:0"}, nil)
+	record("raise/metrics-default", r, baseNs)
+	for _, h := range db.Metrics().Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		rep.Histograms = append(rep.Histograms, obsHist{
+			Name: h.Name, Count: h.Count, P50: h.P50, P95: h.P95, P99: h.P99,
+		})
+	}
+	if resp, err := http.Get(fmt.Sprintf("http://%s/metrics", db.MetricsAddr())); err == nil {
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		rep.EndpointScraped = rerr == nil &&
+			strings.Contains(string(body), "sentinel_rule_firing_seconds") &&
+			strings.Contains(string(body), "sentinel_events_raised_total")
+	}
+	db.Close()
+
+	// Every firing timed: the worst case the sampling design avoids.
+	r, db = obsRaiseBench(core.Options{SlowRuleThreshold: time.Hour}, nil)
+	record("raise/forced-timing", r, baseNs)
+	db.Close()
+
+	// A tracer with the fast-path hooks installed (no-op bodies): the cost
+	// of building the info structs and making the calls.
+	noop := &obs.Tracer{
+		OccurrenceRaised:  func(obs.OccurrenceInfo) {},
+		CompositeDetected: func(obs.DetectionInfo) {},
+		RuleScheduled:     func(obs.RuleScheduleInfo) {},
+		RuleFired:         func(obs.RuleFireInfo) {},
+	}
+	r, db = obsRaiseBench(core.Options{}, noop)
+	record("raise/tracer-noop", r, baseNs)
+	db.Close()
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	return os.WriteFile(path, out, 0o644)
+}

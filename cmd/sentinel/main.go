@@ -18,6 +18,9 @@
 //	.objects <class>   list instances of a class
 //	.names             list name bindings
 //	.stats             runtime counters
+//	.metrics           latency histograms (p50/p95/p99)
+//	.trace on|off      echo runtime trace events to the terminal
+//	.slow              slow-rule log (requires -slow)
 //	.checkpoint        force a checkpoint
 //	.quit              exit
 package main
@@ -29,22 +32,34 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"sentinel/internal/core"
+	"sentinel/internal/obs"
 )
 
 func main() {
 	dir := flag.String("d", "", "database directory (empty = in-memory)")
 	script := flag.String("f", "", "script file to execute")
 	interactive := flag.Bool("i", false, "enter interactive mode after -f")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus/expvar metrics on host:port")
+	slow := flag.Duration("slow", 0, "log rule firings at or above this duration (e.g. 5ms)")
 	flag.Parse()
 
-	db, err := core.Open(core.Options{Dir: *dir, SyncOnCommit: true})
+	db, err := core.Open(core.Options{
+		Dir:               *dir,
+		SyncOnCommit:      true,
+		MetricsAddr:       *metricsAddr,
+		SlowRuleThreshold: *slow,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel:", err)
 		os.Exit(1)
 	}
 	defer db.Close()
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics (expvar on /debug/vars)\n", db.MetricsAddr())
+	}
 
 	if *script != "" {
 		src, err := os.ReadFile(*script)
@@ -140,6 +155,7 @@ func command(db *core.Database, cmd string) bool {
 enable/disable, assignments, message sends (obj.Method(...) or obj!Method(...)),
 print(...). Each complete input runs in one transaction.
 commands: .classes .rules .events .objects <class> .names .indexes .stats
+          .metrics .trace on|off .slow
           .checkpoint .check .dump [file] .restore <file> .quit`)
 	case ".classes":
 		for _, c := range db.Registry().Classes() {
@@ -200,14 +216,50 @@ commands: .classes .rules .events .objects <class> .names .indexes .stats
 		}
 	case ".stats":
 		s := db.Stats()
-		fmt.Printf("objects=%d resident=%d rules=%d subscriptions=%d\n",
-			s.ObjectsTotal, s.ObjectsResident, s.RulesDefined, s.Subscriptions)
-		fmt.Printf("paging: faults=%d evictions=%d checkpoints=%d\n",
-			s.Faults, s.Evictions, s.Checkpoints)
-		fmt.Printf("sends=%d events=%d notifications=%d detections=%d conditions=%d actions=%d\n",
-			s.Sends, s.EventsRaised, s.Notifications, s.Detections, s.ConditionsRun, s.ActionsRun)
+		fmt.Printf("objects: total=%d resident=%d\n", s.Objects.Total, s.Objects.Resident)
+		fmt.Printf("events: sends=%d raised=%d notifications=%d detections=%d\n",
+			s.Events.Sends, s.Events.Raised, s.Events.Notifications, s.Events.Detections)
+		fmt.Printf("rules: defined=%d subscriptions=%d conditions=%d actions=%d slow=%d\n",
+			s.Rules.Defined, s.Rules.Subscriptions, s.Rules.ConditionsRun, s.Rules.ActionsRun, s.Rules.SlowFirings)
+		fmt.Printf("storage: faults=%d evictions=%d checkpoints=%d wal=%dB\n",
+			s.Storage.Faults, s.Storage.Evictions, s.Storage.Checkpoints, s.Storage.WALBytes)
 		fmt.Printf("txns: started=%d committed=%d aborted=%d deadlocks=%d\n",
 			s.Txn.Started, s.Txn.Committed, s.Txn.Aborted, s.Txn.Deadlocks)
+	case ".metrics":
+		for _, h := range db.Metrics().Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("%-26s count=%-8d p50=%-10v p95=%-10v p99=%v\n",
+				strings.TrimSuffix(strings.TrimPrefix(h.Name, "sentinel_"), "_ns"),
+				h.Count,
+				time.Duration(h.P50).Round(time.Nanosecond),
+				time.Duration(h.P95).Round(time.Nanosecond),
+				time.Duration(h.P99).Round(time.Nanosecond))
+		}
+	case ".trace":
+		if len(fields) < 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Println("usage: .trace on|off")
+			break
+		}
+		if fields[1] == "off" {
+			db.SetTracer(nil)
+			fmt.Println("trace off")
+			break
+		}
+		db.SetTracer(shellTracer())
+		fmt.Println("trace on")
+	case ".slow":
+		entries, total := db.SlowRules()
+		if total == 0 {
+			fmt.Println("no slow firings recorded (start the shell with -slow <duration>)")
+			break
+		}
+		fmt.Printf("%d slow firings total, last %d retained:\n", total, len(entries))
+		for _, e := range entries {
+			fmt.Printf("  #%d %s [%s] total=%v cond=%v action=%v fired=%v\n",
+				e.Seq, e.Rule, e.Coupling, e.Total, e.Cond, e.Action, e.Fired)
+		}
 	case ".checkpoint":
 		if err := db.Checkpoint(); err != nil {
 			fmt.Println("error:", err)
@@ -255,6 +307,35 @@ commands: .classes .rules .events .objects <class> .names .indexes .stats
 		fmt.Println("unknown command; .help for help")
 	}
 	return true
+}
+
+// shellTracer echoes the most narratable runtime events to the terminal:
+// occurrences, detections, rule executions and transaction commits.
+func shellTracer() *obs.Tracer {
+	return &obs.Tracer{
+		OccurrenceRaised: func(i obs.OccurrenceInfo) {
+			fmt.Printf("[trace] seq=%d tx=%d %s occurrence %s::%s on #%d\n",
+				i.Seq, i.Tx, i.Moment, i.Class, i.Method, i.Source)
+		},
+		CompositeDetected: func(i obs.DetectionInfo) {
+			fmt.Printf("[trace] tx=%d rule %s detected %s (%d constituents, seq %d..%d)\n",
+				i.Tx, i.Rule, i.Event, i.Constituents, i.FirstSeq, i.LastSeq)
+		},
+		RuleFired: func(i obs.RuleFireInfo) {
+			outcome := "condition false"
+			if i.Fired {
+				outcome = "fired"
+			}
+			if i.Err != nil {
+				outcome = "error: " + i.Err.Error()
+			}
+			fmt.Printf("[trace] tx=%d rule %s [%s] %s cond=%v action=%v depth=%d\n",
+				i.Tx, i.Rule, i.Coupling, outcome, i.Condition, i.Action, i.Depth)
+		},
+		TxCommit: func(i obs.TxInfo) {
+			fmt.Printf("[trace] tx=%d committed in %v\n", i.Tx, i.Duration)
+		},
+	}
 }
 
 func stateScope(classLevel string) string {

@@ -102,5 +102,5 @@ func main() {
 
 	s := db.Stats()
 	fmt.Printf("stats: %d sends, %d events raised, %d rule actions\n",
-		s.Sends, s.EventsRaised, s.ActionsRun)
+		s.Events.Sends, s.Events.Raised, s.Rules.ActionsRun)
 }

@@ -149,7 +149,7 @@ func TestRaiseHotPathZeroAllocsPaged(t *testing.T) {
 			t.Fatalf("object %s unreachable", id)
 		}
 	}
-	if db.Stats().Evictions == 0 {
+	if db.Stats().Storage.Evictions == 0 {
 		t.Fatal("no evictions: test is not exercising paging")
 	}
 

@@ -78,6 +78,7 @@ func (db *Database) consumersOf(src *object.Object) ([]*rule.Rule, []*FuncConsum
 // can under- or over-approximate only for raises concurrent with the
 // mutation, which have no ordering guarantee anyway.
 func (db *Database) refreshConsumers(src *object.Object, epoch uint64) ([]*rule.Rule, []*FuncConsumer) {
+	db.met.ccMisses.Inc()
 	classRules := db.classConsumersOf(src, epoch)
 
 	id := src.ID()

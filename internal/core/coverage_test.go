@@ -239,7 +239,7 @@ func TestInMemoryCheckpointIsNoop(t *testing.T) {
 
 func TestExecParseErrorsAbortCleanly(t *testing.T) {
 	db := orgDB(t)
-	before := db.Stats().ObjectsLive
+	before := db.Stats().Objects.Total
 	// A script that fails mid-way rolls its earlier statements back.
 	err := db.Exec(`
 		let e := new Employee(name: "temp")
@@ -248,7 +248,7 @@ func TestExecParseErrorsAbortCleanly(t *testing.T) {
 	if err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if got := db.Stats().ObjectsLive; got != before {
+	if got := db.Stats().Objects.Total; got != before {
 		t.Fatalf("objects leaked by failed script: %d -> %d", before, got)
 	}
 }

@@ -24,8 +24,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -35,84 +33,13 @@ import (
 	"sentinel/internal/heap"
 	"sentinel/internal/index"
 	"sentinel/internal/object"
+	"sentinel/internal/obs"
 	"sentinel/internal/oid"
 	"sentinel/internal/rule"
 	"sentinel/internal/schema"
 	"sentinel/internal/txn"
 	"sentinel/internal/wal"
 )
-
-// Options configures a Database.
-type Options struct {
-	// Dir is the storage directory. Empty means a purely in-memory
-	// database (no WAL, no heap).
-	Dir string
-	// SyncOnCommit forces the WAL to disk at every commit (default true
-	// when persistent). Turning it off trades durability of the last few
-	// commits for throughput, like group-commit systems.
-	SyncOnCommit bool
-	// PoolPages is the buffer-pool capacity (default 256).
-	PoolPages int
-	// Strategy names the conflict-resolution strategy: "priority" (default),
-	// "fifo", "lifo".
-	Strategy string
-	// MaxCascadeDepth bounds rule-triggers-rule chains (default 16).
-	MaxCascadeDepth int
-	// Schema, when set, is invoked after the system classes are registered
-	// and before persistent objects are materialized; applications register
-	// their Go-defined classes here so stored instances can decode.
-	Schema func(*Database) error
-	// Output receives print() text from SentinelQL (default os.Stdout).
-	Output io.Writer
-	// AsyncDetached executes detached-coupling rules on a background
-	// worker instead of synchronously after Commit returns — the fully
-	// asynchronous propagation of §3.1. Use WaitIdle to quiesce (tests,
-	// shutdown). Default off: deterministic post-commit execution.
-	AsyncDetached bool
-	// MaxResidentObjects caps the resident-object directory: when the
-	// resident population exceeds it, clean, unpinned, non-system objects
-	// are evicted (second-chance clock) and fault back in from the heap on
-	// next touch. 0 (default) disables eviction — objects still fault in
-	// lazily, but nothing is ever reclaimed. Only meaningful with Dir set.
-	MaxResidentObjects int
-	// CheckpointBytes triggers an automatic checkpoint (heap flush + WAL
-	// truncation) when the WAL grows past this many bytes, bounding both
-	// recovery time and log size. 0 means the default (4 MiB); negative
-	// disables auto-checkpointing (checkpoints happen only at open/close
-	// or explicit Checkpoint calls).
-	CheckpointBytes int64
-	// EagerLoad restores the pre-paging behaviour of materializing every
-	// heap object at open. Useful as a benchmark baseline and for
-	// workloads that touch the entire database immediately anyway.
-	EagerLoad bool
-}
-
-// defaultCheckpointBytes is the auto-checkpoint threshold when
-// Options.CheckpointBytes is zero.
-const defaultCheckpointBytes = 4 << 20
-
-// Stats are cumulative runtime counters.
-type Stats struct {
-	EventsRaised  uint64 // primitive occurrences generated
-	Notifications uint64 // occurrence deliveries to consumers
-	Detections    uint64 // composite/primitive event detections signalled
-	ConditionsRun uint64
-	ActionsRun    uint64
-	Sends         uint64 // method dispatches
-	Txn           txn.Stats
-	// ObjectsResident counts objects materialized in the directory;
-	// ObjectsTotal counts the live population (directory ∪ heap). They
-	// diverge once demand paging leaves cold objects on disk.
-	// ObjectsLive == ObjectsTotal, kept for compatibility.
-	ObjectsResident int
-	ObjectsTotal    int
-	ObjectsLive     int
-	RulesDefined    int
-	Subscriptions   int
-	Faults          uint64 // objects decoded from the heap on demand
-	Evictions       uint64 // residents reclaimed by the clock sweep
-	Checkpoints     uint64 // checkpoints taken (explicit + automatic)
-}
 
 // Database is a Sentinel active object-oriented database instance.
 type Database struct {
@@ -205,13 +132,31 @@ type Database struct {
 
 	strategy rule.Strategy
 
-	// Async detached executor (nil until first use).
-	detachedOnce sync.Once
-	detachedCh   chan rule.Firing
-	detachedWG   sync.WaitGroup
+	// Async detached executor (started lazily, stopped by Close). The
+	// worker drains detachedCh; quit/done give Close a deterministic
+	// handshake: stopDetachedWorker closes detachedQuit, the worker
+	// finishes any queued firings and closes detachedDone. Once
+	// detachedStopped is set, late dispatches run synchronously instead of
+	// enqueueing into a retired worker. detachedPending counts dispatched
+	// but unfinished firings; detachedIdle (a cond on detachedMu) signals
+	// it reaching zero — a plain WaitGroup cannot express this because
+	// dispatchers Add concurrently with waiters as the counter crosses
+	// zero, which WaitGroup forbids.
+	detachedMu      sync.Mutex
+	detachedIdle    *sync.Cond
+	detachedPending int
+	detachedCh      chan rule.Firing
+	detachedQuit    chan struct{}
+	detachedDone    chan struct{}
+	detachedStopped bool
 
-	statEvents, statNotify, statDetect, statCond, statAct, statSends atomic.Uint64
-	statFaults, statEvict, statCkpt                                  atomic.Uint64
+	// met is the metric set (counters, histograms, gauges, slow-rule log);
+	// tracer is the installed obs.Tracer (nil when none — the hot path
+	// pays one atomic load); metricsSrv is the Options.MetricsAddr HTTP
+	// listener (nil when not configured).
+	met        *coreMetrics
+	tracer     atomic.Pointer[obs.Tracer]
+	metricsSrv *obs.Server
 }
 
 type subKey struct{ reactive, consumer oid.OID }
@@ -229,16 +174,11 @@ type FuncConsumer struct {
 // WAL, and Open performs crash recovery (replaying committed transactions
 // logged after the last checkpoint).
 func Open(opts Options) (*Database, error) {
-	if opts.MaxCascadeDepth == 0 {
-		opts.MaxCascadeDepth = 16
-	}
-	if opts.Output == nil {
-		opts.Output = os.Stdout
-	}
-	strat, err := rule.ParseStrategy(opts.Strategy)
-	if err != nil {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	strat, _ := rule.ParseStrategy(opts.Strategy) // validated above
 	db := &Database{
 		opts:           opts,
 		reg:            schema.NewRegistry(),
@@ -264,6 +204,8 @@ func Open(opts Options) (*Database, error) {
 		classConsumers: make(map[string]*classConsumerEntry),
 		strategy:       strat,
 	}
+	db.detachedIdle = sync.NewCond(&db.detachedMu)
+	db.met = newCoreMetrics(db, opts)
 	if err := db.bootstrapSystemClasses(); err != nil {
 		return nil, err
 	}
@@ -277,8 +219,25 @@ func Open(opts Options) (*Database, error) {
 			return nil, err
 		}
 	}
+	// Bind the metrics listener last so a bad address fails fast without
+	// leaking storage handles, and a failed recovery never leaves a
+	// listener behind.
+	if opts.MetricsAddr != "" {
+		srv, err := obs.Serve(opts.MetricsAddr, db.met.reg)
+		if err != nil {
+			if db.store != nil {
+				db.store.CloseAbrupt()
+				db.log.Close()
+			}
+			return nil, fmt.Errorf("core: metrics listener: %w", err)
+		}
+		db.metricsSrv = srv
+	}
 	db.ready = true
 	if err := db.flushPendingClassRules(); err != nil {
+		if db.metricsSrv != nil {
+			db.metricsSrv.Close()
+		}
 		return nil, err
 	}
 	return db, nil
@@ -308,6 +267,9 @@ func (db *Database) Dir() string { return db.opts.Dir }
 // keeps everything since, so the next Open exercises recovery. For tests
 // and the recovery experiments.
 func (db *Database) CloseAbrupt() error {
+	if db.metricsSrv != nil {
+		db.metricsSrv.Close()
+	}
 	if db.store == nil {
 		return nil
 	}
@@ -326,10 +288,17 @@ func (db *Database) WALSize() int64 {
 	return db.log.Size()
 }
 
-// Close waits for asynchronous detached rules, checkpoints (when
-// persistent) and shuts the database down.
+// Close shuts the database down in dependency order: first drain and stop
+// rule execution (detached firings may still mutate objects and append WAL
+// records), then stop the metrics listener (so a final scrape during
+// shutdown cannot observe a half-closed store), then checkpoint and close
+// the storage.
 func (db *Database) Close() error {
 	db.WaitIdle()
+	db.stopDetachedWorker()
+	if db.metricsSrv != nil {
+		db.metricsSrv.Close()
+	}
 	if db.store == nil {
 		return nil
 	}
@@ -340,60 +309,6 @@ func (db *Database) Close() error {
 		return err
 	}
 	return db.log.Close()
-}
-
-// Stats returns a snapshot of the runtime counters.
-func (db *Database) Stats() Stats {
-	db.mu.RLock()
-	rules := len(db.rules)
-	subsN := 0
-	for _, m := range db.subs {
-		subsN += len(m)
-	}
-	db.mu.RUnlock()
-	resident, total := db.countObjects()
-	return Stats{
-		EventsRaised:    db.statEvents.Load(),
-		Notifications:   db.statNotify.Load(),
-		Detections:      db.statDetect.Load(),
-		ConditionsRun:   db.statCond.Load(),
-		ActionsRun:      db.statAct.Load(),
-		Sends:           db.statSends.Load(),
-		Txn:             db.tm.Stats(),
-		ObjectsResident: resident,
-		ObjectsTotal:    total,
-		ObjectsLive:     total,
-		RulesDefined:    rules,
-		Subscriptions:   subsN,
-		Faults:          db.statFaults.Load(),
-		Evictions:       db.statEvict.Load(),
-		Checkpoints:     db.statCkpt.Load(),
-	}
-}
-
-// countObjects computes the resident and total (directory ∪ heap) live
-// populations: residents are directory entries minus tombstones, the total
-// adds catalog entries with no directory presence (a tombstone shadows its
-// heap image — the delete is in flight).
-func (db *Database) countObjects() (resident, total int) {
-	present := make(map[oid.OID]bool)
-	db.dir.forEach(func(id oid.OID, _ *object.Object, tomb bool) {
-		present[id] = true
-		if !tomb {
-			resident++
-		}
-	})
-	total = resident
-	if db.store != nil {
-		db.catMu.RLock()
-		for id := range db.heapCat {
-			if !present[id] {
-				total++
-			}
-		}
-		db.catMu.RUnlock()
-	}
-	return resident, total
 }
 
 // Now returns the current logical timestamp (the last one issued).

@@ -98,7 +98,7 @@ func TestFigure1ReactiveClass(t *testing.T) {
 	}
 	defer unsub()
 
-	before := db.Stats().EventsRaised
+	before := db.Stats().Events.Raised
 	if err := db.Atomically(func(tx *core.Tx) error {
 		if _, err := db.Send(tx, pid, "Set", value.Int(1)); err != nil {
 			return err
@@ -108,8 +108,8 @@ func TestFigure1ReactiveClass(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if db.Stats().EventsRaised != before+1 {
-		t.Fatalf("events raised = %d, want exactly 1 (the reactive send)", db.Stats().EventsRaised-before)
+	if db.Stats().Events.Raised != before+1 {
+		t.Fatalf("events raised = %d, want exactly 1 (the reactive send)", db.Stats().Events.Raised-before)
 	}
 	if len(got) != 1 || got[0].Method != "Set" || got[0].When != event.End {
 		t.Fatalf("occurrences = %v", got)

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sentinel/internal/rule"
+)
+
+// Options configures a Database. The zero value is a usable in-memory
+// configuration; every field documents its default. Open validates the
+// options (see Validate) and rejects contradictory combinations instead of
+// silently misbehaving.
+type Options struct {
+	// ---- Storage ----
+
+	// Dir is the storage directory. Empty (the default) means a purely
+	// in-memory database: no WAL, no heap, no recovery.
+	Dir string
+	// SyncOnCommit forces the WAL to disk at every commit. Default false:
+	// commits are durable only up to the last fsync/checkpoint, like
+	// group-commit systems trading tail durability for throughput. Only
+	// meaningful with Dir set.
+	SyncOnCommit bool
+	// PoolPages is the heap buffer-pool capacity in pages. 0 means the
+	// heap default (256). Must not be negative.
+	PoolPages int
+	// MaxResidentObjects caps the resident-object directory: when the
+	// resident population exceeds it, clean, unpinned, non-system objects
+	// are evicted (second-chance clock) and fault back in from the heap on
+	// next touch. 0 (default) disables eviction — objects still fault in
+	// lazily, but nothing is ever reclaimed. Requires Dir (an in-memory
+	// database has no heap to evict to) and is incompatible with
+	// EagerLoad.
+	MaxResidentObjects int
+	// CheckpointBytes triggers an automatic checkpoint (heap flush + WAL
+	// truncation) when the WAL grows past this many bytes, bounding both
+	// recovery time and log size. 0 (default) means 4 MiB; negative
+	// disables auto-checkpointing (checkpoints happen only at open/close
+	// or explicit Checkpoint calls).
+	CheckpointBytes int64
+	// EagerLoad restores the pre-paging behaviour of materializing every
+	// heap object at open. Useful as a benchmark baseline and for
+	// workloads that touch the entire database immediately anyway.
+	// Requires Dir and is incompatible with MaxResidentObjects.
+	EagerLoad bool
+
+	// ---- Rule execution ----
+
+	// Strategy names the conflict-resolution strategy: "priority"
+	// (default, also chosen by ""), "fifo", or "lifo".
+	Strategy string
+	// MaxCascadeDepth bounds rule-triggers-rule chains. 0 (default) means
+	// 16. Must not be negative.
+	MaxCascadeDepth int
+	// AsyncDetached executes detached-coupling rules on a background
+	// worker instead of synchronously after Commit returns — the fully
+	// asynchronous propagation of §3.1. Use WaitIdle to quiesce (tests,
+	// shutdown; Close drains automatically). Default false: deterministic
+	// post-commit execution.
+	AsyncDetached bool
+
+	// ---- Application hooks ----
+
+	// Schema, when set, is invoked after the system classes are registered
+	// and before persistent objects are materialized; applications
+	// register their Go-defined classes here so stored instances can
+	// decode. Default nil.
+	Schema func(*Database) error
+	// Output receives print() text from SentinelQL. Default os.Stdout.
+	Output io.Writer
+
+	// ---- Observability ----
+
+	// MetricsAddr, when non-empty, starts an HTTP listener on the given
+	// host:port (":0" picks a free port; see Database.MetricsAddr) serving
+	// Prometheus text on /metrics and expvar-style JSON on /debug/vars.
+	// The listener binds at Open (misconfiguration fails fast) and stops
+	// during Close, after rule execution has drained. Default "": no
+	// listener.
+	MetricsAddr string
+	// SlowRuleThreshold, when positive, forces every rule firing to be
+	// timed and records firings whose condition + action time meets the
+	// threshold into the slow-rule log (Database.SlowRules) and the
+	// sentinel_slow_firings_total counter. Default 0: disabled, firings
+	// are only timed at the MetricsSampling rate. Must not be negative.
+	SlowRuleThreshold time.Duration
+	// MetricsSampling times 1 in N rule firings (and their condition and
+	// action separately) to feed the latency histograms, amortizing the
+	// timer cost away from the allocation-free raise path. 0 (default)
+	// means 16; 1 times every firing. Must not be negative. Low-frequency
+	// operations (commit, fsync, fault-in) are always timed regardless.
+	MetricsSampling int
+}
+
+// defaultCheckpointBytes is the auto-checkpoint threshold when
+// Options.CheckpointBytes is zero.
+const defaultCheckpointBytes = 4 << 20
+
+// defaultMetricsSampling is the firing-timer sampling rate when
+// Options.MetricsSampling is zero.
+const defaultMetricsSampling = 16
+
+// withDefaults returns a copy with the documented defaults filled in.
+func (o Options) withDefaults() Options {
+	if o.MaxCascadeDepth == 0 {
+		o.MaxCascadeDepth = 16
+	}
+	if o.Output == nil {
+		o.Output = os.Stdout
+	}
+	if o.MetricsSampling == 0 {
+		o.MetricsSampling = defaultMetricsSampling
+	}
+	return o
+}
+
+// Validate checks ranges and rejects contradictory combinations with
+// actionable errors. Zero values are always valid (they mean "use the
+// default"); Open calls Validate after applying defaults, so a
+// configuration rejected here never half-works at runtime.
+func (o Options) Validate() error {
+	var errs []error
+	if o.PoolPages < 0 {
+		errs = append(errs, fmt.Errorf("PoolPages is %d; must be >= 0 (0 means the 256-page default)", o.PoolPages))
+	}
+	if o.MaxCascadeDepth < 0 {
+		errs = append(errs, fmt.Errorf("MaxCascadeDepth is %d; must be >= 0 (0 means the default of 16)", o.MaxCascadeDepth))
+	}
+	if o.MaxResidentObjects < 0 {
+		errs = append(errs, fmt.Errorf("MaxResidentObjects is %d; must be >= 0 (0 disables eviction)", o.MaxResidentObjects))
+	}
+	if o.SlowRuleThreshold < 0 {
+		errs = append(errs, fmt.Errorf("SlowRuleThreshold is %v; must be >= 0 (0 disables the slow-rule log)", o.SlowRuleThreshold))
+	}
+	if o.MetricsSampling < 0 {
+		errs = append(errs, fmt.Errorf("MetricsSampling is %d; must be >= 0 (0 means the default of %d, 1 times every firing)", o.MetricsSampling, defaultMetricsSampling))
+	}
+	if _, err := rule.ParseStrategy(o.Strategy); err != nil {
+		errs = append(errs, err)
+	}
+	if o.MaxResidentObjects > 0 && o.Dir == "" {
+		errs = append(errs, errors.New("MaxResidentObjects is set but Dir is empty: an in-memory database has no heap to evict to; set Dir or drop the ceiling"))
+	}
+	if o.EagerLoad && o.Dir == "" {
+		errs = append(errs, errors.New("EagerLoad is set but Dir is empty: an in-memory database has nothing to load; set Dir or drop EagerLoad"))
+	}
+	if o.EagerLoad && o.MaxResidentObjects > 0 {
+		errs = append(errs, errors.New("EagerLoad and MaxResidentObjects are both set: eagerly materializing every object directly contradicts a residency ceiling; pick one"))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("core: invalid options: %w", errors.Join(errs...))
+}

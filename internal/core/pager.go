@@ -9,8 +9,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sentinel/internal/object"
+	"sentinel/internal/obs"
 	"sentinel/internal/oid"
 )
 
@@ -77,8 +79,13 @@ func (db *Database) faultObject(id oid.OID) (*object.Object, error) {
 }
 
 // loadFromHeap decodes one object image from the heap; publish=true installs
-// it in the directory (losing a publish race returns whoever won).
+// it in the directory (losing a publish race returns whoever won). Published
+// faults are what demand paging pays for, so they are always timed.
 func (db *Database) loadFromHeap(id oid.OID, publish bool) (*object.Object, error) {
+	var start time.Time
+	if publish {
+		start = time.Now()
+	}
 	img, ok, err := db.store.Get(id)
 	if err != nil {
 		return nil, fmt.Errorf("core: faulting object %s: %w", id, err)
@@ -93,7 +100,12 @@ func (db *Database) loadFromHeap(id oid.OID, publish bool) (*object.Object, erro
 	if !publish {
 		return o, nil
 	}
-	db.statFaults.Add(1)
+	d := time.Since(start)
+	db.met.faults.Inc()
+	db.met.faultH.Observe(d)
+	if tr := db.tracer.Load(); tr != nil && tr.PageFault != nil {
+		tr.PageFault(obs.PageInfo{OID: uint64(id), Class: o.Class().Name, Duration: d})
+	}
 	return db.dir.insertIfAbsent(id, o), nil
 }
 
@@ -115,7 +127,10 @@ func (db *Database) maybeEvict() {
 	if len(evicted) == 0 {
 		return
 	}
-	db.statEvict.Add(uint64(len(evicted)))
+	db.met.evictions.Add(uint64(len(evicted)))
+	if tr := db.tracer.Load(); tr != nil && tr.PageEvict != nil {
+		tr.PageEvict(obs.PageInfo{Evicted: len(evicted)})
+	}
 	// Consumer-cache hygiene: evicted objects' memoized consumer sets would
 	// otherwise linger until the next epoch bump. The cache is keyed by OID
 	// and epoch-validated, so this is memory reclamation, not correctness —

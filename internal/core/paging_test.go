@@ -90,18 +90,19 @@ func TestPagedFullTouchTransparency(t *testing.T) {
 	}
 
 	s := db.Stats()
-	if s.ObjectsTotal < n {
-		t.Fatalf("ObjectsTotal = %d, want >= %d", s.ObjectsTotal, n)
+	if s.Objects.Total < n {
+		t.Fatalf("Objects.Total = %d, want >= %d", s.Objects.Total, n)
 	}
-	if s.ObjectsLive != s.ObjectsTotal {
-		t.Fatalf("ObjectsLive (%d) != ObjectsTotal (%d): compat alias broken", s.ObjectsLive, s.ObjectsTotal)
+	if legacy := db.LegacyStats(); legacy.ObjectsLive != s.Objects.Total {
+		t.Fatalf("LegacyStats().ObjectsLive (%d) != Objects.Total (%d): compat alias broken",
+			legacy.ObjectsLive, s.Objects.Total)
 	}
-	if s.ObjectsResident >= n {
-		t.Fatalf("ObjectsResident = %d: nothing was ever evicted (population %d, max %d)",
-			s.ObjectsResident, n, maxRes)
+	if s.Objects.Resident >= n {
+		t.Fatalf("Objects.Resident = %d: nothing was ever evicted (population %d, max %d)",
+			s.Objects.Resident, n, maxRes)
 	}
-	if s.Faults == 0 || s.Evictions == 0 {
-		t.Fatalf("Faults = %d, Evictions = %d: paging never engaged", s.Faults, s.Evictions)
+	if s.Storage.Faults == 0 || s.Storage.Evictions == 0 {
+		t.Fatalf("Faults = %d, Evictions = %d: paging never engaged", s.Storage.Faults, s.Storage.Evictions)
 	}
 
 	got := db.InstancesOf("Employee")
@@ -153,19 +154,19 @@ func TestColdOpenLazy(t *testing.T) {
 	db2 := core.MustOpen(pagedOpts(dir, 64))
 	defer db2.Close()
 	s := db2.Stats()
-	if s.ObjectsTotal < n {
-		t.Fatalf("ObjectsTotal = %d after reopen, want >= %d", s.ObjectsTotal, n)
+	if s.Objects.Total < n {
+		t.Fatalf("Objects.Total = %d after reopen, want >= %d", s.Objects.Total, n)
 	}
-	if s.ObjectsResident >= n/2 {
-		t.Fatalf("cold open materialized %d of %d objects", s.ObjectsResident, n)
+	if s.Objects.Resident >= n/2 {
+		t.Fatalf("cold open materialized %d of %d objects", s.Objects.Resident, n)
 	}
 	for i, id := range ids {
 		if got := salaryOf(t, db2, id); got != float64(1000+i) {
 			t.Fatalf("employee %d after cold open: salary = %v, want %d", i, got, 1000+i)
 		}
 	}
-	if s2 := db2.Stats(); s2.Faults < uint64(n) {
-		t.Fatalf("Faults = %d after touching %d cold objects", s2.Faults, n)
+	if s2 := db2.Stats(); s2.Storage.Faults < uint64(n) {
+		t.Fatalf("Faults = %d after touching %d cold objects", s2.Storage.Faults, n)
 	}
 	db2.MustBeConsistent()
 }
@@ -264,11 +265,11 @@ func TestAutoCheckpoint(t *testing.T) {
 	db := core.MustOpen(opts)
 	defer db.Close()
 
-	before := db.Stats().Checkpoints
+	before := db.Stats().Storage.Checkpoints
 	mkEmployees(t, db, 100) // 2 batches of 50
 	s := db.Stats()
-	if s.Checkpoints <= before {
-		t.Fatalf("Checkpoints = %d (was %d): auto-checkpoint never fired", s.Checkpoints, before)
+	if s.Storage.Checkpoints <= before {
+		t.Fatalf("Checkpoints = %d (was %d): auto-checkpoint never fired", s.Storage.Checkpoints, before)
 	}
 	if sz := db.WALSize(); sz > 4096 {
 		t.Fatalf("WAL = %d bytes despite per-commit checkpoints", sz)
@@ -280,9 +281,9 @@ func TestAutoCheckpoint(t *testing.T) {
 	opts2.CheckpointBytes = -1
 	db2 := core.MustOpen(opts2)
 	defer db2.Close()
-	b2 := db2.Stats().Checkpoints
+	b2 := db2.Stats().Storage.Checkpoints
 	mkEmployees(t, db2, 100)
-	if got := db2.Stats().Checkpoints; got != b2 {
+	if got := db2.Stats().Storage.Checkpoints; got != b2 {
 		t.Fatalf("Checkpoints moved %d -> %d with auto-checkpoint disabled", b2, got)
 	}
 	if db2.WALSize() == 0 {
@@ -352,7 +353,7 @@ func TestPagedEvolveColdInstances(t *testing.T) {
 
 	db2 := core.MustOpen(core.Options{Dir: dir, Output: io.Discard, MaxResidentObjects: 16})
 	defer db2.Close()
-	if r := db2.Stats().ObjectsResident; r >= 120 {
+	if r := db2.Stats().Objects.Resident; r >= 120 {
 		t.Fatalf("reopen materialized %d objects", r)
 	}
 	if err := db2.Exec(`

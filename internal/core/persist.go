@@ -3,12 +3,14 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sentinel/internal/event"
 	"sentinel/internal/heap"
 	"sentinel/internal/index"
 	"sentinel/internal/lang"
 	"sentinel/internal/object"
+	"sentinel/internal/obs"
 	"sentinel/internal/oid"
 	"sentinel/internal/rule"
 	"sentinel/internal/value"
@@ -36,6 +38,25 @@ func (db *Database) openStorage() error {
 		return err
 	}
 	db.log = log
+	// Feed WAL activity into the metric set and tracer. The wal package
+	// stays obs-free: it calls plain funcs the core installs.
+	log.SetHooks(
+		func(bytes int, d time.Duration) {
+			db.met.walAppends.Inc()
+			db.met.walBytes.Add(uint64(bytes))
+			db.met.appendH.Observe(d)
+			if tr := db.tracer.Load(); tr != nil && tr.WALAppend != nil {
+				tr.WALAppend(obs.WALInfo{Bytes: bytes, Duration: d})
+			}
+		},
+		func(d time.Duration) {
+			db.met.walFsyncs.Inc()
+			db.met.fsyncH.Observe(d)
+			if tr := db.tracer.Load(); tr != nil && tr.WALFsync != nil {
+				tr.WALFsync(obs.WALInfo{Duration: d})
+			}
+		},
+	)
 
 	// Redo recovery. First scan the log; any logged work means the side
 	// index cannot be trusted (a crash may have left it at the previous
@@ -401,7 +422,7 @@ func (db *Database) Checkpoint() error {
 	if err := db.log.Truncate(); err != nil {
 		return err
 	}
-	db.statCkpt.Add(1)
+	db.met.checkpoints.Inc()
 	return nil
 }
 

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sentinel/internal/event"
 	"sentinel/internal/object"
+	"sentinel/internal/obs"
 	"sentinel/internal/oid"
 	"sentinel/internal/rule"
 	"sentinel/internal/schema"
@@ -25,7 +27,7 @@ func (db *Database) Send(t *Tx, target oid.OID, method string, args ...value.Val
 // the send (nil for application code), sysAccess bypasses visibility (rule
 // bodies), depth is the rule-cascade depth of the surrounding execution.
 func (db *Database) send(t *Tx, target oid.OID, method string, args []value.Value, caller *schema.Class, sysAccess bool, depth int) (value.Value, error) {
-	db.statSends.Add(1)
+	db.met.sends.Inc()
 	o, err := db.lockObject(t, target, txn.Exclusive)
 	if err != nil {
 		return value.Nil, err
@@ -73,10 +75,25 @@ func (db *Database) send(t *Tx, target oid.OID, method string, args []value.Valu
 // in-line in conflict-resolution order; deferred firings queue on the
 // transaction; detached firings queue for post-commit.
 func (db *Database) raise(t *Tx, src *object.Object, method string, when event.Moment, args []value.Value, names []string, depth int) error {
-	db.statEvents.Add(1)
+	m := db.met
+	m.eventsRaised.Inc()
 	// The logical clock ticks for every occurrence, observed or not: Seq
 	// numbers are a property of event generation, not of delivery.
 	seqNo := db.nextSeq()
+
+	// The tracer sees every occurrence, consumed or not — an event that
+	// nobody subscribed to is exactly what a trace is for.
+	tr := db.tracer.Load()
+	if tr != nil && tr.OccurrenceRaised != nil {
+		tr.OccurrenceRaised(obs.OccurrenceInfo{
+			Source: uint64(src.ID()),
+			Class:  src.Class().Name,
+			Method: method,
+			Moment: when.String(),
+			Seq:    seqNo,
+			Tx:     uint64(t.inner.ID()),
+		})
+	}
 
 	// Resolve consumers first (usually a zero-alloc cache hit); with no
 	// consumers the occurrence would be observed by nobody, so skip
@@ -98,7 +115,7 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 	}
 
 	for _, fc := range fns {
-		db.statNotify.Add(1)
+		m.notifications.Inc()
 		fc.Fn(occ)
 	}
 
@@ -110,7 +127,7 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 	t.fireScratch = nil
 	seq := uint64(0)
 	for _, r := range rules {
-		db.statNotify.Add(1)
+		m.notifications.Inc()
 		if r.TxScoped {
 			if t.touched == nil {
 				t.touched = make(map[*rule.Rule]bool)
@@ -121,8 +138,28 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 		if len(dets) == 0 {
 			continue
 		}
-		db.statDetect.Add(uint64(len(dets)))
+		m.detections.Add(uint64(len(dets)))
 		for _, det := range dets {
+			if tr != nil && tr.CompositeDetected != nil {
+				tr.CompositeDetected(obs.DetectionInfo{
+					Rule:         r.Name(),
+					Event:        r.Event.Label(),
+					Constituents: len(det.Constituents),
+					FirstSeq:     det.Start(),
+					LastSeq:      det.End(),
+					Tx:           uint64(t.inner.ID()),
+				})
+			}
+			m.rulesScheduled.Inc()
+			if tr != nil && tr.RuleScheduled != nil {
+				tr.RuleScheduled(obs.RuleScheduleInfo{
+					Rule:     r.Name(),
+					Coupling: r.Coupling.String(),
+					Priority: r.Priority,
+					Depth:    depth,
+					Tx:       uint64(t.inner.ID()),
+				})
+			}
 			switch r.Coupling {
 			case rule.Immediate:
 				seq++
@@ -168,6 +205,17 @@ func (db *Database) runFiring(t *Tx, f *rule.Firing, depth int) error {
 	if depth > db.opts.MaxCascadeDepth {
 		return fmt.Errorf("core: rule cascade exceeded depth %d at rule %s (cycle?)", db.opts.MaxCascadeDepth, f.Rule.Name())
 	}
+	// Timing is sampled (1 in MetricsSampling) unless a RuleFired hook or a
+	// slow-rule threshold forces it; the epilogue below is linear code so
+	// the untimed path adds only the sampling decision.
+	m := db.met
+	tr := db.tracer.Load()
+	timed := m.shouldTimeFiring(tr)
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+
 	// The rule's execution frame: self is the source of the terminating
 	// occurrence, so DSL conditions can name its attributes bare (Fig. 9's
 	// `sex == spouse.sex`). Rules run with system visibility — they are
@@ -178,23 +226,52 @@ func (db *Database) runFiring(t *Tx, f *rule.Firing, depth int) error {
 	defer t.putFrame(fr)
 
 	ok := true
+	var err error
 	if f.Rule.Condition != nil {
-		db.statCond.Add(1)
-		var err error
+		m.conditionsRun.Inc()
 		ok, err = f.Rule.Condition(fr, f.Detection)
-		if err != nil {
-			return err
+	}
+	var condEnd time.Time
+	if timed {
+		condEnd = time.Now()
+	}
+	fired := false
+	if err == nil && ok {
+		m.actionsRun.Inc()
+		f.Rule.CountFired()
+		fired = true
+		if f.Rule.Action != nil {
+			err = f.Rule.Action(fr, f.Detection)
 		}
 	}
-	if !ok {
-		return nil
+	if timed {
+		end := time.Now()
+		cond := condEnd.Sub(start)
+		act := end.Sub(condEnd)
+		total := end.Sub(start)
+		if f.Rule.Condition != nil {
+			m.condH.Observe(cond)
+		}
+		if fired && f.Rule.Action != nil {
+			m.actionH.Observe(act)
+		}
+		m.firingH.Observe(total)
+		f.Rule.RecordExec(total)
+		m.recordSlow(f.Rule.Name(), f.Rule.Coupling.String(), total, cond, act, fired)
+		if tr != nil && tr.RuleFired != nil {
+			tr.RuleFired(obs.RuleFireInfo{
+				Rule:      f.Rule.Name(),
+				Coupling:  f.Rule.Coupling.String(),
+				Depth:     depth,
+				Condition: cond,
+				Action:    act,
+				Fired:     fired,
+				Err:       err,
+				Tx:        uint64(t.inner.ID()),
+			})
+		}
 	}
-	db.statAct.Add(1)
-	f.Rule.CountFired()
-	if f.Rule.Action == nil {
-		return nil
-	}
-	return f.Rule.Action(fr, f.Detection)
+	return err
 }
 
 // RaiseExplicit raises an application-defined event from outside a method

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sentinel/internal/object"
+	"sentinel/internal/oid"
+	"sentinel/internal/txn"
+)
+
+// Snapshot is an immutable point-in-time view of the runtime counters,
+// grouped by subsystem. It is returned by Database.Stats; for latency
+// histograms and the full metric registry see Database.Metrics.
+type Snapshot struct {
+	Objects ObjectStats
+	Events  EventStats
+	Rules   RuleStats
+	Storage StorageStats
+	Txn     txn.Stats
+}
+
+// ObjectStats describes the live object population.
+type ObjectStats struct {
+	// Resident counts objects materialized in the directory; Total counts
+	// the live population (directory ∪ heap). They diverge once demand
+	// paging leaves cold objects on disk.
+	Resident int
+	Total    int
+}
+
+// EventStats counts event generation and propagation.
+type EventStats struct {
+	Sends         uint64 // method dispatches
+	Raised        uint64 // primitive occurrences generated
+	Notifications uint64 // occurrence deliveries to consumers
+	Detections    uint64 // composite/primitive event detections signalled
+}
+
+// RuleStats counts the rule catalog and rule execution.
+type RuleStats struct {
+	Defined       int
+	Subscriptions int
+	ConditionsRun uint64
+	ActionsRun    uint64
+	SlowFirings   uint64 // firings at or above Options.SlowRuleThreshold
+}
+
+// StorageStats counts paging, checkpointing and WAL activity.
+type StorageStats struct {
+	Faults      uint64 // objects decoded from the heap on demand
+	Evictions   uint64 // residents reclaimed by the clock sweep
+	Checkpoints uint64 // checkpoints taken (explicit + automatic)
+	WALBytes    int64  // current write-ahead-log size
+}
+
+// Stats returns a snapshot of the runtime counters, grouped by subsystem.
+func (db *Database) Stats() Snapshot {
+	db.mu.RLock()
+	rules := len(db.rules)
+	subsN := 0
+	for _, m := range db.subs {
+		subsN += len(m)
+	}
+	db.mu.RUnlock()
+	resident, total := db.countObjects()
+	m := db.met
+	return Snapshot{
+		Objects: ObjectStats{Resident: resident, Total: total},
+		Events: EventStats{
+			Sends:         m.sends.Value(),
+			Raised:        m.eventsRaised.Value(),
+			Notifications: m.notifications.Value(),
+			Detections:    m.detections.Value(),
+		},
+		Rules: RuleStats{
+			Defined:       rules,
+			Subscriptions: subsN,
+			ConditionsRun: m.conditionsRun.Value(),
+			ActionsRun:    m.actionsRun.Value(),
+			SlowFirings:   m.slowFirings.Value(),
+		},
+		Storage: StorageStats{
+			Faults:      m.faults.Value(),
+			Evictions:   m.evictions.Value(),
+			Checkpoints: m.checkpoints.Value(),
+			WALBytes:    db.WALSize(),
+		},
+		Txn: db.tm.Stats(),
+	}
+}
+
+// countObjects computes the resident and total (directory ∪ heap) live
+// populations: residents are directory entries minus tombstones, the total
+// adds catalog entries with no directory presence (a tombstone shadows its
+// heap image — the delete is in flight).
+func (db *Database) countObjects() (resident, total int) {
+	present := make(map[oid.OID]bool)
+	db.dir.forEach(func(id oid.OID, _ *object.Object, tomb bool) {
+		present[id] = true
+		if !tomb {
+			resident++
+		}
+	})
+	total = resident
+	if db.store != nil {
+		db.catMu.RLock()
+		for id := range db.heapCat {
+			if !present[id] {
+				total++
+			}
+		}
+		db.catMu.RUnlock()
+	}
+	return resident, total
+}
+
+// Stats is the pre-observability flat counter bag.
+//
+// Deprecated: use Snapshot (Database.Stats), which groups the same numbers
+// by subsystem. Retained one release for external callers; LegacyStats
+// fills it from a Snapshot.
+type Stats struct {
+	EventsRaised    uint64
+	Notifications   uint64
+	Detections      uint64
+	ConditionsRun   uint64
+	ActionsRun      uint64
+	Sends           uint64
+	Txn             txn.Stats
+	ObjectsResident int
+	ObjectsTotal    int
+	ObjectsLive     int // == ObjectsTotal, kept for compatibility
+	RulesDefined    int
+	Subscriptions   int
+	Faults          uint64
+	Evictions       uint64
+	Checkpoints     uint64
+}
+
+// LegacyStats returns the flat pre-observability counter layout.
+//
+// Deprecated: use Stats, which returns the grouped Snapshot.
+func (db *Database) LegacyStats() Stats {
+	s := db.Stats()
+	return Stats{
+		EventsRaised:    s.Events.Raised,
+		Notifications:   s.Events.Notifications,
+		Detections:      s.Events.Detections,
+		ConditionsRun:   s.Rules.ConditionsRun,
+		ActionsRun:      s.Rules.ActionsRun,
+		Sends:           s.Events.Sends,
+		Txn:             s.Txn,
+		ObjectsResident: s.Objects.Resident,
+		ObjectsTotal:    s.Objects.Total,
+		ObjectsLive:     s.Objects.Total,
+		RulesDefined:    s.Rules.Defined,
+		Subscriptions:   s.Rules.Subscriptions,
+		Faults:          s.Storage.Faults,
+		Evictions:       s.Storage.Evictions,
+		Checkpoints:     s.Storage.Checkpoints,
+	}
+}

@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"sentinel/internal/object"
+	"sentinel/internal/obs"
 	"sentinel/internal/oid"
 	"sentinel/internal/rule"
 	"sentinel/internal/schema"
@@ -91,7 +93,7 @@ func (t *Tx) putFrame(f *frame) {
 
 // Begin starts a transaction.
 func (db *Database) Begin() *Tx {
-	return &Tx{
+	t := &Tx{
 		db:       db,
 		inner:    db.tm.Begin(),
 		dirty:    make(map[oid.OID]bool),
@@ -99,6 +101,10 @@ func (db *Database) Begin() *Tx {
 		deleted:  make(map[oid.OID]bool),
 		deferred: rule.NewAgenda(db.currentStrategy()),
 	}
+	if tr := db.tracer.Load(); tr != nil && tr.TxBegin != nil {
+		tr.TxBegin(obs.TxInfo{Tx: uint64(t.inner.ID())})
+	}
+	return t
 }
 
 // ID returns the transaction identifier.
@@ -118,7 +124,19 @@ func (db *Database) Commit(t *Tx) error {
 	if !t.Active() {
 		return txn.ErrNotActive
 	}
+	// Commits are low-frequency relative to raises, so the full duration —
+	// deferred drain, logging, fsync, detached dispatch — is always timed.
+	start := time.Now()
+	err := db.doCommit(t)
+	d := time.Since(start)
+	db.met.commitH.Observe(d)
+	if tr := db.tracer.Load(); tr != nil && tr.TxCommit != nil {
+		tr.TxCommit(obs.TxInfo{Tx: uint64(t.inner.ID()), Duration: d, Err: err})
+	}
+	return err
+}
 
+func (db *Database) doCommit(t *Tx) error {
 	// Phase 1: deferred coupling — drain until quiescent (§4.4). Rules
 	// fired here may write, raise events, and schedule more deferred work.
 	for t.deferred.Len() > 0 {
@@ -165,11 +183,7 @@ func (db *Database) Commit(t *Tx) error {
 		}
 		ordered := agenda.Drain()
 		if db.opts.AsyncDetached {
-			db.startDetachedWorker()
-			db.detachedWG.Add(len(ordered))
-			for _, f := range ordered {
-				db.detachedCh <- f
-			}
+			db.dispatchDetached(ordered)
 		} else {
 			for _, f := range ordered {
 				db.execDetached(f)
@@ -190,25 +204,114 @@ func (db *Database) execDetached(f rule.Firing) {
 	_ = db.Commit(dtx)
 }
 
-// startDetachedWorker lazily launches the background executor.
-func (db *Database) startDetachedWorker() {
-	db.detachedOnce.Do(func() {
+// dispatchDetached hands an ordered batch of detached firings to the
+// background executor, lazily starting it. The pending count is bumped
+// under detachedMu and before any send, so the idle wait (which runs under
+// the same mutex after flipping detachedStopped) covers every dispatch
+// that got past the stopped check. A dispatch racing past shutdown falls
+// back to synchronous execution — firings are never dropped.
+func (db *Database) dispatchDetached(ordered []rule.Firing) {
+	db.detachedMu.Lock()
+	if db.detachedStopped {
+		db.detachedMu.Unlock()
+		for _, f := range ordered {
+			db.execDetached(f)
+		}
+		return
+	}
+	if db.detachedCh == nil {
 		db.detachedCh = make(chan rule.Firing, 1024)
-		go func() {
-			for f := range db.detachedCh {
-				db.execDetached(f)
-				db.detachedWG.Done()
+		db.detachedQuit = make(chan struct{})
+		db.detachedDone = make(chan struct{})
+		go db.detachedWorker(db.detachedCh, db.detachedQuit, db.detachedDone)
+	}
+	ch := db.detachedCh
+	db.detachedPending += len(ordered)
+	db.detachedMu.Unlock()
+	// Send outside the lock: a chained dispatch from the worker itself
+	// (a detached rule whose commit schedules more detached work) must be
+	// able to take detachedMu while another committer is blocked on a full
+	// channel.
+	for _, f := range ordered {
+		ch <- f
+	}
+}
+
+// finishDetached marks one dispatched firing complete, waking idle waiters
+// when the count drains. Chained firings were added before their parent
+// completes (execDetached's commit dispatches under the same mutex), so
+// the count only reaches zero at true quiescence.
+func (db *Database) finishDetached() {
+	db.detachedMu.Lock()
+	db.detachedPending--
+	if db.detachedPending == 0 {
+		db.detachedIdle.Broadcast()
+	}
+	db.detachedMu.Unlock()
+}
+
+// detachedWorker is the background executor loop. On quit it finishes
+// whatever is still queued (stopDetachedWorker has already waited for the
+// pending count, so the drain loop is a safety net) and closes done.
+func (db *Database) detachedWorker(ch chan rule.Firing, quit, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case f := <-ch:
+			db.execDetached(f)
+			db.finishDetached()
+		case <-quit:
+			for {
+				select {
+				case f := <-ch:
+					db.execDetached(f)
+					db.finishDetached()
+				default:
+					return
+				}
 			}
-		}()
-	})
+		}
+	}
+}
+
+// stopDetachedWorker drains in-flight detached work and retires the
+// background executor. Idempotent; later dispatches execute synchronously.
+func (db *Database) stopDetachedWorker() {
+	db.detachedMu.Lock()
+	if db.detachedStopped {
+		db.detachedMu.Unlock()
+		return
+	}
+	db.detachedStopped = true
+	// Every dispatch that saw detachedStopped == false has already bumped
+	// the pending count, so this wait covers all enqueued (and chained)
+	// firings; afterwards the queue is empty and the worker exits promptly.
+	// Cond.Wait releases detachedMu, so the worker's finishDetached (and
+	// chained dispatches, which now run synchronously) make progress.
+	for db.detachedPending > 0 {
+		db.detachedIdle.Wait()
+	}
+	quit, done := db.detachedQuit, db.detachedDone
+	db.detachedMu.Unlock()
+	if quit == nil {
+		return // worker never started
+	}
+	close(quit)
+	<-done
 }
 
 // WaitIdle blocks until every asynchronously dispatched detached rule has
-// finished, including detached work those rules' own commits enqueued (the
-// worker adds chained firings to the wait group before completing the
-// parent, so the counter only reaches zero at true quiescence). A no-op
-// when AsyncDetached is off.
-func (db *Database) WaitIdle() { db.detachedWG.Wait() }
+// finished, including detached work those rules' own commits enqueued (a
+// chained firing bumps the pending count before its parent completes, so
+// the counter only reaches zero at true quiescence). A no-op when
+// AsyncDetached is off.
+func (db *Database) WaitIdle() {
+	db.detachedMu.Lock()
+	for db.detachedPending > 0 {
+		db.detachedIdle.Wait()
+	}
+	db.detachedMu.Unlock()
+}
 
 // Abort rolls the transaction back.
 func (db *Database) Abort(t *Tx) {
@@ -221,6 +324,9 @@ func (db *Database) Abort(t *Tx) {
 	t.resetTouched()
 	t.inner.Abort()
 	t.releasePins()
+	if tr := db.tracer.Load(); tr != nil && tr.TxAbort != nil {
+		tr.TxAbort(obs.TxInfo{Tx: uint64(t.inner.ID())})
+	}
 }
 
 // releasePins drops every directory pin the transaction holds. Runs after

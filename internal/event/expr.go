@@ -2,6 +2,7 @@ package event
 
 import (
 	"fmt"
+	"sync"
 
 	"sentinel/internal/oid"
 )
@@ -73,6 +74,12 @@ type Expr struct {
 	Count int
 	// Period is the tick interval for OpPeriodic.
 	Period uint64
+
+	// label memoizes String for Label, which tracing hooks call per
+	// detection — rendering the operator tree each time would put
+	// allocations on the event hot path.
+	labelOnce sync.Once
+	label     string
 }
 
 // Primitive returns the event definition for "when Class::Method" (bom,
@@ -200,6 +207,15 @@ func (e *Expr) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Label returns String rendered once and memoized. Expr trees are
+// structurally immutable after construction, so the first rendering stays
+// valid; tracing uses this to name events without per-detection
+// allocation.
+func (e *Expr) Label() string {
+	e.labelOnce.Do(func() { e.label = e.String() })
+	return e.label
 }
 
 // String renders the definition in SentinelQL surface syntax, which is also

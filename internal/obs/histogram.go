@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free log-bucketed latency histogram. Buckets are
+// geometric with 4 sub-buckets per power of two (relative error ≤ 12.5% at
+// a bucket midpoint), except that values below 8ns land in exact unit
+// buckets. Observe is wait-free: one atomic add into the bucket array plus
+// two atomic adds for count and sum. There is no snapshot lock — Snapshot
+// reads the atomics individually, so a snapshot taken under concurrent
+// writes is consistent-enough for monitoring (counts may be mid-update
+// relative to the sum by a few observations, never torn).
+type Histogram struct {
+	name, help string
+	counts     [histBuckets]atomic.Uint64
+	count      atomic.Uint64
+	sum        atomic.Uint64 // nanoseconds
+}
+
+const (
+	histSubBits = 2                // sub-buckets per octave = 1<<histSubBits
+	histSub     = 1 << histSubBits // 4
+	// Buckets 0..7 hold exact values 0..7ns; octaves 4..64 get histSub
+	// buckets each. 2^64ns ≈ 584 years, so nothing clamps in practice.
+	histBuckets = histSub*2 + (64-histSubBits-1)*histSub // 252
+)
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histSub*2 { // 0..7: exact
+		return int(v)
+	}
+	o := bits.Len64(v)                                  // v in [2^(o-1), 2^o), o >= 4
+	sub := (v >> (o - 1 - histSubBits)) & (histSub - 1) // bits below the leading 1
+	return histSub*2 + (o-histSubBits-2)*histSub + int(sub)
+}
+
+// bucketBounds returns the inclusive lower bound and width of a bucket.
+func bucketBounds(idx int) (lo, width float64) {
+	if idx < histSub*2 {
+		return float64(idx), 1
+	}
+	k := idx - histSub*2
+	o := k/histSub + histSubBits + 2 // bits.Len of members
+	sub := k % histSub
+	w := uint64(1) << (o - 1 - histSubBits)
+	l := uint64(1)<<(o-1) + uint64(sub)*w
+	return float64(l), float64(w)
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Snapshot captures the histogram state for quantile queries and rendering.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:  h.name,
+		Help:  h.help,
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+	}
+	var counts []uint64
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c != 0 {
+			if counts == nil {
+				counts = make([]uint64, histBuckets)
+			}
+			counts[i] = c
+		}
+	}
+	s.counts = counts
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is an immutable point-in-time view of a Histogram with
+// precomputed p50/p95/p99 (nanoseconds; 0 when empty).
+type HistogramSnapshot struct {
+	Name          string
+	Help          string
+	Count         uint64
+	SumNs         uint64
+	P50, P95, P99 float64
+
+	counts []uint64 // nil when empty
+}
+
+// Mean returns the average observation in nanoseconds (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) in nanoseconds by linear
+// interpolation within the bucket where the cumulative count crosses the
+// rank. The estimate is exact below 8ns and within one sub-bucket (≤ 25%
+// relative width) above.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || s.counts == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			lo, width := bucketBounds(i)
+			frac := 0.5 // empty target (q=0): bucket midpoint
+			if c > 0 && target > cum {
+				frac = (target - cum) / float64(c)
+			}
+			return lo + frac*width
+		}
+		cum = next
+	}
+	// Numerical tail: return the upper edge of the last occupied bucket.
+	for i := len(s.counts) - 1; i >= 0; i-- {
+		if s.counts[i] != 0 {
+			lo, width := bucketBounds(i)
+			return lo + width
+		}
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+// Package obs is Sentinel's zero-dependency observability layer: tracing
+// hooks, lock-free metrics, and the surfaces that expose them.
+//
+// The paper's position is that events and rules are first-class objects you
+// can inspect; obs extends that to the *runtime behaviour* of those objects.
+// It has three parts, all built only on the standard library:
+//
+//   - Tracer: a struct of optional callback hooks (in the style of
+//     net/http/httptrace.ClientTrace) that the core runtime invokes at every
+//     interesting point — occurrence raised, composite detection, rule
+//     scheduled/fired, transaction begin/commit/abort, WAL append/fsync,
+//     page fault/eviction. A nil Tracer (the default) costs one atomic
+//     pointer load per hook site and zero allocations.
+//
+//   - Registry: a set of named atomic counters, callback gauges, and
+//     log-bucketed latency histograms. The mutation path is lock-free
+//     (atomic adds); registration happens once at open. Snapshot() produces
+//     an immutable point-in-time view with p50/p95/p99 quantile estimates.
+//
+//   - Surfaces: Prometheus-style text and expvar-style JSON rendering of a
+//     snapshot, an optional HTTP listener serving both, and a bounded
+//     slow-rule log.
+//
+// The overhead contract: with no tracer installed, counters cost one atomic
+// add each and the hot raise path stays allocation-free; latency histograms
+// for high-frequency operations (rule firings, condition evaluations) are
+// fed by sampling (1 in N, see core's Options.MetricsSampling) so the
+// timer-call cost is amortized away, while low-frequency operations
+// (commit, fsync, fault-in, checkpoint) are always timed.
+package obs
+
+import "time"
+
+// Tracer is a set of hooks into the runtime's execution. Any hook may be
+// nil: the runtime skips it. Hooks run synchronously on the hot path of the
+// goroutine that triggered them — they must be fast and must not call back
+// into the database that invoked them (deadlock: hooks may run under
+// internal locks). All hooks must be safe for concurrent use.
+//
+// Install one with Database.SetTracer; the argument structs are passed by
+// value and must not be retained with their slices aliased past the call.
+type Tracer struct {
+	// OccurrenceRaised fires for every primitive-event occurrence, whether
+	// or not any consumer observes it.
+	OccurrenceRaised func(OccurrenceInfo)
+	// CompositeDetected fires when a rule's local detector signals its
+	// event definition (one call per detection, after the occurrence that
+	// completed it).
+	CompositeDetected func(DetectionInfo)
+	// RuleScheduled fires when a detection is scheduled for execution:
+	// immediately (in-line), deferred (end of transaction), or detached
+	// (post-commit transaction).
+	RuleScheduled func(RuleScheduleInfo)
+	// RuleFired fires after a scheduled rule executed: condition evaluated
+	// and, when it held, action run. Durations are measured per call.
+	RuleFired func(RuleFireInfo)
+	// TxBegin, TxCommit and TxAbort trace transaction boundaries. TxCommit
+	// reports the full commit duration including deferred-rule drain,
+	// logging and fsync.
+	TxBegin  func(TxInfo)
+	TxCommit func(TxInfo)
+	TxAbort  func(TxInfo)
+	// WALAppend and WALFsync trace the write-ahead log: every record batch
+	// appended and every physical fsync (group commit means one fsync can
+	// cover several commits).
+	WALAppend func(WALInfo)
+	WALFsync  func(WALInfo)
+	// PageFault fires when an object is decoded from the heap on demand;
+	// PageEvict fires once per clock sweep with the number of residents
+	// reclaimed.
+	PageFault func(PageInfo)
+	PageEvict func(PageInfo)
+}
+
+// OccurrenceInfo describes one raised primitive-event occurrence.
+type OccurrenceInfo struct {
+	Source uint64 // OID of the raising object
+	Class  string // dynamic class of the source
+	Method string // method (or explicit event) name
+	Moment string // "begin", "end" or "explicit"
+	Seq    uint64 // database-wide logical timestamp
+	Tx     uint64 // surrounding transaction id
+}
+
+// DetectionInfo describes one signalled (possibly composite) event
+// detection.
+type DetectionInfo struct {
+	Rule         string // consuming rule
+	Event        string // the rule's event definition, rendered
+	Constituents int    // occurrences participating in the detection
+	FirstSeq     uint64 // logical timestamp of the initiator
+	LastSeq      uint64 // logical timestamp of the terminator
+	Tx           uint64
+}
+
+// RuleScheduleInfo describes a detection entering the execution pipeline.
+type RuleScheduleInfo struct {
+	Rule     string
+	Coupling string // "immediate", "deferred" or "detached"
+	Priority int
+	Depth    int // rule-cascade depth of the surrounding execution
+	Tx       uint64
+}
+
+// RuleFireInfo describes one completed rule execution.
+type RuleFireInfo struct {
+	Rule      string
+	Coupling  string
+	Depth     int
+	Condition time.Duration // condition evaluation time (0 if none)
+	Action    time.Duration // action execution time (0 if skipped)
+	Fired     bool          // condition held and the action ran
+	Err       error         // execution error (including aborts), if any
+	Tx        uint64
+}
+
+// TxInfo describes a transaction boundary.
+type TxInfo struct {
+	Tx       uint64
+	Duration time.Duration // commit only: full Commit() latency
+	Err      error         // commit only: failure, if any
+}
+
+// WALInfo describes write-ahead-log activity.
+type WALInfo struct {
+	Bytes    int // appended bytes (append only)
+	Duration time.Duration
+}
+
+// PageInfo describes demand-paging activity.
+type PageInfo struct {
+	OID      uint64        // faulted object (fault only)
+	Class    string        // class of the faulted object (fault only)
+	Evicted  int           // residents reclaimed (evict only)
+	Duration time.Duration // fault-in decode latency (fault only)
+}
+
+// SlowRule is one entry of the slow-rule log: a rule execution whose total
+// (condition + action) time exceeded the configured threshold.
+type SlowRule struct {
+	Rule     string
+	Coupling string
+	Total    time.Duration
+	Cond     time.Duration
+	Action   time.Duration
+	Fired    bool
+	Seq      uint64 // monotone entry number, for loss detection
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value must land in a bucket whose bounds contain it.
+	vals := []uint64{0, 1, 2, 3, 7, 8, 9, 10, 15, 16, 17, 31, 32, 100, 1000,
+		12345, 1 << 20, 1<<20 + 1, 1<<40 - 1, 1 << 40, 1<<63 + 12345}
+	for _, v := range vals {
+		idx := bucketOf(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range", v, idx)
+		}
+		lo, width := bucketBounds(idx)
+		fv := float64(v)
+		if fv < lo || fv >= lo+width {
+			t.Errorf("value %d in bucket %d with bounds [%g, %g)", v, idx, lo, lo+width)
+		}
+	}
+	// Monotonicity: bucket index never decreases with the value.
+	prev := -1
+	for v := uint64(0); v < 4096; v++ {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// Uniform 1..10_000ns: p50 ≈ 5000, p95 ≈ 9500, p99 ≈ 9900. The
+	// log-bucket design guarantees ≤ 25% relative error per bucket; check
+	// against a slightly looser bound to stay robust at bucket edges.
+	for i := 1; i <= 10000; i++ {
+		h.Observe(time.Duration(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 10000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	wantSum := uint64(10000 * 10001 / 2)
+	if s.SumNs != wantSum {
+		t.Fatalf("sum = %d, want %d", s.SumNs, wantSum)
+	}
+	checks := []struct {
+		q, want float64
+	}{{0.50, 5000}, {0.95, 9500}, {0.99, 9900}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.30 {
+			t.Errorf("q%.2f = %g, want ≈ %g (rel err %.2f)", c.q, got, c.want, rel)
+		}
+	}
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Error("precomputed quantiles disagree with Quantile()")
+	}
+	if mean := s.Mean(); math.Abs(mean-5000.5) > 1 {
+		t.Errorf("mean = %g, want 5000.5", mean)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	// Values below 8ns are exact: every quantile is 3 ± bucket width 1.
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := s.Quantile(q); got < 3 || got > 4 {
+			t.Errorf("q%g = %g, want within [3,4]", q, got)
+		}
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.P99 != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(-5 * time.Second) // clamps to 0
+	s = h.Snapshot()
+	if s.Count != 1 || s.SumNs != 0 {
+		t.Errorf("negative observation: count=%d sum=%d", s.Count, s.SumNs)
+	}
+}
+
+func TestHistogramSkewedDistribution(t *testing.T) {
+	// 99% fast ops at ~1µs, 1% slow at ~1ms: p50 must stay near 1µs while
+	// p99 climbs toward the slow mode — the shape that motivates
+	// histograms over plain means.
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100000; i++ {
+		if rng.Intn(100) == 0 {
+			h.Observe(time.Duration(1e6 + rng.Intn(1000)))
+		} else {
+			h.Observe(time.Duration(1000 + rng.Intn(100)))
+		}
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 > 2000 {
+		t.Errorf("p50 = %g, want ≈ 1µs", p50)
+	}
+	if p995 := s.Quantile(0.995); p995 < 5e5 {
+		t.Errorf("p99.5 = %g, want ≈ 1ms", p995)
+	}
+	if mean := s.Mean(); mean < 2000 || mean > 50000 {
+		t.Errorf("mean = %g, want between the modes", mean)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Intn(1 << 20)))
+			}
+		}(int64(g))
+	}
+	// Snapshot under concurrent writes must not tear bucket counts.
+	for i := 0; i < 100; i++ {
+		s := h.Snapshot()
+		var bucketTotal uint64
+		for _, c := range s.counts {
+			bucketTotal += c
+		}
+		if bucketTotal > goroutines*per {
+			t.Fatalf("bucket total %d exceeds writes", bucketTotal)
+		}
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+func TestRegistrySnapshotAndLookup(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	gv := int64(7)
+	r.Gauge("test_residents", "resident objects", func() int64 { return gv })
+	h := r.Histogram("test_latency_ns", "latency")
+	c.Add(41)
+	c.Inc()
+	h.Observe(100)
+	h.Observe(200)
+
+	s := r.Snapshot()
+	if v, ok := s.Counter("test_ops_total"); !ok || v != 42 {
+		t.Fatalf("counter = %d, %v", v, ok)
+	}
+	if v, ok := s.Gauge("test_residents"); !ok || v != 7 {
+		t.Fatalf("gauge = %d, %v", v, ok)
+	}
+	hs, ok := s.Histogram("test_latency_ns")
+	if !ok || hs.Count != 2 || hs.SumNs != 300 {
+		t.Fatalf("histogram = %+v, %v", hs, ok)
+	}
+	if _, ok := s.Counter("missing"); ok {
+		t.Fatal("missing counter found")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Histogram("dup", "")
+}
+
+func TestPrometheusAndExpvarRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sentinel_sends_total", "method dispatches").Add(3)
+	r.Gauge("sentinel_rules_defined", "rules", func() int64 { return 2 })
+	h := r.Histogram("sentinel_tx_commit_ns", "commit latency")
+	h.Observe(1000)
+	s := r.Snapshot()
+
+	var prom strings.Builder
+	if err := s.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE sentinel_sends_total counter",
+		"sentinel_sends_total 3",
+		"# TYPE sentinel_rules_defined gauge",
+		"sentinel_rules_defined 2",
+		"# TYPE sentinel_tx_commit_seconds summary",
+		`sentinel_tx_commit_seconds{quantile="0.5"}`,
+		"sentinel_tx_commit_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+
+	var ev strings.Builder
+	if err := s.WriteExpvar(&ev); err != nil {
+		t.Fatal(err)
+	}
+	js := ev.String()
+	for _, want := range []string{
+		`"sentinel_sends_total": 3`,
+		`"sentinel_rules_defined": 2`,
+		`"sentinel_tx_commit_ns": {"count": 1, "sum_ns": 1000`,
+	} {
+		if !strings.Contains(js, want) {
+			t.Errorf("expvar output missing %q:\n%s", want, js)
+		}
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(SlowRule{Rule: string(rune('a' + i)), Total: time.Duration(i)})
+	}
+	entries, total := l.Entries()
+	if total != 5 {
+		t.Fatalf("total = %d", total)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("len = %d", len(entries))
+	}
+	if entries[0].Rule != "c" || entries[2].Rule != "e" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Seq != 3 || entries[2].Seq != 5 {
+		t.Fatalf("seqs = %d, %d", entries[0].Seq, entries[2].Seq)
+	}
+}

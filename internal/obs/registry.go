@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Add increments the counter by n and returns the new value (useful for
+// deriving sampling decisions from a counter the caller bumps anyway).
+func (c *Counter) Add(n uint64) uint64 { return c.v.Add(n) }
+
+// Inc increments the counter by one and returns the new value.
+func (c *Counter) Inc() uint64 { return c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a named instantaneous value, read through a callback at
+// snapshot/render time (the registry never caches it).
+type Gauge struct {
+	name, help string
+	fn         func() int64
+}
+
+// Registry holds a database instance's metrics. Registration (Counter,
+// Gauge, Histogram) takes a lock and is meant for open time; the returned
+// pointers are then used directly on the data path with no further registry
+// involvement — counter adds and histogram observes are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers and returns a new counter. Names must be unique;
+// duplicate registration panics (a wiring bug, not a runtime condition).
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkDup(name)
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers a callback gauge. fn must be safe for concurrent use.
+func (r *Registry) Gauge(name, help string, fn func() int64) *Gauge {
+	g := &Gauge{name: name, help: help, fn: fn}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkDup(name)
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Histogram registers and returns a new latency histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	h := &Histogram{name: name, help: help}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.checkDup(name)
+	r.hists = append(r.hists, h)
+	return h
+}
+
+func (r *Registry) checkDup(name string) {
+	for _, c := range r.counters {
+		if c.name == name {
+			panic(fmt.Sprintf("obs: duplicate metric %q", name))
+		}
+	}
+	for _, g := range r.gauges {
+		if g.name == name {
+			panic(fmt.Sprintf("obs: duplicate metric %q", name))
+		}
+	}
+	for _, h := range r.hists {
+		if h.name == name {
+			panic(fmt.Sprintf("obs: duplicate metric %q", name))
+		}
+	}
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string
+	Help  string
+	Value uint64
+}
+
+// GaugeValue is one gauge reading in a snapshot.
+type GaugeValue struct {
+	Name  string
+	Help  string
+	Value int64
+}
+
+// Snapshot is an immutable point-in-time view of a registry, sorted by
+// metric name within each section.
+type Snapshot struct {
+	TakenAt    time.Time
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramSnapshot
+}
+
+// Snapshot captures every registered metric. Safe under concurrent
+// mutation; gauge callbacks run on the calling goroutine.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := append([]*Counter(nil), r.counters...)
+	gauges := append([]*Gauge(nil), r.gauges...)
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
+
+	s := Snapshot{TakenAt: time.Now()}
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterValue{Name: c.name, Help: c.help, Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Help: g.help, Value: g.fn()})
+	}
+	for _, h := range hists {
+		s.Histograms = append(s.Histograms, h.Snapshot())
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter returns a counter's value by name (false if absent).
+func (s Snapshot) Counter(name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns a gauge's value by name (false if absent).
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns a histogram snapshot by name (zero value if absent).
+func (s Snapshot) Histogram(name string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}

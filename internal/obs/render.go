@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. Counters and gauges map directly; histograms are rendered as
+// summaries (quantile series plus _sum and _count), with durations
+// converted from nanoseconds to seconds per Prometheus convention (the
+// `_ns` name suffix is rewritten to `_seconds`).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		if err := promHeader(w, c.Name, c.Help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := promHeader(w, g.Name, g.Help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := h.Name
+		scale := 1.0
+		if strings.HasSuffix(name, "_ns") {
+			name = strings.TrimSuffix(name, "_ns") + "_seconds"
+			scale = 1e-9
+		}
+		if err := promHeader(w, name, h.Help, "summary"); err != nil {
+			return err
+		}
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n", name, q.label, promFloat(q.v*scale)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(float64(h.SumNs)*scale)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteExpvar renders the snapshot as a single expvar-style JSON object:
+// counters and gauges as numbers, histograms as objects with count, sum_ns,
+// mean_ns and the three stock quantiles. Keys are metric names, sorted (the
+// snapshot sections already are).
+func (s Snapshot) WriteExpvar(w io.Writer) error {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	field := func(name string) {
+		if !first {
+			b.WriteString(",\n")
+		} else {
+			b.WriteByte('\n')
+		}
+		first = false
+		b.WriteString(strconv.Quote(name))
+		b.WriteString(": ")
+	}
+	for _, c := range s.Counters {
+		field(c.Name)
+		b.WriteString(strconv.FormatUint(c.Value, 10))
+	}
+	for _, g := range s.Gauges {
+		field(g.Name)
+		b.WriteString(strconv.FormatInt(g.Value, 10))
+	}
+	for _, h := range s.Histograms {
+		field(h.Name)
+		fmt.Fprintf(&b, `{"count": %d, "sum_ns": %d, "mean_ns": %s, "p50_ns": %s, "p95_ns": %s, "p99_ns": %s}`,
+			h.Count, h.SumNs, promFloat(h.Mean()), promFloat(h.P50), promFloat(h.P95), promFloat(h.P99))
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

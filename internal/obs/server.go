@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server is the optional metrics HTTP listener. It serves
+//
+//	GET /metrics     Prometheus text exposition format
+//	GET /debug/vars  expvar-style JSON
+//
+// over a registry. It binds eagerly (Serve returns an error if the address
+// is taken) so misconfiguration surfaces at open, and shuts down
+// deterministically: Close stops the listener and waits for in-flight
+// handlers to drain.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and starts serving
+// the registry's metrics in a background goroutine.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.Snapshot().WriteExpvar(w)
+	})
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal shutdown path; anything else is
+		// reported through Close.
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.closeErr = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, closes idle and in-flight connections, and
+// waits for the serve goroutine to exit. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		err := s.srv.Close()
+		<-s.done
+		if s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerServesBothFormats(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sentinel_sends_total", "sends").Add(9)
+	r.Histogram("sentinel_rule_firing_ns", "firing latency").Observe(500)
+
+	s, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	prom := get("/metrics")
+	if !strings.Contains(prom, "sentinel_sends_total 9") {
+		t.Errorf("prometheus body missing counter:\n%s", prom)
+	}
+	if !strings.Contains(prom, "sentinel_rule_firing_seconds_count 1") {
+		t.Errorf("prometheus body missing summary:\n%s", prom)
+	}
+
+	ev := get("/debug/vars")
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(ev), &decoded); err != nil {
+		t.Fatalf("expvar body is not valid JSON: %v\n%s", err, ev)
+	}
+	if decoded["sentinel_sends_total"] != float64(9) {
+		t.Errorf("expvar counter = %v", decoded["sentinel_sends_total"])
+	}
+}
+
+func TestServerCloseIdempotentAndDeterministic(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+}
+
+func TestServeBindFailure(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := Serve(s.Addr(), NewRegistry()); err == nil {
+		t.Fatal("second bind on the same address must fail")
+	}
+}

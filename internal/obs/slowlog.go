@@ -1,0 +1,52 @@
+package obs
+
+import "sync"
+
+// SlowLog is a bounded ring of slow-rule executions. Appends happen only
+// when a rule already blew the slow threshold, so a mutex is fine here —
+// this is never the hot path.
+type SlowLog struct {
+	mu   sync.Mutex
+	ring []SlowRule
+	next int    // ring write position
+	n    int    // entries stored (≤ len(ring))
+	seq  uint64 // total entries ever appended
+}
+
+// NewSlowLog returns a log keeping the most recent cap entries (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{ring: make([]SlowRule, capacity)}
+}
+
+// Add appends one entry, evicting the oldest when full.
+func (l *SlowLog) Add(e SlowRule) {
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Entries returns the retained entries, oldest first. Total is the number
+// of slow executions ever recorded (entries beyond the ring capacity were
+// dropped oldest-first).
+func (l *SlowLog) Entries() (entries []SlowRule, total uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowRule, 0, l.n)
+	start := l.next - l.n
+	if start < 0 {
+		start += len(l.ring)
+	}
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out, l.seq
+}

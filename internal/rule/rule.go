@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sentinel/internal/event"
 	"sentinel/internal/oid"
@@ -150,6 +151,11 @@ type Rule struct {
 	received  atomic.Uint64 // occurrences notified
 	signalled atomic.Uint64 // event detections
 	fired     atomic.Uint64 // actions executed
+
+	// Execution timing, fed by the runtime's (sampled) firing timer.
+	execCnt atomic.Uint64 // timed executions
+	execNs  atomic.Uint64 // summed duration of timed executions
+	execMax atomic.Uint64 // slowest timed execution
 }
 
 // New constructs a rule. The detector is compiled on first Notify or via
@@ -240,6 +246,27 @@ func (r *Rule) CountFired() uint64 { return r.fired.Add(1) }
 // Stats returns (occurrences received, events signalled, actions fired).
 func (r *Rule) Stats() (received, signalled, fired uint64) {
 	return r.received.Load(), r.signalled.Load(), r.fired.Load()
+}
+
+// RecordExec folds one timed firing (condition + action) into the rule's
+// execution-time stats. The runtime samples firings, so these cover a
+// subset of executions unless full timing is forced (tracer or slow-rule
+// threshold).
+func (r *Rule) RecordExec(d time.Duration) {
+	ns := uint64(max(d, 0))
+	r.execCnt.Add(1)
+	r.execNs.Add(ns)
+	for {
+		cur := r.execMax.Load()
+		if ns <= cur || r.execMax.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// ExecStats returns the timed-execution count, total and maximum duration.
+func (r *Rule) ExecStats() (timed uint64, total, max time.Duration) {
+	return r.execCnt.Load(), time.Duration(r.execNs.Load()), time.Duration(r.execMax.Load())
 }
 
 // String renders the rule header.

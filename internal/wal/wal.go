@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"sentinel/internal/oid"
 )
@@ -64,6 +65,10 @@ type Log struct {
 	path string
 	size int64
 	sync syncState // group-commit state (see SyncBarrier)
+
+	// Instrumentation hooks (see SetHooks); nil means uninstrumented.
+	onAppend func(bytes int, d time.Duration)
+	onFsync  func(d time.Duration)
 }
 
 // Open opens (or creates) the log at path.
@@ -78,6 +83,17 @@ func Open(path string) (*Log, error) {
 		return nil, fmt.Errorf("wal: stat: %w", err)
 	}
 	return &Log{f: f, path: path, size: st.Size()}, nil
+}
+
+// SetHooks installs instrumentation callbacks: onAppend observes every
+// record (batch) append with its framed byte count and write latency,
+// onFsync every physical fsync with its latency. Either may be nil. Call
+// before the log sees concurrent use (the fields are unsynchronized by
+// design — the owner installs them right after Open). Hooks run with log
+// locks held and must not call back into the Log.
+func (l *Log) SetHooks(onAppend func(bytes int, d time.Duration), onFsync func(d time.Duration)) {
+	l.onAppend = onAppend
+	l.onFsync = onFsync
 }
 
 // Close closes the log file.
@@ -106,6 +122,10 @@ func (l *Log) Append(r Record) error {
 }
 
 func (l *Log) appendLocked(r Record) error {
+	var start time.Time
+	if l.onAppend != nil {
+		start = time.Now()
+	}
 	payload := appendPayload(nil, r)
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -117,6 +137,9 @@ func (l *Log) appendLocked(r Record) error {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += int64(frameHeader + len(payload))
+	if l.onAppend != nil {
+		l.onAppend(frameHeader+len(payload), time.Since(start))
+	}
 	return nil
 }
 
@@ -124,6 +147,10 @@ func (l *Log) appendLocked(r Record) error {
 func (l *Log) AppendBatch(recs []Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var start time.Time
+	if l.onAppend != nil {
+		start = time.Now()
+	}
 	var buf []byte
 	for _, r := range recs {
 		payload := appendPayload(nil, r)
@@ -137,17 +164,15 @@ func (l *Log) AppendBatch(recs []Record) error {
 		return fmt.Errorf("wal: append batch: %w", err)
 	}
 	l.size += int64(len(buf))
+	if l.onAppend != nil {
+		l.onAppend(len(buf), time.Since(start))
+	}
 	return nil
 }
 
 // Sync forces the log to stable storage.
 func (l *Log) Sync() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
-	}
-	return nil
+	return l.fsync()
 }
 
 // Truncate atomically replaces the log with one containing only a
@@ -336,8 +361,15 @@ func (l *Log) SyncBarrier() error {
 func (l *Log) fsync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	var start time.Time
+	if l.onFsync != nil {
+		start = time.Now()
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if l.onFsync != nil {
+		l.onFsync(time.Since(start))
 	}
 	return nil
 }

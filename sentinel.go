@@ -50,6 +50,7 @@ import (
 	"sentinel/internal/event"
 	"sentinel/internal/index"
 	"sentinel/internal/object"
+	"sentinel/internal/obs"
 	"sentinel/internal/oid"
 	"sentinel/internal/rule"
 	"sentinel/internal/schema"
@@ -64,12 +65,66 @@ type (
 	Tx = core.Tx
 	// Options configures Open.
 	Options = core.Options
-	// Stats are the runtime counters reported by Database.Stats.
-	Stats = core.Stats
 	// RuleSpec describes a rule for Database.CreateRule.
 	RuleSpec = core.RuleSpec
 	// AbortError is returned when a rule or method aborts the transaction.
 	AbortError = core.AbortError
+)
+
+// Statistics and observability types. Database.Stats returns a cheap
+// grouped counter Snapshot; Database.Metrics returns the full metrics
+// registry (counters, gauges and latency histograms with quantiles);
+// Database.SetTracer installs per-event callbacks.
+type (
+	// Snapshot is the grouped runtime counters from Database.Stats.
+	Snapshot = core.Snapshot
+	// ObjectStats counts resident and total objects.
+	ObjectStats = core.ObjectStats
+	// EventStats counts sends, raised occurrences, notifications and
+	// composite detections.
+	EventStats = core.EventStats
+	// RuleStats counts defined rules, subscriptions and executions.
+	RuleStats = core.RuleStats
+	// StorageStats counts faults, evictions, checkpoints and WAL bytes.
+	StorageStats = core.StorageStats
+
+	// Stats is the legacy flat counter struct.
+	//
+	// Deprecated: use Snapshot (via Database.Stats); Database.LegacyStats
+	// still returns this shape for old callers.
+	Stats = core.Stats
+
+	// MetricsSnapshot is a point-in-time view of every registered counter,
+	// gauge and histogram, returned by Database.Metrics.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot is one latency histogram with p50/p95/p99.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// CounterValue is one monotonic counter reading.
+	CounterValue = obs.CounterValue
+	// GaugeValue is one instantaneous gauge reading.
+	GaugeValue = obs.GaugeValue
+
+	// Tracer is a set of optional hooks (in the style of httptrace) invoked
+	// at runtime events; install with Database.SetTracer. Any field may be
+	// nil; callbacks must be fast and must not call back into the database.
+	Tracer = obs.Tracer
+	// OccurrenceInfo describes a raised primitive event occurrence.
+	OccurrenceInfo = obs.OccurrenceInfo
+	// DetectionInfo describes a recognized (composite) event.
+	DetectionInfo = obs.DetectionInfo
+	// RuleScheduleInfo describes a rule being queued for execution.
+	RuleScheduleInfo = obs.RuleScheduleInfo
+	// RuleFireInfo describes one completed rule firing with timings.
+	RuleFireInfo = obs.RuleFireInfo
+	// TxInfo describes a transaction lifecycle event.
+	TxInfo = obs.TxInfo
+	// WALInfo describes a write-ahead-log append or fsync.
+	WALInfo = obs.WALInfo
+	// PageInfo describes an object fault-in or eviction batch.
+	PageInfo = obs.PageInfo
+	// SlowRule is one entry of the slow-rule log (Database.SlowRules),
+	// recorded when a firing exceeds Options.SlowRuleThreshold.
+	SlowRule = obs.SlowRule
 )
 
 // Schema (meta-object) types.

@@ -71,7 +71,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 
 	st := db.Stats()
-	if st.Sends == 0 || st.EventsRaised == 0 || st.RulesDefined != 1 {
+	if st.Events.Sends == 0 || st.Events.Raised == 0 || st.Rules.Defined != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 	if sentinel.IsAbort(fmt.Errorf("nope")) {
