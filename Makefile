@@ -1,15 +1,20 @@
 # Development entry points. `make check` is the tier-1 verification flow
 # (build, vet, tests); `make race` adds the race detector over the
-# concurrency-sensitive packages; `make bench` produces the fast-path
-# benchmark artifact BENCH_1.json (with BENCH_0.json, the pre-fast-path
-# seed measurements, embedded as the baseline), the cold-open artifact
-# BENCH_2.json, and the instrumentation-overhead artifact BENCH_3.json;
-# `make bench-smoke` is a one-iteration CI-sized pass over the same code
-# paths plus a scrape of the live /metrics endpoint.
+# concurrency-sensitive packages; `make torture` runs the exhaustive
+# crash-state enumeration, bit-flip and differential sweeps (the strided
+# versions already run inside `make test`); `make fuzz` gives each fuzz
+# target a short coverage-guided session on top of the checked-in corpora;
+# `make bench` produces the fast-path benchmark artifact BENCH_1.json
+# (with BENCH_0.json, the pre-fast-path seed measurements, embedded as the
+# baseline), the cold-open artifact BENCH_2.json, and the
+# instrumentation-overhead artifact BENCH_3.json; `make bench-smoke` is a
+# one-iteration CI-sized pass over the same code paths plus a scrape of
+# the live /metrics endpoint.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test check race bench bench-smoke clean
+.PHONY: all build vet test check race torture fuzz bench bench-smoke clean
 
 all: check
 
@@ -25,7 +30,22 @@ test:
 check: build vet test
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/... ./internal/sim/... ./internal/vfs/...
+
+# Exhaustive crash-state torture: every journal op boundary in every crash
+# mode, every WAL bit position, and a widened differential-seed matrix.
+# The fixed seeds make failures reproducible; the strided versions of the
+# same sweeps run in the ordinary test suite.
+torture:
+	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint' -v ./internal/sim/ ./internal/core/
+
+# Coverage-guided fuzzing on top of the checked-in seed corpora. `go test`
+# accepts one -fuzz pattern per package invocation, hence one line each.
+fuzz:
+	$(GO) test -fuzz FuzzReplay -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -fuzz FuzzDecodePayload -fuzztime $(FUZZTIME) ./internal/wal/
+	$(GO) test -fuzz FuzzParseScript -fuzztime $(FUZZTIME) ./internal/lang/
+	$(GO) test -fuzz FuzzParseEventExpr -fuzztime $(FUZZTIME) ./internal/lang/
 
 # Raise-path benchmarks: P1 (N rules), P8 (event-interface selectivity),
 # P11 (parallel sends), plus the machine-readable JSON suite.

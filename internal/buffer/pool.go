@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"sentinel/internal/page"
+	"sentinel/internal/vfs"
 )
 
 // PageFile is the backing store the pool reads and writes pages through.
@@ -19,29 +20,35 @@ type PageFile interface {
 	Sync() error
 }
 
-// File is the default PageFile over an *os.File.
+// File is the default PageFile over a vfs.File.
 type File struct {
-	f     *os.File
+	f     vfs.File
 	pages page.ID
 }
 
-// OpenFile opens (creating if needed) a page file at path.
+// OpenFile opens (creating if needed) a page file at path on the OS
+// filesystem.
 func OpenFile(path string) (*File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFileOn(vfs.OS, path)
+}
+
+// OpenFileOn opens (creating if needed) a page file at path on fs.
+func OpenFileOn(fs vfs.FS, path string) (*File, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("buffer: open page file: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("buffer: stat page file: %w", err)
 	}
-	if st.Size()%page.Size != 0 {
+	if size%page.Size != 0 {
 		f.Close()
 		return nil, fmt.Errorf("buffer: page file %s has size %d, not a multiple of %d",
-			path, st.Size(), page.Size)
+			path, size, page.Size)
 	}
-	return &File{f: f, pages: page.ID(st.Size() / page.Size)}, nil
+	return &File{f: f, pages: page.ID(size / page.Size)}, nil
 }
 
 // ReadPage reads page id into buf.

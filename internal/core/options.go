@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sentinel/internal/rule"
+	"sentinel/internal/vfs"
 )
 
 // Options configures a Database. The zero value is a usable in-memory
@@ -47,6 +48,12 @@ type Options struct {
 	// workloads that touch the entire database immediately anyway.
 	// Requires Dir and is incompatible with MaxResidentObjects.
 	EagerLoad bool
+	// VFS is the filesystem the storage stack (WAL, heap, buffer pool)
+	// runs on. Nil (the default) means the real OS filesystem. Tests
+	// substitute vfs.NewMem for hermetic in-memory storage or vfs.NewFault
+	// to inject I/O errors and enumerate crash states. Only meaningful
+	// with Dir set.
+	VFS vfs.FS
 
 	// ---- Rule execution ----
 
@@ -147,6 +154,9 @@ func (o Options) Validate() error {
 	}
 	if o.EagerLoad && o.Dir == "" {
 		errs = append(errs, errors.New("EagerLoad is set but Dir is empty: an in-memory database has nothing to load; set Dir or drop EagerLoad"))
+	}
+	if o.VFS != nil && o.Dir == "" {
+		errs = append(errs, errors.New("VFS is set but Dir is empty: an in-memory database never touches a filesystem; set Dir or drop VFS"))
 	}
 	if o.EagerLoad && o.MaxResidentObjects > 0 {
 		errs = append(errs, errors.New("EagerLoad and MaxResidentObjects are both set: eagerly materializing every object directly contradicts a residency ceiling; pick one"))

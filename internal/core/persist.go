@@ -14,6 +14,7 @@ import (
 	"sentinel/internal/oid"
 	"sentinel/internal/rule"
 	"sentinel/internal/value"
+	"sentinel/internal/vfs"
 	"sentinel/internal/wal"
 )
 
@@ -25,14 +26,18 @@ import (
 // subscriptions and name bindings — from them. Application objects stay on
 // disk and fault in on first touch (unless Options.EagerLoad).
 func (db *Database) openStorage() error {
-	store, err := heap.Open(db.opts.Dir, heap.Options{PoolPages: db.opts.PoolPages})
+	fsys := db.opts.VFS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	store, err := heap.Open(db.opts.Dir, heap.Options{PoolPages: db.opts.PoolPages, VFS: fsys})
 	if err != nil {
 		return err
 	}
 	db.store = store
 	catalogLoaded := db.loadMeta(store.Meta())
 
-	log, err := wal.Open(db.walPath())
+	log, err := wal.OpenOn(fsys, db.walPath())
 	if err != nil {
 		store.Close()
 		return err

@@ -11,9 +11,10 @@ package heap
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"sentinel/internal/buffer"
 	"sentinel/internal/oid"
 	"sentinel/internal/page"
+	"sentinel/internal/vfs"
 )
 
 // RID is a record identifier: page + slot.
@@ -32,6 +34,7 @@ type RID struct {
 // Store is the heap file plus its object table.
 type Store struct {
 	mu    sync.Mutex
+	fs    vfs.FS
 	pf    *buffer.File
 	pool  *buffer.Pool
 	table map[oid.OID]RID
@@ -51,14 +54,19 @@ const (
 type Options struct {
 	// PoolPages is the buffer pool capacity in pages (default 256).
 	PoolPages int
+	// VFS is the filesystem the store runs on (default: the OS).
+	VFS vfs.FS
 }
 
 // Open opens (or creates) a heap store in dir.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.VFS == nil {
+		opts.VFS = vfs.OS
+	}
+	if err := opts.VFS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("heap: mkdir: %w", err)
 	}
-	pf, err := buffer.OpenFile(filepath.Join(dir, dataFile))
+	pf, err := buffer.OpenFileOn(opts.VFS, filepath.Join(dir, dataFile))
 	if err != nil {
 		return nil, err
 	}
@@ -66,6 +74,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts.PoolPages = 256
 	}
 	s := &Store{
+		fs:    opts.VFS,
 		pf:    pf,
 		pool:  buffer.NewPool(pf, opts.PoolPages),
 		table: make(map[oid.OID]RID),
@@ -326,20 +335,28 @@ func (s *Store) writeIndexLocked() error {
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
 
+	// Atomic replace with full durability: write the temp file, fsync it
+	// BEFORE the rename (otherwise a power cut can journal the rename
+	// while the data pages are still in the page cache, leaving an
+	// empty/partial index behind the new name), then fsync the directory
+	// so the rename itself survives.
 	tmp := filepath.Join(s.dir, indexTmp)
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := vfs.WriteFile(s.fs, tmp, buf, 0o644); err != nil {
 		return fmt.Errorf("heap: write index: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, indexFile)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, indexFile)); err != nil {
 		return fmt.Errorf("heap: rename index: %w", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("heap: sync index dir: %w", err)
 	}
 	return nil
 }
 
 func (s *Store) loadIndex() error {
-	data, err := os.ReadFile(filepath.Join(s.dir, indexFile))
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, indexFile))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return s.rebuildIndex()
 		}
 		return fmt.Errorf("heap: read index: %w", err)

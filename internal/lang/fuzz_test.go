@@ -1,0 +1,80 @@
+package lang
+
+// Fuzz targets for the SentinelQL parser: arbitrary source text must
+// produce a clean error or a valid parse — never a panic or a hang. The
+// event-expression target additionally checks the print/re-parse fixpoint:
+// whatever the parser accepts, Expr.String() must render back into
+// something the parser accepts as the same expression.
+
+import (
+	"testing"
+
+	"sentinel/internal/event"
+)
+
+// fuzzResolver answers every named-event lookup with a fixed primitive, so
+// fuzz inputs referencing names still explore the resolution paths.
+func fuzzResolver(name string) (*event.Expr, bool) {
+	if name == "Known" {
+		return event.Primitive(event.End, "C", "M"), true
+	}
+	return nil, false
+}
+
+func FuzzParseScript(f *testing.F) {
+	f.Add("")
+	f.Add(`class Item reactive persistent {
+		attr val int
+		event end method SetVal(v int) { self.val := v }
+	}
+	rule Bump for Item on end Item::SetVal(int v)
+		if self.val > 0 then self.val := self.val + 1
+	bind A new Item(val: 3)
+	A!SetVal(4)
+	subscribe Bump to A`)
+	f.Add(`evolve class Item reactive persistent { attr tag string = "fresh" }`)
+	f.Add(`event Burst = end T::Fill(int n) and begin T::Drain()`)
+	f.Add(`rule R on (end A::B() ; end C::D()) then print("seq")`)
+	f.Add(`rule N on not(end A::B(), end C::D(), end E::F()) then raise X(1)`)
+	f.Add(`rule P on P(end A::B(), 5, end C::D()) then print(1/0)`)
+	f.Add("rule R on any(2, end A::B(), end C::D()) then unsubscribe R from self")
+	f.Add("# comment only\n")
+	f.Add(`bind X new T(a: "un" + "terminated)`)
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := ParseScript(src, fuzzResolver)
+		if err == nil && script == nil {
+			t.Fatal("nil script with nil error")
+		}
+	})
+}
+
+func FuzzParseEventExpr(f *testing.F) {
+	f.Add("end Item::SetVal(int v)")
+	f.Add("begin A::B() and end C::D()")
+	f.Add("end A::B() or (end C::D() ; end E::F())")
+	f.Add("not(end A::B(), end C::D(), end E::F())")
+	f.Add("any(2, end A::B(), end C::D(), end E::F())")
+	f.Add("A(end A::B(), end C::D(), end E::F())")
+	f.Add("A*(end A::B(), end C::D(), end E::F())")
+	f.Add("P(end A::B(), 3, end C::D())")
+	f.Add("Known and end X::Y()")
+	f.Add("event D::Worn")
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseEventExpr(src, fuzzResolver)
+		if err != nil {
+			return
+		}
+		if err := e.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid expression: %v\nsource: %q", err, src)
+		}
+		// Print/re-parse fixpoint.
+		rendered := e.String()
+		e2, err := ParseEventExpr(rendered, fuzzResolver)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted input %q failed to re-parse: %v", rendered, src, err)
+		}
+		if got := e2.String(); got != rendered {
+			t.Fatalf("render not a fixpoint: %q -> %q (input %q)", rendered, got, src)
+		}
+	})
+}

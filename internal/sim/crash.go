@@ -1,0 +1,238 @@
+package sim
+
+// The crash-state enumerator: run the scripted workload once against a
+// fault VFS, then for every prefix of the journaled storage ops and every
+// crash mode, materialize the filesystem a power cut at that instant
+// could have left behind, reopen the database on it, and check the
+// recovery invariants against the oracle. Identical states (most cuts
+// between syncs collapse to the same durable image) are deduplicated by
+// content hash so the sweep stays fast while still counting every
+// enumerated crash point.
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"sentinel/internal/core"
+	"sentinel/internal/value"
+	"sentinel/internal/vfs"
+)
+
+// TortureResult summarizes one enumeration sweep.
+type TortureResult struct {
+	States     int      // (cut, mode) crash points enumerated
+	Reopens    int      // distinct states actually reopened and checked
+	Violations []string // invariant violations, empty on success
+}
+
+// Torture runs the workload and sweeps crash points at the given journal
+// stride (1 = every op boundary). It returns an error only for harness
+// failures; recovery bugs land in Violations.
+func Torture(stride int) (*TortureResult, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	fault := vfs.NewFault()
+	o, err := RunWorkload(fault)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+
+	res := &TortureResult{}
+	type cached struct {
+		v     int
+		clock uint64
+		errs  []string
+	}
+	seen := make(map[uint32]cached)
+
+	for _, mode := range vfs.Modes {
+		prevV := 0
+		for k := 0; k <= o.TotalOps; k += stride {
+			res.States++
+			st := fault.CrashState(k, mode)
+			h := stateHash(st)
+			c, ok := seen[h]
+			if !ok {
+				res.Reopens++
+				c.v, c.clock, c.errs = checkState(st, o)
+				seen[h] = c
+			}
+			for _, e := range c.errs {
+				res.Violations = append(res.Violations, fmt.Sprintf("cut %d/%d, %v: %s", k, o.TotalOps, mode, e))
+			}
+			if floor := o.floorV(k); c.v < floor {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("cut %d/%d, %v: recovered v=%d but tx %d committed and fsynced within the cut", k, o.TotalOps, mode, c.v, floor))
+			}
+			if c.v < prevV {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("cut %d/%d, %v: recovered v=%d < v=%d at an earlier cut — durability went backwards", k, o.TotalOps, mode, c.v, prevV))
+			}
+			prevV = c.v
+			if floor := o.clockFloor(k); c.clock < floor {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("cut %d/%d, %v: recovered clock %d below checkpointed clock %d", k, o.TotalOps, mode, c.clock, floor))
+			}
+		}
+	}
+	return res, nil
+}
+
+// stateHash fingerprints a crash-state filesystem image.
+func stateHash(st map[string][]byte) uint32 {
+	names := make([]string, 0, len(st))
+	for n := range st {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := crc32.NewIEEE()
+	for _, n := range names {
+		fmt.Fprintf(h, "%s\x00%d\x00", n, len(st[n]))
+		h.Write(st[n])
+		h.Write([]byte{0xff})
+	}
+	return h.Sum32()
+}
+
+// checkState reopens the database on a crash-state image and verifies
+// every recovery invariant. It returns the recovered schedule position,
+// the recovered logical clock, and the list of violations (never panics:
+// a panicking recovery is itself a violation).
+func checkState(st map[string][]byte, o *Oracle) (v int, clock uint64, errs []string) {
+	defer func() {
+		if r := recover(); r != nil {
+			errs = append(errs, fmt.Sprintf("recovery panicked: %v", r))
+		}
+	}()
+	addf := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+
+	mem := vfs.NewMem()
+	mem.Install(st)
+	db, err := core.Open(core.Options{
+		Dir:          WorkloadDir,
+		VFS:          mem,
+		SyncOnCommit: true,
+		Output:       io.Discard,
+	})
+	if err != nil {
+		addf("reopen failed: %v", err)
+		return 0, 0, errs
+	}
+	defer db.CloseAbrupt()
+	clock = db.Now()
+
+	if problems := db.CheckIntegrity(); len(problems) > 0 {
+		addf("integrity: %v", problems)
+	}
+
+	// The recovered schedule position is A.val; an unbound A means the
+	// very first transaction never became durable.
+	if _, ok := db.Lookup("A"); !ok {
+		return 0, clock, errs
+	}
+	intAttr := func(obj, attr string) int64 {
+		val, err := db.Eval(obj + "." + attr)
+		if err != nil {
+			addf("%s.%s unreadable: %v", obj, attr, err)
+			return -1
+		}
+		n, ok := val.AsInt()
+		if !ok {
+			addf("%s.%s = %v, not an int", obj, attr, val)
+			return -1
+		}
+		return n
+	}
+
+	av := intAttr("A", "val")
+	v = int(av)
+	if v < 1 || v > finalV {
+		addf("A.val = %d outside the schedule range [1,%d]", v, finalV)
+		return v, clock, errs
+	}
+
+	// No torn multi-object commits: the three sends of transaction v are
+	// atomic, so the counters agree exactly across A, B and C.
+	for _, obj := range []string{"A", "B", "C"} {
+		if got := intAttr(obj, "val"); got != av {
+			addf("torn commit: %s.val = %d but A.val = %d", obj, got, av)
+		}
+		if got := intAttr(obj, "hits"); got != av {
+			addf("rule effect lost: %s.hits = %d, want %d (Bump fires once per send)", obj, got, av)
+		}
+	}
+
+	// Watch is subscribed to A alone, at the end of transaction watchFrom.
+	wantWatched := int64(0)
+	if v > watchFrom {
+		wantWatched = av - watchFrom
+	}
+	if got := intAttr("A", "watched"); got != wantWatched {
+		addf("A.watched = %d, want %d at v=%d", got, wantWatched, v)
+	}
+	for _, obj := range []string{"B", "C"} {
+		if got := intAttr(obj, "watched"); got != 0 {
+			addf("%s.watched = %d, want 0 (never subscribed)", obj, got)
+		}
+	}
+
+	// Schema evolution is transactional: tag exists exactly from v=8 on.
+	tag, tagErr := db.Eval("A.tag")
+	if v >= evolveAt {
+		if s, _ := tag.AsString(); tagErr != nil || s != "fresh" {
+			addf("A.tag = %v, %v at v=%d; want \"fresh\" (evolve committed in tx %d)", tag, tagErr, v, evolveAt)
+		}
+	} else if tagErr == nil {
+		addf("A.tag readable at v=%d, before the evolve of tx %d committed", v, evolveAt)
+	}
+
+	// X lives from its creating transaction to its deleting one.
+	if o.XOID != 0 {
+		wantX := v >= xBornAt && v < xDeadAt
+		if got := db.Exists(o.XOID); got != wantX {
+			addf("X (oid %v) exists=%v at v=%d, want %v", o.XOID, got, v, wantX)
+		}
+	}
+
+	// Rules are rebuilt from their persisted objects.
+	for _, name := range []string{"Bump", "Watch"} {
+		if db.LookupRule(name) == nil {
+			addf("rule %q lost in recovery", name)
+		}
+	}
+
+	// The named event and the index arrive with transaction watchFrom.
+	if v >= watchFrom {
+		if _, ok := db.LookupEvent("ValChanged"); !ok {
+			addf("named event ValChanged lost at v=%d", v)
+		}
+		idx := db.Index("Item", "val")
+		if idx == nil {
+			addf("index Item.val lost at v=%d", v)
+		} else if got := len(idx.Lookup(value.Int(av))); got != 3 {
+			addf("index Item.val[%d] has %d entries, want 3 (A,B,C)", av, got)
+		}
+	}
+
+	// Liveness: the recovered database must accept new work and the rule
+	// machinery must still fire.
+	err = db.Atomically(func(t *core.Tx) error {
+		a, _ := db.Lookup("A")
+		_, err := db.Send(t, a, "SetVal", value.Int(av+1))
+		return err
+	})
+	if err != nil {
+		addf("post-recovery send failed: %v", err)
+	} else {
+		if got := intAttr("A", "val"); got != av+1 {
+			addf("post-recovery A.val = %d, want %d", got, av+1)
+		}
+		if got := intAttr("A", "hits"); got != av+1 {
+			addf("post-recovery A.hits = %d, want %d (Bump must still fire)", got, av+1)
+		}
+	}
+	return v, clock, errs
+}

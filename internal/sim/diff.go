@@ -1,0 +1,357 @@
+package sim
+
+// Model-based differential testing of the rule engine: a seeded
+// pseudo-random scenario (random rules over random composite-event
+// expressions, random primitive-event streams, enable/disable toggles) is
+// replayed through BOTH the real engine and the naive reference model in
+// model.go, and the two firing traces must be identical, line for line,
+// under every conflict-resolution strategy.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+)
+
+// Strategies are the conflict-resolution strategies every scenario is
+// replayed under.
+var Strategies = []string{"priority", "fifo", "lifo"}
+
+// eventNames is the explicit-event alphabet scenarios draw from.
+var eventNames = []string{"E0", "E1", "E2", "E3"}
+
+// Scenario is a fully deterministic script: the rule set and the
+// transaction schedule. The same Scenario drives the real engine and the
+// reference model.
+type Scenario struct {
+	Seed  int64
+	Rules []DRule
+	Txs   []DTx
+}
+
+// DRule describes one pseudo-random rule.
+type DRule struct {
+	Coupling   int    // 0 immediate, 1 deferred, 2 detached
+	Priority   int    // -3..3
+	Context    string // parameter context name
+	TxScoped   bool
+	ClassLevel string // "" = instance-level
+	Subs       []int  // object indexes (0 = the Gen instance, 1 = the SubGen instance)
+	CondEvery  int    // 0 = unconditional; else fire iff relSeq%CondEvery != 0
+	Expr       *event.Expr
+}
+
+// DTx is one transaction: optional rule toggles (applied first), then
+// explicit-event raises.
+type DTx struct {
+	Toggles []DToggle
+	Raises  []DRaise
+}
+
+// DToggle enables or disables a rule at the start of a transaction. Each
+// toggle goes through the __Rule object's Enable/Disable method, which
+// itself generates an end event — i.e. it ticks the logical clock, and the
+// model must tick too.
+type DToggle struct {
+	Rule   int
+	Enable bool
+}
+
+// DRaise is one explicit primitive event.
+type DRaise struct {
+	Source int // 0 = Gen instance, 1 = SubGen instance
+	Event  string
+}
+
+var couplingNames = []string{"immediate", "deferred", "detached"}
+var contextNames = []string{"paper", "recent", "chronicle", "continuous", "cumulative"}
+
+// randExpr builds a random event expression of bounded depth. Leaves are
+// explicit primitives over the Gen/SubGen hierarchy.
+func randExpr(rng *rand.Rand, depth int) *event.Expr {
+	prim := func() *event.Expr {
+		cls := "Gen"
+		if rng.Intn(2) == 1 {
+			cls = "SubGen"
+		}
+		return event.Primitive(event.Explicit, cls, eventNames[rng.Intn(len(eventNames))])
+	}
+	if depth <= 0 {
+		return prim()
+	}
+	sub := func() *event.Expr { return randExpr(rng, depth-1) }
+	switch rng.Intn(10) {
+	case 0, 1:
+		return prim()
+	case 2:
+		return event.Or(sub(), sub())
+	case 3:
+		return event.And(sub(), sub())
+	case 4, 5:
+		return event.Seq(sub(), sub())
+	case 6:
+		return event.Not(prim(), prim(), prim())
+	case 7:
+		n := 2 + rng.Intn(2)
+		kids := make([]*event.Expr, n)
+		for i := range kids {
+			kids[i] = prim()
+		}
+		return event.Any(1+rng.Intn(n), kids...)
+	case 8:
+		if rng.Intn(2) == 0 {
+			return event.Aperiodic(prim(), prim(), prim())
+		}
+		return event.AperiodicStar(prim(), prim(), prim())
+	default:
+		return event.Periodic(prim(), uint64(2+rng.Intn(4)), prim())
+	}
+}
+
+// GenScenario deterministically expands a seed into a scenario.
+func GenScenario(seed int64) *Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &Scenario{Seed: seed}
+
+	nRules := 3 + rng.Intn(4)
+	for i := 0; i < nRules; i++ {
+		r := DRule{
+			Coupling: rng.Intn(3),
+			Priority: rng.Intn(7) - 3,
+			Context:  contextNames[rng.Intn(len(contextNames))],
+			TxScoped: rng.Intn(4) == 0,
+		}
+		if rng.Intn(5) < 2 {
+			if rng.Intn(2) == 0 {
+				r.ClassLevel = "Gen"
+			} else {
+				r.ClassLevel = "SubGen"
+			}
+		} else {
+			switch rng.Intn(3) {
+			case 0:
+				r.Subs = []int{0}
+			case 1:
+				r.Subs = []int{1}
+			default:
+				r.Subs = []int{0, 1}
+			}
+		}
+		switch rng.Intn(3) {
+		case 1:
+			r.CondEvery = 2
+		case 2:
+			r.CondEvery = 3
+		}
+		for {
+			r.Expr = randExpr(rng, 2)
+			if r.Expr.Validate() == nil {
+				break
+			}
+		}
+		sc.Rules = append(sc.Rules, r)
+	}
+
+	nTxs := 8 + rng.Intn(5)
+	for t := 0; t < nTxs; t++ {
+		var tx DTx
+		if t > 0 && rng.Intn(5) == 0 {
+			tx.Toggles = append(tx.Toggles, DToggle{
+				Rule:   rng.Intn(nRules),
+				Enable: rng.Intn(3) == 0, // bias toward disabling
+			})
+		}
+		nRaises := 2 + rng.Intn(5)
+		for i := 0; i < nRaises; i++ {
+			tx.Raises = append(tx.Raises, DRaise{
+				Source: rng.Intn(2),
+				Event:  eventNames[rng.Intn(len(eventNames))],
+			})
+		}
+		sc.Txs = append(sc.Txs, tx)
+	}
+	return sc
+}
+
+// RunReal replays the scenario through the real engine (in-memory
+// database) and returns the firing trace.
+func RunReal(sc *Scenario, strategy string) ([]string, error) {
+	db, err := core.Open(core.Options{Strategy: strategy, Output: io.Discard})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	gen := schema.NewClass("Gen")
+	gen.Classification = schema.ReactiveClass
+	sub := schema.NewClass("SubGen", gen)
+	sub.Classification = schema.ReactiveClass
+	if err := db.RegisterClass(gen); err != nil {
+		return nil, err
+	}
+	if err := db.RegisterClass(sub); err != nil {
+		return nil, err
+	}
+
+	var (
+		trace []string
+		base  uint64
+		curTx int
+	)
+	oids := make([]oid.OID, 2)
+	err = db.Atomically(func(t *core.Tx) error {
+		var err error
+		if oids[0], err = db.NewObject(t, "Gen", nil); err != nil {
+			return err
+		}
+		if oids[1], err = db.NewObject(t, "SubGen", nil); err != nil {
+			return err
+		}
+		for i, dr := range sc.Rules {
+			ri, dr := i, dr
+			name := fmt.Sprintf("R%d", ri)
+			spec := core.RuleSpec{
+				Name:       name,
+				Event:      dr.Expr,
+				Coupling:   couplingNames[dr.Coupling],
+				Priority:   dr.Priority,
+				Context:    dr.Context,
+				ClassLevel: dr.ClassLevel,
+				TxScoped:   dr.TxScoped,
+				Action: func(_ rule.ExecContext, det event.Detection) error {
+					rel := make([]uint64, len(det.Constituents))
+					for k, o := range det.Constituents {
+						rel[k] = o.Seq - base
+					}
+					trace = append(trace, fmt.Sprintf("tx%d %s R%d %v",
+						curTx, couplingNames[dr.Coupling], ri, rel))
+					return nil
+				},
+			}
+			if dr.CondEvery != 0 {
+				every := uint64(dr.CondEvery)
+				spec.Condition = func(_ rule.ExecContext, det event.Detection) (bool, error) {
+					return (det.Last().Seq-base)%every != 0, nil
+				}
+			}
+			if _, err := db.CreateRule(t, spec); err != nil {
+				return err
+			}
+			for _, s := range dr.Subs {
+				if err := db.SubscribeRule(t, name, oids[s]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	base = db.Now()
+	for txIdx, tx := range sc.Txs {
+		curTx = txIdx
+		err := db.Atomically(func(t *core.Tx) error {
+			for _, tg := range tx.Toggles {
+				name := fmt.Sprintf("R%d", tg.Rule)
+				if tg.Enable {
+					if err := db.EnableRule(t, name); err != nil {
+						return err
+					}
+				} else if err := db.DisableRule(t, name); err != nil {
+					return err
+				}
+			}
+			for _, r := range tx.Raises {
+				if err := db.RaiseExplicit(t, oids[r.Source], r.Event); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: %w", txIdx, err)
+		}
+	}
+	return trace, nil
+}
+
+// RunModel replays the scenario through the reference model and returns
+// its firing trace.
+func RunModel(sc *Scenario, strategy string) ([]string, error) {
+	m := &model{strategy: strategy}
+	for i, dr := range sc.Rules {
+		ctx, err := event.ParseContext(dr.Context)
+		if err != nil {
+			return nil, err
+		}
+		m.rules = append(m.rules, &mrule{
+			idx:        i,
+			coupling:   dr.Coupling,
+			priority:   dr.Priority,
+			txScoped:   dr.TxScoped,
+			classLevel: dr.ClassLevel,
+			subs:       dr.Subs,
+			condEvery:  dr.CondEvery,
+			enabled:    true,
+			det:        compileModel(dr.Expr, ctx),
+		})
+	}
+	for txIdx, tx := range sc.Txs {
+		for _, tg := range tx.Toggles {
+			r := m.rules[tg.Rule]
+			m.clock++ // the Enable/Disable end event ticks the clock
+			if tg.Enable {
+				r.enabled = true
+			} else {
+				r.disable()
+			}
+		}
+		raises := make([]mocc, len(tx.Raises))
+		for i, dr := range tx.Raises {
+			cls := "Gen"
+			if dr.Source == 1 {
+				cls = "SubGen"
+			}
+			raises[i] = mocc{class: cls, method: dr.Event, when: event.Explicit, source: dr.Source}
+		}
+		m.runTx(txIdx, raises)
+	}
+	return m.trace, nil
+}
+
+// Diff replays one seed under one strategy through both implementations
+// and returns a description of the first divergence, or "" when the traces
+// agree.
+func Diff(seed int64, strategy string) (string, error) {
+	real, err := RunReal(GenScenario(seed), strategy)
+	if err != nil {
+		return "", fmt.Errorf("real engine, seed %d, %s: %w", seed, strategy, err)
+	}
+	model, err := RunModel(GenScenario(seed), strategy)
+	if err != nil {
+		return "", fmt.Errorf("model, seed %d, %s: %w", seed, strategy, err)
+	}
+	n := len(real)
+	if len(model) < n {
+		n = len(model)
+	}
+	for i := 0; i < n; i++ {
+		if real[i] != model[i] {
+			return fmt.Sprintf("seed %d, %s: firing %d differs:\n  real:  %s\n  model: %s",
+				seed, strategy, i, real[i], model[i]), nil
+		}
+	}
+	if len(real) != len(model) {
+		return fmt.Sprintf("seed %d, %s: real fired %d times, model %d times (first agree on common prefix)",
+			seed, strategy, len(real), len(model)), nil
+	}
+	return "", nil
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDifferentialStreams replays seeded pseudo-random scenarios through
+// the real engine and the reference model under every conflict-resolution
+// strategy and demands identical firing traces. ISSUE 4 asks for at least
+// 50 streams; -short keeps a representative slice for tier-1 wall time and
+// SENTINEL_TORTURE=full widens the sweep.
+func TestDifferentialStreams(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 12
+	}
+	if os.Getenv("SENTINEL_TORTURE") == "full" {
+		seeds = 300
+	}
+	fired := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, strategy := range Strategies {
+			diff, err := Diff(seed, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff != "" {
+				t.Fatal(diff)
+			}
+			trace, err := RunModel(GenScenario(seed), strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired += len(trace)
+		}
+	}
+	// A vacuously green differential test (no rule ever fires) proves
+	// nothing; demand a healthy firing volume across the corpus.
+	if fired < seeds*3 {
+		t.Fatalf("only %d firings across %d seed/strategy runs: scenarios too tame to exercise the engine", fired, seeds*3)
+	}
+	t.Logf("compared %d firings across %d scenarios x %d strategies", fired/1, seeds, len(Strategies))
+}
+
+// TestHarnessDetectsDivergence guards the harness itself against
+// vacuity: comparing the real engine under one strategy against the model
+// under a DIFFERENT strategy must surface a divergence on at least one
+// seed. If even deliberately mismatched semantics compare equal, the
+// trace comparison is broken.
+func TestHarnessDetectsDivergence(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		real, err := RunReal(GenScenario(seed), "priority")
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := RunModel(GenScenario(seed), "lifo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(real) != len(model) {
+			return // diverged: lengths differ
+		}
+		for i := range real {
+			if real[i] != model[i] {
+				return // diverged: traces differ
+			}
+		}
+	}
+	t.Fatal("priority-strategy engine matched lifo-strategy model on 20 seeds: the comparison cannot detect divergence")
+}
+
+// TestScenarioDeterminism pins the generator: the same seed must expand to
+// the same scenario and the same model trace, or differential failures
+// stop being reproducible.
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := RunModel(GenScenario(7), "priority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunModel(GenScenario(7), "priority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic model: %d vs %d firings", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic model at firing %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,529 @@
+// Package sim contains the crash-state torture harness and the model-based
+// differential tester for the rule engine.
+//
+// Two independent oracles live here:
+//
+//   - a deterministic scripted workload plus a crash-state enumerator that
+//     sweeps every journal position of a fault-injecting filesystem
+//     (vfs.Fault), reopens the database on each materialized crash state
+//     and checks recovery invariants (crash.go, workload.go);
+//
+//   - a deliberately naive in-memory reference model of composite-event
+//     detection and rule scheduling (this file), differential-tested
+//     against the real engine on seeded pseudo-random event streams
+//     (diff.go).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/event"
+)
+
+// The reference model re-implements the ECA semantics from their
+// specification (§4.3's operators, the parameter contexts, §4.4's coupling
+// modes and conflict resolution) with none of the engine's machinery: no
+// caches, no scratch buffers, no locks, no object system. Detections are
+// plain sorted lists of occurrence sequence numbers; everything is value
+// types and append. Divergence between this model and the engine on the
+// same stream means one of them is wrong.
+
+// mdet is a model detection: the constituent occurrence Seq numbers in
+// ascending order (duplicates preserved — an occurrence contributing to
+// both operands of a conjunction appears twice, exactly as the engine's
+// Detection.merged does).
+type mdet []uint64
+
+func (d mdet) start() uint64 { return d[0] }
+func (d mdet) end() uint64   { return d[len(d)-1] }
+
+// mmerge merge-sorts two detections.
+func mmerge(a, b mdet) mdet {
+	out := make(mdet, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// mocc is a model occurrence.
+type mocc struct {
+	seq    uint64
+	class  string // class of the source object
+	method string
+	when   event.Moment
+	source int // model object index, for per-instance subscriptions
+}
+
+// mnode is one operator in a model detector. State is rebuilt trivially
+// from the spec for each operator; compare event/detector.go for the
+// engine's incremental graph.
+type mnode struct {
+	op     event.Op
+	when   event.Moment
+	class  string
+	method string
+	count  int
+	period uint64
+	ctx    event.Context
+	kids   []*mnode
+
+	left, right []mdet
+	window      mdet
+	haveWindow  bool
+	violated    bool
+	accum       []mdet
+	fired       map[int]mdet
+	nextTick    uint64
+}
+
+// compileModel builds a model detector for an event expression.
+func compileModel(e *event.Expr, ctx event.Context) *mnode {
+	n := &mnode{
+		op: e.Op, when: e.When, class: e.Class, method: e.Method,
+		count: e.Count, period: e.Period, ctx: ctx,
+	}
+	for _, c := range e.Children {
+		n.kids = append(n.kids, compileModel(c, ctx))
+	}
+	if e.Op == event.OpAny {
+		n.fired = make(map[int]mdet)
+	}
+	return n
+}
+
+func (n *mnode) reset() {
+	n.left, n.right = nil, nil
+	n.window, n.haveWindow = nil, false
+	n.violated = false
+	n.accum = nil
+	n.nextTick = 0
+	if n.fired != nil {
+		n.fired = make(map[int]mdet)
+	}
+	for _, k := range n.kids {
+		k.reset()
+	}
+}
+
+// isSubclass is the model's two-class hierarchy (see diff.go): SubGen is a
+// subclass of Gen.
+func isSubclass(sub, super string) bool { return sub == "SubGen" && super == "Gen" }
+
+func (n *mnode) matches(o mocc) bool {
+	if n.when != o.when || n.method != o.method {
+		return false
+	}
+	return n.class == o.class || isSubclass(o.class, n.class)
+}
+
+// feed runs one occurrence through the operator tree and returns completed
+// detections, per the operator semantics of §4.3 and the parameter
+// contexts of §4.5.
+func (n *mnode) feed(o mocc) []mdet {
+	switch n.op {
+	case event.OpPrimitive:
+		if n.matches(o) {
+			return []mdet{{o.seq}}
+		}
+		return nil
+
+	case event.OpOr:
+		out := n.kids[0].feed(o)
+		return append(out, n.kids[1].feed(o)...)
+
+	case event.OpAnd:
+		l, r := n.kids[0].feed(o), n.kids[1].feed(o)
+		var out []mdet
+		for _, dl := range l {
+			out = append(out, n.pairAnd(dl, true)...)
+		}
+		for _, dr := range r {
+			out = append(out, n.pairAnd(dr, false)...)
+		}
+		return out
+
+	case event.OpSeq:
+		l, r := n.kids[0].feed(o), n.kids[1].feed(o)
+		var out []mdet
+		// A left arriving now serves only future rights.
+		for _, dr := range r {
+			out = append(out, n.pairSeq(dr)...)
+		}
+		n.left = append(n.left, l...)
+		if n.ctx == event.ContextPaper || n.ctx == event.ContextRecent {
+			if len(n.left) > 1 {
+				n.left = n.left[len(n.left)-1:]
+			}
+		}
+		return out
+
+	case event.OpNot:
+		a, b, c := n.kids[0].feed(o), n.kids[1].feed(o), n.kids[2].feed(o)
+		var out []mdet
+		if len(b) > 0 && n.haveWindow {
+			n.violated = true
+		}
+		for _, dc := range c {
+			if n.haveWindow && !n.violated {
+				out = append(out, mmerge(n.window, dc))
+			}
+			n.window, n.haveWindow = nil, false
+			n.violated = false
+		}
+		if len(a) > 0 {
+			n.window, n.haveWindow = a[len(a)-1], true
+			n.violated = false
+		}
+		return out
+
+	case event.OpAny:
+		for i, k := range n.kids {
+			if dets := k.feed(o); len(dets) > 0 {
+				n.fired[i] = dets[len(dets)-1]
+			}
+		}
+		if len(n.fired) >= n.count {
+			var acc mdet
+			first := true
+			for _, d := range n.fired {
+				if first {
+					acc, first = d, false
+				} else {
+					acc = mmerge(acc, d)
+				}
+			}
+			n.fired = make(map[int]mdet)
+			return []mdet{acc}
+		}
+		return nil
+
+	case event.OpAperiodic:
+		a, b, c := n.kids[0].feed(o), n.kids[1].feed(o), n.kids[2].feed(o)
+		var out []mdet
+		if n.haveWindow {
+			for _, db := range b {
+				out = append(out, mmerge(n.window, db))
+			}
+		}
+		if len(c) > 0 {
+			n.window, n.haveWindow = nil, false
+		}
+		if len(a) > 0 {
+			n.window, n.haveWindow = a[len(a)-1], true
+		}
+		return out
+
+	case event.OpAperiodicStar:
+		a, b, c := n.kids[0].feed(o), n.kids[1].feed(o), n.kids[2].feed(o)
+		var out []mdet
+		if n.haveWindow {
+			n.accum = append(n.accum, b...)
+			if len(c) > 0 {
+				acc := n.window
+				for _, db := range n.accum {
+					acc = mmerge(acc, db)
+				}
+				out = append(out, mmerge(acc, c[0]))
+				n.window, n.haveWindow = nil, false
+				n.accum = nil
+			}
+		}
+		if len(a) > 0 {
+			n.window, n.haveWindow = a[len(a)-1], true
+			n.accum = nil
+		}
+		return out
+
+	case event.OpPeriodic:
+		a, c := n.kids[0].feed(o), n.kids[1].feed(o)
+		var out []mdet
+		if n.haveWindow {
+			for o.seq >= n.nextTick {
+				out = append(out, mmerge(n.window, mdet{o.seq}))
+				n.nextTick += n.period
+			}
+		}
+		if len(c) > 0 {
+			n.window, n.haveWindow = nil, false
+		}
+		if len(a) > 0 {
+			n.window, n.haveWindow = a[len(a)-1], true
+			n.nextTick = n.window.end() + n.period
+		}
+		return out
+	}
+	return nil
+}
+
+func (n *mnode) pairAnd(d mdet, fromLeft bool) []mdet {
+	mine, other := &n.left, &n.right
+	if !fromLeft {
+		mine, other = &n.right, &n.left
+	}
+	var out []mdet
+	switch n.ctx {
+	case event.ContextPaper:
+		*mine = []mdet{d}
+		if len(*other) > 0 {
+			out = append(out, mmerge(d, (*other)[0]))
+			n.left, n.right = nil, nil
+		}
+	case event.ContextRecent:
+		*mine = []mdet{d}
+		if len(*other) > 0 {
+			out = append(out, mmerge(d, (*other)[len(*other)-1]))
+		}
+	case event.ContextChronicle:
+		*mine = append(*mine, d)
+		for len(n.left) > 0 && len(n.right) > 0 {
+			out = append(out, mmerge(n.left[0], n.right[0]))
+			n.left, n.right = n.left[1:], n.right[1:]
+		}
+	case event.ContextContinuous:
+		if len(*other) > 0 {
+			for _, od := range *other {
+				out = append(out, mmerge(d, od))
+			}
+			*other = nil
+		} else {
+			*mine = append(*mine, d)
+		}
+	case event.ContextCumulative:
+		*mine = append(*mine, d)
+		if len(n.left) > 0 && len(n.right) > 0 {
+			acc := n.left[0]
+			for _, x := range n.left[1:] {
+				acc = mmerge(acc, x)
+			}
+			for _, x := range n.right {
+				acc = mmerge(acc, x)
+			}
+			n.left, n.right = nil, nil
+			out = append(out, acc)
+		}
+	}
+	return out
+}
+
+func (n *mnode) pairSeq(dr mdet) []mdet {
+	eligible := func(dl mdet) bool { return dl.end() < dr.start() }
+	var out []mdet
+	switch n.ctx {
+	case event.ContextPaper:
+		if len(n.left) > 0 && eligible(n.left[len(n.left)-1]) {
+			out = append(out, mmerge(n.left[len(n.left)-1], dr))
+			n.left = nil
+		}
+	case event.ContextRecent:
+		if len(n.left) > 0 && eligible(n.left[len(n.left)-1]) {
+			out = append(out, mmerge(n.left[len(n.left)-1], dr))
+		}
+	case event.ContextChronicle:
+		if len(n.left) > 0 && eligible(n.left[0]) {
+			out = append(out, mmerge(n.left[0], dr))
+			n.left = n.left[1:]
+		}
+	case event.ContextContinuous:
+		var keep []mdet
+		for _, dl := range n.left {
+			if eligible(dl) {
+				out = append(out, mmerge(dl, dr))
+			} else {
+				keep = append(keep, dl)
+			}
+		}
+		n.left = keep
+	case event.ContextCumulative:
+		var keep, use []mdet
+		for _, dl := range n.left {
+			if eligible(dl) {
+				use = append(use, dl)
+			} else {
+				keep = append(keep, dl)
+			}
+		}
+		if len(use) > 0 {
+			acc := use[0]
+			for _, x := range use[1:] {
+				acc = mmerge(acc, x)
+			}
+			out = append(out, mmerge(acc, dr))
+			n.left = keep
+		}
+	}
+	return out
+}
+
+// ---- scheduling model ----
+
+// mrule is the model's view of one rule.
+type mrule struct {
+	idx        int // creation order; names the rule ("R<idx>")
+	coupling   int // 0 immediate, 1 deferred, 2 detached
+	priority   int
+	txScoped   bool
+	classLevel string // "" = instance-level
+	subs       []int  // model object indexes this rule is subscribed to
+	condEvery  int    // fire iff end%condEvery != 0; 0 = unconditional
+	enabled    bool
+	det        *mnode
+}
+
+func (r *mrule) name() string { return fmt.Sprintf("R%d", r.idx) }
+
+func (r *mrule) condPasses(d mdet) bool {
+	return r.condEvery == 0 || d.end()%uint64(r.condEvery) != 0
+}
+
+// mfiring is a scheduled (rule, detection) pair awaiting conflict
+// resolution.
+type mfiring struct {
+	rule *mrule
+	det  mdet
+	seq  uint64 // arrival order on its agenda
+}
+
+// orderFirings sorts by the named conflict-resolution strategy, stably.
+func orderFirings(fs []mfiring, strategy string) {
+	switch strategy {
+	case "fifo":
+		sort.SliceStable(fs, func(i, j int) bool { return fs[i].seq < fs[j].seq })
+	case "lifo":
+		sort.SliceStable(fs, func(i, j int) bool { return fs[i].seq > fs[j].seq })
+	default: // priority
+		sort.SliceStable(fs, func(i, j int) bool {
+			if fs[i].rule.priority != fs[j].rule.priority {
+				return fs[i].rule.priority > fs[j].rule.priority
+			}
+			return fs[i].seq < fs[j].seq
+		})
+	}
+}
+
+// model is the whole reference engine: rules, consumer resolution, the
+// logical clock, and the per-transaction agendas.
+type model struct {
+	rules    []*mrule
+	strategy string
+	clock    uint64
+	trace    []string
+}
+
+// consumersOf mirrors core's delivery order: instance subscriptions in
+// subscription order first, then class-level rules over the MRO (the
+// source class's own rules, then its superclass's), deduplicated.
+func (m *model) consumersOf(o mocc) []*mrule {
+	var out []*mrule
+	seen := make(map[int]bool)
+	for _, r := range m.rules {
+		for _, s := range r.subs {
+			if s == o.source && !seen[r.idx] {
+				seen[r.idx] = true
+				out = append(out, r)
+			}
+		}
+	}
+	// Class-level rules: subclass first (MRO order), registration order
+	// within a class.
+	mro := []string{"Gen"}
+	if o.class == "SubGen" {
+		mro = []string{"SubGen", "Gen"}
+	}
+	for _, cls := range mro {
+		for _, r := range m.rules {
+			if r.classLevel == cls && !seen[r.idx] {
+				seen[r.idx] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+func (m *model) emit(txIdx int, phase string, r *mrule, d mdet) {
+	m.trace = append(m.trace, fmt.Sprintf("tx%d %s %s %v", txIdx, phase, r.name(), []uint64(d)))
+}
+
+// runTx processes one transaction's raises and its commit: immediate
+// firings inline per raise, deferred drained at commit, detached after
+// commit in fresh agenda order, TxScoped detectors reset at the end.
+func (m *model) runTx(txIdx int, raises []mocc) {
+	var deferred, detached []mfiring
+	var defSeq uint64
+	touched := make(map[*mrule]bool)
+
+	for _, o := range raises {
+		m.clock++
+		o.seq = m.clock
+		var immediate []mfiring
+		var immSeq uint64
+		for _, r := range m.consumersOf(o) {
+			if r.txScoped {
+				touched[r] = true
+			}
+			if !r.enabled {
+				continue
+			}
+			for _, det := range r.det.feed(o) {
+				switch r.coupling {
+				case 0:
+					immSeq++
+					immediate = append(immediate, mfiring{rule: r, det: det, seq: immSeq})
+				case 1:
+					defSeq++
+					deferred = append(deferred, mfiring{rule: r, det: det, seq: defSeq})
+				case 2:
+					detached = append(detached, mfiring{rule: r, det: det})
+				}
+			}
+		}
+		orderFirings(immediate, m.strategy)
+		for _, f := range immediate {
+			if f.rule.condPasses(f.det) {
+				m.emit(txIdx, "immediate", f.rule, f.det)
+			}
+		}
+	}
+
+	// Commit: drain deferred in strategy order (actions raise no events in
+	// the harness, so one drain reaches quiescence).
+	orderFirings(deferred, m.strategy)
+	for _, f := range deferred {
+		if f.rule.condPasses(f.det) {
+			m.emit(txIdx, "deferred", f.rule, f.det)
+		}
+	}
+
+	// Transaction-scoped detection state dies with the transaction.
+	for r := range touched {
+		r.det.reset()
+	}
+
+	// Detached: fresh agenda seeded in arrival order, then each firing in
+	// its own transaction.
+	for i := range detached {
+		detached[i].seq = uint64(i + 1)
+	}
+	orderFirings(detached, m.strategy)
+	for _, f := range detached {
+		if f.rule.condPasses(f.det) {
+			m.emit(txIdx, "detached", f.rule, f.det)
+		}
+	}
+}
+
+// disable mirrors rule.Disable: clears the detector state too.
+func (r *mrule) disable() {
+	r.enabled = false
+	r.det.reset()
+}

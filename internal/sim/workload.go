@@ -1,0 +1,252 @@
+package sim
+
+// The scripted torture workload: a deterministic schedule of transactions
+// exercising every durability-relevant subsystem — object creation and
+// deletion, rule firings (class-level and instance-subscribed), schema
+// evolution, named-event definition, index creation, and checkpoints —
+// run against a fault-injecting VFS that journals every storage
+// operation. The Oracle records, per committed transaction and per
+// checkpoint, how far the op journal had advanced, so the crash-state
+// enumerator can compute exactly what any post-crash database MUST still
+// contain.
+
+import (
+	"fmt"
+	"io"
+
+	"sentinel/internal/core"
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+	"sentinel/internal/vfs"
+)
+
+// WorkloadDir is the database directory inside the simulated filesystem.
+const WorkloadDir = "db"
+
+// finalV is the schedule length: each position v sends SetVal(v) to the
+// three named Items inside one transaction.
+const finalV = 26
+
+// watchFrom: the Watch rule is subscribed to A at the end of transaction
+// watchFrom, so A.watched counts the sends of transactions > watchFrom.
+const watchFrom = 5
+
+// evolveAt is the transaction whose script evolves Item to add the tag
+// attribute before its sends.
+const evolveAt = 8
+
+// xBornAt / xDeadAt bound the lifetime of the scratch object X.
+const (
+	xBornAt = 9
+	xDeadAt = 13
+)
+
+// ckptAfter lists the positions followed by an explicit checkpoint.
+var ckptAfter = map[int]bool{7: true, 10: true, 15: true, 20: true, 24: true}
+
+// workloadSchema is transaction v=1: classes, rules, bindings, and the
+// first round of sends. Everything is DSL-defined so it survives reopen
+// without a Go schema hook.
+const workloadSchema = `
+	class Item reactive persistent {
+		attr name string
+		attr val int
+		attr hits int
+		attr watched int
+		event end method SetVal(v int) { self.val := v }
+	}
+	rule Bump for Item on end Item::SetVal(int v)
+		then self.hits := self.hits + 1
+	rule Watch on end Item::SetVal(int v)
+		then self.watched := self.watched + 1
+	bind A new Item(name: "a")
+	bind B new Item(name: "b")
+	bind C new Item(name: "c")
+	A!SetVal(1) B!SetVal(1) C!SetVal(1)
+`
+
+// evolveScript is transaction v=8: schema evolution adding tag, then the
+// usual sends — all in one transaction, so tag's existence is exactly
+// "v >= 8" in every recovered state.
+const evolveScript = `
+	evolve class Item reactive persistent {
+		attr name string
+		attr val int
+		attr hits int
+		attr watched int
+		attr tag string = "fresh"
+		event end method SetVal(v int) { self.val := v }
+	}
+	A!SetVal(8) B!SetVal(8) C!SetVal(8)
+`
+
+// Mark records the op-journal position right after transaction V's commit
+// returned. With SyncOnCommit the commit's WAL fsync is part of the ops
+// counted, so any crash at or beyond Ops — in every crash mode — must
+// recover at least V.
+type Mark struct {
+	V     int
+	Ops   int
+	Clock uint64
+}
+
+// CkptMark records a completed checkpoint: Clock is the database clock
+// when the checkpoint was taken, Ops the journal position after it
+// finished (index rename and WAL truncation included).
+type CkptMark struct {
+	Ops   int
+	Clock uint64
+}
+
+// Oracle is everything the enumerator knows about the workload's ground
+// truth.
+type Oracle struct {
+	Marks    []Mark
+	Ckpts    []CkptMark
+	XOID     oid.OID
+	TotalOps int
+}
+
+// floorV returns the highest schedule position whose commit is wholly
+// contained in the first k journaled ops.
+func (o *Oracle) floorV(k int) int {
+	v := 0
+	for _, m := range o.Marks {
+		if m.Ops <= k && m.V > v {
+			v = m.V
+		}
+	}
+	return v
+}
+
+// clockFloor returns the highest checkpoint clock wholly contained in the
+// first k ops.
+func (o *Oracle) clockFloor(k int) uint64 {
+	var c uint64
+	for _, m := range o.Ckpts {
+		if m.Ops <= k && m.Clock > c {
+			c = m.Clock
+		}
+	}
+	return c
+}
+
+// RunWorkload executes the full schedule against the given fault VFS and
+// returns the oracle. The database is abandoned with CloseAbrupt — the
+// enumerator inspects crash states, never a clean shutdown.
+func RunWorkload(fault *vfs.Fault) (*Oracle, error) {
+	db, err := core.Open(core.Options{
+		Dir:          WorkloadDir,
+		VFS:          fault,
+		SyncOnCommit: true,
+		Output:       io.Discard,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.CloseAbrupt()
+
+	o := &Oracle{}
+	mark := func(v int) {
+		o.Marks = append(o.Marks, Mark{V: v, Ops: fault.Ops(), Clock: db.Now()})
+	}
+
+	send := func(v int) error {
+		return db.Atomically(func(t *core.Tx) error {
+			for _, name := range []string{"A", "B", "C"} {
+				id, ok := db.Lookup(name)
+				if !ok {
+					return fmt.Errorf("name %q unbound at v=%d", name, v)
+				}
+				if _, err := db.Send(t, id, "SetVal", value.Int(int64(v))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+
+	for v := 1; v <= finalV; v++ {
+		switch v {
+		case 1:
+			if err := db.Exec(workloadSchema); err != nil {
+				return nil, fmt.Errorf("v=1 schema: %w", err)
+			}
+		case evolveAt:
+			if err := db.Exec(evolveScript); err != nil {
+				return nil, fmt.Errorf("v=%d evolve: %w", v, err)
+			}
+		case watchFrom:
+			// Sends plus the subscription, event definition and index —
+			// one transaction, so "v >= 5" implies all three exist.
+			err := db.Atomically(func(t *core.Tx) error {
+				for _, name := range []string{"A", "B", "C"} {
+					id, _ := db.Lookup(name)
+					if _, err := db.Send(t, id, "SetVal", value.Int(int64(v))); err != nil {
+						return err
+					}
+				}
+				a, _ := db.Lookup("A")
+				if err := db.SubscribeRule(t, "Watch", a); err != nil {
+					return err
+				}
+				if _, err := db.DefineEvent(t, "ValChanged", "end Item::SetVal(int v)"); err != nil {
+					return err
+				}
+				_, err := db.CreateIndex(t, "Item", "val")
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("v=%d: %w", v, err)
+			}
+		case xBornAt:
+			err := db.Atomically(func(t *core.Tx) error {
+				var err error
+				if o.XOID, err = db.NewObject(t, "Item", map[string]value.Value{"name": value.Str("x")}); err != nil {
+					return err
+				}
+				for _, name := range []string{"A", "B", "C"} {
+					id, _ := db.Lookup(name)
+					if _, err := db.Send(t, id, "SetVal", value.Int(int64(v))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("v=%d: %w", v, err)
+			}
+		case xDeadAt:
+			err := db.Atomically(func(t *core.Tx) error {
+				if err := db.DeleteObject(t, o.XOID); err != nil {
+					return err
+				}
+				for _, name := range []string{"A", "B", "C"} {
+					id, _ := db.Lookup(name)
+					if _, err := db.Send(t, id, "SetVal", value.Int(int64(v))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("v=%d: %w", v, err)
+			}
+		default:
+			if err := send(v); err != nil {
+				return nil, fmt.Errorf("v=%d: %w", v, err)
+			}
+		}
+		mark(v)
+
+		if ckptAfter[v] {
+			clock := db.Now()
+			if err := db.Checkpoint(); err != nil {
+				return nil, fmt.Errorf("checkpoint after v=%d: %w", v, err)
+			}
+			o.Ckpts = append(o.Ckpts, CkptMark{Ops: fault.Ops(), Clock: clock})
+		}
+	}
+	o.TotalOps = fault.Ops()
+	return o, nil
+}

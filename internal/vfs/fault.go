@@ -1,0 +1,475 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultKind selects the error a Fault filesystem injects.
+type FaultKind int
+
+const (
+	// FaultEIO fails the operation with EIO and no effect.
+	FaultEIO FaultKind = iota
+	// FaultENOSPC fails the operation with ENOSPC and no effect.
+	FaultENOSPC
+	// FaultShortWrite applies only the first half of a write, then fails
+	// with EIO. Non-write operations fail as FaultEIO.
+	FaultShortWrite
+)
+
+// CrashMode selects how CrashState materializes a power cut.
+type CrashMode int
+
+const (
+	// CrashSynced models an ordered-journal filesystem (ext4 data=ordered):
+	// file data issued before the cut is durable only if a later fsync of
+	// that file preceded the cut; directory operations (create, rename,
+	// remove) are durable if ANY later sync — fsync of any file or a
+	// directory sync — preceded the cut, because the journal commits
+	// metadata in order.
+	CrashSynced CrashMode = iota
+	// CrashMetadata models journaled metadata with a lost page cache: every
+	// directory operation issued before the cut is durable, but file data
+	// survives only if fsynced. This is the worst case that turns an
+	// unsynced write-then-rename into a zero-length file after the rename.
+	CrashMetadata
+	// CrashBuffered applies every operation issued before the cut, as if
+	// the disk persisted exactly what the OS had buffered. Sweeping the
+	// cut point through a multi-write commit yields torn-write prefixes.
+	CrashBuffered
+)
+
+func (m CrashMode) String() string {
+	switch m {
+	case CrashSynced:
+		return "synced"
+	case CrashMetadata:
+		return "metadata"
+	case CrashBuffered:
+		return "buffered"
+	}
+	return fmt.Sprintf("CrashMode(%d)", int(m))
+}
+
+// Modes lists every crash mode, for sweep loops.
+var Modes = []CrashMode{CrashSynced, CrashMetadata, CrashBuffered}
+
+type opKind uint8
+
+const (
+	opWrite opKind = iota
+	opTruncate
+	opCreate
+	opRename
+	opRemove
+	opSync
+	opSyncDir
+)
+
+// op is one journaled mutating operation. Data operations (write,
+// truncate, sync) reference the inode, so they follow a file across
+// renames exactly as writes through a real file descriptor do; directory
+// operations reference paths.
+type op struct {
+	kind        opKind
+	ino         int
+	path, path2 string
+	off         int64
+	data        []byte
+	size        int64
+}
+
+// Fault is an in-memory filesystem that journals every mutating operation,
+// can fail the Nth one with a chosen error, and can materialize the file
+// state a power cut at any journal position would leave behind. Safe for
+// concurrent use; the journal gives mutating operations a total order.
+type Fault struct {
+	mu      sync.Mutex
+	dirent  map[string]*faultInode
+	dirs    map[string]bool
+	nextIno int
+	journal []op
+
+	failAt   int // 1-based op count to fail; 0 = disabled
+	failKind FaultKind
+	injected int
+}
+
+type faultInode struct {
+	id   int
+	data []byte
+}
+
+// NewFault returns an empty fault-injecting filesystem.
+func NewFault() *Fault {
+	return &Fault{dirent: make(map[string]*faultInode), dirs: make(map[string]bool)}
+}
+
+// Ops returns the number of mutating operations journaled so far. The
+// half-open interval [0, Ops()] is the space of crash points.
+func (f *Fault) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.journal)
+}
+
+// FailNthOp arms a one-shot fault: the n-th mutating operation counted
+// from the start (1-based, i.e. the operation that would become journal
+// entry n) fails with the given kind, after which the filesystem heals.
+func (f *Fault) FailNthOp(n int, kind FaultKind) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt = n
+	f.failKind = kind
+}
+
+// Injected returns how many faults have fired.
+func (f *Fault) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// checkFaultLocked reports whether the next mutating operation should
+// fail, consuming the armed fault.
+func (f *Fault) checkFaultLocked() (FaultKind, bool) {
+	next := len(f.journal) + 1
+	if f.failAt != 0 && next == f.failAt {
+		f.failAt = 0
+		f.injected++
+		return f.failKind, true
+	}
+	return 0, false
+}
+
+func injectedErr(kind FaultKind) error {
+	if kind == FaultENOSPC {
+		return fmt.Errorf("vfs: injected fault: %w", syscall.ENOSPC)
+	}
+	return fmt.Errorf("vfs: injected fault: %w", syscall.EIO)
+}
+
+// OpenFile opens path; creating a file journals a directory operation,
+// truncating an existing one journals a data operation.
+func (f *Fault) OpenFile(path string, flag int, _ iofs.FileMode) (File, error) {
+	path = clean(path)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, ok := f.dirent[path]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", path)
+		}
+		if kind, fail := f.checkFaultLocked(); fail {
+			return nil, injectedErr(kind)
+		}
+		f.nextIno++
+		ino = &faultInode{id: f.nextIno}
+		f.dirent[path] = ino
+		f.journal = append(f.journal, op{kind: opCreate, ino: ino.id, path: path})
+	} else if flag&os.O_TRUNC != 0 && len(ino.data) > 0 {
+		if kind, fail := f.checkFaultLocked(); fail {
+			return nil, injectedErr(kind)
+		}
+		ino.data = nil
+		f.journal = append(f.journal, op{kind: opTruncate, ino: ino.id, size: 0})
+	}
+	return &faultFile{fs: f, ino: ino}, nil
+}
+
+// ReadFile returns a copy of the contents of path.
+func (f *Fault) ReadFile(path string) ([]byte, error) {
+	path = clean(path)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, ok := f.dirent[path]
+	if !ok {
+		return nil, notExist("open", path)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// Rename atomically points newPath at oldPath's inode.
+func (f *Fault) Rename(oldPath, newPath string) error {
+	oldPath, newPath = clean(oldPath), clean(newPath)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ino, ok := f.dirent[oldPath]
+	if !ok {
+		return notExist("rename", oldPath)
+	}
+	if kind, fail := f.checkFaultLocked(); fail {
+		return injectedErr(kind)
+	}
+	delete(f.dirent, oldPath)
+	f.dirent[newPath] = ino
+	f.journal = append(f.journal, op{kind: opRename, path: oldPath, path2: newPath})
+	return nil
+}
+
+// Remove unlinks path; open handles keep their inode.
+func (f *Fault) Remove(path string) error {
+	path = clean(path)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.dirent[path]; !ok {
+		return notExist("remove", path)
+	}
+	if kind, fail := f.checkFaultLocked(); fail {
+		return injectedErr(kind)
+	}
+	delete(f.dirent, path)
+	f.journal = append(f.journal, op{kind: opRemove, path: path})
+	return nil
+}
+
+// MkdirAll records the directory; Fault does not enforce parent existence
+// and does not journal directory creation (the workloads under test create
+// their directory before any interesting state exists).
+func (f *Fault) MkdirAll(dir string, _ iofs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dirs[clean(dir)] = true
+	return nil
+}
+
+// SyncDir journals a directory sync, committing prior directory
+// operations under CrashSynced.
+func (f *Fault) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if kind, fail := f.checkFaultLocked(); fail {
+		return injectedErr(kind)
+	}
+	f.journal = append(f.journal, op{kind: opSyncDir, path: clean(dir)})
+	return nil
+}
+
+// Files returns a deep copy of the current (fully applied) file state —
+// what a clean shutdown would leave on disk.
+func (f *Fault) Files() map[string][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]byte, len(f.dirent))
+	for p, ino := range f.dirent {
+		out[p] = append([]byte(nil), ino.data...)
+	}
+	return out
+}
+
+// CrashState materializes the file state left behind by a power cut
+// immediately before journal entry upTo (so upTo == Ops() means "after
+// everything issued so far"), under the given durability mode. The result
+// maps paths to contents and is suitable for Mem.Install.
+func (f *Fault) CrashState(upTo int, mode CrashMode) map[string][]byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if upTo > len(f.journal) {
+		upTo = len(f.journal)
+	}
+
+	// durable[i] decides whether journal[i] applies to the crash state.
+	durable := make([]bool, upTo)
+	switch mode {
+	case CrashBuffered:
+		for i := range durable {
+			durable[i] = true
+		}
+	case CrashSynced, CrashMetadata:
+		// Walk backwards so that at index i the sets reflect syncs
+		// strictly after i.
+		anySync := false
+		syncedIno := make(map[int]bool)
+		for i := upTo - 1; i >= 0; i-- {
+			switch f.journal[i].kind {
+			case opWrite, opTruncate:
+				durable[i] = syncedIno[f.journal[i].ino]
+			case opCreate, opRename, opRemove:
+				durable[i] = mode == CrashMetadata || anySync
+			case opSync:
+				syncedIno[f.journal[i].ino] = true
+				anySync = true
+			case opSyncDir:
+				anySync = true
+			}
+		}
+	}
+
+	dirent := make(map[string]int)
+	datas := make(map[int][]byte)
+	for i := 0; i < upTo; i++ {
+		if !durable[i] {
+			continue
+		}
+		o := f.journal[i]
+		switch o.kind {
+		case opCreate:
+			dirent[o.path] = o.ino
+		case opRename:
+			if ino, ok := dirent[o.path]; ok {
+				delete(dirent, o.path)
+				dirent[o.path2] = ino
+			}
+		case opRemove:
+			delete(dirent, o.path)
+		case opWrite:
+			data := datas[o.ino]
+			end := o.off + int64(len(o.data))
+			if grow := end - int64(len(data)); grow > 0 {
+				data = append(data, make([]byte, grow)...)
+			}
+			copy(data[o.off:end], o.data)
+			datas[o.ino] = data
+		case opTruncate:
+			data := datas[o.ino]
+			if o.size <= int64(len(data)) {
+				datas[o.ino] = data[:o.size]
+			} else {
+				datas[o.ino] = append(data, make([]byte, o.size-int64(len(data)))...)
+			}
+		}
+	}
+
+	out := make(map[string][]byte, len(dirent))
+	for p, ino := range dirent {
+		out[p] = append([]byte(nil), datas[ino]...)
+	}
+	return out
+}
+
+// faultFile is a handle on a Fault inode.
+type faultFile struct {
+	fs  *Fault
+	ino *faultInode
+	pos int64
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.pos >= int64(len(f.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative read offset %d", off)
+	}
+	if off >= int64(len(f.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n, err := f.writeAtLocked(p, f.pos)
+	f.pos += int64(n)
+	return n, err
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative write offset %d", off)
+	}
+	return f.writeAtLocked(p, off)
+}
+
+func (f *faultFile) writeAtLocked(p []byte, off int64) (int, error) {
+	if kind, fail := f.fs.checkFaultLocked(); fail {
+		if kind == FaultShortWrite && len(p) > 1 {
+			half := p[:len(p)/2]
+			f.applyWriteLocked(half, off)
+			return len(half), injectedErr(FaultEIO)
+		}
+		return 0, injectedErr(kind)
+	}
+	f.applyWriteLocked(p, off)
+	return len(p), nil
+}
+
+func (f *faultFile) applyWriteLocked(p []byte, off int64) {
+	end := off + int64(len(p))
+	if grow := end - int64(len(f.ino.data)); grow > 0 {
+		f.ino.data = append(f.ino.data, make([]byte, grow)...)
+	}
+	copy(f.ino.data[off:end], p)
+	f.fs.journal = append(f.fs.journal, op{
+		kind: opWrite, ino: f.ino.id, off: off, data: append([]byte(nil), p...),
+	})
+}
+
+func (f *faultFile) Seek(off int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(len(f.ino.data))
+	default:
+		return 0, fmt.Errorf("vfs: bad seek whence %d", whence)
+	}
+	if base+off < 0 {
+		return 0, fmt.Errorf("vfs: negative seek position")
+	}
+	f.pos = base + off
+	return f.pos, nil
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("vfs: negative truncate size %d", size)
+	}
+	if kind, fail := f.fs.checkFaultLocked(); fail {
+		return injectedErr(kind)
+	}
+	if size <= int64(len(f.ino.data)) {
+		f.ino.data = f.ino.data[:size]
+	} else {
+		f.ino.data = append(f.ino.data, make([]byte, size-int64(len(f.ino.data)))...)
+	}
+	f.fs.journal = append(f.fs.journal, op{kind: opTruncate, ino: f.ino.id, size: size})
+	return nil
+}
+
+func (f *faultFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.ino.data)), nil
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if kind, fail := f.fs.checkFaultLocked(); fail {
+		return injectedErr(kind)
+	}
+	f.fs.journal = append(f.fs.journal, op{kind: opSync, ino: f.ino.id})
+	return nil
+}
+
+func (f *faultFile) Close() error { return nil }

@@ -1,0 +1,228 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Mem is an in-memory filesystem: a dirent table mapping paths to inodes.
+// File handles reference inodes, so (as on a real filesystem) a handle
+// keeps working across a rename of its path. Safe for concurrent use.
+type Mem struct {
+	mu     sync.Mutex
+	dirent map[string]*memInode
+	dirs   map[string]bool
+}
+
+type memInode struct {
+	data []byte
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{dirent: make(map[string]*memInode), dirs: make(map[string]bool)}
+}
+
+func clean(path string) string { return filepath.Clean(path) }
+
+func notExist(op, path string) error {
+	return &iofs.PathError{Op: op, Path: path, Err: iofs.ErrNotExist}
+}
+
+// OpenFile opens path. Missing files are created only with os.O_CREATE;
+// os.O_TRUNC empties an existing file.
+func (m *Mem) OpenFile(path string, flag int, _ iofs.FileMode) (File, error) {
+	path = clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.dirent[path]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", path)
+		}
+		ino = &memInode{}
+		m.dirent[path] = ino
+	} else if flag&os.O_TRUNC != 0 {
+		ino.data = nil
+	}
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+// ReadFile returns a copy of the contents of path.
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	path = clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.dirent[path]
+	if !ok {
+		return nil, notExist("open", path)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// Rename atomically points newPath at oldPath's inode.
+func (m *Mem) Rename(oldPath, newPath string) error {
+	oldPath, newPath = clean(oldPath), clean(newPath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ino, ok := m.dirent[oldPath]
+	if !ok {
+		return notExist("rename", oldPath)
+	}
+	delete(m.dirent, oldPath)
+	m.dirent[newPath] = ino
+	return nil
+}
+
+// Remove unlinks path; open handles keep their inode.
+func (m *Mem) Remove(path string) error {
+	path = clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dirent[path]; !ok {
+		return notExist("remove", path)
+	}
+	delete(m.dirent, path)
+	return nil
+}
+
+// MkdirAll records the directory; Mem does not enforce parent existence.
+func (m *Mem) MkdirAll(dir string, _ iofs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[clean(dir)] = true
+	return nil
+}
+
+// SyncDir is a no-op: Mem has no volatile cache.
+func (m *Mem) SyncDir(string) error { return nil }
+
+// Snapshot returns a deep copy of every file (path -> contents).
+func (m *Mem) Snapshot() map[string][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]byte, len(m.dirent))
+	for p, ino := range m.dirent {
+		out[p] = append([]byte(nil), ino.data...)
+	}
+	return out
+}
+
+// Install replaces the filesystem contents with the given files (deep
+// copied). Used to materialize a crash state into a fresh filesystem.
+func (m *Mem) Install(files map[string][]byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirent = make(map[string]*memInode, len(files))
+	for p, data := range files {
+		m.dirent[clean(p)] = &memInode{data: append([]byte(nil), data...)}
+	}
+}
+
+// memFile is a handle on a Mem inode.
+type memFile struct {
+	fs  *Mem
+	ino *memInode
+	pos int64
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.pos >= int64(len(f.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[f.pos:])
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative read offset %d", off)
+	}
+	if off >= int64(len(f.ino.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	n := f.writeAtLocked(p, f.pos)
+	f.pos += int64(n)
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: negative write offset %d", off)
+	}
+	return f.writeAtLocked(p, off), nil
+}
+
+func (f *memFile) writeAtLocked(p []byte, off int64) int {
+	end := off + int64(len(p))
+	if grow := end - int64(len(f.ino.data)); grow > 0 {
+		f.ino.data = append(f.ino.data, make([]byte, grow)...)
+	}
+	copy(f.ino.data[off:end], p)
+	return len(p)
+}
+
+func (f *memFile) Seek(off int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = int64(len(f.ino.data))
+	default:
+		return 0, fmt.Errorf("vfs: bad seek whence %d", whence)
+	}
+	if base+off < 0 {
+		return 0, fmt.Errorf("vfs: negative seek position")
+	}
+	f.pos = base + off
+	return f.pos, nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	switch {
+	case size < 0:
+		return fmt.Errorf("vfs: negative truncate size %d", size)
+	case size <= int64(len(f.ino.data)):
+		f.ino.data = f.ino.data[:size]
+	default:
+		f.ino.data = append(f.ino.data, make([]byte, size-int64(len(f.ino.data)))...)
+	}
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	return int64(len(f.ino.data)), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }

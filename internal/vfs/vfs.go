@@ -1,0 +1,133 @@
+// Package vfs abstracts the filesystem operations the storage stack
+// performs (open/read/write/sync/rename/truncate), so the WAL, the buffer
+// pool and the heap can run either against the real OS filesystem or
+// against test filesystems that inject faults and enumerate crash states.
+//
+// Three implementations ship with the package:
+//
+//   - OS: a passthrough to the os package (the production default),
+//   - NewMem: an in-memory filesystem for fast hermetic tests,
+//   - NewFault: an in-memory filesystem that journals every mutating
+//     operation, can fail the Nth one with a chosen error, and can
+//     materialize the file state a power cut at any journal position
+//     would leave behind (see CrashState).
+package vfs
+
+import (
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+)
+
+// File is an open file handle. The method set is exactly what the storage
+// layers need: sequential and positional reads/writes, Seek, Sync,
+// Truncate, and Size (in place of Stat).
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	// Sync forces the file contents to stable storage.
+	Sync() error
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Size returns the current file size.
+	Size() (int64, error)
+}
+
+// FS is a filesystem. Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile opens path with os.OpenFile semantics for the flag subset
+	// the storage stack uses: O_RDWR, O_CREATE, O_TRUNC, O_RDONLY.
+	OpenFile(path string, flag int, perm iofs.FileMode) (File, error)
+	// ReadFile returns the whole contents of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm iofs.FileMode) error
+	// SyncDir forces directory metadata (created/renamed/removed entries
+	// under dir) to stable storage. Implementations for which this is
+	// meaningless return nil.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough filesystem used in production.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(path string, flag int, perm iofs.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (osFS) ReadFile(path string) ([]byte, error)          { return os.ReadFile(path) }
+func (osFS) Rename(oldPath, newPath string) error          { return os.Rename(oldPath, newPath) }
+func (osFS) Remove(path string) error                      { return os.Remove(path) }
+func (osFS) MkdirAll(dir string, perm iofs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// SyncDir fsyncs the directory itself, making renames and creates under it
+// durable. Filesystems that do not support fsync on directories report
+// EINVAL/ENOTSUP; those errors are swallowed — on such systems directory
+// durability is the best the platform offers either way.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("vfs: syncdir open: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Directory fsync is not universally supported; treat failure as
+		// a no-op rather than aborting a checkpoint that already synced
+		// its data.
+		return nil
+	}
+	return nil
+}
+
+type osFile struct{ f *os.File }
+
+func (o osFile) Read(p []byte) (int, error)                { return o.f.Read(p) }
+func (o osFile) Write(p []byte) (int, error)               { return o.f.Write(p) }
+func (o osFile) ReadAt(p []byte, off int64) (int, error)   { return o.f.ReadAt(p, off) }
+func (o osFile) WriteAt(p []byte, off int64) (int, error)  { return o.f.WriteAt(p, off) }
+func (o osFile) Seek(off int64, whence int) (int64, error) { return o.f.Seek(off, whence) }
+func (o osFile) Close() error                              { return o.f.Close() }
+func (o osFile) Sync() error                               { return o.f.Sync() }
+func (o osFile) Truncate(size int64) error                 { return o.f.Truncate(size) }
+
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// WriteFile writes data to path through fs: create/truncate, write, sync,
+// close. It does NOT sync the directory; callers that need the entry
+// durable call fs.SyncDir afterwards.
+func WriteFile(fs FS, path string, data []byte, perm iofs.FileMode) error {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,120 @@
+package wal
+
+// Fuzz targets for the two WAL attack surfaces: the payload decoder
+// (arbitrary bytes inside a CRC-valid frame) and full-log replay
+// (arbitrary bytes as the on-disk file). Replay must never panic, must
+// stop cleanly at damage, and must leave the log in an appendable state —
+// the append-reopen-replay roundtrip below checks all three on every
+// input the fuzzer invents.
+
+import (
+	"bytes"
+	"testing"
+
+	"sentinel/internal/vfs"
+)
+
+func FuzzDecodePayload(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0x80}) // dangling uvarint
+	f.Add(appendPayload(nil, Record{Type: RecUpdate, Tx: 7, OID: 42, Data: []byte("image")}))
+	f.Add(appendPayload(nil, Record{Type: RecCommit, Tx: 1}))
+	f.Add(appendPayload(nil, Record{Type: RecDelete, Tx: 3, OID: 9}))
+	f.Add(appendPayload(nil, Record{Type: RecCheckpoint}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := decodePayload(data)
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		// Anything the decoder accepts must re-encode to something the
+		// decoder accepts identically.
+		enc := appendPayload(nil, r)
+		r2, err := decodePayload(enc)
+		if err != nil {
+			t.Fatalf("re-encode of accepted record failed to decode: %v", err)
+		}
+		if r.Type != r2.Type || r.Tx != r2.Tx || r.OID != r2.OID || !bytes.Equal(r.Data, r2.Data) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", r, r2)
+		}
+	})
+}
+
+func FuzzReplay(f *testing.F) {
+	// Seed with a well-formed log, its truncations, and a bit-flipped
+	// variant, built through the real append path.
+	mem := vfs.NewMem()
+	l, err := OpenOn(mem, "seed.wal")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, r := range []Record{
+		{Type: RecUpdate, Tx: 1, OID: 5, Data: []byte("hello")},
+		{Type: RecCommit, Tx: 1},
+		{Type: RecUpdate, Tx: 2, OID: 6, Data: []byte("world")},
+		{Type: RecAbort, Tx: 2},
+	} {
+		if err := l.Append(r); err != nil {
+			f.Fatalf("seed record %d: %v", i, err)
+		}
+	}
+	l.Close()
+	seed, err := mem.ReadFile("seed.wal")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3])
+	f.Add(seed[:frameHeader+1])
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := vfs.NewMem()
+		fs.Install(map[string][]byte{"f.wal": data})
+		log, err := OpenOn(fs, "f.wal")
+		if err != nil {
+			t.Fatalf("open on existing file: %v", err)
+		}
+		var recs []Record
+		if err := log.Replay(func(r Record) error {
+			recs = append(recs, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("replay must swallow damage, got: %v", err)
+		}
+		// Replay dropped any torn tail; the log must now accept a record
+		// and yield it back, after the same valid prefix, on reopen.
+		probe := Record{Type: RecCommit, Tx: 987654}
+		if err := log.Append(probe); err != nil {
+			t.Fatalf("append after replay: %v", err)
+		}
+		log.Close()
+
+		log2, err := OpenOn(fs, "f.wal")
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer log2.Close()
+		var recs2 []Record
+		if err := log2.Replay(func(r Record) error {
+			recs2 = append(recs2, r)
+			return nil
+		}); err != nil {
+			t.Fatalf("second replay: %v", err)
+		}
+		if len(recs2) != len(recs)+1 {
+			t.Fatalf("reopen replayed %d records, want %d valid + 1 appended", len(recs2), len(recs))
+		}
+		for i := range recs {
+			if recs[i].Type != recs2[i].Type || recs[i].Tx != recs2[i].Tx ||
+				recs[i].OID != recs2[i].OID || !bytes.Equal(recs[i].Data, recs2[i].Data) {
+				t.Fatalf("record %d changed across reopen: %+v vs %+v", i, recs[i], recs2[i])
+			}
+		}
+		if last := recs2[len(recs2)-1]; last.Type != probe.Type || last.Tx != probe.Tx {
+			t.Fatalf("appended record came back as %+v", last)
+		}
+	})
+}

@@ -23,10 +23,12 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"sentinel/internal/oid"
+	"sentinel/internal/vfs"
 )
 
 // RecordType tags a log record.
@@ -61,7 +63,8 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // the log so record frames never interleave.
 type Log struct {
 	mu   sync.Mutex
-	f    *os.File
+	fs   vfs.FS
+	f    vfs.File
 	path string
 	size int64
 	sync syncState // group-commit state (see SyncBarrier)
@@ -71,18 +74,27 @@ type Log struct {
 	onFsync  func(d time.Duration)
 }
 
-// Open opens (or creates) the log at path.
+// Open opens (or creates) the log at path on the OS filesystem.
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenOn(vfs.OS, path)
+}
+
+// OpenOn opens (or creates) the log at path on fs.
+func OpenOn(fs vfs.FS, path string) (*Log, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: stat: %w", err)
 	}
-	return &Log{f: f, path: path, size: st.Size()}, nil
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{fs: fs, f: f, path: path, size: size}, nil
 }
 
 // SetHooks installs instrumentation callbacks: onAppend observes every
@@ -181,11 +193,11 @@ func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	tmp := l.path + ".tmp"
-	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	nf, err := l.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
-	nl := &Log{f: nf, path: tmp}
+	nl := &Log{fs: l.fs, f: nf, path: tmp}
 	if err := nl.appendLocked(Record{Type: RecCheckpoint}); err != nil {
 		nf.Close()
 		return err
@@ -198,9 +210,15 @@ func (l *Log) Truncate() error {
 		nf.Close()
 		return fmt.Errorf("wal: truncate close: %w", err)
 	}
-	if err := os.Rename(tmp, l.path); err != nil {
+	if err := l.fs.Rename(tmp, l.path); err != nil {
 		nf.Close()
 		return fmt.Errorf("wal: truncate rename: %w", err)
+	}
+	// Sync the directory so the rename itself is durable: committed
+	// records appended after this point go to the new file, and must not
+	// be orphaned under a still-visible old log.
+	if err := l.fs.SyncDir(filepath.Dir(l.path)); err != nil {
+		return fmt.Errorf("wal: truncate syncdir: %w", err)
 	}
 	l.f = nf
 	l.size = nl.size
@@ -230,7 +248,12 @@ func (l *Log) Replay(fn func(Record) error) error {
 		}
 		ln := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		if ln > 1<<30 {
+		// A corrupt length field must not drive the allocation below: a
+		// frame can never be longer than the bytes actually in the file,
+		// so anything claiming more is damage (found by FuzzReplay, which
+		// crawled when bogus ~1 GiB lengths were allocated before the
+		// short read rejected them).
+		if ln > 1<<30 || int64(ln) > l.size-off-frameHeader {
 			break
 		}
 		payload := make([]byte, ln)
