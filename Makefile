@@ -6,8 +6,9 @@
 # target a short coverage-guided session on top of the checked-in corpora;
 # `make bench` produces the fast-path benchmark artifact BENCH_1.json
 # (with BENCH_0.json, the pre-fast-path seed measurements, embedded as the
-# baseline), the cold-open artifact BENCH_2.json, and the
-# instrumentation-overhead artifact BENCH_3.json; `make bench-smoke` is a
+# baseline), the cold-open artifact BENCH_2.json, the
+# instrumentation-overhead artifact BENCH_3.json, and the detached-pool
+# multi-core scaling artifact BENCH_4.json; `make bench-smoke` is a
 # one-iteration CI-sized pass over the same code paths plus a scrape of
 # the live /metrics endpoint.
 
@@ -54,6 +55,7 @@ bench:
 	$(GO) run ./cmd/sentinel-bench -json BENCH_1.json -baseline BENCH_0.json
 	$(GO) run ./cmd/sentinel-bench -json2 BENCH_2.json
 	$(GO) run ./cmd/sentinel-bench -json3 BENCH_3.json
+	$(GO) run ./cmd/sentinel-bench -json4 BENCH_4.json
 
 # One-iteration pass over every benchmark entry point: catches bit-rot in
 # the bench harness without benchmark-grade runtimes (CI runs this).
@@ -61,6 +63,7 @@ bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) run ./cmd/sentinel-bench -json2 /tmp/bench2-smoke.json -pop 2000 -resident 256
 	$(GO) run ./cmd/sentinel-bench -json3 /tmp/bench3-smoke.json
+	$(GO) run ./cmd/sentinel-bench -json4 /tmp/bench4-smoke.json -quick
 
 clean:
 	$(GO) clean

@@ -14,6 +14,8 @@
 //	                               # cold-open / demand-paging benchmarks
 //	sentinel-bench -json3 BENCH_3.json
 //	                               # instrumentation-overhead benchmarks
+//	sentinel-bench -json4 BENCH_4.json [-quick]
+//	                               # detached-pool multi-core scaling suite
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	pop := flag.Int("pop", 100000, "population size for -json2")
 	resident := flag.Int("resident", 4096, "MaxResidentObjects ceiling for -json2")
 	json3Out := flag.String("json3", "", "write instrumentation-overhead benchmark results to this JSON file and exit")
+	json4Out := flag.String("json4", "", "write detached-pool multi-core scaling results to this JSON file and exit")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -52,6 +55,13 @@ func main() {
 	}
 	if *json3Out != "" {
 		if err := runObsBench(*json3Out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *json4Out != "" {
+		if err := runMultiCoreBench(*json4Out, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

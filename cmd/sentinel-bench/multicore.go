@@ -1,0 +1,181 @@
+package main
+
+// Multi-core detached-executor suite (-json4): measures how detached-rule
+// throughput scales with Options.DetachedWorkers. The workload models the
+// paper's canonical detached action — an external notification whose
+// latency the database cannot shrink — as a fixed 200µs wait per firing, so
+// scaling comes from overlapping those waits, not from burning extra CPU
+// (see EXPERIMENTS.md P15 for why this is the honest regime on a
+// single-core host). Two shapes bracket the conflict scheduler:
+//
+//   - disjoint: every firing has its own subscriber, so nothing conflicts
+//     and the pool may run all of them concurrently;
+//   - contended: every firing shares one subscriber, so the scheduler must
+//     chain them and extra workers lawfully buy nothing.
+//
+// The suite runs at GOMAXPROCS=8 regardless of host size and sweeps
+// workers ∈ {sync, 1, 2, 4, 8}; speedups are reported relative to the
+// 1-worker pool.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"sentinel/internal/bench"
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/rule"
+	"sentinel/internal/value"
+)
+
+// mcActionWait is the simulated external-notification latency per detached
+// firing. Large against scheduling overhead, small against suite runtime.
+const mcActionWait = 200 * time.Microsecond
+
+type multiCoreResult struct {
+	Mode       string  `json:"mode"`    // "disjoint" or "contended"
+	Workers    int     `json:"workers"` // 0 = synchronous (AsyncDetached off)
+	Firings    int     `json:"firings"`
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	FiringsSec float64 `json:"firings_per_sec"`
+	Speedup    float64 `json:"speedup_vs_1_worker,omitempty"`
+}
+
+type multiCoreReport struct {
+	GeneratedBy string            `json:"generated_by"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	NumCPU      int               `json:"num_cpu"`
+	GoVersion   string            `json:"go_version"`
+	Note        string            `json:"note"`
+	Results     []multiCoreResult `json:"results"`
+}
+
+// runMultiCoreOnce feeds n detached firings through one configuration and
+// times feed-start → pool-idle. workers == 0 means the synchronous
+// baseline. stocks controls contention: every send round-robins over the
+// stock population, and the subscriber is the stock itself.
+func runMultiCoreOnce(mode string, workers, stocks, n int) (multiCoreResult, error) {
+	opts := core.Options{Output: io.Discard}
+	if workers > 0 {
+		opts.AsyncDetached = true
+		opts.DetachedWorkers = workers
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		return multiCoreResult{}, err
+	}
+	defer db.Close()
+	if err := bench.InstallMarketSchema(db); err != nil {
+		return multiCoreResult{}, err
+	}
+	m, err := bench.BuildMarket(db, stocks, 0)
+	if err != nil {
+		return multiCoreResult{}, err
+	}
+	if err := db.Atomically(func(t *core.Tx) error {
+		_, err := db.CreateRule(t, core.RuleSpec{
+			Name:       "notify",
+			EventSrc:   "end Stock::SetPrice(float p)",
+			Coupling:   "detached",
+			ClassLevel: "Stock",
+			Action: func(rule.ExecContext, event.Detection) error {
+				time.Sleep(mcActionWait)
+				return nil
+			},
+		})
+		return err
+	}); err != nil {
+		return multiCoreResult{}, err
+	}
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		id := m.Stocks[i%stocks]
+		if err := db.Atomically(func(t *core.Tx) error {
+			_, err := db.Send(t, id, "SetPrice", value.Float(float64(i)))
+			return err
+		}); err != nil {
+			return multiCoreResult{}, err
+		}
+	}
+	db.WaitIdle()
+	elapsed := time.Since(start)
+
+	if workers > 0 {
+		if got := db.Stats().Detached.Executed; got != uint64(n) {
+			return multiCoreResult{}, fmt.Errorf("%s/%d workers: pool executed %d firings, want %d", mode, workers, got, n)
+		}
+	}
+	return multiCoreResult{
+		Mode: mode, Workers: workers, Firings: n,
+		ElapsedNs:  elapsed.Nanoseconds(),
+		FiringsSec: float64(n) / elapsed.Seconds(),
+	}, nil
+}
+
+// runMultiCoreBench runs the full sweep and writes the JSON report.
+func runMultiCoreBench(path string, quick bool) error {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	n := 2000
+	if quick {
+		n = 400
+	}
+	const disjointStocks = 256
+	workerSweep := []int{0, 1, 2, 4, 8}
+
+	var report multiCoreReport
+	report.GeneratedBy = "sentinel-bench -json4"
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.NumCPU = runtime.NumCPU()
+	report.GoVersion = runtime.Version()
+	report.Note = fmt.Sprintf(
+		"detached action = %v simulated external-notification wait; disjoint = %d subscribers, contended = 1 subscriber; speedup is relative to the 1-worker pool; see EXPERIMENTS.md P15",
+		mcActionWait, disjointStocks)
+
+	baseline := map[string]float64{}
+	for _, mode := range []string{"disjoint", "contended"} {
+		stocks := disjointStocks
+		if mode == "contended" {
+			stocks = 1
+		}
+		for _, w := range workerSweep {
+			r, err := runMultiCoreOnce(mode, w, stocks, n)
+			if err != nil {
+				return err
+			}
+			if w == 1 {
+				baseline[mode] = r.FiringsSec
+			}
+			if b := baseline[mode]; b > 0 && w >= 1 {
+				r.Speedup = r.FiringsSec / b
+			}
+			fmt.Printf("  %-9s workers=%d  %7.0f firings/s  (%.2fx)\n", mode, w, r.FiringsSec, r.Speedup)
+			report.Results = append(report.Results, r)
+		}
+	}
+
+	// Acceptance gate (ISSUE 5): ≥3× 1-worker throughput at 4 workers on
+	// the disjoint shape. Fail loudly instead of writing a report that
+	// silently misses the target.
+	for _, r := range report.Results {
+		if r.Mode == "disjoint" && r.Workers == 4 && r.Speedup < 3 {
+			return fmt.Errorf("disjoint 4-worker speedup %.2fx below the 3x target", r.Speedup)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -44,6 +44,7 @@ func main() {
 	interactive := flag.Bool("i", false, "enter interactive mode after -f")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus/expvar metrics on host:port")
 	slow := flag.Duration("slow", 0, "log rule firings at or above this duration (e.g. 5ms)")
+	workers := flag.Int("workers", 0, "run detached rules on a conflict-aware pool of this many workers (0 = synchronous)")
 	flag.Parse()
 
 	db, err := core.Open(core.Options{
@@ -51,6 +52,8 @@ func main() {
 		SyncOnCommit:      true,
 		MetricsAddr:       *metricsAddr,
 		SlowRuleThreshold: *slow,
+		AsyncDetached:     *workers > 0,
+		DetachedWorkers:   *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel:", err)
@@ -221,6 +224,11 @@ commands: .classes .rules .events .objects <class> .names .indexes .stats
 			s.Events.Sends, s.Events.Raised, s.Events.Notifications, s.Events.Detections)
 		fmt.Printf("rules: defined=%d subscriptions=%d conditions=%d actions=%d slow=%d\n",
 			s.Rules.Defined, s.Rules.Subscriptions, s.Rules.ConditionsRun, s.Rules.ActionsRun, s.Rules.SlowFirings)
+		if s.Detached.Workers > 0 {
+			fmt.Printf("detached: workers=%d queued=%d inflight=%d executed=%d stalls=%d backpressure=%d\n",
+				s.Detached.Workers, s.Detached.Queued, s.Detached.InFlight,
+				s.Detached.Executed, s.Detached.ConflictStalls, s.Detached.BackpressureWaits)
+		}
 		fmt.Printf("storage: faults=%d evictions=%d checkpoints=%d wal=%dB\n",
 			s.Storage.Faults, s.Storage.Evictions, s.Storage.Checkpoints, s.Storage.WALBytes)
 		fmt.Printf("txns: started=%d committed=%d aborted=%d deadlocks=%d\n",

@@ -132,23 +132,12 @@ type Database struct {
 
 	strategy rule.Strategy
 
-	// Async detached executor (started lazily, stopped by Close). The
-	// worker drains detachedCh; quit/done give Close a deterministic
-	// handshake: stopDetachedWorker closes detachedQuit, the worker
-	// finishes any queued firings and closes detachedDone. Once
-	// detachedStopped is set, late dispatches run synchronously instead of
-	// enqueueing into a retired worker. detachedPending counts dispatched
-	// but unfinished firings; detachedIdle (a cond on detachedMu) signals
-	// it reaching zero — a plain WaitGroup cannot express this because
-	// dispatchers Add concurrently with waiters as the counter crosses
-	// zero, which WaitGroup forbids.
-	detachedMu      sync.Mutex
-	detachedIdle    *sync.Cond
-	detachedPending int
-	detachedCh      chan rule.Firing
-	detachedQuit    chan struct{}
-	detachedDone    chan struct{}
-	detachedStopped bool
+	// detached is the conflict-aware executor pool for detached-coupling
+	// rules (see detached.go): Options.DetachedWorkers goroutines draining
+	// a bounded queue under a per-object conflict scheduler. Created at
+	// Open when AsyncDetached is set, retired by Close (drain) or
+	// CloseAbrupt (abandon); nil in synchronous mode.
+	detached *detachedPool
 
 	// met is the metric set (counters, histograms, gauges, slow-rule log);
 	// tracer is the installed obs.Tracer (nil when none — the hot path
@@ -204,7 +193,6 @@ func Open(opts Options) (*Database, error) {
 		classConsumers: make(map[string]*classConsumerEntry),
 		strategy:       strat,
 	}
-	db.detachedIdle = sync.NewCond(&db.detachedMu)
 	db.met = newCoreMetrics(db, opts)
 	if err := db.bootstrapSystemClasses(); err != nil {
 		return nil, err
@@ -219,12 +207,19 @@ func Open(opts Options) (*Database, error) {
 			return nil, err
 		}
 	}
+	// Start the detached executor pool before the metrics listener binds
+	// (its gauges read db.detached) and after recovery (recovery never
+	// dispatches detached work).
+	if opts.AsyncDetached {
+		db.detached = newDetachedPool(db, opts.DetachedWorkers)
+	}
 	// Bind the metrics listener last so a bad address fails fast without
 	// leaking storage handles, and a failed recovery never leaves a
 	// listener behind.
 	if opts.MetricsAddr != "" {
 		srv, err := obs.Serve(opts.MetricsAddr, db.met.reg)
 		if err != nil {
+			db.stopDetachedPool(false)
 			if db.store != nil {
 				db.store.CloseAbrupt()
 				db.log.Close()
@@ -235,6 +230,7 @@ func Open(opts Options) (*Database, error) {
 	}
 	db.ready = true
 	if err := db.flushPendingClassRules(); err != nil {
+		db.stopDetachedPool(false)
 		if db.metricsSrv != nil {
 			db.metricsSrv.Close()
 		}
@@ -267,6 +263,9 @@ func (db *Database) Dir() string { return db.opts.Dir }
 // keeps everything since, so the next Open exercises recovery. For tests
 // and the recovery experiments.
 func (db *Database) CloseAbrupt() error {
+	// Abandon the executor pool: queued detached work is dropped (a crash
+	// loses it), only firings already executing run out.
+	db.stopDetachedPool(false)
 	if db.metricsSrv != nil {
 		db.metricsSrv.Close()
 	}
@@ -295,7 +294,7 @@ func (db *Database) WALSize() int64 {
 // the storage.
 func (db *Database) Close() error {
 	db.WaitIdle()
-	db.stopDetachedWorker()
+	db.stopDetachedPool(true)
 	if db.metricsSrv != nil {
 		db.metricsSrv.Close()
 	}

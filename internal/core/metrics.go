@@ -8,6 +8,7 @@ package core
 // hook site is one atomic pointer load.
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +31,12 @@ type coreMetrics struct {
 	// Storage counters.
 	faults, evictions, checkpoints  *obs.Counter
 	walAppends, walFsyncs, walBytes *obs.Counter
+
+	// Detached executor pool counters. detachedWorkerFirings has one
+	// counter per pool worker (registered only with AsyncDetached, when
+	// the pool size is known).
+	detachedFirings, detachedStalls, detachedBackpressure *obs.Counter
+	detachedWorkerFirings                                 []*obs.Counter
 
 	// Latency histograms. Commit, fsync, append and fault-in are always
 	// timed (low frequency); firing/condition/action are fed at the
@@ -73,6 +80,10 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 		walFsyncs:   reg.Counter("sentinel_wal_fsyncs_total", "physical WAL fsyncs (group commit shares them)"),
 		walBytes:    reg.Counter("sentinel_wal_bytes_appended_total", "bytes appended to the WAL"),
 
+		detachedFirings:      reg.Counter("sentinel_detached_firings_total", "detached firings executed by the worker pool"),
+		detachedStalls:       reg.Counter("sentinel_detached_conflict_stalls_total", "detached firings enqueued behind a conflicting predecessor"),
+		detachedBackpressure: reg.Counter("sentinel_detached_backpressure_waits_total", "commits that blocked on a full detached queue"),
+
 		commitH: reg.Histogram("sentinel_tx_commit_ns", "transaction commit latency"),
 		firingH: reg.Histogram("sentinel_rule_firing_ns", "rule firing latency (condition + action)"),
 		condH:   reg.Histogram("sentinel_condition_eval_ns", "rule condition evaluation latency"),
@@ -82,6 +93,35 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 		faultH:  reg.Histogram("sentinel_fault_in_ns", "object fault-in (read + decode) latency"),
 	}
 
+	if opts.AsyncDetached {
+		m.detachedWorkerFirings = make([]*obs.Counter, opts.DetachedWorkers)
+		for i := range m.detachedWorkerFirings {
+			m.detachedWorkerFirings[i] = reg.Counter(
+				fmt.Sprintf("sentinel_detached_worker_%d_firings_total", i),
+				fmt.Sprintf("detached firings executed by pool worker %d", i))
+		}
+	}
+
+	reg.Gauge("sentinel_detached_workers", "detached executor pool size (0 = synchronous)", func() int64 {
+		if db.detached == nil {
+			return 0
+		}
+		return int64(db.detached.workers)
+	})
+	reg.Gauge("sentinel_detached_queue_depth", "detached firings queued, not yet executing", func() int64 {
+		if db.detached == nil {
+			return 0
+		}
+		queued, _ := db.detached.snapshot()
+		return int64(queued)
+	})
+	reg.Gauge("sentinel_detached_inflight", "detached firings executing right now", func() int64 {
+		if db.detached == nil {
+			return 0
+		}
+		_, inflight := db.detached.snapshot()
+		return int64(inflight)
+	})
 	reg.Gauge("sentinel_objects_resident", "objects materialized in the directory", func() int64 {
 		resident, _ := db.countObjects()
 		return int64(resident)

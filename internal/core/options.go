@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"sentinel/internal/rule"
@@ -64,11 +65,20 @@ type Options struct {
 	// 16. Must not be negative.
 	MaxCascadeDepth int
 	// AsyncDetached executes detached-coupling rules on a background
-	// worker instead of synchronously after Commit returns — the fully
-	// asynchronous propagation of §3.1. Use WaitIdle to quiesce (tests,
-	// shutdown; Close drains automatically). Default false: deterministic
-	// post-commit execution.
+	// worker pool instead of synchronously after Commit returns — the
+	// fully asynchronous propagation of §3.1. Use WaitIdle to quiesce
+	// (tests, shutdown; Close drains automatically). Default false:
+	// deterministic post-commit execution.
 	AsyncDetached bool
+	// DetachedWorkers sizes the detached-rule executor pool used with
+	// AsyncDetached: that many goroutines execute detached firings
+	// concurrently, with a conflict scheduler (keyed on each firing's
+	// subscriber and scheduling-time write set) serializing firings over
+	// shared objects while disjoint ones run in parallel. The pool's
+	// bounded queue holds 64 firings per worker; committers block
+	// (backpressure) while it is full. 0 (default) means GOMAXPROCS.
+	// Must not be negative, and only meaningful with AsyncDetached.
+	DetachedWorkers int
 
 	// ---- Application hooks ----
 
@@ -122,6 +132,9 @@ func (o Options) withDefaults() Options {
 	if o.MetricsSampling == 0 {
 		o.MetricsSampling = defaultMetricsSampling
 	}
+	if o.AsyncDetached && o.DetachedWorkers == 0 {
+		o.DetachedWorkers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -145,6 +158,12 @@ func (o Options) Validate() error {
 	}
 	if o.MetricsSampling < 0 {
 		errs = append(errs, fmt.Errorf("MetricsSampling is %d; must be >= 0 (0 means the default of %d, 1 times every firing)", o.MetricsSampling, defaultMetricsSampling))
+	}
+	if o.DetachedWorkers < 0 {
+		errs = append(errs, fmt.Errorf("DetachedWorkers is %d; must be >= 0 (0 means GOMAXPROCS)", o.DetachedWorkers))
+	}
+	if o.DetachedWorkers > 0 && !o.AsyncDetached {
+		errs = append(errs, errors.New("DetachedWorkers is set but AsyncDetached is false: the worker pool only runs detached rules asynchronously; set AsyncDetached or drop DetachedWorkers"))
 	}
 	if _, err := rule.ParseStrategy(o.Strategy); err != nil {
 		errs = append(errs, err)

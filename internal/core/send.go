@@ -126,6 +126,11 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 	immediate := t.fireScratch[:0]
 	t.fireScratch = nil
 	seq := uint64(0)
+	// Conflict keys for detached firings: the write set is snapshotted once
+	// per raise (it cannot change between consumers of one occurrence), and
+	// the shared slice is read-only downstream.
+	var writeSet []oid.OID
+	writeSetDone := false
 	for _, r := range rules {
 		m.notifications.Inc()
 		if r.TxScoped {
@@ -167,7 +172,14 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 			case rule.Deferred:
 				t.deferred.Add(r, det)
 			case rule.Detached:
-				t.detached = append(t.detached, rule.Firing{Rule: r, Detection: det})
+				if !writeSetDone {
+					writeSet = t.writeSetOIDs()
+					writeSetDone = true
+				}
+				t.detached = append(t.detached, rule.Firing{
+					Rule: r, Detection: det,
+					Subscriber: src.ID(), WriteSet: writeSet,
+				})
 			}
 		}
 	}

@@ -10,11 +10,12 @@ import (
 // grouped by subsystem. It is returned by Database.Stats; for latency
 // histograms and the full metric registry see Database.Metrics.
 type Snapshot struct {
-	Objects ObjectStats
-	Events  EventStats
-	Rules   RuleStats
-	Storage StorageStats
-	Txn     txn.Stats
+	Objects  ObjectStats
+	Events   EventStats
+	Rules    RuleStats
+	Detached DetachedStats
+	Storage  StorageStats
+	Txn      txn.Stats
 }
 
 // ObjectStats describes the live object population.
@@ -41,6 +42,18 @@ type RuleStats struct {
 	ConditionsRun uint64
 	ActionsRun    uint64
 	SlowFirings   uint64 // firings at or above Options.SlowRuleThreshold
+}
+
+// DetachedStats describes the conflict-aware detached executor pool
+// (zero-valued when AsyncDetached is off and detached rules run
+// synchronously).
+type DetachedStats struct {
+	Workers           int    // pool size (0 = synchronous execution)
+	Queued            int    // firings enqueued, not yet executing
+	InFlight          int    // firings executing right now
+	Executed          uint64 // firings the pool has completed
+	ConflictStalls    uint64 // firings enqueued behind a conflicting predecessor
+	BackpressureWaits uint64 // commits that blocked on a full queue
 }
 
 // StorageStats counts paging, checkpointing and WAL activity.
@@ -77,6 +90,7 @@ func (db *Database) Stats() Snapshot {
 			ActionsRun:    m.actionsRun.Value(),
 			SlowFirings:   m.slowFirings.Value(),
 		},
+		Detached: db.detachedStats(),
 		Storage: StorageStats{
 			Faults:      m.faults.Value(),
 			Evictions:   m.evictions.Value(),
@@ -84,6 +98,23 @@ func (db *Database) Stats() Snapshot {
 			WALBytes:    db.WALSize(),
 		},
 		Txn: db.tm.Stats(),
+	}
+}
+
+// detachedStats reads the executor-pool gauges and counters.
+func (db *Database) detachedStats() DetachedStats {
+	if db.detached == nil {
+		return DetachedStats{}
+	}
+	queued, inflight := db.detached.snapshot()
+	m := db.met
+	return DetachedStats{
+		Workers:           db.detached.workers,
+		Queued:            queued,
+		InFlight:          inflight,
+		Executed:          m.detachedFirings.Value(),
+		ConflictStalls:    m.detachedStalls.Value(),
+		BackpressureWaits: m.detachedBackpressure.Value(),
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"sentinel/internal/object"
@@ -70,7 +71,40 @@ type Tx struct {
 	// makes the send → body → raise hot path frame-allocation-free.
 	framePool []*frame
 
+	// fromDetachedWorker marks transactions begun by the detached executor
+	// pool: their own detached dispatches (chained firings) bypass queue
+	// backpressure, which is what makes the bounded queue deadlock-free
+	// (see detached.go).
+	fromDetachedWorker bool
+
 	finished bool
+}
+
+// writeSetOIDs snapshots the transaction's write set (dirty ∪ created ∪
+// deleted) at detached-scheduling time. The conflict-aware executor keys
+// on it, so firings scheduled by transactions over disjoint objects run
+// in parallel. The returned slice is shared read-only by every detached
+// firing of one raise.
+func (t *Tx) writeSetOIDs() []oid.OID {
+	n := len(t.dirty) + len(t.created) + len(t.deleted)
+	if n == 0 {
+		return nil
+	}
+	ws := make([]oid.OID, 0, n)
+	for id := range t.dirty {
+		ws = append(ws, id)
+	}
+	for id := range t.created {
+		if !t.dirty[id] {
+			ws = append(ws, id)
+		}
+	}
+	for id := range t.deleted {
+		if !t.dirty[id] && !t.created[id] {
+			ws = append(ws, id)
+		}
+	}
+	return ws
 }
 
 // getFrame returns a zeroed frame, reusing a recycled one when available.
@@ -117,6 +151,10 @@ func (t *Tx) Active() bool { return !t.finished && t.inner.Active() }
 // transaction — they can still abort it), then the write set is logged and
 // applied, then detached rules launch in fresh transactions. An AbortError
 // from a deferred rule rolls everything back and is returned.
+//
+// With Options.AsyncDetached, Commit returns ErrDetachedStopped when the
+// executor pool was already stopped by Close: the transaction itself is
+// durably committed — only its detached firings were dropped.
 func (db *Database) Commit(t *Tx) error {
 	if t.db != db {
 		return fmt.Errorf("core: transaction belongs to a different database")
@@ -174,26 +212,30 @@ func (db *Database) doCommit(t *Tx) error {
 	// Phase 3: detached coupling — each firing runs in its own
 	// transaction after the triggering transaction committed (§4.4). An
 	// aborting detached rule affects only its own transaction. With
-	// Options.AsyncDetached the firings run on a background worker (the
-	// fully asynchronous propagation of §3.1); WaitIdle quiesces.
+	// Options.AsyncDetached the firings go to the conflict-aware executor
+	// pool (the fully asynchronous propagation of §3.1; see detached.go);
+	// WaitIdle quiesces.
 	if len(detached) > 0 {
 		agenda := rule.NewAgenda(db.currentStrategy())
 		for _, f := range detached {
-			agenda.Add(f.Rule, f.Detection)
+			agenda.AddFiring(f)
 		}
 		ordered := agenda.Drain()
 		if db.opts.AsyncDetached {
-			db.dispatchDetached(ordered)
+			if err := db.dispatchDetached(t, ordered); err != nil {
+				return err
+			}
 		} else {
-			for _, f := range ordered {
-				db.execDetached(f)
+			for i := range ordered {
+				db.execDetached(ordered[i])
 			}
 		}
 	}
 	return nil
 }
 
-// execDetached runs one detached firing in its own transaction.
+// execDetached runs one detached firing in its own transaction
+// (synchronous mode: AsyncDetached off).
 func (db *Database) execDetached(f rule.Firing) {
 	dtx := db.Begin()
 	if err := db.runFiring(dtx, &f, 1); err != nil {
@@ -205,112 +247,30 @@ func (db *Database) execDetached(f rule.Firing) {
 }
 
 // dispatchDetached hands an ordered batch of detached firings to the
-// background executor, lazily starting it. The pending count is bumped
-// under detachedMu and before any send, so the idle wait (which runs under
-// the same mutex after flipping detachedStopped) covers every dispatch
-// that got past the stopped check. A dispatch racing past shutdown falls
-// back to synchronous execution — firings are never dropped.
-func (db *Database) dispatchDetached(ordered []rule.Firing) {
-	db.detachedMu.Lock()
-	if db.detachedStopped {
-		db.detachedMu.Unlock()
-		for _, f := range ordered {
-			db.execDetached(f)
+// executor pool. The batch is enqueued atomically; once Close stopped the
+// pool the batch is rejected with ErrDetachedStopped (the transaction is
+// already durable — only its firings are dropped). Before Open finishes
+// the pool may not exist yet (schema hooks run early); those firings
+// execute synchronously, matching the AsyncDetached-off path.
+func (db *Database) dispatchDetached(t *Tx, ordered []rule.Firing) error {
+	if db.detached == nil {
+		for i := range ordered {
+			db.execDetached(ordered[i])
 		}
-		return
+		return nil
 	}
-	if db.detachedCh == nil {
-		db.detachedCh = make(chan rule.Firing, 1024)
-		db.detachedQuit = make(chan struct{})
-		db.detachedDone = make(chan struct{})
-		go db.detachedWorker(db.detachedCh, db.detachedQuit, db.detachedDone)
-	}
-	ch := db.detachedCh
-	db.detachedPending += len(ordered)
-	db.detachedMu.Unlock()
-	// Send outside the lock: a chained dispatch from the worker itself
-	// (a detached rule whose commit schedules more detached work) must be
-	// able to take detachedMu while another committer is blocked on a full
-	// channel.
-	for _, f := range ordered {
-		ch <- f
-	}
-}
-
-// finishDetached marks one dispatched firing complete, waking idle waiters
-// when the count drains. Chained firings were added before their parent
-// completes (execDetached's commit dispatches under the same mutex), so
-// the count only reaches zero at true quiescence.
-func (db *Database) finishDetached() {
-	db.detachedMu.Lock()
-	db.detachedPending--
-	if db.detachedPending == 0 {
-		db.detachedIdle.Broadcast()
-	}
-	db.detachedMu.Unlock()
-}
-
-// detachedWorker is the background executor loop. On quit it finishes
-// whatever is still queued (stopDetachedWorker has already waited for the
-// pending count, so the drain loop is a safety net) and closes done.
-func (db *Database) detachedWorker(ch chan rule.Firing, quit, done chan struct{}) {
-	defer close(done)
-	for {
-		select {
-		case f := <-ch:
-			db.execDetached(f)
-			db.finishDetached()
-		case <-quit:
-			for {
-				select {
-				case f := <-ch:
-					db.execDetached(f)
-					db.finishDetached()
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-// stopDetachedWorker drains in-flight detached work and retires the
-// background executor. Idempotent; later dispatches execute synchronously.
-func (db *Database) stopDetachedWorker() {
-	db.detachedMu.Lock()
-	if db.detachedStopped {
-		db.detachedMu.Unlock()
-		return
-	}
-	db.detachedStopped = true
-	// Every dispatch that saw detachedStopped == false has already bumped
-	// the pending count, so this wait covers all enqueued (and chained)
-	// firings; afterwards the queue is empty and the worker exits promptly.
-	// Cond.Wait releases detachedMu, so the worker's finishDetached (and
-	// chained dispatches, which now run synchronously) make progress.
-	for db.detachedPending > 0 {
-		db.detachedIdle.Wait()
-	}
-	quit, done := db.detachedQuit, db.detachedDone
-	db.detachedMu.Unlock()
-	if quit == nil {
-		return // worker never started
-	}
-	close(quit)
-	<-done
+	return db.detached.enqueue(ordered, t.fromDetachedWorker)
 }
 
 // WaitIdle blocks until every asynchronously dispatched detached rule has
 // finished, including detached work those rules' own commits enqueued (a
-// chained firing bumps the pending count before its parent completes, so
-// the counter only reaches zero at true quiescence). A no-op when
-// AsyncDetached is off.
+// chained firing enqueues while its parent is still in flight, so the
+// pool's pending count only reaches zero at true quiescence). A no-op
+// when AsyncDetached is off.
 func (db *Database) WaitIdle() {
-	db.detachedMu.Lock()
-	for db.detachedPending > 0 {
-		db.detachedIdle.Wait()
+	if db.detached != nil {
+		db.detached.waitIdle()
 	}
-	db.detachedMu.Unlock()
 }
 
 // Abort rolls the transaction back.
@@ -372,6 +332,25 @@ func (db *Database) Atomically(fn func(*Tx) error) error {
 	return db.Commit(t)
 }
 
+// commitScratch is the reusable per-commit encoding state: the record and
+// class slices plus one flat buffer every object image of the batch is
+// encoded into, so record framing stops allocating per record. Commits can
+// run concurrently (writeCommit holds ckptMu only shared), hence a
+// sync.Pool rather than a Database field.
+type commitScratch struct {
+	recs    []wal.Record
+	classes []string
+	buf     []byte
+}
+
+var commitScratchPool = sync.Pool{New: func() any { return new(commitScratch) }}
+
+// Retention bounds so one huge commit does not pin a huge scratch forever.
+const (
+	maxCommitScratchBytes = 1 << 20
+	maxCommitScratchRecs  = 1024
+)
+
 // writeCommit assembles and syncs the WAL records for the transaction,
 // applies the write set to the heap, updates the heap-class catalog, and
 // marks the written directory entries clean (eligible for eviction again).
@@ -389,15 +368,41 @@ func (db *Database) writeCommit(t *Tx) error {
 	}
 	db.ckptMu.RLock()
 	defer db.ckptMu.RUnlock()
-	var recs []wal.Record
-	var classes []string // class name per record, aligned with recs
+	sc := commitScratchPool.Get().(*commitScratch)
+	recs := sc.recs[:0]
+	classes := sc.classes[:0] // class name per record, aligned with recs
+	buf := sc.buf[:0]
+	defer func() {
+		// Data slices point into buf (or into superseded backing arrays);
+		// both the WAL append and the heap apply copy, so nothing retains
+		// them past this function. Zero the pointers before pooling.
+		for i := range recs {
+			recs[i].Data = nil
+		}
+		if cap(recs) <= maxCommitScratchRecs {
+			sc.recs = recs[:0]
+			sc.classes = classes[:0]
+		} else {
+			sc.recs, sc.classes = nil, nil
+		}
+		if cap(buf) <= maxCommitScratchBytes {
+			sc.buf = buf[:0]
+		} else {
+			sc.buf = nil
+		}
+		commitScratchPool.Put(sc)
+	}()
 	txid := uint64(t.inner.ID())
 	addUpdate := func(id oid.OID) {
 		o := db.objectByID(id)
 		if o == nil || !db.persistentObject(o) {
 			return
 		}
-		recs = append(recs, wal.Record{Type: wal.RecUpdate, Tx: txid, OID: id, Data: o.Encode(nil)})
+		// Encode into the shared buffer; the record's Data is a capped
+		// sub-slice, so a later realloc of buf cannot alias over it.
+		start := len(buf)
+		buf = o.Encode(buf)
+		recs = append(recs, wal.Record{Type: wal.RecUpdate, Tx: txid, OID: id, Data: buf[start:len(buf):len(buf)]})
 		classes = append(classes, o.Class().Name)
 	}
 	for id := range t.created {

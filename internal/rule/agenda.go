@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sentinel/internal/event"
+	"sentinel/internal/oid"
 )
 
 // Firing is a triggered rule awaiting (or undergoing) condition evaluation
@@ -15,6 +16,16 @@ type Firing struct {
 	// Seq is the arrival order of the firing on its agenda, used by FIFO
 	// and LIFO strategies and as the stable tie-breaker.
 	Seq uint64
+
+	// Subscriber is the object whose event completed the detection, and
+	// WriteSet is the scheduling transaction's write set at the moment the
+	// firing was scheduled. Both are recorded for detached firings only:
+	// the conflict-aware executor pool keys on them to decide which
+	// firings may run in parallel (disjoint keys) and which must retain
+	// strategy order (shared keys). Immediate and deferred firings run
+	// inside the scheduling transaction and leave them zero.
+	Subscriber oid.OID
+	WriteSet   []oid.OID
 }
 
 // Strategy is a pluggable conflict-resolution policy: it orders a set of
@@ -113,6 +124,14 @@ func (a *Agenda) SetStrategy(s Strategy) { a.strategy = s }
 func (a *Agenda) Add(r *Rule, det event.Detection) {
 	a.nextSeq++
 	a.pending = append(a.pending, Firing{Rule: r, Detection: det, Seq: a.nextSeq})
+}
+
+// AddFiring schedules a pre-built firing, preserving its scheduling
+// metadata (subscriber, write set); Seq is assigned on arrival like Add.
+func (a *Agenda) AddFiring(f Firing) {
+	a.nextSeq++
+	f.Seq = a.nextSeq
+	a.pending = append(a.pending, f)
 }
 
 // Len returns the number of pending firings.

@@ -179,6 +179,23 @@ func GenScenario(seed int64) *Scenario {
 	return sc
 }
 
+// detSuffix renders the source tag plus the constituents of a detection
+// relative to the scenario's clock base: "s<i> [seqs]", where i indexes the
+// scenario object (0 = Gen, 1 = SubGen) whose raise completed the
+// detection — the engine's subscriber OID. The model emits the same tag
+// from its own bookkeeping, so the tag itself is differential-tested.
+func detSuffix(det event.Detection, base uint64, oids []oid.OID) string {
+	rel := make([]uint64, len(det.Constituents))
+	for k, o := range det.Constituents {
+		rel[k] = o.Seq - base
+	}
+	si := 0
+	if det.Last().Source == oids[1] {
+		si = 1
+	}
+	return fmt.Sprintf("s%d %v", si, rel)
+}
+
 // RunReal replays the scenario through the real engine (in-memory
 // database) and returns the firing trace.
 func RunReal(sc *Scenario, strategy string) ([]string, error) {
@@ -225,12 +242,8 @@ func RunReal(sc *Scenario, strategy string) ([]string, error) {
 				ClassLevel: dr.ClassLevel,
 				TxScoped:   dr.TxScoped,
 				Action: func(_ rule.ExecContext, det event.Detection) error {
-					rel := make([]uint64, len(det.Constituents))
-					for k, o := range det.Constituents {
-						rel[k] = o.Seq - base
-					}
-					trace = append(trace, fmt.Sprintf("tx%d %s R%d %v",
-						curTx, couplingNames[dr.Coupling], ri, rel))
+					trace = append(trace, fmt.Sprintf("tx%d %s R%d %s",
+						curTx, couplingNames[dr.Coupling], ri, detSuffix(det, base, oids)))
 					return nil
 				},
 			}

@@ -386,10 +386,13 @@ func (r *mrule) condPasses(d mdet) bool {
 }
 
 // mfiring is a scheduled (rule, detection) pair awaiting conflict
-// resolution.
+// resolution. src is the model object whose raise completed the detection —
+// the engine's subscriber OID — and tags every trace line so the parallel
+// differ can project per-object subsequences.
 type mfiring struct {
 	rule *mrule
 	det  mdet
+	src  int
 	seq  uint64 // arrival order on its agenda
 }
 
@@ -450,8 +453,8 @@ func (m *model) consumersOf(o mocc) []*mrule {
 	return out
 }
 
-func (m *model) emit(txIdx int, phase string, r *mrule, d mdet) {
-	m.trace = append(m.trace, fmt.Sprintf("tx%d %s %s %v", txIdx, phase, r.name(), []uint64(d)))
+func (m *model) emit(txIdx int, phase string, r *mrule, src int, d mdet) {
+	m.trace = append(m.trace, fmt.Sprintf("tx%d %s %s s%d %v", txIdx, phase, r.name(), src, []uint64(d)))
 }
 
 // runTx processes one transaction's raises and its commit: immediate
@@ -478,19 +481,19 @@ func (m *model) runTx(txIdx int, raises []mocc) {
 				switch r.coupling {
 				case 0:
 					immSeq++
-					immediate = append(immediate, mfiring{rule: r, det: det, seq: immSeq})
+					immediate = append(immediate, mfiring{rule: r, det: det, src: o.source, seq: immSeq})
 				case 1:
 					defSeq++
-					deferred = append(deferred, mfiring{rule: r, det: det, seq: defSeq})
+					deferred = append(deferred, mfiring{rule: r, det: det, src: o.source, seq: defSeq})
 				case 2:
-					detached = append(detached, mfiring{rule: r, det: det})
+					detached = append(detached, mfiring{rule: r, det: det, src: o.source})
 				}
 			}
 		}
 		orderFirings(immediate, m.strategy)
 		for _, f := range immediate {
 			if f.rule.condPasses(f.det) {
-				m.emit(txIdx, "immediate", f.rule, f.det)
+				m.emit(txIdx, "immediate", f.rule, f.src, f.det)
 			}
 		}
 	}
@@ -500,7 +503,7 @@ func (m *model) runTx(txIdx int, raises []mocc) {
 	orderFirings(deferred, m.strategy)
 	for _, f := range deferred {
 		if f.rule.condPasses(f.det) {
-			m.emit(txIdx, "deferred", f.rule, f.det)
+			m.emit(txIdx, "deferred", f.rule, f.src, f.det)
 		}
 	}
 
@@ -517,7 +520,7 @@ func (m *model) runTx(txIdx int, raises []mocc) {
 	orderFirings(detached, m.strategy)
 	for _, f := range detached {
 		if f.rule.condPasses(f.det) {
-			m.emit(txIdx, "detached", f.rule, f.det)
+			m.emit(txIdx, "detached", f.rule, f.src, f.det)
 		}
 	}
 }

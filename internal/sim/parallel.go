@@ -1,0 +1,243 @@
+package sim
+
+// Linearizability-style differential testing of the conflict-aware detached
+// executor pool (core/detached.go). A scenario is replayed through the real
+// engine with AsyncDetached worker pools of varying sizes; detached actions
+// then run concurrently with later transactions, so a single totally-
+// ordered trace no longer exists. What the pool DOES guarantee is:
+//
+//   - immediate and deferred firings are untouched by the pool: they still
+//     form a serial trace identical to the reference model's;
+//   - detached firings over the same subscriber execute in the exact order
+//     the serial model predicts (the conflict scheduler chains them), while
+//     firings over disjoint subscribers may interleave arbitrarily.
+//
+// DiffParallel checks exactly that: the serial sub-trace must match the
+// model line for line, and each per-subscriber projection of the detached
+// sub-trace must match the model's projection of its own detached firings
+// onto that subscriber. Any lost, duplicated, or locally-reordered firing
+// is a divergence.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+)
+
+// ParallelTrace is the observable outcome of a parallel replay: the serial
+// (immediate + deferred) firing trace, and the detached firings projected
+// per subscriber object in execution order.
+type ParallelTrace struct {
+	Serial   []string
+	Detached [2][]string // indexed by scenario object (0 = Gen, 1 = SubGen)
+}
+
+// RunRealParallel replays the scenario through the real engine with an
+// AsyncDetached pool of the given size and returns the observed traces.
+// Serial entries keep the RunReal format; detached entries drop the tx
+// prefix (a pool worker cannot know which driver transaction is current
+// without racing it) and are recorded under a mutex in execution order.
+func RunRealParallel(sc *Scenario, strategy string, workers int) (*ParallelTrace, error) {
+	db, err := core.Open(core.Options{
+		Strategy: strategy, Output: io.Discard,
+		AsyncDetached: true, DetachedWorkers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	gen := schema.NewClass("Gen")
+	gen.Classification = schema.ReactiveClass
+	sub := schema.NewClass("SubGen", gen)
+	sub.Classification = schema.ReactiveClass
+	if err := db.RegisterClass(gen); err != nil {
+		return nil, err
+	}
+	if err := db.RegisterClass(sub); err != nil {
+		return nil, err
+	}
+
+	var (
+		out   ParallelTrace
+		mu    sync.Mutex // guards out.Detached (pool workers append concurrently)
+		base  uint64
+		curTx int
+	)
+	oids := make([]oid.OID, 2)
+	err = db.Atomically(func(t *core.Tx) error {
+		var err error
+		if oids[0], err = db.NewObject(t, "Gen", nil); err != nil {
+			return err
+		}
+		if oids[1], err = db.NewObject(t, "SubGen", nil); err != nil {
+			return err
+		}
+		for i, dr := range sc.Rules {
+			ri, dr := i, dr
+			name := fmt.Sprintf("R%d", ri)
+			spec := core.RuleSpec{
+				Name:       name,
+				Event:      dr.Expr,
+				Coupling:   couplingNames[dr.Coupling],
+				Priority:   dr.Priority,
+				Context:    dr.Context,
+				ClassLevel: dr.ClassLevel,
+				TxScoped:   dr.TxScoped,
+			}
+			if dr.Coupling == 2 {
+				spec.Action = func(_ rule.ExecContext, det event.Detection) error {
+					si := 0
+					if det.Last().Source == oids[1] {
+						si = 1
+					}
+					line := fmt.Sprintf("detached R%d %s", ri, detSuffix(det, base, oids))
+					mu.Lock()
+					out.Detached[si] = append(out.Detached[si], line)
+					mu.Unlock()
+					return nil
+				}
+			} else {
+				spec.Action = func(_ rule.ExecContext, det event.Detection) error {
+					out.Serial = append(out.Serial, fmt.Sprintf("tx%d %s R%d %s",
+						curTx, couplingNames[dr.Coupling], ri, detSuffix(det, base, oids)))
+					return nil
+				}
+			}
+			if dr.CondEvery != 0 {
+				every := uint64(dr.CondEvery)
+				spec.Condition = func(_ rule.ExecContext, det event.Detection) (bool, error) {
+					return (det.Last().Seq-base)%every != 0, nil
+				}
+			}
+			if _, err := db.CreateRule(t, spec); err != nil {
+				return err
+			}
+			for _, s := range dr.Subs {
+				if err := db.SubscribeRule(t, name, oids[s]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	base = db.Now()
+	for txIdx, tx := range sc.Txs {
+		curTx = txIdx
+		err := db.Atomically(func(t *core.Tx) error {
+			for _, tg := range tx.Toggles {
+				name := fmt.Sprintf("R%d", tg.Rule)
+				if tg.Enable {
+					if err := db.EnableRule(t, name); err != nil {
+						return err
+					}
+				} else if err := db.DisableRule(t, name); err != nil {
+					return err
+				}
+			}
+			for _, r := range tx.Raises {
+				if err := db.RaiseExplicit(t, oids[r.Source], r.Event); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: %w", txIdx, err)
+		}
+	}
+	db.WaitIdle()
+	return &out, nil
+}
+
+// projectModel splits a full serial model trace into the serial sub-trace
+// and the per-subscriber detached projections, matching what the parallel
+// executor is required to preserve. Detached model entries look like
+// "tx3 detached R1 s0 [7 9]"; the tx prefix is dropped and the line routed
+// by its source tag.
+func projectModel(trace []string) *ParallelTrace {
+	var out ParallelTrace
+	for _, line := range trace {
+		rest, ok := splitTx(line)
+		if !ok || !strings.HasPrefix(rest, "detached ") {
+			out.Serial = append(out.Serial, line)
+			continue
+		}
+		si := 0
+		if f := strings.Fields(rest); len(f) > 2 && f[2] == "s1" {
+			si = 1
+		}
+		out.Detached[si] = append(out.Detached[si], rest)
+	}
+	return &out
+}
+
+// splitTx strips a leading "tx<N> " token; ok is false if there is none.
+func splitTx(line string) (rest string, ok bool) {
+	if !strings.HasPrefix(line, "tx") {
+		return "", false
+	}
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return "", false
+	}
+	return line[i+1:], true
+}
+
+// DiffParallel replays one seed under one strategy through the pooled
+// engine (with the given worker count) and the serial reference model, and
+// returns a description of the first divergence, or "" when the parallel
+// execution is consistent with the model: identical serial trace, and
+// identical per-subscriber detached order.
+func DiffParallel(seed int64, strategy string, workers int) (string, error) {
+	real, err := RunRealParallel(GenScenario(seed), strategy, workers)
+	if err != nil {
+		return "", fmt.Errorf("real engine, seed %d, %s, %d workers: %w", seed, strategy, workers, err)
+	}
+	modelTrace, err := RunModel(GenScenario(seed), strategy)
+	if err != nil {
+		return "", fmt.Errorf("model, seed %d, %s: %w", seed, strategy, err)
+	}
+	want := projectModel(modelTrace)
+
+	if d := diffLines("serial", real.Serial, want.Serial); d != "" {
+		return fmt.Sprintf("seed %d, %s, %d workers: %s", seed, strategy, workers, d), nil
+	}
+	for si := 0; si < 2; si++ {
+		name := fmt.Sprintf("detached s%d", si)
+		if d := diffLines(name, real.Detached[si], want.Detached[si]); d != "" {
+			return fmt.Sprintf("seed %d, %s, %d workers: %s", seed, strategy, workers, d), nil
+		}
+	}
+	return "", nil
+}
+
+// diffLines compares two traces and describes the first difference.
+func diffLines(name string, real, model []string) string {
+	n := len(real)
+	if len(model) < n {
+		n = len(model)
+	}
+	for i := 0; i < n; i++ {
+		if real[i] != model[i] {
+			return fmt.Sprintf("%s firing %d differs:\n  real:  %s\n  model: %s",
+				name, i, real[i], model[i])
+		}
+	}
+	if len(real) != len(model) {
+		return fmt.Sprintf("%s: real fired %d times, model %d times (traces agree on common prefix)",
+			name, len(real), len(model))
+	}
+	return ""
+}

@@ -69,6 +69,11 @@ type Log struct {
 	size int64
 	sync syncState // group-commit state (see SyncBarrier)
 
+	// buf is the reusable frame-encoding buffer for AppendBatch. Guarded
+	// by mu (appends serialize on it), so steady-state commits frame their
+	// records without allocating per record.
+	buf []byte
+
 	// Instrumentation hooks (see SetHooks); nil means uninstrumented.
 	onAppend func(bytes int, d time.Duration)
 	onFsync  func(d time.Duration)
@@ -155,7 +160,14 @@ func (l *Log) appendLocked(r Record) error {
 	return nil
 }
 
-// AppendBatch writes several records with a single buffered write.
+// maxBatchBufRetain bounds the frame buffer kept between batches, so one
+// oversized commit does not pin its peak footprint forever.
+const maxBatchBufRetain = 1 << 20
+
+// AppendBatch writes several records with a single buffered write. Frames
+// are encoded into a buffer reused across batches (payloads are encoded in
+// place and the length/CRC header back-filled), so framing allocates
+// nothing once the buffer is warm.
 func (l *Log) AppendBatch(recs []Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -163,14 +175,20 @@ func (l *Log) AppendBatch(recs []Record) error {
 	if l.onAppend != nil {
 		start = time.Now()
 	}
-	var buf []byte
+	buf := l.buf[:0]
 	for _, r := range recs {
-		payload := appendPayload(nil, r)
-		var hdr [frameHeader]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, payload...)
+		hdrOff := len(buf)
+		buf = append(buf, make([]byte, frameHeader)...)
+		payloadOff := len(buf)
+		buf = appendPayload(buf, r)
+		payload := buf[payloadOff:]
+		binary.LittleEndian.PutUint32(buf[hdrOff:hdrOff+4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[hdrOff+4:hdrOff+8], crc32.Checksum(payload, castagnoli))
+	}
+	if cap(buf) <= maxBatchBufRetain {
+		l.buf = buf[:0]
+	} else {
+		l.buf = nil
 	}
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("wal: append batch: %w", err)

@@ -270,3 +270,50 @@ func TestSyncBarrierGroupCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAppendBatchZeroAllocs pins the pooled frame buffer: once warm,
+// AppendBatch frames an entire commit batch without allocating. This guards
+// the per-record payload allocation the old implementation made (one
+// appendPayload(nil, ...) slice per record per commit).
+func TestAppendBatchZeroAllocs(t *testing.T) {
+	l, _ := openTemp(t)
+	batch := []Record{
+		{Type: RecUpdate, Tx: 9, OID: 1, Data: make([]byte, 64)},
+		{Type: RecUpdate, Tx: 9, OID: 2, Data: make([]byte, 256)},
+		{Type: RecDelete, Tx: 9, OID: 3},
+		{Type: RecCommit, Tx: 9},
+	}
+	// Warm the buffer so the measured runs reuse it at full capacity.
+	if err := l.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := l.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendBatch allocated %.1f times per batch, want 0", allocs)
+	}
+}
+
+// TestAppendBatchRetentionCap verifies one oversized batch does not pin its
+// peak buffer forever: after framing well past maxBatchBufRetain the
+// retained buffer is dropped, and the log still appends correctly.
+func TestAppendBatchRetentionCap(t *testing.T) {
+	l, _ := openTemp(t)
+	huge := []Record{{Type: RecUpdate, Tx: 1, OID: 1, Data: make([]byte, maxBatchBufRetain+1)}}
+	if err := l.AppendBatch(huge); err != nil {
+		t.Fatal(err)
+	}
+	if l.buf != nil {
+		t.Fatalf("retained %d-byte buffer past the %d cap", cap(l.buf), maxBatchBufRetain)
+	}
+	small := []Record{{Type: RecUpdate, Tx: 2, OID: 2, Data: []byte("x")}, {Type: RecCommit, Tx: 2}}
+	if err := l.AppendBatch(small); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, l); len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+}

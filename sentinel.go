@@ -71,6 +71,12 @@ type (
 	AbortError = core.AbortError
 )
 
+// ErrDetachedStopped is returned by Commit when a transaction's detached
+// firings could not be handed to the executor pool because the database is
+// closing; the transaction's writes are durable, only the firings were
+// refused. Test with errors.Is.
+var ErrDetachedStopped = core.ErrDetachedStopped
+
 // Statistics and observability types. Database.Stats returns a cheap
 // grouped counter Snapshot; Database.Metrics returns the full metrics
 // registry (counters, gauges and latency histograms with quantiles);
@@ -85,6 +91,8 @@ type (
 	EventStats = core.EventStats
 	// RuleStats counts defined rules, subscriptions and executions.
 	RuleStats = core.RuleStats
+	// DetachedStats describes the conflict-aware detached executor pool.
+	DetachedStats = core.DetachedStats
 	// StorageStats counts faults, evictions, checkpoints and WAL bytes.
 	StorageStats = core.StorageStats
 
