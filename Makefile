@@ -7,8 +7,9 @@
 # `make bench` produces the fast-path benchmark artifact BENCH_1.json
 # (with BENCH_0.json, the pre-fast-path seed measurements, embedded as the
 # baseline), the cold-open artifact BENCH_2.json, the
-# instrumentation-overhead artifact BENCH_3.json, and the detached-pool
-# multi-core scaling artifact BENCH_4.json; `make bench-smoke` is a
+# instrumentation-overhead artifact BENCH_3.json, the detached-pool
+# multi-core scaling artifact BENCH_4.json, and the MVCC snapshot-read /
+# group-commit contention artifact BENCH_5.json; `make bench-smoke` is a
 # one-iteration CI-sized pass over the same code paths plus a scrape of
 # the live /metrics endpoint.
 
@@ -31,14 +32,14 @@ test:
 check: build vet test
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/... ./internal/sim/... ./internal/vfs/...
+	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/... ./internal/sim/... ./internal/vfs/... ./internal/wal/...
 
 # Exhaustive crash-state torture: every journal op boundary in every crash
 # mode, every WAL bit position, and a widened differential-seed matrix.
 # The fixed seeds make failures reproducible; the strided versions of the
 # same sweeps run in the ordinary test suite.
 torture:
-	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint' -v ./internal/sim/ ./internal/core/
+	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint|TestGroupCommitTorture|TestSnapshotDiffer' -v ./internal/sim/ ./internal/core/
 
 # Coverage-guided fuzzing on top of the checked-in seed corpora. `go test`
 # accepts one -fuzz pattern per package invocation, hence one line each.
@@ -56,6 +57,7 @@ bench:
 	$(GO) run ./cmd/sentinel-bench -json2 BENCH_2.json
 	$(GO) run ./cmd/sentinel-bench -json3 BENCH_3.json
 	$(GO) run ./cmd/sentinel-bench -json4 BENCH_4.json
+	$(GO) run ./cmd/sentinel-bench -json5 BENCH_5.json
 
 # One-iteration pass over every benchmark entry point: catches bit-rot in
 # the bench harness without benchmark-grade runtimes (CI runs this).
@@ -64,6 +66,7 @@ bench-smoke:
 	$(GO) run ./cmd/sentinel-bench -json2 /tmp/bench2-smoke.json -pop 2000 -resident 256
 	$(GO) run ./cmd/sentinel-bench -json3 /tmp/bench3-smoke.json
 	$(GO) run ./cmd/sentinel-bench -json4 /tmp/bench4-smoke.json -quick
+	$(GO) run ./cmd/sentinel-bench -json5 /tmp/bench5-smoke.json -quick
 
 clean:
 	$(GO) clean

@@ -16,6 +16,8 @@
 //	                               # instrumentation-overhead benchmarks
 //	sentinel-bench -json4 BENCH_4.json [-quick]
 //	                               # detached-pool multi-core scaling suite
+//	sentinel-bench -json5 BENCH_5.json [-quick]
+//	                               # MVCC snapshot-read + group-commit suite
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	resident := flag.Int("resident", 4096, "MaxResidentObjects ceiling for -json2")
 	json3Out := flag.String("json3", "", "write instrumentation-overhead benchmark results to this JSON file and exit")
 	json4Out := flag.String("json4", "", "write detached-pool multi-core scaling results to this JSON file and exit")
+	json5Out := flag.String("json5", "", "write MVCC snapshot-read/group-commit results to this JSON file and exit")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -62,6 +65,13 @@ func main() {
 	}
 	if *json4Out != "" {
 		if err := runMultiCoreBench(*json4Out, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *json5Out != "" {
+		if err := runMVCCBench(*json5Out, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,342 @@
+package main
+
+// MVCC + group-commit suite (-json5): measures the contended commit path
+// this PR unblocks. The workload mixes, over the same 8 hot objects:
+//
+//   - writer goroutines committing durable updates (each writer owns a
+//     disjoint slice of the hot set, so 2PL never serializes them and the
+//     WAL fsync is the genuine bottleneck under test);
+//   - snapshot readers scanning every hot object through BeginSnapshot
+//     (they take no locks, so they must not slow writers down);
+//   - a class-level detached rule firing on every update, its condition
+//     evaluated against an MVCC snapshot (Options.SnapshotConditions).
+//
+// Storage runs on an in-memory VFS wrapped in a latency layer charging
+// each fsync a fixed realistic cost: with instant fsyncs there is nothing
+// for group commit to amortize and nothing for the sweep to measure (this
+// host may have a single CPU — scaling must come from overlapping fsync
+// waits, not extra cores). The suite sweeps 1/2/4/8 committers, reports a
+// commits-per-fsync series, and measures idle single-commit latency with
+// and without the group-commit window to prove the uncontended path pays
+// nothing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/value"
+	"sentinel/internal/vfs"
+)
+
+// mvccFsyncDelay is the simulated device fsync cost.
+const mvccFsyncDelay = 400 * time.Microsecond
+
+// mvccHotObjects is the size of the shared hot set.
+const mvccHotObjects = 8
+
+type mvccResult struct {
+	Goroutines      int     `json:"goroutines"` // committers (and snapshot readers)
+	Commits         int     `json:"commits"`
+	ElapsedNs       int64   `json:"elapsed_ns"`
+	CommitsSec      float64 `json:"commits_per_sec"`
+	Speedup         float64 `json:"speedup_vs_1,omitempty"`
+	Fsyncs          int64   `json:"fsyncs"`
+	CommitsPerFsync float64 `json:"commits_per_fsync"`
+	SnapshotReads   int64   `json:"snapshot_reads"`
+	Detached        uint64  `json:"detached_firings"`
+	MaxChainDepth   int     `json:"max_chain_depth"` // high-water during the run
+}
+
+type mvccIdle struct {
+	PlainNs   int64   `json:"plain_commit_ns"`   // SyncOnCommit, no window
+	GroupedNs int64   `json:"grouped_commit_ns"` // SyncOnCommit + window
+	Ratio     float64 `json:"grouped_over_plain"`
+}
+
+type mvccReport struct {
+	GeneratedBy  string       `json:"generated_by"`
+	GoMaxProcs   int          `json:"gomaxprocs"`
+	NumCPU       int          `json:"num_cpu"`
+	GoVersion    string       `json:"go_version"`
+	FsyncDelayNs int64        `json:"fsync_delay_ns"`
+	Note         string       `json:"note"`
+	Idle         mvccIdle     `json:"idle"`
+	Results      []mvccResult `json:"results"`
+}
+
+// mvccOpen builds a fresh database on a latency-wrapped memory VFS.
+func mvccOpen(window time.Duration, async bool) (*core.Database, *vfs.Latency, error) {
+	lat := vfs.NewLatency(vfs.NewMem(), mvccFsyncDelay, 0)
+	opts := core.Options{
+		Dir:               "bench",
+		VFS:               lat,
+		SyncOnCommit:      true,
+		GroupCommitWindow: window,
+		Output:            io.Discard,
+	}
+	if async {
+		opts.AsyncDetached = true
+		opts.DetachedWorkers = 2
+		opts.SnapshotConditions = true
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, lat, nil
+}
+
+// mvccSetup registers the Hot class, creates the hot set, and installs the
+// class-level detached rule whose condition reads self through a snapshot.
+func mvccSetup(db *core.Database, withRule bool) ([]oid.OID, error) {
+	if err := db.Exec(`
+		class Hot reactive persistent {
+			attr v float
+			event end method Set(p float) { self.v := p }
+		}
+	`); err != nil {
+		return nil, err
+	}
+	ids := make([]oid.OID, mvccHotObjects)
+	if err := db.Atomically(func(t *core.Tx) error {
+		for i := range ids {
+			var err error
+			ids[i], err = db.NewObject(t, "Hot", map[string]value.Value{"v": value.Float(0)})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if !withRule {
+		return ids, nil
+	}
+	if err := db.Atomically(func(t *core.Tx) error {
+		_, err := db.CreateRule(t, core.RuleSpec{
+			Name: "watchHot", EventSrc: "end Hot::Set(float p)",
+			Coupling: "detached", ClassLevel: "Hot",
+			Condition: func(ctx rule.ExecContext, det event.Detection) (bool, error) {
+				// A snapshot read of the triggering object (SnapshotConditions
+				// routes this through the condition's MVCC snapshot).
+				_, err := ctx.GetAttr(det.Last().Source, "v")
+				return false, err
+			},
+		})
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// runMVCCOnce runs one contended mix at g committers + g snapshot readers
+// and returns the measured result.
+func runMVCCOnce(g, commits int) (mvccResult, error) {
+	db, lat, err := mvccOpen(200*time.Microsecond, true)
+	if err != nil {
+		return mvccResult{}, err
+	}
+	defer db.Close()
+	ids, err := mvccSetup(db, true)
+	if err != nil {
+		return mvccResult{}, err
+	}
+
+	perWriter := commits / g
+	var (
+		writeWG, readWG sync.WaitGroup
+		stop            = make(chan struct{})
+		werrs           = make([]error, g)
+		snapReads       int64
+		snapMu          sync.Mutex
+		maxDepth        int
+	)
+	syncs0 := lat.Syncs()
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			// Each writer owns hot objects w, w+g, w+2g, ... — disjoint
+			// write sets, shared WAL.
+			for i := 0; i < perWriter; i++ {
+				id := ids[(w+i*g)%len(ids)]
+				if err := db.Atomically(func(t *core.Tx) error {
+					_, err := db.Send(t, id, "Set", value.Float(float64(i)))
+					return err
+				}); err != nil {
+					werrs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < g; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			local := int64(0)
+			for {
+				select {
+				case <-stop:
+					snapMu.Lock()
+					snapReads += local
+					snapMu.Unlock()
+					return
+				default:
+				}
+				snap := db.BeginSnapshot()
+				for _, id := range ids {
+					if _, err := db.Get(snap, id, "v"); err == nil {
+						local++
+					}
+				}
+				d := db.Stats().Storage.MaxChainDepth
+				snapMu.Lock()
+				if d > maxDepth {
+					maxDepth = d
+				}
+				snapMu.Unlock()
+				db.Abort(snap)
+				time.Sleep(50 * time.Microsecond) // don't starve writers on small hosts
+			}
+		}()
+	}
+	writeWG.Wait()
+	db.WaitIdle() // drain the detached pool: firings are part of the work
+	elapsed := time.Since(start)
+	close(stop)
+	readWG.Wait()
+
+	for _, err := range werrs {
+		if err != nil {
+			return mvccResult{}, err
+		}
+	}
+	done := g * perWriter
+	fsyncs := lat.Syncs() - syncs0
+	res := mvccResult{
+		Goroutines: g, Commits: done,
+		ElapsedNs:     elapsed.Nanoseconds(),
+		CommitsSec:    float64(done) / elapsed.Seconds(),
+		Fsyncs:        fsyncs,
+		SnapshotReads: snapReads,
+		Detached:      db.Stats().Detached.Executed,
+		MaxChainDepth: maxDepth,
+	}
+	if fsyncs > 0 {
+		res.CommitsPerFsync = float64(done) / float64(fsyncs)
+	}
+	return res, nil
+}
+
+// runMVCCIdle measures uncontended single-commit latency with and without
+// the group-commit window: the window must only engage under contention.
+func runMVCCIdle(commits int, window time.Duration) (int64, error) {
+	db, _, err := mvccOpen(window, false)
+	if err != nil {
+		return 0, err
+	}
+	defer db.Close()
+	ids, err := mvccSetup(db, false)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < commits; i++ {
+		if err := db.Atomically(func(t *core.Tx) error {
+			_, err := db.Send(t, ids[i%len(ids)], "Set", value.Float(float64(i)))
+			return err
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(commits), nil
+}
+
+// runMVCCBench runs the full suite, enforces the acceptance gates, and
+// writes the JSON report.
+func runMVCCBench(path string, quick bool) error {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+
+	commits := 960
+	idleCommits := 200
+	if quick {
+		commits, idleCommits = 320, 60
+	}
+
+	var report mvccReport
+	report.GeneratedBy = "sentinel-bench -json5"
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.NumCPU = runtime.NumCPU()
+	report.GoVersion = runtime.Version()
+	report.FsyncDelayNs = mvccFsyncDelay.Nanoseconds()
+	report.Note = fmt.Sprintf(
+		"contended mix over %d hot objects: g committers + g snapshot readers + class-level detached rule with snapshot conditions; fsync charged %v by a latency VFS; speedup is relative to 1 committer; see EXPERIMENTS.md P16",
+		mvccHotObjects, mvccFsyncDelay)
+
+	plain, err := runMVCCIdle(idleCommits, 0)
+	if err != nil {
+		return fmt.Errorf("idle baseline: %w", err)
+	}
+	grouped, err := runMVCCIdle(idleCommits, 200*time.Microsecond)
+	if err != nil {
+		return fmt.Errorf("idle grouped: %w", err)
+	}
+	report.Idle = mvccIdle{PlainNs: plain, GroupedNs: grouped, Ratio: float64(grouped) / float64(plain)}
+	fmt.Printf("  idle commit: plain %v, with window %v (%.2fx)\n",
+		time.Duration(plain), time.Duration(grouped), report.Idle.Ratio)
+
+	var base float64
+	for _, g := range []int{1, 2, 4, 8} {
+		r, err := runMVCCOnce(g, commits)
+		if err != nil {
+			return fmt.Errorf("g=%d: %w", g, err)
+		}
+		if g == 1 {
+			base = r.CommitsSec
+		}
+		if base > 0 {
+			r.Speedup = r.CommitsSec / base
+		}
+		fmt.Printf("  g=%d  %7.0f commits/s (%.2fx)  %5.2f commits/fsync  %d snapshot reads  %d detached\n",
+			g, r.CommitsSec, r.Speedup, r.CommitsPerFsync, r.SnapshotReads, r.Detached)
+		report.Results = append(report.Results, r)
+	}
+
+	// Acceptance gates (ISSUE 6): fail loudly rather than write a report
+	// that silently misses the targets.
+	for _, r := range report.Results {
+		if r.Goroutines == 4 && r.Speedup < 2 {
+			return fmt.Errorf("4-committer speedup %.2fx below the 2x target", r.Speedup)
+		}
+		if r.Goroutines == 8 && r.CommitsPerFsync < 4 {
+			return fmt.Errorf("8-committer commits/fsync %.2f below the 4.0 target", r.CommitsPerFsync)
+		}
+	}
+	if report.Idle.Ratio > 1.30 {
+		return fmt.Errorf("idle commit latency with window %.2fx the plain path; the window must not tax the uncontended case", report.Idle.Ratio)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -231,6 +231,13 @@ commands: .classes .rules .events .objects <class> .names .indexes .stats
 		}
 		fmt.Printf("storage: faults=%d evictions=%d checkpoints=%d wal=%dB\n",
 			s.Storage.Faults, s.Storage.Evictions, s.Storage.Checkpoints, s.Storage.WALBytes)
+		perFsync := float64(0)
+		if s.Storage.CommitGroups > 0 {
+			perFsync = float64(s.Storage.GroupedCommits) / float64(s.Storage.CommitGroups)
+		}
+		fmt.Printf("mvcc: watermark=%d snapshots=%d versions=%d prunes=%d maxchain=%d commits/fsync=%.2f\n",
+			s.Storage.WatermarkLSN, s.Storage.SnapshotsActive, s.Storage.VersionsLive,
+			s.Storage.VersionPrunes, s.Storage.MaxChainDepth, perFsync)
 		fmt.Printf("txns: started=%d committed=%d aborted=%d deadlocks=%d\n",
 			s.Txn.Started, s.Txn.Committed, s.Txn.Aborted, s.Txn.Deadlocks)
 	case ".metrics":

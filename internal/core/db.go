@@ -90,6 +90,14 @@ type Database struct {
 	// skip instead of queueing).
 	evicting atomic.Bool
 
+	// MVCC coordination (see mvcc.go): lsn allocates commit LSNs and
+	// tracks the stable (fully installed) prefix, snaps registers active
+	// read-only snapshots, lastSweep dedups post-commit chain sweeps by
+	// the watermark they ran at.
+	lsn       lsnTracker
+	snaps     snapRegistry
+	lastSweep atomic.Uint64
+
 	// catMu guards the heap-class catalog: OID → class name for every
 	// committed persistent object, mirroring the heap's object table so
 	// population-wide operations (InstancesOf, Dump, integrity checks,

@@ -314,7 +314,7 @@ func (p *detachedPool) snapshot() (queued, inflight int) {
 func (db *Database) execDetachedPooled(f *rule.Firing) {
 	dtx := db.Begin()
 	dtx.fromDetachedWorker = true
-	if err := db.runFiring(dtx, f, 1); err != nil {
+	if err := db.runDetachedFiring(dtx, f, 1); err != nil {
 		db.Abort(dtx)
 		return
 	}

@@ -34,9 +34,25 @@ import (
 
 	"sentinel/internal/object"
 	"sentinel/internal/oid"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
 )
 
 const dirShardCount = 64
+
+// lsnNone marks an entry whose creating transaction has not committed yet:
+// no snapshot may see it, and it sorts above every real LSN so the eviction
+// watermark check wires it automatically.
+const lsnNone = ^uint64(0)
+
+// objVersion is one archived committed image in an entry's version chain:
+// the state the object had while `lsn` was its current commit. Chains are
+// kept in descending LSN order; fields are immutable once pushed.
+type objVersion struct {
+	lsn    uint64
+	class  *schema.Class
+	fields []value.Value
+}
 
 type dirEntry struct {
 	obj  *object.Object
@@ -47,11 +63,32 @@ type dirEntry struct {
 	dirty   bool
 	noEvict bool
 	tomb    bool
+
+	// MVCC state, guarded by the owning shard's mutex.
+	//
+	// lsn is the commit LSN of obj's current committed state: 0 means
+	// "ancient" (faulted in from the heap, recovered, or bootstrapped —
+	// older than every possible snapshot), lsnNone means the creating
+	// transaction is still uncommitted. writerActive is set by the first
+	// in-place mutation of an uncommitted writer (which archives the
+	// committed image into versions first) and cleared at install/abort;
+	// while it is set, snapshot readers serve from the chain head instead
+	// of obj. delLSN is the commit LSN of a committed delete: the entry is
+	// retained (tombstoned) until the watermark passes it, so older
+	// snapshots still see the object.
+	lsn          uint64
+	writerActive bool
+	versions     []objVersion
+	delLSN       uint64
 }
 
 type dirShard struct {
 	mu   sync.RWMutex
 	objs map[oid.OID]*dirEntry
+	// chained tracks entries carrying MVCC baggage (a version chain or a
+	// committed delete awaiting the watermark), so prune sweeps touch only
+	// them instead of scanning the whole shard.
+	chained map[oid.OID]bool
 }
 
 // objDirectory is the sharded resident-object directory.
@@ -59,12 +96,19 @@ type objDirectory struct {
 	shards   [dirShardCount]dirShard
 	resident atomic.Int64 // entries in the directory, tombstones included
 	hand     atomic.Uint32
+
+	// liveVersions counts archived versions across all chains (the
+	// sentinel_versions_live gauge); chainedCount counts entries with MVCC
+	// baggage so per-commit sweeps can skip the directory scan entirely.
+	liveVersions atomic.Int64
+	chainedCount atomic.Int64
 }
 
 func newObjDirectory() *objDirectory {
 	d := &objDirectory{}
 	for i := range d.shards {
 		d.shards[i].objs = make(map[oid.OID]*dirEntry)
+		d.shards[i].chained = make(map[oid.OID]bool)
 	}
 	return d
 }
@@ -129,9 +173,12 @@ func (d *objDirectory) unpin(id oid.OID) {
 }
 
 // insert adds a new entry (replacing any existing one, which callers avoid
-// except for crash-recovery rebuilds). pins is the initial pin count.
-func (d *objDirectory) insert(id oid.OID, o *object.Object, pins int32, dirty, noEvict bool) {
-	e := &dirEntry{obj: o, dirty: dirty, noEvict: noEvict}
+// except for crash-recovery rebuilds). pins is the initial pin count. lsn is
+// the entry's commit LSN: lsnNone for an uncommitted create (invisible to
+// snapshots until commitCreate), 0 for recovered/bootstrapped objects
+// (visible to every snapshot).
+func (d *objDirectory) insert(id oid.OID, o *object.Object, pins int32, dirty, noEvict bool, lsn uint64) {
+	e := &dirEntry{obj: o, dirty: dirty, noEvict: noEvict, lsn: lsn}
 	e.pins.Store(pins)
 	e.ref.Store(true)
 	s := d.shard(id)
@@ -192,11 +239,14 @@ func (d *objDirectory) pinOrInsert(id oid.OID, o *object.Object) (cur *object.Ob
 	return o, false
 }
 
-// remove deletes the entry outright (committed deletes, aborted creates).
+// remove deletes the entry outright (committed deletes past the watermark,
+// aborted creates), dropping any version chain with it.
 func (d *objDirectory) remove(id oid.OID) {
 	s := d.shard(id)
 	s.mu.Lock()
-	if _, ok := s.objs[id]; ok {
+	if e, ok := s.objs[id]; ok {
+		d.liveVersions.Add(int64(-len(e.versions)))
+		d.unchainLocked(s, id)
 		delete(s.objs, id)
 		d.resident.Add(-1)
 	}
@@ -228,17 +278,41 @@ func (d *objDirectory) setTomb(id oid.OID, tomb bool) {
 }
 
 // replaceObj swaps the resident pointer in place (schema evolution), marks
-// the entry dirty, and returns the previous object and dirty bit for undo.
-func (d *objDirectory) replaceObj(id oid.OID, o *object.Object, dirty bool) (prev *object.Object, wasDirty bool) {
+// the entry dirty, and archives the committed image into the version chain —
+// an evolve is an ordinary MVCC write, so snapshots older than its commit
+// keep seeing the pre-evolve class and fields. Returns the undo state
+// (undoReplaceObj reverses it on abort).
+func (d *objDirectory) replaceObj(id oid.OID, o *object.Object, dirty bool) (prev *object.Object, wasDirty, pushed bool) {
 	s := d.shard(id)
 	s.mu.Lock()
 	if e := s.objs[id]; e != nil {
 		prev, wasDirty = e.obj, e.dirty
+		if !e.writerActive && e.lsn != lsnNone {
+			e.versions = prependVersion(e.versions, objVersion{lsn: e.lsn, class: prev.Class(), fields: prev.CopyFields()})
+			e.writerActive = true
+			pushed = true
+			d.chainLocked(s, id)
+			d.liveVersions.Add(1)
+		}
 		e.obj = o
 		e.dirty = dirty
 	}
 	s.mu.Unlock()
-	return prev, wasDirty
+	return prev, wasDirty, pushed
+}
+
+// undoReplaceObj reverses replaceObj when the evolving transaction aborts.
+func (d *objDirectory) undoReplaceObj(id oid.OID, prev *object.Object, wasDirty, pushed bool) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil {
+		e.obj = prev
+		e.dirty = wasDirty
+		if pushed {
+			d.popVersionLocked(s, id, e)
+		}
+	}
+	s.mu.Unlock()
 }
 
 // residentCount returns the number of visible (non-tombstoned) residents.
@@ -270,12 +344,353 @@ func (d *objDirectory) forEach(fn func(id oid.OID, o *object.Object, tomb bool))
 	}
 }
 
+// --- MVCC version chains -------------------------------------------------
+//
+// The snapshot-read protocol: a reader acquires a snapshot LSN S from the
+// registry (S ≥ watermark by construction) and resolves each object through
+// snapshotGet. Writers archive the committed image into the chain under the
+// shard WRITE lock before their first in-place mutation (pushVersion), so a
+// reader that cloned obj under the shard read lock raced no mutation, and a
+// reader that finds writerActive set serves from the immutable chain head.
+// Commit installs the new LSN (commitWrite/commitCreate/commitDelete) and
+// prunes; abort pops the pushed version after undo closures restored the
+// fields. Versions v_0 > v_1 > … cover half-open LSN ranges [v_i.lsn, n_i)
+// where n_i is the next-newer image's LSN (n_0 = e.lsn); v_i is dead once
+// n_i ≤ watermark, because every current and future snapshot S ≥ watermark
+// then resolves to a newer image.
+
+// prependVersion inserts v at the head (newest-first order).
+func prependVersion(vs []objVersion, v objVersion) []objVersion {
+	vs = append(vs, objVersion{})
+	copy(vs[1:], vs)
+	vs[0] = v
+	return vs
+}
+
+// chainLocked / unchainLocked maintain the shard's set of entries carrying
+// MVCC baggage plus the global chainedCount. Shard mutex held.
+func (d *objDirectory) chainLocked(s *dirShard, id oid.OID) {
+	if !s.chained[id] {
+		s.chained[id] = true
+		d.chainedCount.Add(1)
+	}
+}
+
+func (d *objDirectory) unchainLocked(s *dirShard, id oid.OID) {
+	if s.chained[id] {
+		delete(s.chained, id)
+		d.chainedCount.Add(-1)
+	}
+}
+
+// popVersionLocked drops the chain head and ends the writer window: the
+// abort path, called after undo closures restored obj's fields to exactly
+// the state the popped version archived. Shard mutex held.
+func (d *objDirectory) popVersionLocked(s *dirShard, id oid.OID, e *dirEntry) {
+	if len(e.versions) == 0 {
+		return
+	}
+	copy(e.versions, e.versions[1:])
+	e.versions[len(e.versions)-1] = objVersion{}
+	e.versions = e.versions[:len(e.versions)-1]
+	e.writerActive = false
+	d.liveVersions.Add(-1)
+	if len(e.versions) == 0 && e.delLSN == 0 {
+		d.unchainLocked(s, id)
+	}
+}
+
+// pushVersion archives the committed image of id into its version chain
+// before the first in-place mutation by an uncommitted writer, and reports
+// whether it pushed (false when the entry is absent, a version is already
+// pushed for this writer window, or the creating transaction has not
+// committed — there is no committed image to archive). The shard write lock
+// taken here is the happens-before edge against snapshot readers: once it
+// returns, readers see writerActive and serve from the immutable chain head,
+// so the caller may mutate obj's fields without further coordination.
+func (d *objDirectory) pushVersion(id oid.OID) bool {
+	s := d.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.objs[id]
+	if e == nil || e.writerActive || e.lsn == lsnNone {
+		return false
+	}
+	e.versions = prependVersion(e.versions, objVersion{lsn: e.lsn, class: e.obj.Class(), fields: e.obj.CopyFields()})
+	e.writerActive = true
+	d.chainLocked(s, id)
+	d.liveVersions.Add(1)
+	return true
+}
+
+// popVersion reverses pushVersion on abort.
+func (d *objDirectory) popVersion(id oid.OID) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil {
+		d.popVersionLocked(s, id, e)
+	}
+	s.mu.Unlock()
+}
+
+// commitWrite installs lsn as the entry's current commit LSN, ends the
+// in-place writer window, and opportunistically prunes the chain against
+// watermark w. Returns the number of versions pruned.
+func (d *objDirectory) commitWrite(id oid.OID, lsn, w uint64) int {
+	s := d.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.objs[id]
+	if e == nil {
+		return 0
+	}
+	e.writerActive = false
+	e.lsn = lsn
+	n := d.pruneVersionsLocked(e, w)
+	if n > 0 {
+		d.liveVersions.Add(int64(-n))
+	}
+	if len(e.versions) == 0 && e.delLSN == 0 {
+		d.unchainLocked(s, id)
+	}
+	return n
+}
+
+// commitCreate makes an uncommitted create visible to snapshots at lsn.
+func (d *objDirectory) commitCreate(id oid.OID, lsn uint64) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil && e.lsn == lsnNone {
+		e.lsn = lsn
+	}
+	s.mu.Unlock()
+}
+
+// commitDelete records a committed delete at lsn. The tombstoned entry stays
+// resident until the watermark passes lsn so older snapshots can still read
+// the object. The final committed image is archived into the chain first
+// (when no writer window already did): e.lsn moves to the delete's LSN, so a
+// snapshot between the last write and the delete must find the image there.
+// A create that never committed (lsn == lsnNone) archives nothing — no
+// snapshot can ever see it.
+func (d *objDirectory) commitDelete(id oid.OID, lsn uint64) {
+	s := d.shard(id)
+	s.mu.Lock()
+	if e := s.objs[id]; e != nil {
+		if !e.writerActive && e.lsn != lsnNone {
+			e.versions = prependVersion(e.versions, objVersion{lsn: e.lsn, class: e.obj.Class(), fields: e.obj.CopyFields()})
+			d.liveVersions.Add(1)
+		}
+		e.writerActive = false
+		e.lsn = lsn
+		e.delLSN = lsn
+		d.chainLocked(s, id)
+	}
+	s.mu.Unlock()
+}
+
+// dropDeleted removes a committed-deleted entry once the watermark has
+// passed its delete LSN; before that the entry (and its chain) must stay for
+// older snapshots. Reports whether the entry is gone from the directory.
+func (d *objDirectory) dropDeleted(id oid.OID, w uint64) bool {
+	s := d.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.objs[id]
+	if e == nil {
+		return true
+	}
+	if e.delLSN == 0 || e.delLSN > w {
+		return false
+	}
+	d.liveVersions.Add(int64(-len(e.versions)))
+	d.unchainLocked(s, id)
+	delete(s.objs, id)
+	d.resident.Add(-1)
+	return true
+}
+
+// pruneVersionsLocked drops versions dead under watermark w and returns how
+// many were dropped. Version v_i is dead once the next-newer image's LSN
+// n_i ≤ w (n_0 = e.lsn); deadness is monotone down the chain, so the scan
+// cuts at the first dead index. While a writer window is open, v_0 is the
+// only committed image of the object and is kept unconditionally (e.lsn
+// still names the pre-push LSN then, which would wrongly condemn it).
+// Shard mutex held; caller adjusts liveVersions.
+func (d *objDirectory) pruneVersionsLocked(e *dirEntry, w uint64) int {
+	if len(e.versions) == 0 {
+		return 0
+	}
+	next := e.lsn
+	start := 0
+	if e.writerActive {
+		next = e.versions[0].lsn
+		start = 1
+	}
+	cut := len(e.versions)
+	for i := start; i < len(e.versions); i++ {
+		if next <= w {
+			cut = i
+			break
+		}
+		next = e.versions[i].lsn
+	}
+	pruned := len(e.versions) - cut
+	if pruned > 0 {
+		for j := cut; j < len(e.versions); j++ {
+			e.versions[j] = objVersion{}
+		}
+		e.versions = e.versions[:cut]
+	}
+	return pruned
+}
+
+// pruneChains sweeps every chained entry against watermark w: dead versions
+// are dropped, and committed-deleted entries whose delete LSN the watermark
+// has passed are removed outright. Returns versions pruned and entries
+// dropped. Only entries in the per-shard chained sets are visited, so the
+// sweep is O(MVCC baggage), not O(residents).
+func (d *objDirectory) pruneChains(w uint64) (pruned, dropped int) {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		if len(s.chained) == 0 {
+			s.mu.Unlock()
+			continue
+		}
+		for id := range s.chained {
+			e := s.objs[id]
+			if e == nil {
+				d.unchainLocked(s, id)
+				continue
+			}
+			if n := d.pruneVersionsLocked(e, w); n > 0 {
+				d.liveVersions.Add(int64(-n))
+				pruned += n
+			}
+			if e.delLSN != 0 && e.delLSN <= w {
+				d.liveVersions.Add(int64(-len(e.versions)))
+				pruned += len(e.versions)
+				d.unchainLocked(s, id)
+				delete(s.objs, id)
+				d.resident.Add(-1)
+				dropped++
+				continue
+			}
+			if len(e.versions) == 0 && e.delLSN == 0 && !e.writerActive {
+				d.unchainLocked(s, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return pruned, dropped
+}
+
+// snapStatus classifies a snapshot read against the directory.
+type snapStatus int
+
+const (
+	snapOK        snapStatus = iota // object returned
+	snapMiss                        // no entry — caller may fault from the heap
+	snapGone                        // deleted at or before the snapshot
+	snapInvisible                   // created after the snapshot
+)
+
+// snapshotGet resolves id as of snapshot LSN snap. The current image is
+// served (cloned under the shard read lock) only when no writer window is
+// open and its commit LSN is visible; otherwise the chain is walked for the
+// newest version at or below snap. snapInvisible deliberately does NOT fall
+// back to the heap: an entry exists, so the heap image (if any) belongs to a
+// state the snapshot must not observe.
+func (d *objDirectory) snapshotGet(id oid.OID, snap uint64) (*object.Object, snapStatus) {
+	s := d.shard(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e := s.objs[id]
+	if e == nil {
+		return nil, snapMiss
+	}
+	if e.delLSN != 0 && e.delLSN <= snap {
+		return nil, snapGone
+	}
+	if !e.writerActive && e.lsn != lsnNone && e.lsn <= snap {
+		e.ref.Store(true)
+		return e.obj.Clone(), snapOK
+	}
+	for _, v := range e.versions {
+		if v.lsn <= snap {
+			return object.Materialize(id, v.class, v.fields), snapOK
+		}
+	}
+	return nil, snapInvisible
+}
+
+// forEachSnapshot calls fn for EVERY directory entry under the shard read
+// locks: c is the class of the version visible at snapshot LSN snap, or nil
+// when the entry is invisible there (deleted at or before snap, or created
+// after it). Invisible entries are still reported so callers merging with
+// the heap catalog know the directory owns the id — a nil-class id must not
+// be resurrected from its (post-snapshot) heap image. fn must not re-enter
+// the directory or block; callers materialize objects via snapshotGet.
+func (d *objDirectory) forEachSnapshot(snap uint64, fn func(id oid.OID, c *schema.Class)) {
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		for id, e := range s.objs {
+			fn(id, e.visibleClassLocked(snap))
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// visibleClassLocked returns the class of the version of e visible at snap
+// (nil when invisible). Shard mutex held.
+func (e *dirEntry) visibleClassLocked(snap uint64) *schema.Class {
+	if e.delLSN != 0 && e.delLSN <= snap {
+		return nil
+	}
+	if !e.writerActive && e.lsn != lsnNone && e.lsn <= snap {
+		return e.obj.Class()
+	}
+	for _, v := range e.versions {
+		if v.lsn <= snap {
+			return v.class
+		}
+	}
+	return nil
+}
+
+// maxChainDepth reports the longest version chain currently live (the
+// Snapshot.Storage stat); it visits only chained entries.
+func (d *objDirectory) maxChainDepth() int {
+	depth := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.RLock()
+		for id := range s.chained {
+			if e := s.objs[id]; e != nil && len(e.versions) > depth {
+				depth = len(e.versions)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return depth
+}
+
 // evictDownTo runs the second-chance clock over the shards until the
 // resident count drops to target (or two full sweeps prove nothing more is
-// evictable: everything left is pinned, dirty, wired, or tombstoned). It
-// returns the evicted OIDs so the caller can drop their consumer-cache
-// entries outside the shard locks.
-func (d *objDirectory) evictDownTo(target int64) []oid.OID {
+// evictable: everything left is pinned, dirty, wired, tombstoned, or MVCC-
+// protected). It returns the evicted OIDs so the caller can drop their
+// consumer-cache entries outside the shard locks.
+//
+// w is the MVCC watermark (min of the oldest active snapshot and the stable
+// LSN). An entry is only evictable when its whole MVCC history collapses to
+// the heap image: no version chain, no pending delete, no active writer,
+// and a commit LSN at or below w — an entry whose current image postdates an
+// active snapshot must stay resident, because a fault-in would serve that
+// too-new image to the older snapshot (lsnNone sorts above every w, wiring
+// uncommitted creates automatically).
+func (d *objDirectory) evictDownTo(target int64, w uint64) []oid.OID {
 	var evicted []oid.OID
 	for sweep := 0; sweep < 2*dirShardCount && d.resident.Load() > target; sweep++ {
 		s := &d.shards[d.hand.Add(1)%dirShardCount]
@@ -286,6 +701,9 @@ func (d *objDirectory) evictDownTo(target int64) []oid.OID {
 			}
 			if e.tomb || e.noEvict || e.dirty || e.pins.Load() != 0 {
 				continue
+			}
+			if e.writerActive || len(e.versions) > 0 || e.delLSN != 0 || e.lsn > w {
+				continue // MVCC-protected (see above)
 			}
 			if e.ref.Swap(false) {
 				continue // second chance

@@ -107,6 +107,7 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 	type migration struct {
 		prev     *object.Object
 		wasDirty bool
+		pushed   bool // a version was archived; pop it on abort
 	}
 	prevState := make(map[oid.OID]migration, len(migrated))
 	for _, id := range migrated {
@@ -124,8 +125,8 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 				}
 			}
 		}
-		prev, wasDirty := db.dir.replaceObj(id, newObj, true)
-		prevState[id] = migration{prev: prev, wasDirty: wasDirty}
+		prev, wasDirty, pushed := db.dir.replaceObj(id, newObj, true)
+		prevState[id] = migration{prev: prev, wasDirty: wasDirty, pushed: pushed}
 		t.dirty[id] = true
 	}
 
@@ -155,7 +156,7 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 	t.inner.OnUndo(func() {
 		db.reg.Restore(oldCls)
 		for id, m := range prevState {
-			db.dir.replaceObj(id, m.prev, m.wasDirty)
+			db.dir.undoReplaceObj(id, m.prev, m.wasDirty, m.pushed)
 		}
 		db.bumpConsumerEpoch()
 	})

@@ -215,7 +215,9 @@ func (f *frame) Instances(class string) ([]oid.OID, error) {
 	if f.db.reg.Lookup(class) == nil {
 		return nil, fmt.Errorf("core: unknown class %q", class)
 	}
-	return f.db.InstancesOf(class), nil
+	// Snapshot frames (detached conditions under SnapshotConditions) scan
+	// at their snapshot LSN; ordinary frames see the racy live union.
+	return f.db.InstancesOfAt(f.tx, class), nil
 }
 
 // LookupByAttr backs the lookup(...) builtin: index-accelerated equality

@@ -32,6 +32,14 @@ type coreMetrics struct {
 	faults, evictions, checkpoints  *obs.Counter
 	walAppends, walFsyncs, walBytes *obs.Counter
 
+	// MVCC / group-commit instruments. commitGroups counts group-commit
+	// flushes, groupedCommits the commits they carried (their ratio is the
+	// commits-per-fsync batching factor); commitGroupH records the size
+	// distribution (the observed "duration" is the group size, not a time).
+	// versionPrunes counts archived versions reclaimed by the watermark.
+	commitGroups, groupedCommits, versionPrunes *obs.Counter
+	commitGroupH                                *obs.Histogram
+
 	// Detached executor pool counters. detachedWorkerFirings has one
 	// counter per pool worker (registered only with AsyncDetached, when
 	// the pool size is known).
@@ -80,6 +88,10 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 		walFsyncs:   reg.Counter("sentinel_wal_fsyncs_total", "physical WAL fsyncs (group commit shares them)"),
 		walBytes:    reg.Counter("sentinel_wal_bytes_appended_total", "bytes appended to the WAL"),
 
+		commitGroups:   reg.Counter("sentinel_commit_groups_total", "group-commit flushes (one write + at most one fsync each)"),
+		groupedCommits: reg.Counter("sentinel_grouped_commits_total", "commits carried by group-commit flushes"),
+		versionPrunes:  reg.Counter("sentinel_version_prunes_total", "archived MVCC versions reclaimed by the watermark"),
+
 		detachedFirings:      reg.Counter("sentinel_detached_firings_total", "detached firings executed by the worker pool"),
 		detachedStalls:       reg.Counter("sentinel_detached_conflict_stalls_total", "detached firings enqueued behind a conflicting predecessor"),
 		detachedBackpressure: reg.Counter("sentinel_detached_backpressure_waits_total", "commits that blocked on a full detached queue"),
@@ -91,6 +103,8 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 		fsyncH:  reg.Histogram("sentinel_wal_fsync_ns", "WAL fsync latency"),
 		appendH: reg.Histogram("sentinel_wal_append_ns", "WAL append write latency"),
 		faultH:  reg.Histogram("sentinel_fault_in_ns", "object fault-in (read + decode) latency"),
+
+		commitGroupH: reg.Histogram("sentinel_commit_group_size", "commits coalesced per group-commit flush (value is a count, not nanoseconds)"),
 	}
 
 	if opts.AsyncDetached {
@@ -146,6 +160,18 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 	})
 	reg.Gauge("sentinel_wal_size_bytes", "current write-ahead-log size", func() int64 {
 		return db.WALSize()
+	})
+	reg.Gauge("sentinel_versions_live", "archived MVCC versions across all chains", func() int64 {
+		return db.dir.liveVersions.Load()
+	})
+	reg.Gauge("sentinel_snapshots_active", "registered read-only snapshots", func() int64 {
+		return int64(db.snaps.activeCount())
+	})
+	reg.Gauge("sentinel_mvcc_watermark_lsn", "MVCC low-watermark (min of oldest snapshot and stable LSN)", func() int64 {
+		return int64(db.watermark())
+	})
+	reg.Gauge("sentinel_version_chain_depth_max", "longest live version chain", func() int64 {
+		return int64(db.dir.maxChainDepth())
 	})
 	reg.Gauge("sentinel_txns_started", "transactions started", func() int64 {
 		return int64(db.tm.Stats().Started)

@@ -25,8 +25,18 @@ type Options struct {
 	// SyncOnCommit forces the WAL to disk at every commit. Default false:
 	// commits are durable only up to the last fsync/checkpoint, like
 	// group-commit systems trading tail durability for throughput. Only
-	// meaningful with Dir set.
+	// meaningful with Dir set. Concurrent committers coalesce through the
+	// WAL's group-commit protocol, sharing one write + fsync.
 	SyncOnCommit bool
+	// GroupCommitWindow bounds the extra time a group-commit leader waits
+	// for more committers to join its batch before flushing, and only when
+	// other commits are already in flight — an uncontended commit always
+	// flushes immediately at single-commit latency. 0 (default) disables
+	// the explicit window; batching still happens naturally while a flush
+	// is in progress (followers queue behind the leader's fsync). Must not
+	// be negative, and requires SyncOnCommit (without per-commit fsyncs
+	// there is nothing worth waiting to share).
+	GroupCommitWindow time.Duration
 	// PoolPages is the heap buffer-pool capacity in pages. 0 means the
 	// heap default (256). Must not be negative.
 	PoolPages int
@@ -70,6 +80,15 @@ type Options struct {
 	// (tests, shutdown; Close drains automatically). Default false:
 	// deterministic post-commit execution.
 	AsyncDetached bool
+	// SnapshotConditions evaluates detached-rule conditions against a
+	// read-only MVCC snapshot instead of inside the firing's own
+	// transaction: the condition sees a consistent committed state (at or
+	// after the triggering commit) without taking object locks, so
+	// condition evaluation never blocks or deadlocks with concurrent
+	// writers. The action, when the condition holds, still runs in the
+	// firing's own locking transaction. Default false: conditions lock,
+	// as before.
+	SnapshotConditions bool
 	// DetachedWorkers sizes the detached-rule executor pool used with
 	// AsyncDetached: that many goroutines execute detached firings
 	// concurrently, with a conflict scheduler (keyed on each firing's
@@ -164,6 +183,12 @@ func (o Options) Validate() error {
 	}
 	if o.DetachedWorkers > 0 && !o.AsyncDetached {
 		errs = append(errs, errors.New("DetachedWorkers is set but AsyncDetached is false: the worker pool only runs detached rules asynchronously; set AsyncDetached or drop DetachedWorkers"))
+	}
+	if o.GroupCommitWindow < 0 {
+		errs = append(errs, fmt.Errorf("GroupCommitWindow is %v; must be >= 0 (0 disables the wait window)", o.GroupCommitWindow))
+	}
+	if o.GroupCommitWindow > 0 && !o.SyncOnCommit {
+		errs = append(errs, errors.New("GroupCommitWindow is set but SyncOnCommit is false: without per-commit fsyncs there is no fsync to share; set SyncOnCommit or drop the window"))
 	}
 	if _, err := rule.ParseStrategy(o.Strategy); err != nil {
 		errs = append(errs, err)

@@ -122,7 +122,7 @@ func (db *Database) maybeEvict() {
 		return
 	}
 	target := max - max/8
-	evicted := db.dir.evictDownTo(target)
+	evicted := db.dir.evictDownTo(target, db.watermark())
 	db.evicting.Store(false)
 	if len(evicted) == 0 {
 		return

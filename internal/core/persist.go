@@ -62,6 +62,15 @@ func (db *Database) openStorage() error {
 			}
 		},
 	)
+	// Group-commit instrumentation: one hook call per flush with the number
+	// of commits it coalesced (the histogram's observed value is that count,
+	// not a latency).
+	log.SetGroupHook(func(commits int) {
+		db.met.commitGroups.Inc()
+		db.met.groupedCommits.Add(uint64(commits))
+		db.met.commitGroupH.Observe(time.Duration(commits))
+	})
+	log.SetGroupWindow(db.opts.GroupCommitWindow)
 
 	// Redo recovery. First scan the log; any logged work means the side
 	// index cannot be trusted (a crash may have left it at the previous
@@ -224,7 +233,8 @@ func (db *Database) loadSystemObjects() error {
 				return fmt.Errorf("core: materializing %s instance %s: %w", cls, id, err)
 			}
 			sysObjs[id] = o
-			db.dir.insert(id, o, 0, false, true)
+			// Recovered images commit at LSN 0: older than any snapshot.
+			db.dir.insert(id, o, 0, false, true, 0)
 		}
 	}
 

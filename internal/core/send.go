@@ -214,6 +214,27 @@ func clearFirings(fs []rule.Firing) {
 // caller's batch so the Firing (and its Detection) is not copied to the
 // heap per execution; it is only read.
 func (db *Database) runFiring(t *Tx, f *rule.Firing, depth int) error {
+	return db.runFiringWith(t, nil, f, depth)
+}
+
+// runDetachedFiring evaluates one detached firing. With
+// Options.SnapshotConditions the condition runs against a read-only MVCC
+// snapshot (a consistent committed state at or after the triggering
+// commit, lock-free); the action, when the condition holds, still runs in
+// the firing's own locking transaction t.
+func (db *Database) runDetachedFiring(t *Tx, f *rule.Firing, depth int) error {
+	if !db.opts.SnapshotConditions || f.Rule.Condition == nil {
+		return db.runFiring(t, f, depth)
+	}
+	condTx := db.BeginSnapshot()
+	defer db.Abort(condTx) // releases the snapshot; nothing to roll back
+	return db.runFiringWith(t, condTx, f, depth)
+}
+
+// runFiringWith is runFiring with an optional snapshot transaction for the
+// condition: when condTx is non-nil the condition's frame reads through it
+// (self included), and the frame flips back to t before the action runs.
+func (db *Database) runFiringWith(t, condTx *Tx, f *rule.Firing, depth int) error {
 	if depth > db.opts.MaxCascadeDepth {
 		return fmt.Errorf("core: rule cascade exceeded depth %d at rule %s (cycle?)", db.opts.MaxCascadeDepth, f.Rule.Name())
 	}
@@ -240,8 +261,22 @@ func (db *Database) runFiring(t *Tx, f *rule.Firing, depth int) error {
 	ok := true
 	var err error
 	if f.Rule.Condition != nil {
+		if condTx != nil {
+			// Evaluate against the snapshot: reads through the frame resolve
+			// at condTx's LSN, and self is the snapshot's materialization of
+			// the source (nil when it is not visible there).
+			so, serr := db.resolveSnapshot(f.Detection.Last().Source, condTx.snapLSN)
+			if serr != nil {
+				return serr
+			}
+			condTx.snapReads[f.Detection.Last().Source] = so
+			fr.tx, fr.self = condTx, so
+		}
 		m.conditionsRun.Inc()
 		ok, err = f.Rule.Condition(fr, f.Detection)
+		if condTx != nil {
+			fr.tx, fr.self = t, selfObj
+		}
 	}
 	var condEnd time.Time
 	if timed {

@@ -56,12 +56,21 @@ type DetachedStats struct {
 	BackpressureWaits uint64 // commits that blocked on a full queue
 }
 
-// StorageStats counts paging, checkpointing and WAL activity.
+// StorageStats counts paging, checkpointing, WAL, MVCC and group-commit
+// activity.
 type StorageStats struct {
 	Faults      uint64 // objects decoded from the heap on demand
 	Evictions   uint64 // residents reclaimed by the clock sweep
 	Checkpoints uint64 // checkpoints taken (explicit + automatic)
 	WALBytes    int64  // current write-ahead-log size
+
+	WatermarkLSN    uint64 // MVCC low-watermark (min of oldest snapshot and stable LSN)
+	SnapshotsActive int    // registered read-only snapshots
+	VersionsLive    int64  // archived versions across all chains
+	VersionPrunes   uint64 // archived versions reclaimed by the watermark
+	MaxChainDepth   int    // longest live version chain
+	CommitGroups    uint64 // group-commit flushes
+	GroupedCommits  uint64 // commits carried by those flushes (ratio = commits per fsync)
 }
 
 // Stats returns a snapshot of the runtime counters, grouped by subsystem.
@@ -96,6 +105,14 @@ func (db *Database) Stats() Snapshot {
 			Evictions:   m.evictions.Value(),
 			Checkpoints: m.checkpoints.Value(),
 			WALBytes:    db.WALSize(),
+
+			WatermarkLSN:    db.watermark(),
+			SnapshotsActive: db.snaps.activeCount(),
+			VersionsLive:    db.dir.liveVersions.Load(),
+			VersionPrunes:   m.versionPrunes.Value(),
+			MaxChainDepth:   db.dir.maxChainDepth(),
+			CommitGroups:    m.commitGroups.Value(),
+			GroupedCommits:  m.groupedCommits.Value(),
 		},
 		Txn: db.tm.Stats(),
 	}

@@ -77,6 +77,14 @@ type Tx struct {
 	// (see detached.go).
 	fromDetachedWorker bool
 
+	// Snapshot state (BeginSnapshot, mvcc.go). snapID != 0 marks a
+	// read-only snapshot transaction reading as of commit LSN snapLSN;
+	// snapReads caches materialized versions per OID so repeated reads
+	// return the same instance.
+	snapID    uint64
+	snapLSN   uint64
+	snapReads map[oid.OID]*object.Object
+
 	finished bool
 }
 
@@ -196,14 +204,22 @@ func (db *Database) doCommit(t *Tx) error {
 	t.resetTouched()
 	if err := t.inner.Commit(durable); err != nil {
 		t.releasePins()
+		t.releaseSnapshot()
 		return err
 	}
 	t.releasePins()
-	// Committed deletes: drop the tombstoned entries for good (the heap
-	// images are already gone via writeCommit).
-	for id := range t.deleted {
-		db.dir.remove(id)
+	t.releaseSnapshot()
+	// Committed deletes: drop the tombstoned entries once no active snapshot
+	// can still read them (usually immediately — the watermark has already
+	// advanced past our commit LSN unless an older snapshot is live, in
+	// which case pruneChains removes them when it releases).
+	if len(t.deleted) > 0 {
+		w := db.watermark()
+		for id := range t.deleted {
+			db.dir.dropDeleted(id, w)
+		}
 	}
+	db.maybeSweepChains()
 	db.maybeAutoCheckpoint()
 	// Create-heavy transactions grow residency without faulting; commit is
 	// the point where their entries turn clean and evictable.
@@ -238,7 +254,7 @@ func (db *Database) doCommit(t *Tx) error {
 // (synchronous mode: AsyncDetached off).
 func (db *Database) execDetached(f rule.Firing) {
 	dtx := db.Begin()
-	if err := db.runFiring(dtx, &f, 1); err != nil {
+	if err := db.runDetachedFiring(dtx, &f, 1); err != nil {
 		db.Abort(dtx)
 		return
 	}
@@ -284,6 +300,7 @@ func (db *Database) Abort(t *Tx) {
 	t.resetTouched()
 	t.inner.Abort()
 	t.releasePins()
+	t.releaseSnapshot()
 	if tr := db.tracer.Load(); tr != nil && tr.TxAbort != nil {
 		tr.TxAbort(obs.TxInfo{Tx: uint64(t.inner.ID())})
 	}
@@ -354,15 +371,35 @@ const (
 // writeCommit assembles and syncs the WAL records for the transaction,
 // applies the write set to the heap, updates the heap-class catalog, and
 // marks the written directory entries clean (eligible for eviction again).
-// No-op for in-memory databases. Runs under ckptMu shared so a concurrent
-// checkpoint cannot truncate the log between our append and the heap apply.
-func (db *Database) writeCommit(t *Tx) error {
-	// Bump versions on touched objects regardless of persistence.
+// Runs under ckptMu shared so a concurrent checkpoint cannot truncate the
+// log between our append and the heap apply.
+//
+// It also drives the MVCC install: a commit LSN is allocated up front and
+// the write set's versions are published at it (installVersions) on
+// success, all before the LSN is marked stable — and all with the 2PL
+// locks still held, since this is the txn layer's durability callback. On
+// a durability error nothing installs; the transaction aborts and its undo
+// closures pop the pushed versions instead.
+func (db *Database) writeCommit(t *Tx) (err error) {
+	if len(t.dirty) == 0 && len(t.created) == 0 && len(t.deleted) == 0 {
+		return nil // read-only (incl. snapshot transactions): nothing to install
+	}
+	// Bump versions on touched objects regardless of persistence. Safe
+	// against concurrent snapshot readers: every dirty object either has an
+	// open writer window (readers serve its chain, not the object) or is an
+	// uncommitted create (invisible to every snapshot).
 	for id := range t.dirty {
 		if o := db.objectByID(id); o != nil {
 			o.BumpVersion()
 		}
 	}
+	c := db.lsn.begin()
+	defer func() {
+		if err == nil {
+			db.installVersions(t, c)
+		}
+		db.lsn.end(c)
+	}()
 	if db.store == nil {
 		return nil
 	}
@@ -428,14 +465,12 @@ func (db *Database) writeCommit(t *Tx) error {
 		return nil
 	}
 	recs = append(recs, wal.Record{Type: wal.RecCommit, Tx: txid})
-	if err := db.log.AppendBatch(recs); err != nil {
+	// Group commit: concurrent committers coalesce their batches into one
+	// write (and, with SyncOnCommit, one shared fsync) through the WAL's
+	// leader/follower protocol. An uncontended commit flushes immediately at
+	// single-commit latency.
+	if err := db.log.CommitBatch(recs, db.opts.SyncOnCommit); err != nil {
 		return err
-	}
-	if db.opts.SyncOnCommit {
-		// Group commit: concurrent committers share one fsync.
-		if err := db.log.SyncBarrier(); err != nil {
-			return err
-		}
 	}
 	// Apply to the heap (redo applied eagerly; the log protects it). The
 	// commit record is last, so every update/delete index is in classes.
@@ -473,6 +508,9 @@ func (db *Database) NewObject(t *Tx, class string, inits map[string]value.Value)
 	if !t.Active() {
 		return oid.Nil, txn.ErrNotActive
 	}
+	if t.snapID != 0 {
+		return oid.Nil, errReadOnlyTx
+	}
 	c := db.reg.Lookup(class)
 	if c == nil {
 		return oid.Nil, fmt.Errorf("core: unknown class %q", class)
@@ -503,7 +541,7 @@ func (db *Database) NewObject(t *Tx, class string, inits map[string]value.Value)
 		pins = 1
 		t.pin(id)
 	}
-	db.dir.insert(id, o, pins, !noEvict, noEvict)
+	db.dir.insert(id, o, pins, !noEvict, noEvict, lsnNone)
 	t.created[id] = true
 	t.inner.OnUndo(func() { db.dir.remove(id) })
 	db.indexObjectAdd(t, o)
@@ -518,6 +556,15 @@ func (db *Database) NewObject(t *Tx, class string, inits map[string]value.Value)
 func (db *Database) lockObject(t *Tx, id oid.OID, mode txn.Mode) (*object.Object, error) {
 	if !t.Active() {
 		return nil, txn.ErrNotActive
+	}
+	// Snapshot transactions take no locks and no pins: reads resolve
+	// through the version chains at the snapshot LSN, so they neither block
+	// writers nor are blocked by them. Write intents are rejected.
+	if t.snapID != 0 {
+		if mode == txn.Exclusive {
+			return nil, errReadOnlyTx
+		}
+		return db.snapshotObject(t, id)
 	}
 	if err := t.inner.Lock(txn.Lockable(id), mode); err != nil {
 		return nil, err
@@ -577,6 +624,12 @@ func (db *Database) lockPinned(t *Tx, id oid.OID) (*object.Object, error) {
 // the directory entry (a dirty entry is wired until writeCommit stores it;
 // the undo hook restores the prior bit because after rollback the fields
 // match the heap image again).
+//
+// It also opens the entry's MVCC writer window: pushVersion archives the
+// committed image into the version chain under the shard write lock BEFORE
+// the caller's first in-place mutation, so snapshot readers either cloned
+// the object while it was still clean or serve the immutable chain head.
+// On abort the version pops after the fields are restored.
 func (t *Tx) recordWrite(o *object.Object) {
 	id := o.ID()
 	if t.dirty[id] || t.created[id] {
@@ -585,15 +638,24 @@ func (t *Tx) recordWrite(o *object.Object) {
 	}
 	t.dirty[id] = true
 	snap := o.CopyFields()
+	pushed := t.db.dir.pushVersion(id)
 	if t.db.pagingEnabled() {
 		wasDirty := t.db.dir.setDirty(id, true)
 		t.inner.OnUndo(func() {
 			o.RestoreFields(snap)
 			t.db.dir.setDirty(id, wasDirty)
+			if pushed {
+				t.db.dir.popVersion(id)
+			}
 		})
 		return
 	}
-	t.inner.OnUndo(func() { o.RestoreFields(snap) })
+	t.inner.OnUndo(func() {
+		o.RestoreFields(snap)
+		if pushed {
+			t.db.dir.popVersion(id)
+		}
+	})
 }
 
 // checkAttrVisible enforces member visibility for an attribute access by

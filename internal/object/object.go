@@ -98,6 +98,23 @@ func (o *Object) RestoreFields(snap []value.Value) {
 	copy(o.fields, snap)
 }
 
+// Clone returns a private copy of the object: same identity, class and
+// version, freshly copied fields. The MVCC snapshot-read path clones the
+// committed resident image so readers never share a field array with
+// in-place writers.
+func (o *Object) Clone() *Object {
+	return &Object{id: o.id, class: o.class, fields: o.CopyFields(), version: o.version}
+}
+
+// Materialize builds an object directly from a class and a field snapshot —
+// the MVCC read path reconstructing an archived version from a directory
+// version chain. The fields are copied; no default initialization or
+// abstract-class checks run, because the snapshot came from a previously
+// valid committed image.
+func Materialize(id oid.OID, c *schema.Class, fields []value.Value) *Object {
+	return &Object{id: id, class: c, fields: append([]value.Value(nil), fields...)}
+}
+
 // String renders the object with its class and public attributes.
 func (o *Object) String() string {
 	s := fmt.Sprintf("%s(%s){", o.class.Name, o.id)

@@ -1,0 +1,517 @@
+package sim
+
+// snapshot.go extends the differential tester to interleaved multi-
+// transaction schedules over the MVCC layer: a seeded pseudo-random script
+// of committing writers (serial and concurrent), aborting writers, object
+// creates/deletes, and read-only snapshots is replayed against the real
+// engine while a naive model tracks the committed state. Every snapshot
+// captures the model's state at open and must keep reading exactly that
+// state — value for value, instance set for instance set — however many
+// commits land after it. A separate racy stress (SnapStress) drives true
+// goroutine interleavings and checks the invariants a snapshot may never
+// break: no torn per-object reads, no half-visible transactions.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"sentinel/internal/core"
+	"sentinel/internal/oid"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+// Snapshot-schedule step kinds.
+const (
+	snapWrite    = iota // one transaction writing a few live objects
+	snapWriteTwo        // concurrent single-object transactions (commit-order permutation)
+	snapAbort           // a transaction that writes, then rolls back
+	snapCreate          // commit a new object
+	snapDelete          // commit a delete of a live object
+	snapOpen            // acquire a snapshot into a slot
+	snapRead            // read every object through a slot's snapshot
+	snapClose           // release a slot's snapshot
+)
+
+// SnapStep is one step of a snapshot schedule.
+type SnapStep struct {
+	Kind int
+	Slot int     // snapshot slot, for snapOpen/snapRead/snapClose
+	Objs []int   // object indexes (writes, delete target)
+	Vals []int64 // values aligned with Objs (writes)
+}
+
+// SnapSchedule is a deterministic interleaved multi-transaction script.
+type SnapSchedule struct {
+	Seed  int64
+	NObj  int // objects created up front
+	Slots int // snapshot slots
+	Steps []SnapStep
+}
+
+// GenSnapSchedule deterministically expands a seed into a schedule. The
+// generator tracks liveness and slot state so every step is applicable.
+func GenSnapSchedule(seed int64) *SnapSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &SnapSchedule{Seed: seed, NObj: 4 + rng.Intn(4), Slots: 2 + rng.Intn(2)}
+
+	live := make([]bool, sc.NObj)
+	for i := range live {
+		live[i] = true
+	}
+	open := make([]bool, sc.Slots)
+	liveCount := sc.NObj
+	pickLive := func() int {
+		for {
+			if i := rng.Intn(len(live)); live[i] {
+				return i
+			}
+		}
+	}
+
+	nSteps := 30 + rng.Intn(20)
+	var nextVal int64
+	for s := 0; s < nSteps; s++ {
+		st := SnapStep{Kind: rng.Intn(8)}
+		switch st.Kind {
+		case snapWrite, snapAbort:
+			n := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			for i := 0; i < n && liveCount > len(seen); i++ {
+				o := pickLive()
+				if seen[o] {
+					continue
+				}
+				seen[o] = true
+				nextVal++
+				st.Objs = append(st.Objs, o)
+				st.Vals = append(st.Vals, nextVal)
+			}
+		case snapWriteTwo:
+			n := 2 + rng.Intn(3)
+			seen := map[int]bool{}
+			for i := 0; i < n && liveCount > len(seen); i++ {
+				o := pickLive()
+				if seen[o] {
+					continue
+				}
+				seen[o] = true
+				nextVal++
+				st.Objs = append(st.Objs, o)
+				st.Vals = append(st.Vals, nextVal)
+			}
+			if len(st.Objs) < 2 {
+				st.Kind = snapWrite
+			}
+		case snapCreate:
+			nextVal++
+			st.Objs = []int{len(live)}
+			st.Vals = []int64{nextVal}
+			live = append(live, true)
+			liveCount++
+		case snapDelete:
+			if liveCount <= 2 {
+				s--
+				continue
+			}
+			o := pickLive()
+			st.Objs = []int{o}
+			live[o] = false
+			liveCount--
+		case snapOpen:
+			st.Slot = rng.Intn(sc.Slots)
+			if open[st.Slot] {
+				s--
+				continue
+			}
+			open[st.Slot] = true
+		case snapRead:
+			st.Slot = rng.Intn(sc.Slots)
+			if !open[st.Slot] {
+				s--
+				continue
+			}
+		case snapClose:
+			st.Slot = rng.Intn(sc.Slots)
+			if !open[st.Slot] {
+				s--
+				continue
+			}
+			open[st.Slot] = false
+		}
+		sc.Steps = append(sc.Steps, st)
+	}
+	// Read, then release every still-open snapshot so the run ends drained.
+	for slot := range open {
+		if open[slot] {
+			sc.Steps = append(sc.Steps,
+				SnapStep{Kind: snapRead, Slot: slot},
+				SnapStep{Kind: snapClose, Slot: slot})
+		}
+	}
+	return sc
+}
+
+// snapModelState is the naive committed-state model: per-object values and
+// liveness, copied wholesale into each snapshot slot at open.
+type snapModelState struct {
+	val  map[int]int64
+	live map[int]bool
+}
+
+func (m *snapModelState) clone() *snapModelState {
+	c := &snapModelState{val: make(map[int]int64, len(m.val)), live: make(map[int]bool, len(m.live))}
+	for k, v := range m.val {
+		c.val[k] = v
+	}
+	for k, v := range m.live {
+		c.live[k] = v
+	}
+	return c
+}
+
+// RunSnapSchedule replays the schedule through the real engine, asserting
+// after every read step that each snapshot still sees exactly the
+// committed state captured when it was opened: same values, same instance
+// set, deleted-later objects still readable, created-later objects
+// invisible. It returns the violations (empty on success).
+func RunSnapSchedule(sc *SnapSchedule) ([]string, error) {
+	db, err := core.Open(core.Options{Output: io.Discard})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	cls := schema.NewClass("SnapObj")
+	cls.Attr("x", value.TypeInt)
+	if err := db.RegisterClass(cls); err != nil {
+		return nil, err
+	}
+
+	model := &snapModelState{val: map[int]int64{}, live: map[int]bool{}}
+	ids := make([]oid.OID, 0, sc.NObj)
+	err = db.Atomically(func(t *core.Tx) error {
+		for i := 0; i < sc.NObj; i++ {
+			id, err := db.NewObject(t, "SnapObj", map[string]value.Value{"x": value.Int(0)})
+			if err != nil {
+				return err
+			}
+			ids = append(ids, id)
+			model.val[i], model.live[i] = 0, true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type slotState struct {
+		tx  *core.Tx
+		cap *snapModelState
+	}
+	slots := make([]slotState, sc.Slots)
+	var violations []string
+	addf := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	// checkSlot re-reads the entire object universe through one snapshot.
+	checkSlot := func(step int, slot int) {
+		st := slots[slot]
+		for o := range model.val {
+			got, err := db.Get(st.tx, ids[o], "x")
+			if !st.cap.live[o] {
+				if err == nil {
+					addf("seed %d step %d slot %d: object %d readable but dead at snapshot (got %v)",
+						sc.Seed, step, slot, o, got)
+				}
+				continue
+			}
+			if err != nil {
+				addf("seed %d step %d slot %d: object %d unreadable: %v (want %d)",
+					sc.Seed, step, slot, o, err, st.cap.val[o])
+				continue
+			}
+			if n, _ := got.AsInt(); n != st.cap.val[o] {
+				addf("seed %d step %d slot %d: object %d = %d, want %d (snapshot leaked a later commit)",
+					sc.Seed, step, slot, o, n, st.cap.val[o])
+			}
+		}
+		// The instance scan must be exactly the captured live set.
+		want := map[oid.OID]bool{}
+		for o, l := range st.cap.live {
+			if l {
+				want[ids[o]] = true
+			}
+		}
+		got := db.InstancesOfAt(st.tx, "SnapObj")
+		if len(got) != len(want) {
+			addf("seed %d step %d slot %d: InstancesOfAt has %d instances, want %d",
+				sc.Seed, step, slot, len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				addf("seed %d step %d slot %d: InstancesOfAt leaked %v", sc.Seed, step, slot, id)
+			}
+		}
+	}
+
+	for stepIdx, st := range sc.Steps {
+		switch st.Kind {
+		case snapWrite:
+			err := db.Atomically(func(t *core.Tx) error {
+				for i, o := range st.Objs {
+					if err := db.Set(t, ids[o], "x", value.Int(st.Vals[i])); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("step %d write: %w", stepIdx, err)
+			}
+			for i, o := range st.Objs {
+				model.val[o] = st.Vals[i]
+			}
+		case snapWriteTwo:
+			// Concurrent single-object committers over disjoint objects:
+			// every commit-order permutation yields the same final state,
+			// and each commit installs at its own LSN.
+			var wg sync.WaitGroup
+			errs := make([]error, len(st.Objs))
+			for i := range st.Objs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					errs[i] = db.Atomically(func(t *core.Tx) error {
+						return db.Set(t, ids[st.Objs[i]], "x", value.Int(st.Vals[i]))
+					})
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil {
+					return nil, fmt.Errorf("step %d concurrent write %d: %w", stepIdx, i, err)
+				}
+				model.val[st.Objs[i]] = st.Vals[i]
+			}
+		case snapAbort:
+			sentinel := fmt.Errorf("scripted abort")
+			err := db.Atomically(func(t *core.Tx) error {
+				for i, o := range st.Objs {
+					if err := db.Set(t, ids[o], "x", value.Int(st.Vals[i])); err != nil {
+						return err
+					}
+				}
+				return sentinel
+			})
+			if err != sentinel {
+				return nil, fmt.Errorf("step %d abort: err = %v, want scripted abort", stepIdx, err)
+			}
+			// Model untouched: the rollback must leave no trace.
+		case snapCreate:
+			o := st.Objs[0]
+			err := db.Atomically(func(t *core.Tx) error {
+				id, err := db.NewObject(t, "SnapObj", map[string]value.Value{"x": value.Int(st.Vals[0])})
+				ids = append(ids, id)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("step %d create: %w", stepIdx, err)
+			}
+			model.val[o], model.live[o] = st.Vals[0], true
+		case snapDelete:
+			o := st.Objs[0]
+			err := db.Atomically(func(t *core.Tx) error {
+				return db.DeleteObject(t, ids[o])
+			})
+			if err != nil {
+				return nil, fmt.Errorf("step %d delete: %w", stepIdx, err)
+			}
+			model.live[o] = false
+		case snapOpen:
+			slots[st.Slot] = slotState{tx: db.BeginSnapshot(), cap: model.clone()}
+		case snapRead:
+			checkSlot(stepIdx, st.Slot)
+		case snapClose:
+			checkSlot(stepIdx, st.Slot) // final read before release
+			db.Abort(slots[st.Slot].tx)
+			slots[st.Slot] = slotState{}
+		}
+	}
+
+	// With every snapshot released, one more commit (to any still-live
+	// object) sweeps the chains; the MVCC baggage must drain to zero.
+	drain := -1
+	for o := range model.val {
+		if model.live[o] {
+			drain = o
+			break
+		}
+	}
+	if drain >= 0 {
+		if err := db.Atomically(func(t *core.Tx) error {
+			return db.Set(t, ids[drain], "x", value.Int(-1))
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if s := db.Stats().Storage; s.VersionsLive != 0 || s.SnapshotsActive != 0 {
+		addf("seed %d: MVCC state not drained after release: versions=%d snapshots=%d",
+			sc.Seed, s.VersionsLive, s.SnapshotsActive)
+	}
+	return violations, nil
+}
+
+// DiffSnapshots generates and replays one seeded snapshot schedule,
+// returning the first violation ("" when the engine upholds snapshot
+// isolation for the whole schedule).
+func DiffSnapshots(seed int64) (string, error) {
+	violations, err := RunSnapSchedule(GenSnapSchedule(seed))
+	if err != nil {
+		return "", err
+	}
+	if len(violations) > 0 {
+		return violations[0], nil
+	}
+	return "", nil
+}
+
+// SnapStress races writers against snapshot readers with true goroutine
+// interleavings (run under -race). Each writer owns a pair of objects and
+// keeps the pair-sum invariant: every transaction moves an amount from the
+// left to the right cell, so l+r == pairSum at every commit boundary.
+// Readers repeatedly snapshot and assert (a) per-object reads are stable
+// within a snapshot, (b) each pair sums to pairSum — a snapshot that saw
+// half a transaction breaks it — and (c) the global sum over all pairs
+// holds. Returns the violations observed.
+func SnapStress(writers, rounds, readers int) ([]string, error) {
+	const pairSum = 1000
+	db, err := core.Open(core.Options{Output: io.Discard})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	cls := schema.NewClass("Cell")
+	cls.Attr("x", value.TypeInt)
+	if err := db.RegisterClass(cls); err != nil {
+		return nil, err
+	}
+	left := make([]oid.OID, writers)
+	right := make([]oid.OID, writers)
+	err = db.Atomically(func(t *core.Tx) error {
+		for w := 0; w < writers; w++ {
+			var err error
+			if left[w], err = db.NewObject(t, "Cell", map[string]value.Value{"x": value.Int(pairSum)}); err != nil {
+				return err
+			}
+			if right[w], err = db.NewObject(t, "Cell", map[string]value.Value{"x": value.Int(0)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu         sync.Mutex
+		violations []string
+	)
+	addf := func(format string, args ...any) {
+		mu.Lock()
+		violations = append(violations, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			for i := 0; i < rounds; i++ {
+				move := int64(1 + rng.Intn(10))
+				err := db.Atomically(func(t *core.Tx) error {
+					lv, err := db.Get(t, left[w], "x")
+					if err != nil {
+						return err
+					}
+					rv, err := db.Get(t, right[w], "x")
+					if err != nil {
+						return err
+					}
+					l, _ := lv.AsInt()
+					r, _ := rv.AsInt()
+					if err := db.Set(t, left[w], "x", value.Int(l-move)); err != nil {
+						return err
+					}
+					return db.Set(t, right[w], "x", value.Int(r+move))
+				})
+				if err != nil {
+					addf("writer %d round %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readWG.Add(1)
+		go func(r int) {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := db.BeginSnapshot()
+				global := int64(0)
+				for w := 0; w < writers; w++ {
+					readCell := func(id oid.OID) (int64, bool) {
+						a, err := db.Get(snap, id, "x")
+						if err != nil {
+							addf("reader %d: %v", r, err)
+							return 0, false
+						}
+						b, err := db.Get(snap, id, "x")
+						if err != nil {
+							addf("reader %d: re-read: %v", r, err)
+							return 0, false
+						}
+						av, _ := a.AsInt()
+						bv, _ := b.AsInt()
+						if av != bv {
+							addf("reader %d: torn read on %v: %d then %d", r, id, av, bv)
+							return 0, false
+						}
+						return av, true
+					}
+					l, ok1 := readCell(left[w])
+					rr, ok2 := readCell(right[w])
+					if !ok1 || !ok2 {
+						continue
+					}
+					if l+rr != pairSum {
+						addf("reader %d: pair %d sums to %d, want %d (snapshot saw half a transaction)",
+							r, w, l+rr, pairSum)
+					}
+					global += l + rr
+				}
+				if global != int64(writers)*pairSum {
+					addf("reader %d: global sum %d, want %d", r, global, int64(writers)*pairSum)
+				}
+				db.Abort(snap)
+			}
+		}(r)
+	}
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	return violations, nil
+}

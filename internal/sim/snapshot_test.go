@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSnapshotDiffer replays seeded interleaved multi-transaction
+// schedules — serial and concurrent committers, aborts, creates, deletes,
+// overlapping snapshots — and requires every snapshot to read exactly the
+// committed state captured at its open: snapshot isolation, differential
+// against the naive committed-state model.
+func TestSnapshotDiffer(t *testing.T) {
+	seeds := int64(20)
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		if d, err := DiffSnapshots(seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		} else if d != "" {
+			t.Errorf("snapshot isolation violated:\n%s", d)
+		}
+	}
+}
+
+// TestSnapshotScheduleShape sanity-checks the generator: schedules must
+// actually interleave snapshots with writers (a schedule with no open
+// snapshot during a write would test nothing).
+func TestSnapshotScheduleShape(t *testing.T) {
+	overlapped := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		sc := GenSnapSchedule(seed)
+		open := 0
+		for _, st := range sc.Steps {
+			switch st.Kind {
+			case snapOpen:
+				open++
+			case snapClose:
+				open--
+			case snapWrite, snapWriteTwo, snapCreate, snapDelete:
+				if open > 0 {
+					overlapped++
+				}
+			}
+		}
+		if open != 0 {
+			t.Fatalf("seed %d: %d snapshots left open at end of schedule", seed, open)
+		}
+	}
+	if overlapped < 20 {
+		t.Fatalf("only %d writes ran under an open snapshot across 20 seeds — schedules too tame", overlapped)
+	}
+}
+
+// TestSnapshotStress races writers against snapshot readers with real
+// goroutine interleavings; run under -race. Any torn read, half-visible
+// transaction or broken global invariant is a violation.
+func TestSnapshotStress(t *testing.T) {
+	rounds := 150
+	if testing.Short() {
+		rounds = 40
+	}
+	violations, err := SnapStress(4, rounds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range violations {
+		if i >= 25 {
+			t.Errorf("... and %d more violations", len(violations)-i)
+			break
+		}
+		t.Error(v)
+	}
+}

@@ -1,0 +1,82 @@
+package vfs
+
+// Latency wraps another FS and injects a fixed delay into Sync (and,
+// optionally, every write). It models a storage device with realistic
+// fsync cost on top of the instant in-memory filesystems, which is what
+// makes group-commit behaviour observable in tests and benchmarks: with
+// zero-cost fsyncs committers never overlap long enough to coalesce, so
+// commits-per-fsync measurements degenerate to 1 regardless of load.
+
+import (
+	iofs "io/fs"
+	"sync/atomic"
+	"time"
+)
+
+// Latency is an FS decorator that sleeps on Sync/SyncDir (SyncDelay) and
+// on Write/WriteAt (WriteDelay). The zero delays make it a passthrough.
+type Latency struct {
+	inner      FS
+	SyncDelay  time.Duration
+	WriteDelay time.Duration
+
+	syncs atomic.Int64 // fsyncs observed (file Sync calls only)
+}
+
+// NewLatency wraps inner with the given per-operation delays.
+func NewLatency(inner FS, syncDelay, writeDelay time.Duration) *Latency {
+	return &Latency{inner: inner, SyncDelay: syncDelay, WriteDelay: writeDelay}
+}
+
+// Syncs returns the number of file Sync calls observed, for
+// commits-per-fsync accounting in benchmarks.
+func (l *Latency) Syncs() int64 { return l.syncs.Load() }
+
+func (l *Latency) OpenFile(path string, flag int, perm iofs.FileMode) (File, error) {
+	f, err := l.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &latencyFile{File: f, fs: l}, nil
+}
+
+func (l *Latency) ReadFile(path string) ([]byte, error) { return l.inner.ReadFile(path) }
+func (l *Latency) Rename(oldPath, newPath string) error { return l.inner.Rename(oldPath, newPath) }
+func (l *Latency) Remove(path string) error             { return l.inner.Remove(path) }
+func (l *Latency) MkdirAll(dir string, perm iofs.FileMode) error {
+	return l.inner.MkdirAll(dir, perm)
+}
+func (l *Latency) SyncDir(dir string) error {
+	if l.SyncDelay > 0 {
+		time.Sleep(l.SyncDelay)
+	}
+	return l.inner.SyncDir(dir)
+}
+
+// latencyFile delays Sync and writes; reads pass through untouched.
+type latencyFile struct {
+	File
+	fs *Latency
+}
+
+func (f *latencyFile) Write(p []byte) (int, error) {
+	if f.fs.WriteDelay > 0 {
+		time.Sleep(f.fs.WriteDelay)
+	}
+	return f.File.Write(p)
+}
+
+func (f *latencyFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.fs.WriteDelay > 0 {
+		time.Sleep(f.fs.WriteDelay)
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *latencyFile) Sync() error {
+	f.fs.syncs.Add(1)
+	if f.fs.SyncDelay > 0 {
+		time.Sleep(f.fs.SyncDelay)
+	}
+	return f.File.Sync()
+}

@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sentinel/internal/oid"
@@ -74,9 +75,17 @@ type Log struct {
 	// records without allocating per record.
 	buf []byte
 
-	// Instrumentation hooks (see SetHooks); nil means uninstrumented.
+	// group is the commit coalescer (see CommitBatch); inflight counts
+	// callers currently inside CommitBatch, which is what lets a leader
+	// decide whether a bounded wait window could pay off.
+	group    groupState
+	inflight atomic.Int32
+
+	// Instrumentation hooks (see SetHooks / SetGroupHook); nil means
+	// uninstrumented.
 	onAppend func(bytes int, d time.Duration)
 	onFsync  func(d time.Duration)
+	onGroup  func(commits int)
 }
 
 // Open opens (or creates) the log at path on the OS filesystem.
@@ -171,11 +180,11 @@ const maxBatchBufRetain = 1 << 20
 func (l *Log) AppendBatch(recs []Record) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	var start time.Time
-	if l.onAppend != nil {
-		start = time.Now()
-	}
-	buf := l.buf[:0]
+	return l.writeFramesLocked(func(buf []byte) []byte { return frameRecords(buf, recs) })
+}
+
+// frameRecords encodes recs as CRC-framed log entries at the end of buf.
+func frameRecords(buf []byte, recs []Record) []byte {
 	for _, r := range recs {
 		hdrOff := len(buf)
 		buf = append(buf, make([]byte, frameHeader)...)
@@ -185,6 +194,17 @@ func (l *Log) AppendBatch(recs []Record) error {
 		binary.LittleEndian.PutUint32(buf[hdrOff:hdrOff+4], uint32(len(payload)))
 		binary.LittleEndian.PutUint32(buf[hdrOff+4:hdrOff+8], crc32.Checksum(payload, castagnoli))
 	}
+	return buf
+}
+
+// writeFramesLocked frames records through fill into the reusable buffer and
+// writes them with a single buffered write. Caller holds l.mu.
+func (l *Log) writeFramesLocked(fill func(buf []byte) []byte) error {
+	var start time.Time
+	if l.onAppend != nil {
+		start = time.Now()
+	}
+	buf := fill(l.buf[:0])
 	if cap(buf) <= maxBatchBufRetain {
 		l.buf = buf[:0]
 	} else {
@@ -397,6 +417,159 @@ func (l *Log) SyncBarrier() error {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	return err
+}
+
+// ---- group commit ----
+//
+// CommitBatch is the transactional append path: concurrent committers
+// publish their record batches to a coalescer that frames every queued batch
+// into ONE buffered write and (when durability is requested) ONE fsync.
+//
+// The protocol is leader/follower with handoff:
+//
+//   1. A caller enqueues its request. If no flush is in progress it becomes
+//      the leader immediately — an idle log commits at single-commit
+//      latency, there is no timer on this path.
+//   2. The leader claims the whole queue, releases the queue lock, flushes
+//      the group (one write, at most one fsync), then marks every claimed
+//      request done and broadcasts.
+//   3. Callers that arrived while the leader was flushing wait; the first
+//      one to wake with its request still unclaimed becomes the next leader
+//      and claims everything that accumulated during the flush. The fsync
+//      duration is therefore the natural batching window: the slower the
+//      device, the larger the groups, with no tuning.
+//
+// An optional bounded wait window (SetGroupWindow) lets a leader that can
+// SEE more committers in flight (inflight > claimed) linger briefly before
+// flushing — useful only when fsync is so fast that groups stay small.
+// The window never delays an uncontended commit.
+
+// groupReq is one committer's batch waiting in the coalescer.
+type groupReq struct {
+	recs []Record
+	sync bool
+	done bool
+	err  error
+}
+
+// groupState is the commit coalescer: a queue of waiting requests and a
+// single-flight flag. cond is broadcast after every flush.
+type groupState struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	flushing bool
+	queue    []*groupReq
+	window   time.Duration
+}
+
+// SetGroupWindow installs a bounded wait window: a leader that observes more
+// committers in flight than it has claimed waits up to d for them before
+// flushing. 0 (the default) flushes immediately; the fsync itself already
+// accumulates the next group. Call before the log sees concurrent use.
+func (l *Log) SetGroupWindow(d time.Duration) {
+	l.group.window = d
+}
+
+// SetGroupHook installs a callback observing every group flush with the
+// number of commits coalesced into it. Call before the log sees concurrent
+// use; the hook runs outside log locks but must be fast and must not call
+// back into the Log.
+func (l *Log) SetGroupHook(fn func(commits int)) {
+	l.onGroup = fn
+}
+
+// CommitBatch appends the batch atomically with respect to other CommitBatch
+// callers and, when durable is set, returns only once the batch is on stable
+// storage. Concurrent callers are coalesced into one write + one fsync (see
+// the protocol comment above). On error the records must be considered not
+// durable: every commit in the failed group reports the error.
+func (l *Log) CommitBatch(recs []Record, durable bool) error {
+	l.inflight.Add(1)
+	defer l.inflight.Add(-1)
+
+	g := &l.group
+	g.mu.Lock()
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	req := &groupReq{recs: recs, sync: durable}
+	g.queue = append(g.queue, req)
+	for !req.done && g.flushing {
+		g.cond.Wait()
+	}
+	if req.done {
+		// A leader flushed us while we waited (follower path).
+		err := req.err
+		g.mu.Unlock()
+		return err
+	}
+	// Leader: claim everything queued, flush, hand off.
+	g.flushing = true
+	batch := g.queue
+	g.queue = nil
+	if g.window > 0 && int(l.inflight.Load()) > len(batch) {
+		// More committers are between their inflight bump and the queue:
+		// give them up to the window to join this group.
+		g.mu.Unlock()
+		time.Sleep(g.window)
+		g.mu.Lock()
+		batch = append(batch, g.queue...)
+		g.queue = nil
+	}
+	g.mu.Unlock()
+
+	err := l.flushGroup(batch)
+
+	g.mu.Lock()
+	for _, r := range batch {
+		r.done = true
+		r.err = err
+	}
+	g.flushing = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	return err
+}
+
+// flushGroup writes every claimed batch with one buffered write and fsyncs
+// once if any request wants durability.
+func (l *Log) flushGroup(batch []*groupReq) error {
+	l.mu.Lock()
+	err := l.writeFramesLocked(func(buf []byte) []byte {
+		for _, r := range batch {
+			buf = frameRecords(buf, r.recs)
+		}
+		return buf
+	})
+	target := l.size
+	l.mu.Unlock()
+	if l.onGroup != nil {
+		l.onGroup(len(batch))
+	}
+	if err != nil {
+		return err
+	}
+	needSync := false
+	for _, r := range batch {
+		if r.sync {
+			needSync = true
+			break
+		}
+	}
+	if !needSync {
+		return nil
+	}
+	if err := l.fsync(); err != nil {
+		return err
+	}
+	// Keep SyncBarrier's high-water mark coherent: everything up to target
+	// is durable now.
+	l.sync.mu.Lock()
+	if target > l.sync.syncedTo {
+		l.sync.syncedTo = target
+	}
+	l.sync.mu.Unlock()
+	return nil
 }
 
 func (l *Log) fsync() error {
