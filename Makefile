@@ -8,15 +8,18 @@
 # (with BENCH_0.json, the pre-fast-path seed measurements, embedded as the
 # baseline), the cold-open artifact BENCH_2.json, the
 # instrumentation-overhead artifact BENCH_3.json, the detached-pool
-# multi-core scaling artifact BENCH_4.json, and the MVCC snapshot-read /
-# group-commit contention artifact BENCH_5.json; `make bench-smoke` is a
-# one-iteration CI-sized pass over the same code paths plus a scrape of
-# the live /metrics endpoint.
+# multi-core scaling artifact BENCH_4.json, the MVCC snapshot-read /
+# group-commit contention artifact BENCH_5.json, and the networked-server
+# artifact BENCH_6.json; `make bench-smoke` is a one-iteration CI-sized
+# pass over the same code paths plus a scrape of the live /metrics
+# endpoint; `make bench-gate` checks the checked-in benchmark artifacts
+# against the floors in dev/bench/thresholds.json (CI runs this, so a PR
+# that regenerates a BENCH_*.json with a regression fails).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test check race torture fuzz bench bench-smoke clean
+.PHONY: all build vet test check race torture fuzz bench bench-smoke bench-gate clean
 
 all: check
 
@@ -32,7 +35,7 @@ test:
 check: build vet test
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/... ./internal/sim/... ./internal/vfs/... ./internal/wal/...
+	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/... ./internal/sim/... ./internal/vfs/... ./internal/wal/... ./internal/wire/... ./internal/server/... ./internal/client/...
 
 # Exhaustive crash-state torture: every journal op boundary in every crash
 # mode, every WAL bit position, and a widened differential-seed matrix.
@@ -48,6 +51,8 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodePayload -fuzztime $(FUZZTIME) ./internal/wal/
 	$(GO) test -fuzz FuzzParseScript -fuzztime $(FUZZTIME) ./internal/lang/
 	$(GO) test -fuzz FuzzParseEventExpr -fuzztime $(FUZZTIME) ./internal/lang/
+	$(GO) test -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzDecodeEvent -fuzztime $(FUZZTIME) ./internal/wire/
 
 # Raise-path benchmarks: P1 (N rules), P8 (event-interface selectivity),
 # P11 (parallel sends), plus the machine-readable JSON suite.
@@ -58,6 +63,7 @@ bench:
 	$(GO) run ./cmd/sentinel-bench -json3 BENCH_3.json
 	$(GO) run ./cmd/sentinel-bench -json4 BENCH_4.json
 	$(GO) run ./cmd/sentinel-bench -json5 BENCH_5.json
+	$(GO) run ./cmd/sentinel-bench -json6 BENCH_6.json
 
 # One-iteration pass over every benchmark entry point: catches bit-rot in
 # the bench harness without benchmark-grade runtimes (CI runs this).
@@ -67,6 +73,12 @@ bench-smoke:
 	$(GO) run ./cmd/sentinel-bench -json3 /tmp/bench3-smoke.json
 	$(GO) run ./cmd/sentinel-bench -json4 /tmp/bench4-smoke.json -quick
 	$(GO) run ./cmd/sentinel-bench -json5 /tmp/bench5-smoke.json -quick
+	$(GO) run ./cmd/sentinel-bench -json6 /tmp/bench6-smoke.json -quick
+
+# Enforce the performance floors in dev/bench/thresholds.json over the
+# checked-in benchmark artifacts.
+bench-gate:
+	$(GO) run ./cmd/bench-gate
 
 clean:
 	$(GO) clean

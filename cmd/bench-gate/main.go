@@ -1,0 +1,176 @@
+// Command bench-gate enforces performance floors over the checked-in
+// benchmark artifacts. It reads a thresholds file describing numeric
+// bounds on JSON paths inside each report and exits non-zero when any
+// bound is violated, so a PR that regenerates a BENCH_*.json with a
+// regression fails CI instead of silently shipping the slower numbers.
+//
+// Usage:
+//
+//	bench-gate [-thresholds dev/bench/thresholds.json] [-dir .]
+//
+// Thresholds format:
+//
+//	{
+//	  "gates": [
+//	    {
+//	      "report": "BENCH_6.json",
+//	      "checks": [
+//	        {"path": "pipeline[2].cmds_per_sec", "min": 50000},
+//	        {"path": "idle.goroutines_per_session", "max": 2.0}
+//	      ]
+//	    }
+//	  ]
+//	}
+//
+// A path is a dot-separated walk through the report's JSON; a segment may
+// carry one or more [i] indexes into arrays.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+type check struct {
+	Path string   `json:"path"`
+	Min  *float64 `json:"min,omitempty"`
+	Max  *float64 `json:"max,omitempty"`
+}
+
+type gate struct {
+	Report string  `json:"report"`
+	Checks []check `json:"checks"`
+}
+
+type thresholds struct {
+	Gates []gate `json:"gates"`
+}
+
+func main() {
+	thrPath := flag.String("thresholds", "dev/bench/thresholds.json", "thresholds file")
+	dir := flag.String("dir", ".", "directory holding the benchmark reports")
+	flag.Parse()
+
+	data, err := os.ReadFile(*thrPath)
+	if err != nil {
+		fatal(err)
+	}
+	var thr thresholds
+	if err := json.Unmarshal(data, &thr); err != nil {
+		fatal(fmt.Errorf("%s: %w", *thrPath, err))
+	}
+	if len(thr.Gates) == 0 {
+		fatal(fmt.Errorf("%s: no gates defined", *thrPath))
+	}
+
+	failures := 0
+	for _, g := range thr.Gates {
+		reportPath := filepath.Join(*dir, g.Report)
+		raw, err := os.ReadFile(reportPath)
+		if err != nil {
+			fatal(err)
+		}
+		var doc any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fatal(fmt.Errorf("%s: %w", reportPath, err))
+		}
+		for _, c := range g.Checks {
+			v, err := resolve(doc, c.Path)
+			if err != nil {
+				fmt.Printf("FAIL %s %s: %v\n", g.Report, c.Path, err)
+				failures++
+				continue
+			}
+			switch {
+			case c.Min != nil && v < *c.Min:
+				fmt.Printf("FAIL %s %s = %g, below floor %g\n", g.Report, c.Path, v, *c.Min)
+				failures++
+			case c.Max != nil && v > *c.Max:
+				fmt.Printf("FAIL %s %s = %g, above ceiling %g\n", g.Report, c.Path, v, *c.Max)
+				failures++
+			default:
+				fmt.Printf("ok   %s %s = %g%s\n", g.Report, c.Path, v, boundsNote(c))
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("bench-gate: %d check(s) failed\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("bench-gate: all checks passed")
+}
+
+func boundsNote(c check) string {
+	var parts []string
+	if c.Min != nil {
+		parts = append(parts, fmt.Sprintf("floor %g", *c.Min))
+	}
+	if c.Max != nil {
+		parts = append(parts, fmt.Sprintf("ceiling %g", *c.Max))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
+}
+
+// resolve walks a dotted path with optional [i] indexes and returns the
+// numeric leaf.
+func resolve(doc any, path string) (float64, error) {
+	cur := doc
+	for _, seg := range strings.Split(path, ".") {
+		name := seg
+		var idxs []int
+		for {
+			open := strings.IndexByte(name, '[')
+			if open < 0 {
+				break
+			}
+			close := strings.IndexByte(name[open:], ']')
+			if close < 0 {
+				return 0, fmt.Errorf("malformed index in segment %q", seg)
+			}
+			i, err := strconv.Atoi(name[open+1 : open+close])
+			if err != nil {
+				return 0, fmt.Errorf("malformed index in segment %q: %v", seg, err)
+			}
+			idxs = append(idxs, i)
+			name = name[:open] + name[open+close+1:]
+		}
+		if name != "" {
+			obj, ok := cur.(map[string]any)
+			if !ok {
+				return 0, fmt.Errorf("%q is not an object", name)
+			}
+			cur, ok = obj[name]
+			if !ok {
+				return 0, fmt.Errorf("no field %q", name)
+			}
+		}
+		for _, i := range idxs {
+			arr, ok := cur.([]any)
+			if !ok {
+				return 0, fmt.Errorf("%q is not an array", seg)
+			}
+			if i < 0 || i >= len(arr) {
+				return 0, fmt.Errorf("index %d out of range (len %d) in %q", i, len(arr), seg)
+			}
+			cur = arr[i]
+		}
+	}
+	n, ok := cur.(float64)
+	if !ok {
+		return 0, fmt.Errorf("leaf is %T, not a number", cur)
+	}
+	return n, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-gate:", err)
+	os.Exit(1)
+}

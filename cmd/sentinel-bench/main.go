@@ -18,6 +18,9 @@
 //	                               # detached-pool multi-core scaling suite
 //	sentinel-bench -json5 BENCH_5.json [-quick]
 //	                               # MVCC snapshot-read + group-commit suite
+//	sentinel-bench -json6 BENCH_6.json [-quick]
+//	                               # networked server: idle sessions,
+//	                               # pipelining, push fan-out latency
 package main
 
 import (
@@ -40,8 +43,18 @@ func main() {
 	json3Out := flag.String("json3", "", "write instrumentation-overhead benchmark results to this JSON file and exit")
 	json4Out := flag.String("json4", "", "write detached-pool multi-core scaling results to this JSON file and exit")
 	json5Out := flag.String("json5", "", "write MVCC snapshot-read/group-commit results to this JSON file and exit")
+	json6Out := flag.String("json6", "", "write networked-server benchmark results to this JSON file and exit")
+	idleClientAddr := flag.String("idle-client", "", "internal: run as the -json6 idle-session client subprocess against this address")
+	idleClientSessions := flag.Int("idle-sessions", 0, "internal: session count for -idle-client")
 	flag.Parse()
 
+	if *idleClientAddr != "" {
+		if err := runIdleClient(*idleClientAddr, *idleClientSessions); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut != "" {
 		if err := runJSONBench(*jsonOut, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -72,6 +85,13 @@ func main() {
 	}
 	if *json5Out != "" {
 		if err := runMVCCBench(*json5Out, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *json6Out != "" {
+		if err := runServerBench(*json6Out, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

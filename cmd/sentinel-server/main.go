@@ -1,0 +1,90 @@
+// Command sentinel-server exposes a Sentinel database over TCP, speaking
+// the internal/wire protocol: pipelined commands plus streaming push
+// delivery for subscriptions (see DESIGN.md §4g).
+//
+// Usage:
+//
+//	sentinel-server -addr :7707                    # in-memory
+//	sentinel-server -addr :7707 -d ./mydb          # persistent
+//	sentinel-server -addr :7707 -f schema.sql      # load a script first
+//
+// Connect with the sentinel shell: `.connect host:7707`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sentinel/internal/core"
+	"sentinel/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7707", "TCP listen address")
+	dir := flag.String("d", "", "database directory (empty = in-memory)")
+	script := flag.String("f", "", "script file to execute before serving")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus/expvar metrics on host:port")
+	workers := flag.Int("workers", 0, "run detached rules on a conflict-aware pool of this many workers (0 = synchronous)")
+	sync := flag.Bool("sync", true, "fsync the WAL on every commit")
+	queue := flag.Int("queue", 128, "per-session out-queue capacity (frames)")
+	disconnectSlow := flag.Bool("disconnect-slow", false, "disconnect sessions that overflow their push queue (default: drop events)")
+	flag.Parse()
+
+	db, err := core.Open(core.Options{
+		Dir:             *dir,
+		SyncOnCommit:    *sync,
+		MetricsAddr:     *metricsAddr,
+		AsyncDetached:   *workers > 0,
+		DetachedWorkers: *workers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
+		os.Exit(1)
+	}
+
+	if *script != "" {
+		src, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sentinel-server:", err)
+			db.Close()
+			os.Exit(1)
+		}
+		if err := db.Exec(string(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "sentinel-server:", err)
+			db.Close()
+			os.Exit(1)
+		}
+	}
+
+	policy := server.DropEvents
+	if *disconnectSlow {
+		policy = server.DisconnectSlow
+	}
+	srv, err := server.New(db, server.Options{Addr: *addr, QueueLen: *queue, Overflow: policy})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
+		db.Close()
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sentinel-server listening on %s\n", srv.Addr())
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", db.MetricsAddr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "sentinel-server: shutting down")
+	// Sessions first (their subscriptions release), then the database
+	// (checkpoint + close storage).
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: server close:", err)
+	}
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: db close:", err)
+		os.Exit(1)
+	}
+}

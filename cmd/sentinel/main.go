@@ -22,20 +22,27 @@
 //	.trace on|off      echo runtime trace events to the terminal
 //	.slow              slow-rule log (requires -slow)
 //	.checkpoint        force a checkpoint
+//	.connect <addr>    attach to a sentinel-server; statements run remotely
+//	.subscribe <name>  stream push notifications for an object (remote)
+//	.disconnect        return to the local database
 //	.quit              exit
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"sentinel/internal/client"
 	"sentinel/internal/core"
 	"sentinel/internal/obs"
+	"sentinel/internal/wire"
 )
 
 func main() {
@@ -82,12 +89,49 @@ func main() {
 	repl(db)
 }
 
+// shell is the REPL's mutable state: the local database plus, after
+// .connect, a remote sentinel-server session that statement input is
+// routed through instead.
+type shell struct {
+	db     *core.Database
+	remote *client.Client
+	addr   string
+}
+
+// exec runs one complete statement block — remotely when connected. A
+// dead remote session drops the shell back to local mode.
+func (sh *shell) exec(src string) error {
+	if sh.remote == nil {
+		return sh.db.Exec(src)
+	}
+	err := sh.remote.Exec(src)
+	if errors.Is(err, client.ErrClosed) {
+		fmt.Printf("connection to %s lost; back to local database\n", sh.addr)
+		sh.remote.Close()
+		sh.remote = nil
+	}
+	return err
+}
+
+func (sh *shell) prompt() string {
+	if sh.remote != nil {
+		return "remote> "
+	}
+	return "sentinel> "
+}
+
 func repl(db *core.Database) {
 	fmt.Println("sentinel — active object-oriented database shell (.help for help)")
+	sh := &shell{db: db}
+	defer func() {
+		if sh.remote != nil {
+			sh.remote.Close()
+		}
+	}()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
-	prompt := "sentinel> "
+	prompt := sh.prompt()
 	for {
 		fmt.Print(prompt)
 		if !sc.Scan() {
@@ -97,9 +141,10 @@ func repl(db *core.Database) {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if !command(db, trimmed) {
+			if !sh.command(trimmed) {
 				return
 			}
+			prompt = sh.prompt()
 			continue
 		}
 		buf.WriteString(line)
@@ -108,13 +153,13 @@ func repl(db *core.Database) {
 			prompt = "      ... "
 			continue
 		}
-		prompt = "sentinel> "
+		prompt = sh.prompt()
 		src := buf.String()
 		buf.Reset()
 		if strings.TrimSpace(src) == "" {
 			continue
 		}
-		if err := db.Exec(src); err != nil {
+		if err := sh.exec(src); err != nil {
 			fmt.Println("error:", err)
 		}
 	}
@@ -148,7 +193,8 @@ func balanced(src string) bool {
 }
 
 // command executes a dot-command; it returns false to quit.
-func command(db *core.Database, cmd string) bool {
+func (sh *shell) command(cmd string) bool {
+	db := sh.db
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".exit":
@@ -159,7 +205,89 @@ enable/disable, assignments, message sends (obj.Method(...) or obj!Method(...)),
 print(...). Each complete input runs in one transaction.
 commands: .classes .rules .events .objects <class> .names .indexes .stats
           .metrics .trace on|off .slow
-          .checkpoint .check .dump [file] .restore <file> .quit`)
+          .checkpoint .check .dump [file] .restore <file>
+          .connect <addr> .subscribe <name> [method] [begin|end|explicit]
+          .unsubscribe <id> .disconnect .quit
+When connected (.connect), statements run on the server; the dot-commands
+above still inspect the shell's local database.`)
+	case ".connect":
+		if len(fields) < 2 {
+			fmt.Println("usage: .connect <host:port>")
+			break
+		}
+		if sh.remote != nil {
+			fmt.Printf("already connected to %s (.disconnect first)\n", sh.addr)
+			break
+		}
+		c, err := client.Dial(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		sh.remote, sh.addr = c, fields[1]
+		fmt.Printf("connected to %s (session %d); statements now run remotely\n",
+			sh.addr, c.SessionID)
+	case ".disconnect":
+		if sh.remote == nil {
+			fmt.Println("not connected")
+			break
+		}
+		sh.remote.Close()
+		sh.remote = nil
+		fmt.Printf("disconnected from %s; statements run locally again\n", sh.addr)
+	case ".subscribe":
+		if sh.remote == nil {
+			fmt.Println(".subscribe streams server pushes; .connect <addr> first")
+			break
+		}
+		if len(fields) < 2 {
+			fmt.Println("usage: .subscribe <name> [method] [begin|end|explicit]")
+			break
+		}
+		id, ok, err := sh.remote.Lookup(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if !ok {
+			fmt.Printf("no binding named %q on the server\n", fields[1])
+			break
+		}
+		method := ""
+		moment := uint8(wire.MomentAny)
+		for _, f := range fields[2:] {
+			if m, isMoment := momentFromName(f); isMoment {
+				moment = m
+			} else {
+				method = f
+			}
+		}
+		subID, err := sh.remote.Subscribe(id, method, moment, printPush(fields[1]))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("subscribed #%d to %s (%s); pushes print as they arrive\n",
+			subID, fields[1], id)
+	case ".unsubscribe":
+		if sh.remote == nil {
+			fmt.Println("not connected")
+			break
+		}
+		if len(fields) < 2 {
+			fmt.Println("usage: .unsubscribe <id>")
+			break
+		}
+		subID, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if err := sh.remote.Unsubscribe(subID); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("unsubscribed #%d\n", subID)
+		}
 	case ".classes":
 		for _, c := range db.Registry().Classes() {
 			if core.IsSystemClass(c.Name) {
@@ -350,6 +478,50 @@ func shellTracer() *obs.Tracer {
 		TxCommit: func(i obs.TxInfo) {
 			fmt.Printf("[trace] tx=%d committed in %v\n", i.Tx, i.Duration)
 		},
+	}
+}
+
+// momentFromName maps a .subscribe moment keyword to its wire value.
+func momentFromName(s string) (uint8, bool) {
+	switch s {
+	case "begin":
+		return 0, true
+	case "end":
+		return 1, true
+	case "explicit":
+		return 2, true
+	}
+	return 0, false
+}
+
+func momentName(m uint8) string {
+	switch m {
+	case 0:
+		return "begin"
+	case 1:
+		return "end"
+	case 2:
+		return "explicit"
+	}
+	return fmt.Sprintf("moment(%d)", m)
+}
+
+// printPush renders a server push notification. It runs on the client's
+// reader goroutine, so it only formats and prints — it must not call
+// back into the client.
+func printPush(name string) func(wire.Event) {
+	return func(ev wire.Event) {
+		args := make([]string, len(ev.Args))
+		for i, a := range ev.Args {
+			if i < len(ev.ParamNames) && ev.ParamNames[i] != "" {
+				args[i] = ev.ParamNames[i] + ": " + a.String()
+			} else {
+				args[i] = a.String()
+			}
+		}
+		fmt.Printf("\n[push] sub=%d seq=%d %s %s::%s(%s) on %s (%s)\n",
+			ev.SubID, ev.Seq, momentName(ev.Moment), ev.Class, ev.Method,
+			strings.Join(args, ", "), name, ev.Source)
 	}
 }
 

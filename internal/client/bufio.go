@@ -1,0 +1,14 @@
+package client
+
+import (
+	"bufio"
+	"io"
+)
+
+// connBufSize sizes the connection's read and write buffers. Small, for
+// the same reason as the server's: benches open thousands of client
+// connections in one process.
+const connBufSize = 1024
+
+func newReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, connBufSize) }
+func newWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, connBufSize) }

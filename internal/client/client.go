@@ -1,0 +1,420 @@
+// Package client is the minimal Go client for sentinel-server's wire
+// protocol, used by the shell (.connect), the tests, and the benchmarks.
+//
+// Calls pipeline: Go* methods send without waiting and return a Call whose
+// Wait blocks for that request's response, matched by request id. Two
+// goroutines drive the connection — a writer coalescing queued frames into
+// single flushes, and a reader dispatching responses to their Calls and
+// push frames to subscription handlers — so N in-flight calls cost N
+// channel slots, not N goroutines.
+//
+// Push handlers run on the reader goroutine: keep them short and never
+// call back into the Client's blocking methods from one (Wait from a
+// handler deadlocks the reader against itself).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"sentinel/internal/oid"
+	"sentinel/internal/value"
+	"sentinel/internal/wire"
+)
+
+// ErrClosed reports a call against a closed (or transport-failed) client.
+var ErrClosed = errors.New("client: connection closed")
+
+// outQueueLen bounds the writer queue; senders block when it fills (the
+// transport is the limit, more buffering would just hide it).
+const outQueueLen = 256
+
+// Client is one connection to a sentinel-server.
+type Client struct {
+	conn net.Conn
+
+	out  chan wire.Frame
+	done chan struct{}
+
+	mu        sync.Mutex
+	reqSeq    uint32
+	pending   map[uint32]*Call
+	handlers  map[uint64]func(wire.Event)
+	orphans   map[uint64][]wire.Event // pushes that raced their SubOK
+	orphanCnt int
+	closeErr  error
+	closing   bool
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// SessionID is the server-assigned session id from the handshake.
+	SessionID uint64
+}
+
+// result is a completed call: the response frame (payload owned by the
+// call) or a transport error.
+type result struct {
+	f   wire.Frame
+	err error
+}
+
+// Call is one in-flight request.
+type Call struct {
+	ch chan result
+}
+
+// wait blocks for the response frame.
+func (c *Call) wait() (wire.Frame, error) {
+	r := <-c.ch
+	return r.f, r.err
+}
+
+// Dial connects and performs the version handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		out:      make(chan wire.Frame, outQueueLen),
+		done:     make(chan struct{}),
+		pending:  make(map[uint32]*Call),
+		handlers: make(map[uint64]func(wire.Event)),
+		orphans:  make(map[uint64][]wire.Event),
+	}
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.writeLoop()
+	f, err := c.start(wire.OpHello, wire.AppendValues(nil, value.Int(wire.ProtocolVersion))).wait()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if f.Op != wire.OpWelcome {
+		c.Close()
+		return nil, fmt.Errorf("client: handshake rejected: %s", respErr(f))
+	}
+	vals, err := wire.DecodeValues(f.Payload, 2)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	sid, _ := vals[1].AsInt()
+	c.SessionID = uint64(sid)
+	return c, nil
+}
+
+// Close tears the connection down; every in-flight call fails with
+// ErrClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	c.wg.Wait()
+	return nil
+}
+
+// fail closes the transport once and completes all pending calls with err.
+func (c *Client) fail(err error) {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closing = true
+		c.closeErr = err
+		pend := c.pending
+		c.pending = make(map[uint32]*Call)
+		c.mu.Unlock()
+		close(c.done)
+		c.conn.Close()
+		for _, call := range pend {
+			call.ch <- result{err: err}
+		}
+	})
+}
+
+// start registers a Call and enqueues its request frame. The returned Call
+// always completes: on transport death it yields the close error.
+func (c *Client) start(op byte, payload []byte) *Call {
+	call := &Call{ch: make(chan result, 1)}
+	c.mu.Lock()
+	if c.closing {
+		err := c.closeErr
+		c.mu.Unlock()
+		call.ch <- result{err: err}
+		return call
+	}
+	c.reqSeq++
+	if c.reqSeq == 0 { // 0 is the push id; skip it on wraparound
+		c.reqSeq = 1
+	}
+	id := c.reqSeq
+	c.pending[id] = call
+	c.mu.Unlock()
+	select {
+	case c.out <- wire.Frame{Op: op, ReqID: id, Payload: payload}:
+	case <-c.done:
+		// fail() already completed (or will complete) this call.
+	}
+	return call
+}
+
+// writeLoop drains the out-queue, coalescing pending frames per flush.
+func (c *Client) writeLoop() {
+	defer c.wg.Done()
+	bw := newWriter(c.conn)
+	var buf []byte
+	for {
+		var f wire.Frame
+		select {
+		case f = <-c.out:
+		case <-c.done:
+			return
+		}
+		for {
+			var err error
+			buf, err = wire.WriteFrame(bw, buf, f)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			select {
+			case f = <-c.out:
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+// readLoop dispatches responses to pending calls and pushes to handlers.
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	br := newReader(c.conn)
+	var scratch []byte
+	for {
+		var (
+			f   wire.Frame
+			err error
+		)
+		f, scratch, err = wire.ReadFrame(br, scratch)
+		if err != nil {
+			c.fail(fmt.Errorf("client: transport: %w", err))
+			return
+		}
+		if f.Op == wire.OpEvent {
+			c.dispatchEvent(f.Payload)
+			continue
+		}
+		c.mu.Lock()
+		call := c.pending[f.ReqID]
+		delete(c.pending, f.ReqID)
+		c.mu.Unlock()
+		if call == nil {
+			continue // response to a request Close already failed
+		}
+		// The payload aliases the read scratch; the call owns its copy.
+		owned := wire.Frame{Op: f.Op, ReqID: f.ReqID, Payload: append([]byte(nil), f.Payload...)}
+		call.ch <- result{f: owned}
+	}
+}
+
+// orphanCap bounds pushes buffered for subscriptions whose SubOK has not
+// been processed yet (a push can overtake its own subscription's response
+// when a commit lands in between). Beyond it, oldest-sub orphans drop.
+const orphanCap = 1024
+
+// dispatchEvent routes one push to its handler, or buffers it while the
+// subscription's SubOK is still in flight.
+func (c *Client) dispatchEvent(payload []byte) {
+	ev, err := wire.DecodeEvent(payload)
+	if err != nil {
+		return // malformed push: drop, the protocol stream itself is intact
+	}
+	c.mu.Lock()
+	h := c.handlers[ev.SubID]
+	if h == nil && !c.closing {
+		if c.orphanCnt < orphanCap {
+			c.orphans[ev.SubID] = append(c.orphans[ev.SubID], ev)
+			c.orphanCnt++
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	if h != nil {
+		h(ev)
+	}
+}
+
+// respErr renders a non-OK response as an error.
+func respErr(f wire.Frame) error {
+	if f.Op == wire.OpErr {
+		return errors.New(wire.DecodeErr(f.Payload))
+	}
+	return fmt.Errorf("unexpected response %s", wire.OpName(f.Op))
+}
+
+// ---- typed calls (each has a Go* pipelined form and a blocking form) ----
+
+// GoPing starts a ping.
+func (c *Client) GoPing() *Call { return c.start(wire.OpPing, nil) }
+
+// Ping round-trips a no-op frame.
+func (c *Client) Ping() error {
+	f, err := c.GoPing().wait()
+	if err != nil {
+		return err
+	}
+	if f.Op != wire.OpPong {
+		return respErr(f)
+	}
+	return nil
+}
+
+// GoExec starts a script execution.
+func (c *Client) GoExec(src string) *Call {
+	return c.start(wire.OpExec, wire.AppendValues(nil, value.Str(src)))
+}
+
+// Exec runs a SentinelQL script in its own server-side transaction.
+func (c *Client) Exec(src string) error {
+	f, err := c.GoExec(src).wait()
+	if err != nil {
+		return err
+	}
+	if f.Op != wire.OpOK {
+		return respErr(f)
+	}
+	return nil
+}
+
+// GoEval starts an expression evaluation.
+func (c *Client) GoEval(src string) *Call {
+	return c.start(wire.OpEval, wire.AppendValues(nil, value.Str(src)))
+}
+
+// Eval evaluates a SentinelQL expression and returns its value.
+func (c *Client) Eval(src string) (value.Value, error) {
+	return resultValue(c.GoEval(src).wait())
+}
+
+// GoLookup starts a name lookup.
+func (c *Client) GoLookup(name string) *Call {
+	return c.start(wire.OpLookup, wire.AppendValues(nil, value.Str(name)))
+}
+
+// Lookup resolves a bound name to its OID.
+func (c *Client) Lookup(name string) (oid.OID, bool, error) {
+	v, err := resultValue(c.GoLookup(name).wait())
+	if err != nil {
+		return oid.Nil, false, err
+	}
+	id, ok := v.AsRef()
+	return id, ok, nil
+}
+
+// GoGet starts a snapshot attribute read.
+func (c *Client) GoGet(id oid.OID, attr string) *Call {
+	return c.start(wire.OpGet, wire.AppendValues(nil, value.Ref(id), value.Str(attr)))
+}
+
+// Get reads one attribute from a server-side MVCC snapshot.
+func (c *Client) Get(id oid.OID, attr string) (value.Value, error) {
+	return resultValue(c.GoGet(id, attr).wait())
+}
+
+// GetCall completes a GoGet (exported for pipelined callers).
+func (c *Client) GetCall(call *Call) (value.Value, error) { return resultValue(call.wait()) }
+
+// Instances lists the live instances of a class (snapshot read).
+func (c *Client) Instances(class string) ([]oid.OID, error) {
+	v, err := resultValue(c.start(wire.OpInstances, wire.AppendValues(nil, value.Str(class))).wait())
+	if err != nil {
+		return nil, err
+	}
+	lst, ok := v.AsList()
+	if !ok {
+		return nil, errors.New("client: INSTANCES result is not a list")
+	}
+	ids := make([]oid.OID, 0, len(lst))
+	for _, e := range lst {
+		if id, ok := e.AsRef(); ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// resultValue unwraps an OpResult response.
+func resultValue(f wire.Frame, err error) (value.Value, error) {
+	if err != nil {
+		return value.Nil, err
+	}
+	if f.Op != wire.OpResult {
+		return value.Nil, respErr(f)
+	}
+	vals, err := wire.DecodeValues(f.Payload, 1)
+	if err != nil {
+		return value.Nil, err
+	}
+	return vals[0], nil
+}
+
+// Subscribe registers for pushes of the object's occurrences. method ""
+// matches every event the object generates; moment wire.MomentAny matches
+// every moment. handler runs on the reader goroutine for each delivered
+// event — including any that arrived while the subscription's own
+// confirmation was still in flight.
+func (c *Client) Subscribe(id oid.OID, method string, moment uint8, handler func(wire.Event)) (uint64, error) {
+	if handler == nil {
+		return 0, errors.New("client: nil handler")
+	}
+	f, err := c.start(wire.OpSubscribe,
+		wire.AppendValues(nil, value.Ref(id), value.Str(method), value.Int(int64(moment)))).wait()
+	if err != nil {
+		return 0, err
+	}
+	if f.Op != wire.OpSubOK {
+		return 0, respErr(f)
+	}
+	vals, err := wire.DecodeValues(f.Payload, 1)
+	if err != nil {
+		return 0, err
+	}
+	sid, _ := vals[0].AsInt()
+	subID := uint64(sid)
+	// Install the handler and replay pushes that overtook the SubOK. Both
+	// under mu, so an event is either replayed here or dispatched directly
+	// by the reader — never both, never lost.
+	c.mu.Lock()
+	replay := c.orphans[subID]
+	delete(c.orphans, subID)
+	c.orphanCnt -= len(replay)
+	c.handlers[subID] = handler
+	c.mu.Unlock()
+	for _, ev := range replay {
+		handler(ev)
+	}
+	return subID, nil
+}
+
+// Unsubscribe releases a subscription.
+func (c *Client) Unsubscribe(subID uint64) error {
+	f, err := c.start(wire.OpUnsubscribe, wire.AppendValues(nil, value.Int(int64(subID)))).wait()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.handlers, subID)
+	c.mu.Unlock()
+	if f.Op != wire.OpOK {
+		return respErr(f)
+	}
+	return nil
+}

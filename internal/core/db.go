@@ -147,6 +147,12 @@ type Database struct {
 	// CloseAbrupt (abandon); nil in synchronous mode.
 	detached *detachedPool
 
+	// sinkReg holds remote-sink subscriptions (see sink.go); sinkCount
+	// mirrors its size so raise skips the registry — lock included — with
+	// one atomic load when no remote subscriber exists.
+	sinkReg   sinkRegistry
+	sinkCount atomic.Int64
+
 	// met is the metric set (counters, histograms, gauges, slow-rule log);
 	// tracer is the installed obs.Tracer (nil when none — the hot path
 	// pays one atomic load); metricsSrv is the Options.MetricsAddr HTTP
@@ -273,6 +279,7 @@ func (db *Database) Dir() string { return db.opts.Dir }
 func (db *Database) CloseAbrupt() error {
 	// Abandon the executor pool: queued detached work is dropped (a crash
 	// loses it), only firings already executing run out.
+	db.closeSinks()
 	db.stopDetachedPool(false)
 	if db.metricsSrv != nil {
 		db.metricsSrv.Close()
@@ -302,6 +309,11 @@ func (db *Database) WALSize() int64 {
 // the storage.
 func (db *Database) Close() error {
 	db.WaitIdle()
+	// Remote subscriptions go first: detached firings drained below may
+	// still commit and fan out, but no new subscription can land while the
+	// database is dismantling itself. (The server layer closes its sessions
+	// before closing the database; this is the belt to that suspender.)
+	db.closeSinks()
 	db.stopDetachedPool(true)
 	if db.metricsSrv != nil {
 		db.metricsSrv.Close()

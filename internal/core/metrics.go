@@ -46,6 +46,10 @@ type coreMetrics struct {
 	detachedFirings, detachedStalls, detachedBackpressure *obs.Counter
 	detachedWorkerFirings                                 []*obs.Counter
 
+	// pushEvents counts occurrences fanned out to remote sinks after their
+	// transaction committed (sink.go).
+	pushEvents *obs.Counter
+
 	// Latency histograms. Commit, fsync, append and fault-in are always
 	// timed (low frequency); firing/condition/action are fed at the
 	// sampling rate unless a tracer or slow-rule threshold forces full
@@ -95,6 +99,8 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 		detachedFirings:      reg.Counter("sentinel_detached_firings_total", "detached firings executed by the worker pool"),
 		detachedStalls:       reg.Counter("sentinel_detached_conflict_stalls_total", "detached firings enqueued behind a conflicting predecessor"),
 		detachedBackpressure: reg.Counter("sentinel_detached_backpressure_waits_total", "commits that blocked on a full detached queue"),
+
+		pushEvents: reg.Counter("sentinel_push_events_total", "committed occurrences fanned out to remote sinks"),
 
 		commitH: reg.Histogram("sentinel_tx_commit_ns", "transaction commit latency"),
 		firingH: reg.Histogram("sentinel_rule_firing_ns", "rule firing latency (condition + action)"),
@@ -157,6 +163,9 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 			n += len(subs)
 		}
 		return int64(n)
+	})
+	reg.Gauge("sentinel_remote_subscriptions", "live remote-sink subscriptions", func() int64 {
+		return db.sinkCount.Load()
 	})
 	reg.Gauge("sentinel_wal_size_bytes", "current write-ahead-log size", func() int64 {
 		return db.WALSize()

@@ -97,9 +97,12 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 
 	// Resolve consumers first (usually a zero-alloc cache hit); with no
 	// consumers the occurrence would be observed by nobody, so skip
-	// building it entirely.
+	// building it entirely. Remote sinks count as consumers, but cost only
+	// one atomic load here when none exist — the hot path with no remote
+	// subscribers is unchanged.
 	rules, fns := db.consumersOf(src)
-	if len(rules) == 0 && len(fns) == 0 {
+	hasSinks := db.sinkCount.Load() > 0
+	if len(rules) == 0 && len(fns) == 0 && !hasSinks {
 		return nil
 	}
 
@@ -112,6 +115,12 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 		ParamNames: names,
 		Seq:        seqNo,
 		Tx:         uint64(t.inner.ID()),
+	}
+
+	// Remote subscriptions: record matches now (the source lock is held and
+	// the occurrence is in hand), deliver at commit (sink.go).
+	if hasSinks {
+		db.collectPushes(t, &occ)
 	}
 
 	for _, fc := range fns {

@@ -1,0 +1,236 @@
+package core
+
+// Tests for the remote-sink seam (sink.go): delivery strictly after durable
+// commit, abort suppression, filter matching, per-id and per-sink
+// unsubscribe, the closed-registry contract, and the hot-path guarantee
+// that a database with no sinks pays nothing beyond one atomic load.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"sentinel/internal/event"
+	"sentinel/internal/value"
+)
+
+// recordSink collects deliveries; safe for concurrent use.
+type recordSink struct {
+	mu   sync.Mutex
+	got  []event.Occurrence
+	subs []uint64
+}
+
+func (s *recordSink) DeliverEvent(subID uint64, occ event.Occurrence) {
+	s.mu.Lock()
+	s.got = append(s.got, occ)
+	s.subs = append(s.subs, subID)
+	s.mu.Unlock()
+}
+
+func (s *recordSink) events() []event.Occurrence {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]event.Occurrence(nil), s.got...)
+}
+
+func TestSinkDeliversAfterCommit(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	defer db.Close()
+	ids := hotPathClass(t, db, 1)
+	sink := &recordSink{}
+	subID, err := db.SubscribeSink(ids[0], SinkFilter{}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	if _, err := db.Send(tx, ids[0], "Set", value.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Raised but not committed: nothing may have left the process.
+	if n := len(sink.events()); n != 0 {
+		t.Fatalf("sink saw %d events before commit", n)
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.events()
+	if len(got) != 1 {
+		t.Fatalf("sink saw %d events after commit, want 1", len(got))
+	}
+	occ := got[0]
+	if occ.Source != ids[0] || occ.Class != "P" || occ.Method != "Set" || occ.When != event.End {
+		t.Fatalf("wrong occurrence: %+v", occ)
+	}
+	if len(occ.Args) != 1 {
+		t.Fatalf("args not carried: %+v", occ.Args)
+	}
+	if sink.subs[0] != subID {
+		t.Fatalf("delivered subID %d, want %d", sink.subs[0], subID)
+	}
+}
+
+func TestSinkAbortSuppresses(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	defer db.Close()
+	ids := hotPathClass(t, db, 1)
+	sink := &recordSink{}
+	if _, err := db.SubscribeSink(ids[0], SinkFilter{}, sink); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if _, err := db.Send(tx, ids[0], "Set", value.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	db.Abort(tx)
+	if n := len(sink.events()); n != 0 {
+		t.Fatalf("sink saw %d events from an aborted transaction", n)
+	}
+	// The transaction's pending pushes must not leak into its next use of
+	// the database either.
+	if err := db.Atomically(func(tx *Tx) error {
+		_, err := db.Send(tx, ids[0], "Set", value.Float(2))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sink.events()); n != 1 {
+		t.Fatalf("sink saw %d events after one committed send, want 1", n)
+	}
+}
+
+func TestSinkFilterMatching(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	defer db.Close()
+	ids := hotPathClass(t, db, 2)
+	methodSink := &recordSink{}
+	momentSink := &recordSink{}
+	otherObj := &recordSink{}
+	if _, err := db.SubscribeSink(ids[0], SinkFilter{Method: "Set"}, methodSink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SubscribeSink(ids[0], SinkFilter{Moment: event.Begin, MomentSet: true}, momentSink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SubscribeSink(ids[1], SinkFilter{}, otherObj); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *Tx) error {
+		_, err := db.Send(tx, ids[0], "Set", value.Float(3))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// P.Set generates end-only (GenEnd): the method filter matches, the
+	// begin-moment filter does not, and the other object's sink sees
+	// nothing.
+	if n := len(methodSink.events()); n != 1 {
+		t.Fatalf("method filter: %d events, want 1", n)
+	}
+	if n := len(momentSink.events()); n != 0 {
+		t.Fatalf("begin-moment filter matched an end occurrence (%d events)", n)
+	}
+	if n := len(otherObj.events()); n != 0 {
+		t.Fatalf("subscription leaked across objects (%d events)", n)
+	}
+}
+
+func TestSinkUnsubscribe(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	defer db.Close()
+	ids := hotPathClass(t, db, 1)
+	a, b := &recordSink{}, &recordSink{}
+	idA, err := db.SubscribeSink(ids[0], SinkFilter{}, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SubscribeSink(ids[0], SinkFilter{}, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.SubscribeSink(ids[0], SinkFilter{Method: "Set"}, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.SinkSubscriptions(); got != 3 {
+		t.Fatalf("SinkSubscriptions = %d, want 3", got)
+	}
+	if !db.UnsubscribeSink(idA) {
+		t.Fatal("UnsubscribeSink(idA) = false")
+	}
+	if db.UnsubscribeSink(idA) {
+		t.Fatal("double unsubscribe reported true")
+	}
+	// Session teardown: both of b's subscriptions go in one call.
+	if got := db.UnsubscribeAllSinks(b); got != 2 {
+		t.Fatalf("UnsubscribeAllSinks = %d, want 2", got)
+	}
+	if got := db.SinkSubscriptions(); got != 0 {
+		t.Fatalf("SinkSubscriptions = %d after teardown, want 0", got)
+	}
+	if err := db.Atomically(func(tx *Tx) error {
+		_, err := db.Send(tx, ids[0], "Set", value.Float(1))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.events()) != 0 || len(b.events()) != 0 {
+		t.Fatal("unsubscribed sinks still received events")
+	}
+}
+
+func TestSinkValidation(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	ids := hotPathClass(t, db, 1)
+	if _, err := db.SubscribeSink(ids[0], SinkFilter{}, nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+	if _, err := db.SubscribeSink(999999, SinkFilter{}, &recordSink{}); err == nil {
+		t.Fatal("subscription to a nonexistent object accepted")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The registry closes with the database: late subscriptions fail.
+	if _, err := db.SubscribeSink(ids[0], SinkFilter{}, &recordSink{}); err == nil {
+		t.Fatal("subscription accepted after Close")
+	}
+}
+
+func TestSinkExplicitEvent(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	defer db.Close()
+	ids := hotPathClass(t, db, 1)
+	sink := &recordSink{}
+	if _, err := db.SubscribeSink(ids[0], SinkFilter{Method: "alarm"}, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *Tx) error {
+		return db.RaiseExplicit(tx, ids[0], "alarm", value.Int(7))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.events()
+	if len(got) != 1 || got[0].Method != "alarm" || got[0].When != event.Explicit {
+		t.Fatalf("explicit event not delivered: %+v", got)
+	}
+}
+
+// TestSinkNoConsumersZeroCost pins the hot-path contract: with no sinks
+// registered the raise fast path still early-returns before building the
+// occurrence (the existing zero-alloc pin tests cover allocations; this one
+// covers the sink bookkeeping staying out of the transaction).
+func TestSinkNoConsumersZeroCost(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	defer db.Close()
+	ids := hotPathClass(t, db, 1)
+	tx := db.Begin()
+	if _, err := db.Send(tx, ids[0], "Set", value.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	if tx.pushes != nil {
+		t.Fatalf("pushes collected with no sinks: %d", len(tx.pushes))
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -55,6 +55,12 @@ type Tx struct {
 	deferred *rule.Agenda
 	detached []rule.Firing
 
+	// pushes holds remote-sink deliveries matched during raise; they fan
+	// out only after the commit is durable (and are dropped on abort), so a
+	// remote subscriber never observes an occurrence of an aborted
+	// transaction. See sink.go.
+	pushes []pendingPush
+
 	// touched holds the tx-scoped rules this transaction delivered events
 	// to; their detectors reset when the transaction ends.
 	touched map[*rule.Rule]bool
@@ -200,6 +206,8 @@ func (db *Database) doCommit(t *Tx) error {
 
 	detached := t.detached
 	t.detached = nil
+	pushes := t.pushes
+	t.pushes = nil
 	t.finished = true
 	t.resetTouched()
 	if err := t.inner.Commit(durable); err != nil {
@@ -209,6 +217,13 @@ func (db *Database) doCommit(t *Tx) error {
 	}
 	t.releasePins()
 	t.releaseSnapshot()
+	// Remote-sink fan-out: the commit is durable, so matched occurrences
+	// may now leave the process. Wait-free (each delivery is a bounded
+	// enqueue), and ahead of detached dispatch so a subscriber watching
+	// both the event and a detached rule's effect sees them in that order.
+	if len(pushes) > 0 {
+		db.fanoutPushes(pushes)
+	}
 	// Committed deletes: drop the tombstoned entries once no active snapshot
 	// can still read them (usually immediately — the watermark has already
 	// advanced past our commit LSN unless an older snapshot is live, in
@@ -297,6 +312,7 @@ func (db *Database) Abort(t *Tx) {
 	t.finished = true
 	t.deferred.Clear()
 	t.detached = nil
+	t.pushes = nil
 	t.resetTouched()
 	t.inner.Abort()
 	t.releasePins()

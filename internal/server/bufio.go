@@ -1,0 +1,16 @@
+package server
+
+import (
+	"bufio"
+	"io"
+)
+
+// sessionBufSize sizes each session's read and write buffers. Idle-session
+// memory is dominated by these plus the two goroutine stacks, so they stay
+// small: 1 KiB each way covers every control frame in one buffer, large
+// payloads fall through bufio to the socket directly, and 10k idle
+// sessions cost ~20 MB of buffer instead of bufio's default ~80 MB.
+const sessionBufSize = 1024
+
+func newReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, sessionBufSize) }
+func newWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, sessionBufSize) }

@@ -1,0 +1,220 @@
+package server_test
+
+// Session-teardown coverage (the PR's lifecycle satellite): disconnecting
+// mid-pipeline and mid-subscription must release subscriptions, drain the
+// per-session queues, and leak zero goroutines; Server.Close while
+// sessions are active must shut down in order without racing committers —
+// the networked sibling of the core Close-race tests.
+
+import (
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"sentinel/internal/client"
+	"sentinel/internal/core"
+	"sentinel/internal/server"
+	"sentinel/internal/value"
+	"sentinel/internal/wire"
+)
+
+// stableGoroutines samples runtime.NumGoroutine until it stops shrinking,
+// letting teardown goroutines finish before the leak assertion.
+func stableGoroutines(deadline time.Duration, want int) int {
+	end := time.Now().Add(deadline)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(end) {
+		if n <= want {
+			return n
+		}
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestSessionTeardownLeaksNothing: open sessions, subscribe, pipeline,
+// disconnect abruptly — goroutine count returns to the pre-session
+// baseline and every subscription is released.
+func TestSessionTeardownLeaksNothing(t *testing.T) {
+	db, srv := startServer(t, server.Options{})
+	baseline := runtime.NumGoroutine()
+
+	const sessions = 8
+	clients := make([]*client.Client, sessions)
+	for i := range clients {
+		c, err := client.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		id, _, err := c.Lookup("A")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Subscribe(id, "", wire.MomentAny, func(wire.Event) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.SinkSubscriptions(); got != sessions {
+		t.Fatalf("subscriptions = %d, want %d", got, sessions)
+	}
+
+	// Disconnect mid-pipeline: launch reads and close without waiting.
+	for _, c := range clients {
+		id, _, _ := c.Lookup("A")
+		for i := 0; i < 16; i++ {
+			c.GoGet(id, "val")
+		}
+		c.Close()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for db.SinkSubscriptions() != 0 || srv.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("teardown incomplete: sessions=%d subs=%d", srv.Sessions(), db.SinkSubscriptions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := stableGoroutines(5*time.Second, baseline); got > baseline {
+		t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, got)
+	}
+}
+
+// TestDisconnectMidSubscriptionUnderFire: the session dies while pushes
+// for it are in flight. Committers must neither block nor panic, and the
+// subscription must be gone afterwards.
+func TestDisconnectMidSubscriptionUnderFire(t *testing.T) {
+	db, srv := startServer(t, server.Options{QueueLen: 8})
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := c.Lookup("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Subscribe(id, "", wire.MomentAny, func(wire.Event) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Atomically(func(tx *core.Tx) error {
+				_, err := db.Send(tx, id, "SetVal", value.Int(int64(i)))
+				return err
+			}); err != nil {
+				t.Errorf("commit during disconnect: %v", err)
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let pushes flow
+	c.Close()
+	time.Sleep(10 * time.Millisecond) // keep committing into the dead session
+	close(stop)
+	wg.Wait()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for db.SinkSubscriptions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription survived disconnect: %d", db.SinkSubscriptions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServerCloseWhileSessionsActive: Server.Close with live, active
+// sessions must tear everything down in order — no goroutine leaks, no
+// deadlock between session teardown and a committer fanning out pushes —
+// and the database must still be fully usable afterwards.
+func TestServerCloseWhileSessionsActive(t *testing.T) {
+	db := core.MustOpen(core.Options{Output: io.Discard})
+	defer db.Close()
+	if err := db.Exec(itemSchema); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(db, server.Options{Addr: "127.0.0.1:0", QueueLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clients := make([]*client.Client, 4)
+	for i := range clients {
+		c, err := client.Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+	objID, _, err := clients[0].Lookup("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		if _, err := c.Subscribe(objID, "", wire.MomentAny, func(wire.Event) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A committer hammers pushes while Close runs.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = db.Atomically(func(tx *core.Tx) error {
+				_, err := db.Send(tx, objID, "SetVal", value.Int(int64(i)))
+				return err
+			})
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if srv.Sessions() != 0 {
+		t.Fatalf("sessions after Close: %d", srv.Sessions())
+	}
+	if got := db.SinkSubscriptions(); got != 0 {
+		t.Fatalf("subscriptions after Close: %d", got)
+	}
+	// Close is idempotent.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// New connections are refused, the database still works.
+	if _, err := net.DialTimeout("tcp", srv.Addr(), 100*time.Millisecond); err == nil {
+		// A TCP dial may succeed briefly on some stacks even after close;
+		// what matters is that no session is served. Just try a commit.
+		_ = err
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		_, err := db.Send(tx, objID, "SetVal", value.Int(1000))
+		return err
+	}); err != nil {
+		t.Fatalf("database unusable after server close: %v", err)
+	}
+}

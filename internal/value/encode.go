@@ -105,6 +105,12 @@ func DecodeValue(buf []byte) (Value, []byte, error) {
 			return Nil, nil, fmt.Errorf("value: decode list: bad varint")
 		}
 		buf = buf[n:]
+		// The count is attacker-controlled on the wire path: every element
+		// costs at least one encoded byte, so a count beyond the bytes
+		// present is provably corrupt — reject it before sizing the slice.
+		if cnt > uint64(len(buf)) {
+			return Nil, nil, fmt.Errorf("value: decode list: count %d exceeds %d remaining bytes", cnt, len(buf))
+		}
 		elems := make([]Value, 0, cnt)
 		for i := uint64(0); i < cnt; i++ {
 			var (

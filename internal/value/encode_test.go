@@ -86,6 +86,10 @@ func TestDecodeMalformed(t *testing.T) {
 		{byte(KindString), 10},                // length beyond buffer
 		{byte(KindList), 3, byte(KindInt), 2}, // truncated list
 		{200},                                 // unknown kind
+		// List count far beyond the bytes present: must be rejected before
+		// the element slice is sized from it (found by FuzzDecodeEvent — a
+		// 5-byte varint count tried to allocate ~700 GB of elements).
+		{byte(KindList), 0x99, 0x99, 0x99, 0x99, 0x30},
 	}
 	for i, c := range cases {
 		if _, _, err := DecodeValue(c); err == nil {

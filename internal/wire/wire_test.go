@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"sentinel/internal/value"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Op: OpPing, ReqID: 1},
+		{Op: OpExec, ReqID: 42, Payload: AppendValues(nil, value.Str("class Foo {}"))},
+		{Op: OpResult, ReqID: 7, Payload: AppendValues(nil, value.List(value.Int(1), value.Ref(9)))},
+		{Op: OpEvent, ReqID: 0, Payload: bytes.Repeat([]byte{0xAA}, 1000)},
+	}
+	var buf []byte
+	for _, f := range frames {
+		buf = AppendFrame(buf, f)
+	}
+	rest := buf
+	for i, want := range frames {
+		var (
+			got Frame
+			err error
+		)
+		got, rest, err = DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.ReqID != want.ReqID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestReadFrameMatchesDecodeFrame(t *testing.T) {
+	f := Frame{Op: OpSubscribe, ReqID: 3, Payload: AppendValues(nil, value.Ref(17), value.Str("Deposit"), value.Int(int64(MomentAny)))}
+	buf := AppendFrame(nil, f)
+	got, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(buf)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != f.Op || got.ReqID != f.ReqID || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("got %+v want %+v", got, f)
+	}
+}
+
+func TestDecodeFrameBounds(t *testing.T) {
+	// Length field over the cap: rejected before any allocation.
+	over := binary.BigEndian.AppendUint32(nil, MaxFrameLen+1)
+	over = append(over, OpPing, 0, 0, 0, 0)
+	if _, _, err := DecodeFrame(over); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v", err)
+	}
+	// Length field under the opcode+reqid minimum.
+	under := binary.BigEndian.AppendUint32(nil, 2)
+	under = append(under, OpPing, 0, 0, 0, 0)
+	if _, _, err := DecodeFrame(under); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("undersized frame: got %v", err)
+	}
+	// Length field claiming more bytes than present: truncated.
+	trunc := binary.BigEndian.AppendUint32(nil, 100)
+	trunc = append(trunc, OpPing, 0, 0, 0, 0)
+	if _, _, err := DecodeFrame(trunc); err == nil {
+		t.Fatal("truncated frame decoded")
+	}
+	// Short header.
+	if _, _, err := DecodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header decoded")
+	}
+}
+
+func TestReadFrameBounds(t *testing.T) {
+	over := binary.BigEndian.AppendUint32(nil, MaxFrameLen+1)
+	over = append(over, OpPing, 0, 0, 0, 0)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(over)), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v", err)
+	}
+	// A truncated stream must error, not block forever or return garbage.
+	trunc := binary.BigEndian.AppendUint32(nil, 100)
+	trunc = append(trunc, OpExec, 0, 0, 0, 1, 2, 3)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(trunc)), nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream: got %v", err)
+	}
+}
+
+func TestReadFrameScratchReuse(t *testing.T) {
+	var stream []byte
+	big := Frame{Op: OpExec, ReqID: 1, Payload: bytes.Repeat([]byte{1}, 4096)}
+	small := Frame{Op: OpPing, ReqID: 2, Payload: []byte{9}}
+	stream = AppendFrame(stream, big)
+	stream = AppendFrame(stream, small)
+	r := bufio.NewReader(bytes.NewReader(stream))
+	_, scratch, err := ReadFrame(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, scratch2, err := ReadFrame(r, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &scratch[0] != &scratch2[0] {
+		t.Fatal("small frame did not reuse the big frame's scratch")
+	}
+	if f2.Payload[0] != 9 {
+		t.Fatalf("payload corrupted: %v", f2.Payload)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	ev := Event{
+		SubID:      77,
+		Source:     12345,
+		Class:      "Account",
+		Method:     "Withdraw",
+		Moment:     1,
+		Seq:        99,
+		Args:       []value.Value{value.Float(10.5), value.Str("x")},
+		ParamNames: []string{"amount", "memo"},
+	}
+	got, err := DecodeEvent(AppendEvent(nil, ev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SubID != ev.SubID || got.Source != ev.Source || got.Class != ev.Class ||
+		got.Method != ev.Method || got.Moment != ev.Moment || got.Seq != ev.Seq {
+		t.Fatalf("got %+v want %+v", got, ev)
+	}
+	if len(got.Args) != 2 || !got.Args[0].Equal(ev.Args[0]) || !got.Args[1].Equal(ev.Args[1]) {
+		t.Fatalf("args: %v", got.Args)
+	}
+	if len(got.ParamNames) != 2 || got.ParamNames[0] != "amount" || got.ParamNames[1] != "memo" {
+		t.Fatalf("param names: %v", got.ParamNames)
+	}
+}
+
+func TestEventRoundTripEmpty(t *testing.T) {
+	got, err := DecodeEvent(AppendEvent(nil, Event{Class: "C", Method: "explicitEv", Moment: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Args) != 0 || len(got.ParamNames) != 0 {
+		t.Fatalf("empty event grew fields: %+v", got)
+	}
+}
+
+func TestDecodeValuesTrailing(t *testing.T) {
+	payload := AppendValues(nil, value.Int(1), value.Int(2))
+	if _, err := DecodeValues(payload, 1); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing bytes accepted: %v", err)
+	}
+	if _, err := DecodeValues(payload, 3); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestErrPayloadRoundTrip(t *testing.T) {
+	if got := DecodeErr(ErrPayload("boom")); got != "boom" {
+		t.Fatalf("got %q", got)
+	}
+	if got := DecodeErr([]byte{0xFF, 0xFF}); got != "malformed error payload" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	ops := []byte{OpHello, OpPing, OpExec, OpEval, OpLookup, OpGet, OpInstances,
+		OpSubscribe, OpUnsubscribe, OpOK, OpErr, OpResult, OpPong, OpWelcome, OpSubOK, OpEvent}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		n := OpName(op)
+		if strings.HasPrefix(n, "OP(") {
+			t.Fatalf("opcode %d has no name", op)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate opcode name %s", n)
+		}
+		seen[n] = true
+	}
+	if OpName(200) != "OP(200)" {
+		t.Fatal("unknown opcode should render numerically")
+	}
+}
