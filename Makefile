@@ -9,8 +9,9 @@
 # baseline), the cold-open artifact BENCH_2.json, the
 # instrumentation-overhead artifact BENCH_3.json, the detached-pool
 # multi-core scaling artifact BENCH_4.json, the MVCC snapshot-read /
-# group-commit contention artifact BENCH_5.json, and the networked-server
-# artifact BENCH_6.json; `make bench-smoke` is a one-iteration CI-sized
+# group-commit contention artifact BENCH_5.json, the networked-server
+# artifact BENCH_6.json, and the replication read-scaling artifact
+# BENCH_7.json; `make bench-smoke` is a one-iteration CI-sized
 # pass over the same code paths plus a scrape of the live /metrics
 # endpoint; `make bench-gate` checks the checked-in benchmark artifacts
 # against the floors in dev/bench/thresholds.json (CI runs this, so a PR
@@ -35,14 +36,14 @@ test:
 check: build vet test
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/... ./internal/sim/... ./internal/vfs/... ./internal/wal/... ./internal/wire/... ./internal/server/... ./internal/client/...
+	$(GO) test -race ./internal/core/... ./internal/rule/... ./internal/event/... ./internal/txn/... ./internal/obs/... ./internal/sim/... ./internal/vfs/... ./internal/wal/... ./internal/wire/... ./internal/server/... ./internal/client/... ./internal/repl/...
 
 # Exhaustive crash-state torture: every journal op boundary in every crash
 # mode, every WAL bit position, and a widened differential-seed matrix.
 # The fixed seeds make failures reproducible; the strided versions of the
 # same sweeps run in the ordinary test suite.
 torture:
-	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint|TestGroupCommitTorture|TestSnapshotDiffer' -v ./internal/sim/ ./internal/core/
+	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint|TestGroupCommitTorture|TestSnapshotDiffer|TestReplTortureSweep|TestReplDiffSeeds' -v ./internal/sim/ ./internal/core/
 
 # Coverage-guided fuzzing on top of the checked-in seed corpora. `go test`
 # accepts one -fuzz pattern per package invocation, hence one line each.
@@ -53,6 +54,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseEventExpr -fuzztime $(FUZZTIME) ./internal/lang/
 	$(GO) test -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -fuzz FuzzDecodeEvent -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -fuzz FuzzDecodeReplBatch -fuzztime $(FUZZTIME) ./internal/wire/
 
 # Raise-path benchmarks: P1 (N rules), P8 (event-interface selectivity),
 # P11 (parallel sends), plus the machine-readable JSON suite.
@@ -64,6 +66,7 @@ bench:
 	$(GO) run ./cmd/sentinel-bench -json4 BENCH_4.json
 	$(GO) run ./cmd/sentinel-bench -json5 BENCH_5.json
 	$(GO) run ./cmd/sentinel-bench -json6 BENCH_6.json
+	$(GO) run ./cmd/sentinel-bench -json7 BENCH_7.json
 
 # One-iteration pass over every benchmark entry point: catches bit-rot in
 # the bench harness without benchmark-grade runtimes (CI runs this).
@@ -74,6 +77,7 @@ bench-smoke:
 	$(GO) run ./cmd/sentinel-bench -json4 /tmp/bench4-smoke.json -quick
 	$(GO) run ./cmd/sentinel-bench -json5 /tmp/bench5-smoke.json -quick
 	$(GO) run ./cmd/sentinel-bench -json6 /tmp/bench6-smoke.json -quick
+	$(GO) run ./cmd/sentinel-bench -json7 /tmp/bench7-smoke.json -quick
 
 # Enforce the performance floors in dev/bench/thresholds.json over the
 # checked-in benchmark artifacts.

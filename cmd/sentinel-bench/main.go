@@ -21,6 +21,9 @@
 //	sentinel-bench -json6 BENCH_6.json [-quick]
 //	                               # networked server: idle sessions,
 //	                               # pipelining, push fan-out latency
+//	sentinel-bench -json7 BENCH_7.json [-quick]
+//	                               # replication: read scaling across
+//	                               # followers, catch-up lag, push drops
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	json4Out := flag.String("json4", "", "write detached-pool multi-core scaling results to this JSON file and exit")
 	json5Out := flag.String("json5", "", "write MVCC snapshot-read/group-commit results to this JSON file and exit")
 	json6Out := flag.String("json6", "", "write networked-server benchmark results to this JSON file and exit")
+	json7Out := flag.String("json7", "", "write replication read-scaling benchmark results to this JSON file and exit")
 	idleClientAddr := flag.String("idle-client", "", "internal: run as the -json6 idle-session client subprocess against this address")
 	idleClientSessions := flag.Int("idle-sessions", 0, "internal: session count for -idle-client")
 	flag.Parse()
@@ -92,6 +96,13 @@ func main() {
 	}
 	if *json6Out != "" {
 		if err := runServerBench(*json6Out, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *json7Out != "" {
+		if err := runReplBench(*json7Out, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

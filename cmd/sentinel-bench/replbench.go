@@ -1,0 +1,572 @@
+package main
+
+// Replication read-scaling suite (-json7): measures what ISSUE 8's follower
+// fan-out buys — aggregate read throughput scaling with read replicas —
+// plus the two health properties the design promises: bounded follower lag
+// under a write burst, and zero push drops to idle (promptly reading)
+// subscribers on followers.
+//
+// Every node gets its own simulated storage device: a vfs wrapper whose
+// positional reads pay a fixed service time under a per-device mutex, i.e.
+// one request in flight per device, like a disk. A small resident-object
+// ceiling plus a small buffer pool make the read workload device-bound, so
+// the single-node baseline saturates its one device and three followers
+// expose three. The acceptance floor (enforced in full mode and by
+// bench-gate over BENCH_7.json) is >= 2.5x aggregate reads at 3 followers.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sentinel/internal/client"
+	"sentinel/internal/core"
+	"sentinel/internal/oid"
+	"sentinel/internal/repl"
+	"sentinel/internal/server"
+	"sentinel/internal/value"
+	"sentinel/internal/vfs"
+	"sentinel/internal/wire"
+)
+
+const replBenchSchema = `
+class Item reactive persistent {
+	attr val int
+	attr pad string
+	event end method SetVal(v int) { self.val := v }
+}
+bind HOT new Item(val: 0)
+`
+
+// replPad fattens each Item so the heap dwarfs the 8-page pool: with 8 KiB
+// pages, 2000 padded objects span ~75 pages, so a random fault-in almost
+// always misses the page cache and pays the device.
+var replPad = func() string {
+	b := make([]byte, 300)
+	for i := range b {
+		b[i] = 'x'
+	}
+	return string(b)
+}()
+
+// benchDevice simulates one storage device over an in-memory filesystem:
+// positional reads (the pager's fault-in path) pay a fixed service time
+// under a per-device mutex — one request at a time, like a disk head.
+// Sequential reads and writes pass through so startup and WAL appends
+// don't distort the read measurement.
+type benchDevice struct {
+	inner vfs.FS
+	delay time.Duration
+	mu    sync.Mutex
+	reads atomic.Int64
+}
+
+func newBenchDevice(delay time.Duration) *benchDevice {
+	return &benchDevice{inner: vfs.NewMem(), delay: delay}
+}
+
+func (d *benchDevice) service() {
+	d.mu.Lock()
+	time.Sleep(d.delay)
+	d.mu.Unlock()
+	d.reads.Add(1)
+}
+
+func (d *benchDevice) OpenFile(path string, flag int, perm iofs.FileMode) (vfs.File, error) {
+	f, err := d.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &benchDevFile{File: f, dev: d}, nil
+}
+
+func (d *benchDevice) ReadFile(path string) ([]byte, error) { return d.inner.ReadFile(path) }
+func (d *benchDevice) Rename(o, n string) error             { return d.inner.Rename(o, n) }
+func (d *benchDevice) Remove(path string) error             { return d.inner.Remove(path) }
+func (d *benchDevice) MkdirAll(dir string, perm iofs.FileMode) error {
+	return d.inner.MkdirAll(dir, perm)
+}
+func (d *benchDevice) SyncDir(dir string) error { return d.inner.SyncDir(dir) }
+
+type benchDevFile struct {
+	vfs.File
+	dev *benchDevice
+}
+
+func (f *benchDevFile) ReadAt(p []byte, off int64) (int, error) {
+	f.dev.service()
+	return f.File.ReadAt(p, off)
+}
+
+type replReadResult struct {
+	Nodes       int     `json:"nodes"`
+	Readers     int     `json:"readers"`
+	Reads       int64   `json:"reads"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	DeviceReads int64   `json:"device_reads"` // fault-ins served by the simulated devices
+}
+
+type replFanoutResult struct {
+	replReadResult
+	SpeedupVsSingle   float64 `json:"speedup_vs_single"`
+	CatchupNs         int64   `json:"catchup_ns"` // write burst to all-followers-applied
+	BurstCommits      int     `json:"burst_commits"`
+	LagAfterCatchup   uint64  `json:"lag_batches_after_catchup"`
+	PeersAfterCatchup int     `json:"peers_after_catchup"`
+}
+
+type replPushResult struct {
+	Followers  int   `json:"followers"`
+	Commits    int   `json:"commits"`
+	Deliveries int64 `json:"deliveries"`
+	PushDrops  int64 `json:"push_drops"`
+}
+
+type replReport struct {
+	GeneratedBy     string           `json:"generated_by"`
+	GoMaxProcs      int              `json:"gomaxprocs"`
+	NumCPU          int              `json:"num_cpu"`
+	GoVersion       string           `json:"go_version"`
+	Note            string           `json:"note"`
+	Population      int              `json:"population"`
+	ResidentCap     int              `json:"resident_cap"`
+	DeviceLatencyUs int64            `json:"device_read_latency_us"`
+	Single          replReadResult   `json:"single"`
+	Fanout          replFanoutResult `json:"fanout"`
+	Push            replPushResult   `json:"push"`
+}
+
+// replBenchNodeOpts are the storage options every node (primary and
+// follower alike) runs with: identical simulated hardware.
+func replBenchNodeOpts(dev *benchDevice, residentCap int) core.Options {
+	return core.Options{
+		Dir:                "db",
+		VFS:                dev,
+		MaxResidentObjects: residentCap,
+		PoolPages:          8, // tiny page cache: misses go to the device
+		Output:             io.Discard,
+	}
+}
+
+// populateRepl creates pop Items in batches and returns their OIDs.
+func populateRepl(db *core.Database, pop int) ([]oid.OID, error) {
+	oids := make([]oid.OID, 0, pop)
+	const batch = 200
+	for len(oids) < pop {
+		n := batch
+		if rem := pop - len(oids); rem < n {
+			n = rem
+		}
+		err := db.Atomically(func(t *core.Tx) error {
+			for i := 0; i < n; i++ {
+				id, err := db.NewObject(t, "Item", map[string]value.Value{
+					"val": value.Int(int64(len(oids) + i)),
+					"pad": value.Str(replPad),
+				})
+				if err != nil {
+					return err
+				}
+				oids = append(oids, id)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return oids, nil
+}
+
+// nudgeCommits runs a few small commits so the post-checkpoint eviction
+// pass actually fires (maybeEvict runs on the commit/apply path).
+func nudgeCommits(db *core.Database, hot oid.OID, n int) error {
+	for i := 0; i < n; i++ {
+		err := db.Atomically(func(t *core.Tx) error {
+			_, err := db.Send(t, hot, "SetVal", value.Int(int64(i)))
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startEvictionPump keeps a trickle of commits flowing while readers run:
+// maybeEvict fires on the commit path (and, via the shipped batch, on every
+// follower's apply path), so without it the first round of fault-ins would
+// repopulate the directory and the measurement would degrade into resident
+// cache hits. The trickle is the "contended writer" of the scenario.
+func startEvictionPump(db *core.Database, hot oid.OID) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(2 * time.Millisecond):
+				i++
+				_ = db.Atomically(func(t *core.Tx) error {
+					_, err := db.Send(t, hot, "SetVal", value.Int(int64(i)))
+					return err
+				})
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// runReplReaders drives pipelined random OpGets against each address for
+// the given duration and returns total completed reads and wall time.
+// Readers are spread evenly across the addresses.
+func runReplReaders(addrs []string, readers, depth int, dur time.Duration) (int64, time.Duration, error) {
+	var (
+		total  atomic.Int64
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		topErr error
+	)
+	start := time.Now()
+	deadline := start.Add(dur)
+	for r := 0; r < readers; r++ {
+		addr := addrs[r%len(addrs)]
+		seed := int64(r + 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fail := func(err error) {
+				errMu.Lock()
+				if topErr == nil {
+					topErr = err
+				}
+				errMu.Unlock()
+			}
+			c, err := client.Dial(context.Background(), addr)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer c.Close()
+			ids, err := c.Instances(context.Background(), "Item")
+			if err != nil || len(ids) == 0 {
+				fail(fmt.Errorf("instances: %d ids, %v", len(ids), err))
+				return
+			}
+			rng := rand.New(rand.NewSource(seed))
+			window := make([]*client.Call, 0, depth)
+			for time.Now().Before(deadline) {
+				if len(window) == depth {
+					if _, err := c.GetCall(context.Background(), window[0]); err != nil {
+						fail(err)
+						return
+					}
+					window = window[1:]
+					total.Add(1)
+				}
+				window = append(window, c.GoGet(context.Background(), ids[rng.Intn(len(ids))], "val"))
+			}
+			for _, call := range window {
+				if _, err := c.GetCall(context.Background(), call); err != nil {
+					fail(err)
+					return
+				}
+				total.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return total.Load(), time.Since(start), topErr
+}
+
+// runReplBench runs the replication suite and writes the BENCH_7 report.
+func runReplBench(path string, quick bool) error {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	pop, residentCap := 2000, 64
+	devDelay := 150 * time.Microsecond
+	readers, depth := 6, 8
+	readDur := 1500 * time.Millisecond
+	burst, pushCommits := 200, 30
+	if quick {
+		pop, residentCap = 400, 32
+		readers, depth = 3, 4
+		readDur = 300 * time.Millisecond
+		burst, pushCommits = 40, 8
+	}
+
+	var report replReport
+	report.GeneratedBy = "sentinel-bench -json7"
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.NumCPU = runtime.NumCPU()
+	report.GoVersion = runtime.Version()
+	report.Population = pop
+	report.ResidentCap = residentCap
+	report.DeviceLatencyUs = devDelay.Microseconds()
+	report.Note = fmt.Sprintf(
+		"TCP loopback, per-node simulated storage device (%v positional-read service time, one request in flight per device), %d Items with a %d-object resident ceiling and an 8-page pool so random reads are device-bound; aggregate OpGet throughput on 1 node vs 3 followers, follower catch-up after a %d-commit burst, push fan-out through follower servers; see EXPERIMENTS.md P18",
+		devDelay, pop, residentCap, burst)
+
+	// ---- Primary node ----
+	pdev := newBenchDevice(devDelay)
+	pdb, err := core.Open(replBenchNodeOpts(pdev, residentCap))
+	if err != nil {
+		return err
+	}
+	defer pdb.Close()
+	pri := repl.NewPrimary(pdb, repl.PrimaryOptions{})
+	defer pri.Close()
+	psrv, err := server.New(pdb, server.Options{Addr: "127.0.0.1:0", Primary: pri})
+	if err != nil {
+		return err
+	}
+	defer psrv.Close()
+
+	if err := pdb.Exec(replBenchSchema); err != nil {
+		return err
+	}
+	hot, ok := pdb.Lookup("HOT")
+	if !ok {
+		return fmt.Errorf("HOT unbound")
+	}
+	oids, err := populateRepl(pdb, pop)
+	if err != nil {
+		return fmt.Errorf("populate: %w", err)
+	}
+	if err := pdb.Checkpoint(); err != nil {
+		return err
+	}
+	if err := nudgeCommits(pdb, hot, 5); err != nil {
+		return err
+	}
+
+	// ---- Single-node baseline ----
+	stopPump := startEvictionPump(pdb, hot)
+	reads, elapsed, err := runReplReaders([]string{psrv.Addr()}, readers, depth, readDur)
+	stopPump()
+	if err != nil {
+		return fmt.Errorf("single-node readers: %w", err)
+	}
+	report.Single = replReadResult{
+		Nodes: 1, Readers: readers, Reads: reads,
+		ElapsedNs:   elapsed.Nanoseconds(),
+		ReadsPerSec: float64(reads) / elapsed.Seconds(),
+		DeviceReads: pdev.reads.Load(),
+	}
+	fmt.Printf("  single node: %8.0f reads/s (%d reads, %d device reads)\n",
+		report.Single.ReadsPerSec, reads, report.Single.DeviceReads)
+
+	// ---- Three followers, each on its own device ----
+	type fnode struct {
+		dev *benchDevice
+		f   *repl.Follower
+		srv *server.Server
+	}
+	var followers []fnode
+	defer func() {
+		for _, fn := range followers {
+			fn.srv.Close()
+			fn.f.Close()
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		dev := newBenchDevice(devDelay)
+		f, err := repl.StartFollower(repl.FollowerOptions{
+			PrimaryAddr: psrv.Addr(),
+			Core:        replBenchNodeOpts(dev, residentCap),
+			MaxBackoff:  200 * time.Millisecond,
+		})
+		if err != nil {
+			return fmt.Errorf("follower %d: %w", i, err)
+		}
+		srv, err := server.New(f.DB, server.Options{Addr: "127.0.0.1:0"})
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("follower %d server: %w", i, err)
+		}
+		followers = append(followers, fnode{dev: dev, f: f, srv: srv})
+	}
+	waitApplied := func(target uint64, timeout time.Duration) error {
+		deadline := time.Now().Add(timeout)
+		for {
+			done := true
+			for _, fn := range followers {
+				if fn.f.DB.ReplLSN() < target {
+					done = false
+					break
+				}
+			}
+			if done {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("followers stuck below LSN %d", target)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := waitApplied(pdb.ReplLSN(), 60*time.Second); err != nil {
+		return err
+	}
+	for _, fn := range followers {
+		if err := fn.f.DB.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	if err := nudgeCommits(pdb, hot, 5); err != nil {
+		return err
+	}
+	if err := waitApplied(pdb.ReplLSN(), 60*time.Second); err != nil {
+		return err
+	}
+
+	var faddrs []string
+	for _, fn := range followers {
+		faddrs = append(faddrs, fn.srv.Addr())
+	}
+	devBase := int64(0)
+	for _, fn := range followers {
+		devBase += fn.dev.reads.Load()
+	}
+	stopPump = startEvictionPump(pdb, hot)
+	reads, elapsed, err = runReplReaders(faddrs, readers, depth, readDur)
+	stopPump()
+	if err != nil {
+		return fmt.Errorf("follower readers: %w", err)
+	}
+	devReads := -devBase
+	for _, fn := range followers {
+		devReads += fn.dev.reads.Load()
+	}
+	report.Fanout.replReadResult = replReadResult{
+		Nodes: 3, Readers: readers, Reads: reads,
+		ElapsedNs:   elapsed.Nanoseconds(),
+		ReadsPerSec: float64(reads) / elapsed.Seconds(),
+		DeviceReads: devReads,
+	}
+	report.Fanout.SpeedupVsSingle = report.Fanout.ReadsPerSec / report.Single.ReadsPerSec
+	fmt.Printf("  3 followers: %8.0f reads/s (%.2fx single node, %d device reads)\n",
+		report.Fanout.ReadsPerSec, report.Fanout.SpeedupVsSingle, devReads)
+
+	// ---- Catch-up after a write burst ----
+	for i := 0; i < burst; i++ {
+		err := pdb.Atomically(func(t *core.Tx) error {
+			_, err := pdb.Send(t, oids[i%len(oids)], "SetVal", value.Int(int64(i)))
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("burst commit %d: %w", i, err)
+		}
+	}
+	target := pdb.ReplLSN()
+	start := time.Now()
+	if err := waitApplied(target, 60*time.Second); err != nil {
+		return err
+	}
+	report.Fanout.CatchupNs = time.Since(start).Nanoseconds()
+	report.Fanout.BurstCommits = burst
+	// Lag accounting drains once every follower's ack lands.
+	lagDeadline := time.Now().Add(10 * time.Second)
+	for {
+		s := pdb.Stats().Replication
+		report.Fanout.LagAfterCatchup = s.LagBatches
+		report.Fanout.PeersAfterCatchup = s.Peers
+		if s.LagBatches == 0 || time.Now().After(lagDeadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("  catch-up after %d-commit burst: %v (lag %d batches, %d peers)\n",
+		burst, time.Duration(report.Fanout.CatchupNs).Round(time.Millisecond),
+		report.Fanout.LagAfterCatchup, report.Fanout.PeersAfterCatchup)
+
+	// ---- Push fan-out through follower servers ----
+	var delivered atomic.Int64
+	var subs []*client.Client
+	defer func() {
+		for _, c := range subs {
+			c.Close()
+		}
+	}()
+	for i, fn := range followers {
+		c, err := client.Dial(context.Background(), fn.srv.Addr())
+		if err != nil {
+			return fmt.Errorf("subscriber %d: %w", i, err)
+		}
+		subs = append(subs, c)
+		id, ok, err := c.Lookup(context.Background(), "HOT")
+		if err != nil || !ok {
+			return fmt.Errorf("subscriber %d lookup HOT: ok=%v err=%v", i, ok, err)
+		}
+		if _, err := c.Subscribe(context.Background(), id, "SetVal", wire.MomentAny,
+			func(wire.Event) { delivered.Add(1) }); err != nil {
+			return fmt.Errorf("subscriber %d: %w", i, err)
+		}
+	}
+	for i := 0; i < pushCommits; i++ {
+		if err := nudgeCommits(pdb, hot, 1); err != nil {
+			return err
+		}
+	}
+	want := int64(pushCommits * len(followers))
+	pushDeadline := time.Now().Add(30 * time.Second)
+	for delivered.Load() < want {
+		if time.Now().After(pushDeadline) {
+			return fmt.Errorf("push fan-out: %d/%d deliveries confirmed", delivered.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var drops int64
+	for _, fn := range followers {
+		d, _ := fn.f.DB.Metrics().Counter("sentinel_server_push_drops_total")
+		drops += int64(d)
+	}
+	report.Push = replPushResult{
+		Followers:  len(followers),
+		Commits:    pushCommits,
+		Deliveries: delivered.Load(),
+		PushDrops:  drops,
+	}
+	fmt.Printf("  push via followers: %d/%d deliveries, %d drops\n",
+		report.Push.Deliveries, want, drops)
+
+	// Acceptance gates (ISSUE 8): full mode only — quick mode exists to
+	// catch harness bit-rot in CI, not to certify performance.
+	if !quick {
+		if report.Fanout.SpeedupVsSingle < 2.5 {
+			return fmt.Errorf("3-follower aggregate read throughput %.2fx single node, below the 2.5x floor", report.Fanout.SpeedupVsSingle)
+		}
+		if report.Fanout.CatchupNs > (10 * time.Second).Nanoseconds() {
+			return fmt.Errorf("follower catch-up took %v, above the 10s ceiling", time.Duration(report.Fanout.CatchupNs))
+		}
+	}
+	if report.Push.PushDrops != 0 {
+		return fmt.Errorf("%d pushes dropped on idle follower subscribers", report.Push.PushDrops)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

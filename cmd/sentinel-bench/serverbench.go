@@ -22,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -117,16 +118,16 @@ func runIdleClient(addr string, n int) error {
 	sem := make(chan struct{}, 64) // dial pacing: don't overrun the accept backlog
 
 	// Resolve the target once; the OID is stable across sessions.
-	c0, err := client.Dial(addr)
+	c0, err := client.Dial(context.Background(), addr)
 	if err != nil {
 		return err
 	}
-	id, ok, err := c0.Lookup("A")
+	id, ok, err := c0.Lookup(context.Background(), "A")
 	if err != nil || !ok {
 		return fmt.Errorf("lookup A: ok=%v err=%v", ok, err)
 	}
 	target = id
-	if _, err := c0.Subscribe(target, "", wire.MomentAny, func(wire.Event) {}); err != nil {
+	if _, err := c0.Subscribe(context.Background(), target, "", wire.MomentAny, func(wire.Event) {}); err != nil {
 		return err
 	}
 	clients = append(clients, c0)
@@ -137,9 +138,9 @@ func runIdleClient(addr string, n int) error {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			c, err := client.Dial(addr)
+			c, err := client.Dial(context.Background(), addr)
 			if err == nil {
-				_, err = c.Subscribe(target, "", wire.MomentAny, func(wire.Event) {})
+				_, err = c.Subscribe(context.Background(), target, "", wire.MomentAny, func(wire.Event) {})
 			}
 			if err != nil {
 				select {
@@ -242,12 +243,12 @@ func runSrvPipeline(depth, cmds int) (srvPipelineResult, error) {
 	}
 	defer db.Close()
 	defer srv.Close()
-	c, err := client.Dial(srv.Addr())
+	c, err := client.Dial(context.Background(), srv.Addr())
 	if err != nil {
 		return srvPipelineResult{}, err
 	}
 	defer c.Close()
-	id, ok, err := c.Lookup("A")
+	id, ok, err := c.Lookup(context.Background(), "A")
 	if err != nil || !ok {
 		return srvPipelineResult{}, fmt.Errorf("lookup A: ok=%v err=%v", ok, err)
 	}
@@ -256,15 +257,15 @@ func runSrvPipeline(depth, cmds int) (srvPipelineResult, error) {
 	start := time.Now()
 	for i := 0; i < cmds; i++ {
 		if len(window) == depth {
-			if _, err := c.GetCall(window[0]); err != nil {
+			if _, err := c.GetCall(context.Background(), window[0]); err != nil {
 				return srvPipelineResult{}, err
 			}
 			window = window[1:]
 		}
-		window = append(window, c.GoGet(id, "val"))
+		window = append(window, c.GoGet(context.Background(), id, "val"))
 	}
 	for _, call := range window {
-		if _, err := c.GetCall(call); err != nil {
+		if _, err := c.GetCall(context.Background(), call); err != nil {
 			return srvPipelineResult{}, err
 		}
 	}
@@ -315,19 +316,19 @@ func runSrvFanout(subs, commits int) (srvFanoutResult, error) {
 	}()
 	var target oid.OID
 	for i := range clients {
-		c, err := client.Dial(srv.Addr())
+		c, err := client.Dial(context.Background(), srv.Addr())
 		if err != nil {
 			return srvFanoutResult{}, err
 		}
 		clients[i] = c
 		if i == 0 {
-			id, ok, err := c.Lookup("A")
+			id, ok, err := c.Lookup(context.Background(), "A")
 			if err != nil || !ok {
 				return srvFanoutResult{}, fmt.Errorf("lookup A: ok=%v err=%v", ok, err)
 			}
 			target = id
 		}
-		if _, err := c.Subscribe(target, "", wire.MomentAny, func(ev wire.Event) { handler(ev) }); err != nil {
+		if _, err := c.Subscribe(context.Background(), target, "", wire.MomentAny, func(ev wire.Event) { handler(ev) }); err != nil {
 			return srvFanoutResult{}, err
 		}
 	}

@@ -7,8 +7,15 @@
 //	sentinel-server -addr :7707                    # in-memory
 //	sentinel-server -addr :7707 -d ./mydb          # persistent
 //	sentinel-server -addr :7707 -f schema.sql      # load a script first
+//	sentinel-server -addr :7707 -d ./mydb -repl    # replication primary
+//	sentinel-server -addr :7708 -d ./replica -follow host:7707
+//	                                               # read replica of host:7707
 //
-// Connect with the sentinel shell: `.connect host:7707`.
+// A primary (-repl) streams every committed batch to attached followers; a
+// follower (-follow) opens its directory in replica mode, keeps itself in
+// sync with the primary, and serves reads and subscriptions from its own
+// address (see DESIGN.md §4h). Connect with the sentinel shell:
+// `.connect host:7707`.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"syscall"
 
 	"sentinel/internal/core"
+	"sentinel/internal/repl"
 	"sentinel/internal/server"
 )
 
@@ -31,7 +39,14 @@ func main() {
 	sync := flag.Bool("sync", true, "fsync the WAL on every commit")
 	queue := flag.Int("queue", 128, "per-session out-queue capacity (frames)")
 	disconnectSlow := flag.Bool("disconnect-slow", false, "disconnect sessions that overflow their push queue (default: drop events)")
+	replicate := flag.Bool("repl", false, "act as a replication primary (followers may attach)")
+	follow := flag.String("follow", "", "act as a read replica of the primary at this address")
 	flag.Parse()
+
+	if *follow != "" {
+		runFollower(*addr, *dir, *follow, *metricsAddr, *queue, *disconnectSlow)
+		return
+	}
 
 	db, err := core.Open(core.Options{
 		Dir:             *dir,
@@ -59,17 +74,30 @@ func main() {
 		}
 	}
 
+	var primary *repl.Primary
+	if *replicate {
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "sentinel-server: -repl requires -d (base sync needs persistent storage)")
+			db.Close()
+			os.Exit(1)
+		}
+		primary = repl.NewPrimary(db, repl.PrimaryOptions{})
+	}
+
 	policy := server.DropEvents
 	if *disconnectSlow {
 		policy = server.DisconnectSlow
 	}
-	srv, err := server.New(db, server.Options{Addr: *addr, QueueLen: *queue, Overflow: policy})
+	srv, err := server.New(db, server.Options{Addr: *addr, QueueLen: *queue, Overflow: policy, Primary: primary})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
 		db.Close()
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "sentinel-server listening on %s\n", srv.Addr())
+	if primary != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: replication primary (followers may attach)")
+	}
 	if *metricsAddr != "" {
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", db.MetricsAddr())
 	}
@@ -78,13 +106,61 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "sentinel-server: shutting down")
-	// Sessions first (their subscriptions release), then the database
-	// (checkpoint + close storage).
+	// Sessions first (their subscriptions release and followers detach),
+	// then the shipper, then the database (checkpoint + close storage).
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-server: server close:", err)
 	}
+	if primary != nil {
+		primary.Close()
+	}
 	if err := db.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-server: db close:", err)
+		os.Exit(1)
+	}
+}
+
+// runFollower runs the replica mode: a Follower keeps the local directory
+// in sync with the primary while a Server serves reads and subscriptions
+// from it on this node's own address.
+func runFollower(addr, dir, primaryAddr, metricsAddr string, queue int, disconnectSlow bool) {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "sentinel-server: -follow requires -d (the replica's local directory)")
+		os.Exit(1)
+	}
+	f, err := repl.StartFollower(repl.FollowerOptions{
+		PrimaryAddr: primaryAddr,
+		Core:        core.Options{Dir: dir, SyncOnCommit: false, MetricsAddr: metricsAddr},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
+		os.Exit(1)
+	}
+	policy := server.DropEvents
+	if disconnectSlow {
+		policy = server.DisconnectSlow
+	}
+	srv, err := server.New(f.DB, server.Options{Addr: addr, QueueLen: queue, Overflow: policy})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
+		f.Close()
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sentinel-server replica listening on %s (following %s)\n", srv.Addr(), primaryAddr)
+	if metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", f.DB.MetricsAddr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "sentinel-server: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: server close:", err)
+	}
+	// Follower.Close stops the stream and closes the database.
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: follower close:", err)
 		os.Exit(1)
 	}
 }

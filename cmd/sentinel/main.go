@@ -30,6 +30,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -104,7 +105,7 @@ func (sh *shell) exec(src string) error {
 	if sh.remote == nil {
 		return sh.db.Exec(src)
 	}
-	err := sh.remote.Exec(src)
+	err := sh.remote.Exec(context.Background(), src)
 	if errors.Is(err, client.ErrClosed) {
 		fmt.Printf("connection to %s lost; back to local database\n", sh.addr)
 		sh.remote.Close()
@@ -219,7 +220,7 @@ above still inspect the shell's local database.`)
 			fmt.Printf("already connected to %s (.disconnect first)\n", sh.addr)
 			break
 		}
-		c, err := client.Dial(fields[1])
+		c, err := client.Dial(context.Background(), fields[1])
 		if err != nil {
 			fmt.Println("error:", err)
 			break
@@ -244,7 +245,7 @@ above still inspect the shell's local database.`)
 			fmt.Println("usage: .subscribe <name> [method] [begin|end|explicit]")
 			break
 		}
-		id, ok, err := sh.remote.Lookup(fields[1])
+		id, ok, err := sh.remote.Lookup(context.Background(), fields[1])
 		if err != nil {
 			fmt.Println("error:", err)
 			break
@@ -262,7 +263,7 @@ above still inspect the shell's local database.`)
 				method = f
 			}
 		}
-		subID, err := sh.remote.Subscribe(id, method, moment, printPush(fields[1]))
+		subID, err := sh.remote.Subscribe(context.Background(), id, method, moment, printPush(fields[1]))
 		if err != nil {
 			fmt.Println("error:", err)
 			break
@@ -283,7 +284,7 @@ above still inspect the shell's local database.`)
 			fmt.Println("error:", err)
 			break
 		}
-		if err := sh.remote.Unsubscribe(subID); err != nil {
+		if err := sh.remote.Unsubscribe(context.Background(), subID); err != nil {
 			fmt.Println("error:", err)
 		} else {
 			fmt.Printf("unsubscribed #%d\n", subID)
@@ -368,6 +369,11 @@ above still inspect the shell's local database.`)
 			s.Storage.VersionPrunes, s.Storage.MaxChainDepth, perFsync)
 		fmt.Printf("txns: started=%d committed=%d aborted=%d deadlocks=%d\n",
 			s.Txn.Started, s.Txn.Committed, s.Txn.Aborted, s.Txn.Deadlocks)
+		if s.Replication.Role != "none" {
+			fmt.Printf("replication: role=%s peers=%d shipped=%d applied=%d lag=%d\n",
+				s.Replication.Role, s.Replication.Peers,
+				s.Replication.ShippedLSN, s.Replication.AppliedLSN, s.Replication.LagBatches)
+		}
 	case ".metrics":
 		for _, h := range db.Metrics().Histograms {
 			if h.Count == 0 {

@@ -1,8 +1,15 @@
 // Package client is the minimal Go client for sentinel-server's wire
-// protocol, used by the shell (.connect), the tests, and the benchmarks.
+// protocol, used by the shell (.connect), the replication follower, the
+// tests, and the benchmarks.
+//
+// Every blocking method takes a context.Context: the context bounds that
+// one call (dial, request/response round-trip), and cancelling it abandons
+// the call without leaking its futures-map entry — the response, if it
+// later arrives, is dropped on the floor. Cancellation is per-call, not
+// per-connection: the transport stays usable after an abandoned call.
 //
 // Calls pipeline: Go* methods send without waiting and return a Call whose
-// Wait blocks for that request's response, matched by request id. Two
+// wait blocks for that request's response, matched by request id. Two
 // goroutines drive the connection — a writer coalescing queued frames into
 // single flushes, and a reader dispatching responses to their Calls and
 // push frames to subscription handlers — so N in-flight calls cost N
@@ -14,10 +21,12 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"sentinel/internal/oid"
 	"sentinel/internal/value"
@@ -47,6 +56,11 @@ type Client struct {
 	closeErr  error
 	closing   bool
 
+	// rawPush receives non-OpEvent pushes (the replication stream). Set
+	// once via OnPush before any replication traffic; read on the reader
+	// goroutine without locking thereafter.
+	rawPush func(op byte, payload []byte)
+
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
@@ -63,18 +77,39 @@ type result struct {
 
 // Call is one in-flight request.
 type Call struct {
+	c  *Client
+	id uint32
 	ch chan result
 }
 
-// wait blocks for the response frame.
-func (c *Call) wait() (wire.Frame, error) {
-	r := <-c.ch
-	return r.f, r.err
+// wait blocks for the response frame or the context. An abandoned call is
+// unregistered from the pending map immediately: a response racing the
+// cancellation lands in the call's one-slot buffer and is garbage-collected
+// with it, so cancellation never leaks map entries or frames.
+func (call *Call) wait(ctx context.Context) (wire.Frame, error) {
+	select {
+	case r := <-call.ch:
+		return r.f, r.err
+	case <-ctx.Done():
+		call.c.abandon(call.id)
+		return wire.Frame{}, ctx.Err()
+	}
 }
 
-// Dial connects and performs the version handshake.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Wait blocks for the response of a pipelined Go* call.
+func (call *Call) Wait(ctx context.Context) (wire.Frame, error) { return call.wait(ctx) }
+
+// abandon forgets an in-flight call after its waiter gave up.
+func (c *Client) abandon(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Dial connects and performs the version handshake; ctx bounds both.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +124,7 @@ func Dial(addr string) (*Client, error) {
 	c.wg.Add(2)
 	go c.readLoop()
 	go c.writeLoop()
-	f, err := c.start(wire.OpHello, wire.AppendValues(nil, value.Int(wire.ProtocolVersion))).wait()
+	f, err := c.start(ctx, wire.OpHello, wire.AppendValues(nil, value.Int(wire.ProtocolVersion))).wait(ctx)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -108,6 +143,33 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// DialRetry dials with exponential backoff (50ms doubling to maxBackoff)
+// until it connects or ctx is cancelled. The replication follower runs its
+// reconnect loop on this; anything needing a patient dial can share it.
+func DialRetry(ctx context.Context, addr string, maxBackoff time.Duration) (*Client, error) {
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	backoff := 50 * time.Millisecond
+	for {
+		c, err := Dial(ctx, addr)
+		if err == nil {
+			return c, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
 // Close tears the connection down; every in-flight call fails with
 // ErrClosed.
 func (c *Client) Close() error {
@@ -115,6 +177,11 @@ func (c *Client) Close() error {
 	c.wg.Wait()
 	return nil
 }
+
+// Done is closed when the connection dies (remote close, transport error,
+// or Close). The follower's apply loop selects on it to notice a lost
+// primary without a read in flight.
+func (c *Client) Done() <-chan struct{} { return c.done }
 
 // fail closes the transport once and completes all pending calls with err.
 func (c *Client) fail(err error) {
@@ -134,9 +201,10 @@ func (c *Client) fail(err error) {
 }
 
 // start registers a Call and enqueues its request frame. The returned Call
-// always completes: on transport death it yields the close error.
-func (c *Client) start(op byte, payload []byte) *Call {
-	call := &Call{ch: make(chan result, 1)}
+// always completes: on transport death it yields the close error, on
+// context cancellation (while the out-queue is full) the context error.
+func (c *Client) start(ctx context.Context, op byte, payload []byte) *Call {
+	call := &Call{c: c, ch: make(chan result, 1)}
 	c.mu.Lock()
 	if c.closing {
 		err := c.closeErr
@@ -148,13 +216,16 @@ func (c *Client) start(op byte, payload []byte) *Call {
 	if c.reqSeq == 0 { // 0 is the push id; skip it on wraparound
 		c.reqSeq = 1
 	}
-	id := c.reqSeq
-	c.pending[id] = call
+	call.id = c.reqSeq
+	c.pending[call.id] = call
 	c.mu.Unlock()
 	select {
-	case c.out <- wire.Frame{Op: op, ReqID: id, Payload: payload}:
+	case c.out <- wire.Frame{Op: op, ReqID: call.id, Payload: payload}:
 	case <-c.done:
 		// fail() already completed (or will complete) this call.
+	case <-ctx.Done():
+		c.abandon(call.id)
+		call.ch <- result{err: ctx.Err()}
 	}
 	return call
 }
@@ -207,8 +278,12 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("client: transport: %w", err))
 			return
 		}
-		if f.Op == wire.OpEvent {
-			c.dispatchEvent(f.Payload)
+		if f.ReqID == 0 {
+			if f.Op == wire.OpEvent {
+				c.dispatchEvent(f.Payload)
+			} else if h := c.rawPush; h != nil {
+				h(f.Op, f.Payload)
+			}
 			continue
 		}
 		c.mu.Lock()
@@ -216,7 +291,7 @@ func (c *Client) readLoop() {
 		delete(c.pending, f.ReqID)
 		c.mu.Unlock()
 		if call == nil {
-			continue // response to a request Close already failed
+			continue // response to an abandoned or already-failed request
 		}
 		// The payload aliases the read scratch; the call owns its copy.
 		owned := wire.Frame{Op: f.Op, ReqID: f.ReqID, Payload: append([]byte(nil), f.Payload...)}
@@ -252,6 +327,13 @@ func (c *Client) dispatchEvent(payload []byte) {
 	}
 }
 
+// OnPush installs the raw handler for non-OpEvent pushes (the replication
+// stream: OpReplFrames, OpReplSnap, OpReplSnapEnd). Must be set before the
+// traffic it handles can arrive (i.e. before ReplHello); the handler runs
+// on the reader goroutine and its payload is only valid for the duration of
+// the call.
+func (c *Client) OnPush(h func(op byte, payload []byte)) { c.rawPush = h }
+
 // respErr renders a non-OK response as an error.
 func respErr(f wire.Frame) error {
 	if f.Op == wire.OpErr {
@@ -263,11 +345,11 @@ func respErr(f wire.Frame) error {
 // ---- typed calls (each has a Go* pipelined form and a blocking form) ----
 
 // GoPing starts a ping.
-func (c *Client) GoPing() *Call { return c.start(wire.OpPing, nil) }
+func (c *Client) GoPing(ctx context.Context) *Call { return c.start(ctx, wire.OpPing, nil) }
 
 // Ping round-trips a no-op frame.
-func (c *Client) Ping() error {
-	f, err := c.GoPing().wait()
+func (c *Client) Ping(ctx context.Context) error {
+	f, err := c.GoPing(ctx).wait(ctx)
 	if err != nil {
 		return err
 	}
@@ -278,13 +360,13 @@ func (c *Client) Ping() error {
 }
 
 // GoExec starts a script execution.
-func (c *Client) GoExec(src string) *Call {
-	return c.start(wire.OpExec, wire.AppendValues(nil, value.Str(src)))
+func (c *Client) GoExec(ctx context.Context, src string) *Call {
+	return c.start(ctx, wire.OpExec, wire.AppendValues(nil, value.Str(src)))
 }
 
 // Exec runs a SentinelQL script in its own server-side transaction.
-func (c *Client) Exec(src string) error {
-	f, err := c.GoExec(src).wait()
+func (c *Client) Exec(ctx context.Context, src string) error {
+	f, err := c.GoExec(ctx, src).wait(ctx)
 	if err != nil {
 		return err
 	}
@@ -295,23 +377,23 @@ func (c *Client) Exec(src string) error {
 }
 
 // GoEval starts an expression evaluation.
-func (c *Client) GoEval(src string) *Call {
-	return c.start(wire.OpEval, wire.AppendValues(nil, value.Str(src)))
+func (c *Client) GoEval(ctx context.Context, src string) *Call {
+	return c.start(ctx, wire.OpEval, wire.AppendValues(nil, value.Str(src)))
 }
 
 // Eval evaluates a SentinelQL expression and returns its value.
-func (c *Client) Eval(src string) (value.Value, error) {
-	return resultValue(c.GoEval(src).wait())
+func (c *Client) Eval(ctx context.Context, src string) (value.Value, error) {
+	return resultValue(c.GoEval(ctx, src).wait(ctx))
 }
 
 // GoLookup starts a name lookup.
-func (c *Client) GoLookup(name string) *Call {
-	return c.start(wire.OpLookup, wire.AppendValues(nil, value.Str(name)))
+func (c *Client) GoLookup(ctx context.Context, name string) *Call {
+	return c.start(ctx, wire.OpLookup, wire.AppendValues(nil, value.Str(name)))
 }
 
 // Lookup resolves a bound name to its OID.
-func (c *Client) Lookup(name string) (oid.OID, bool, error) {
-	v, err := resultValue(c.GoLookup(name).wait())
+func (c *Client) Lookup(ctx context.Context, name string) (oid.OID, bool, error) {
+	v, err := resultValue(c.GoLookup(ctx, name).wait(ctx))
 	if err != nil {
 		return oid.Nil, false, err
 	}
@@ -320,21 +402,23 @@ func (c *Client) Lookup(name string) (oid.OID, bool, error) {
 }
 
 // GoGet starts a snapshot attribute read.
-func (c *Client) GoGet(id oid.OID, attr string) *Call {
-	return c.start(wire.OpGet, wire.AppendValues(nil, value.Ref(id), value.Str(attr)))
+func (c *Client) GoGet(ctx context.Context, id oid.OID, attr string) *Call {
+	return c.start(ctx, wire.OpGet, wire.AppendValues(nil, value.Ref(id), value.Str(attr)))
 }
 
 // Get reads one attribute from a server-side MVCC snapshot.
-func (c *Client) Get(id oid.OID, attr string) (value.Value, error) {
-	return resultValue(c.GoGet(id, attr).wait())
+func (c *Client) Get(ctx context.Context, id oid.OID, attr string) (value.Value, error) {
+	return resultValue(c.GoGet(ctx, id, attr).wait(ctx))
 }
 
 // GetCall completes a GoGet (exported for pipelined callers).
-func (c *Client) GetCall(call *Call) (value.Value, error) { return resultValue(call.wait()) }
+func (c *Client) GetCall(ctx context.Context, call *Call) (value.Value, error) {
+	return resultValue(call.wait(ctx))
+}
 
 // Instances lists the live instances of a class (snapshot read).
-func (c *Client) Instances(class string) ([]oid.OID, error) {
-	v, err := resultValue(c.start(wire.OpInstances, wire.AppendValues(nil, value.Str(class))).wait())
+func (c *Client) Instances(ctx context.Context, class string) ([]oid.OID, error) {
+	v, err := resultValue(c.start(ctx, wire.OpInstances, wire.AppendValues(nil, value.Str(class))).wait(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -371,12 +455,12 @@ func resultValue(f wire.Frame, err error) (value.Value, error) {
 // every moment. handler runs on the reader goroutine for each delivered
 // event — including any that arrived while the subscription's own
 // confirmation was still in flight.
-func (c *Client) Subscribe(id oid.OID, method string, moment uint8, handler func(wire.Event)) (uint64, error) {
+func (c *Client) Subscribe(ctx context.Context, id oid.OID, method string, moment uint8, handler func(wire.Event)) (uint64, error) {
 	if handler == nil {
 		return 0, errors.New("client: nil handler")
 	}
-	f, err := c.start(wire.OpSubscribe,
-		wire.AppendValues(nil, value.Ref(id), value.Str(method), value.Int(int64(moment)))).wait()
+	f, err := c.start(ctx, wire.OpSubscribe,
+		wire.AppendValues(nil, value.Ref(id), value.Str(method), value.Int(int64(moment)))).wait(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -405,14 +489,53 @@ func (c *Client) Subscribe(id oid.OID, method string, moment uint8, handler func
 }
 
 // Unsubscribe releases a subscription.
-func (c *Client) Unsubscribe(subID uint64) error {
-	f, err := c.start(wire.OpUnsubscribe, wire.AppendValues(nil, value.Int(int64(subID)))).wait()
+func (c *Client) Unsubscribe(ctx context.Context, subID uint64) error {
+	f, err := c.start(ctx, wire.OpUnsubscribe, wire.AppendValues(nil, value.Int(int64(subID)))).wait(ctx)
 	if err != nil {
 		return err
 	}
 	c.mu.Lock()
 	delete(c.handlers, subID)
 	c.mu.Unlock()
+	if f.Op != wire.OpOK {
+		return respErr(f)
+	}
+	return nil
+}
+
+// ---- replication calls (used by internal/repl's follower) ----
+
+// ReplHello asks the primary to start shipping from startLSN+1. epoch is
+// the primary epoch the follower stored with its data (0 = none). The
+// primary answers with its own epoch, its shipped LSN, and whether the
+// follower must install a fresh base state first (epoch mismatch, or
+// startLSN outside what the primary can serve incrementally).
+func (c *Client) ReplHello(ctx context.Context, startLSN, epoch uint64) (primaryEpoch, shippedLSN uint64, needBase bool, err error) {
+	f, err := c.start(ctx, wire.OpReplHello,
+		wire.AppendValues(nil, value.Int(int64(startLSN)), value.Int(int64(epoch)))).wait(ctx)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if f.Op != wire.OpReplWelcome {
+		return 0, 0, false, respErr(f)
+	}
+	vals, err := wire.DecodeValues(f.Payload, 3)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	pe, _ := vals[0].AsInt()
+	sl, _ := vals[1].AsInt()
+	nb, _ := vals[2].AsInt()
+	return uint64(pe), uint64(sl), nb != 0, nil
+}
+
+// ReplAck reports the follower's applied LSN for the primary's lag
+// accounting.
+func (c *Client) ReplAck(ctx context.Context, appliedLSN uint64) error {
+	f, err := c.start(ctx, wire.OpReplAck, wire.AppendValues(nil, value.Int(int64(appliedLSN)))).wait(ctx)
+	if err != nil {
+		return err
+	}
 	if f.Op != wire.OpOK {
 		return respErr(f)
 	}

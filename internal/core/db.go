@@ -153,6 +153,22 @@ type Database struct {
 	sinkReg   sinkRegistry
 	sinkCount atomic.Int64
 
+	// Replication state (see repl.go). replMu orders shipped batches: the
+	// commit path holds it for LSN assignment + the ship callback, so
+	// followers see batches in a valid serialization order (conflicting
+	// commits are already ordered by 2PL; replMu linearizes the rest).
+	// replLSN counts committed WAL batches since database creation; it is
+	// persisted in the checkpoint meta and recovered as meta-LSN + replayed
+	// commit count. replShip is the primary-side shipping hook; replCollect
+	// mirrors its presence so raise collects occurrences for fan-out with
+	// one atomic load. applyMu serializes follower-side ApplyReplicated.
+	replMu      sync.Mutex
+	replLSN     uint64
+	replShip    func(ReplBatch)
+	replCollect atomic.Bool
+	applyMu     sync.Mutex
+	replInfo    atomic.Pointer[func() (peers int, minApplied uint64)]
+
 	// met is the metric set (counters, histograms, gauges, slow-rule log);
 	// tracer is the installed obs.Tracer (nil when none — the hot path
 	// pays one atomic load); metricsSrv is the Options.MetricsAddr HTTP
@@ -243,12 +259,17 @@ func Open(opts Options) (*Database, error) {
 		db.metricsSrv = srv
 	}
 	db.ready = true
-	if err := db.flushPendingClassRules(); err != nil {
-		db.stopDetachedPool(false)
-		if db.metricsSrv != nil {
-			db.metricsSrv.Close()
+	// A replica never instantiates rules locally: rule effects arrive as
+	// shipped batches from the primary (and creating the __Rule objects
+	// would be a write, which replicas reject).
+	if !db.opts.Replica {
+		if err := db.flushPendingClassRules(); err != nil {
+			db.stopDetachedPool(false)
+			if db.metricsSrv != nil {
+				db.metricsSrv.Close()
+			}
+			return nil, err
 		}
-		return nil, err
 	}
 	return db, nil
 }
@@ -447,6 +468,9 @@ func (db *Database) metaBlob() []byte {
 		buf = binary.AppendUvarint(buf, uint64(classIdx[cls]))
 	}
 	db.catMu.RUnlock()
+	// Trailing replication LSN (absent in pre-replication checkpoints;
+	// loadMeta treats it as optional).
+	buf = binary.AppendUvarint(buf, db.ReplLSN())
 	return buf
 }
 
@@ -518,6 +542,14 @@ func (db *Database) loadMeta(buf []byte) (catalogLoaded bool) {
 		db.catNames[cls] = cls
 	}
 	db.catMu.Unlock()
+	// Optional trailing replication LSN (pre-replication checkpoints end
+	// here). openStorage adds the committed batches replayed from the WAL
+	// on top of this base.
+	if lsn, n := binary.Uvarint(buf); n > 0 {
+		db.replMu.Lock()
+		db.replLSN = lsn
+		db.replMu.Unlock()
+	}
 	return true
 }
 

@@ -489,6 +489,48 @@ func (d *objDirectory) commitDelete(id oid.OID, lsn uint64) {
 	s.mu.Unlock()
 }
 
+// applyCommitted installs a replicated committed image at lsn: the replica-
+// side analogue of the pushVersion → mutate → commitWrite sequence, collapsed
+// into one step because the new state arrives whole instead of being built
+// in place. The entry's previous committed image (if any) is archived into
+// the version chain first, so snapshot readers older than lsn keep their
+// view; the chain is then pruned against watermark w. A missing entry is a
+// replicated create: it becomes resident at lsn, invisible to snapshots
+// begun before it. Callers must have faulted the prior committed image in
+// (if one exists on the heap) before overwriting the heap, or older
+// snapshots would fall through to the new image.
+func (d *objDirectory) applyCommitted(id oid.OID, o *object.Object, lsn, w uint64) {
+	s := d.shard(id)
+	s.mu.Lock()
+	e := s.objs[id]
+	if e == nil {
+		e = &dirEntry{obj: o, lsn: lsn}
+		e.ref.Store(true)
+		s.objs[id] = e
+		d.resident.Add(1)
+		s.mu.Unlock()
+		return
+	}
+	if !e.writerActive && e.lsn != lsnNone && !e.tomb {
+		e.versions = prependVersion(e.versions, objVersion{lsn: e.lsn, class: e.obj.Class(), fields: e.obj.CopyFields()})
+		d.liveVersions.Add(1)
+		d.chainLocked(s, id)
+	}
+	e.obj = o
+	e.lsn = lsn
+	e.dirty = false
+	e.tomb = false
+	e.writerActive = false
+	e.ref.Store(true)
+	if n := d.pruneVersionsLocked(e, w); n > 0 {
+		d.liveVersions.Add(int64(-n))
+	}
+	if len(e.versions) == 0 && e.delLSN == 0 {
+		d.unchainLocked(s, id)
+	}
+	s.mu.Unlock()
+}
+
 // dropDeleted removes a committed-deleted entry once the watermark has
 // passed its delete LSN; before that the entry (and its chain) must stay for
 // older snapshots. Reports whether the entry is gone from the directory.

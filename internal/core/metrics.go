@@ -194,6 +194,27 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 	reg.Gauge("sentinel_txn_deadlocks", "deadlocks detected and broken", func() int64 {
 		return int64(db.tm.Stats().Deadlocks)
 	})
+	reg.Gauge("sentinel_repl_role", "replication role (0 none, 1 primary, 2 replica)", func() int64 {
+		switch db.replicationStats().Role {
+		case "primary":
+			return 1
+		case "replica":
+			return 2
+		}
+		return 0
+	})
+	reg.Gauge("sentinel_repl_peers", "attached replication peers", func() int64 {
+		return int64(db.replicationStats().Peers)
+	})
+	reg.Gauge("sentinel_repl_shipped_lsn", "last shipped (primary) or last known primary (replica) batch LSN", func() int64 {
+		return int64(db.replicationStats().ShippedLSN)
+	})
+	reg.Gauge("sentinel_repl_applied_lsn", "min follower applied LSN (primary) or local applied LSN (replica)", func() int64 {
+		return int64(db.replicationStats().AppliedLSN)
+	})
+	reg.Gauge("sentinel_repl_lag_batches", "shipped minus applied batches", func() int64 {
+		return int64(db.replicationStats().LagBatches)
+	})
 	return m
 }
 

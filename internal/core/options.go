@@ -65,6 +65,15 @@ type Options struct {
 	// to inject I/O errors and enumerate crash states. Only meaningful
 	// with Dir set.
 	VFS vfs.FS
+	// Replica opens the database as a read-only replication follower: the
+	// only writer is ApplyReplicated, which replays batches shipped from a
+	// primary's WAL. Application transactions can read (including MVCC
+	// snapshots) and subscribe but any write — NewObject, Set, DeleteObject,
+	// an exclusive lock — is rejected with ErrReplicaWrite. Rules do not
+	// fire on a replica (the primary already ran them; replaying their
+	// effects again would double-fire); subscription fan-out does run, fed
+	// by the shipped occurrences. Requires Dir.
+	Replica bool
 
 	// ---- Rule execution ----
 
@@ -204,6 +213,9 @@ func (o Options) Validate() error {
 	}
 	if o.EagerLoad && o.MaxResidentObjects > 0 {
 		errs = append(errs, errors.New("EagerLoad and MaxResidentObjects are both set: eagerly materializing every object directly contradicts a residency ceiling; pick one"))
+	}
+	if o.Replica && o.Dir == "" {
+		errs = append(errs, errors.New("Replica is set but Dir is empty: a follower replays the shipped log into local storage; set Dir or drop Replica"))
 	}
 	if len(errs) == 0 {
 		return nil

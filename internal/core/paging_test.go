@@ -93,10 +93,6 @@ func TestPagedFullTouchTransparency(t *testing.T) {
 	if s.Objects.Total < n {
 		t.Fatalf("Objects.Total = %d, want >= %d", s.Objects.Total, n)
 	}
-	if legacy := db.LegacyStats(); legacy.ObjectsLive != s.Objects.Total {
-		t.Fatalf("LegacyStats().ObjectsLive (%d) != Objects.Total (%d): compat alias broken",
-			legacy.ObjectsLive, s.Objects.Total)
-	}
 	if s.Objects.Resident >= n {
 		t.Fatalf("Objects.Resident = %d: nothing was ever evicted (population %d, max %d)",
 			s.Objects.Resident, n, maxRes)

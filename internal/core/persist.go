@@ -94,6 +94,7 @@ func (db *Database) openStorage() error {
 			return fmt.Errorf("core: heap rescan: %w", err)
 		}
 		pending := make(map[uint64][]wal.Record)
+		committed := 0
 		for _, r := range recs {
 			switch r.Type {
 			case wal.RecUpdate, wal.RecDelete:
@@ -111,9 +112,18 @@ func (db *Database) openStorage() error {
 					}
 				}
 				delete(pending, r.Tx)
+				committed++
 			case wal.RecAbort:
 				delete(pending, r.Tx)
 			}
+		}
+		// The replication LSN counts committed batches since creation: the
+		// checkpoint meta carried the count as of the checkpoint (loadMeta set
+		// it), and each replayed commit record is one batch past that.
+		if committed > 0 {
+			db.replMu.Lock()
+			db.replLSN += uint64(committed)
+			db.replMu.Unlock()
 		}
 		// Uncommitted tails in `pending` are discarded (no-steal policy:
 		// they were never applied to the heap). Recovery changed the heap

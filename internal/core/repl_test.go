@@ -1,0 +1,292 @@
+package core_test
+
+// Core replication mechanics, no network: the ship hook's batch contract,
+// LSN durability across reopen (checkpoint meta + WAL replay), the apply
+// path's dup/gap discipline, base-state install on a live replica, and
+// replica write rejection. The networked end of the same machinery lives
+// in internal/repl's tests.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/wal"
+)
+
+const coreReplSchema = `class Kit reactive persistent {
+	attr n int
+	event end method Set(v int) { self.n := v }
+}
+bind K new Kit(n: 0)`
+
+// captureShip installs a ship hook that deep-copies every batch (the hook
+// contract says Data aliases pooled scratch, so tests must copy too).
+func captureShip(db *core.Database) *[]core.ReplBatch {
+	var got []core.ReplBatch
+	db.SetReplShip(func(b core.ReplBatch) {
+		cp := core.ReplBatch{LSN: b.LSN}
+		for _, r := range b.Recs {
+			data := append([]byte(nil), r.Data...)
+			if len(data) == 0 {
+				data = nil
+			}
+			cp.Recs = append(cp.Recs, wal.Record{Type: r.Type, Tx: r.Tx, OID: r.OID, Data: data})
+		}
+		cp.Occs = append(cp.Occs, b.Occs...)
+		got = append(got, cp)
+	})
+	return &got
+}
+
+// TestShipHookSeesEveryCommit: every committed batch reaches the hook with
+// a dense LSN sequence, and event-only commits ship at LSN 0.
+func TestShipHookSeesEveryCommit(t *testing.T) {
+	db := core.MustOpen(persistentOpts(t.TempDir()))
+	defer db.Close()
+	got := captureShip(db)
+	if err := db.Exec(coreReplSchema); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := db.Exec(fmt.Sprintf("K!Set(%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(*got) < 4 {
+		t.Fatalf("hook saw %d batches, want >= 4", len(*got))
+	}
+	var want uint64 = 1
+	for _, b := range *got {
+		if b.LSN == 0 {
+			continue // event-only
+		}
+		if b.LSN != want {
+			t.Fatalf("LSN sequence broke: got %d, want %d", b.LSN, want)
+		}
+		want++
+	}
+	if db.ReplLSN() != want-1 {
+		t.Fatalf("ReplLSN = %d, want %d", db.ReplLSN(), want-1)
+	}
+}
+
+// TestReplLSNSurvivesReopen: the replication LSN persists through a clean
+// close (checkpoint meta) and through a WAL replay after an abrupt one.
+func TestReplLSNSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	db := core.MustOpen(persistentOpts(dir))
+	if err := db.Exec(coreReplSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("K!Set(1)"); err != nil {
+		t.Fatal(err)
+	}
+	lsn := db.ReplLSN()
+	if lsn == 0 {
+		t.Fatal("no batches committed")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := core.MustOpen(persistentOpts(dir))
+	if got := db2.ReplLSN(); got != lsn {
+		t.Fatalf("LSN after clean reopen = %d, want %d", got, lsn)
+	}
+	// More commits, then an abrupt close: the checkpointed floor plus the
+	// replayed commit markers must reproduce the count.
+	if err := db2.Exec("K!Set(2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Exec("K!Set(3)"); err != nil {
+		t.Fatal(err)
+	}
+	lsn2 := db2.ReplLSN()
+	db2.CloseAbrupt()
+
+	db3 := core.MustOpen(persistentOpts(dir))
+	defer db3.Close()
+	if got := db3.ReplLSN(); got != lsn2 {
+		t.Fatalf("LSN after abrupt reopen = %d, want %d", got, lsn2)
+	}
+}
+
+// TestApplyReplicatedDupAndGap: a replica silently drops batches at or
+// below its applied LSN and rejects a gapped batch without advancing.
+func TestApplyReplicatedDupAndGap(t *testing.T) {
+	src := core.MustOpen(persistentOpts(t.TempDir()))
+	defer src.Close()
+	got := captureShip(src)
+	if err := src.Exec(coreReplSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Exec("K!Set(7)"); err != nil {
+		t.Fatal(err)
+	}
+
+	ropts := persistentOpts(t.TempDir())
+	ropts.Replica = true
+	replica, err := core.Open(ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	var data []core.ReplBatch
+	for _, b := range *got {
+		if b.LSN != 0 {
+			data = append(data, b)
+		}
+	}
+	if len(data) < 2 {
+		t.Fatalf("need >= 2 data batches, got %d", len(data))
+	}
+	// Gap: batch 2 before batch 1.
+	if err := replica.ApplyReplicated(data[1]); err == nil {
+		t.Fatal("gapped batch accepted")
+	}
+	if replica.ReplLSN() != 0 {
+		t.Fatalf("LSN advanced past a gap: %d", replica.ReplLSN())
+	}
+	// In order: applies.
+	for _, b := range data {
+		if err := replica.ApplyReplicated(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replica.ReplLSN() != data[len(data)-1].LSN {
+		t.Fatalf("LSN = %d, want %d", replica.ReplLSN(), data[len(data)-1].LSN)
+	}
+	// Duplicate: dropped without error, LSN unchanged.
+	if err := replica.ApplyReplicated(data[0]); err != nil {
+		t.Fatalf("duplicate rejected: %v", err)
+	}
+	if replica.ReplLSN() != data[len(data)-1].LSN {
+		t.Fatalf("duplicate moved the LSN to %d", replica.ReplLSN())
+	}
+
+	// The replayed state matches the source.
+	id, ok := replica.Lookup("K")
+	if !ok {
+		t.Fatal("K not bound on replica")
+	}
+	snap := replica.BeginSnapshot()
+	v, err := replica.Get(snap, id, "n")
+	replica.Abort(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "7" {
+		t.Fatalf("replica K.n = %s, want 7", v)
+	}
+}
+
+// TestApplyBaseStateReplacesLiveState: a live replica's committed state is
+// wholly replaced by a base install — stale local objects disappear, the
+// LSN jumps, and a snapshot begun before the install keeps its old view.
+func TestApplyBaseStateReplacesLiveState(t *testing.T) {
+	// Source A: the history the replica first follows.
+	a := core.MustOpen(persistentOpts(t.TempDir()))
+	defer a.Close()
+	gotA := captureShip(a)
+	if err := a.Exec(coreReplSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Exec("K!Set(1)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Source B: a different history to base-sync from.
+	b := core.MustOpen(persistentOpts(t.TempDir()))
+	defer b.Close()
+	if err := b.Exec(coreReplSchema); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Exec("K!Set(42)"); err != nil {
+		t.Fatal(err)
+	}
+	base, err := b.ReplBaseState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ropts := persistentOpts(t.TempDir())
+	ropts.Replica = true
+	replica, err := core.Open(ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	for _, batch := range *gotA {
+		if batch.LSN == 0 {
+			continue
+		}
+		if err := replica.ApplyReplicated(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A snapshot over the pre-install state.
+	id, _ := replica.Lookup("K")
+	snap := replica.BeginSnapshot()
+	defer replica.Abort(snap)
+	if v, err := replica.Get(snap, id, "n"); err != nil || v.String() != "1" {
+		t.Fatalf("pre-install read: %v %v", v, err)
+	}
+
+	if err := replica.ApplyBaseState(base.LSN, base.Objects); err != nil {
+		t.Fatal(err)
+	}
+	if replica.ReplLSN() != base.LSN {
+		t.Fatalf("LSN after install = %d, want %d", replica.ReplLSN(), base.LSN)
+	}
+
+	// New reads see source B's state…
+	id2, ok := replica.Lookup("K")
+	if !ok {
+		t.Fatal("K not bound after install")
+	}
+	snap2 := replica.BeginSnapshot()
+	v, err := replica.Get(snap2, id2, "n")
+	replica.Abort(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "42" {
+		t.Fatalf("post-install K.n = %s, want 42", v)
+	}
+	// …while the old snapshot keeps source A's.
+	if v, err := replica.Get(snap, id, "n"); err != nil || v.String() != "1" {
+		t.Fatalf("old snapshot lost its view: %v %v", v, err)
+	}
+}
+
+// TestReplicaRejectsLocalWrites: the write chokepoints reject application
+// writes once a replica is open (recovery and replay stay writable).
+func TestReplicaRejectsLocalWrites(t *testing.T) {
+	opts := persistentOpts(t.TempDir())
+	opts.Replica = true
+	db, err := core.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(`class X persistent { attr a int }`); err == nil {
+		t.Fatal("replica accepted a class definition")
+	} else if !errors.Is(err, core.ErrReplicaWrite) {
+		// Class registration may fail at a different chokepoint first; the
+		// write itself must be the blocked step.
+		t.Logf("class definition rejected with: %v", err)
+	}
+}
+
+// TestReplicaOptionsRequireDir: replica mode without a directory is a
+// configuration error (the WAL-first apply path needs a log).
+func TestReplicaOptionsRequireDir(t *testing.T) {
+	if _, err := core.Open(core.Options{Replica: true, Output: io.Discard}); err == nil {
+		t.Fatal("in-memory replica accepted")
+	}
+}

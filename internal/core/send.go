@@ -101,8 +101,16 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 	// one atomic load here when none exist — the hot path with no remote
 	// subscribers is unchanged.
 	rules, fns := db.consumersOf(src)
+	if db.opts.Replica {
+		// Rules ran on the primary; their effects arrive in shipped batches.
+		// Firing them again here would double-apply (and their actions would
+		// be rejected as replica writes anyway). Local sinks and notify
+		// functions still observe the occurrence.
+		rules = nil
+	}
 	hasSinks := db.sinkCount.Load() > 0
-	if len(rules) == 0 && len(fns) == 0 && !hasSinks {
+	shipOccs := db.replCollect.Load()
+	if len(rules) == 0 && len(fns) == 0 && !hasSinks && !shipOccs {
 		return nil
 	}
 
@@ -121,6 +129,12 @@ func (db *Database) raise(t *Tx, src *object.Object, method string, when event.M
 	// the occurrence is in hand), deliver at commit (sink.go).
 	if hasSinks {
 		db.collectPushes(t, &occ)
+	}
+	// Replication: occurrences ride the shipped commit batch (or an
+	// event-only batch when the transaction writes nothing durable), so
+	// follower-side subscribers see the same stream local sinks do.
+	if shipOccs {
+		t.replOccs = append(t.replOccs, occ)
 	}
 
 	for _, fc := range fns {

@@ -10,12 +10,13 @@ import (
 // grouped by subsystem. It is returned by Database.Stats; for latency
 // histograms and the full metric registry see Database.Metrics.
 type Snapshot struct {
-	Objects  ObjectStats
-	Events   EventStats
-	Rules    RuleStats
-	Detached DetachedStats
-	Storage  StorageStats
-	Txn      txn.Stats
+	Objects     ObjectStats
+	Events      EventStats
+	Rules       RuleStats
+	Detached    DetachedStats
+	Storage     StorageStats
+	Replication ReplicationStats
+	Txn         txn.Stats
 }
 
 // ObjectStats describes the live object population.
@@ -73,6 +74,16 @@ type StorageStats struct {
 	GroupedCommits  uint64 // commits carried by those flushes (ratio = commits per fsync)
 }
 
+// ReplicationStats describes the replication role and stream position.
+// Zero-valued (Role "none") when the database neither ships nor follows.
+type ReplicationStats struct {
+	Role       string // "none", "primary", or "replica"
+	Peers      int    // primary: attached followers; replica: connected primaries (0 or 1)
+	ShippedLSN uint64 // primary: last committed batch; replica: primary's last known batch
+	AppliedLSN uint64 // primary: min applied LSN across followers; replica: last applied batch
+	LagBatches uint64 // ShippedLSN - AppliedLSN (0 with no peers)
+}
+
 // Stats returns a snapshot of the runtime counters, grouped by subsystem.
 func (db *Database) Stats() Snapshot {
 	db.mu.RLock()
@@ -114,8 +125,48 @@ func (db *Database) Stats() Snapshot {
 			CommitGroups:    m.commitGroups.Value(),
 			GroupedCommits:  m.groupedCommits.Value(),
 		},
-		Txn: db.tm.Stats(),
+		Replication: db.replicationStats(),
+		Txn:         db.tm.Stats(),
 	}
+}
+
+// replicationStats reads the replication position. The local LSN is always
+// authoritative for this node's side of the stream; the peer callback
+// (installed by internal/repl) supplies the other side's position.
+func (db *Database) replicationStats() ReplicationStats {
+	var s ReplicationStats
+	local := db.ReplLSN()
+	switch {
+	case db.opts.Replica:
+		s.Role = "replica"
+		s.AppliedLSN = local
+		s.ShippedLSN = local
+		if fn := db.replInfo.Load(); fn != nil {
+			peers, shipped := (*fn)()
+			s.Peers = peers
+			if shipped > s.ShippedLSN {
+				s.ShippedLSN = shipped
+			}
+		}
+	case db.replCollect.Load():
+		s.Role = "primary"
+		s.ShippedLSN = local
+		s.AppliedLSN = local
+		if fn := db.replInfo.Load(); fn != nil {
+			peers, applied := (*fn)()
+			s.Peers = peers
+			if peers > 0 {
+				s.AppliedLSN = applied
+			}
+		}
+	default:
+		s.Role = "none"
+		return s
+	}
+	if s.ShippedLSN > s.AppliedLSN {
+		s.LagBatches = s.ShippedLSN - s.AppliedLSN
+	}
+	return s
 }
 
 // detachedStats reads the executor-pool gauges and counters.
@@ -160,49 +211,3 @@ func (db *Database) countObjects() (resident, total int) {
 	return resident, total
 }
 
-// Stats is the pre-observability flat counter bag.
-//
-// Deprecated: use Snapshot (Database.Stats), which groups the same numbers
-// by subsystem. Retained one release for external callers; LegacyStats
-// fills it from a Snapshot.
-type Stats struct {
-	EventsRaised    uint64
-	Notifications   uint64
-	Detections      uint64
-	ConditionsRun   uint64
-	ActionsRun      uint64
-	Sends           uint64
-	Txn             txn.Stats
-	ObjectsResident int
-	ObjectsTotal    int
-	ObjectsLive     int // == ObjectsTotal, kept for compatibility
-	RulesDefined    int
-	Subscriptions   int
-	Faults          uint64
-	Evictions       uint64
-	Checkpoints     uint64
-}
-
-// LegacyStats returns the flat pre-observability counter layout.
-//
-// Deprecated: use Stats, which returns the grouped Snapshot.
-func (db *Database) LegacyStats() Stats {
-	s := db.Stats()
-	return Stats{
-		EventsRaised:    s.Events.Raised,
-		Notifications:   s.Events.Notifications,
-		Detections:      s.Events.Detections,
-		ConditionsRun:   s.Rules.ConditionsRun,
-		ActionsRun:      s.Rules.ActionsRun,
-		Sends:           s.Events.Sends,
-		Txn:             s.Txn,
-		ObjectsResident: s.Objects.Resident,
-		ObjectsTotal:    s.Objects.Total,
-		ObjectsLive:     s.Objects.Total,
-		RulesDefined:    s.Rules.Defined,
-		Subscriptions:   s.Rules.Subscriptions,
-		Faults:          s.Storage.Faults,
-		Evictions:       s.Storage.Evictions,
-		Checkpoints:     s.Storage.Checkpoints,
-	}
-}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sentinel/internal/event"
 	"sentinel/internal/object"
 	"sentinel/internal/obs"
 	"sentinel/internal/oid"
@@ -60,6 +61,13 @@ type Tx struct {
 	// remote subscriber never observes an occurrence of an aborted
 	// transaction. See sink.go.
 	pushes []pendingPush
+
+	// replOccs holds every occurrence raised while a replication shipper is
+	// installed; they ride the transaction's shipped WAL batch (or an
+	// event-only batch when the commit wrote nothing durable) so followers
+	// can fan them out to their own subscribers. Dropped on abort. See
+	// repl.go.
+	replOccs []event.Occurrence
 
 	// touched holds the tx-scoped rules this transaction delivered events
 	// to; their detectors reset when the transaction ends.
@@ -224,6 +232,14 @@ func (db *Database) doCommit(t *Tx) error {
 	if len(pushes) > 0 {
 		db.fanoutPushes(pushes)
 	}
+	// Occurrences not carried by a shipped WAL batch (the commit wrote
+	// nothing durable) still reach followers, as an event-only batch —
+	// otherwise a follower's subscriber would miss events its primary-side
+	// twin sees. Ships after durability for the same reason fan-out does.
+	if len(t.replOccs) > 0 {
+		db.shipEventOnly(t.replOccs)
+		t.replOccs = nil
+	}
 	// Committed deletes: drop the tombstoned entries once no active snapshot
 	// can still read them (usually immediately — the watermark has already
 	// advanced past our commit LSN unless an older snapshot is live, in
@@ -313,6 +329,7 @@ func (db *Database) Abort(t *Tx) {
 	t.deferred.Clear()
 	t.detached = nil
 	t.pushes = nil
+	t.replOccs = nil
 	t.resetTouched()
 	t.inner.Abort()
 	t.releasePins()
@@ -506,6 +523,14 @@ func (db *Database) writeCommit(t *Tx) (err error) {
 			db.delHeapClass(r.OID)
 		}
 	}
+	// Assign the replication LSN and hand the batch to the shipper while
+	// the 2PL locks are still held: conflicting commits are strictly
+	// ordered here, so followers apply every pair of dependent batches in
+	// commit order. Runs after the heap apply and still under ckptMu
+	// shared, so a base-state sync (which holds ckptMu exclusively) sees
+	// the heap at exactly its recorded LSN. See repl.go for the no-stall
+	// contract: the shipper only encodes and buffers under replMu.
+	db.shipCommit(t, recs)
 	return nil
 }
 
@@ -526,6 +551,9 @@ func (db *Database) NewObject(t *Tx, class string, inits map[string]value.Value)
 	}
 	if t.snapID != 0 {
 		return oid.Nil, errReadOnlyTx
+	}
+	if db.replicaWriteBlocked() {
+		return oid.Nil, ErrReplicaWrite
 	}
 	c := db.reg.Lookup(class)
 	if c == nil {
@@ -581,6 +609,9 @@ func (db *Database) lockObject(t *Tx, id oid.OID, mode txn.Mode) (*object.Object
 			return nil, errReadOnlyTx
 		}
 		return db.snapshotObject(t, id)
+	}
+	if mode == txn.Exclusive && db.replicaWriteBlocked() {
+		return nil, ErrReplicaWrite
 	}
 	if err := t.inner.Lock(txn.Lockable(id), mode); err != nil {
 		return nil, err

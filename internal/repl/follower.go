@@ -1,0 +1,280 @@
+package repl
+
+import (
+	"context"
+	"encoding/binary"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sentinel/internal/client"
+	"sentinel/internal/core"
+	"sentinel/internal/vfs"
+	"sentinel/internal/wire"
+)
+
+// epochFile persists the primary epoch whose base state this replica
+// carries. Written after a successful base install; a crash between the
+// install's checkpoint and this write just means one redundant base sync on
+// the next handshake.
+const epochFile = "repl.epoch"
+
+// FollowerOptions configure a replica runtime.
+type FollowerOptions struct {
+	// PrimaryAddr is the primary server's listen address.
+	PrimaryAddr string
+	// Core configures the local replica database. Dir is required;
+	// Replica is forced true.
+	Core core.Options
+	// MaxBackoff caps the dial-retry backoff (default 2s).
+	MaxBackoff time.Duration
+}
+
+// Follower is a replica runtime: it opens the database once in replica
+// mode, then maintains a connection to the primary, installing base state
+// when told to and applying streamed batches. DB serves local reads (wrap
+// it in a server.Server for network reads and push fan-out); the follower
+// goroutines own all writes into it.
+type Follower struct {
+	// DB is the replica database. Open for the Follower's whole life —
+	// resyncs install base state live through the MVCC machinery, so
+	// readers and the serving layer never see the pointer change.
+	DB *core.Database
+
+	opts   FollowerOptions
+	fs     vfs.FS
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	connected  atomic.Int32
+	primaryLSN atomic.Uint64
+
+	cliMu sync.Mutex
+	cli   *client.Client
+}
+
+// StartFollower opens the replica database and starts the streaming loop.
+// Close stops the loop and closes the database.
+func StartFollower(opts FollowerOptions) (*Follower, error) {
+	opts.Core.Replica = true
+	db, err := core.Open(opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	fs := opts.Core.VFS
+	if fs == nil {
+		fs = vfs.OS
+	}
+	f := &Follower{DB: db, opts: opts, fs: fs}
+	db.SetReplInfo(func() (int, uint64) {
+		return int(f.connected.Load()), f.primaryLSN.Load()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.wg.Add(1)
+	go f.run(ctx)
+	return f, nil
+}
+
+// Connected reports whether a primary connection is live and past its
+// handshake.
+func (f *Follower) Connected() bool { return f.connected.Load() != 0 }
+
+// PrimaryLSN returns the highest primary LSN observed (shipped-at-hello or
+// streamed), for lag accounting.
+func (f *Follower) PrimaryLSN() uint64 { return f.primaryLSN.Load() }
+
+// Close stops the streaming loop and closes the replica database.
+func (f *Follower) Close() error {
+	f.cancel()
+	f.cliMu.Lock()
+	if f.cli != nil {
+		f.cli.Close()
+	}
+	f.cliMu.Unlock()
+	f.wg.Wait()
+	f.DB.SetReplInfo(nil)
+	return f.DB.Close()
+}
+
+func (f *Follower) setCli(c *client.Client) {
+	f.cliMu.Lock()
+	f.cli = c
+	f.cliMu.Unlock()
+}
+
+// run dials, streams until the connection (or the stream's consistency)
+// breaks, and redials. Every reconnect re-handshakes from the replica's
+// applied LSN, so a broken stream costs retransmission, never correctness.
+func (f *Follower) run(ctx context.Context) {
+	defer f.wg.Done()
+	for ctx.Err() == nil {
+		cli, err := client.DialRetry(ctx, f.opts.PrimaryAddr, f.opts.MaxBackoff)
+		if err != nil {
+			return // ctx cancelled
+		}
+		f.setCli(cli)
+		f.stream(ctx, cli)
+		f.connected.Store(0)
+		f.setCli(nil)
+		cli.Close()
+	}
+}
+
+// push is one replication frame copied off the client's reader goroutine.
+type push struct {
+	op      byte
+	payload []byte
+}
+
+// stream runs one connection's worth of replication: handshake, optional
+// base sync, then apply frames until something breaks. Returning (for any
+// reason) tears the connection down; run redials.
+func (f *Follower) stream(ctx context.Context, cli *client.Client) {
+	// The reader goroutine copies each push into applyCh; a full channel
+	// blocks the reader, which backpressures the primary through TCP —
+	// exactly the per-follower pacing the shipper is built for.
+	applyCh := make(chan push, 64)
+	cli.OnPush(func(op byte, payload []byte) {
+		m := push{op: op, payload: append([]byte(nil), payload...)}
+		select {
+		case applyCh <- m:
+		case <-cli.Done():
+		}
+	})
+
+	primaryEpoch, shipped, needBase, err := cli.ReplHello(ctx, f.DB.ReplLSN(), f.loadEpoch())
+	if err != nil {
+		return
+	}
+	if shipped > f.primaryLSN.Load() {
+		f.primaryLSN.Store(shipped)
+	}
+	f.connected.Store(1)
+	if !needBase {
+		// Resuming (or streaming from scratch): our state is already part
+		// of this epoch's history, so claim it now — otherwise only a base
+		// install would, and a from-scratch stream would base-sync on its
+		// first reconnect for no reason.
+		f.storeEpoch(primaryEpoch)
+	}
+
+	// Acks run on their own goroutine so a slow ack round-trip never stalls
+	// the apply loop (and the apply loop never waits on the ack loop — no
+	// circular dependency). Latest-wins coalescing: the ack carries the
+	// applied LSN read at send time.
+	ackCh := make(chan struct{}, 1)
+	ackCtx, ackCancel := context.WithCancel(ctx)
+	var ackWG sync.WaitGroup
+	ackWG.Add(1)
+	go func() {
+		defer ackWG.Done()
+		for {
+			select {
+			case <-ackCh:
+				if cli.ReplAck(ackCtx, f.DB.ReplLSN()) != nil {
+					return
+				}
+			case <-ackCtx.Done():
+				return
+			}
+		}
+	}()
+	defer func() {
+		ackCancel()
+		ackWG.Wait()
+	}()
+	kickAck := func() {
+		select {
+		case ackCh <- struct{}{}:
+		default:
+		}
+	}
+
+	var base []core.ReplBaseObject
+	syncing := needBase
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-cli.Done():
+			return
+		case m := <-applyCh:
+			switch m.op {
+			case wire.OpReplSnap:
+				objs, err := wire.DecodeReplSnap(m.payload)
+				if err != nil {
+					return
+				}
+				for _, o := range objs {
+					base = append(base, core.ReplBaseObject{ID: o.ID, Img: o.Img})
+				}
+			case wire.OpReplSnapEnd:
+				// The snap-end meta blob (OID high-water, clock) is not
+				// installed: a replica never allocates OIDs or stamps
+				// sequence numbers, and ApplyBaseState rebuilds the catalog
+				// from the system objects in the images themselves.
+				baseLSN, _, err := wire.DecodeReplSnapEnd(m.payload)
+				if err != nil {
+					return
+				}
+				if err := f.DB.ApplyBaseState(baseLSN, base); err != nil {
+					return
+				}
+				base = nil
+				syncing = false
+				f.storeEpoch(primaryEpoch)
+				if baseLSN > f.primaryLSN.Load() {
+					f.primaryLSN.Store(baseLSN)
+				}
+				kickAck()
+			case wire.OpReplFrames:
+				wb, err := wire.DecodeReplBatch(m.payload)
+				if err != nil {
+					return
+				}
+				if syncing && wb.LSN != 0 {
+					// A data frame racing a base sync is covered by the
+					// base state being installed; applying it now would
+					// land ahead of the install.
+					continue
+				}
+				b := BatchFromWire(wb)
+				if b.LSN > f.primaryLSN.Load() {
+					f.primaryLSN.Store(b.LSN)
+				}
+				if err := f.DB.ApplyReplicated(b); err != nil {
+					// Gap or apply failure: tear the stream down and
+					// re-handshake from the replica's applied LSN.
+					return
+				}
+				if b.LSN != 0 {
+					kickAck()
+				}
+			}
+		}
+	}
+}
+
+func (f *Follower) epochPath() string {
+	return filepath.Join(f.opts.Core.Dir, epochFile)
+}
+
+// loadEpoch reads the persisted primary epoch (0 when absent: a fresh
+// replica presents no history and always base-syncs).
+func (f *Follower) loadEpoch() uint64 {
+	data, err := f.fs.ReadFile(f.epochPath())
+	if err != nil || len(data) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(data)
+}
+
+// storeEpoch persists the primary epoch after a successful base install.
+func (f *Follower) storeEpoch(epoch uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], epoch)
+	// Best-effort: failure here costs a redundant base sync next handshake.
+	_ = vfs.WriteFile(f.fs, f.epochPath(), b[:], 0o644)
+}

@@ -1,0 +1,402 @@
+// Package repl implements WAL-shipped replication: a Primary hooks the
+// database's commit path and streams every committed batch to attached
+// followers over the wire protocol's replication opcodes; a Follower dials
+// the primary, installs a base state when it has none (or has fallen behind
+// the primary's retention ring), replays the stream through the same redo
+// path crash recovery uses, and serves snapshot reads and subscription
+// fan-out from its own server instance.
+//
+// The layering runs repl → core/wire/client, with the server package on top
+// importing repl: the server hands each replication-aware session to the
+// Primary as a FollowerSession, so repl never learns about sockets or frame
+// framing on the primary side.
+//
+// The no-stall contract: the ship hook runs on the committing goroutine with
+// the transaction's locks held, so everything it does is encode-and-buffer —
+// payloads land in a bounded in-memory ring and per-follower shipper
+// goroutines drain the ring at each follower's pace. A wedged follower
+// blocks only its own shipper; when it falls behind the ring's floor it is
+// re-seeded from base state instead of stalling the primary.
+package repl
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"sentinel/internal/core"
+	"sentinel/internal/wire"
+)
+
+// FollowerSession is what the Primary needs from an attached follower's
+// server session: an identity for ack/teardown bookkeeping and two enqueue
+// flavours. Send blocks while the session's out-queue is full (the shipper
+// goroutine can afford to wait; cancel aborts the wait when the follower is
+// being detached) and reports false once the session is gone. TrySend is
+// wait-free — used for event-only batches, which carry nothing durable and
+// may be dropped rather than buffered.
+type FollowerSession interface {
+	SessionID() uint64
+	Send(op byte, payload []byte, cancel <-chan struct{}) bool
+	TrySend(op byte, payload []byte) bool
+}
+
+// PrimaryOptions tune the shipping side.
+type PrimaryOptions struct {
+	// RingBytes bounds the encoded-payload retention ring. A follower whose
+	// resume point has been trimmed past is re-seeded from base state.
+	// Default 4 MiB.
+	RingBytes int
+	// SnapChunkBytes bounds one OpReplSnap chunk during base sync.
+	// Default 256 KiB.
+	SnapChunkBytes int
+	// Epoch overrides the random stream epoch (tests only). 0 means random.
+	Epoch uint64
+}
+
+// Primary attaches to a database's commit path and fans committed batches
+// out to followers.
+type Primary struct {
+	db   *core.Database
+	opts PrimaryOptions
+	// epoch identifies this shipping history. A fresh Primary gets a fresh
+	// epoch; a follower presenting a different epoch's position is re-seeded
+	// from base state rather than resumed, because LSNs from another epoch
+	// number a history this primary cannot verify it shares.
+	epoch uint64
+
+	mu        sync.Mutex
+	shipped   uint64 // highest LSN handed to ship (or current at install)
+	ring      []ringEntry
+	ringBytes int
+	followers map[uint64]*followerState
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// ringEntry is one retained batch: its LSN and the fully encoded
+// OpReplFrames payload (shared read-only by every shipper).
+type ringEntry struct {
+	lsn     uint64
+	payload []byte
+}
+
+// followerState is the primary-side record of one attached follower.
+type followerState struct {
+	p        *Primary
+	sess     FollowerSession
+	next     uint64 // next LSN to send
+	needBase bool
+	started  bool // shipper goroutine launched (guarded by p.mu)
+	applied  atomic.Uint64
+	notify   chan struct{} // capacity 1: new ring entries
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewPrimary installs the shipping hook on db and returns the Primary.
+// Close detaches it.
+func NewPrimary(db *core.Database, opts PrimaryOptions) *Primary {
+	if opts.RingBytes <= 0 {
+		opts.RingBytes = 4 << 20
+	}
+	if opts.SnapChunkBytes <= 0 {
+		opts.SnapChunkBytes = 256 << 10
+	}
+	epoch := opts.Epoch
+	for epoch == 0 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand failing is unrecoverable on any supported
+			// platform; a constant epoch would still replicate, just
+			// without cross-restart confusion detection.
+			epoch = 1
+			break
+		}
+		epoch = binary.LittleEndian.Uint64(b[:])
+	}
+	p := &Primary{
+		db:        db,
+		opts:      opts,
+		epoch:     epoch,
+		followers: make(map[uint64]*followerState),
+	}
+	lsn := db.SetReplShip(p.ship)
+	p.mu.Lock()
+	if lsn > p.shipped {
+		p.shipped = lsn
+	}
+	p.mu.Unlock()
+	db.SetReplInfo(p.info)
+	return p
+}
+
+// Epoch returns the stream epoch (tests and diagnostics).
+func (p *Primary) Epoch() uint64 { return p.epoch }
+
+// ship is the hook core calls on every committed batch, on the committing
+// goroutine under replMu. It encodes the batch (the record Data aliases
+// pooled scratch, so encoding doubles as the copy), buffers it in the ring,
+// and nudges the shippers. Nothing here blocks.
+func (p *Primary) ship(b core.ReplBatch) {
+	payload := wire.AppendReplBatch(nil, BatchToWire(b))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if b.LSN == 0 {
+		// Event-only batch: nothing durable, nothing to resume — wait-free
+		// push to whoever is attached and keeping up, drop for the rest.
+		// Skipping not-yet-started followers keeps the welcome response
+		// ahead of any push on their session queue.
+		for _, f := range p.followers {
+			if f.started {
+				f.sess.TrySend(wire.OpReplFrames, payload)
+			}
+		}
+		return
+	}
+	if b.LSN > p.shipped {
+		p.shipped = b.LSN
+	}
+	p.ring = append(p.ring, ringEntry{lsn: b.LSN, payload: payload})
+	p.ringBytes += len(payload)
+	for p.ringBytes > p.opts.RingBytes && len(p.ring) > 1 {
+		p.ringBytes -= len(p.ring[0].payload)
+		p.ring = p.ring[1:]
+	}
+	for _, f := range p.followers {
+		select {
+		case f.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// AddFollower registers a session at its requested resume position. It
+// returns the primary's epoch, the current shipped LSN, and whether the
+// follower must install base state before streaming (epoch mismatch, a
+// position ahead of this primary, or one trimmed past the ring's floor).
+// The stream does not flow until StartShipper — the caller enqueues the
+// OpReplWelcome response in between, so the handshake always precedes the
+// first push on the session's queue.
+func (p *Primary) AddFollower(sess FollowerSession, startLSN, epoch uint64) (primaryEpoch, shippedLSN uint64, needBase bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, 0, false, errors.New("repl: primary closed")
+	}
+	if old := p.followers[sess.SessionID()]; old != nil {
+		// A second hello on the same session replaces the first stream.
+		old.stopOnce.Do(func() { close(old.stop) })
+	}
+	// An empty replica (position 0) carries no history that could diverge,
+	// so it may stream from scratch whatever its epoch — everything else
+	// needs an epoch match to make its LSNs comparable to ours.
+	needBase = startLSN > p.shipped || (epoch != p.epoch && startLSN > 0)
+	if !needBase && startLSN < p.shipped {
+		// Batches (startLSN, shipped] must all still be in the ring;
+		// anything older was trimmed (or predates this primary entirely).
+		if len(p.ring) == 0 || startLSN+1 < p.ring[0].lsn {
+			needBase = true
+		}
+	}
+	f := &followerState{
+		p:        p,
+		sess:     sess,
+		next:     startLSN + 1,
+		needBase: needBase,
+		notify:   make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	f.applied.Store(startLSN)
+	p.followers[sess.SessionID()] = f
+	return p.epoch, p.shipped, needBase, nil
+}
+
+// StartShipper launches the registered follower's shipper goroutine.
+// No-op for an unknown (already removed) or already-started follower.
+func (p *Primary) StartShipper(sessionID uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := p.followers[sessionID]
+	if f == nil || f.started {
+		return
+	}
+	f.started = true
+	p.wg.Add(1)
+	go f.run()
+}
+
+// Ack records a follower's applied LSN (lag accounting). Acks arrive in
+// order on the session's reader goroutine.
+func (p *Primary) Ack(sessionID, appliedLSN uint64) {
+	p.mu.Lock()
+	f := p.followers[sessionID]
+	p.mu.Unlock()
+	if f != nil && appliedLSN > f.applied.Load() {
+		f.applied.Store(appliedLSN)
+	}
+}
+
+// RemoveFollower detaches a session's follower (called from session
+// teardown). Idempotent.
+func (p *Primary) RemoveFollower(sessionID uint64) {
+	p.mu.Lock()
+	f := p.followers[sessionID]
+	delete(p.followers, sessionID)
+	p.mu.Unlock()
+	if f != nil {
+		f.stopOnce.Do(func() { close(f.stop) })
+	}
+}
+
+// Followers returns the number of attached followers.
+func (p *Primary) Followers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.followers)
+}
+
+// info feeds the Replication stats group: attached follower count and the
+// minimum applied LSN across them (0 when none are attached).
+func (p *Primary) info() (peers int, lsn uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var min uint64
+	first := true
+	for _, f := range p.followers {
+		a := f.applied.Load()
+		if first || a < min {
+			min = a
+			first = false
+		}
+	}
+	if first {
+		min = 0
+	}
+	return len(p.followers), min
+}
+
+// Close detaches the hook, stops every shipper, and waits for them.
+func (p *Primary) Close() {
+	p.db.SetReplShip(nil)
+	p.db.SetReplInfo(nil)
+	p.mu.Lock()
+	p.closed = true
+	for id, f := range p.followers {
+		delete(p.followers, id)
+		f.stopOnce.Do(func() { close(f.stop) })
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// drop removes f's registration (shipper-initiated teardown: the session
+// died under a Send, or base sync failed). Session teardown calls
+// RemoveFollower too; both are idempotent.
+func (f *followerState) drop() {
+	f.p.RemoveFollower(f.sess.SessionID())
+}
+
+// run is the per-follower shipper: base-sync when needed, then drain the
+// ring from f.next, blocking on the session's queue (its own pace) and on
+// notify when caught up.
+func (f *followerState) run() {
+	p := f.p
+	defer p.wg.Done()
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if f.needBase {
+			if !f.baseSync() {
+				f.drop()
+				return
+			}
+			f.needBase = false
+		}
+		p.mu.Lock()
+		if len(p.ring) > 0 && f.next < p.ring[0].lsn {
+			// Trimmed past our resume point while we slept: re-seed.
+			f.needBase = true
+			p.mu.Unlock()
+			continue
+		}
+		if len(p.ring) == 0 && f.next <= p.shipped {
+			// Batches committed before this primary attached its hook are
+			// not in the ring; only base state can cover them.
+			f.needBase = true
+			p.mu.Unlock()
+			continue
+		}
+		var pend []ringEntry
+		for _, e := range p.ring {
+			if e.lsn >= f.next {
+				pend = append(pend, e)
+			}
+		}
+		p.mu.Unlock()
+		if len(pend) == 0 {
+			select {
+			case <-f.notify:
+			case <-f.stop:
+				return
+			}
+			continue
+		}
+		for _, e := range pend {
+			if !f.sess.Send(wire.OpReplFrames, e.payload, f.stop) {
+				f.drop()
+				return
+			}
+			f.next = e.lsn + 1
+		}
+	}
+}
+
+// baseSync captures the primary's base state and streams it to the
+// follower as chunked OpReplSnap pushes terminated by OpReplSnapEnd.
+// Reports false when the session died mid-stream.
+func (f *followerState) baseSync() bool {
+	st, err := f.p.db.ReplBaseState()
+	if err != nil {
+		return false
+	}
+	var (
+		chunk []wire.ReplSnapObj
+		size  int
+	)
+	flush := func() bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		payload := wire.AppendReplSnap(nil, chunk)
+		chunk = chunk[:0]
+		size = 0
+		return f.sess.Send(wire.OpReplSnap, payload, f.stop)
+	}
+	for _, o := range st.Objects {
+		chunk = append(chunk, wire.ReplSnapObj{ID: o.ID, Img: o.Img})
+		size += len(o.Img) + 16
+		if size >= f.p.opts.SnapChunkBytes {
+			if !flush() {
+				return false
+			}
+		}
+	}
+	if !flush() {
+		return false
+	}
+	end := wire.AppendReplSnapEnd(nil, st.LSN, st.Meta)
+	if !f.sess.Send(wire.OpReplSnapEnd, end, f.stop) {
+		return false
+	}
+	f.next = st.LSN + 1
+	return true
+}

@@ -36,6 +36,7 @@ import (
 	"sentinel/internal/event"
 	"sentinel/internal/obs"
 	"sentinel/internal/oid"
+	"sentinel/internal/repl"
 	"sentinel/internal/value"
 	"sentinel/internal/wire"
 )
@@ -63,6 +64,10 @@ type Options struct {
 	QueueLen int
 	// Overflow is the slow-consumer policy for pushes. Default DropEvents.
 	Overflow OverflowPolicy
+	// Primary, when set, makes this server a replication primary: sessions
+	// may attach as followers (OpReplHello) and the server hands them to
+	// the Primary for log shipping. Nil servers reject replication opcodes.
+	Primary *repl.Primary
 }
 
 // Server accepts wire-protocol sessions against one Database. Create at
@@ -218,6 +223,10 @@ type session struct {
 	closeOnce sync.Once
 	subs      map[uint64]bool
 
+	// follower marks a session attached to the replication primary; its
+	// teardown must detach it (stopping its shipper goroutine).
+	follower atomic.Bool
+
 	// drops counts pushes this session lost to a full queue (DropEvents).
 	drops atomic.Uint64
 }
@@ -230,6 +239,9 @@ type session struct {
 // simply garbage-collected.
 func (s *session) teardown() {
 	s.closeOnce.Do(func() {
+		if s.follower.Load() {
+			s.srv.opts.Primary.RemoveFollower(s.id)
+		}
 		s.srv.db.UnsubscribeAllSinks(s)
 		close(s.done)
 		s.conn.Close()
@@ -245,6 +257,39 @@ func (s *session) enqueue(f wire.Frame) bool {
 	case s.out <- f:
 		return true
 	case <-s.done:
+		return false
+	}
+}
+
+// SessionID implements repl.FollowerSession.
+func (s *session) SessionID() uint64 { return s.id }
+
+// Send implements repl.FollowerSession: enqueue a push frame, blocking
+// while the out-queue is full (the shipper paces itself to this follower).
+// cancel aborts the wait when the follower is being detached; false means
+// the frame was not enqueued and the stream is over.
+func (s *session) Send(op byte, payload []byte, cancel <-chan struct{}) bool {
+	select {
+	case s.out <- wire.Frame{Op: op, Payload: payload}:
+		return true
+	case <-s.done:
+		return false
+	case <-cancel:
+		return false
+	}
+}
+
+// TrySend implements repl.FollowerSession: wait-free enqueue for
+// event-only batches (droppable — nothing durable rides on them).
+func (s *session) TrySend(op byte, payload []byte) bool {
+	select {
+	case s.out <- wire.Frame{Op: op, Payload: payload}:
+		return true
+	case <-s.done:
+		return false
+	default:
+		s.srv.met.pushDrops.Inc()
+		s.drops.Add(1)
 		return false
 	}
 }
@@ -298,7 +343,14 @@ func (s *session) readLoop() {
 			return
 		}
 		s.srv.met.framesIn.Inc()
-		if !s.enqueue(s.handle(f)) {
+		resp := s.handle(f)
+		if resp.Op == 0 {
+			// Sentinel: the handler enqueued its response itself (the
+			// replication handshake, whose welcome must precede the
+			// stream's first push).
+			continue
+		}
+		if !s.enqueue(resp) {
 			return
 		}
 	}
@@ -503,6 +555,58 @@ func (s *session) handle(f wire.Frame) wire.Frame {
 		}
 		delete(s.subs, uint64(subID))
 		db.UnsubscribeSink(uint64(subID))
+		return wire.Frame{Op: wire.OpOK, ReqID: f.ReqID}
+
+	case wire.OpReplHello:
+		p := s.srv.opts.Primary
+		if p == nil {
+			return s.errFrame(f.ReqID, errors.New("server is not a replication primary"))
+		}
+		vals, err := wire.DecodeValues(f.Payload, 2)
+		if err != nil {
+			return s.errFrame(f.ReqID, err)
+		}
+		startLSN, ok := vals[0].AsInt()
+		if !ok || startLSN < 0 {
+			return s.errFrame(f.ReqID, errors.New("REPLHELLO start LSN out of range"))
+		}
+		epoch, ok := vals[1].AsInt()
+		if !ok {
+			return s.errFrame(f.ReqID, errors.New("REPLHELLO epoch is not an int"))
+		}
+		primaryEpoch, shipped, needBase, err := p.AddFollower(s, uint64(startLSN), uint64(epoch))
+		if err != nil {
+			return s.errFrame(f.ReqID, err)
+		}
+		s.follower.Store(true)
+		nb := int64(0)
+		if needBase {
+			nb = 1
+		}
+		welcome := wire.Frame{Op: wire.OpReplWelcome, ReqID: f.ReqID,
+			Payload: wire.AppendValues(nil, value.Int(int64(primaryEpoch)), value.Int(int64(shipped)), value.Int(nb))}
+		if !s.enqueue(welcome) {
+			p.RemoveFollower(s.id)
+			return wire.Frame{} // session died; readLoop exits on its own
+		}
+		// Only now may stream pushes flow: the welcome holds its queue slot.
+		p.StartShipper(s.id)
+		return wire.Frame{} // sentinel: response already enqueued
+
+	case wire.OpReplAck:
+		p := s.srv.opts.Primary
+		if p == nil {
+			return s.errFrame(f.ReqID, errors.New("server is not a replication primary"))
+		}
+		vals, err := wire.DecodeValues(f.Payload, 1)
+		if err != nil {
+			return s.errFrame(f.ReqID, err)
+		}
+		lsn, ok := vals[0].AsInt()
+		if !ok || lsn < 0 {
+			return s.errFrame(f.ReqID, errors.New("REPLACK LSN out of range"))
+		}
+		p.Ack(s.id, uint64(lsn))
 		return wire.Frame{Op: wire.OpOK, ReqID: f.ReqID}
 
 	default:

@@ -7,6 +7,7 @@ package server_test
 
 import (
 	"bufio"
+	"context"
 	"io"
 	"net"
 	"testing"
@@ -54,7 +55,7 @@ func startServer(t *testing.T, srvOpts server.Options) (*core.Database, *server.
 
 func dial(t *testing.T, srv *server.Server) *client.Client {
 	t.Helper()
-	c, err := client.Dial(srv.Addr())
+	c, err := client.Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,18 +71,18 @@ func TestEndToEndPush(t *testing.T) {
 	a := dial(t, srv)
 	b := dial(t, srv)
 
-	id, ok, err := a.Lookup("A")
+	id, ok, err := a.Lookup(context.Background(), "A")
 	if err != nil || !ok {
 		t.Fatalf("lookup A: %v ok=%v", err, ok)
 	}
 	got := make(chan wire.Event, 4)
-	subID, err := a.Subscribe(id, "SetVal", wire.MomentAny, func(ev wire.Event) { got <- ev })
+	subID, err := a.Subscribe(context.Background(), id, "SetVal", wire.MomentAny, func(ev wire.Event) { got <- ev })
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// B commits a transaction that raises end Item::SetVal on A's object.
-	if err := b.Exec(`A!SetVal(42)`); err != nil {
+	if err := b.Exec(context.Background(), `A!SetVal(42)`); err != nil {
 		t.Fatal(err)
 	}
 
@@ -107,7 +108,7 @@ func TestEndToEndPush(t *testing.T) {
 	}
 
 	// The subscriber's own reads confirm the committed state.
-	v, err := a.Get(id, "val")
+	v, err := a.Get(context.Background(), id, "val")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestEndToEndPush(t *testing.T) {
 func TestPipelinedCommands(t *testing.T) {
 	_, srv := startServer(t, server.Options{})
 	c := dial(t, srv)
-	id, _, err := c.Lookup("A")
+	id, _, err := c.Lookup(context.Background(), "A")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,10 +129,10 @@ func TestPipelinedCommands(t *testing.T) {
 	const inflight = 64
 	calls := make([]*client.Call, inflight)
 	for i := range calls {
-		calls[i] = c.GoGet(id, "val")
+		calls[i] = c.GoGet(context.Background(), id, "val")
 	}
 	for i, call := range calls {
-		v, err := c.GetCall(call)
+		v, err := c.GetCall(context.Background(), call)
 		if err != nil {
 			t.Fatalf("call %d: %v", i, err)
 		}
@@ -144,30 +145,30 @@ func TestPipelinedCommands(t *testing.T) {
 func TestCommandSurface(t *testing.T) {
 	_, srv := startServer(t, server.Options{})
 	c := dial(t, srv)
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	v, err := c.Eval("1 + 2")
+	v, err := c.Eval(context.Background(), "1 + 2")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n, _ := v.AsInt(); n != 3 {
 		t.Fatalf("eval = %v", v)
 	}
-	if _, ok, _ := c.Lookup("nosuch"); ok {
+	if _, ok, _ := c.Lookup(context.Background(), "nosuch"); ok {
 		t.Fatal("lookup of unbound name succeeded")
 	}
-	ids, err := c.Instances("Item")
+	ids, err := c.Instances(context.Background(), "Item")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 2 {
 		t.Fatalf("instances = %v, want 2", ids)
 	}
-	if err := c.Exec("syntax error here"); err == nil {
+	if err := c.Exec(context.Background(), "syntax error here"); err == nil {
 		t.Fatal("bad script accepted")
 	}
-	if _, err := c.Get(999999, "val"); err == nil {
+	if _, err := c.Get(context.Background(), 999999, "val"); err == nil {
 		t.Fatal("get of nonexistent object succeeded")
 	}
 }
@@ -175,17 +176,17 @@ func TestCommandSurface(t *testing.T) {
 func TestSubscribeFilterOverWire(t *testing.T) {
 	_, srv := startServer(t, server.Options{})
 	c := dial(t, srv)
-	idA, _, _ := c.Lookup("A")
+	idA, _, _ := c.Lookup(context.Background(), "A")
 	gotA := make(chan wire.Event, 8)
-	if _, err := c.Subscribe(idA, "", wire.MomentAny, func(ev wire.Event) { gotA <- ev }); err != nil {
+	if _, err := c.Subscribe(context.Background(), idA, "", wire.MomentAny, func(ev wire.Event) { gotA <- ev }); err != nil {
 		t.Fatal(err)
 	}
 	// Fire on B: A's subscription must stay silent.
-	if err := c.Exec(`B!SetVal(7)`); err != nil {
+	if err := c.Exec(context.Background(), `B!SetVal(7)`); err != nil {
 		t.Fatal(err)
 	}
 	// Then fire on A to have a positive signal to wait for.
-	if err := c.Exec(`A!SetVal(8)`); err != nil {
+	if err := c.Exec(context.Background(), `A!SetVal(8)`); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -206,16 +207,16 @@ func TestSubscribeFilterOverWire(t *testing.T) {
 func TestUnsubscribeStopsPushes(t *testing.T) {
 	_, srv := startServer(t, server.Options{})
 	c := dial(t, srv)
-	id, _, _ := c.Lookup("A")
+	id, _, _ := c.Lookup(context.Background(), "A")
 	got := make(chan wire.Event, 8)
-	subID, err := c.Subscribe(id, "", wire.MomentAny, func(ev wire.Event) { got <- ev })
+	subID, err := c.Subscribe(context.Background(), id, "", wire.MomentAny, func(ev wire.Event) { got <- ev })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Unsubscribe(subID); err != nil {
+	if err := c.Unsubscribe(context.Background(), subID); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Exec(`A!SetVal(5)`); err != nil {
+	if err := c.Exec(context.Background(), `A!SetVal(5)`); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -224,7 +225,7 @@ func TestUnsubscribeStopsPushes(t *testing.T) {
 	case <-time.After(50 * time.Millisecond):
 	}
 	// Unsubscribing someone else's (or a bogus) id errors.
-	if err := c.Unsubscribe(99999); err == nil {
+	if err := c.Unsubscribe(context.Background(), 99999); err == nil {
 		t.Fatal("bogus unsubscribe succeeded")
 	}
 }
@@ -413,7 +414,7 @@ func TestBadHandshake(t *testing.T) {
 func TestMetricsSurface(t *testing.T) {
 	db, srv := startServer(t, server.Options{})
 	c := dial(t, srv)
-	if err := c.Ping(); err != nil {
+	if err := c.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	m := db.Metrics()

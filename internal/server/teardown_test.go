@@ -7,6 +7,7 @@ package server_test
 // the networked sibling of the core Close-race tests.
 
 import (
+	"context"
 	"io"
 	"net"
 	"runtime"
@@ -46,16 +47,16 @@ func TestSessionTeardownLeaksNothing(t *testing.T) {
 	const sessions = 8
 	clients := make([]*client.Client, sessions)
 	for i := range clients {
-		c, err := client.Dial(srv.Addr())
+		c, err := client.Dial(context.Background(), srv.Addr())
 		if err != nil {
 			t.Fatal(err)
 		}
 		clients[i] = c
-		id, _, err := c.Lookup("A")
+		id, _, err := c.Lookup(context.Background(), "A")
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Subscribe(id, "", wire.MomentAny, func(wire.Event) {}); err != nil {
+		if _, err := c.Subscribe(context.Background(), id, "", wire.MomentAny, func(wire.Event) {}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -65,9 +66,9 @@ func TestSessionTeardownLeaksNothing(t *testing.T) {
 
 	// Disconnect mid-pipeline: launch reads and close without waiting.
 	for _, c := range clients {
-		id, _, _ := c.Lookup("A")
+		id, _, _ := c.Lookup(context.Background(), "A")
 		for i := 0; i < 16; i++ {
-			c.GoGet(id, "val")
+			c.GoGet(context.Background(), id, "val")
 		}
 		c.Close()
 	}
@@ -89,15 +90,15 @@ func TestSessionTeardownLeaksNothing(t *testing.T) {
 // subscription must be gone afterwards.
 func TestDisconnectMidSubscriptionUnderFire(t *testing.T) {
 	db, srv := startServer(t, server.Options{QueueLen: 8})
-	c, err := client.Dial(srv.Addr())
+	c, err := client.Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, _, err := c.Lookup("A")
+	id, _, err := c.Lookup(context.Background(), "A")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Subscribe(id, "", wire.MomentAny, func(wire.Event) {}); err != nil {
+	if _, err := c.Subscribe(context.Background(), id, "", wire.MomentAny, func(wire.Event) {}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -153,19 +154,19 @@ func TestServerCloseWhileSessionsActive(t *testing.T) {
 
 	clients := make([]*client.Client, 4)
 	for i := range clients {
-		c, err := client.Dial(srv.Addr())
+		c, err := client.Dial(context.Background(), srv.Addr())
 		if err != nil {
 			t.Fatal(err)
 		}
 		clients[i] = c
 		defer c.Close()
 	}
-	objID, _, err := clients[0].Lookup("A")
+	objID, _, err := clients[0].Lookup(context.Background(), "A")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, c := range clients {
-		if _, err := c.Subscribe(objID, "", wire.MomentAny, func(wire.Event) {}); err != nil {
+		if _, err := c.Subscribe(context.Background(), objID, "", wire.MomentAny, func(wire.Event) {}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,140 @@
+package wire
+
+// Replication codec coverage: round-trips for the three payload shapes the
+// stream carries (frames batch, snap chunk, snap end), the bounds rule on
+// hostile counts, and a fuzz target over the batch decoder (the largest of
+// the three surfaces — it embeds the full event codec per occurrence).
+
+import (
+	"bytes"
+	"testing"
+
+	"sentinel/internal/value"
+)
+
+func sampleBatch() ReplBatch {
+	return ReplBatch{
+		LSN: 42,
+		Recs: []ReplRec{
+			{Type: 1, Tx: 7, OID: 3, Data: []byte("image-bytes")},
+			{Type: 2, Tx: 7, OID: 9},
+			{Type: 3, Tx: 7},
+		},
+		Occs: []Event{
+			{Source: 3, Class: "Item", Method: "SetVal", Moment: 1, Seq: 99,
+				Args: []value.Value{value.Int(5)}, ParamNames: []string{"v"}},
+			{Source: 9, Class: "Item", Method: "Gone", Moment: 2, Seq: 100},
+		},
+	}
+}
+
+func TestReplBatchRoundTrip(t *testing.T) {
+	in := sampleBatch()
+	out, err := DecodeReplBatch(AppendReplBatch(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.LSN != in.LSN || len(out.Recs) != len(in.Recs) || len(out.Occs) != len(in.Occs) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+	for i, r := range out.Recs {
+		w := in.Recs[i]
+		if r.Type != w.Type || r.Tx != w.Tx || r.OID != w.OID || !bytes.Equal(r.Data, w.Data) {
+			t.Fatalf("record %d: %+v vs %+v", i, r, w)
+		}
+	}
+	for i, e := range out.Occs {
+		w := in.Occs[i]
+		if e.Source != w.Source || e.Class != w.Class || e.Method != w.Method ||
+			e.Moment != w.Moment || e.Seq != w.Seq || len(e.Args) != len(w.Args) {
+			t.Fatalf("occurrence %d: %+v vs %+v", i, e, w)
+		}
+	}
+}
+
+func TestReplBatchRoundTripEmpty(t *testing.T) {
+	out, err := DecodeReplBatch(AppendReplBatch(nil, ReplBatch{LSN: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.LSN != 1 || out.Recs != nil || out.Occs != nil {
+		t.Fatalf("empty batch round trip: %+v", out)
+	}
+}
+
+func TestReplSnapRoundTrip(t *testing.T) {
+	in := []ReplSnapObj{
+		{ID: 1, Img: []byte("a")},
+		{ID: 2, Img: []byte("bb")},
+		{ID: 3, Img: nil},
+	}
+	out, err := DecodeReplSnap(AppendReplSnap(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("snap count %d, want %d", len(out), len(in))
+	}
+	for i, o := range out {
+		if o.ID != in[i].ID || !bytes.Equal(o.Img, in[i].Img) && len(o.Img)+len(in[i].Img) > 0 {
+			t.Fatalf("snap obj %d: %+v vs %+v", i, o, in[i])
+		}
+	}
+}
+
+func TestReplSnapEndRoundTrip(t *testing.T) {
+	lsn, meta, err := DecodeReplSnapEnd(AppendReplSnapEnd(nil, 77, []byte("meta-blob")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 77 || string(meta) != "meta-blob" {
+		t.Fatalf("snap end round trip: lsn=%d meta=%q", lsn, meta)
+	}
+}
+
+// TestReplDecodeBounds: hostile counts must reject before any allocation
+// is sized from them (the package's decodeCount discipline).
+func TestReplDecodeBounds(t *testing.T) {
+	// A batch claiming 1<<40 records with a 3-byte payload.
+	hostile := value.AppendValue(nil, value.Int(1)) // LSN
+	hostile = value.AppendValue(hostile, value.Int(1<<40))
+	if _, err := DecodeReplBatch(hostile); err == nil {
+		t.Fatal("hostile record count accepted")
+	}
+	// A snap chunk claiming 1<<40 objects.
+	snap := value.AppendValue(nil, value.Int(1<<40))
+	if _, err := DecodeReplSnap(snap); err == nil {
+		t.Fatal("hostile snap count accepted")
+	}
+	// Trailing garbage rejects.
+	good := AppendReplBatch(nil, ReplBatch{LSN: 1})
+	if _, err := DecodeReplBatch(append(good, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func FuzzDecodeReplBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendReplBatch(nil, ReplBatch{LSN: 1}))
+	f.Add(AppendReplBatch(nil, sampleBatch()))
+	f.Add(AppendReplSnap(nil, []ReplSnapObj{{ID: 5, Img: []byte("img")}}))
+	f.Add(AppendReplSnapEnd(nil, 9, []byte("m")))
+	// Hostile count with a dangling tail.
+	f.Add(value.AppendValue(value.AppendValue(nil, value.Int(2)), value.Int(1<<30)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// None of the three decoders may panic or over-allocate; any batch
+		// the decoder accepts must re-encode to an equally decodable form.
+		if b, err := DecodeReplBatch(data); err == nil {
+			if _, err := DecodeReplBatch(AppendReplBatch(nil, b)); err != nil {
+				t.Fatalf("re-encode of accepted batch rejected: %v", err)
+			}
+		}
+		if objs, err := DecodeReplSnap(data); err == nil {
+			if _, err := DecodeReplSnap(AppendReplSnap(nil, objs)); err != nil {
+				t.Fatalf("re-encode of accepted snap rejected: %v", err)
+			}
+		}
+		_, _, _ = DecodeReplSnapEnd(data)
+	})
+}

@@ -36,7 +36,13 @@ import (
 
 // ProtocolVersion is negotiated in Hello/Welcome; the server rejects a
 // client whose version it does not speak.
-const ProtocolVersion = 1
+//
+// History: 1 = PR 7 request/response + push subscriptions; 2 adds the
+// replication opcodes (OpReplHello/OpReplAck/OpReplWelcome and the
+// OpReplFrames/OpReplSnap pushes). A v1 client connecting to a v2 server
+// gets a clean version-mismatch OpErr instead of an unknown-opcode
+// failure mid-session.
+const ProtocolVersion = 2
 
 // MaxFrameLen caps the length field (opcode + reqid + payload): 8 MiB.
 // Large enough for any script or result the shell produces, small enough
@@ -61,15 +67,21 @@ const (
 	OpInstances   byte = 7  // [str class]               → OpResult (list of refs; snapshot read)
 	OpSubscribe   byte = 8  // [ref oid, str event, int moment] → OpSubOK | OpErr
 	OpUnsubscribe byte = 9  // [int subID]               → OpOK | OpErr
+	OpReplHello   byte = 10 // [int startLSN, int epoch]  → OpReplWelcome | OpErr
+	OpReplAck     byte = 11 // [int appliedLSN]          → OpOK
 
-	OpOK      byte = 16 // []
-	OpErr     byte = 17 // [str message]
-	OpResult  byte = 18 // [value]
-	OpPong    byte = 19 // []
-	OpWelcome byte = 20 // [int version, int sessionID]
-	OpSubOK   byte = 21 // [int subID]
+	OpOK          byte = 16 // []
+	OpErr         byte = 17 // [str message]
+	OpResult      byte = 18 // [value]
+	OpPong        byte = 19 // []
+	OpWelcome     byte = 20 // [int version, int sessionID]
+	OpSubOK       byte = 21 // [int subID]
+	OpReplWelcome byte = 22 // [int epoch, int shippedLSN, int needBase (0|1)]
 
-	OpEvent byte = 32 // push: see AppendEvent/DecodeEvent; reqid is 0
+	OpEvent       byte = 32 // push: see AppendEvent/DecodeEvent; reqid is 0
+	OpReplFrames  byte = 33 // push: see AppendReplBatch/DecodeReplBatch; reqid is 0
+	OpReplSnap    byte = 34 // push: base-state chunk, see AppendReplSnap; reqid is 0
+	OpReplSnapEnd byte = 35 // push: [int baseLSN, str metaBlob]; reqid is 0
 )
 
 // MomentAny is the Subscribe moment wildcard: deliver begin, end and
@@ -98,6 +110,10 @@ func OpName(op byte) string {
 		return "SUBSCRIBE"
 	case OpUnsubscribe:
 		return "UNSUBSCRIBE"
+	case OpReplHello:
+		return "REPLHELLO"
+	case OpReplAck:
+		return "REPLACK"
 	case OpOK:
 		return "OK"
 	case OpErr:
@@ -110,8 +126,16 @@ func OpName(op byte) string {
 		return "WELCOME"
 	case OpSubOK:
 		return "SUBOK"
+	case OpReplWelcome:
+		return "REPLWELCOME"
 	case OpEvent:
 		return "EVENT"
+	case OpReplFrames:
+		return "REPLFRAMES"
+	case OpReplSnap:
+		return "REPLSNAP"
+	case OpReplSnapEnd:
+		return "REPLSNAPEND"
 	default:
 		return fmt.Sprintf("OP(%d)", op)
 	}
@@ -278,6 +302,13 @@ func DecodeEvent(payload []byte) (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
+	return eventFromValues(vals)
+}
+
+// eventFromValues builds an Event from its 8 decoded payload values; shared
+// by DecodeEvent and the replication batch decoder, which embeds the same
+// 8-value layout per shipped occurrence.
+func eventFromValues(vals []value.Value) (Event, error) {
 	var ev Event
 	subID, ok := vals[0].AsInt()
 	if !ok {

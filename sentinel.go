@@ -95,12 +95,8 @@ type (
 	DetachedStats = core.DetachedStats
 	// StorageStats counts faults, evictions, checkpoints and WAL bytes.
 	StorageStats = core.StorageStats
-
-	// Stats is the legacy flat counter struct.
-	//
-	// Deprecated: use Snapshot (via Database.Stats); Database.LegacyStats
-	// still returns this shape for old callers.
-	Stats = core.Stats
+	// ReplicationStats describes the replication role and stream position.
+	ReplicationStats = core.ReplicationStats
 
 	// MetricsSnapshot is a point-in-time view of every registered counter,
 	// gauge and histogram, returned by Database.Metrics.
