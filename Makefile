@@ -10,17 +10,22 @@
 # instrumentation-overhead artifact BENCH_3.json, the detached-pool
 # multi-core scaling artifact BENCH_4.json, the MVCC snapshot-read /
 # group-commit contention artifact BENCH_5.json, the networked-server
-# artifact BENCH_6.json, and the replication read-scaling artifact
-# BENCH_7.json; `make bench-smoke` is a one-iteration CI-sized
-# pass over the same code paths plus a scrape of the live /metrics
-# endpoint; `make bench-gate` checks the checked-in benchmark artifacts
-# against the floors in dev/bench/thresholds.json (CI runs this, so a PR
-# that regenerates a BENCH_*.json with a regression fails).
+# artifact BENCH_6.json, the replication read-scaling artifact
+# BENCH_7.json, and the failover artifact BENCH_8.json (quorum-commit
+# latency vs async, promotion downtime); `make bench-smoke` is a
+# one-iteration CI-sized pass over the same code paths plus a scrape of
+# the live /metrics endpoint; `make bench-gate` checks the checked-in
+# benchmark artifacts against the floors in dev/bench/thresholds.json
+# (CI runs this, so a PR that regenerates a BENCH_*.json with a
+# regression fails); `make golden` regenerates the checked-in golden
+# firing traces under internal/sim/testdata/golden/ (the matrix test
+# fails CI on any unexplained drift — regenerate deliberately and commit
+# the diff).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test check race torture fuzz bench bench-smoke bench-gate clean
+.PHONY: all build vet test check race torture fuzz bench bench-smoke bench-gate golden clean
 
 all: check
 
@@ -43,7 +48,7 @@ race:
 # The fixed seeds make failures reproducible; the strided versions of the
 # same sweeps run in the ordinary test suite.
 torture:
-	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint|TestGroupCommitTorture|TestSnapshotDiffer|TestReplTortureSweep|TestReplDiffSeeds' -v ./internal/sim/ ./internal/core/
+	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint|TestGroupCommitTorture|TestSnapshotDiffer|TestReplTortureSweep|TestReplDiffSeeds|TestFailoverSweep' -v ./internal/sim/ ./internal/core/
 
 # Coverage-guided fuzzing on top of the checked-in seed corpora. `go test`
 # accepts one -fuzz pattern per package invocation, hence one line each.
@@ -67,6 +72,7 @@ bench:
 	$(GO) run ./cmd/sentinel-bench -json5 BENCH_5.json
 	$(GO) run ./cmd/sentinel-bench -json6 BENCH_6.json
 	$(GO) run ./cmd/sentinel-bench -json7 BENCH_7.json
+	$(GO) run ./cmd/sentinel-bench -json8 BENCH_8.json
 
 # One-iteration pass over every benchmark entry point: catches bit-rot in
 # the bench harness without benchmark-grade runtimes (CI runs this).
@@ -78,11 +84,20 @@ bench-smoke:
 	$(GO) run ./cmd/sentinel-bench -json5 /tmp/bench5-smoke.json -quick
 	$(GO) run ./cmd/sentinel-bench -json6 /tmp/bench6-smoke.json -quick
 	$(GO) run ./cmd/sentinel-bench -json7 /tmp/bench7-smoke.json -quick
+	$(GO) run ./cmd/sentinel-bench -json8 /tmp/bench8-smoke.json -quick
 
 # Enforce the performance floors in dev/bench/thresholds.json over the
 # checked-in benchmark artifacts.
 bench-gate:
 	$(GO) run ./cmd/bench-gate
+
+# Regenerate the golden firing-trace matrix (operator x coupling x
+# strategy) under internal/sim/testdata/golden/. The matrix test refuses
+# to regenerate when the engine and the reference model disagree, so a
+# golden can only change once both implementations agree on the new
+# semantics; commit the diff with its justification.
+golden:
+	SENTINEL_GOLDEN_REGEN=1 $(GO) test -count=1 -run TestGoldenMatrix ./internal/sim/
 
 clean:
 	$(GO) clean

@@ -1,0 +1,349 @@
+package main
+
+// Failover suite (-json8): the price of quorum commit and the cost of
+// promotion, measured on an in-process cluster — a primary plus pipe
+// followers (channel transport, real replica databases applying every
+// batch and acking, exactly internal/sim's failover harness shape minus
+// the fault injection). Three commit-latency rows (async, K=1, K=2) share
+// one topology so the only variable is how many durable acks each commit
+// waits for; the promotion row measures wall-clock downtime from "primary
+// lost" to the promoted follower's first accepted commit. The floors
+// (enforced by bench-gate over BENCH_8.json) are K=1 commit latency
+// <= 3x async and promotion downtime <= 1s.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sentinel/internal/core"
+	"sentinel/internal/repl"
+	"sentinel/internal/vfs"
+	"sentinel/internal/wire"
+)
+
+const foSchema = `class Item reactive persistent {
+	attr val int
+	event end method SetVal(v int) { self.val := v }
+}
+bind H new Item(val: 0)`
+
+// foFollower is one pipe follower: a replica database applying the
+// primary's stream and acking every batch, the durability voter a quorum
+// commit waits on.
+type foFollower struct {
+	db     *core.Database
+	fs     *vfs.Mem
+	frames chan pipeMsg
+	closed chan struct{}
+	wg     sync.WaitGroup
+	id     uint64
+}
+
+type pipeMsg struct {
+	op      byte
+	payload []byte
+}
+
+func (f *foFollower) SessionID() uint64 { return f.id }
+
+func (f *foFollower) Send(op byte, payload []byte, cancel <-chan struct{}) bool {
+	select {
+	case f.frames <- pipeMsg{op, payload}:
+		return true
+	case <-f.closed:
+		return false
+	case <-cancel:
+		return false
+	}
+}
+
+func (f *foFollower) TrySend(op byte, payload []byte) bool {
+	select {
+	case f.frames <- pipeMsg{op, payload}:
+		return true
+	case <-f.closed:
+		return false
+	default:
+		return false
+	}
+}
+
+func startFoFollower(p *repl.Primary, id uint64) (*foFollower, error) {
+	fs := vfs.NewMem()
+	db, err := core.Open(core.Options{
+		Dir: "r", VFS: fs, Replica: true, SyncOnCommit: true, Output: io.Discard,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &foFollower{db: db, fs: fs, frames: make(chan pipeMsg, 256), closed: make(chan struct{}), id: id}
+	primaryEpoch, _, needBase, err := p.AddFollower(f, db.ReplLSN(), db.ReplEpoch())
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	if !needBase && db.ReplEpoch() != primaryEpoch {
+		db.SetReplEpoch(primaryEpoch)
+		_ = db.Checkpoint()
+	}
+	f.wg.Add(1)
+	go f.apply(p, primaryEpoch, needBase)
+	p.StartShipper(id)
+	return f, nil
+}
+
+func (f *foFollower) apply(p *repl.Primary, primaryEpoch uint64, syncing bool) {
+	defer f.wg.Done()
+	var base []core.ReplBaseObject
+	for {
+		select {
+		case <-f.closed:
+			return
+		case m := <-f.frames:
+			switch m.op {
+			case wire.OpReplSnap:
+				objs, err := wire.DecodeReplSnap(m.payload)
+				if err != nil {
+					return
+				}
+				for _, o := range objs {
+					base = append(base, core.ReplBaseObject{ID: o.ID, Img: o.Img})
+				}
+			case wire.OpReplSnapEnd:
+				baseLSN, _, err := wire.DecodeReplSnapEnd(m.payload)
+				if err != nil {
+					return
+				}
+				f.db.SetReplEpoch(primaryEpoch)
+				if err := f.db.ApplyBaseState(baseLSN, base); err != nil {
+					f.db.SetReplEpoch(0)
+					return
+				}
+				base, syncing = nil, false
+				p.Ack(f.id, f.db.ReplLSN(), f.db.ReplEpoch())
+			case wire.OpReplFrames:
+				wb, err := wire.DecodeReplBatch(m.payload)
+				if err != nil {
+					return
+				}
+				if syncing && wb.LSN != 0 {
+					continue
+				}
+				if err := f.db.ApplyReplicated(repl.BatchFromWire(wb)); err != nil {
+					return
+				}
+				if wb.LSN != 0 {
+					p.Ack(f.id, f.db.ReplLSN(), f.db.ReplEpoch())
+				}
+			}
+		}
+	}
+}
+
+func (f *foFollower) stop(p *repl.Primary) {
+	p.RemoveFollower(f.id)
+	close(f.closed)
+	f.wg.Wait()
+}
+
+type foCommitResult struct {
+	SyncReplicas int    `json:"sync_replicas"`
+	Followers    int    `json:"followers"`
+	Commits      int    `json:"commits"`
+	AvgNs        int64  `json:"avg_ns"`
+	P50Ns        int64  `json:"p50_ns"`
+	P95Ns        int64  `json:"p95_ns"`
+	Degraded     uint64 `json:"degraded_commits"`
+}
+
+type foPromoteResult struct {
+	BurstCommits int    `json:"burst_commits"`
+	DowntimeNs   int64  `json:"downtime_ns"`
+	PromotedLSN  uint64 `json:"promoted_lsn"`
+	NewEpoch     uint64 `json:"new_epoch"`
+}
+
+type foReport struct {
+	GeneratedBy      string           `json:"generated_by"`
+	GoMaxProcs       int              `json:"gomaxprocs"`
+	NumCPU           int              `json:"numcpu"`
+	GoVersion        string           `json:"go_version"`
+	Note             string           `json:"note,omitempty"`
+	CommitLatency    []foCommitResult `json:"commit_latency"`
+	Quorum1OverAsync float64          `json:"quorum1_over_async"`
+	Quorum2OverAsync float64          `json:"quorum2_over_async"`
+	Promotion        foPromoteResult  `json:"promotion"`
+}
+
+// foCommitLatency measures per-commit wall time on a primary with two
+// live followers, waiting for k durable acks per commit.
+func foCommitLatency(k, commits int) (foCommitResult, error) {
+	res := foCommitResult{SyncReplicas: k, Followers: 2, Commits: commits}
+	opts := core.Options{
+		Dir: "p", VFS: vfs.NewMem(), SyncOnCommit: true, Output: io.Discard,
+		SyncReplicas: k,
+	}
+	if k > 0 {
+		opts.QuorumTimeout = 5 * time.Second
+	}
+	pri, err := core.Open(opts)
+	if err != nil {
+		return res, err
+	}
+	defer pri.Close()
+	p := repl.NewPrimary(pri, repl.PrimaryOptions{})
+	defer p.Close()
+	var fs []*foFollower
+	defer func() {
+		for _, f := range fs {
+			f.stop(p)
+			f.db.Close()
+		}
+	}()
+	for id := uint64(1); id <= 2; id++ {
+		f, err := startFoFollower(p, id)
+		if err != nil {
+			return res, err
+		}
+		fs = append(fs, f)
+	}
+	if err := pri.Exec(foSchema); err != nil {
+		return res, err
+	}
+
+	lat := make([]time.Duration, commits)
+	for i := 0; i < commits; i++ {
+		t0 := time.Now()
+		if err := pri.Exec(fmt.Sprintf("H!SetVal(%d)", i)); err != nil {
+			return res, err
+		}
+		lat[i] = time.Since(t0)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var total time.Duration
+	for _, d := range lat {
+		total += d
+	}
+	res.AvgNs = total.Nanoseconds() / int64(commits)
+	res.P50Ns = lat[commits/2].Nanoseconds()
+	res.P95Ns = lat[commits*95/100].Nanoseconds()
+	res.Degraded = pri.Stats().Replication.QuorumDegraded
+	return res, nil
+}
+
+// foPromotion builds a primary + one follower, commits a burst, kills the
+// primary, and measures wall-clock downtime until the promoted follower
+// accepts its first write.
+func foPromotion(burst int) (foPromoteResult, error) {
+	res := foPromoteResult{BurstCommits: burst}
+	pri, err := core.Open(core.Options{
+		Dir: "p", VFS: vfs.NewMem(), SyncOnCommit: true, Output: io.Discard,
+		SyncReplicas: 1, QuorumTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return res, err
+	}
+	p := repl.NewPrimary(pri, repl.PrimaryOptions{})
+	f, err := startFoFollower(p, 1)
+	if err != nil {
+		return res, err
+	}
+	if err := pri.Exec(foSchema); err != nil {
+		return res, err
+	}
+	for i := 0; i < burst; i++ {
+		if err := pri.Exec(fmt.Sprintf("H!SetVal(%d)", i)); err != nil {
+			return res, err
+		}
+	}
+	target := pri.ReplLSN()
+
+	// Primary loss: the clock starts here and stops at the first commit
+	// the new primary accepts — seal, reopen (recovery over the replica's
+	// WAL), epoch bump, first write.
+	t0 := time.Now()
+	p.RemoveFollower(f.id)
+	close(f.closed)
+	f.wg.Wait()
+	p.Close()
+	pri.CloseAbrupt()
+
+	if f.db.ReplLSN() != target {
+		return res, fmt.Errorf("follower at LSN %d, primary shipped %d", f.db.ReplLSN(), target)
+	}
+	if err := f.db.Close(); err != nil {
+		return res, err
+	}
+	db2, err := core.Open(core.Options{
+		Dir: "r", VFS: f.fs, SyncOnCommit: true, Output: io.Discard,
+		SyncReplicas: 1, QuorumTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer db2.Close()
+	p2 := repl.NewPrimary(db2, repl.PrimaryOptions{})
+	defer p2.Close()
+	if err := db2.Exec("H!SetVal(999999)"); err != nil {
+		return res, err
+	}
+	res.DowntimeNs = time.Since(t0).Nanoseconds()
+	res.PromotedLSN = target
+	res.NewEpoch = db2.ReplEpoch()
+	return res, nil
+}
+
+// runFailoverBench runs the suite and writes the BENCH_8 report.
+func runFailoverBench(path string, quick bool) error {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	commits, burst := 3000, 500
+	if quick {
+		commits, burst = 300, 60
+	}
+
+	var report foReport
+	report.GeneratedBy = "sentinel-bench -json8"
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.NumCPU = runtime.NumCPU()
+	report.GoVersion = runtime.Version()
+	report.Note = fmt.Sprintf(
+		"in-process cluster (channel transport, real replica databases applying + acking), %d commits per latency row over identical 2-follower topologies, promotion downtime = primary loss to first accepted commit after a %d-commit burst; see DESIGN.md 4i",
+		commits, burst)
+
+	for _, k := range []int{0, 1, 2} {
+		r, err := foCommitLatency(k, commits)
+		if err != nil {
+			return fmt.Errorf("commit latency K=%d: %w", k, err)
+		}
+		report.CommitLatency = append(report.CommitLatency, r)
+		fmt.Printf("  commit K=%d: p50 %8.1fus  p95 %8.1fus  avg %8.1fus  (%d commits, %d degraded)\n",
+			k, float64(r.P50Ns)/1e3, float64(r.P95Ns)/1e3, float64(r.AvgNs)/1e3, r.Commits, r.Degraded)
+	}
+	report.Quorum1OverAsync = float64(report.CommitLatency[1].P50Ns) / float64(report.CommitLatency[0].P50Ns)
+	report.Quorum2OverAsync = float64(report.CommitLatency[2].P50Ns) / float64(report.CommitLatency[0].P50Ns)
+
+	pr, err := foPromotion(burst)
+	if err != nil {
+		return fmt.Errorf("promotion: %w", err)
+	}
+	report.Promotion = pr
+	fmt.Printf("  promotion: %0.1fms downtime (LSN %d, epoch %d)\n",
+		float64(pr.DowntimeNs)/1e6, pr.PromotedLSN, pr.NewEpoch)
+
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&report)
+}

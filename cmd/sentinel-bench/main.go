@@ -24,6 +24,9 @@
 //	sentinel-bench -json7 BENCH_7.json [-quick]
 //	                               # replication: read scaling across
 //	                               # followers, catch-up lag, push drops
+//	sentinel-bench -json8 BENCH_8.json [-quick]
+//	                               # failover: quorum-commit latency vs
+//	                               # async, promotion downtime
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 	json5Out := flag.String("json5", "", "write MVCC snapshot-read/group-commit results to this JSON file and exit")
 	json6Out := flag.String("json6", "", "write networked-server benchmark results to this JSON file and exit")
 	json7Out := flag.String("json7", "", "write replication read-scaling benchmark results to this JSON file and exit")
+	json8Out := flag.String("json8", "", "write failover benchmark results (quorum commit latency, promotion downtime) to this JSON file and exit")
 	idleClientAddr := flag.String("idle-client", "", "internal: run as the -json6 idle-session client subprocess against this address")
 	idleClientSessions := flag.Int("idle-sessions", 0, "internal: session count for -idle-client")
 	flag.Parse()
@@ -103,6 +107,13 @@ func main() {
 	}
 	if *json7Out != "" {
 		if err := runReplBench(*json7Out, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *json8Out != "" {
+		if err := runFailoverBench(*json8Out, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

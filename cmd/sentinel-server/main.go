@@ -8,23 +8,31 @@
 //	sentinel-server -addr :7707 -d ./mydb          # persistent
 //	sentinel-server -addr :7707 -f schema.sql      # load a script first
 //	sentinel-server -addr :7707 -d ./mydb -repl    # replication primary
+//	sentinel-server -addr :7707 -d ./mydb -repl -sync-replicas 1
+//	                                               # quorum commit: wait for 1 follower ack
 //	sentinel-server -addr :7708 -d ./replica -follow host:7707
 //	                                               # read replica of host:7707
+//	sentinel-server -promote host:7708             # admin: promote that replica
 //
 // A primary (-repl) streams every committed batch to attached followers; a
 // follower (-follow) opens its directory in replica mode, keeps itself in
 // sync with the primary, and serves reads and subscriptions from its own
-// address (see DESIGN.md §4h). Connect with the sentinel shell:
-// `.connect host:7707`.
+// address (see DESIGN.md §4h). When the primary is lost, `-promote` asks a
+// follower server to take over: it seals its replay, reopens writable under
+// a new epoch, and starts accepting followers itself (see DESIGN.md §4i).
+// Connect with the sentinel shell: `.connect host:7707`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"sentinel/internal/client"
 	"sentinel/internal/core"
 	"sentinel/internal/repl"
 	"sentinel/internal/server"
@@ -41,10 +49,17 @@ func main() {
 	disconnectSlow := flag.Bool("disconnect-slow", false, "disconnect sessions that overflow their push queue (default: drop events)")
 	replicate := flag.Bool("repl", false, "act as a replication primary (followers may attach)")
 	follow := flag.String("follow", "", "act as a read replica of the primary at this address")
+	syncReplicas := flag.Int("sync-replicas", 0, "quorum commit: block each commit until this many followers ack it (0 = async)")
+	quorumTimeout := flag.Duration("quorum-timeout", 0, "quorum commit wait bound before degrading to async (0 = default 5s)")
+	promote := flag.String("promote", "", "admin: ask the follower server at this address to promote itself to primary, then exit")
 	flag.Parse()
 
+	if *promote != "" {
+		runPromote(*promote)
+		return
+	}
 	if *follow != "" {
-		runFollower(*addr, *dir, *follow, *metricsAddr, *queue, *disconnectSlow)
+		runFollower(*addr, *dir, *follow, *metricsAddr, *queue, *disconnectSlow, *sync, *syncReplicas, *quorumTimeout)
 		return
 	}
 
@@ -54,6 +69,8 @@ func main() {
 		MetricsAddr:     *metricsAddr,
 		AsyncDetached:   *workers > 0,
 		DetachedWorkers: *workers,
+		SyncReplicas:    *syncReplicas,
+		QuorumTimeout:   *quorumTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
@@ -75,7 +92,7 @@ func main() {
 	}
 
 	var primary *repl.Primary
-	if *replicate {
+	if *replicate || *syncReplicas > 0 {
 		if *dir == "" {
 			fmt.Fprintln(os.Stderr, "sentinel-server: -repl requires -d (base sync needs persistent storage)")
 			db.Close()
@@ -96,7 +113,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "sentinel-server listening on %s\n", srv.Addr())
 	if primary != nil {
-		fmt.Fprintln(os.Stderr, "sentinel-server: replication primary (followers may attach)")
+		fmt.Fprintf(os.Stderr, "sentinel-server: replication primary, epoch %d (followers may attach)\n", db.ReplEpoch())
 	}
 	if *metricsAddr != "" {
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", db.MetricsAddr())
@@ -120,17 +137,37 @@ func main() {
 	}
 }
 
+// runPromote is the admin client: ask the follower server at addr to
+// promote itself and report the outcome.
+func runPromote(addr string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	c, err := client.Dial(ctx, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: promote:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	if err := c.ReplPromote(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: promote:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sentinel-server: %s accepted promotion\n", addr)
+}
+
 // runFollower runs the replica mode: a Follower keeps the local directory
 // in sync with the primary while a Server serves reads and subscriptions
-// from it on this node's own address.
-func runFollower(addr, dir, primaryAddr, metricsAddr string, queue int, disconnectSlow bool) {
+// from it on this node's own address. An OpReplPromote admin frame (see
+// runPromote) flips the node to primary in place: the serving layer
+// restarts over the promoted database and followers may then attach here.
+func runFollower(addr, dir, primaryAddr, metricsAddr string, queue int, disconnectSlow, sync bool, syncReplicas int, quorumTimeout time.Duration) {
 	if dir == "" {
 		fmt.Fprintln(os.Stderr, "sentinel-server: -follow requires -d (the replica's local directory)")
 		os.Exit(1)
 	}
 	f, err := repl.StartFollower(repl.FollowerOptions{
 		PrimaryAddr: primaryAddr,
-		Core:        core.Options{Dir: dir, SyncOnCommit: false, MetricsAddr: metricsAddr},
+		Core:        core.Options{Dir: dir, SyncOnCommit: sync, MetricsAddr: metricsAddr},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
@@ -140,7 +177,18 @@ func runFollower(addr, dir, primaryAddr, metricsAddr string, queue int, disconne
 	if disconnectSlow {
 		policy = server.DisconnectSlow
 	}
-	srv, err := server.New(f.DB, server.Options{Addr: addr, QueueLen: queue, Overflow: policy})
+	// The promote hook just signals the main loop below: the actual
+	// promotion must not run on a session's reader goroutine (it tears this
+	// very server down).
+	promoteCh := make(chan struct{}, 1)
+	srv, err := server.New(f.DB, server.Options{Addr: addr, QueueLen: queue, Overflow: policy,
+		Promote: func() error {
+			select {
+			case promoteCh <- struct{}{}:
+			default: // already promoting
+			}
+			return nil
+		}})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
 		f.Close()
@@ -153,14 +201,54 @@ func runFollower(addr, dir, primaryAddr, metricsAddr string, queue int, disconne
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "sentinel-server: shutting down")
+		if err := srv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sentinel-server: server close:", err)
+		}
+		// Follower.Close stops the stream and closes the database.
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "sentinel-server: follower close:", err)
+			os.Exit(1)
+		}
+		return
+	case <-promoteCh:
+	}
+
+	// Promotion: stop serving reads (sessions reconnect to the new primary
+	// server below), seal and reopen the database writable, then serve
+	// again on the same address with followers welcome.
+	fmt.Fprintln(os.Stderr, "sentinel-server: promoting to primary")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: server close:", err)
+	}
+	db, primary, err := f.Promote(repl.PrimaryOptions{}, func(o *core.Options) {
+		o.SyncOnCommit = sync
+		o.SyncReplicas = syncReplicas
+		o.QuorumTimeout = quorumTimeout
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: promote:", err)
+		os.Exit(1)
+	}
+	srv, err = server.New(db, server.Options{Addr: addr, QueueLen: queue, Overflow: policy, Primary: primary})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server:", err)
+		primary.Close()
+		db.Close()
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sentinel-server promoted: primary on %s, epoch %d\n", srv.Addr(), db.ReplEpoch())
+
 	<-sig
 	fmt.Fprintln(os.Stderr, "sentinel-server: shutting down")
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-server: server close:", err)
 	}
-	// Follower.Close stops the stream and closes the database.
-	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "sentinel-server: follower close:", err)
+	primary.Close()
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-server: db close:", err)
 		os.Exit(1)
 	}
 }

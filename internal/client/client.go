@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -35,6 +36,12 @@ import (
 
 // ErrClosed reports a call against a closed (or transport-failed) client.
 var ErrClosed = errors.New("client: connection closed")
+
+// ErrPrimaryLost wraps the transport error when a connection that was
+// streaming replication dies: callers (the follower's reconnect loop, admin
+// tooling deciding whether to promote) can errors.Is for it instead of
+// pattern-matching transport strings.
+var ErrPrimaryLost = errors.New("client: primary connection lost")
 
 // outQueueLen bounds the writer queue; senders block when it fills (the
 // transport is the limit, more buffering would just hide it).
@@ -51,10 +58,11 @@ type Client struct {
 	reqSeq    uint32
 	pending   map[uint32]*Call
 	handlers  map[uint64]func(wire.Event)
-	orphans   map[uint64][]wire.Event // pushes that raced their SubOK
-	orphanCnt int
-	closeErr  error
-	closing   bool
+	orphans    map[uint64][]wire.Event // pushes that raced their SubOK
+	orphanCnt  int
+	closeErr   error
+	closing    bool
+	replStream bool // set by ReplHello: transport loss means a lost primary
 
 	// rawPush receives non-OpEvent pushes (the replication stream). Set
 	// once via OnPush before any replication traffic; read on the reader
@@ -143,9 +151,13 @@ func Dial(ctx context.Context, addr string) (*Client, error) {
 	return c, nil
 }
 
-// DialRetry dials with exponential backoff (50ms doubling to maxBackoff)
-// until it connects or ctx is cancelled. The replication follower runs its
-// reconnect loop on this; anything needing a patient dial can share it.
+// DialRetry dials with jittered exponential backoff (50ms doubling to
+// maxBackoff, each sleep randomized ±50%) until it connects or ctx is
+// cancelled. The replication follower runs its reconnect loop on this;
+// anything needing a patient dial can share it. The jitter matters exactly
+// when the dial matters most: after a primary failure every follower starts
+// retrying at once, and unjittered backoff keeps them retrying in lockstep
+// against the freshly promoted (or restarted) primary.
 func DialRetry(ctx context.Context, addr string, maxBackoff time.Duration) (*Client, error) {
 	if maxBackoff <= 0 {
 		maxBackoff = 2 * time.Second
@@ -160,7 +172,7 @@ func DialRetry(ctx context.Context, addr string, maxBackoff time.Duration) (*Cli
 			return nil, ctx.Err()
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitter(backoff)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -168,6 +180,15 @@ func DialRetry(ctx context.Context, addr string, maxBackoff time.Duration) (*Cli
 			backoff = maxBackoff
 		}
 	}
+}
+
+// jitter spreads d over [d/2, 3d/2): full ±50%, so two followers that lost
+// the same primary at the same instant decorrelate within one retry round.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 // Close tears the connection down; every in-flight call fails with
@@ -183,11 +204,29 @@ func (c *Client) Close() error {
 // primary without a read in flight.
 func (c *Client) Done() <-chan struct{} { return c.done }
 
+// Err returns the error that tore the connection down, once Done is
+// closed: ErrClosed for a local Close, or the transport error (wrapped in
+// ErrPrimaryLost for a replication stream) otherwise. Nil while the
+// connection is alive.
+func (c *Client) Err() error {
+	select {
+	case <-c.done:
+	default:
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeErr
+}
+
 // fail closes the transport once and completes all pending calls with err.
 func (c *Client) fail(err error) {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.closing = true
+		if c.replStream && !errors.Is(err, ErrClosed) {
+			err = fmt.Errorf("%w: %v", ErrPrimaryLost, err)
+		}
 		c.closeErr = err
 		pend := c.pending
 		c.pending = make(map[uint32]*Call)
@@ -511,6 +550,9 @@ func (c *Client) Unsubscribe(ctx context.Context, subID uint64) error {
 // follower must install a fresh base state first (epoch mismatch, or
 // startLSN outside what the primary can serve incrementally).
 func (c *Client) ReplHello(ctx context.Context, startLSN, epoch uint64) (primaryEpoch, shippedLSN uint64, needBase bool, err error) {
+	c.mu.Lock()
+	c.replStream = true
+	c.mu.Unlock()
 	f, err := c.start(ctx, wire.OpReplHello,
 		wire.AppendValues(nil, value.Int(int64(startLSN)), value.Int(int64(epoch)))).wait(ctx)
 	if err != nil {
@@ -529,10 +571,41 @@ func (c *Client) ReplHello(ctx context.Context, startLSN, epoch uint64) (primary
 	return uint64(pe), uint64(sl), nb != 0, nil
 }
 
-// ReplAck reports the follower's applied LSN for the primary's lag
-// accounting.
-func (c *Client) ReplAck(ctx context.Context, appliedLSN uint64) error {
-	f, err := c.start(ctx, wire.OpReplAck, wire.AppendValues(nil, value.Int(int64(appliedLSN)))).wait(ctx)
+// ReplAck reports the follower's applied LSN (and the epoch it applied
+// under) for the primary's lag accounting and quorum commit. A follower
+// still on an older epoch acks with that epoch; the primary counts only
+// current-epoch acks toward a quorum.
+func (c *Client) ReplAck(ctx context.Context, appliedLSN, epoch uint64) error {
+	f, err := c.start(ctx, wire.OpReplAck,
+		wire.AppendValues(nil, value.Int(int64(appliedLSN)), value.Int(int64(epoch)))).wait(ctx)
+	if err != nil {
+		return err
+	}
+	if f.Op != wire.OpOK {
+		return respErr(f)
+	}
+	return nil
+}
+
+// ReplPromote asks a follower server to promote itself to primary (admin
+// operation; the server must have been started with a promote hook).
+func (c *Client) ReplPromote(ctx context.Context) error {
+	f, err := c.start(ctx, wire.OpReplPromote, nil).wait(ctx)
+	if err != nil {
+		return err
+	}
+	if f.Op != wire.OpOK {
+		return respErr(f)
+	}
+	return nil
+}
+
+// ReplFence tells a primary server that newEpoch exists: if it is newer
+// than the primary's own epoch the primary fences itself (every subsequent
+// local commit fails with core.ErrFenced). Idempotent; an older or equal
+// epoch is a no-op.
+func (c *Client) ReplFence(ctx context.Context, newEpoch uint64) error {
+	f, err := c.start(ctx, wire.OpReplFence, wire.AppendValues(nil, value.Int(int64(newEpoch)))).wait(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,46 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterBounds pins the ±50% spread: every draw must land in
+// [d/2, 3d/2), and the draws must actually spread out — a constant-valued
+// "jitter" (the regression this guards against: thundering-herd reconnects
+// after a primary failure) fails the distinct-values check.
+func TestJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	lo, hi := d/2, d+d/2
+	distinct := map[time.Duration]bool{}
+	var below, above bool
+	for i := 0; i < 10000; i++ {
+		got := jitter(d)
+		if got < lo || got >= hi {
+			t.Fatalf("jitter(%v) = %v, outside [%v, %v)", d, got, lo, hi)
+		}
+		distinct[got] = true
+		if got < d {
+			below = true
+		}
+		if got > d {
+			above = true
+		}
+	}
+	if len(distinct) < 100 {
+		t.Fatalf("jitter produced only %d distinct values over 10000 draws", len(distinct))
+	}
+	if !below || !above {
+		t.Fatalf("jitter never crossed the midpoint (below=%v above=%v): not centered on d", below, above)
+	}
+}
+
+// TestJitterDegenerate pins the zero/negative passthrough: DialRetry never
+// sleeps a negative duration even if a caller hands it one.
+func TestJitterDegenerate(t *testing.T) {
+	for _, d := range []time.Duration{0, -time.Second} {
+		if got := jitter(d); got != d {
+			t.Fatalf("jitter(%v) = %v, want passthrough", d, got)
+		}
+	}
+}

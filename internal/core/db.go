@@ -28,6 +28,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sentinel/internal/event"
 	"sentinel/internal/heap"
@@ -162,12 +163,24 @@ type Database struct {
 	// commit count. replShip is the primary-side shipping hook; replCollect
 	// mirrors its presence so raise collects occurrences for fan-out with
 	// one atomic load. applyMu serializes follower-side ApplyReplicated.
+	// replEpoch is the replication epoch this database's history belongs
+	// to: bumped (and checkpointed) every time a primary starts over this
+	// directory, persisted next to replLSN in the checkpoint meta so the
+	// pair (epoch, LSN) names a position in exactly one history. fenced
+	// flips when a newer epoch is observed (a follower was promoted); a
+	// fenced database aborts every data-bearing commit with ErrFenced so a
+	// deposed primary can never ack a write. replQuorum is the
+	// quorum-commit wait installed by internal/repl's Primary: doCommit
+	// calls it after local durability with no locks held.
 	replMu      sync.Mutex
 	replLSN     uint64
+	replEpoch   uint64
 	replShip    func(ReplBatch)
 	replCollect atomic.Bool
 	applyMu     sync.Mutex
 	replInfo    atomic.Pointer[func() (peers int, minApplied uint64)]
+	replQuorum  atomic.Pointer[func(lsn uint64, k int, timeout time.Duration) error]
+	fenced      atomic.Bool
 
 	// met is the metric set (counters, histograms, gauges, slow-rule log);
 	// tracer is the installed obs.Tracer (nil when none — the hot path
@@ -394,6 +407,18 @@ func (db *Database) hierarchy() event.Hierarchy { return hier{reg: db.reg} }
 // nextSeq issues the next logical timestamp.
 func (db *Database) nextSeq() uint64 { return db.clock.Add(1) }
 
+// advanceClock moves the logical clock to at least seq (replication apply:
+// the replica adopts the primary's stamps so a later promotion never
+// reissues them).
+func (db *Database) advanceClock(seq uint64) {
+	for {
+		cur := db.clock.Load()
+		if seq <= cur || db.clock.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
 // objectByID returns the live object for id, faulting it in from the heap
 // if it is not resident (nil if absent or tombstoned; decode errors also
 // report nil — lockObject surfaces them). Callers must hold the appropriate
@@ -468,9 +493,13 @@ func (db *Database) metaBlob() []byte {
 		buf = binary.AppendUvarint(buf, uint64(classIdx[cls]))
 	}
 	db.catMu.RUnlock()
-	// Trailing replication LSN (absent in pre-replication checkpoints;
-	// loadMeta treats it as optional).
-	buf = binary.AppendUvarint(buf, db.ReplLSN())
+	// Trailing replication position (absent in pre-replication
+	// checkpoints; loadMeta treats both fields as optional). LSN and epoch
+	// are written together so a checkpoint can never persist a new epoch
+	// with the other history's LSN or vice versa.
+	lsn, epoch := db.replPosition()
+	buf = binary.AppendUvarint(buf, lsn)
+	buf = binary.AppendUvarint(buf, epoch)
 	return buf
 }
 
@@ -542,12 +571,17 @@ func (db *Database) loadMeta(buf []byte) (catalogLoaded bool) {
 		db.catNames[cls] = cls
 	}
 	db.catMu.Unlock()
-	// Optional trailing replication LSN (pre-replication checkpoints end
-	// here). openStorage adds the committed batches replayed from the WAL
-	// on top of this base.
+	// Optional trailing replication LSN + epoch (pre-replication
+	// checkpoints end before the LSN, pre-failover ones before the epoch).
+	// openStorage adds the committed batches replayed from the WAL on top
+	// of this LSN base; the epoch carries over as-is.
 	if lsn, n := binary.Uvarint(buf); n > 0 {
+		buf = buf[n:]
 		db.replMu.Lock()
 		db.replLSN = lsn
+		if epoch, n := binary.Uvarint(buf); n > 0 {
+			db.replEpoch = epoch
+		}
 		db.replMu.Unlock()
 	}
 	return true

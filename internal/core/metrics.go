@@ -50,6 +50,11 @@ type coreMetrics struct {
 	// transaction committed (sink.go).
 	pushEvents *obs.Counter
 
+	// Failover counters. quorumDegraded counts commits whose SyncReplicas
+	// quorum wait timed out and degraded to async; fencedWrites counts
+	// commits aborted with ErrFenced on a deposed primary.
+	quorumDegraded, fencedWrites *obs.Counter
+
 	// Latency histograms. Commit, fsync, append and fault-in are always
 	// timed (low frequency); firing/condition/action are fed at the
 	// sampling rate unless a tracer or slow-rule threshold forces full
@@ -101,6 +106,9 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 		detachedBackpressure: reg.Counter("sentinel_detached_backpressure_waits_total", "commits that blocked on a full detached queue"),
 
 		pushEvents: reg.Counter("sentinel_push_events_total", "committed occurrences fanned out to remote sinks"),
+
+		quorumDegraded: reg.Counter("sentinel_repl_quorum_degraded_total", "quorum commits that timed out waiting for follower acks and degraded to async"),
+		fencedWrites:   reg.Counter("sentinel_repl_fenced_writes_total", "commits aborted because this primary is fenced by a newer epoch"),
 
 		commitH: reg.Histogram("sentinel_tx_commit_ns", "transaction commit latency"),
 		firingH: reg.Histogram("sentinel_rule_firing_ns", "rule firing latency (condition + action)"),
@@ -214,6 +222,15 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 	})
 	reg.Gauge("sentinel_repl_lag_batches", "shipped minus applied batches", func() int64 {
 		return int64(db.replicationStats().LagBatches)
+	})
+	reg.Gauge("sentinel_repl_epoch", "replication epoch this node's history belongs to", func() int64 {
+		return int64(db.ReplEpoch())
+	})
+	reg.Gauge("sentinel_repl_fenced", "1 when this node is a fenced (deposed) primary", func() int64 {
+		if db.fenced.Load() {
+			return 1
+		}
+		return 0
 	})
 	return m
 }

@@ -74,6 +74,21 @@ type Options struct {
 	// effects again would double-fire); subscription fan-out does run, fed
 	// by the shipped occurrences. Requires Dir.
 	Replica bool
+	// SyncReplicas, when positive, makes every data-bearing commit wait
+	// until this many followers have durably acknowledged the commit's
+	// replication LSN before Commit returns (quorum/semi-sync commit). The
+	// wait runs after local durability with no locks held, so it can never
+	// wedge the commit pipeline; if the quorum does not arrive within
+	// QuorumTimeout the commit degrades to asynchronous (it still
+	// succeeded locally) and the sentinel_repl_quorum_degraded_total
+	// counter records the miss. 0 (default): commits are asynchronous and
+	// followers ack for lag accounting only. Requires Dir (the quorum is
+	// over shipped WAL batches) and is meaningless on a Replica.
+	SyncReplicas int
+	// QuorumTimeout bounds the SyncReplicas wait per commit. 0 (default)
+	// means 5 seconds; must not be negative, and only meaningful with
+	// SyncReplicas set.
+	QuorumTimeout time.Duration
 
 	// ---- Rule execution ----
 
@@ -149,6 +164,10 @@ const defaultCheckpointBytes = 4 << 20
 // Options.MetricsSampling is zero.
 const defaultMetricsSampling = 16
 
+// defaultQuorumTimeout is the per-commit quorum wait bound when
+// Options.QuorumTimeout is zero.
+const defaultQuorumTimeout = 5 * time.Second
+
 // withDefaults returns a copy with the documented defaults filled in.
 func (o Options) withDefaults() Options {
 	if o.MaxCascadeDepth == 0 {
@@ -162,6 +181,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AsyncDetached && o.DetachedWorkers == 0 {
 		o.DetachedWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.SyncReplicas > 0 && o.QuorumTimeout == 0 {
+		o.QuorumTimeout = defaultQuorumTimeout
 	}
 	return o
 }
@@ -216,6 +238,21 @@ func (o Options) Validate() error {
 	}
 	if o.Replica && o.Dir == "" {
 		errs = append(errs, errors.New("Replica is set but Dir is empty: a follower replays the shipped log into local storage; set Dir or drop Replica"))
+	}
+	if o.SyncReplicas < 0 {
+		errs = append(errs, fmt.Errorf("SyncReplicas is %d; must be >= 0 (0 means asynchronous replication)", o.SyncReplicas))
+	}
+	if o.SyncReplicas > 0 && o.Dir == "" {
+		errs = append(errs, errors.New("SyncReplicas is set but Dir is empty: quorum commit waits on shipped WAL batches and an in-memory database ships none; set Dir or drop SyncReplicas"))
+	}
+	if o.SyncReplicas > 0 && o.Replica {
+		errs = append(errs, errors.New("SyncReplicas and Replica are both set: a replica accepts no writes, so it has no commits to wait on; pick one"))
+	}
+	if o.QuorumTimeout < 0 {
+		errs = append(errs, fmt.Errorf("QuorumTimeout is %v; must be >= 0 (0 means the default of %v)", o.QuorumTimeout, defaultQuorumTimeout))
+	}
+	if o.QuorumTimeout > 0 && o.SyncReplicas == 0 {
+		errs = append(errs, errors.New("QuorumTimeout is set but SyncReplicas is 0: there is no quorum wait to bound; set SyncReplicas or drop the timeout"))
 	}
 	if len(errs) == 0 {
 		return nil

@@ -34,6 +34,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"sentinel/internal/event"
 	"sentinel/internal/lang"
@@ -45,6 +46,19 @@ import (
 // ErrReplicaWrite rejects write intents on a replica: the only writer of a
 // follower database is the replication apply loop.
 var ErrReplicaWrite = errors.New("core: database is a read-only replica (writes happen on the primary)")
+
+// ErrFenced rejects data-bearing commits on a deposed primary: a newer
+// replication epoch exists (a follower was promoted), so nothing this node
+// commits can ever be acknowledged into the cluster's history. A commit
+// that fails with ErrFenced during the quorum wait is durable locally but
+// unacknowledged; rejoining as a follower discards it during re-seed.
+var ErrFenced = errors.New("core: primary is fenced (a newer replication epoch exists)")
+
+// ErrQuorumTimeout is the sentinel the quorum-wait hook returns when K
+// follower acks did not arrive within Options.QuorumTimeout. doCommit maps
+// it to a successful (degraded-to-async) commit plus a metric; it never
+// escapes to the caller.
+var ErrQuorumTimeout = errors.New("core: quorum commit timed out waiting for follower acks")
 
 // ReplBatch is one shipped commit: the redo records of a single WAL commit
 // batch plus the occurrences its transaction raised. LSN 0 marks an
@@ -93,6 +107,85 @@ func (db *Database) ReplLSN() uint64 {
 // Replica reports whether the database was opened as a read-only follower.
 func (db *Database) Replica() bool { return db.opts.Replica }
 
+// ReplEpoch returns the replication epoch this database's history belongs
+// to (0 until a primary ever ran over the directory).
+func (db *Database) ReplEpoch() uint64 {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	return db.replEpoch
+}
+
+// SetReplEpoch moves the database onto a new replication epoch. The caller
+// (internal/repl) checkpoints afterwards to make the epoch durable —
+// metaBlob persists epoch and LSN together, so the pair is atomic on disk.
+func (db *Database) SetReplEpoch(e uint64) {
+	db.replMu.Lock()
+	db.replEpoch = e
+	db.replMu.Unlock()
+}
+
+// replPosition reads (LSN, epoch) atomically.
+func (db *Database) replPosition() (lsn, epoch uint64) {
+	db.replMu.Lock()
+	defer db.replMu.Unlock()
+	return db.replLSN, db.replEpoch
+}
+
+// Fence marks this database as a deposed primary: every subsequent
+// data-bearing commit aborts with ErrFenced. Reads, snapshots and
+// subscriptions keep working (the node can still serve as a stale read
+// replica until it rejoins). Fencing is one-way; rejoining the cluster
+// means reopening the directory as a follower.
+func (db *Database) Fence() {
+	if db.fenced.CompareAndSwap(false, true) {
+		db.met.fencedWrites.Add(0) // touch the counter so it exports even if never hit
+	}
+}
+
+// Fenced reports whether Fence has been called.
+func (db *Database) Fenced() bool { return db.fenced.Load() }
+
+// SetReplQuorum installs (or, with nil, removes) the quorum-commit wait.
+// doCommit invokes it after the commit is locally durable and all locks are
+// released, passing the commit's replication LSN, Options.SyncReplicas and
+// Options.QuorumTimeout. A nil return acknowledges the quorum;
+// ErrQuorumTimeout degrades the commit to async (counted, not failed);
+// ErrFenced aborts the caller's Commit with ErrFenced.
+func (db *Database) SetReplQuorum(fn func(lsn uint64, k int, timeout time.Duration) error) {
+	if fn == nil {
+		db.replQuorum.Store(nil)
+		return
+	}
+	db.replQuorum.Store(&fn)
+}
+
+// waitReplQuorum blocks the committing goroutine until the configured
+// follower quorum has durably acked lsn (see SetReplQuorum). Runs with no
+// locks held — the ack path (Primary.Ack, fed by follower sessions) shares
+// nothing with this goroutine, which is the no-deadlock argument for the
+// wait. Returns nil on quorum or degrade, ErrFenced when the primary was
+// fenced while waiting.
+func (db *Database) waitReplQuorum(lsn uint64) error {
+	k := db.opts.SyncReplicas
+	if k <= 0 || lsn == 0 {
+		return nil
+	}
+	fnp := db.replQuorum.Load()
+	if fnp == nil {
+		return nil
+	}
+	err := (*fnp)(lsn, k, db.opts.QuorumTimeout)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrQuorumTimeout):
+		db.met.quorumDegraded.Add(1)
+		return nil
+	default:
+		return err
+	}
+}
+
 // replicaWriteBlocked gates the write chokepoints (NewObject, exclusive
 // lockObject): a replica rejects application writes once Open has finished.
 // Recovery and the system-object replay run pre-ready and stay writable
@@ -110,6 +203,12 @@ func (db *Database) replicaWriteBlocked() bool {
 func (db *Database) shipCommit(t *Tx, recs []wal.Record) {
 	db.replMu.Lock()
 	db.replLSN++
+	// Remember the batch's LSN on the transaction: doCommit's quorum wait
+	// (SyncReplicas) blocks on exactly this position after the locks drop.
+	// Under group commit each coalesced transaction runs its own
+	// writeCommit and gets its own LSN here; follower acks are monotone, so
+	// one ack at the batch's highest LSN satisfies every waiter in it.
+	t.replShippedLSN = db.replLSN
 	if db.replShip != nil {
 		db.replShip(ReplBatch{LSN: db.replLSN, Recs: recs, Occs: t.replOccs})
 		t.replOccs = nil
@@ -457,7 +556,16 @@ func (db *Database) heapClassOf(id oid.OID) (string, bool) {
 // the follower-side twin of collectPushes + fanoutPushes, minus the
 // transaction (the occurrences committed on the primary; there is nothing
 // left to abort). Same wait-free contract: DeliverEvent only enqueues.
+//
+// It also advances the replica's logical clock past every shipped sequence
+// number. A replica never stamps occurrences itself, so without this its
+// clock would sit at zero — and a promotion would then reissue sequence
+// numbers the old primary already used, breaking the Seq uniqueness that
+// subscriber-side duplicate detection rests on.
 func (db *Database) fanoutReplicated(occs []event.Occurrence) {
+	for i := range occs {
+		db.advanceClock(occs[i].Seq)
+	}
 	if len(occs) == 0 || db.sinkCount.Load() == 0 {
 		return
 	}

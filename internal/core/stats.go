@@ -82,6 +82,10 @@ type ReplicationStats struct {
 	ShippedLSN uint64 // primary: last committed batch; replica: primary's last known batch
 	AppliedLSN uint64 // primary: min applied LSN across followers; replica: last applied batch
 	LagBatches uint64 // ShippedLSN - AppliedLSN (0 with no peers)
+
+	Epoch          uint64 // replication epoch this node's history belongs to
+	Fenced         bool   // true on a deposed primary (newer epoch observed)
+	QuorumDegraded uint64 // quorum commits that timed out and degraded to async
 }
 
 // Stats returns a snapshot of the runtime counters, grouped by subsystem.
@@ -135,7 +139,10 @@ func (db *Database) Stats() Snapshot {
 // (installed by internal/repl) supplies the other side's position.
 func (db *Database) replicationStats() ReplicationStats {
 	var s ReplicationStats
-	local := db.ReplLSN()
+	local, epoch := db.replPosition()
+	s.Epoch = epoch
+	s.Fenced = db.fenced.Load()
+	s.QuorumDegraded = db.met.quorumDegraded.Value()
 	switch {
 	case db.opts.Replica:
 		s.Role = "replica"

@@ -69,6 +69,11 @@ type Tx struct {
 	// repl.go.
 	replOccs []event.Occurrence
 
+	// replShippedLSN is the replication LSN writeCommit assigned to this
+	// transaction's WAL batch (0 for read-only commits): the position the
+	// quorum-commit wait blocks on once the locks drop. See shipCommit.
+	replShippedLSN uint64
+
 	// touched holds the tx-scoped rules this transaction delivered events
 	// to; their detectors reset when the transaction ends.
 	touched map[*rule.Rule]bool
@@ -225,6 +230,21 @@ func (db *Database) doCommit(t *Tx) error {
 	}
 	t.releasePins()
 	t.releaseSnapshot()
+	// Quorum commit (Options.SyncReplicas): block until K followers have
+	// durably acked this commit's shipped batch. Runs after local
+	// durability with every lock released — the 2PL locks, pins and the
+	// snapshot registration are gone, and the ack path (follower sessions →
+	// Primary.Ack) touches none of this goroutine's state — so the wait can
+	// time out (degrade to async, counted) but never deadlock. ErrFenced
+	// here means a follower was promoted while we waited: the commit is
+	// durable locally but will never be acknowledged, and rejoining as a
+	// follower discards it.
+	if lsn := t.replShippedLSN; lsn != 0 {
+		t.replShippedLSN = 0
+		if err := db.waitReplQuorum(lsn); err != nil {
+			return err
+		}
+	}
 	// Remote-sink fan-out: the commit is durable, so matched occurrences
 	// may now leave the process. Wait-free (each delivery is a bounded
 	// enqueue), and ahead of detached dispatch so a subscriber watching
@@ -416,6 +436,14 @@ const (
 func (db *Database) writeCommit(t *Tx) (err error) {
 	if len(t.dirty) == 0 && len(t.created) == 0 && len(t.deleted) == 0 {
 		return nil // read-only (incl. snapshot transactions): nothing to install
+	}
+	// A fenced (deposed) primary aborts data-bearing commits before
+	// anything reaches the WAL: the durability callback's error path undoes
+	// the transaction cleanly, and nothing a fenced node writes can ever be
+	// acknowledged (see Database.Fence).
+	if db.fenced.Load() {
+		db.met.fencedWrites.Add(1)
+		return ErrFenced
 	}
 	// Bump versions on touched objects regardless of persistence. Safe
 	// against concurrent snapshot readers: every dirty object either has an

@@ -2,23 +2,14 @@ package repl
 
 import (
 	"context"
-	"encoding/binary"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sentinel/internal/client"
 	"sentinel/internal/core"
-	"sentinel/internal/vfs"
 	"sentinel/internal/wire"
 )
-
-// epochFile persists the primary epoch whose base state this replica
-// carries. Written after a successful base install; a crash between the
-// install's checkpoint and this write just means one redundant base sync on
-// the next handshake.
-const epochFile = "repl.epoch"
 
 // FollowerOptions configure a replica runtime.
 type FollowerOptions struct {
@@ -43,7 +34,6 @@ type Follower struct {
 	DB *core.Database
 
 	opts   FollowerOptions
-	fs     vfs.FS
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
@@ -62,11 +52,7 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 	if err != nil {
 		return nil, err
 	}
-	fs := opts.Core.VFS
-	if fs == nil {
-		fs = vfs.OS
-	}
-	f := &Follower{DB: db, opts: opts, fs: fs}
+	f := &Follower{DB: db, opts: opts}
 	db.SetReplInfo(func() (int, uint64) {
 		return int(f.connected.Load()), f.primaryLSN.Load()
 	})
@@ -144,7 +130,7 @@ func (f *Follower) stream(ctx context.Context, cli *client.Client) {
 		}
 	})
 
-	primaryEpoch, shipped, needBase, err := cli.ReplHello(ctx, f.DB.ReplLSN(), f.loadEpoch())
+	primaryEpoch, shipped, needBase, err := cli.ReplHello(ctx, f.DB.ReplLSN(), f.DB.ReplEpoch())
 	if err != nil {
 		return
 	}
@@ -154,10 +140,13 @@ func (f *Follower) stream(ctx context.Context, cli *client.Client) {
 	f.connected.Store(1)
 	if !needBase {
 		// Resuming (or streaming from scratch): our state is already part
-		// of this epoch's history, so claim it now — otherwise only a base
-		// install would, and a from-scratch stream would base-sync on its
-		// first reconnect for no reason.
-		f.storeEpoch(primaryEpoch)
+		// of this epoch's history — possibly as the shared prefix of the
+		// previous epoch, after a promotion — so adopt the new epoch now and
+		// checkpoint it durable. The checkpoint is the follower-side fence
+		// point: from here this replica's (epoch, LSN) names a position in
+		// the new history, and it will ack (and re-handshake) under the new
+		// epoch even across its own crashes.
+		f.adoptEpoch(primaryEpoch)
 	}
 
 	// Acks run on their own goroutine so a slow ack round-trip never stalls
@@ -173,7 +162,7 @@ func (f *Follower) stream(ctx context.Context, cli *client.Client) {
 		for {
 			select {
 			case <-ackCh:
-				if cli.ReplAck(ackCtx, f.DB.ReplLSN()) != nil {
+				if cli.ReplAck(ackCtx, f.DB.ReplLSN(), f.DB.ReplEpoch()) != nil {
 					return
 				}
 			case <-ackCtx.Done():
@@ -219,12 +208,20 @@ func (f *Follower) stream(ctx context.Context, cli *client.Client) {
 				if err != nil {
 					return
 				}
+				// Adopt the epoch before the install: ApplyBaseState ends
+				// with a checkpoint, so the new (epoch, LSN) pair persists
+				// atomically with the installed state. A failed install
+				// leaves the in-memory state torn, so drop to epoch 0 —
+				// "history of no verifiable lineage" — which forces the next
+				// handshake to re-seed from base state (a fresh install
+				// repairs any tear; images are full and idempotent).
+				f.DB.SetReplEpoch(primaryEpoch)
 				if err := f.DB.ApplyBaseState(baseLSN, base); err != nil {
+					f.DB.SetReplEpoch(0)
 					return
 				}
 				base = nil
 				syncing = false
-				f.storeEpoch(primaryEpoch)
 				if baseLSN > f.primaryLSN.Load() {
 					f.primaryLSN.Store(baseLSN)
 				}
@@ -257,24 +254,59 @@ func (f *Follower) stream(ctx context.Context, cli *client.Client) {
 	}
 }
 
-func (f *Follower) epochPath() string {
-	return filepath.Join(f.opts.Core.Dir, epochFile)
-}
-
-// loadEpoch reads the persisted primary epoch (0 when absent: a fresh
-// replica presents no history and always base-syncs).
-func (f *Follower) loadEpoch() uint64 {
-	data, err := f.fs.ReadFile(f.epochPath())
-	if err != nil || len(data) < 8 {
-		return 0
+// adoptEpoch moves the replica onto the primary's epoch and checkpoints it
+// durable. No-op when already there (the common reconnect); checkpoint
+// failure is best-effort — the replica keeps presenting the old epoch and
+// resumes through the shared-prefix rule until a later checkpoint lands.
+func (f *Follower) adoptEpoch(epoch uint64) {
+	if f.DB.ReplEpoch() == epoch {
+		return
 	}
-	return binary.LittleEndian.Uint64(data)
+	f.DB.SetReplEpoch(epoch)
+	_ = f.DB.Checkpoint()
 }
 
-// storeEpoch persists the primary epoch after a successful base install.
-func (f *Follower) storeEpoch(epoch uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], epoch)
-	// Best-effort: failure here costs a redundant base sync next handshake.
-	_ = vfs.WriteFile(f.fs, f.epochPath(), b[:], 0o644)
+// Promote turns this follower into a primary: the failover path when the
+// old primary is lost (see DESIGN.md §4i).
+//
+// The sequence: stop the streaming loop (sealing replay at the applied
+// LSN — nothing applies after this), close the replica database (the final
+// checkpoint persists its exact (epoch, LSN) position), reopen the same
+// directory as a writable primary-mode database (the full recovery path
+// rebuilds rules, subscriptions and indexes, which the replica apply loop
+// deliberately does not maintain live), and start a Primary over it —
+// which bumps the epoch past the old primary's and records the applied LSN
+// as the seal, so surviving followers at or below it re-handshake without a
+// base copy while the deposed primary, coming back with unacked commits
+// past the seal, is re-seeded.
+//
+// mutate, when non-nil, adjusts the reopened database's options (e.g.
+// enabling SyncReplicas/SyncOnCommit — replica-mode options cannot carry
+// them). The Follower is spent after Promote: do not reuse it, and do not
+// call Close (the returned database and Primary are the live handles).
+func (f *Follower) Promote(popts PrimaryOptions, mutate func(*core.Options)) (*core.Database, *Primary, error) {
+	// Seal: stop the dial/stream loop and wait the apply goroutines out.
+	// After wg.Wait returns nothing can call ApplyReplicated again.
+	f.cancel()
+	f.cliMu.Lock()
+	if f.cli != nil {
+		f.cli.Close()
+	}
+	f.cliMu.Unlock()
+	f.wg.Wait()
+	f.DB.SetReplInfo(nil)
+	if err := f.DB.Close(); err != nil {
+		return nil, nil, err
+	}
+
+	opts := f.opts.Core
+	opts.Replica = false
+	if mutate != nil {
+		mutate(&opts)
+	}
+	db, err := core.Open(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, NewPrimary(db, popts), nil
 }

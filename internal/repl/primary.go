@@ -20,11 +20,10 @@
 package repl
 
 import (
-	"crypto/rand"
-	"encoding/binary"
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sentinel/internal/core"
 	"sentinel/internal/wire"
@@ -52,7 +51,8 @@ type PrimaryOptions struct {
 	// SnapChunkBytes bounds one OpReplSnap chunk during base sync.
 	// Default 256 KiB.
 	SnapChunkBytes int
-	// Epoch overrides the random stream epoch (tests only). 0 means random.
+	// Epoch overrides the bumped stream epoch (tests only). 0 means the
+	// database's persisted epoch + 1.
 	Epoch uint64
 }
 
@@ -61,19 +61,38 @@ type PrimaryOptions struct {
 type Primary struct {
 	db   *core.Database
 	opts PrimaryOptions
-	// epoch identifies this shipping history. A fresh Primary gets a fresh
-	// epoch; a follower presenting a different epoch's position is re-seeded
-	// from base state rather than resumed, because LSNs from another epoch
-	// number a history this primary cannot verify it shares.
-	epoch uint64
+	// epoch identifies this shipping history. Epochs are ordered: every
+	// NewPrimary over a directory bumps the persisted epoch (and
+	// checkpoints it, making the bump the durable fence point), so a
+	// restarted or promoted primary is always newer than whatever shipped
+	// before it. A follower presenting a higher epoch proves this node was
+	// deposed — it fences itself. prevEpoch/sealLSN name the shared prefix:
+	// the previous epoch's history up to sealLSN is byte-identical to this
+	// epoch's, so its followers at or below the seal may resume instead of
+	// re-seeding.
+	epoch     uint64
+	prevEpoch uint64
+	sealLSN   uint64
 
 	mu        sync.Mutex
 	shipped   uint64 // highest LSN handed to ship (or current at install)
 	ring      []ringEntry
 	ringBytes int
 	followers map[uint64]*followerState
+	waiters   []*quorumWaiter
+	fenced    bool
 	closed    bool
 	wg        sync.WaitGroup
+}
+
+// quorumWaiter is one commit blocked in waitQuorum until k followers have
+// acked lsn. The channel is buffered and receives exactly once: only the
+// code path that removes the waiter from p.waiters (under p.mu) sends, and
+// the timeout path removes without sending.
+type quorumWaiter struct {
+	lsn uint64
+	k   int
+	ch  chan error
 }
 
 // ringEntry is one retained batch: its LSN and the fully encoded
@@ -98,6 +117,12 @@ type followerState struct {
 
 // NewPrimary installs the shipping hook on db and returns the Primary.
 // Close detaches it.
+//
+// Starting a primary bumps the directory's persisted replication epoch and
+// checkpoints it: the bump is the durable fence point that makes this
+// history distinguishable from (and newer than) everything shipped before —
+// a primary restart, a follower promotion, and a deposed primary's comeback
+// all produce strictly increasing epochs over the same data lineage.
 func NewPrimary(db *core.Database, opts PrimaryOptions) *Primary {
 	if opts.RingBytes <= 0 {
 		opts.RingBytes = 4 << 20
@@ -105,31 +130,36 @@ func NewPrimary(db *core.Database, opts PrimaryOptions) *Primary {
 	if opts.SnapChunkBytes <= 0 {
 		opts.SnapChunkBytes = 256 << 10
 	}
+	prev := db.ReplEpoch()
 	epoch := opts.Epoch
-	for epoch == 0 {
-		var b [8]byte
-		if _, err := rand.Read(b[:]); err != nil {
-			// crypto/rand failing is unrecoverable on any supported
-			// platform; a constant epoch would still replicate, just
-			// without cross-restart confusion detection.
-			epoch = 1
-			break
-		}
-		epoch = binary.LittleEndian.Uint64(b[:])
+	if epoch == 0 {
+		epoch = prev + 1
 	}
+	db.SetReplEpoch(epoch)
+	// Best-effort durability for the bump: if the checkpoint fails (or the
+	// database is in-memory) the epoch still governs this process's
+	// lifetime; a crash before the next successful checkpoint replays the
+	// old epoch and the next start bumps from there.
+	_ = db.Checkpoint()
 	p := &Primary{
 		db:        db,
 		opts:      opts,
 		epoch:     epoch,
+		prevEpoch: prev,
 		followers: make(map[uint64]*followerState),
 	}
+	// The ship-hook install returns the current LSN atomically: everything
+	// at or below it is previous-epoch shared prefix (the seal), everything
+	// after it ships under the new epoch.
 	lsn := db.SetReplShip(p.ship)
+	p.sealLSN = lsn
 	p.mu.Lock()
 	if lsn > p.shipped {
 		p.shipped = lsn
 	}
 	p.mu.Unlock()
 	db.SetReplInfo(p.info)
+	db.SetReplQuorum(p.waitQuorum)
 	return p
 }
 
@@ -176,14 +206,35 @@ func (p *Primary) ship(b core.ReplBatch) {
 	}
 }
 
+// ErrDeposed is returned by AddFollower when the dialing follower presents
+// a newer epoch than this primary's: proof that a promotion happened
+// elsewhere. The primary fences itself before returning it.
+var ErrDeposed = errors.New("repl: follower presented a newer epoch; this primary is deposed and now fenced")
+
 // AddFollower registers a session at its requested resume position. It
 // returns the primary's epoch, the current shipped LSN, and whether the
-// follower must install base state before streaming (epoch mismatch, a
+// follower must install base state before streaming (unshared history, a
 // position ahead of this primary, or one trimmed past the ring's floor).
 // The stream does not flow until StartShipper — the caller enqueues the
 // OpReplWelcome response in between, so the handshake always precedes the
 // first push on the session's queue.
+//
+// Resume rules, by the follower's (epoch, startLSN):
+//   - epoch > ours: a newer primary exists. Fence self, reject (ErrDeposed).
+//   - epoch == ours: same history; resume iff not ahead and the ring covers
+//     (startLSN, shipped].
+//   - epoch == our predecessor's and startLSN <= the seal: the previous
+//     epoch's prefix up to the seal is byte-identical to ours, so the
+//     follower may resume (ring coverage permitting) — this is how the
+//     survivors of a promotion re-handshake without a base copy.
+//   - anything else with history (startLSN > 0): LSNs from a lineage we
+//     cannot verify we share — re-seed from base state.
+//   - startLSN 0: no history to diverge; stream from scratch.
 func (p *Primary) AddFollower(sess FollowerSession, startLSN, epoch uint64) (primaryEpoch, shippedLSN uint64, needBase bool, err error) {
+	if epoch > p.epoch {
+		p.FenceIfNewer(epoch)
+		return 0, 0, false, ErrDeposed
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -193,10 +244,16 @@ func (p *Primary) AddFollower(sess FollowerSession, startLSN, epoch uint64) (pri
 		// A second hello on the same session replaces the first stream.
 		old.stopOnce.Do(func() { close(old.stop) })
 	}
-	// An empty replica (position 0) carries no history that could diverge,
-	// so it may stream from scratch whatever its epoch — everything else
-	// needs an epoch match to make its LSNs comparable to ours.
-	needBase = startLSN > p.shipped || (epoch != p.epoch && startLSN > 0)
+	switch {
+	case epoch == p.epoch:
+		needBase = startLSN > p.shipped
+	case p.prevEpoch != 0 && epoch == p.prevEpoch && startLSN <= p.sealLSN:
+		// Shared prefix: the follower holds a prefix of the history we were
+		// promoted (or restarted) from.
+		needBase = false
+	default:
+		needBase = startLSN > 0
+	}
 	if !needBase && startLSN < p.shipped {
 		// Batches (startLSN, shipped] must all still be in the ring;
 		// anything older was trimmed (or predates this primary entirely).
@@ -231,15 +288,142 @@ func (p *Primary) StartShipper(sessionID uint64) {
 	go f.run()
 }
 
-// Ack records a follower's applied LSN (lag accounting). Acks arrive in
-// order on the session's reader goroutine.
-func (p *Primary) Ack(sessionID, appliedLSN uint64) {
+// Ack records a follower's applied LSN and completes any quorum waiters the
+// ack satisfies. Acks arrive in order on the session's reader goroutine;
+// applied LSNs are monotone per follower, so an ack at LSN n covers every
+// waiter at or below n. An ack stamped with a newer epoch than ours is
+// proof of a promotion elsewhere — the primary fences itself.
+func (p *Primary) Ack(sessionID, appliedLSN, epoch uint64) {
+	if epoch > p.epoch {
+		p.FenceIfNewer(epoch)
+		return
+	}
 	p.mu.Lock()
 	f := p.followers[sessionID]
-	p.mu.Unlock()
 	if f != nil && appliedLSN > f.applied.Load() {
 		f.applied.Store(appliedLSN)
 	}
+	done := p.completeWaitersLocked()
+	p.mu.Unlock()
+	for _, w := range done {
+		w.ch <- nil
+	}
+}
+
+// completeWaitersLocked removes and returns every waiter whose quorum is
+// now satisfied. Caller holds p.mu and sends the completions after
+// unlocking (the channels are buffered, but keeping sends out of the
+// critical section keeps Ack cheap).
+func (p *Primary) completeWaitersLocked() []*quorumWaiter {
+	if len(p.waiters) == 0 {
+		return nil
+	}
+	var done []*quorumWaiter
+	kept := p.waiters[:0]
+	for _, w := range p.waiters {
+		if p.ackedByLocked(w.lsn) >= w.k {
+			done = append(done, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	p.waiters = kept
+	return done
+}
+
+// ackedByLocked counts followers whose applied LSN has reached lsn.
+func (p *Primary) ackedByLocked(lsn uint64) int {
+	n := 0
+	for _, f := range p.followers {
+		if f.applied.Load() >= lsn {
+			n++
+		}
+	}
+	return n
+}
+
+// waitQuorum is the core quorum-commit hook (Options.SyncReplicas): it
+// blocks the committing goroutine — after local durability, with no locks
+// held — until k followers have acked lsn, the timeout fires
+// (core.ErrQuorumTimeout: the commit degrades to async), or the primary is
+// fenced (core.ErrFenced: the commit can never be acknowledged). The ack
+// path runs on follower-session reader goroutines and shares nothing with
+// the committer beyond p.mu, held only for list surgery — the no-deadlock
+// argument in DESIGN.md §4i.
+func (p *Primary) waitQuorum(lsn uint64, k int, timeout time.Duration) error {
+	p.mu.Lock()
+	switch {
+	case p.fenced:
+		p.mu.Unlock()
+		return core.ErrFenced
+	case p.closed:
+		p.mu.Unlock()
+		return core.ErrQuorumTimeout
+	case p.ackedByLocked(lsn) >= k:
+		p.mu.Unlock()
+		return nil
+	}
+	w := &quorumWaiter{lsn: lsn, k: k, ch: make(chan error, 1)}
+	p.waiters = append(p.waiters, w)
+	p.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-timer.C:
+	}
+	// Timed out — but an ack may have completed us between the timer firing
+	// and the removal below. Removal under p.mu decides the race: if the
+	// waiter is already gone, its sender has (or will have) filled ch.
+	p.mu.Lock()
+	removed := false
+	for i, x := range p.waiters {
+		if x == w {
+			p.waiters = append(p.waiters[:i], p.waiters[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	p.mu.Unlock()
+	if !removed {
+		return <-w.ch
+	}
+	return core.ErrQuorumTimeout
+}
+
+// FenceIfNewer fences this primary if epoch is strictly newer than its own:
+// the database rejects all further data-bearing commits with ErrFenced and
+// every in-flight quorum wait fails the same way. Returns whether the fence
+// tripped (idempotently false once fenced). Safe from any goroutine.
+func (p *Primary) FenceIfNewer(epoch uint64) bool {
+	if epoch <= p.epoch {
+		return false
+	}
+	p.mu.Lock()
+	if p.fenced {
+		p.mu.Unlock()
+		return false
+	}
+	p.fenced = true
+	waiters := p.waiters
+	p.waiters = nil
+	p.mu.Unlock()
+	// Fence the database first so no new commit can slip past while the
+	// waiters drain: writeCommit checks the fence before touching the WAL.
+	p.db.Fence()
+	for _, w := range waiters {
+		w.ch <- core.ErrFenced
+	}
+	return true
+}
+
+// Fenced reports whether a newer epoch has deposed this primary.
+func (p *Primary) Fenced() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fenced
 }
 
 // RemoveFollower detaches a session's follower (called from session
@@ -281,17 +465,25 @@ func (p *Primary) info() (peers int, lsn uint64) {
 	return len(p.followers), min
 }
 
-// Close detaches the hook, stops every shipper, and waits for them.
+// Close detaches the hooks, stops every shipper, fails in-flight quorum
+// waits as degraded (the commits are locally durable; there is simply no
+// shipping service left to confirm them), and waits for the shippers.
 func (p *Primary) Close() {
 	p.db.SetReplShip(nil)
 	p.db.SetReplInfo(nil)
+	p.db.SetReplQuorum(nil)
 	p.mu.Lock()
 	p.closed = true
 	for id, f := range p.followers {
 		delete(p.followers, id)
 		f.stopOnce.Do(func() { close(f.stop) })
 	}
+	waiters := p.waiters
+	p.waiters = nil
 	p.mu.Unlock()
+	for _, w := range waiters {
+		w.ch <- core.ErrQuorumTimeout
+	}
 	p.wg.Wait()
 }
 

@@ -68,6 +68,13 @@ type Options struct {
 	// may attach as followers (OpReplHello) and the server hands them to
 	// the Primary for log shipping. Nil servers reject replication opcodes.
 	Primary *repl.Primary
+	// Promote, when set, accepts the OpReplPromote admin opcode: a follower
+	// server exposes its promotion path through it (typically signalling the
+	// process main loop, which tears this server down, promotes the
+	// follower, and restarts serving over the new primary database). It runs
+	// on the requesting session's reader goroutine; return before the
+	// teardown happens so the OK can still be written.
+	Promote func() error
 }
 
 // Server accepts wire-protocol sessions against one Database. Create at
@@ -598,15 +605,50 @@ func (s *session) handle(f wire.Frame) wire.Frame {
 		if p == nil {
 			return s.errFrame(f.ReqID, errors.New("server is not a replication primary"))
 		}
+		// Lenient decode: a v3 ack carries [appliedLSN, epoch], a v2 ack
+		// just [appliedLSN] — treat the latter as epoch 0 (never counted
+		// toward a quorum, still fine for lag accounting).
+		var lsn, epoch int64
+		if vals, err := wire.DecodeValues(f.Payload, 2); err == nil {
+			lsn, _ = vals[0].AsInt()
+			epoch, _ = vals[1].AsInt()
+		} else {
+			vals, err := wire.DecodeValues(f.Payload, 1)
+			if err != nil {
+				return s.errFrame(f.ReqID, err)
+			}
+			lsn, _ = vals[0].AsInt()
+		}
+		if lsn < 0 || epoch < 0 {
+			return s.errFrame(f.ReqID, errors.New("REPLACK LSN or epoch out of range"))
+		}
+		p.Ack(s.id, uint64(lsn), uint64(epoch))
+		return wire.Frame{Op: wire.OpOK, ReqID: f.ReqID}
+
+	case wire.OpReplPromote:
+		promote := s.srv.opts.Promote
+		if promote == nil {
+			return s.errFrame(f.ReqID, errors.New("server has no promotion path (not a follower)"))
+		}
+		if err := promote(); err != nil {
+			return s.errFrame(f.ReqID, err)
+		}
+		return wire.Frame{Op: wire.OpOK, ReqID: f.ReqID}
+
+	case wire.OpReplFence:
+		p := s.srv.opts.Primary
+		if p == nil {
+			return s.errFrame(f.ReqID, errors.New("server is not a replication primary"))
+		}
 		vals, err := wire.DecodeValues(f.Payload, 1)
 		if err != nil {
 			return s.errFrame(f.ReqID, err)
 		}
-		lsn, ok := vals[0].AsInt()
-		if !ok || lsn < 0 {
-			return s.errFrame(f.ReqID, errors.New("REPLACK LSN out of range"))
+		epoch, ok := vals[0].AsInt()
+		if !ok || epoch < 0 {
+			return s.errFrame(f.ReqID, errors.New("REPLFENCE epoch out of range"))
 		}
-		p.Ack(s.id, uint64(lsn))
+		p.FenceIfNewer(uint64(epoch))
 		return wire.Frame{Op: wire.OpOK, ReqID: f.ReqID}
 
 	default:

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"os"
+	"testing"
+
+	"sentinel/internal/vfs"
+)
+
+// TestFailoverScenario pins one cell per fault kind so a regression names
+// the failing fault directly instead of hiding inside the sweep.
+func TestFailoverScenario(t *testing.T) {
+	for _, fault := range FailoverFaults {
+		fault := fault
+		t.Run(fault.String(), func(t *testing.T) {
+			t.Parallel()
+			res, err := FailoverScenario(3, fault, vfs.CrashSynced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Error(v)
+			}
+			if res.PromotedLSN == 0 {
+				t.Fatalf("promoted follower applied nothing (faultAt=%d)", res.FaultAt)
+			}
+		})
+	}
+}
+
+// TestFailoverSweep runs the seed × fault × crash-mode matrix. The normal
+// run strides the matrix down to stay inside the tier-1 budget; the
+// torture run (SENTINEL_TORTURE=full, see `make torture`) covers every
+// cell of 25+ seeds.
+func TestFailoverSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover sweep skipped in -short")
+	}
+	seeds, stride := 25, 7
+	if os.Getenv("SENTINEL_TORTURE") == "full" {
+		stride = 1
+	}
+	res, err := FailoverSweep(seeds, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Error(v)
+	}
+	t.Logf("failover sweep: %d scenarios, %d transactions, %d violations",
+		res.Scenarios, res.Steps, len(res.Violations))
+}

@@ -1,0 +1,131 @@
+package sim
+
+// The golden scenario matrix: one hand-written scenario per
+// operator × coupling cell, replayed under every conflict-resolution
+// strategy, with the firing trace checked against files under
+// testdata/golden/. The model-diff tests (diff_test.go) catch the engine
+// and the reference model drifting APART; the goldens catch them drifting
+// TOGETHER — a semantics change that slips through differential testing
+// because both sides changed. Regenerate with `make golden`
+// (SENTINEL_GOLDEN_REGEN=1), and justify any diff in the commit that
+// carries it: CI fails on unexplained drift.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sentinel/internal/event"
+)
+
+// goldenOps covers every Snoop operator (§4.3) with a fixed expression
+// over the explicit-event alphabet.
+var goldenOps = []struct {
+	name string
+	expr func() *event.Expr
+}{
+	{"primitive", func() *event.Expr { return prim("E0") }},
+	{"or", func() *event.Expr { return event.Or(prim("E0"), prim("E1")) }},
+	{"and", func() *event.Expr { return event.And(prim("E0"), prim("E1")) }},
+	{"seq", func() *event.Expr { return event.Seq(prim("E0"), prim("E1")) }},
+	{"not", func() *event.Expr { return event.Not(prim("E0"), prim("E2"), prim("E1")) }},
+	{"any", func() *event.Expr { return event.Any(2, prim("E0"), prim("E1"), prim("E2")) }},
+	{"aperiodic", func() *event.Expr { return event.Aperiodic(prim("E0"), prim("E1"), prim("E2")) }},
+	{"aperiodic_star", func() *event.Expr { return event.AperiodicStar(prim("E0"), prim("E1"), prim("E2")) }},
+	{"periodic", func() *event.Expr { return event.Periodic(prim("E0"), 2, prim("E2")) }},
+}
+
+func prim(name string) *event.Expr { return event.Primitive(event.Explicit, "Gen", name) }
+
+// goldenScenario builds the cell's scenario: the operator under test as
+// rule R0 plus a primitive competitor R1 with a different priority (so the
+// strategies have an order to disagree about), both at the cell's
+// coupling, over a fixed raise schedule that exercises every operator
+// (initiator/terminator pairs, the NOT window, enough ticks for the
+// periodic, mid-stream toggles).
+func goldenScenario(expr *event.Expr, coupling int) *Scenario {
+	return &Scenario{
+		Rules: []DRule{
+			{Coupling: coupling, Priority: 2, Context: "recent", Subs: []int{0, 1}, Expr: expr},
+			{Coupling: coupling, Priority: -1, Context: "recent", Subs: []int{0, 1}, Expr: prim("E0")},
+		},
+		Txs: []DTx{
+			{Raises: []DRaise{{0, "E0"}, {0, "E1"}, {0, "E2"}}},
+			{Raises: []DRaise{{1, "E1"}, {0, "E0"}, {0, "E3"}, {0, "E1"}}},
+			{Toggles: []DToggle{{Rule: 1, Enable: false}},
+				Raises: []DRaise{{1, "E0"}, {1, "E2"}, {0, "E1"}}},
+			{Toggles: []DToggle{{Rule: 1, Enable: true}},
+				Raises: []DRaise{{0, "E0"}, {1, "E0"}, {0, "E1"}, {0, "E2"}, {1, "E3"}}},
+		},
+	}
+}
+
+// TestGoldenMatrix replays every operator × coupling cell under every
+// strategy and compares against the checked-in goldens. The trace must
+// also agree with the reference model first — a cell whose golden is
+// "wrong" can only be regenerated once both implementations agree on the
+// new semantics.
+func TestGoldenMatrix(t *testing.T) {
+	regen := os.Getenv("SENTINEL_GOLDEN_REGEN") == "1"
+	for _, op := range goldenOps {
+		for ci, coupling := range []string{"immediate", "deferred", "detached"} {
+			op, ci, coupling := op, ci, coupling
+			t.Run(op.name+"/"+coupling, func(t *testing.T) {
+				t.Parallel()
+				sc := goldenScenario(op.expr(), ci)
+				var buf strings.Builder
+				for _, strategy := range Strategies {
+					real, err := RunReal(sc, strategy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					model, err := RunModel(sc, strategy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := diffTraces(real, model); d != "" {
+						t.Fatalf("engine and model disagree under %s (fix that before touching goldens):\n%s", strategy, d)
+					}
+					fmt.Fprintf(&buf, "# strategy: %s\n", strategy)
+					for _, line := range real {
+						buf.WriteString(line)
+						buf.WriteByte('\n')
+					}
+				}
+				path := filepath.Join("testdata", "golden", op.name+"_"+coupling+".golden")
+				if regen {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden %s (run `make golden` and commit the result): %v", path, err)
+				}
+				if got := buf.String(); got != string(want) {
+					t.Fatalf("firing trace drifted from %s.\nIf the semantics change is intended, run `make golden`, inspect the diff, and commit it.\n--- golden ---\n%s--- got ---\n%s",
+						path, want, got)
+				}
+			})
+		}
+	}
+}
+
+// diffTraces returns a description of the first divergence, or "".
+func diffTraces(a, b []string) string {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("line %d:\n  engine: %s\n  model:  %s", i, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("length: engine %d lines, model %d lines", len(a), len(b))
+	}
+	return ""
+}

@@ -121,6 +121,12 @@ func FuzzDecodeReplBatch(f *testing.F) {
 	f.Add(AppendReplSnapEnd(nil, 9, []byte("m")))
 	// Hostile count with a dangling tail.
 	f.Add(value.AppendValue(value.AppendValue(nil, value.Int(2)), value.Int(1<<30)))
+	// Failover-era admin payloads (v3): an epoch-carrying ack, its lenient
+	// one-value v2 form, and an OpReplFence epoch — all value-encoded ints,
+	// exactly the shapes a confused peer might aim at the batch decoders.
+	f.Add(AppendValues(nil, value.Int(42), value.Int(7)))
+	f.Add(AppendValues(nil, value.Int(42)))
+	f.Add(AppendValues(nil, value.Int(1<<62)))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// None of the three decoders may panic or over-allocate; any batch

@@ -39,10 +39,12 @@ import (
 //
 // History: 1 = PR 7 request/response + push subscriptions; 2 adds the
 // replication opcodes (OpReplHello/OpReplAck/OpReplWelcome and the
-// OpReplFrames/OpReplSnap pushes). A v1 client connecting to a v2 server
-// gets a clean version-mismatch OpErr instead of an unknown-opcode
-// failure mid-session.
-const ProtocolVersion = 2
+// OpReplFrames/OpReplSnap pushes); 3 adds failover — OpReplAck gains a
+// trailing epoch (decoded leniently, so a v2 ack still parses), and
+// OpReplPromote/OpReplFence carry the promotion and fencing admin ops. A
+// client with a version the server does not speak gets a clean
+// version-mismatch OpErr instead of an unknown-opcode failure mid-session.
+const ProtocolVersion = 3
 
 // MaxFrameLen caps the length field (opcode + reqid + payload): 8 MiB.
 // Large enough for any script or result the shell produces, small enough
@@ -68,7 +70,9 @@ const (
 	OpSubscribe   byte = 8  // [ref oid, str event, int moment] → OpSubOK | OpErr
 	OpUnsubscribe byte = 9  // [int subID]               → OpOK | OpErr
 	OpReplHello   byte = 10 // [int startLSN, int epoch]  → OpReplWelcome | OpErr
-	OpReplAck     byte = 11 // [int appliedLSN]          → OpOK
+	OpReplAck     byte = 11 // [int appliedLSN, int epoch] → OpOK (v2 acks omit the epoch)
+	OpReplPromote byte = 12 // []                        → OpOK | OpErr (admin: promote this follower)
+	OpReplFence   byte = 13 // [int newEpoch]            → OpOK | OpErr (admin: fence if newEpoch is newer)
 
 	OpOK          byte = 16 // []
 	OpErr         byte = 17 // [str message]
@@ -114,6 +118,10 @@ func OpName(op byte) string {
 		return "REPLHELLO"
 	case OpReplAck:
 		return "REPLACK"
+	case OpReplPromote:
+		return "REPLPROMOTE"
+	case OpReplFence:
+		return "REPLFENCE"
 	case OpOK:
 		return "OK"
 	case OpErr:
