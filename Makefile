@@ -11,8 +11,10 @@
 # multi-core scaling artifact BENCH_4.json, the MVCC snapshot-read /
 # group-commit contention artifact BENCH_5.json, the networked-server
 # artifact BENCH_6.json, the replication read-scaling artifact
-# BENCH_7.json, and the failover artifact BENCH_8.json (quorum-commit
-# latency vs async, promotion downtime); `make bench-smoke` is a
+# BENCH_7.json, the failover artifact BENCH_8.json (quorum-commit
+# latency vs async, promotion downtime), and the rule-churn artifact
+# BENCH_9.json (raise throughput under catalog churn, selective vs
+# global consumer-cache invalidation); `make bench-smoke` is a
 # one-iteration CI-sized pass over the same code paths plus a scrape of
 # the live /metrics endpoint; `make bench-gate` checks the checked-in
 # benchmark artifacts against the floors in dev/bench/thresholds.json
@@ -48,7 +50,7 @@ race:
 # The fixed seeds make failures reproducible; the strided versions of the
 # same sweeps run in the ordinary test suite.
 torture:
-	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint|TestGroupCommitTorture|TestSnapshotDiffer|TestReplTortureSweep|TestReplDiffSeeds|TestFailoverSweep' -v ./internal/sim/ ./internal/core/
+	SENTINEL_TORTURE=full $(GO) test -count=1 -run 'TestCrashStateEnumeration|TestDifferentialStreams|TestRecoveryAtEveryBitFlip|TestRecoveryAtEveryTruncationPoint|TestGroupCommitTorture|TestSnapshotDiffer|TestReplTortureSweep|TestReplDiffSeeds|TestFailoverSweep|TestChurnDifferential|TestGlobalRefOnModelSeeds' -v ./internal/sim/ ./internal/core/
 
 # Coverage-guided fuzzing on top of the checked-in seed corpora. `go test`
 # accepts one -fuzz pattern per package invocation, hence one line each.
@@ -73,6 +75,7 @@ bench:
 	$(GO) run ./cmd/sentinel-bench -json6 BENCH_6.json
 	$(GO) run ./cmd/sentinel-bench -json7 BENCH_7.json
 	$(GO) run ./cmd/sentinel-bench -json8 BENCH_8.json
+	$(GO) run ./cmd/sentinel-bench -json9 BENCH_9.json
 
 # One-iteration pass over every benchmark entry point: catches bit-rot in
 # the bench harness without benchmark-grade runtimes (CI runs this).
@@ -85,6 +88,7 @@ bench-smoke:
 	$(GO) run ./cmd/sentinel-bench -json6 /tmp/bench6-smoke.json -quick
 	$(GO) run ./cmd/sentinel-bench -json7 /tmp/bench7-smoke.json -quick
 	$(GO) run ./cmd/sentinel-bench -json8 /tmp/bench8-smoke.json -quick
+	$(GO) run ./cmd/sentinel-bench -json9 /tmp/bench9-smoke.json -quick
 
 # Enforce the performance floors in dev/bench/thresholds.json over the
 # checked-in benchmark artifacts.

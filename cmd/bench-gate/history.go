@@ -1,0 +1,155 @@
+package main
+
+// Longitudinal regression tracking. Every passing bench-gate run appends
+// one line to dev/bench/history.jsonl recording the gated metric values
+// keyed by (report, path), stamped with the repo commit. Before appending,
+// the current values are compared against the trailing median of the
+// recorded history: a min-gated metric more than 20% below the median, or
+// a max-gated one more than 20% above it, fails the gate even when the
+// absolute floor still passes — catching the slow-boil regression where
+// each PR stays just above the floor while the trend decays.
+//
+// The history compares checked-in artifacts across commits, not live
+// measurements, so it is machine-independent: an entry only changes when a
+// PR regenerates a BENCH_*.json. CI appends to a working-tree copy that is
+// simply discarded; the committed history grows when a developer runs
+// `make bench-gate` locally and commits the new line with the artifacts.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+)
+
+// historyEntry is one line of history.jsonl: the gated values of every
+// report at one commit.
+type historyEntry struct {
+	Commit  string                        `json:"commit"`
+	Date    string                        `json:"date"`
+	Metrics map[string]map[string]float64 `json:"metrics"` // report → path → value
+}
+
+// regressionTolerance is the fraction a gated metric may drift from the
+// trailing median in its bad direction before the gate fails.
+const regressionTolerance = 0.20
+
+// historyWindow bounds how many trailing entries feed the median.
+const historyWindow = 5
+
+func loadHistory(path string) ([]historyEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var entries []historyEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e historyEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// trailingMedian returns the median of the metric's values over the last
+// historyWindow entries that recorded it, and whether any were found.
+func trailingMedian(hist []historyEntry, report, path string) (float64, bool) {
+	var vals []float64
+	for i := len(hist) - 1; i >= 0 && len(vals) < historyWindow; i-- {
+		if m, ok := hist[i].Metrics[report]; ok {
+			if v, ok := m[path]; ok {
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid], true
+	}
+	return (vals[mid-1] + vals[mid]) / 2, true
+}
+
+// checkRegressions compares the current gated values against the trailing
+// medians, in the gated direction only: a min floor guards against drops,
+// a max ceiling against rises. Returns the number of failures.
+func checkRegressions(hist []historyEntry, thr thresholds, current map[string]map[string]float64) int {
+	failures := 0
+	for _, g := range thr.Gates {
+		for _, c := range g.Checks {
+			v, ok := current[g.Report][c.Path]
+			if !ok {
+				continue // resolution already failed and was reported
+			}
+			med, ok := trailingMedian(hist, g.Report, c.Path)
+			if !ok {
+				continue
+			}
+			if c.Min != nil && v < med*(1-regressionTolerance) {
+				fmt.Printf("FAIL %s %s = %g, >%.0f%% below trailing median %g\n",
+					g.Report, c.Path, v, regressionTolerance*100, med)
+				failures++
+			}
+			if c.Max != nil && v > med*(1+regressionTolerance) {
+				fmt.Printf("FAIL %s %s = %g, >%.0f%% above trailing median %g\n",
+					g.Report, c.Path, v, regressionTolerance*100, med)
+				failures++
+			}
+		}
+	}
+	return failures
+}
+
+// appendHistory records the current values unless the newest entry already
+// carries the same commit and metrics (re-running the gate is idempotent).
+func appendHistory(path string, hist []historyEntry, dir string, current map[string]map[string]float64) error {
+	if n := len(hist); n > 0 && reflect.DeepEqual(hist[n-1].Metrics, current) {
+		return nil
+	}
+	e := historyEntry{
+		Commit:  gitCommit(dir),
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Metrics: current,
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(line, '\n'))
+	return err
+}
+
+func gitCommit(dir string) string {
+	cmd := exec.Command("git", "rev-parse", "HEAD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

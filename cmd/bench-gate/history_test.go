@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+func histFixture(vals ...float64) []historyEntry {
+	var hist []historyEntry
+	for _, v := range vals {
+		hist = append(hist, historyEntry{
+			Commit:  "c",
+			Date:    "2026-01-01",
+			Metrics: map[string]map[string]float64{"R.json": {"x": v}},
+		})
+	}
+	return hist
+}
+
+func TestTrailingMedianWindow(t *testing.T) {
+	// Eight entries; the window only sees the last five (3..7).
+	hist := histFixture(100, 100, 100, 3, 4, 5, 6, 7)
+	med, ok := trailingMedian(hist, "R.json", "x")
+	if !ok || med != 5 {
+		t.Fatalf("median = %v, %v; want 5, true", med, ok)
+	}
+	if _, ok := trailingMedian(hist, "R.json", "missing"); ok {
+		t.Fatal("median for unrecorded metric should report not-found")
+	}
+	if _, ok := trailingMedian(nil, "R.json", "x"); ok {
+		t.Fatal("median over empty history should report not-found")
+	}
+}
+
+func TestCheckRegressionsDirectional(t *testing.T) {
+	hist := histFixture(10, 10, 10)
+	thrMin := thresholds{Gates: []gate{{Report: "R.json", Checks: []check{{Path: "x", Min: fp(1)}}}}}
+	thrMax := thresholds{Gates: []gate{{Report: "R.json", Checks: []check{{Path: "x", Max: fp(100)}}}}}
+
+	cur := func(v float64) map[string]map[string]float64 {
+		return map[string]map[string]float64{"R.json": {"x": v}}
+	}
+	// Min-gated: a drop past 20% fails; a rise never does.
+	if n := checkRegressions(hist, thrMin, cur(7.9)); n != 1 {
+		t.Fatalf("min-gated drop to 7.9 vs median 10: %d failures, want 1", n)
+	}
+	if n := checkRegressions(hist, thrMin, cur(8.1)); n != 0 {
+		t.Fatalf("min-gated 8.1 is within tolerance: %d failures, want 0", n)
+	}
+	if n := checkRegressions(hist, thrMin, cur(1000)); n != 0 {
+		t.Fatalf("min-gated rise must not fail: %d failures, want 0", n)
+	}
+	// Max-gated: mirror image.
+	if n := checkRegressions(hist, thrMax, cur(12.1)); n != 1 {
+		t.Fatalf("max-gated rise to 12.1 vs median 10: %d failures, want 1", n)
+	}
+	if n := checkRegressions(hist, thrMax, cur(0.1)); n != 0 {
+		t.Fatalf("max-gated drop must not fail: %d failures, want 0", n)
+	}
+	// No history: dormant.
+	if n := checkRegressions(nil, thrMin, cur(0.0001)); n != 0 {
+		t.Fatalf("empty history must not fail: %d failures, want 0", n)
+	}
+}
+
+func TestAppendHistoryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "history.jsonl")
+	cur := map[string]map[string]float64{"R.json": {"x": 10}}
+
+	if err := appendHistory(path, nil, dir, cur); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Fatalf("after first append: %d entries, want 1", len(hist))
+	}
+	// Same metrics again: no new line.
+	if err := appendHistory(path, hist, dir, cur); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Fatalf("identical re-append grew history to %d entries", len(hist))
+	}
+	// Changed metrics: appended.
+	cur2 := map[string]map[string]float64{"R.json": {"x": 11}}
+	if err := appendHistory(path, hist, dir, cur2); err != nil {
+		t.Fatal(err)
+	}
+	hist, err = loadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 || hist[1].Metrics["R.json"]["x"] != 11 {
+		t.Fatalf("changed metrics not appended: %+v", hist)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadHistoryMissingFile(t *testing.T) {
+	hist, err := loadHistory(filepath.Join(t.TempDir(), "absent.jsonl"))
+	if err != nil || hist != nil {
+		t.Fatalf("missing file: hist=%v err=%v; want nil, nil", hist, err)
+	}
+}

@@ -24,6 +24,13 @@
 //
 // A path is a dot-separated walk through the report's JSON; a segment may
 // carry one or more [i] indexes into arrays.
+//
+// Beyond the absolute bounds, every gated value is tracked longitudinally
+// in dev/bench/history.jsonl (see history.go): a value that drifts more
+// than 20% in its gated direction from the trailing median of recorded
+// runs fails the gate too, and each passing run appends its values as a
+// new history line. -history overrides the file; -no-history disables
+// both the trend check and the append.
 package main
 
 import (
@@ -54,6 +61,8 @@ type thresholds struct {
 func main() {
 	thrPath := flag.String("thresholds", "dev/bench/thresholds.json", "thresholds file")
 	dir := flag.String("dir", ".", "directory holding the benchmark reports")
+	histPath := flag.String("history", "dev/bench/history.jsonl", "longitudinal history file")
+	noHist := flag.Bool("no-history", false, "skip the trailing-median trend check and the history append")
 	flag.Parse()
 
 	data, err := os.ReadFile(*thrPath)
@@ -69,6 +78,7 @@ func main() {
 	}
 
 	failures := 0
+	current := map[string]map[string]float64{}
 	for _, g := range thr.Gates {
 		reportPath := filepath.Join(*dir, g.Report)
 		raw, err := os.ReadFile(reportPath)
@@ -79,6 +89,11 @@ func main() {
 		if err := json.Unmarshal(raw, &doc); err != nil {
 			fatal(fmt.Errorf("%s: %w", reportPath, err))
 		}
+		vals := current[g.Report]
+		if vals == nil {
+			vals = map[string]float64{}
+			current[g.Report] = vals
+		}
 		for _, c := range g.Checks {
 			v, err := resolve(doc, c.Path)
 			if err != nil {
@@ -86,6 +101,7 @@ func main() {
 				failures++
 				continue
 			}
+			vals[c.Path] = v
 			switch {
 			case c.Min != nil && v < *c.Min:
 				fmt.Printf("FAIL %s %s = %g, below floor %g\n", g.Report, c.Path, v, *c.Min)
@@ -95,6 +111,23 @@ func main() {
 				failures++
 			default:
 				fmt.Printf("ok   %s %s = %g%s\n", g.Report, c.Path, v, boundsNote(c))
+			}
+		}
+	}
+	if !*noHist {
+		hist, err := loadHistory(filepath.Join(*dir, *histPath))
+		if err != nil {
+			fatal(err)
+		}
+		if n := checkRegressions(hist, thr, current); n > 0 {
+			failures += n
+		} else if len(hist) > 0 {
+			fmt.Printf("ok   trend: no gated value >%.0f%% worse than its trailing median (%d history entries)\n",
+				regressionTolerance*100, len(hist))
+		}
+		if failures == 0 {
+			if err := appendHistory(filepath.Join(*dir, *histPath), hist, *dir, current); err != nil {
+				fatal(err)
 			}
 		}
 	}

@@ -1,0 +1,362 @@
+package main
+
+// Rule-churn suite (-json9): sustained raise throughput while the rule
+// catalog churns under live traffic — the blast-radius invalidation
+// headline. One reactive class, a few thousand hot instances each carrying
+// 16 instance subscriptions (mostly-disabled rules: Notify rejects them in
+// nanoseconds, so a cache HIT is cheap while a cache MISS pays the full
+// re-resolution — subscription walk, dedup map, slice allocation), and a
+// paced churner applying 100 catalog mutations/s (enable/disable flips and
+// subscribe/unsubscribe on a dedicated object, both with tiny blast
+// radii). Three modes, fresh database each:
+//
+//   selective   churn on, dependency-tracked invalidation (the shipped path)
+//   global      churn on, GlobalConsumerInvalidation — every mutation
+//               stales the whole cache, the pre-selective baseline: each
+//               churn event forces a miss storm across the hot set
+//   nochurn     churn off, selective — the ceiling
+//
+// The gated floors (dev/bench/thresholds.json over BENCH_9.json):
+// selective ≥ 5x global, and selective within 1.3x of nochurn.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+type churnModeResult struct {
+	Mode          string  `json:"mode"`
+	Raises        uint64  `json:"raises"`
+	DurationNs    int64   `json:"duration_ns"`
+	RaisesPerSec  float64 `json:"raises_per_sec"`
+	ChurnEvents   uint64  `json:"churn_events"`
+	ChurnPerSec   float64 `json:"churn_per_sec"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	Invalidations uint64  `json:"cache_invalidations"`
+}
+
+type churnReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
+	Note        string `json:"note"`
+
+	Rules         int `json:"rules"`
+	Objects       int `json:"objects"`
+	SubsPerObject int `json:"subs_per_object"`
+	ChurnTarget   int `json:"churn_target_per_sec"`
+
+	Modes []churnModeResult `json:"modes"`
+
+	SelectiveOverGlobal float64 `json:"selective_over_global"`
+	ChurnOverNochurn    float64 `json:"churn_over_nochurn"`
+}
+
+// churnBenchDB builds the steady-state catalog: nObjs instances of one
+// reactive class, nRules disabled instance-level rules spread across them
+// (subsPer per object, round-robin), one disabled class-level flip rule
+// and one disabled subscribe-target rule for the churner, plus one spare
+// object the subscription churn runs against. global selects the
+// whole-cache reference invalidation mode.
+func churnBenchDB(nObjs, nRules, subsPer int, global bool) (*core.Database, []oid.OID, oid.OID, error) {
+	db, err := core.Open(core.Options{Output: io.Discard, GlobalConsumerInvalidation: global})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cls := schema.NewClass("Hot")
+	cls.Classification = schema.ReactiveClass
+	cls.Attr("x", value.TypeFloat)
+	cls.AddMethod(&schema.Method{
+		Name:       "Set",
+		Params:     []schema.Param{{Name: "v", Type: value.TypeFloat}},
+		Visibility: schema.Public,
+		EventGen:   schema.GenEnd,
+		Body: func(ctx schema.CallContext) (value.Value, error) {
+			return value.Nil, ctx.Set("x", ctx.Arg(0))
+		},
+	})
+	if err := db.RegisterClass(cls); err != nil {
+		db.Close()
+		return nil, nil, 0, err
+	}
+
+	objs := make([]oid.OID, nObjs)
+	var churnObj oid.OID
+	const objBatch = 500
+	for lo := 0; lo < nObjs; lo += objBatch {
+		hi := lo + objBatch
+		if hi > nObjs {
+			hi = nObjs
+		}
+		if err := db.Atomically(func(tx *core.Tx) error {
+			for i := lo; i < hi; i++ {
+				var err error
+				if objs[i], err = db.NewObject(tx, "Hot", nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			db.Close()
+			return nil, nil, 0, err
+		}
+	}
+	if err := db.Atomically(func(tx *core.Tx) error {
+		var err error
+		churnObj, err = db.NewObject(tx, "Hot", nil)
+		return err
+	}); err != nil {
+		db.Close()
+		return nil, nil, 0, err
+	}
+
+	falseCond := func(rule.ExecContext, event.Detection) (bool, error) { return false, nil }
+	const ruleBatch = 100
+	for lo := 0; lo < nRules; lo += ruleBatch {
+		hi := lo + ruleBatch
+		if hi > nRules {
+			hi = nRules
+		}
+		if err := db.Atomically(func(tx *core.Tx) error {
+			for i := lo; i < hi; i++ {
+				name := fmt.Sprintf("r%d", i)
+				if _, err := db.CreateRule(tx, core.RuleSpec{
+					Name: name, Event: event.Primitive(event.Explicit, "Hot", "Ping"), Condition: falseCond,
+				}); err != nil {
+					return err
+				}
+				if err := db.DisableRule(tx, name); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			db.Close()
+			return nil, nil, 0, err
+		}
+	}
+	// The churner's two rules: a class-level flip target and an
+	// instance-subscription target.
+	if err := db.Atomically(func(tx *core.Tx) error {
+		if _, err := db.CreateRule(tx, core.RuleSpec{
+			Name: "flip", Event: event.Primitive(event.Explicit, "Hot", "Pong"), ClassLevel: "Hot", Condition: falseCond,
+		}); err != nil {
+			return err
+		}
+		if err := db.DisableRule(tx, "flip"); err != nil {
+			return err
+		}
+		if _, err := db.CreateRule(tx, core.RuleSpec{
+			Name: "subtgt", Event: event.Primitive(event.Explicit, "Hot", "Pong"), Condition: falseCond,
+		}); err != nil {
+			return err
+		}
+		return db.DisableRule(tx, "subtgt")
+	}); err != nil {
+		db.Close()
+		return nil, nil, 0, err
+	}
+
+	// Instance subscriptions: object i watches rules i*subsPer..+subsPer
+	// mod nRules — a miss re-resolves subsPer rule OIDs through the dedup
+	// path.
+	for lo := 0; lo < nObjs; lo += objBatch {
+		hi := lo + objBatch
+		if hi > nObjs {
+			hi = nObjs
+		}
+		if err := db.Atomically(func(tx *core.Tx) error {
+			for i := lo; i < hi; i++ {
+				for k := 0; k < subsPer; k++ {
+					if err := db.SubscribeRule(tx, fmt.Sprintf("r%d", (i*subsPer+k)%nRules), objs[i]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			db.Close()
+			return nil, nil, 0, err
+		}
+	}
+	return db, objs, churnObj, nil
+}
+
+// churnBenchMode measures sustained raise throughput for one mode. The
+// sender batches sends round-robin over the hot set; the churner (when
+// churning) applies one catalog mutation every churnInterval, alternating
+// an enable/disable flip of the class-level rule with a subscribe/
+// unsubscribe of the target rule on the dedicated object.
+func churnBenchMode(mode string, nObjs, nRules, subsPer int, churn bool, global bool, measure time.Duration, churnInterval time.Duration) (churnModeResult, error) {
+	res := churnModeResult{Mode: mode}
+	db, objs, churnObj, err := churnBenchDB(nObjs, nRules, subsPer, global)
+	if err != nil {
+		return res, err
+	}
+	defer db.Close()
+
+	// Warm every entry.
+	const batch = 128
+	for lo := 0; lo < nObjs; lo += batch {
+		hi := lo + batch
+		if hi > nObjs {
+			hi = nObjs
+		}
+		if err := db.Atomically(func(tx *core.Tx) error {
+			for i := lo; i < hi; i++ {
+				if err := db.RaiseExplicit(tx, objs[i], "Ping"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return res, err
+		}
+	}
+
+	before := db.Stats().Rules
+	stop := make(chan struct{})
+	churnDone := make(chan uint64, 1)
+	if churn {
+		go func() {
+			var events uint64
+			tick := time.NewTicker(churnInterval)
+			defer tick.Stop()
+			enabled, subscribed := false, false
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					churnDone <- events
+					return
+				case <-tick.C:
+				}
+				var err error
+				if i%2 == 0 {
+					err = db.Atomically(func(tx *core.Tx) error {
+						if enabled {
+							return db.DisableRule(tx, "flip")
+						}
+						return db.EnableRule(tx, "flip")
+					})
+					enabled = !enabled
+				} else {
+					err = db.Atomically(func(tx *core.Tx) error {
+						r := db.LookupRule("subtgt")
+						if subscribed {
+							return db.Unsubscribe(tx, churnObj, r.ID())
+						}
+						return db.Subscribe(tx, churnObj, r.ID())
+					})
+					subscribed = !subscribed
+				}
+				if err == nil {
+					events++
+				}
+			}
+		}()
+	} else {
+		churnDone <- 0
+		close(churnDone)
+	}
+
+	var raises uint64
+	start := time.Now()
+	deadline := start.Add(measure)
+	idx := 0
+	for time.Now().Before(deadline) {
+		if err := db.Atomically(func(tx *core.Tx) error {
+			for j := 0; j < batch; j++ {
+				if err := db.RaiseExplicit(tx, objs[idx%nObjs], "Ping"); err != nil {
+					return err
+				}
+				idx++
+			}
+			return nil
+		}); err != nil {
+			close(stop)
+			return res, err
+		}
+		raises += batch
+	}
+	elapsed := time.Since(start)
+	if churn {
+		close(stop)
+	}
+	res.ChurnEvents = <-churnDone
+
+	after := db.Stats().Rules
+	res.Raises = raises
+	res.DurationNs = elapsed.Nanoseconds()
+	res.RaisesPerSec = float64(raises) / elapsed.Seconds()
+	res.ChurnPerSec = float64(res.ChurnEvents) / elapsed.Seconds()
+	res.CacheHits = after.CacheHits - before.CacheHits
+	res.CacheMisses = after.CacheMisses - before.CacheMisses
+	res.Invalidations = after.CacheInvalidations - before.CacheInvalidations
+	return res, nil
+}
+
+func runChurnBench(path string, quick bool) error {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	nObjs, nRules, subsPer := 1500, 1000, 256
+	measure := 2 * time.Second
+	churnInterval := 10 * time.Millisecond // 100 events/s
+	if quick {
+		nObjs, nRules, subsPer = 400, 100, 64
+		measure = 250 * time.Millisecond
+	}
+
+	var report churnReport
+	report.GeneratedBy = "sentinel-bench -json9"
+	report.GoVersion = runtime.Version()
+	report.GoMaxProcs = runtime.GOMAXPROCS(0)
+	report.NumCPU = runtime.NumCPU()
+	report.Rules = nRules + 2
+	report.Objects = nObjs
+	report.SubsPerObject = subsPer
+	report.ChurnTarget = int(time.Second / churnInterval)
+	report.Note = fmt.Sprintf(
+		"%d hot objects x %d instance subscriptions to disabled rules (%d rules total), one sender batching %d-send transactions round-robin, churner pacing one catalog mutation per %v (enable/disable flip alternating with subscribe/unsubscribe on a dedicated object); selective vs GlobalConsumerInvalidation vs churn-off; see DESIGN.md 4j",
+		nObjs, subsPer, nRules+2, 128, churnInterval)
+
+	for _, m := range []struct {
+		name          string
+		churn, global bool
+	}{
+		{"selective", true, false},
+		{"global", true, true},
+		{"nochurn", false, false},
+	} {
+		r, err := churnBenchMode(m.name, nObjs, nRules, subsPer, m.churn, m.global, measure, churnInterval)
+		if err != nil {
+			return fmt.Errorf("churn mode %s: %w", m.name, err)
+		}
+		report.Modes = append(report.Modes, r)
+		fmt.Printf("  %-9s %10.0f raises/s  (%d churn events, %d hits, %d misses, %d invalidations)\n",
+			m.name, r.RaisesPerSec, r.ChurnEvents, r.CacheHits, r.CacheMisses, r.Invalidations)
+	}
+	report.SelectiveOverGlobal = report.Modes[0].RaisesPerSec / report.Modes[1].RaisesPerSec
+	report.ChurnOverNochurn = report.Modes[2].RaisesPerSec / report.Modes[0].RaisesPerSec
+	fmt.Printf("  selective/global %.2fx, nochurn/selective %.2fx\n",
+		report.SelectiveOverGlobal, report.ChurnOverNochurn)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -27,6 +27,10 @@
 //	sentinel-bench -json8 BENCH_8.json [-quick]
 //	                               # failover: quorum-commit latency vs
 //	                               # async, promotion downtime
+//	sentinel-bench -json9 BENCH_9.json [-quick]
+//	                               # rule-churn: raise throughput under
+//	                               # catalog churn, selective vs global
+//	                               # consumer-cache invalidation
 package main
 
 import (
@@ -52,6 +56,7 @@ func main() {
 	json6Out := flag.String("json6", "", "write networked-server benchmark results to this JSON file and exit")
 	json7Out := flag.String("json7", "", "write replication read-scaling benchmark results to this JSON file and exit")
 	json8Out := flag.String("json8", "", "write failover benchmark results (quorum commit latency, promotion downtime) to this JSON file and exit")
+	json9Out := flag.String("json9", "", "write rule-churn benchmark results (selective vs global consumer-cache invalidation) to this JSON file and exit")
 	idleClientAddr := flag.String("idle-client", "", "internal: run as the -json6 idle-session client subprocess against this address")
 	idleClientSessions := flag.Int("idle-sessions", 0, "internal: session count for -idle-client")
 	flag.Parse()
@@ -114,6 +119,13 @@ func main() {
 	}
 	if *json8Out != "" {
 		if err := runFailoverBench(*json8Out, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *json9Out != "" {
+		if err := runChurnBench(*json9Out, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

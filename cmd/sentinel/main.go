@@ -353,6 +353,8 @@ above still inspect the shell's local database.`)
 			s.Events.Sends, s.Events.Raised, s.Events.Notifications, s.Events.Detections)
 		fmt.Printf("rules: defined=%d subscriptions=%d conditions=%d actions=%d slow=%d\n",
 			s.Rules.Defined, s.Rules.Subscriptions, s.Rules.ConditionsRun, s.Rules.ActionsRun, s.Rules.SlowFirings)
+		fmt.Printf("consumer-cache: hits=%d misses=%d invalidations=%d entries=%d\n",
+			s.Rules.CacheHits, s.Rules.CacheMisses, s.Rules.CacheInvalidations, s.Rules.CacheEntries)
 		if s.Detached.Workers > 0 {
 			fmt.Printf("detached: workers=%d queued=%d inflight=%d executed=%d stalls=%d backpressure=%d\n",
 				s.Detached.Workers, s.Detached.Queued, s.Detached.InFlight,

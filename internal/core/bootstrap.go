@@ -137,17 +137,15 @@ func (db *Database) applyRuleEnabled(ctx schema.CallContext, enabled bool) error
 		r.Disable()
 	}
 	// Enabled-ness is checked inside Notify, so cached consumer sets stay
-	// correct either way; the bump keeps the epoch a complete record of
-	// every rule-state transition (and lets future consumers-side
-	// filtering rely on it).
-	db.bumpConsumerEpoch()
-	fr.tx.inner.OnUndo(func() {
+	// correct either way and no entry needs invalidating (scopeNone). The
+	// GlobalConsumerInvalidation reference mode still escalates this to a
+	// full epoch bump, reproducing the pre-selective cost model.
+	db.invalidateConsumers(fr.tx, scopeNone(), func() {
 		if was {
 			r.Enable()
 		} else {
 			r.Disable()
 		}
-		db.bumpConsumerEpoch()
 	})
 	return ctx.Set("enabled", value.Bool(enabled))
 }

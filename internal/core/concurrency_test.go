@@ -7,6 +7,7 @@ package core
 // (raise, consumersOf) that the public API intentionally hides.
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -292,5 +293,148 @@ func TestConcurrentSendRuleChurn(t *testing.T) {
 	wg.Wait()
 	if err := sendErr.Load(); err != nil {
 		t.Fatalf("concurrent sender failed: %v", err)
+	}
+}
+
+// TestConcurrentSendSchemaChurn races 8 senders against rule
+// enable/disable flips AND repeated EvolveClass of the very class being
+// sent to — the worst case for selective invalidation, since evolve
+// exclusively locks every instance while class-scoped invalidation sweeps
+// the subtree's entries. Senders tolerate deadlock aborts (2PL may break a
+// cycle with the evolver); any other error fails the test, and a probe
+// round at the end verifies the cache converged to the final catalog.
+func TestConcurrentSendSchemaChurn(t *testing.T) {
+	db := MustOpen(Options{Output: io.Discard})
+	const pool = 8
+	ids := hotPathClass(t, db, pool+1)
+	probe := ids[pool]
+
+	if err := db.Atomically(func(tx *Tx) error {
+		_, err := db.CreateRule(tx, RuleSpec{
+			Name: "flappy", EventSrc: "end P::Set(float v)", ClassLevel: "P",
+			Condition: func(rule.ExecContext, event.Detection) (bool, error) {
+				return false, nil
+			},
+		})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var hardErr atomic.Value
+	for g := 0; g < pool; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				err := db.Atomically(func(tx *Tx) error {
+					_, err := db.Send(tx, ids[(g+i)%pool], "Set", value.Float(float64(i)))
+					return err
+				})
+				if err != nil && !errors.Is(err, txn.ErrDeadlock) {
+					hardErr.Store(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Churner 1: enable/disable flips (scopeNone — Notify filters).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			err := db.Atomically(func(tx *Tx) error {
+				if i%2 == 0 {
+					return db.DisableRule(tx, "flappy")
+				}
+				return db.EnableRule(tx, "flappy")
+			})
+			if err != nil && !errors.Is(err, txn.ErrDeadlock) {
+				hardErr.Store(err)
+				return
+			}
+		}
+	}()
+
+	// Churner 2: evolve P itself, 30 rounds (each exclusively locks every
+	// instance, migrates it, and sweeps the class-scope blast radius).
+	for round := 0; round < 30; round++ {
+		if hardErr.Load() != nil {
+			break
+		}
+		extra := fmt.Sprintf("gen%d", round%3)
+		err := db.Atomically(func(tx *Tx) error {
+			c := schema.NewClass("P")
+			c.Classification = schema.ReactiveClass
+			c.Attr("x", value.TypeFloat)
+			c.Attr(extra, value.TypeInt)
+			c.AddMethod(&schema.Method{
+				Name:       "Set",
+				Params:     []schema.Param{{Name: "v", Type: value.TypeFloat}},
+				Visibility: schema.Public,
+				EventGen:   schema.GenEnd,
+				Body: func(ctx schema.CallContext) (value.Value, error) {
+					return value.Nil, ctx.Set("x", ctx.Arg(0))
+				},
+			})
+			return db.EvolveClass(tx, c, "")
+		})
+		if err != nil && !errors.Is(err, txn.ErrDeadlock) {
+			t.Fatalf("evolve round %d: %v", round, err)
+		}
+	}
+
+	close(done)
+	wg.Wait()
+	if err := hardErr.Load(); err != nil {
+		t.Fatalf("concurrent worker failed: %v", err)
+	}
+
+	// Convergence probe: a fresh instance subscription on the probe object
+	// fires exactly once per send, and the stable class rule resolves
+	// through the evolved class.
+	var probeFired atomic.Uint64
+	if err := db.Atomically(func(tx *Tx) error {
+		r, err := db.CreateRule(tx, RuleSpec{
+			Name: "probe", EventSrc: "end P::Set(float v)",
+			Action: func(_ rule.ExecContext, det event.Detection) error {
+				if det.Last().Source == probe {
+					probeFired.Add(1)
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		return db.Subscribe(tx, probe, r.ID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Atomically(func(tx *Tx) error {
+		_, err := db.Send(tx, probe, "Set", value.Float(9))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := probeFired.Load(); got != 1 {
+		t.Fatalf("probe rule fired %d times for one send, want 1", got)
+	}
+	rules, _ := db.consumersOf(db.objectByID(probe))
+	if len(rules) != 2 { // probe (instance) + flappy (class)
+		t.Fatalf("probe consumer set has %d rules after churn, want 2", len(rules))
 	}
 }

@@ -125,14 +125,23 @@ type Database struct {
 	condFns map[string]rule.Condition
 	actFns  map[string]rule.Action
 
-	// Consumer-resolution cache (see consumers.go). subEpoch is bumped by
-	// every mutation that can change any object's consumer set; cache
-	// entries carry the epoch they were computed at and are lazily
-	// recomputed on mismatch.
+	// Consumer-resolution cache (see consumers.go). Invalidation is
+	// selective: a mutation deletes only the entries derived from the
+	// keys it changed (object OID, class-name subtree); subEpoch is the
+	// global fallback, bumped by recovery/base-state replacement (and the
+	// GlobalConsumerInvalidation reference mode) to stale every entry at
+	// once. objGen/classGen are per-key generation counters closing the
+	// concurrent refresh-vs-delete race (snapshot before catalog read,
+	// verify at publish); classDeps is the reverse index from exact class
+	// name to the object entries derived from it. All four maps are
+	// guarded by ccMu.
 	subEpoch       atomic.Uint64
 	ccMu           sync.RWMutex
 	objConsumers   map[oid.OID]*consumerEntry
 	classConsumers map[string]*classConsumerEntry
+	objGen         map[oid.OID]uint64
+	classGen       map[string]uint64
+	classDeps      map[string]map[oid.OID]struct{}
 
 	// pendingClassRules queues class-level rule declarations registered
 	// before recovery completes; ready flips once Open finishes.
@@ -234,6 +243,9 @@ func Open(opts Options) (*Database, error) {
 		indexByClass:   make(map[string][]*index.Hash),
 		objConsumers:   make(map[oid.OID]*consumerEntry),
 		classConsumers: make(map[string]*classConsumerEntry),
+		objGen:         make(map[oid.OID]uint64),
+		classGen:       make(map[string]uint64),
+		classDeps:      make(map[string]map[oid.OID]struct{}),
 		strategy:       strat,
 	}
 	db.met = newCoreMetrics(db, opts)
@@ -272,6 +284,10 @@ func Open(opts Options) (*Database, error) {
 		db.metricsSrv = srv
 	}
 	db.ready = true
+	// Recovery rebuilt the rule/subscription catalogs wholesale; the
+	// global epoch bump is the safe fallback that stales anything cached
+	// during the rebuild (selective scopes only cover live mutations).
+	db.applyConsumerInvalidation(scopeAll())
 	// A replica never instantiates rules locally: rule effects arrive as
 	// shipped batches from the primary (and creating the __Rule objects
 	// would be a write, which replicas reject).

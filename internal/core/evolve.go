@@ -151,14 +151,14 @@ func (db *Database) EvolveClass(t *Tx, newCls *schema.Class, dslSource string) e
 
 	// The evolved class may have a different MRO/event interface; cached
 	// consumer sets derived from the old class (and the migrated objects)
-	// are stale.
-	db.bumpConsumerEpoch()
-	t.inner.OnUndo(func() {
+	// are stale. Evolve refuses registered subclasses, so the class-scope
+	// subtree is exactly this class: its class entry plus every object
+	// entry derived from it.
+	db.invalidateConsumers(t, scopeClass(name), func() {
 		db.reg.Restore(oldCls)
 		for id, m := range prevState {
 			db.dir.undoReplaceObj(id, m.prev, m.wasDirty, m.pushed)
 		}
-		db.bumpConsumerEpoch()
 	})
 	return nil
 }

@@ -26,7 +26,13 @@ type coreMetrics struct {
 	// Event-propagation counters (the former flat Stats atomics).
 	sends, eventsRaised, notifications, detections *obs.Counter
 	conditionsRun, actionsRun, rulesScheduled      *obs.Counter
-	slowFirings, ccMisses                          *obs.Counter
+	slowFirings                                    *obs.Counter
+
+	// Consumer-resolution cache instruments: hit/miss split on the raise
+	// path, invalidations applied by catalog mutations (one per scope
+	// application, however many entries it removed), and a live-entry
+	// gauge (registered below; reads the cache maps under ccMu at scrape).
+	ccHits, ccMisses, ccInvalidations *obs.Counter
 
 	// Storage counters.
 	faults, evictions, checkpoints  *obs.Counter
@@ -88,7 +94,9 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 		actionsRun:     reg.Counter("sentinel_actions_run_total", "rule actions executed (condition held)"),
 		rulesScheduled: reg.Counter("sentinel_rules_scheduled_total", "detections scheduled for rule execution"),
 		slowFirings:    reg.Counter("sentinel_slow_firings_total", "rule firings at or above SlowRuleThreshold"),
-		ccMisses:       reg.Counter("sentinel_consumer_cache_misses_total", "consumer-resolution cache recomputations"),
+		ccHits:          reg.Counter("sentinel_consumer_cache_hits_total", "consumer-resolution cache hits on the raise path"),
+		ccMisses:        reg.Counter("sentinel_consumer_cache_misses_total", "consumer-resolution cache recomputations"),
+		ccInvalidations: reg.Counter("sentinel_consumer_cache_invalidations_total", "consumer-cache invalidation scopes applied by catalog mutations"),
 
 		faults:      reg.Counter("sentinel_object_faults_total", "objects decoded from the heap on demand"),
 		evictions:   reg.Counter("sentinel_object_evictions_total", "residents reclaimed by the clock sweep"),
@@ -162,6 +170,9 @@ func newCoreMetrics(db *Database, opts Options) *coreMetrics {
 		db.mu.RLock()
 		defer db.mu.RUnlock()
 		return int64(len(db.rules))
+	})
+	reg.Gauge("sentinel_consumer_cache_entries", "live consumer-resolution cache entries (object + class)", func() int64 {
+		return int64(db.consumerCacheEntries())
 	})
 	reg.Gauge("sentinel_subscriptions", "instance-level subscriptions", func() int64 {
 		db.mu.RLock()

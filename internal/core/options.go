@@ -122,6 +122,15 @@ type Options struct {
 	// (backpressure) while it is full. 0 (default) means GOMAXPROCS.
 	// Must not be negative, and only meaningful with AsyncDetached.
 	DetachedWorkers int
+	// GlobalConsumerInvalidation disables selective consumer-cache
+	// invalidation: every catalog mutation (subscription change, rule
+	// create/delete/enable/disable, object delete, class evolution) bumps
+	// the global subscription epoch and stales the whole cache, exactly
+	// the pre-selective behaviour. It exists as the differential-testing
+	// reference (selective and global invalidation must produce identical
+	// firing traces) and as the churn-benchmark baseline; production use
+	// is strictly slower under rule/schema churn. Default false.
+	GlobalConsumerInvalidation bool
 
 	// ---- Application hooks ----
 

@@ -339,6 +339,10 @@ func (db *Database) ApplyBaseState(lsn uint64, objs []ReplBaseObject) error {
 	for _, id := range stale {
 		db.dir.dropDeleted(id, dw)
 	}
+	// The heap was replaced wholesale — OIDs may now name objects of
+	// different classes. Recovery-style global fallback rather than
+	// per-key scopes.
+	db.applyConsumerInvalidation(scopeAll())
 	db.maybeSweepChains()
 	db.maybeEvict()
 	return db.Checkpoint()

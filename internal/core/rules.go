@@ -280,9 +280,14 @@ func (db *Database) CreateRule(t *Tx, spec RuleSpec) (*rule.Rule, error) {
 		db.classRules[spec.ClassLevel] = append(db.classRules[spec.ClassLevel], r)
 	}
 	db.mu.Unlock()
-	db.bumpConsumerEpoch()
-
-	t.inner.OnUndo(func() {
+	// A class-level rule changes the consumer set of every instance in the
+	// class's subtree; an instance-level rule reaches objects only through
+	// Subscribe, which carries its own per-object invalidation.
+	sc := scopeNone()
+	if spec.ClassLevel != "" {
+		sc = scopeClass(spec.ClassLevel)
+	}
+	db.invalidateConsumers(t, sc, func() {
 		db.mu.Lock()
 		delete(db.rules, id)
 		delete(db.rulesByName, spec.Name)
@@ -290,7 +295,6 @@ func (db *Database) CreateRule(t *Tx, spec RuleSpec) (*rule.Rule, error) {
 			db.classRules[spec.ClassLevel] = removeRule(db.classRules[spec.ClassLevel], r)
 		}
 		db.mu.Unlock()
-		db.bumpConsumerEpoch()
 	})
 	return r, nil
 }
@@ -337,8 +341,11 @@ func (db *Database) DeleteRule(t *Tx, name string) error {
 		db.classRules[r.ClassLevel] = removeRule(db.classRules[r.ClassLevel], r)
 	}
 	db.mu.Unlock()
-	db.bumpConsumerEpoch()
-	t.inner.OnUndo(func() {
+	sc := scopeNone() // instance subs were unsubscribed above, each with its own scope
+	if r.ClassLevel != "" {
+		sc = scopeClass(r.ClassLevel)
+	}
+	db.invalidateConsumers(t, sc, func() {
 		db.mu.Lock()
 		db.rules[id] = r
 		db.rulesByName[name] = r
@@ -346,7 +353,6 @@ func (db *Database) DeleteRule(t *Tx, name string) error {
 			db.classRules[r.ClassLevel] = append(db.classRules[r.ClassLevel], r)
 		}
 		db.mu.Unlock()
-		db.bumpConsumerEpoch()
 	})
 	return nil
 }
@@ -497,13 +503,11 @@ func (db *Database) Subscribe(t *Tx, reactive oid.OID, consumer oid.OID) error {
 	db.subs[reactive] = append(db.subs[reactive], consumer)
 	db.subObjs[subKey{reactive, consumer}] = subID
 	db.mu.Unlock()
-	db.bumpConsumerEpoch()
-	t.inner.OnUndo(func() {
+	db.invalidateConsumers(t, scopeObj(reactive), func() {
 		db.mu.Lock()
 		db.subs[reactive] = removeOID(db.subs[reactive], consumer)
 		delete(db.subObjs, subKey{reactive, consumer})
 		db.mu.Unlock()
-		db.bumpConsumerEpoch()
 	})
 	return nil
 }
@@ -532,13 +536,11 @@ func (db *Database) Unsubscribe(t *Tx, reactive oid.OID, consumer oid.OID) error
 	db.subs[reactive] = removeOID(db.subs[reactive], consumer)
 	delete(db.subObjs, subKey{reactive, consumer})
 	db.mu.Unlock()
-	db.bumpConsumerEpoch()
-	t.inner.OnUndo(func() {
+	db.invalidateConsumers(t, scopeObj(reactive), func() {
 		db.mu.Lock()
 		db.subs[reactive] = append(db.subs[reactive], consumer)
 		db.subObjs[subKey{reactive, consumer}] = subID
 		db.mu.Unlock()
-		db.bumpConsumerEpoch()
 	})
 	return nil
 }
@@ -567,7 +569,7 @@ func (db *Database) SubscribeFunc(reactive oid.OID, name string, fn func(event.O
 	db.mu.Lock()
 	db.funcConsumers[reactive] = append(db.funcConsumers[reactive], fc)
 	db.mu.Unlock()
-	db.bumpConsumerEpoch()
+	db.applyConsumerInvalidation(scopeObj(reactive))
 	return func() {
 		db.mu.Lock()
 		lst := db.funcConsumers[reactive]
@@ -579,7 +581,7 @@ func (db *Database) SubscribeFunc(reactive oid.OID, name string, fn func(event.O
 		}
 		db.funcConsumers[reactive] = out
 		db.mu.Unlock()
-		db.bumpConsumerEpoch()
+		db.applyConsumerInvalidation(scopeObj(reactive))
 	}, nil
 }
 

@@ -43,6 +43,14 @@ type RuleStats struct {
 	ConditionsRun uint64
 	ActionsRun    uint64
 	SlowFirings   uint64 // firings at or above Options.SlowRuleThreshold
+
+	// Consumer-resolution cache behaviour (see consumers.go): raises
+	// served from a cached entry vs recomputed, invalidation scopes
+	// applied by catalog mutations, and live entries across both maps.
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheInvalidations uint64
+	CacheEntries       int
 }
 
 // DetachedStats describes the conflict-aware detached executor pool
@@ -113,6 +121,11 @@ func (db *Database) Stats() Snapshot {
 			ConditionsRun: m.conditionsRun.Value(),
 			ActionsRun:    m.actionsRun.Value(),
 			SlowFirings:   m.slowFirings.Value(),
+
+			CacheHits:          m.ccHits.Value(),
+			CacheMisses:        m.ccMisses.Value(),
+			CacheInvalidations: m.ccInvalidations.Value(),
+			CacheEntries:       db.consumerCacheEntries(),
 		},
 		Detached: db.detachedStats(),
 		Storage: StorageStats{

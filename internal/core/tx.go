@@ -268,6 +268,7 @@ func (db *Database) doCommit(t *Tx) error {
 		w := db.watermark()
 		for id := range t.deleted {
 			db.dir.dropDeleted(id, w)
+			db.pruneConsumerState(id)
 		}
 	}
 	db.maybeSweepChains()
@@ -846,10 +847,8 @@ func (db *Database) DeleteObject(t *Tx, id oid.OID) error {
 	savedFns := db.funcConsumers[id]
 	delete(db.funcConsumers, id)
 	db.mu.Unlock()
-	db.dropConsumerEntry(id)
-	db.bumpConsumerEpoch()
 	t.deleted[id] = true
-	t.inner.OnUndo(func() {
+	db.invalidateConsumers(t, scopeObj(id), func() {
 		db.dir.setTomb(id, false)
 		db.mu.Lock()
 		if savedSubs != nil {
@@ -859,7 +858,6 @@ func (db *Database) DeleteObject(t *Tx, id oid.OID) error {
 			db.funcConsumers[id] = savedFns
 		}
 		db.mu.Unlock()
-		db.bumpConsumerEpoch()
 		delete(t.deleted, id)
 	})
 	return nil

@@ -1,0 +1,323 @@
+package sim
+
+// Differential testing of selective consumer-cache invalidation under
+// catalog churn: a seeded scenario interleaves rule creation/deletion,
+// enable/disable flips, subscribe/unsubscribe, object deletion and class
+// evolution with a sustained raise stream, and is replayed twice through
+// the real engine — once with selective (blast-radius) invalidation, once
+// with the GlobalConsumerInvalidation reference mode that stales the whole
+// cache on every mutation. Any divergence between the two firing traces is
+// a cache-coherence bug: an entry that survived a mutation it depended on,
+// or an invalidation that failed to reach the raise path.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"sentinel/internal/core"
+	"sentinel/internal/event"
+	"sentinel/internal/oid"
+	"sentinel/internal/rule"
+	"sentinel/internal/schema"
+	"sentinel/internal/value"
+)
+
+// Churn op kinds. A scenario is a flat list of transactions, each a list
+// of ops applied in order.
+const (
+	churnRaise = iota
+	churnCreateRule
+	churnDeleteRule
+	churnToggle
+	churnSubscribe
+	churnUnsubscribe
+	churnEvolve
+)
+
+// ChurnOp is one scripted operation. Rule names are "C<Rule>" where Rule
+// is a monotone counter assigned at generation time, so delete/toggle/
+// subscribe ops reference rules unambiguously across both replays.
+type ChurnOp struct {
+	Kind       int
+	Source     int // raise/subscribe/unsubscribe: object index
+	Event      string
+	Rule       int
+	Enable     bool
+	ClassLevel string
+	Subs       []int // create: object indexes subscribed at creation
+	Coupling   int
+	Priority   int
+	CondEvery  int
+	Expr       *event.Expr
+}
+
+// ChurnScenario is a deterministic churn-heavy script.
+type ChurnScenario struct {
+	Seed int64
+	Txs  [][]ChurnOp
+}
+
+// GenChurnScenario expands a seed into a churn scenario. The generator
+// tracks rule liveness and subscriptions so every op is valid (deletes name
+// live rules, unsubscribes existing subscriptions), keeping replay errors
+// impossible by construction; raises outnumber churn ops roughly 3:1 so
+// every mutation's blast radius is probed by traffic before the next one.
+func GenChurnScenario(seed int64) *ChurnScenario {
+	rng := rand.New(rand.NewSource(seed))
+	sc := &ChurnScenario{Seed: seed}
+
+	nextRule := 0
+	var live []int            // live rule ids
+	subs := map[[2]int]bool{} // {rule, object} → subscribed
+	enabled := map[int]bool{} // live rule id → enabled
+
+	pick := func(xs []int) int { return xs[rng.Intn(len(xs))] }
+
+	nTxs := 12 + rng.Intn(8)
+	for t := 0; t < nTxs; t++ {
+		var ops []ChurnOp
+		nOps := 4 + rng.Intn(8)
+		for i := 0; i < nOps; i++ {
+			roll := rng.Intn(12)
+			switch {
+			case roll == 6: // create rule
+				op := ChurnOp{
+					Kind:     churnCreateRule,
+					Rule:     nextRule,
+					Coupling: rng.Intn(3),
+					Priority: rng.Intn(7) - 3,
+				}
+				if rng.Intn(3) == 0 {
+					if rng.Intn(2) == 0 {
+						op.ClassLevel = "Gen"
+					} else {
+						op.ClassLevel = "SubGen"
+					}
+				} else {
+					// Instance-level rules start with subscriptions so they
+					// participate immediately (later subscribe/unsubscribe
+					// ops still churn them).
+					switch rng.Intn(3) {
+					case 0:
+						op.Subs = []int{0}
+					case 1:
+						op.Subs = []int{1}
+					default:
+						op.Subs = []int{0, 1}
+					}
+					for _, o := range op.Subs {
+						subs[[2]int{nextRule, o}] = true
+					}
+				}
+				if rng.Intn(3) == 1 {
+					op.CondEvery = 2 + rng.Intn(2)
+				}
+				for {
+					op.Expr = randExpr(rng, 1)
+					if op.Expr.Validate() == nil {
+						break
+					}
+				}
+				ops = append(ops, op)
+				live = append(live, nextRule)
+				enabled[nextRule] = true
+				nextRule++
+			case roll == 7 && len(live) > 0: // delete rule
+				r := pick(live)
+				ops = append(ops, ChurnOp{Kind: churnDeleteRule, Rule: r})
+				for i, x := range live {
+					if x == r {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+				delete(enabled, r)
+				delete(subs, [2]int{r, 0})
+				delete(subs, [2]int{r, 1})
+			case roll == 8 && len(live) > 0: // toggle
+				r := pick(live)
+				en := !enabled[r]
+				if rng.Intn(3) == 0 { // sometimes a no-op re-flip
+					en = enabled[r]
+				}
+				ops = append(ops, ChurnOp{Kind: churnToggle, Rule: r, Enable: en})
+				enabled[r] = en
+			case roll == 9 && len(live) > 0: // subscribe
+				r, o := pick(live), rng.Intn(2)
+				ops = append(ops, ChurnOp{Kind: churnSubscribe, Rule: r, Source: o})
+				subs[[2]int{r, o}] = true
+			case roll == 10 && len(subs) > 0: // unsubscribe
+				// Deterministic pick: lowest (rule, object) pair.
+				best := [2]int{1 << 30, 0}
+				for k := range subs {
+					if k[0] < best[0] || (k[0] == best[0] && k[1] < best[1]) {
+						best = k
+					}
+				}
+				ops = append(ops, ChurnOp{Kind: churnUnsubscribe, Rule: best[0], Source: best[1]})
+				delete(subs, best)
+			case roll == 11: // evolve SubGen (the only leaf class; Gen has a subclass)
+				ops = append(ops, ChurnOp{Kind: churnEvolve, Rule: t*16 + i})
+			default: // raise (also the fallback when a churn op has no valid target)
+				ops = append(ops, ChurnOp{
+					Kind:   churnRaise,
+					Source: rng.Intn(2),
+					Event:  eventNames[rng.Intn(len(eventNames))],
+				})
+			}
+		}
+		sc.Txs = append(sc.Txs, ops)
+	}
+	return sc
+}
+
+// RunChurn replays a churn scenario through the real engine and returns
+// the firing trace. global selects the whole-cache reference invalidation
+// mode; both modes must produce byte-identical traces.
+func RunChurn(sc *ChurnScenario, strategy string, global bool) ([]string, error) {
+	db, err := core.Open(core.Options{
+		Strategy:                   strategy,
+		Output:                     io.Discard,
+		GlobalConsumerInvalidation: global,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	gen := schema.NewClass("Gen")
+	gen.Classification = schema.ReactiveClass
+	sub := schema.NewClass("SubGen", gen)
+	sub.Classification = schema.ReactiveClass
+	if err := db.RegisterClass(gen); err != nil {
+		return nil, err
+	}
+	if err := db.RegisterClass(sub); err != nil {
+		return nil, err
+	}
+
+	var (
+		trace []string
+		base  uint64
+		curTx int
+	)
+	oids := make([]oid.OID, 2)
+	if err := db.Atomically(func(t *core.Tx) error {
+		var err error
+		if oids[0], err = db.NewObject(t, "Gen", nil); err != nil {
+			return err
+		}
+		oids[1], err = db.NewObject(t, "SubGen", nil)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	base = db.Now()
+	for txIdx, ops := range sc.Txs {
+		curTx = txIdx
+		err := db.Atomically(func(t *core.Tx) error {
+			for _, op := range ops {
+				switch op.Kind {
+				case churnRaise:
+					if err := db.RaiseExplicit(t, oids[op.Source], op.Event); err != nil {
+						return err
+					}
+				case churnCreateRule:
+					ri := op.Rule
+					cp := op.Coupling
+					spec := core.RuleSpec{
+						Name:       fmt.Sprintf("C%d", ri),
+						Event:      op.Expr,
+						Coupling:   couplingNames[cp],
+						Priority:   op.Priority,
+						ClassLevel: op.ClassLevel,
+						Action: func(_ rule.ExecContext, det event.Detection) error {
+							trace = append(trace, fmt.Sprintf("tx%d %s C%d %s",
+								curTx, couplingNames[cp], ri, detSuffix(det, base, oids)))
+							return nil
+						},
+					}
+					if op.CondEvery != 0 {
+						every := uint64(op.CondEvery)
+						spec.Condition = func(_ rule.ExecContext, det event.Detection) (bool, error) {
+							return (det.Last().Seq-base)%every != 0, nil
+						}
+					}
+					if _, err := db.CreateRule(t, spec); err != nil {
+						return err
+					}
+					for _, s := range op.Subs {
+						if err := db.SubscribeRule(t, spec.Name, oids[s]); err != nil {
+							return err
+						}
+					}
+				case churnDeleteRule:
+					if err := db.DeleteRule(t, fmt.Sprintf("C%d", op.Rule)); err != nil {
+						return err
+					}
+				case churnToggle:
+					name := fmt.Sprintf("C%d", op.Rule)
+					if op.Enable {
+						if err := db.EnableRule(t, name); err != nil {
+							return err
+						}
+					} else if err := db.DisableRule(t, name); err != nil {
+						return err
+					}
+				case churnSubscribe:
+					if err := db.SubscribeRule(t, fmt.Sprintf("C%d", op.Rule), oids[op.Source]); err != nil {
+						return err
+					}
+				case churnUnsubscribe:
+					if err := db.UnsubscribeRule(t, fmt.Sprintf("C%d", op.Rule), oids[op.Source]); err != nil {
+						return err
+					}
+				case churnEvolve:
+					c := schema.NewClass("SubGen", db.Registry().MustClass("Gen"))
+					c.Classification = schema.ReactiveClass
+					c.Attr(fmt.Sprintf("g%d", op.Rule), value.TypeInt)
+					if err := db.EvolveClass(t, c, ""); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("churn tx %d: %w", txIdx, err)
+		}
+	}
+	return trace, nil
+}
+
+// ChurnDiff replays one churn seed under one strategy in both invalidation
+// modes and returns a description of the first trace divergence, or ""
+// when they agree.
+func ChurnDiff(seed int64, strategy string) (string, error) {
+	sc := GenChurnScenario(seed)
+	selective, err := RunChurn(sc, strategy, false)
+	if err != nil {
+		return "", fmt.Errorf("selective, seed %d, %s: %w", seed, strategy, err)
+	}
+	global, err := RunChurn(sc, strategy, true)
+	if err != nil {
+		return "", fmt.Errorf("global, seed %d, %s: %w", seed, strategy, err)
+	}
+	n := len(selective)
+	if len(global) < n {
+		n = len(global)
+	}
+	for i := 0; i < n; i++ {
+		if selective[i] != global[i] {
+			return fmt.Sprintf("seed %d, %s: firing %d differs:\n  selective: %s\n  global:    %s",
+				seed, strategy, i, selective[i], global[i]), nil
+		}
+	}
+	if len(selective) != len(global) {
+		return fmt.Sprintf("seed %d, %s: selective fired %d times, global %d times (common prefix agrees)",
+			seed, strategy, len(selective), len(global)), nil
+	}
+	return "", nil
+}

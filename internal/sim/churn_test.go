@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"os"
+	"testing"
+)
+
+// TestChurnDifferential sweeps churn-heavy seeds through both consumer-
+// cache invalidation modes — selective blast-radius vs the global-bump
+// reference — demanding byte-identical firing traces. ≥100 seeds in the
+// normal run; SENTINEL_TORTURE=full widens the sweep and adds the fifo and
+// lifo strategies.
+func TestChurnDifferential(t *testing.T) {
+	seeds := 100
+	strategies := []string{"priority"}
+	if testing.Short() {
+		seeds = 15
+	}
+	if os.Getenv("SENTINEL_TORTURE") == "full" {
+		seeds = 250
+		strategies = Strategies
+	}
+	fired := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, strategy := range strategies {
+			diff, err := ChurnDiff(seed, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff != "" {
+				t.Fatal(diff)
+			}
+			trace, err := RunChurn(GenChurnScenario(seed), strategy, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired += len(trace)
+		}
+	}
+	// Vacuity guard: churn scenarios must still fire rules in volume, or
+	// the differ proves nothing about cache coherence under traffic.
+	if fired < seeds*2 {
+		t.Fatalf("only %d firings across %d churn runs: scenarios too tame", fired, seeds*len(strategies))
+	}
+	t.Logf("compared %d firings across %d churn seeds x %d strategies", fired, seeds, len(strategies))
+}
+
+// TestChurnScenariosChurn guards the generator against drifting into a
+// raise-only corpus: across the seed sweep every churn op kind must occur.
+func TestChurnScenariosChurn(t *testing.T) {
+	kinds := map[int]int{}
+	for seed := int64(1); seed <= 40; seed++ {
+		for _, tx := range GenChurnScenario(seed).Txs {
+			for _, op := range tx {
+				kinds[op.Kind]++
+			}
+		}
+	}
+	for k := churnRaise; k <= churnEvolve; k++ {
+		if kinds[k] == 0 {
+			t.Errorf("op kind %d never generated across the sweep", k)
+		}
+	}
+}
+
+// TestGlobalRefOnModelSeeds replays the PR 4 model-based tester's
+// scenarios through both invalidation modes: the global reference and the
+// selective engine must agree on the established corpus too, not just on
+// churn-shaped workloads.
+func TestGlobalRefOnModelSeeds(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	if os.Getenv("SENTINEL_TORTURE") == "full" {
+		seeds = 120
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		sc := GenScenario(seed)
+		selective, err := RunReal(sc, "priority")
+		if err != nil {
+			t.Fatal(err)
+		}
+		global, err := RunRealGlobal(sc, "priority")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(selective) != len(global) {
+			t.Fatalf("seed %d: selective fired %d, global %d", seed, len(selective), len(global))
+		}
+		for i := range selective {
+			if selective[i] != global[i] {
+				t.Fatalf("seed %d: firing %d differs:\n  selective: %s\n  global:    %s",
+					seed, i, selective[i], global[i])
+			}
+		}
+	}
+}

@@ -199,7 +199,19 @@ func detSuffix(det event.Detection, base uint64, oids []oid.OID) string {
 // RunReal replays the scenario through the real engine (in-memory
 // database) and returns the firing trace.
 func RunReal(sc *Scenario, strategy string) ([]string, error) {
-	db, err := core.Open(core.Options{Strategy: strategy, Output: io.Discard})
+	return runReal(sc, strategy, false)
+}
+
+// RunRealGlobal is RunReal with GlobalConsumerInvalidation set: the
+// consumer cache falls back to whole-cache epoch bumps on every mutation.
+// Selective invalidation must be trace-identical to this reference on
+// every scenario (see churn.go for the churn-heavy differ).
+func RunRealGlobal(sc *Scenario, strategy string) ([]string, error) {
+	return runReal(sc, strategy, true)
+}
+
+func runReal(sc *Scenario, strategy string, global bool) ([]string, error) {
+	db, err := core.Open(core.Options{Strategy: strategy, Output: io.Discard, GlobalConsumerInvalidation: global})
 	if err != nil {
 		return nil, err
 	}
